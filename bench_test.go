@@ -1,0 +1,232 @@
+// Package gaugur_test holds the reproduction benchmark harness: one
+// testing.B benchmark per figure in the paper's evaluation (there are no
+// numbered tables; every result is a figure), plus micro-benchmarks for the
+// pipeline stages whose costs Section 3.6 analyzes.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark regenerates the figure's data through the same
+// driver the experiments CLI uses and reports it via b.Log at -v. The
+// shared environment (profiling, measured colocations, trained models) is
+// built once and cached, matching the paper's one-time offline cost.
+package gaugur_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"gaugur/internal/core"
+	"gaugur/internal/experiments"
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+// benchEnv builds the paper-scale environment once per process.
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = experiments.New(experiments.DefaultConfig())
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+// benchFigure runs one figure driver per iteration.
+func benchFigure(b *testing.B, id string) {
+	env := benchEnv(b)
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("figure %q not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := runner(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == 0 && testing.Verbose() {
+			tab.Render(benchWriter{b})
+		}
+	}
+}
+
+// benchWriter adapts b.Log to io.Writer for -v rendering.
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+var _ io.Writer = benchWriter{}
+
+// --- One benchmark per paper figure -----------------------------------
+
+func BenchmarkFig1ColocatedPairs(b *testing.B)     { benchFigure(b, "fig1") }
+func BenchmarkFig2SoloProfile(b *testing.B)        { benchFigure(b, "fig2") }
+func BenchmarkFig4SensitivityCurves(b *testing.B)  { benchFigure(b, "fig4") }
+func BenchmarkFig5Intensity(b *testing.B)          { benchFigure(b, "fig5") }
+func BenchmarkFig6AggregateIntensity(b *testing.B) { benchFigure(b, "fig6") }
+func BenchmarkFig7aRegressionAlgos(b *testing.B)   { benchFigure(b, "fig7a") }
+func BenchmarkFig7bErrorBreakdown(b *testing.B)    { benchFigure(b, "fig7b") }
+func BenchmarkFig7cErrorCDF(b *testing.B)          { benchFigure(b, "fig7c") }
+func BenchmarkFig8aClassifierAlgos(b *testing.B)   { benchFigure(b, "fig8a") }
+func BenchmarkFig8bClassifierQoS50(b *testing.B)   { benchFigure(b, "fig8b") }
+func BenchmarkFig8cClassifierBreakdown(b *testing.B) {
+	benchFigure(b, "fig8c")
+}
+func BenchmarkFig9aConfusion(b *testing.B)       { benchFigure(b, "fig9a") }
+func BenchmarkFig9bPrecisionRecall(b *testing.B) { benchFigure(b, "fig9b") }
+func BenchmarkFig9cServersUsed(b *testing.B)     { benchFigure(b, "fig9c") }
+func BenchmarkFig10aAverageFPS(b *testing.B)     { benchFigure(b, "fig10a") }
+func BenchmarkFig10bFPSCDF(b *testing.B)         { benchFigure(b, "fig10b") }
+func BenchmarkOverheadAnalysis(b *testing.B)     { benchFigure(b, "overhead") }
+
+// --- Extension and ablation benchmarks ---------------------------------
+//
+// These regenerate the Section 7 / future-work extension experiments and
+// the design-choice ablations. They run against the QUICK configuration so
+// the whole bench suite stays tractable; EXPERIMENTS.md records the
+// paper-scale numbers produced by cmd/experiments.
+
+var (
+	quickEnvOnce sync.Once
+	quickEnvVal  *experiments.Env
+	quickEnvErr  error
+)
+
+func quickBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	quickEnvOnce.Do(func() {
+		quickEnvVal, quickEnvErr = experiments.New(experiments.QuickConfig())
+	})
+	if quickEnvErr != nil {
+		b.Fatal(quickEnvErr)
+	}
+	return quickEnvVal
+}
+
+func benchQuickFigure(b *testing.B, id string) {
+	env := quickBenchEnv(b)
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("figure %q not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := runner(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkExtConservativeProfiling(b *testing.B) { benchQuickFigure(b, "ext-conservative") }
+func BenchmarkExtEncoderOverhead(b *testing.B)       { benchQuickFigure(b, "ext-encoder") }
+func BenchmarkExtDelayPrediction(b *testing.B)       { benchQuickFigure(b, "ext-delay") }
+func BenchmarkExtCFOnboarding(b *testing.B)          { benchQuickFigure(b, "ext-cf") }
+func BenchmarkExtSessionChurn(b *testing.B)          { benchQuickFigure(b, "ext-churn") }
+func BenchmarkExtHeterogeneousFleet(b *testing.B)    { benchQuickFigure(b, "ext-hetero") }
+func BenchmarkAblAggregateTransform(b *testing.B)    { benchQuickFigure(b, "abl-aggregate") }
+func BenchmarkAblLogTarget(b *testing.B)             { benchQuickFigure(b, "abl-log") }
+func BenchmarkAblGranularity(b *testing.B)           { benchQuickFigure(b, "abl-k") }
+func BenchmarkAblNoise(b *testing.B)                 { benchQuickFigure(b, "abl-noise") }
+
+// --- Section 3.6 micro-benchmarks --------------------------------------
+
+// BenchmarkOnlinePrediction measures one RM degradation query — the
+// operation whose "negligible overhead" claim underpins the paper's
+// instantaneity requirement.
+func BenchmarkOnlinePrediction(b *testing.B) {
+	env := benchEnv(b)
+	p, err := env.GAugur(env.Cfg.QoSHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := env.TenGames()
+	c := core.Colocation{
+		{GameID: ids[0], Res: core.ReferenceResolution},
+		{GameID: ids[1], Res: core.ReferenceResolution},
+		{GameID: ids[2], Res: core.ReferenceResolution},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictDegradation(c, i%len(c))
+	}
+}
+
+// BenchmarkOnlineQoSQuery measures one CM classification query.
+func BenchmarkOnlineQoSQuery(b *testing.B) {
+	env := benchEnv(b)
+	p, err := env.GAugur(env.Cfg.QoSHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := env.TenGames()
+	c := core.Colocation{
+		{GameID: ids[0], Res: core.ReferenceResolution},
+		{GameID: ids[1], Res: core.ReferenceResolution},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SatisfiesQoS(c, i%len(c))
+	}
+}
+
+// BenchmarkProfileGame measures the per-game offline profiling cost (the
+// O(N) term of Section 3.6).
+func BenchmarkProfileGame(b *testing.B) {
+	catalog := sim.NewCatalog(42)
+	server := sim.NewServer(7)
+	profiler := &profile.Profiler{Server: server}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profiler.ProfileGame(catalog.Games[i%catalog.Len()]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureColocation measures one simulated colocation run.
+func BenchmarkMeasureColocation(b *testing.B) {
+	env := benchEnv(b)
+	colocs := core.RandomColocations(env.Catalog, core.ColocationPlan{Pairs: 16, Triples: 8, Quads: 8}, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Lab.Measure(colocs[i%len(colocs)])
+	}
+}
+
+// BenchmarkTrainGAugur measures the one-time offline training cost on the
+// paper-scale sample set.
+func BenchmarkTrainGAugur(b *testing.B) {
+	env := benchEnv(b)
+	train, _ := env.Samples(env.Cfg.QoSHigh)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(env.Profiles, core.TrainConfig{
+			Samples:  train,
+			Seed:     int64(i + 1),
+			EncoderK: profile.DefaultK,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command experiments regenerates the GAugur paper's evaluation figures
+// against the simulated substrate and prints them as text tables.
+//
+// Usage:
+//
+//	experiments [-fig all|fig1|fig2|fig4|...|overhead] [-quick]
+//
+// -quick shrinks the workload for a fast smoke run; the default
+// configuration mirrors the paper's scale (100 games, 700 measured
+// colocations, 5000 requests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"gaugur/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	fig := flag.String("fig", "paper", "comma-separated figure ids ("+strings.Join(experiments.IDs(), ", ")+"), or a group: paper, extensions, ablations, all")
+	quick := flag.Bool("quick", false, "use the shrunken quick configuration")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+
+	start := time.Now()
+	env, err := experiments.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("environment ready (%d games profiled) in %v\n\n", env.Profiles.Len(), time.Since(start).Round(time.Millisecond))
+
+	var ids []string
+	for _, part := range strings.Split(*fig, ",") {
+		part = strings.TrimSpace(part)
+		switch part {
+		case "all":
+			ids = append(ids, experiments.IDs()...)
+		case "paper":
+			for _, id := range experiments.IDs() {
+				if !strings.HasPrefix(id, "ext-") && !strings.HasPrefix(id, "abl-") {
+					ids = append(ids, id)
+				}
+			}
+		case "extensions":
+			for _, id := range experiments.IDs() {
+				if strings.HasPrefix(id, "ext-") {
+					ids = append(ids, id)
+				}
+			}
+		case "ablations":
+			for _, id := range experiments.IDs() {
+				if strings.HasPrefix(id, "abl-") {
+					ids = append(ids, id)
+				}
+			}
+		case "":
+		default:
+			ids = append(ids, part)
+		}
+	}
+	for _, id := range ids {
+		if err := experiments.RunAndRender(env, id, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,379 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gaugur/internal/baselines"
+	"gaugur/internal/core"
+	"gaugur/internal/profile"
+	"gaugur/internal/sched"
+	"gaugur/internal/sim"
+	"gaugur/internal/stats"
+)
+
+// loadWorld rebuilds the simulated substrate and loads profiles. The
+// catalog seed must match the one used at profiling time; the profile file
+// itself is the only trained artifact, the catalog is the "hardware".
+func loadWorld(catalogSeed, serverSeed int64, profilePath string) (*core.Lab, error) {
+	catalog := sim.NewCatalog(catalogSeed)
+	server := sim.NewServer(serverSeed)
+	f, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := profile.LoadSet(f)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewLab(server, catalog, set)
+}
+
+func cmdProfile(args []string) error {
+	fs := newFlagSet("profile")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed (the simulated hardware)")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	out := fs.String("out", "profiles.json", "output path for the profile set")
+	k := fs.Int("k", profile.DefaultK, "pressure sampling granularity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	catalog := sim.NewCatalog(*catalogSeed)
+	server := sim.NewServer(*serverSeed)
+	pf := &profile.Profiler{Server: server, K: *k}
+	set, err := pf.ProfileCatalog(catalog)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := profile.SaveSet(f, set); err != nil {
+		return err
+	}
+	fmt.Printf("profiled %d games (k=%d) -> %s\n", set.Len(), *k, *out)
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := newFlagSet("train")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	profiles := fs.String("profiles", "profiles.json", "profile set path")
+	out := fs.String("out", "model.gob", "output path for the trained predictor")
+	qos := fs.Float64("qos", 60, "QoS frame-rate floor for the CM labels")
+	pairs := fs.Int("pairs", 500, "measured 2-game colocations")
+	triples := fs.Int("triples", 100, "measured 3-game colocations")
+	quads := fs.Int("quads", 100, "measured 4-game colocations")
+	colocSeed := fs.Int64("coloc-seed", 99, "colocation sampling seed")
+	rmKind := fs.String("rm", string(core.GBRT), "regression model kind (DTR, GBRT, RF, SVR)")
+	cmKind := fs.String("cm", string(core.GBDT), "classification model kind (DTC, GBDT, RF, SVC)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
+	if err != nil {
+		return err
+	}
+	plan := core.ColocationPlan{Pairs: *pairs, Triples: *triples, Quads: *quads}
+	colocs := core.RandomColocations(lab.Catalog, plan, *colocSeed)
+	samples := lab.CollectSamples(colocs, *qos, profile.DefaultK)
+	fmt.Printf("measured %d colocations -> %d training samples\n", len(colocs), samples.Len())
+
+	p, err := core.Train(lab.Profiles, core.TrainConfig{
+		Samples:  samples,
+		RMKind:   core.RegressorKind(*rmKind),
+		CMKind:   core.ClassifierKind(*cmKind),
+		Seed:     1,
+		EncoderK: profile.DefaultK,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s + %s (QoS %.0f FPS) -> %s\n", *rmKind, *cmKind, *qos, *out)
+	return nil
+}
+
+// parseColocation parses "Dota2@1920x1080,Far Cry4@1280x720"; a missing
+// @resolution defaults to 1080p.
+func parseColocation(lab *core.Lab, spec string) (core.Colocation, error) {
+	var c core.Colocation
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, res := part, core.ReferenceResolution
+		if at := strings.LastIndex(part, "@"); at >= 0 {
+			name = strings.TrimSpace(part[:at])
+			var w, h int
+			if _, err := fmt.Sscanf(part[at+1:], "%dx%d", &w, &h); err != nil {
+				return nil, fmt.Errorf("bad resolution in %q", part)
+			}
+			res = sim.Resolution{Width: w, Height: h}
+		}
+		g := lab.Catalog.Get(name)
+		if g == nil {
+			return nil, fmt.Errorf("unknown game %q", name)
+		}
+		c = append(c, core.Workload{GameID: g.ID, Res: res})
+	}
+	if len(c) == 0 {
+		return nil, fmt.Errorf("empty colocation spec")
+	}
+	return c, nil
+}
+
+func loadPredictor(lab *core.Lab, path string) (*core.Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadPredictor(f, lab.Profiles)
+}
+
+func cmdPredict(args []string) error {
+	fs := newFlagSet("predict")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	profiles := fs.String("profiles", "profiles.json", "profile set path")
+	model := fs.String("model", "model.gob", "trained predictor path")
+	coloc := fs.String("coloc", "", "colocation, e.g. \"Dota2@1920x1080,Far Cry4\"")
+	verify := fs.Bool("verify", false, "also run the colocation on the simulator and print measured FPS")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coloc == "" {
+		return fmt.Errorf("predict: -coloc is required")
+	}
+	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPredictor(lab, *model)
+	if err != nil {
+		return err
+	}
+	c, err := parseColocation(lab, *coloc)
+	if err != nil {
+		return err
+	}
+
+	var measured []float64
+	if *verify {
+		measured = lab.Measure(c)
+	}
+	fmt.Printf("%-28s %-10s %9s %9s %6s", "game", "res", "solo", "predFPS", "QoS")
+	if *verify {
+		fmt.Printf(" %9s", "measured")
+	}
+	fmt.Println()
+	for i, w := range c {
+		prof := lab.Profiles.Get(w.GameID)
+		verdict := "FAIL"
+		if p.SatisfiesQoS(c, i) {
+			verdict = "ok"
+		}
+		fmt.Printf("%-28s %-10s %9.1f %9.1f %6s", prof.Name, w.Res, prof.SoloFPS(w.Res), p.PredictFPS(c, i), verdict)
+		if *verify {
+			fmt.Printf(" %9.1f", measured[i])
+		}
+		fmt.Println()
+	}
+	if p.FeasibleCM(c) {
+		fmt.Printf("colocation judged FEASIBLE at QoS %.0f FPS\n", p.QoS)
+	} else {
+		fmt.Printf("colocation judged INFEASIBLE at QoS %.0f FPS\n", p.QoS)
+	}
+	return nil
+}
+
+// resolveGames maps a comma-separated name list (or "ten:SEED" shorthand)
+// to game IDs.
+func resolveGames(lab *core.Lab, spec string) ([]int, error) {
+	var ids []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if id, err := strconv.Atoi(part); err == nil {
+			if id < 0 || id >= lab.Catalog.Len() {
+				return nil, fmt.Errorf("game id %d out of range", id)
+			}
+			ids = append(ids, id)
+			continue
+		}
+		g := lab.Catalog.Get(part)
+		if g == nil {
+			return nil, fmt.Errorf("unknown game %q", part)
+		}
+		ids = append(ids, g.ID)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no games given")
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+func cmdPack(args []string) error {
+	fs := newFlagSet("pack")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	profiles := fs.String("profiles", "profiles.json", "profile set path")
+	model := fs.String("model", "model.gob", "trained predictor path")
+	games := fs.String("games", "", "comma-separated game names or ids")
+	requests := fs.Int("requests", 5000, "gaming requests to pack")
+	maxSize := fs.Int("max-size", 4, "maximum colocation size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *games == "" {
+		return fmt.Errorf("pack: -games is required")
+	}
+	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPredictor(lab, *model)
+	if err != nil {
+		return err
+	}
+	ids, err := resolveGames(lab, *games)
+	if err != nil {
+		return err
+	}
+
+	subsets := sched.EnumerateSubsets(ids, *maxSize)
+	var feasible []sched.ColocSet
+	for _, s := range subsets {
+		if p.FeasibleCM(s.Colocation()) {
+			feasible = append(feasible, s)
+		}
+	}
+	demand := sched.SpreadRequests(ids, *requests, nil)
+	res := sched.PackRequests(feasible, demand)
+	fmt.Printf("games=%d candidate colocations=%d judged feasible=%d\n", len(ids), len(subsets), len(feasible))
+	fmt.Printf("packed %d requests onto %d servers (no-colocation policy would use %d)\n",
+		*requests, res.NumServers(), *requests)
+	if res.Unplaceable > 0 {
+		fmt.Printf("%d requests had no feasible colocation and run on dedicated servers\n", res.Unplaceable)
+	}
+	return nil
+}
+
+func cmdDispatch(args []string) error {
+	fs := newFlagSet("dispatch")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	profiles := fs.String("profiles", "profiles.json", "profile set path")
+	model := fs.String("model", "model.gob", "trained predictor path")
+	games := fs.String("games", "", "comma-separated game names or ids")
+	requests := fs.Int("requests", 5000, "gaming requests to dispatch")
+	servers := fs.Int("servers", 2000, "fleet size")
+	compare := fs.Bool("compare", false, "also dispatch with Sigmoid, SMiTe, and worst-fit VBP")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *games == "" {
+		return fmt.Errorf("dispatch: -games is required")
+	}
+	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPredictor(lab, *model)
+	if err != nil {
+		return err
+	}
+	ids, err := resolveGames(lab, *games)
+	if err != nil {
+		return err
+	}
+	demand := sched.SpreadRequests(ids, *requests, nil)
+	stream := sched.ExpandRequests(demand)
+
+	toColoc := func(games []int) core.Colocation {
+		c := make(core.Colocation, len(games))
+		for i, id := range games {
+			c[i] = core.Workload{GameID: id, Res: core.ReferenceResolution}
+		}
+		return c
+	}
+	scorerFor := func(predict func(c core.Colocation, idx int) float64) sched.Scorer {
+		return func(games []int) float64 {
+			c := toColoc(games)
+			s := 0.0
+			for i := range c {
+				s += predict(c, i)
+			}
+			return s
+		}
+	}
+
+	run := func(name string, sc sched.Scorer) error {
+		d := &sched.Dispatcher{NumServers: *servers, MaxPerServer: 4, Score: sc}
+		fleet, err := d.Assign(stream)
+		if err != nil {
+			return err
+		}
+		fps := sched.EvaluateFleet(lab, fleet)
+		fmt.Printf("%-12s avg FPS %6.1f  (p10 %.1f, p50 %.1f, p90 %.1f) on %d servers\n",
+			name, stats.Mean(fps), pctl(fps, 0.1), pctl(fps, 0.5), pctl(fps, 0.9), len(fleet))
+		return nil
+	}
+	if err := run("GAugur(RM)", scorerFor(p.PredictFPS)); err != nil {
+		return err
+	}
+	if *compare {
+		train := core.RandomColocations(lab.Catalog, core.PaperPlan, 99)[:400]
+		sg := baselines.NewSigmoid(lab.Profiles, p.QoS)
+		if err := sg.Fit(lab, train); err != nil {
+			return err
+		}
+		if err := run("Sigmoid", scorerFor(sg.PredictFPS)); err != nil {
+			return err
+		}
+		sm := baselines.NewSMiTe(lab.Profiles, p.QoS)
+		if err := sm.Fit(lab, train); err != nil {
+			return err
+		}
+		if err := run("SMiTe", scorerFor(sm.PredictFPS)); err != nil {
+			return err
+		}
+		vbp := baselines.NewVBP(lab.Profiles)
+		demandOf := func(g int) float64 {
+			return 5 - vbp.RemainingCapacity(toColoc([]int{g}))
+		}
+		fleet, err := sched.WorstFit(stream, *servers, 4, 5, demandOf)
+		if err != nil {
+			return err
+		}
+		fps := sched.EvaluateFleet(lab, fleet)
+		fmt.Printf("%-12s avg FPS %6.1f  (p10 %.1f, p50 %.1f, p90 %.1f) on %d servers\n",
+			"VBP", stats.Mean(fps), pctl(fps, 0.1), pctl(fps, 0.5), pctl(fps, 0.9), len(fleet))
+	}
+	return nil
+}
+
+func pctl(xs []float64, p float64) float64 {
+	return stats.NewCDF(xs).InverseAt(p)
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gaugur/internal/core"
+	"gaugur/internal/ml"
+	"gaugur/internal/profile"
+	"gaugur/internal/sched"
+	"gaugur/internal/sim"
+)
+
+// cmdChurn simulates an online arrival/departure stream against the
+// trained predictor's greedy placement and the least-loaded baseline.
+func cmdChurn(args []string) error {
+	fs := newFlagSet("churn")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	profiles := fs.String("profiles", "profiles.json", "profile set path")
+	model := fs.String("model", "model.gob", "trained predictor path")
+	games := fs.String("games", "", "comma-separated game names or ids")
+	servers := fs.Int("servers", 200, "fleet size")
+	sessions := fs.Int("sessions", 2000, "total session arrivals")
+	load := fs.Float64("load", 0.85, "target fleet load (fraction of slot capacity)")
+	duration := fs.Float64("duration", 8, "mean session duration (time units)")
+	seed := fs.Int64("seed", 13, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *games == "" {
+		return fmt.Errorf("churn: -games is required")
+	}
+	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPredictor(lab, *model)
+	if err != nil {
+		return err
+	}
+	ids, err := resolveGames(lab, *games)
+	if err != nil {
+		return err
+	}
+
+	toColoc := func(g []int) core.Colocation {
+		c := make(core.Colocation, len(g))
+		for i, id := range g {
+			c[i] = core.Workload{GameID: id, Res: core.ReferenceResolution}
+		}
+		return c
+	}
+	eval := func(g []int) []float64 { return lab.ExpectedFPS(toColoc(g)) }
+	score := func(g []int) float64 {
+		c := toColoc(g)
+		s := 0.0
+		for i := range c {
+			s += p.PredictFPS(c, i)
+		}
+		return s
+	}
+
+	const maxPer = 4
+	cfg := sched.OnlineConfig{
+		NumServers:   *servers,
+		MaxPerServer: maxPer,
+		ArrivalRate:  *load * float64(*servers) * maxPer / *duration,
+		MeanDuration: *duration,
+		Sessions:     *sessions,
+		GameIDs:      ids,
+		Seed:         *seed,
+	}
+	run := func(name string, pol sched.PlacementPolicy) error {
+		res, err := sched.RunOnline(cfg, pol, eval, p.QoS)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s mean FPS %6.1f  below-QoS time %5.1f%%  rejected %d  peak active %d\n",
+			name, res.MeanFPS, 100*res.ViolationFraction, res.Rejected, res.PeakActive)
+		return nil
+	}
+	fmt.Printf("%d sessions onto %d servers at %.0f%% target load (QoS %.0f FPS)\n",
+		*sessions, *servers, 100**load, p.QoS)
+	if err := run("GAugur greedy", sched.GreedyPolicy(score, maxPer)); err != nil {
+		return err
+	}
+	return run("least-loaded", sched.LeastLoadedPolicy(maxPer))
+}
+
+// cmdOnboard demonstrates collaborative-filtering onboarding: it profiles a
+// named game with the cheap probe plan plus matrix completion against the
+// stored library, and reports how close the completed profile is to a full
+// sweep.
+func cmdOnboard(args []string) error {
+	fs := newFlagSet("onboard")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	profiles := fs.String("profiles", "profiles.json", "profile library path")
+	game := fs.String("game", "", "game to onboard (must exist in the catalog)")
+	out := fs.String("out", "", "optional path to append-save the completed profile set")
+	rank := fs.Int("rank", 10, "matrix-factorization rank")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *game == "" {
+		return fmt.Errorf("onboard: -game is required")
+	}
+	catalog := sim.NewCatalog(*catalogSeed)
+	server := sim.NewServer(*serverSeed)
+	g := catalog.Get(*game)
+	if g == nil {
+		return fmt.Errorf("onboard: unknown game %q", *game)
+	}
+
+	f, err := os.Open(*profiles)
+	if err != nil {
+		return err
+	}
+	set, err := profile.LoadSet(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	// The library is every profile EXCEPT the target (a new game is by
+	// definition not in the library).
+	library := &profile.Set{ByID: map[int]*profile.GameProfile{}}
+	for _, p := range set.Order {
+		if p.GameID == g.ID {
+			continue
+		}
+		library.ByID[p.GameID] = p
+		library.Order = append(library.Order, p)
+	}
+	completer, err := profile.NewCompleter(library, ml.MFConfig{Rank: *rank, Epochs: 300, Seed: 3})
+	if err != nil {
+		return err
+	}
+	plan := profile.DefaultProbePlan(profile.DefaultK)
+	est, err := completer.ProbeAndComplete(server, g, plan, sim.Res720p, sim.Res1080p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("onboarded %q with %d probe runs (full sweep: 123)\n", g.Name, plan.Runs()+2)
+
+	// If the library had a full profile for this game, report fidelity.
+	if truth := set.Get(g.ID); truth != nil {
+		var curveMAE, intenMAE float64
+		n := 0
+		for r := 0; r < sim.NumResources; r++ {
+			for i := range truth.Sensitivity[r] {
+				d := est.Sensitivity[r][i] - truth.Sensitivity[r][i]
+				if d < 0 {
+					d = -d
+				}
+				curveMAE += d
+				n++
+			}
+			d := est.IntensityBase[r] - truth.IntensityBase[r]
+			if d < 0 {
+				d = -d
+			}
+			intenMAE += d
+		}
+		fmt.Printf("vs full profile: sensitivity MAE %.3f, intensity MAE %.3f\n",
+			curveMAE/float64(n), intenMAE/float64(sim.NumResources))
+	}
+
+	if *out != "" {
+		library.ByID[est.GameID] = est
+		library.Order = append(library.Order, est)
+		fo, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer fo.Close()
+		if err := profile.SaveSet(fo, library); err != nil {
+			return err
+		}
+		fmt.Printf("library + completed profile -> %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Profiling: inspect one game's contention features — the sensitivity
+// curves and intensity vector of Section 3.2 — and verify the resolution
+// laws of Section 3.3 (Equation 2, Observations 6-8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+func main() {
+	catalog := sim.NewCatalog(42)
+	server := sim.NewServer(7)
+	profiler := &profile.Profiler{Server: server}
+
+	game := catalog.MustGet("Far Cry4")
+	p, err := profiler.ProfileGame(game)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("contention profile of %q (k=%d)\n\n", p.Name, p.K)
+	fmt.Println("sensitivity curves (retained FPS fraction at pressure 0.0 .. 1.0):")
+	levels := sim.PressureLevels(p.K)
+	fmt.Printf("  %-8s", "")
+	for _, x := range levels {
+		fmt.Printf(" %5.1f", x)
+	}
+	fmt.Println()
+	for r := 0; r < sim.NumResources; r++ {
+		fmt.Printf("  %-8s", sim.Resource(r))
+		for _, v := range p.Sensitivity[r] {
+			fmt.Printf(" %5.2f", v)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nintensity (average benchmark excess slowdown) by resolution:")
+	for _, res := range sim.StandardResolutions() {
+		iv := p.Intensity(res)
+		fmt.Printf("  %-9s", res)
+		for r := 0; r < sim.NumResources; r++ {
+			fmt.Printf(" %s=%.2f", sim.Resource(r), iv[r])
+		}
+		fmt.Println()
+	}
+	fmt.Println("  (GPU-side intensities grow with pixels — Observation 8; CPU-side stay flat — Observation 7)")
+
+	fmt.Println("\nEquation (2) solo frame-rate law, fitted from two profiled resolutions:")
+	for _, res := range sim.StandardResolutions() {
+		fmt.Printf("  %-9s predicted %6.1f FPS (ground truth %6.1f)\n",
+			res, p.SoloFPS(res), game.SoloFPS(res))
+	}
+
+	fmt.Println("\nSMiTe-style sensitivity scores delta_r(1) (fraction lost at max pressure):")
+	for r := 0; r < sim.NumResources; r++ {
+		fmt.Printf("  %-8s %.2f\n", sim.Resource(r), p.SensitivityScore(sim.Resource(r)))
+	}
+}

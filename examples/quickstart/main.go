@@ -1,0 +1,66 @@
+// Quickstart: profile a game catalog, train GAugur, and ask whether a
+// colocation is safe — the full offline-to-online pipeline in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gaugur/internal/core"
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+func main() {
+	// The simulated substrate: a 100-game catalog and one server.
+	catalog := sim.NewCatalog(42)
+	server := sim.NewServer(7)
+
+	// Offline step 1: profile every game's sensitivity and intensity by
+	// colocating it with tunable pressure benchmarks.
+	profiler := &profile.Profiler{Server: server}
+	profiles, err := profiler.ProfileCatalog(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d games\n", profiles.Len())
+
+	// Offline steps 2-3: measure a few hundred real colocations and
+	// train the classification + regression models.
+	lab, err := core.NewLab(server, catalog, profiles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	colocs := core.RandomColocations(catalog, core.ColocationPlan{Pairs: 200, Triples: 50, Quads: 50}, 99)
+	samples := lab.CollectSamples(colocs, 60, profile.DefaultK)
+	predictor, err := core.Train(profiles, core.TrainConfig{
+		Samples:  samples,
+		Seed:     1,
+		EncoderK: profile.DefaultK,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d samples (QoS %.0f FPS)\n", samples.Len(), predictor.QoS)
+
+	// Online step 4: instantaneous prediction for an arbitrary
+	// colocation, before it is ever deployed.
+	coloc := core.Colocation{
+		{GameID: catalog.MustGet("Dota2").ID, Res: sim.Res1080p},
+		{GameID: catalog.MustGet("Far Cry4").ID, Res: sim.Res720p},
+		{GameID: catalog.MustGet("Stardew Valley").ID, Res: sim.Res1080p},
+	}
+	fmt.Println("\nproposed colocation:")
+	for i, w := range coloc {
+		prof := profiles.Get(w.GameID)
+		fmt.Printf("  %-16s @ %-9s solo %6.1f FPS -> predicted %6.1f FPS (QoS ok: %v)\n",
+			prof.Name, w.Res, prof.SoloFPS(w.Res), predictor.PredictFPS(coloc, i), predictor.SatisfiesQoS(coloc, i))
+	}
+	fmt.Printf("feasible as a whole: %v\n", predictor.FeasibleCM(coloc))
+
+	// Ground truth from the simulator, for comparison.
+	fmt.Println("\nactually deploying it:")
+	for i, fps := range lab.Measure(coloc) {
+		fmt.Printf("  %-16s measured %6.1f FPS\n", profiles.Get(coloc[i].GameID).Name, fps)
+	}
+}

@@ -1,0 +1,3 @@
+module gaugur
+
+go 1.22

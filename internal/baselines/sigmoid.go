@@ -1,0 +1,143 @@
+// Package baselines implements the three alternatives GAugur is evaluated
+// against in Sections 4 and 5: the Sigmoid model of [6,21] (degradation
+// depends only on the number of colocated games), SMiTe [39] extended with
+// Paragon's additive-intensity assumption, and Vector Bin Packing.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"gaugur/internal/core"
+	"gaugur/internal/ml"
+	"gaugur/internal/profile"
+)
+
+// Sigmoid is the [6,21] baseline: per game A, the colocated frame rate is
+// modeled as
+//
+//	FPS_A(n) = alpha1 / (1 + exp(-alpha2*n + alpha3))
+//
+// where n is the number of games A is colocated with. The three parameters
+// are fit per game by nonlinear least squares on the training colocations
+// containing A — exactly the paper's implementation note in Section 4.1.
+type Sigmoid struct {
+	Profiles *profile.Set
+	params   map[int][3]float64
+	qos      float64
+}
+
+// NewSigmoid returns an unfitted Sigmoid baseline.
+func NewSigmoid(profiles *profile.Set, qos float64) *Sigmoid {
+	return &Sigmoid{Profiles: profiles, params: map[int][3]float64{}, qos: qos}
+}
+
+// sigmoidModel evaluates the 3-parameter curve at partner count n.
+func sigmoidModel(p []float64, n float64) float64 {
+	z := -p[1]*n + p[2]
+	if z > 35 {
+		z = 35
+	}
+	if z < -35 {
+		z = -35
+	}
+	return p[0] / (1 + math.Exp(z))
+}
+
+// Fit derives per-game parameters from measured training colocations. For
+// each colocation containing game A we extract the point (n = partners,
+// measured FPS of A). Games without any training appearance fall back to a
+// flat curve at their solo FPS.
+func (s *Sigmoid) Fit(lab *core.Lab, colocs []core.Colocation) error {
+	type pts struct{ xs, ys []float64 }
+	byGame := map[int]*pts{}
+	for _, c := range colocs {
+		fps := lab.Measure(c)
+		for i, w := range c {
+			p := byGame[w.GameID]
+			if p == nil {
+				p = &pts{}
+				byGame[w.GameID] = p
+			}
+			p.xs = append(p.xs, float64(c.Size()-1))
+			p.ys = append(p.ys, fps[i])
+		}
+	}
+	for id, p := range byGame {
+		prof := s.Profiles.Get(id)
+		if prof == nil {
+			return fmt.Errorf("baselines: game %d has no profile", id)
+		}
+		solo := prof.SoloFPS(core.ReferenceResolution)
+		// Anchor the curve with the solo point (n = 0).
+		xs := append([]float64{0}, p.xs...)
+		ys := append([]float64{solo}, p.ys...)
+		init := []float64{solo * 1.2, -0.8, -1}
+		fitted, err := ml.FitCurve(sigmoidModel, xs, ys, init, 150)
+		if err != nil {
+			return fmt.Errorf("baselines: sigmoid fit for game %d: %w", id, err)
+		}
+		s.params[id] = [3]float64{fitted[0], fitted[1], fitted[2]}
+	}
+	return nil
+}
+
+// PredictFPS returns the modeled frame rate of c[idx]. The Sigmoid model
+// ignores partner identity and resolution by construction — that blindness
+// is the source of its error in Figures 7 and 8.
+func (s *Sigmoid) PredictFPS(c core.Colocation, idx int) float64 {
+	// A lone game is its measured solo performance — every methodology
+	// knows that without prediction.
+	if c.Size() == 1 {
+		if prof := s.Profiles.Get(c[idx].GameID); prof != nil {
+			return prof.SoloFPS(c[idx].Res)
+		}
+		return 0
+	}
+	n := float64(c.Size() - 1)
+	if p, ok := s.params[c[idx].GameID]; ok {
+		fps := sigmoidModel(p[:], n)
+		if fps < 0 {
+			return 0
+		}
+		return fps
+	}
+	// Unseen game: assume the solo frame rate regardless of partners.
+	prof := s.Profiles.Get(c[idx].GameID)
+	if prof == nil {
+		return 0
+	}
+	return prof.SoloFPS(c[idx].Res)
+}
+
+// PredictDegradation converts the FPS prediction into a retained fraction
+// against the Equation (2) solo estimate at the workload's resolution.
+func (s *Sigmoid) PredictDegradation(c core.Colocation, idx int) float64 {
+	prof := s.Profiles.Get(c[idx].GameID)
+	if prof == nil {
+		return 0
+	}
+	solo := prof.SoloFPS(c[idx].Res)
+	if solo <= 0 {
+		return 0
+	}
+	d := s.PredictFPS(c, idx) / solo
+	if d > 1 {
+		return 1
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Feasible reports whether the model predicts every game to meet the QoS
+// floor.
+func (s *Sigmoid) Feasible(c core.Colocation) bool {
+	for i := range c {
+		if s.PredictFPS(c, i) < s.qos {
+			return false
+		}
+	}
+	return true
+}

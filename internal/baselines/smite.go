@@ -1,0 +1,105 @@
+package baselines
+
+import (
+	"gaugur/internal/core"
+	"gaugur/internal/ml"
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// SMiTe is the [39] baseline extended to >2 tenants with Paragon's
+// additive-intensity assumption (Equation 9 of the paper):
+//
+//	deg_A = sum_r c_r * delta^A_r(1) * (I^B_r + I^C_r + ...) + c0
+//
+// where delta^A_r(1) is A's sensitivity score at maximum pressure and the
+// partner intensities are SUMMED per resource. The coefficients c_r, c0 are
+// derived by least squares on the training samples. Both the linearity and
+// the additivity are wrong for games (Observations 4 and 5), which is what
+// Figures 7 and 8 demonstrate.
+type SMiTe struct {
+	Profiles *profile.Set
+	model    *ml.Ridge
+	qos      float64
+}
+
+// NewSMiTe returns an unfitted SMiTe baseline.
+func NewSMiTe(profiles *profile.Set, qos float64) *SMiTe {
+	return &SMiTe{Profiles: profiles, qos: qos}
+}
+
+// featuresFor builds the R-dimensional SMiTe input for target idx of c:
+// per resource, sensitivity score times summed partner intensity.
+func (s *SMiTe) featuresFor(c core.Colocation, idx int) []float64 {
+	target := s.Profiles.Get(c[idx].GameID)
+	out := make([]float64, sim.NumResources)
+	var sum sim.Vector
+	for j, w := range c {
+		if j == idx {
+			continue
+		}
+		sum = sum.Add(s.Profiles.Get(w.GameID).Intensity(w.Res))
+	}
+	for r := 0; r < sim.NumResources; r++ {
+		out[r] = target.SensitivityScore(sim.Resource(r)) * sum[r]
+	}
+	return out
+}
+
+// Fit measures the training colocations and regresses the retained-FPS
+// fraction on the SMiTe features.
+func (s *SMiTe) Fit(lab *core.Lab, colocs []core.Colocation) error {
+	var x [][]float64
+	var y []float64
+	for _, c := range colocs {
+		fps := lab.Measure(c)
+		for i := range c {
+			prof := s.Profiles.Get(c[i].GameID)
+			solo := prof.SoloFPS(c[i].Res)
+			x = append(x, s.featuresFor(c, i))
+			y = append(y, sim.Degradation(fps[i], solo))
+		}
+	}
+	s.model = ml.NewRidge(1e-6)
+	return s.model.Fit(x, y)
+}
+
+// Coefficients returns the fitted per-resource weights and intercept.
+func (s *SMiTe) Coefficients() (weights []float64, intercept float64) {
+	if s.model == nil {
+		return nil, 0
+	}
+	return s.model.Weights(), s.model.Bias()
+}
+
+// PredictDegradation returns the linear model's retained-FPS fraction. A
+// lone game suffers no interference, so singletons short-circuit to 1.
+func (s *SMiTe) PredictDegradation(c core.Colocation, idx int) float64 {
+	if c.Size() == 1 {
+		return 1
+	}
+	d := s.model.Predict(s.featuresFor(c, idx))
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// PredictFPS converts the degradation prediction into a frame rate.
+func (s *SMiTe) PredictFPS(c core.Colocation, idx int) float64 {
+	prof := s.Profiles.Get(c[idx].GameID)
+	return prof.SoloFPS(c[idx].Res) * s.PredictDegradation(c, idx)
+}
+
+// Feasible reports whether the model predicts every game above the floor.
+func (s *SMiTe) Feasible(c core.Colocation) bool {
+	for i := range c {
+		if s.PredictFPS(c, i) < s.qos {
+			return false
+		}
+	}
+	return true
+}

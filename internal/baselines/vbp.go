@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"gaugur/internal/core"
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// VBP is the Vector Bin Packing policy of Section 2.2: each game is a solo
+// resource-demand vector, and a colocation is feasible when the summed
+// demand stays within capacity on every counted dimension. Following
+// Section 5.1, the cache dimensions (LLC, GPU-L2) are excluded — cache is
+// not meaningfully characterized by utilization — and the memory dimensions
+// are included as plain capacities. VBP sees no interference at all, which
+// is why it misjudges colocations in Figure 9.
+type VBP struct {
+	Profiles *profile.Set
+	// Capacity per shared resource; defaults to 1.0 everywhere.
+	Capacity sim.Vector
+	// CPUMemCap and GPUMemCap default to 1.0.
+	CPUMemCap, GPUMemCap float64
+}
+
+// NewVBP returns the policy with unit capacities.
+func NewVBP(profiles *profile.Set) *VBP {
+	var cap sim.Vector
+	for i := range cap {
+		cap[i] = 1
+	}
+	return &VBP{Profiles: profiles, Capacity: cap, CPUMemCap: 1, GPUMemCap: 1}
+}
+
+// countedResources are the VBP dimensions (everything but the caches).
+var countedResources = []sim.Resource{sim.CPUCE, sim.MemBW, sim.GPUCE, sim.GPUBW, sim.PCIeBW}
+
+// TotalDemand sums the members' solo demand vectors and memory demands.
+func (v *VBP) TotalDemand(c core.Colocation) (res sim.Vector, cpuMem, gpuMem float64) {
+	for _, w := range c {
+		p := v.Profiles.Get(w.GameID)
+		res = res.Add(p.Demand(w.Res))
+		cpuMem += p.CPUMem
+		gpuMem += p.GPUMem
+	}
+	return res, cpuMem, gpuMem
+}
+
+// Feasible applies the packing constraint on the counted dimensions.
+func (v *VBP) Feasible(c core.Colocation) bool {
+	res, cpuMem, gpuMem := v.TotalDemand(c)
+	for _, r := range countedResources {
+		if res[r] > v.Capacity[r] {
+			return false
+		}
+	}
+	return cpuMem <= v.CPUMemCap && gpuMem <= v.GPUMemCap
+}
+
+// RemainingCapacity returns the total slack across counted dimensions
+// after hosting c — the worst-fit dispatcher's server score (Section 5.2
+// measures remaining capacity over all shared resources except the
+// caches).
+func (v *VBP) RemainingCapacity(c core.Colocation) float64 {
+	res, _, _ := v.TotalDemand(c)
+	slack := 0.0
+	for _, r := range countedResources {
+		slack += v.Capacity[r] - res[r]
+	}
+	return slack
+}

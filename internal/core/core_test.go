@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gaugur/internal/ml"
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// testLab builds a small noise-controlled lab shared by the package tests.
+func testLab(t *testing.T) *Lab {
+	t.Helper()
+	cat := sim.NewCatalog(42)
+	srv := sim.NewServer(3)
+	pf := &profile.Profiler{Server: srv, Repeats: 2}
+	set, err := pf.ProfileCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewLab(srv, cat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab
+}
+
+func TestRandomColocationsPlan(t *testing.T) {
+	cat := sim.NewCatalog(42)
+	plan := ColocationPlan{Pairs: 30, Triples: 10, Quads: 5}
+	colocs := RandomColocations(cat, plan, 1)
+	if len(colocs) != 45 {
+		t.Fatalf("got %d colocations, want 45", len(colocs))
+	}
+	counts := map[int]int{}
+	for _, c := range colocs {
+		counts[c.Size()]++
+		// Distinct games within each colocation.
+		seen := map[int]bool{}
+		for _, w := range c {
+			if seen[w.GameID] {
+				t.Fatalf("duplicate game in colocation %v", c)
+			}
+			seen[w.GameID] = true
+		}
+		// Memory-feasible by construction.
+		var cpu, gpu float64
+		for _, w := range c {
+			cpu += cat.Games[w.GameID].CPUMem
+			gpu += cat.Games[w.GameID].GPUMem
+		}
+		if cpu > 1 || gpu > 1 {
+			t.Fatalf("memory-infeasible colocation generated: %v", c)
+		}
+	}
+	if counts[2] != 30 || counts[3] != 10 || counts[4] != 5 {
+		t.Errorf("size mix = %v", counts)
+	}
+	// Determinism.
+	again := RandomColocations(cat, plan, 1)
+	for i := range colocs {
+		if len(again[i]) != len(colocs[i]) || again[i][0] != colocs[i][0] {
+			t.Fatal("same seed must reproduce colocations")
+		}
+	}
+}
+
+func TestColocationWithWithout(t *testing.T) {
+	c := Colocation{{GameID: 1}, {GameID: 2}, {GameID: 3}}
+	w := c.Without(1)
+	if len(w) != 2 || w[0].GameID != 1 || w[1].GameID != 3 {
+		t.Errorf("Without = %v", w)
+	}
+	a := c.With(Workload{GameID: 9})
+	if len(a) != 4 || a[3].GameID != 9 || len(c) != 3 {
+		t.Errorf("With = %v (orig %v)", a, c)
+	}
+}
+
+func TestCollectSamplesShape(t *testing.T) {
+	lab := testLab(t)
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 20, Triples: 5, Quads: 5}, 7)
+	set := lab.CollectSamples(colocs, 60, profile.DefaultK)
+	wantSamples := 20*2 + 5*3 + 5*4
+	if set.Len() != wantSamples {
+		t.Fatalf("samples = %d, want %d", set.Len(), wantSamples)
+	}
+	for _, s := range set.Samples {
+		if s.RMY < 0 || s.RMY > 1 {
+			t.Errorf("degradation %v out of range", s.RMY)
+		}
+		if s.CMY != 0 && s.CMY != 1 {
+			t.Errorf("label %v not binary", s.CMY)
+		}
+		want := 0.0
+		if s.MeasuredFPS >= 60 {
+			want = 1
+		}
+		if s.CMY != want {
+			t.Errorf("label inconsistent with measured FPS")
+		}
+		if s.Size != s.Coloc.Size() {
+			t.Errorf("size field mismatch")
+		}
+	}
+	x, y := set.RMMatrices()
+	if len(x) != set.Len() || len(y) != set.Len() {
+		t.Error("RM matrices wrong shape")
+	}
+	cx, _ := set.CMMatrices()
+	if len(cx[0]) != len(x[0])+2 {
+		t.Errorf("CM width should be RM width + 2")
+	}
+	if h := set.Head(5); h.Len() != 5 || h.QoS != 60 {
+		t.Error("Head broken")
+	}
+}
+
+func TestCollectSamplesMetricMin(t *testing.T) {
+	lab := testLab(t)
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 25}, 9)
+	meanSet := lab.CollectSamplesMetric(colocs, 60, profile.DefaultK, MetricMean)
+	minSet := lab.CollectSamplesMetric(colocs, 60, profile.DefaultK, MetricMin)
+	if meanSet.Len() != minSet.Len() {
+		t.Fatal("metric must not change sample counts")
+	}
+	// Min labels can only be <= mean labels (same colocations, noise
+	// streams differ so compare degradation distributions loosely).
+	var meanAvg, minAvg float64
+	for i := range meanSet.Samples {
+		meanAvg += meanSet.Samples[i].RMY
+		minAvg += minSet.Samples[i].RMY
+	}
+	if minAvg >= meanAvg {
+		t.Errorf("min-metric degradations (avg %v) should be below mean-metric (avg %v)",
+			minAvg/float64(minSet.Len()), meanAvg/float64(meanSet.Len()))
+	}
+}
+
+func TestTrainAndPredictEndToEnd(t *testing.T) {
+	lab := testLab(t)
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 120, Triples: 30, Quads: 30}, 17)
+	train := lab.CollectSamples(colocs[:140], 60, profile.DefaultK)
+	test := lab.CollectSamples(colocs[140:], 60, profile.DefaultK)
+
+	p, err := Train(lab.Profiles, TrainConfig{Samples: train, Seed: 1, EncoderK: profile.DefaultK})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The trained RM must clearly beat the mean predictor.
+	mean := 0.0
+	for _, s := range train.Samples {
+		mean += s.RMY
+	}
+	mean /= float64(train.Len())
+	var errModel, errMean float64
+	for _, s := range test.Samples {
+		pred := p.PredictDegradation(s.Coloc, s.Index)
+		errModel += ml.RelativeError(pred, s.RMY)
+		errMean += ml.RelativeError(mean, s.RMY)
+	}
+	errModel /= float64(test.Len())
+	errMean /= float64(test.Len())
+	if errModel > errMean/1.5 {
+		t.Errorf("trained RM error %.3f should be well below mean-predictor %.3f", errModel, errMean)
+	}
+	if errModel > 0.35 {
+		t.Errorf("trained RM error %.3f unreasonably high", errModel)
+	}
+
+	// CM accuracy must beat the majority class.
+	pos := 0.0
+	for _, s := range test.Samples {
+		pos += s.CMY
+	}
+	majority := math.Max(pos, float64(test.Len())-pos) / float64(test.Len())
+	ok := 0
+	for _, s := range test.Samples {
+		got := p.SatisfiesQoS(s.Coloc, s.Index)
+		if got == (s.CMY == 1) {
+			ok++
+		}
+	}
+	acc := float64(ok) / float64(test.Len())
+	if acc < majority {
+		t.Errorf("CM accuracy %.3f below majority baseline %.3f", acc, majority)
+	}
+}
+
+func TestPredictorSingletonShortCircuits(t *testing.T) {
+	lab := testLab(t)
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 40}, 3)
+	train := lab.CollectSamples(colocs, 60, profile.DefaultK)
+	p, err := Train(lab.Profiles, TrainConfig{Samples: train, Seed: 1, EncoderK: profile.DefaultK, RMKind: DTR, CMKind: DTC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := Colocation{{GameID: 0, Res: sim.Res1080p}}
+	if got := p.PredictDegradation(single, 0); got != 1 {
+		t.Errorf("singleton degradation = %v, want 1", got)
+	}
+	solo := lab.Profiles.Get(0).SoloFPS(sim.Res1080p)
+	if got := p.PredictFPS(single, 0); math.Abs(got-solo) > 1e-9 {
+		t.Errorf("singleton FPS = %v, want %v", got, solo)
+	}
+	if p.SatisfiesQoS(single, 0) != (solo >= 60) {
+		t.Error("singleton QoS should compare solo FPS to floor")
+	}
+}
+
+func TestPredictorMemoryFits(t *testing.T) {
+	lab := testLab(t)
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 30}, 5)
+	train := lab.CollectSamples(colocs, 60, profile.DefaultK)
+	p, err := Train(lab.Profiles, TrainConfig{Samples: train, Seed: 1, EncoderK: profile.DefaultK, RMKind: DTR, CMKind: DTC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Colocation{{GameID: 0, Res: sim.Res1080p}, {GameID: 1, Res: sim.Res1080p}}
+	if !p.MemoryFits(c, 10, 10) {
+		t.Error("huge capacity should fit")
+	}
+	if p.MemoryFits(c, 0.01, 10) {
+		t.Error("tiny CPU memory should not fit")
+	}
+}
+
+func TestModelRegistry(t *testing.T) {
+	for _, k := range RegressorKinds() {
+		if _, err := NewRegressor(k, 1); err != nil {
+			t.Errorf("NewRegressor(%s): %v", k, err)
+		}
+	}
+	for _, k := range ClassifierKinds() {
+		if _, err := NewClassifier(k, 1); err != nil {
+			t.Errorf("NewClassifier(%s): %v", k, err)
+		}
+	}
+	if _, err := NewRegressor("nope", 1); err == nil {
+		t.Error("unknown regressor should fail")
+	}
+	if _, err := NewClassifier("nope", 1); err == nil {
+		t.Error("unknown classifier should fail")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	lab := testLab(t)
+	if _, err := Train(lab.Profiles, TrainConfig{}); err == nil {
+		t.Error("empty samples should fail")
+	}
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 5}, 2)
+	train := lab.CollectSamples(colocs, 60, profile.DefaultK)
+	if _, err := Train(lab.Profiles, TrainConfig{Samples: train, RMKind: "bogus"}); err == nil {
+		t.Error("bogus RM kind should fail")
+	}
+}
+
+func TestNewLabValidation(t *testing.T) {
+	cat := sim.NewCatalog(42)
+	srv := sim.NewServer(1)
+	empty := &profile.Set{ByID: map[int]*profile.GameProfile{}}
+	if _, err := NewLab(srv, cat, empty); err == nil {
+		t.Error("missing profiles should fail")
+	}
+}
+
+func TestLogRegressorClamps(t *testing.T) {
+	// The log wrapper must return values in [0,1] even when the inner
+	// model extrapolates wildly.
+	lr := logRegressor{inner: ml.NewRidge(0)}
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{0.9, 0.5, 0.1}
+	if err := lr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-100, 0, 1, 2, 100} {
+		d := lr.Predict([]float64{v})
+		if d < 0 || d > 1 {
+			t.Errorf("prediction %v out of [0,1] at x=%v", d, v)
+		}
+	}
+	// Zero labels must not blow up the log.
+	if err := lr.Fit(x, []float64{0, 0, 0}); err != nil {
+		t.Fatalf("zero labels: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gaugur/internal/features"
+	"gaugur/internal/ml"
+)
+
+// RegressorKind names a regression-model family from the paper (Fig. 7a).
+type RegressorKind string
+
+// The paper's four RM candidates. GBRT wins and becomes GAugur(RM).
+const (
+	DTR  RegressorKind = "DTR"
+	GBRT RegressorKind = "GBRT"
+	RF   RegressorKind = "RF"
+	SVR  RegressorKind = "SVR"
+)
+
+// RegressorKinds lists the candidates in the paper's plotting order.
+func RegressorKinds() []RegressorKind { return []RegressorKind{DTR, GBRT, RF, SVR} }
+
+// ClassifierKind names a classification-model family (Fig. 8a/8b).
+type ClassifierKind string
+
+// The paper's four CM candidates. GBDT wins and becomes GAugur(CM).
+const (
+	DTC  ClassifierKind = "DTC"
+	GBDT ClassifierKind = "GBDT"
+	RFC  ClassifierKind = "RF"
+	SVC  ClassifierKind = "SVC"
+)
+
+// ClassifierKinds lists the candidates in the paper's plotting order.
+func ClassifierKinds() []ClassifierKind { return []ClassifierKind{DTC, GBDT, RFC, SVC} }
+
+// logRegressor trains the wrapped model on log-degradation and
+// exponentiates predictions. Interference composes multiplicatively across
+// the seven shared resources, so the log turns the target into the additive
+// structure tree ensembles and kernel machines approximate best; outputs
+// remain plain degradation ratios in [0,1].
+type logRegressor struct {
+	inner ml.Regressor
+}
+
+// logFloor keeps log() finite for fully collapsed frame rates.
+const logFloor = 1e-3
+
+// Fit log-transforms the targets and fits the wrapped model.
+func (l logRegressor) Fit(x [][]float64, y []float64) error {
+	ly := make([]float64, len(y))
+	for i, v := range y {
+		if v < logFloor {
+			v = logFloor
+		}
+		ly[i] = math.Log(v)
+	}
+	return l.inner.Fit(x, ly)
+}
+
+// Predict exponentiates the wrapped prediction and clamps to [0,1].
+func (l logRegressor) Predict(x []float64) float64 {
+	d := math.Exp(l.inner.Predict(x))
+	if d > 1 {
+		return 1
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// NewRegressor builds a fresh, unfitted regressor of the given kind with
+// the hyperparameters used throughout the reproduction. All kinds share the
+// log-degradation target transform.
+func NewRegressor(kind RegressorKind, seed int64) (ml.Regressor, error) {
+	switch kind {
+	case DTR:
+		return logRegressor{ml.NewTreeRegressor(ml.TreeConfig{MaxDepth: 10, MinSamplesLeaf: 5})}, nil
+	case GBRT:
+		return logRegressor{ml.NewGBRT(ml.GBMConfig{NumTrees: 500, LearningRate: 0.05, MaxDepth: 5, MinSamplesLeaf: 3, Subsample: 0.6, Seed: seed})}, nil
+	case RF:
+		return logRegressor{ml.NewForestRegressor(ml.ForestConfig{NumTrees: 200, Tree: ml.TreeConfig{MaxDepth: 16, MinSamplesLeaf: 2, MaxFeatures: 30}, Seed: seed})}, nil
+	case SVR:
+		// libsvm-style defaults (C=1, epsilon=0.1, gamma=1/d), matching
+		// how the paper's untuned SVR lands last among the four.
+		return logRegressor{ml.NewSVR(ml.SVMConfig{C: 1, Epsilon: 0.1, MaxIter: 60, Seed: seed})}, nil
+	}
+	return nil, fmt.Errorf("core: unknown regressor kind %q", kind)
+}
+
+// NewClassifier builds a fresh, unfitted classifier of the given kind.
+func NewClassifier(kind ClassifierKind, seed int64) (ml.Classifier, error) {
+	switch kind {
+	case DTC:
+		return ml.NewTreeClassifier(ml.TreeConfig{MaxDepth: 10, MinSamplesLeaf: 5}), nil
+	case GBDT:
+		return ml.NewGBDT(ml.GBMConfig{NumTrees: 500, LearningRate: 0.05, MaxDepth: 5, MinSamplesLeaf: 3, Subsample: 0.6, Seed: seed}), nil
+	case RFC:
+		return ml.NewForestClassifier(ml.ForestConfig{NumTrees: 200, Tree: ml.TreeConfig{MaxDepth: 16, MinSamplesLeaf: 2, MaxFeatures: 30}, Seed: seed}), nil
+	case SVC:
+		return ml.NewSVC(ml.SVMConfig{C: 4, MaxPasses: 4, MaxIter: 80, Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("core: unknown classifier kind %q", kind)
+}
+
+// newEncoder centralizes encoder construction so sample collection and
+// prediction always agree on the layout.
+func newEncoder(k int) features.Encoder { return features.NewEncoder(k) }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"gaugur/internal/ml"
+	"gaugur/internal/profile"
+)
+
+// predictorState is the on-disk layout of a trained predictor. The inner
+// (unwrapped) models are gob-encoded behind their interfaces; profiles are
+// stored separately (profile.SaveSet) because one profile set serves many
+// predictors.
+type predictorState struct {
+	Version  int
+	QoS      float64
+	EncoderK int
+	RM       []byte
+	CM       []byte
+}
+
+const predictorVersion = 1
+
+// Save serializes the trained models and prediction configuration.
+func (p *Predictor) Save(w io.Writer) error {
+	inner := p.RM
+	if lr, ok := p.RM.(logRegressor); ok {
+		inner = lr.inner
+	}
+	var rmBuf bytes.Buffer
+	if err := gob.NewEncoder(&rmBuf).Encode(&inner); err != nil {
+		return fmt.Errorf("core: encoding RM: %w", err)
+	}
+	cm := p.CM
+	var cmBuf bytes.Buffer
+	if err := gob.NewEncoder(&cmBuf).Encode(&cm); err != nil {
+		return fmt.Errorf("core: encoding CM: %w", err)
+	}
+	return gob.NewEncoder(w).Encode(predictorState{
+		Version:  predictorVersion,
+		QoS:      p.QoS,
+		EncoderK: p.Enc.K,
+		RM:       rmBuf.Bytes(),
+		CM:       cmBuf.Bytes(),
+	})
+}
+
+// LoadPredictor reconstructs a predictor saved with Save, binding it to the
+// supplied profile set.
+func LoadPredictor(r io.Reader, profiles *profile.Set) (*Predictor, error) {
+	var st predictorState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	if st.Version != predictorVersion {
+		return nil, fmt.Errorf("core: predictor version %d unsupported", st.Version)
+	}
+	var rmInner ml.Regressor
+	if err := gob.NewDecoder(bytes.NewReader(st.RM)).Decode(&rmInner); err != nil {
+		return nil, fmt.Errorf("core: decoding RM: %w", err)
+	}
+	var cm ml.Classifier
+	if err := gob.NewDecoder(bytes.NewReader(st.CM)).Decode(&cm); err != nil {
+		return nil, fmt.Errorf("core: decoding CM: %w", err)
+	}
+	return &Predictor{
+		Profiles: profiles,
+		Enc:      newEncoder(st.EncoderK),
+		RM:       logRegressor{inner: rmInner},
+		CM:       cm,
+		QoS:      st.QoS,
+	}, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	lab := testLab(t)
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 60, Triples: 15, Quads: 15}, 8)
+	train := lab.CollectSamples(colocs, 60, profile.DefaultK)
+	p, err := Train(lab.Profiles, TrainConfig{Samples: train, Seed: 2, EncoderK: profile.DefaultK})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(&buf, lab.Profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.QoS != p.QoS || back.Enc.K != p.Enc.K {
+		t.Error("metadata lost in round trip")
+	}
+
+	probe := Colocation{
+		{GameID: 0, Res: sim.Res1080p},
+		{GameID: 1, Res: sim.Res900p},
+		{GameID: 2, Res: sim.Res720p},
+	}
+	for i := range probe {
+		if a, b := p.PredictDegradation(probe, i), back.PredictDegradation(probe, i); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("RM prediction changed after round trip: %v vs %v", a, b)
+		}
+		if p.SatisfiesQoS(probe, i) != back.SatisfiesQoS(probe, i) {
+			t.Fatal("CM prediction changed after round trip")
+		}
+	}
+}
+
+func TestProfileSetSaveLoadRoundTrip(t *testing.T) {
+	lab := testLab(t)
+	var buf bytes.Buffer
+	if err := profile.SaveSet(&buf, lab.Profiles); err != nil {
+		t.Fatal(err)
+	}
+	back, err := profile.LoadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != lab.Profiles.Len() {
+		t.Fatalf("loaded %d profiles, want %d", back.Len(), lab.Profiles.Len())
+	}
+	for _, orig := range lab.Profiles.Order {
+		got := back.Get(orig.GameID)
+		if got == nil {
+			t.Fatalf("game %d missing after round trip", orig.GameID)
+		}
+		if got.Name != orig.Name || got.K != orig.K {
+			t.Error("metadata lost")
+		}
+		for r := 0; r < sim.NumResources; r++ {
+			for i := range orig.Sensitivity[r] {
+				if got.Sensitivity[r][i] != orig.Sensitivity[r][i] {
+					t.Fatal("sensitivity curves changed")
+				}
+			}
+		}
+		if got.IntensityBase != orig.IntensityBase {
+			t.Fatal("intensity changed")
+		}
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	lab := testLab(t)
+	if _, err := LoadPredictor(bytes.NewReader([]byte("junk")), lab.Profiles); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestLoadSetRejectsGarbage(t *testing.T) {
+	if _, err := profile.LoadSet(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("garbage should fail")
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gaugur/internal/features"
+	"gaugur/internal/ml"
+	"gaugur/internal/profile"
+)
+
+// Predictor is the online face of GAugur: given trained CM and RM models
+// and the profile set, it answers interference queries for arbitrary
+// colocations instantaneously (Section 3.5, "online prediction").
+type Predictor struct {
+	Profiles *profile.Set
+	Enc      features.Encoder
+
+	// RM quantifies degradation (Equation 4); CM answers the QoS
+	// question directly (Equation 3). Either may be nil if only one
+	// query type is needed.
+	RM ml.Regressor
+	CM ml.Classifier
+
+	// QoS is the frame-rate floor the CM was trained against.
+	QoS float64
+}
+
+// TrainConfig bundles everything Train needs to build a working predictor.
+type TrainConfig struct {
+	// Samples is the training data from measured colocations.
+	Samples *SampleSet
+	// RMKind and CMKind select the model families; empty values default
+	// to the paper's winners (GBRT and GBDT).
+	RMKind RegressorKind
+	CMKind ClassifierKind
+	// Seed drives any stochastic training.
+	Seed int64
+	// EncoderK is the profile pressure granularity.
+	EncoderK int
+}
+
+// Train fits both models on the sample set and returns a ready predictor.
+func Train(profiles *profile.Set, cfg TrainConfig) (*Predictor, error) {
+	if cfg.Samples == nil || cfg.Samples.Len() == 0 {
+		return nil, errors.New("core: no training samples")
+	}
+	if cfg.RMKind == "" {
+		cfg.RMKind = GBRT
+	}
+	if cfg.CMKind == "" {
+		cfg.CMKind = GBDT
+	}
+	rm, err := NewRegressor(cfg.RMKind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := NewClassifier(cfg.CMKind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rx, ry := cfg.Samples.RMMatrices()
+	if err := rm.Fit(rx, ry); err != nil {
+		return nil, fmt.Errorf("core: fitting %s: %w", cfg.RMKind, err)
+	}
+	cx, cy := cfg.Samples.CMMatrices()
+	if err := cm.Fit(cx, cy); err != nil {
+		return nil, fmt.Errorf("core: fitting %s: %w", cfg.CMKind, err)
+	}
+	return &Predictor{
+		Profiles: profiles,
+		Enc:      newEncoder(cfg.EncoderK),
+		RM:       rm,
+		CM:       cm,
+		QoS:      cfg.Samples.QoS,
+	}, nil
+}
+
+// members resolves a colocation against the profile set.
+func (p *Predictor) members(c Colocation) []features.Member {
+	out := make([]features.Member, len(c))
+	for i, w := range c {
+		out[i] = features.NewMember(p.Profiles.Get(w.GameID), w.Res)
+	}
+	return out
+}
+
+// PredictDegradation returns the RM's predicted degradation ratio
+// (retained FPS fraction, in [0,1]) for the target workload at index idx
+// within the colocation. A game running alone suffers no interference by
+// definition, so singletons short-circuit to 1 — the models are only ever
+// trained on real colocations.
+func (p *Predictor) PredictDegradation(c Colocation, idx int) float64 {
+	if len(c) == 1 {
+		return 1
+	}
+	m := p.members(c)
+	target := m[idx]
+	others := append(m[:idx:idx], m[idx+1:]...)
+	d := p.RM.Predict(p.Enc.RM(target, others))
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// PredictFPS converts the RM degradation prediction into a frame rate
+// using the Equation (2) solo estimate.
+func (p *Predictor) PredictFPS(c Colocation, idx int) float64 {
+	solo := p.Profiles.Get(c[idx].GameID).SoloFPS(c[idx].Res)
+	return solo * p.PredictDegradation(c, idx)
+}
+
+// SatisfiesQoS answers Equation (3) for the target workload via the CM.
+// Singletons compare the known solo frame rate against the floor directly.
+func (p *Predictor) SatisfiesQoS(c Colocation, idx int) bool {
+	if len(c) == 1 {
+		return p.Profiles.Get(c[idx].GameID).SoloFPS(c[idx].Res) >= p.QoS
+	}
+	m := p.members(c)
+	target := m[idx]
+	others := append(m[:idx:idx], m[idx+1:]...)
+	return p.CM.PredictClass(p.Enc.CM(p.QoS, target, others)) == 1
+}
+
+// FeasibleCM reports whether the CM judges EVERY game in the colocation to
+// satisfy the QoS floor — the feasibility test of Section 5.1.
+func (p *Predictor) FeasibleCM(c Colocation) bool {
+	for i := range c {
+		if !p.SatisfiesQoS(c, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// FeasibleRM applies the RM for classification: predict each game's frame
+// rate and compare against the QoS floor (how the paper applies regression
+// models to the feasibility question).
+func (p *Predictor) FeasibleRM(c Colocation) bool {
+	for i := range c {
+		if p.PredictFPS(c, i) < p.QoS {
+			return false
+		}
+	}
+	return true
+}
+
+// PredictAverageFPS returns the mean predicted frame rate across the
+// colocation — the objective the Section 5.2 dispatcher maximizes.
+func (p *Predictor) PredictAverageFPS(c Colocation) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range c {
+		s += p.PredictFPS(c, i)
+	}
+	return s / float64(len(c))
+}
+
+// MemoryFits applies the Section 3.2 memory admission rule from profiles
+// (memory is not interference-predicted, just capacity-checked).
+func (p *Predictor) MemoryFits(c Colocation, cpuCap, gpuCap float64) bool {
+	var cpu, gpu float64
+	for _, w := range c {
+		prof := p.Profiles.Get(w.GameID)
+		cpu += prof.CPUMem
+		gpu += prof.GPUMem
+	}
+	return cpu <= cpuCap && gpu <= gpuCap
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"gaugur/internal/baselines"
+	"gaugur/internal/core"
+	"gaugur/internal/ml"
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// Config fixes the experimental setup. DefaultConfig reproduces the paper's
+// Section 4/5 scale; QuickConfig shrinks everything for tests.
+type Config struct {
+	CatalogSeed int64
+	ServerSeed  int64
+	ColocSeed   int64
+	// Plan is the measured-colocation mix (paper: 500/100/100).
+	Plan core.ColocationPlan
+	// TrainColocations is how many measured colocations feed training
+	// (paper: 400; the rest are the test set).
+	TrainColocations int
+	// QoSHigh and QoSLow are the two studied frame-rate floors.
+	QoSHigh, QoSLow float64
+	// SampleSizes is the Figure 7a/8a training-set sweep.
+	SampleSizes []int
+	// TenGameSeed selects the Section 5 study games.
+	TenGameSeed int64
+	// Requests is the Section 5 gaming-request count.
+	Requests int
+	// FleetSizes is the Figure 10a server sweep.
+	FleetSizes []int
+}
+
+// DefaultConfig mirrors the paper's experimental scale.
+func DefaultConfig() Config {
+	return Config{
+		CatalogSeed:      42,
+		ServerSeed:       7,
+		ColocSeed:        99,
+		Plan:             core.PaperPlan,
+		TrainColocations: 400,
+		QoSHigh:          60,
+		QoSLow:           50,
+		SampleSizes:      []int{400, 600, 800, 1000},
+		TenGameSeed:      57,
+		Requests:         5000,
+		FleetSizes:       []int{1500, 2000, 2500, 3000},
+	}
+}
+
+// QuickConfig is a shrunken setup for unit and smoke tests.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Plan = core.ColocationPlan{Pairs: 120, Triples: 40, Quads: 40}
+	cfg.TrainColocations = 120
+	cfg.SampleSizes = []int{150, 300}
+	cfg.Requests = 400
+	cfg.FleetSizes = []int{150, 200}
+	return cfg
+}
+
+// Env lazily builds and caches the expensive shared artifacts: profiles,
+// measured colocations, labeled samples, fitted models, and baselines.
+// All caches are guarded so figure drivers can run concurrently.
+type Env struct {
+	Cfg      Config
+	Catalog  *sim.Catalog
+	Server   *sim.Server
+	Profiles *profile.Set
+	Lab      *core.Lab
+
+	mu          sync.Mutex
+	train, test []core.Colocation
+	samples     map[float64][2]*core.SampleSet // qos -> {train, test}
+	regressors  map[string]ml.Regressor        // kind/n -> fitted
+	classifiers map[string]ml.Classifier       // kind/qos/n -> fitted
+	predictors  map[float64]*core.Predictor    // qos -> full GAugur
+	sigmoids    map[float64]*baselines.Sigmoid
+	smites      map[float64]*baselines.SMiTe
+	vbp         *baselines.VBP
+	tenIDs      []int
+}
+
+// New profiles the catalog and prepares the lazy environment.
+func New(cfg Config) (*Env, error) {
+	catalog := sim.NewCatalog(cfg.CatalogSeed)
+	server := sim.NewServer(cfg.ServerSeed)
+	profiler := &profile.Profiler{Server: server}
+	set, err := profiler.ProfileCatalog(catalog)
+	if err != nil {
+		return nil, err
+	}
+	lab, err := core.NewLab(server, catalog, set)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Cfg:         cfg,
+		Catalog:     catalog,
+		Server:      server,
+		Profiles:    set,
+		Lab:         lab,
+		samples:     map[float64][2]*core.SampleSet{},
+		regressors:  map[string]ml.Regressor{},
+		classifiers: map[string]ml.Classifier{},
+		predictors:  map[float64]*core.Predictor{},
+		sigmoids:    map[float64]*baselines.Sigmoid{},
+		smites:      map[float64]*baselines.SMiTe{},
+	}, nil
+}
+
+// Colocations returns the (train, test) measured-colocation split.
+func (e *Env) Colocations() ([]core.Colocation, []core.Colocation) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.colocationsLocked()
+}
+
+func (e *Env) colocationsLocked() ([]core.Colocation, []core.Colocation) {
+	if e.train == nil {
+		all := core.RandomColocations(e.Catalog, e.Cfg.Plan, e.Cfg.ColocSeed)
+		n := e.Cfg.TrainColocations
+		if n > len(all) {
+			n = len(all)
+		}
+		e.train, e.test = all[:n], all[n:]
+	}
+	return e.train, e.test
+}
+
+// Samples returns the labeled (train, test) sample sets for the QoS floor.
+func (e *Env) Samples(qos float64) (*core.SampleSet, *core.SampleSet) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.samplesLocked(qos)
+}
+
+func (e *Env) samplesLocked(qos float64) (*core.SampleSet, *core.SampleSet) {
+	if s, ok := e.samples[qos]; ok {
+		return s[0], s[1]
+	}
+	train, test := e.colocationsLocked()
+	ts := e.Lab.CollectSamples(train, qos, profile.DefaultK)
+	vs := e.Lab.CollectSamples(test, qos, profile.DefaultK)
+	e.samples[qos] = [2]*core.SampleSet{ts, vs}
+	return ts, vs
+}
+
+// FittedRegressor returns (cached) the kind fitted on the first n training
+// samples. n <= 0 means all.
+func (e *Env) FittedRegressor(kind core.RegressorKind, n int) (ml.Regressor, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := fmt.Sprintf("%s/%d", kind, n)
+	if r, ok := e.regressors[key]; ok {
+		return r, nil
+	}
+	trainSet, _ := e.samplesLocked(e.Cfg.QoSHigh)
+	if n <= 0 {
+		n = trainSet.Len()
+	}
+	r, err := core.NewRegressor(kind, 1)
+	if err != nil {
+		return nil, err
+	}
+	x, y := trainSet.Head(n).RMMatrices()
+	if err := r.Fit(x, y); err != nil {
+		return nil, err
+	}
+	e.regressors[key] = r
+	return r, nil
+}
+
+// FittedClassifier returns (cached) the kind fitted on the first n training
+// samples labeled at the given QoS. n <= 0 means all.
+func (e *Env) FittedClassifier(kind core.ClassifierKind, qos float64, n int) (ml.Classifier, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := fmt.Sprintf("%s/%g/%d", kind, qos, n)
+	if c, ok := e.classifiers[key]; ok {
+		return c, nil
+	}
+	trainSet, _ := e.samplesLocked(qos)
+	if n <= 0 {
+		n = trainSet.Len()
+	}
+	c, err := core.NewClassifier(kind, 1)
+	if err != nil {
+		return nil, err
+	}
+	x, y := trainSet.Head(n).CMMatrices()
+	if err := c.Fit(x, y); err != nil {
+		return nil, err
+	}
+	e.classifiers[key] = c
+	return c, nil
+}
+
+// GAugur returns the full predictor (GBRT RM + GBDT CM, all training
+// samples) for the QoS floor.
+func (e *Env) GAugur(qos float64) (*core.Predictor, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.predictors[qos]; ok {
+		return p, nil
+	}
+	trainSet, _ := e.samplesLocked(qos)
+	p, err := core.Train(e.Profiles, core.TrainConfig{
+		Samples:  trainSet,
+		RMKind:   core.GBRT,
+		CMKind:   core.GBDT,
+		Seed:     1,
+		EncoderK: profile.DefaultK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.predictors[qos] = p
+	return p, nil
+}
+
+// Sigmoid returns the fitted Sigmoid baseline for the QoS floor.
+func (e *Env) Sigmoid(qos float64) (*baselines.Sigmoid, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.sigmoids[qos]; ok {
+		return s, nil
+	}
+	train, _ := e.colocationsLocked()
+	s := baselines.NewSigmoid(e.Profiles, qos)
+	if err := s.Fit(e.Lab, train); err != nil {
+		return nil, err
+	}
+	e.sigmoids[qos] = s
+	return s, nil
+}
+
+// SMiTe returns the fitted SMiTe baseline for the QoS floor.
+func (e *Env) SMiTe(qos float64) (*baselines.SMiTe, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.smites[qos]; ok {
+		return s, nil
+	}
+	train, _ := e.colocationsLocked()
+	s := baselines.NewSMiTe(e.Profiles, qos)
+	if err := s.Fit(e.Lab, train); err != nil {
+		return nil, err
+	}
+	e.smites[qos] = s
+	return s, nil
+}
+
+// VBP returns the Vector Bin Packing policy.
+func (e *Env) VBP() *baselines.VBP {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.vbp == nil {
+		e.vbp = baselines.NewVBP(e.Profiles)
+	}
+	return e.vbp
+}
+
+// TenGames returns the Section 5 study set: ten seeded-random games whose
+// solo frame rate at the reference resolution clears the high QoS floor
+// (a game that violates QoS alone can never be packed at all).
+func (e *Env) TenGames() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tenIDs != nil {
+		return e.tenIDs
+	}
+	rng := rand.New(rand.NewSource(e.Cfg.TenGameSeed))
+	var eligible []int
+	for _, g := range e.Catalog.Games {
+		if g.SoloFPS(core.ReferenceResolution) >= e.Cfg.QoSHigh+20 {
+			eligible = append(eligible, g.ID)
+		}
+	}
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	if len(eligible) > 10 {
+		eligible = eligible[:10]
+	}
+	sort.Ints(eligible)
+	e.tenIDs = eligible
+	return e.tenIDs
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickEnv is shared by every driver test in this package; building it once
+// keeps the suite fast while still exercising the full pipeline.
+var sharedEnv *Env
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	if sharedEnv == nil {
+		e, err := New(QuickConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedEnv = e
+	}
+	return sharedEnv
+}
+
+func runFig(t *testing.T, id string) *Table {
+	t.Helper()
+	r, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("figure %q not registered", id)
+	}
+	tab, err := r(env(t))
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tab.ID != id {
+		t.Errorf("table ID %q, want %q", tab.ID, id)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Errorf("%s row %d has %d cells, want %d", id, i, len(row), len(tab.Columns))
+		}
+	}
+	return tab
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure in the paper's evaluation must lead the registry, in
+	// the paper's order; extensions and ablations follow.
+	want := []string{
+		"fig1", "fig2", "fig4", "fig5", "fig6",
+		"fig7a", "fig7b", "fig7c",
+		"fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig9c",
+		"fig10a", "fig10b", "overhead",
+	}
+	got := IDs()
+	if len(got) < len(want) {
+		t.Fatalf("registry has %d entries, want at least %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown figure should not resolve")
+	}
+	if len(SortedIDs()) != len(got) {
+		t.Error("SortedIDs length mismatch")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	tab := runFig(t, "fig1")
+	if len(tab.Rows) != 6 {
+		t.Errorf("fig1 has %d pairs, want 6", len(tab.Rows))
+	}
+}
+
+func TestFig2(t *testing.T) {
+	tab := runFig(t, "fig2")
+	if len(tab.Rows) != 100 {
+		t.Errorf("fig2 has %d games, want 100", len(tab.Rows))
+	}
+}
+
+func TestFig4And5(t *testing.T) {
+	tab := runFig(t, "fig4")
+	if len(tab.Rows) != 6*7 {
+		t.Errorf("fig4 has %d rows, want 42", len(tab.Rows))
+	}
+	tab5 := runFig(t, "fig5")
+	if len(tab5.Rows) != 6 {
+		t.Errorf("fig5 has %d rows, want 6", len(tab5.Rows))
+	}
+}
+
+func TestFig6ShowsNonAdditivity(t *testing.T) {
+	tab := runFig(t, "fig6")
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fig6 has %d rows, want 7", len(tab.Rows))
+	}
+	// At least one resource must deviate visibly from additivity.
+	deviates := false
+	for _, row := range tab.Rows {
+		ratio := row[3]
+		if ratio != "1.00" && ratio != "0.00" {
+			deviates = true
+		}
+	}
+	if !deviates {
+		t.Error("fig6 shows no non-additivity at all")
+	}
+}
+
+func TestFig7Suite(t *testing.T) {
+	tab := runFig(t, "fig7a")
+	if len(tab.Rows) != 4 {
+		t.Errorf("fig7a should have 4 algorithms, got %d", len(tab.Rows))
+	}
+	tab = runFig(t, "fig7b")
+	if len(tab.Rows) != 3 {
+		t.Errorf("fig7b should have 3 methodologies, got %d", len(tab.Rows))
+	}
+	// GAugur must beat both baselines overall (column 1).
+	var gaugur, sigmoid, smite string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "GAugur(RM)":
+			gaugur = row[1]
+		case "Sigmoid":
+			sigmoid = row[1]
+		case "SMiTe":
+			smite = row[1]
+		}
+	}
+	if !(gaugur < sigmoid && gaugur < smite) { // fixed-width decimals compare lexically
+		t.Errorf("GAugur (%s) should beat Sigmoid (%s) and SMiTe (%s)", gaugur, sigmoid, smite)
+	}
+	tab = runFig(t, "fig7c")
+	if len(tab.Rows) != 10 {
+		t.Errorf("fig7c should have 10 percentile rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestFig8Suite(t *testing.T) {
+	for _, id := range []string{"fig8a", "fig8b"} {
+		tab := runFig(t, id)
+		if len(tab.Rows) != 4 {
+			t.Errorf("%s should have 4 algorithms, got %d", id, len(tab.Rows))
+		}
+	}
+	tab := runFig(t, "fig8c")
+	if len(tab.Rows) != 4 {
+		t.Errorf("fig8c should have 4 methodologies, got %d", len(tab.Rows))
+	}
+}
+
+func TestFig9Suite(t *testing.T) {
+	tab := runFig(t, "fig9a")
+	if len(tab.Rows) != 5 {
+		t.Errorf("fig9a should have 5 methodologies, got %d", len(tab.Rows))
+	}
+	runFig(t, "fig9b")
+	runFig(t, "fig9c")
+}
+
+func TestFig10Suite(t *testing.T) {
+	runFig(t, "fig10a")
+	tab := runFig(t, "fig10b")
+	if len(tab.Rows) != 10 {
+		t.Errorf("fig10b should have 10 percentile rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	tab := runFig(t, "overhead")
+	if len(tab.Rows) < 4 {
+		t.Errorf("overhead should report at least 4 stages, got %d", len(tab.Rows))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "--", "1", "2", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAndRenderUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAndRender(env(t), "bogus", &buf); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestTenGamesStable(t *testing.T) {
+	e := env(t)
+	a := e.TenGames()
+	b := e.TenGames()
+	if len(a) != 10 {
+		t.Fatalf("TenGames returned %d games", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TenGames must be stable")
+		}
+	}
+}

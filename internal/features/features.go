@@ -1,0 +1,108 @@
+// Package features builds the fixed-width model input vectors of Section
+// 3.4: the target game's flattened sensitivity curves plus the Equation (5)
+// aggregate-intensity transform of its colocated partners — |G| and the
+// per-resource (mean, var) of their intensity vectors. The transform is
+// what lets one model handle colocations of any size.
+package features
+
+import (
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+	"gaugur/internal/stats"
+)
+
+// Member is one colocated game at its player-chosen resolution.
+type Member struct {
+	Profile *profile.GameProfile
+	Res     sim.Resolution
+}
+
+// NewMember pairs a profile with a resolution.
+func NewMember(p *profile.GameProfile, res sim.Resolution) Member {
+	return Member{Profile: p, Res: res}
+}
+
+// Intensity returns the member's per-resource intensity at its resolution.
+func (m Member) Intensity() sim.Vector { return m.Profile.Intensity(m.Res) }
+
+// Aggregate is the Equation (5) representation of a partner set G:
+// [ |G|, (mean_1, var_1), ..., (mean_R, var_R) ], 2R+1 numbers.
+type Aggregate struct {
+	Count int
+	Mean  sim.Vector
+	Var   sim.Vector
+}
+
+// AggregateIntensity computes the Equation (5) transform over the members'
+// intensity vectors. Note the paper's var is (1/|G|)*sqrt(sum squares), not
+// the usual variance; we follow the paper.
+func AggregateIntensity(members []Member) Aggregate {
+	agg := Aggregate{Count: len(members)}
+	if len(members) == 0 {
+		return agg
+	}
+	cols := make([]float64, len(members))
+	for r := 0; r < sim.NumResources; r++ {
+		for i, m := range members {
+			cols[i] = m.Intensity()[r]
+		}
+		agg.Mean[r] = stats.Mean(cols)
+		agg.Var[r] = stats.PaperVar(cols)
+	}
+	return agg
+}
+
+// AggregateWidth is the number of scalars in the Equation (5) block.
+const AggregateWidth = 2*sim.NumResources + 1
+
+// append writes the aggregate block to dst.
+func (a Aggregate) append(dst []float64) []float64 {
+	dst = append(dst, float64(a.Count))
+	for r := 0; r < sim.NumResources; r++ {
+		dst = append(dst, a.Mean[r], a.Var[r])
+	}
+	return dst
+}
+
+// Encoder fixes the feature layout. K must match the profiler's pressure
+// granularity so curve widths line up.
+type Encoder struct {
+	K int
+}
+
+// NewEncoder returns an encoder for profiles sampled at granularity k.
+func NewEncoder(k int) Encoder {
+	if k <= 0 {
+		k = profile.DefaultK
+	}
+	return Encoder{K: k}
+}
+
+// curveWidth is the flattened sensitivity block size R*(K+1).
+func (e Encoder) curveWidth() int { return sim.NumResources * (e.K + 1) }
+
+// RMWidth returns the regression-model input width.
+func (e Encoder) RMWidth() int { return e.curveWidth() + AggregateWidth }
+
+// CMWidth returns the classification-model input width: RM features plus
+// the QoS requirement Q and the target's solo frame rate (Equation 3).
+func (e Encoder) CMWidth() int { return e.RMWidth() + 2 }
+
+// RM builds the regression input for target colocated with others
+// (Equation 4): [ S^A | Eq5(others) ].
+func (e Encoder) RM(target Member, others []Member) []float64 {
+	out := make([]float64, 0, e.RMWidth())
+	out = target.Profile.FlatSensitivity(out)
+	out = AggregateIntensity(others).append(out)
+	return out
+}
+
+// CM builds the classification input (Equation 3):
+// [ Q | F_solo | S^A | Eq5(others) ].
+func (e Encoder) CM(qos float64, target Member, others []Member) []float64 {
+	out := make([]float64, 0, e.CMWidth())
+	out = append(out, qos, target.Profile.SoloFPS(target.Res))
+	out = target.Profile.FlatSensitivity(out)
+	out = AggregateIntensity(others).append(out)
+	return out
+}

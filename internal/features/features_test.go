@@ -1,0 +1,168 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// testProfiles builds a small profiled catalog for feature tests.
+func testProfiles(t *testing.T) (*sim.Catalog, *profile.Set) {
+	t.Helper()
+	cat := sim.NewCatalog(42)
+	srv := sim.NewServer(1)
+	srv.SetNoise(0)
+	pf := &profile.Profiler{Server: srv, Repeats: 1}
+	set, err := pf.ProfileCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, set
+}
+
+func membersOf(set *profile.Set, ids []int, res sim.Resolution) []Member {
+	out := make([]Member, len(ids))
+	for i, id := range ids {
+		out[i] = NewMember(set.Get(id), res)
+	}
+	return out
+}
+
+func TestEncoderWidths(t *testing.T) {
+	_, set := testProfiles(t)
+	enc := NewEncoder(profile.DefaultK)
+	target := NewMember(set.Get(0), sim.Res1080p)
+	others := membersOf(set, []int{1, 2}, sim.Res1080p)
+
+	rm := enc.RM(target, others)
+	if len(rm) != enc.RMWidth() {
+		t.Errorf("RM width %d, want %d", len(rm), enc.RMWidth())
+	}
+	cm := enc.CM(60, target, others)
+	if len(cm) != enc.CMWidth() {
+		t.Errorf("CM width %d, want %d", len(cm), enc.CMWidth())
+	}
+	// Widths follow the paper's formulas: R*(K+1) curves + 2R+1
+	// aggregate (+2 for CM).
+	wantRM := sim.NumResources*(profile.DefaultK+1) + 2*sim.NumResources + 1
+	if enc.RMWidth() != wantRM {
+		t.Errorf("RMWidth = %d, want %d", enc.RMWidth(), wantRM)
+	}
+	if enc.CMWidth() != wantRM+2 {
+		t.Errorf("CMWidth = %d, want %d", enc.CMWidth(), wantRM+2)
+	}
+}
+
+func TestCMFeatureHeader(t *testing.T) {
+	_, set := testProfiles(t)
+	enc := NewEncoder(profile.DefaultK)
+	target := NewMember(set.Get(3), sim.Res1080p)
+	cm := enc.CM(72.5, target, membersOf(set, []int{4}, sim.Res1080p))
+	if cm[0] != 72.5 {
+		t.Errorf("CM[0] should be the QoS, got %v", cm[0])
+	}
+	if math.Abs(cm[1]-target.Profile.SoloFPS(sim.Res1080p)) > 1e-9 {
+		t.Errorf("CM[1] should be the solo FPS, got %v", cm[1])
+	}
+}
+
+// Equation (5) must be permutation invariant: the model cannot depend on
+// the order partners are listed.
+func TestAggregatePermutationInvariance(t *testing.T) {
+	_, set := testProfiles(t)
+	resAll := sim.StandardResolutions()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		members := make([]Member, n)
+		for i := range members {
+			members[i] = NewMember(set.Get(rng.Intn(set.Len())), resAll[rng.Intn(len(resAll))])
+		}
+		a := AggregateIntensity(members)
+		shuffled := append([]Member(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := AggregateIntensity(shuffled)
+		if a.Count != b.Count {
+			return false
+		}
+		for r := 0; r < sim.NumResources; r++ {
+			if math.Abs(a.Mean[r]-b.Mean[r]) > 1e-9 || math.Abs(a.Var[r]-b.Var[r]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateSingleMemberHasZeroVariance(t *testing.T) {
+	_, set := testProfiles(t)
+	m := NewMember(set.Get(5), sim.Res1080p)
+	agg := AggregateIntensity([]Member{m})
+	if agg.Count != 1 {
+		t.Errorf("Count = %d", agg.Count)
+	}
+	iv := m.Intensity()
+	for r := 0; r < sim.NumResources; r++ {
+		if math.Abs(agg.Mean[r]-iv[r]) > 1e-12 {
+			t.Errorf("Mean[%d] = %v, want %v", r, agg.Mean[r], iv[r])
+		}
+		if agg.Var[r] != 0 {
+			t.Errorf("Var[%d] = %v, want 0", r, agg.Var[r])
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := AggregateIntensity(nil)
+	if agg.Count != 0 || agg.Mean != (sim.Vector{}) || agg.Var != (sim.Vector{}) {
+		t.Errorf("empty aggregate = %+v", agg)
+	}
+}
+
+func TestRMFeaturesDifferForDifferentPartners(t *testing.T) {
+	_, set := testProfiles(t)
+	enc := NewEncoder(profile.DefaultK)
+	target := NewMember(set.Get(0), sim.Res1080p)
+	a := enc.RM(target, membersOf(set, []int{1}, sim.Res1080p))
+	b := enc.RM(target, membersOf(set, []int{4}, sim.Res1080p))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different partners must produce different features")
+	}
+}
+
+func TestResolutionAffectsGPUIntensityFeatures(t *testing.T) {
+	_, set := testProfiles(t)
+	m720 := NewMember(set.Get(1), sim.Res720p)
+	m1440 := NewMember(set.Get(1), sim.Res1440p)
+	lo := m720.Intensity()
+	hi := m1440.Intensity()
+	if hi[sim.GPUCE] <= lo[sim.GPUCE] {
+		t.Error("GPU-CE intensity should grow with resolution (Observation 8)")
+	}
+	if math.Abs(hi[sim.CPUCE]-lo[sim.CPUCE]) > 1e-9 {
+		t.Error("CPU-CE intensity should not depend on resolution (Observation 7)")
+	}
+}
+
+func TestNewEncoderDefaultK(t *testing.T) {
+	if NewEncoder(0).K != profile.DefaultK {
+		t.Error("zero K should default")
+	}
+	if NewEncoder(5).K != 5 {
+		t.Error("explicit K should stick")
+	}
+}

@@ -1,0 +1,190 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// friedmanLike builds a nonlinear regression problem the ensembles should
+// crack far better than a stump.
+func friedmanLike(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		x[i] = row
+		y[i] = math.Sin(math.Pi*row[0]*row[1]) + 2*(row[2]-0.5)*(row[2]-0.5) + 0.5*row[3]
+	}
+	return x, y
+}
+
+func TestGBRTBeatsSingleStump(t *testing.T) {
+	x, y := friedmanLike(400, 1)
+	tx, ty := friedmanLike(200, 2)
+
+	stump := NewTree(TreeConfig{MaxDepth: 1})
+	if err := stump.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGBRT(GBMConfig{NumTrees: 200, LearningRate: 0.1, MaxDepth: 3})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	rmse := func(pred func([]float64) float64) float64 {
+		s := 0.0
+		for i := range tx {
+			d := pred(tx[i]) - ty[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(tx)))
+	}
+	if rs, rg := rmse(stump.Predict), rmse(g.Predict); rg > rs/2 {
+		t.Errorf("GBRT RMSE %v should be far below stump RMSE %v", rg, rs)
+	}
+}
+
+func TestGBRTSubsampleStillLearns(t *testing.T) {
+	x, y := friedmanLike(400, 3)
+	tx, ty := friedmanLike(200, 4)
+	g := NewGBRT(GBMConfig{NumTrees: 200, LearningRate: 0.1, MaxDepth: 3, Subsample: 0.6, Seed: 5})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	s := 0.0
+	for i := range tx {
+		d := g.Predict(tx[i]) - ty[i]
+		s += d * d
+	}
+	if rmse := math.Sqrt(s / float64(len(tx))); rmse > 0.2 {
+		t.Errorf("stochastic GBRT RMSE %v too high", rmse)
+	}
+}
+
+func TestGBRTNumTrees(t *testing.T) {
+	x, y := friedmanLike(50, 6)
+	g := NewGBRT(GBMConfig{NumTrees: 17})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTrees() != 17 {
+		t.Errorf("NumTrees = %d, want 17", g.NumTrees())
+	}
+}
+
+func TestGBDTSeparatesClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x = append(x, []float64{a, b})
+		// Nonlinear boundary: inside circle -> 1.
+		if (a-0.5)*(a-0.5)+(b-0.5)*(b-0.5) < 0.09 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	g := NewGBDT(GBMConfig{NumTrees: 150, LearningRate: 0.1, MaxDepth: 3})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := range x {
+		if g.PredictClass(x[i]) == int(y[i]) {
+			ok++
+		}
+	}
+	if acc := float64(ok) / float64(len(x)); acc < 0.95 {
+		t.Errorf("GBDT training accuracy %v < 0.95", acc)
+	}
+	if p := g.PredictProb([]float64{0.5, 0.5}); p < 0.8 {
+		t.Errorf("center probability %v should be high", p)
+	}
+	if p := g.PredictProb([]float64{0.02, 0.02}); p > 0.2 {
+		t.Errorf("corner probability %v should be low", p)
+	}
+}
+
+func TestGBDTRejectsNonBinaryLabels(t *testing.T) {
+	g := NewGBDT(GBMConfig{NumTrees: 5})
+	err := g.Fit([][]float64{{1}, {2}}, []float64{0, 0.5})
+	if err == nil {
+		t.Error("non-binary labels should be rejected")
+	}
+}
+
+func TestForestRegressionImprovesOnAverageWithTrees(t *testing.T) {
+	x, y := friedmanLike(300, 8)
+	tx, ty := friedmanLike(150, 9)
+	rmseOf := func(n int) float64 {
+		f := NewForestRegressor(ForestConfig{NumTrees: n, Seed: 10, Tree: TreeConfig{MaxDepth: 8}})
+		if err := f.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for i := range tx {
+			d := f.Predict(tx[i]) - ty[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(tx)))
+	}
+	if r1, r50 := rmseOf(1), rmseOf(50); r50 > r1 {
+		t.Errorf("50-tree forest (%v) should beat a single bagged tree (%v)", r50, r1)
+	}
+}
+
+func TestForestClassifier(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x = append(x, []float64{a, b})
+		if a+b > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	f := NewForestClassifier(ForestConfig{NumTrees: 50, Seed: 12, Tree: TreeConfig{MaxDepth: 6}})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if f.PredictClass([]float64{0.9, 0.9}) != 1 || f.PredictClass([]float64{0.1, 0.1}) != 0 {
+		t.Error("forest classifier mislabels separable data")
+	}
+	if n := f.NumTrees(); n != 50 {
+		t.Errorf("NumTrees = %d", n)
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	x, y := friedmanLike(100, 13)
+	a := NewForestRegressor(ForestConfig{NumTrees: 20, Seed: 14})
+	b := NewForestRegressor(ForestConfig{NumTrees: 20, Seed: 14})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.6, 0.2, 0.8}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Error("same seed must give identical forests")
+	}
+}
+
+func TestEnsembleFitErrors(t *testing.T) {
+	if err := NewGBRT(GBMConfig{}).Fit(nil, nil); err == nil {
+		t.Error("GBRT empty fit should fail")
+	}
+	if err := NewGBDT(GBMConfig{}).Fit(nil, nil); err == nil {
+		t.Error("GBDT empty fit should fail")
+	}
+	if err := NewForest(ForestConfig{}).Fit(nil, nil); err == nil {
+		t.Error("forest empty fit should fail")
+	}
+}

@@ -1,0 +1,161 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// NumTrees is the ensemble size; <= 0 defaults to 100.
+	NumTrees int
+	// Tree configures the member trees. If Tree.MaxFeatures <= 0 the
+	// forest uses ceil(sqrt(d)) features per split, the usual default.
+	Tree TreeConfig
+	// Seed drives bootstrapping and per-tree feature sampling.
+	Seed int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 100
+	}
+	return c
+}
+
+// Forest is a bagged ensemble of CART trees (the paper's RF). Fitting on
+// {0,1} labels yields a probability forest usable for classification.
+type Forest struct {
+	cfg   ForestConfig
+	trees []*Tree
+}
+
+// NewForest returns an unfitted forest.
+func NewForest(cfg ForestConfig) *Forest { return &Forest{cfg: cfg.withDefaults()} }
+
+// NumTrees returns the fitted ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Fit trains NumTrees trees on bootstrap resamples of (x, y). Trees are
+// independent, so they are grown in parallel across the available cores;
+// all randomness (bootstrap draws and per-tree feature-sampling seeds) is
+// pre-generated sequentially from the configured Seed, so results are
+// identical regardless of parallelism.
+func (f *Forest) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: forest needs matching non-empty x and y")
+	}
+	d := len(x[0])
+	treeCfg := f.cfg.Tree
+	if treeCfg.MaxFeatures <= 0 {
+		treeCfg.MaxFeatures = int(math.Ceil(math.Sqrt(float64(d))))
+	}
+
+	// Deterministic prologue: every tree's bootstrap rows and seed.
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
+	n := len(x)
+	boots := make([][]int, f.cfg.NumTrees)
+	seeds := make([]int64, f.cfg.NumTrees)
+	for m := range boots {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = rng.Intn(n)
+		}
+		boots[m] = rows
+		seeds[m] = rng.Int63()
+	}
+
+	f.trees = make([]*Tree, f.cfg.NumTrees)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > f.cfg.NumTrees {
+		workers = f.cfg.NumTrees
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		mu   sync.Mutex
+		fitE error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bx := make([][]float64, n)
+			by := make([]float64, n)
+			for m := range next {
+				for i, j := range boots[m] {
+					bx[i] = x[j]
+					by[i] = y[j]
+				}
+				tc := treeCfg
+				tc.Seed = seeds[m]
+				tr := NewTree(tc)
+				if err := tr.Fit(bx, by); err != nil {
+					mu.Lock()
+					if fitE == nil {
+						fitE = err
+					}
+					mu.Unlock()
+					continue
+				}
+				f.trees[m] = tr
+			}
+		}()
+	}
+	for m := 0; m < f.cfg.NumTrees; m++ {
+		next <- m
+	}
+	close(next)
+	wg.Wait()
+	return fitE
+}
+
+// Predict averages the member trees.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// ForestRegressor is the paper's RF used for regression.
+type ForestRegressor struct{ Forest }
+
+// NewForestRegressor returns an unfitted RF regressor.
+func NewForestRegressor(cfg ForestConfig) *ForestRegressor {
+	return &ForestRegressor{Forest: *NewForest(cfg)}
+}
+
+// ForestClassifier is the paper's RF used for classification: the averaged
+// leaf fraction is the positive-class probability.
+type ForestClassifier struct{ Forest }
+
+// NewForestClassifier returns an unfitted RF classifier.
+func NewForestClassifier(cfg ForestConfig) *ForestClassifier {
+	return &ForestClassifier{Forest: *NewForest(cfg)}
+}
+
+// PredictProb returns P(class = 1 | x).
+func (f *ForestClassifier) PredictProb(x []float64) float64 {
+	return clamp(f.Predict(x), 0, 1)
+}
+
+// PredictClass thresholds the ensemble probability at 0.5.
+func (f *ForestClassifier) PredictClass(x []float64) int {
+	if f.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ Regressor  = (*ForestRegressor)(nil)
+	_ Classifier = (*ForestClassifier)(nil)
+)

@@ -1,0 +1,253 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// GBMConfig controls gradient-boosted tree ensembles.
+type GBMConfig struct {
+	// NumTrees is the boosting round count; <= 0 defaults to 300.
+	NumTrees int
+	// LearningRate is the shrinkage per round; <= 0 defaults to 0.1.
+	LearningRate float64
+	// MaxDepth bounds each weak learner; <= 0 defaults to 3.
+	MaxDepth int
+	// MinSamplesLeaf for the weak learners; <= 0 defaults to 5.
+	MinSamplesLeaf int
+	// Subsample is the row fraction per round (stochastic gradient
+	// boosting); <= 0 or >= 1 disables subsampling.
+	Subsample float64
+	// Seed drives subsampling.
+	Seed int64
+}
+
+func (c GBMConfig) withDefaults() GBMConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 300
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 5
+	}
+	return c
+}
+
+// subsampler draws row subsets for stochastic gradient boosting. A
+// fraction outside (0,1) disables subsampling and draw returns all rows.
+type subsampler struct {
+	frac float64
+	n    int
+	rng  *rand.Rand
+	all  []int
+}
+
+func newSubsampler(frac float64, n int, seed int64) *subsampler {
+	s := &subsampler{frac: frac, n: n}
+	if frac > 0 && frac < 1 {
+		s.rng = rand.New(rand.NewSource(seed))
+	} else {
+		s.all = make([]int, n)
+		for i := range s.all {
+			s.all[i] = i
+		}
+	}
+	return s
+}
+
+func (s *subsampler) draw() []int {
+	if s.rng == nil {
+		return s.all
+	}
+	k := int(s.frac * float64(s.n))
+	if k < 2 {
+		k = 2
+	}
+	return s.rng.Perm(s.n)[:k]
+}
+
+// GBRT is least-squares gradient boosting: the paper's best regression
+// model. Each round fits a shallow CART tree to the current residuals and
+// adds it with shrinkage.
+type GBRT struct {
+	cfg   GBMConfig
+	base  float64
+	trees []*Tree
+}
+
+// NewGBRT returns an unfitted gradient-boosted regressor.
+func NewGBRT(cfg GBMConfig) *GBRT { return &GBRT{cfg: cfg.withDefaults()} }
+
+// NumTrees returns the number of fitted boosting rounds.
+func (g *GBRT) NumTrees() int { return len(g.trees) }
+
+// Fit runs NumTrees rounds of least-squares boosting.
+func (g *GBRT) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: gbrt needs matching non-empty x and y")
+	}
+	n := len(x)
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	g.base /= float64(n)
+
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = g.base
+	}
+	g.trees = make([]*Tree, 0, g.cfg.NumTrees)
+
+	sub := newSubsampler(g.cfg.Subsample, n, g.cfg.Seed)
+	for m := 0; m < g.cfg.NumTrees; m++ {
+		rows := sub.draw()
+		sx := make([][]float64, len(rows))
+		sr := make([]float64, len(rows))
+		for k, i := range rows {
+			sx[k] = x[i]
+			sr[k] = y[i] - f[i]
+		}
+		tr := NewTree(TreeConfig{
+			MaxDepth:       g.cfg.MaxDepth,
+			MinSamplesLeaf: g.cfg.MinSamplesLeaf,
+		})
+		if err := tr.Fit(sx, sr); err != nil {
+			return err
+		}
+		g.trees = append(g.trees, tr)
+		for i := range f {
+			f[i] += g.cfg.LearningRate * tr.Predict(x[i])
+		}
+	}
+	return nil
+}
+
+// Predict sums the base value and all shrunken tree contributions.
+func (g *GBRT) Predict(x []float64) float64 {
+	out := g.base
+	for _, tr := range g.trees {
+		out += g.cfg.LearningRate * tr.Predict(x)
+	}
+	return out
+}
+
+// GBDT is gradient boosting for binary classification with logistic loss
+// (the paper's best classification model). Each round fits a tree to the
+// negative gradient (y - p) and then replaces each leaf value with a
+// one-step Newton estimate sum(grad)/sum(p(1-p)), the classic Friedman
+// update.
+type GBDT struct {
+	cfg   GBMConfig
+	base  float64 // initial log-odds
+	trees []*Tree
+}
+
+// NewGBDT returns an unfitted gradient-boosted classifier.
+func NewGBDT(cfg GBMConfig) *GBDT { return &GBDT{cfg: cfg.withDefaults()} }
+
+// NumTrees returns the number of fitted boosting rounds.
+func (g *GBDT) NumTrees() int { return len(g.trees) }
+
+// Fit runs logistic-loss boosting on labels y in {0,1}.
+func (g *GBDT) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: gbdt needs matching non-empty x and y")
+	}
+	n := len(x)
+	pos := 0.0
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return errors.New("ml: gbdt labels must be 0 or 1")
+		}
+		pos += v
+	}
+	p := clamp(pos/float64(n), 1e-4, 1-1e-4)
+	g.base = math.Log(p / (1 - p))
+
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = g.base
+	}
+	grad := make([]float64, n)
+	g.trees = make([]*Tree, 0, g.cfg.NumTrees)
+
+	leafGrad := map[int32]float64{}
+	leafHess := map[int32]float64{}
+	sub := newSubsampler(g.cfg.Subsample, n, g.cfg.Seed)
+
+	for m := 0; m < g.cfg.NumTrees; m++ {
+		for i := range grad {
+			grad[i] = y[i] - sigmoid(f[i])
+		}
+		rows := sub.draw()
+		sx := make([][]float64, len(rows))
+		sg := make([]float64, len(rows))
+		for k, i := range rows {
+			sx[k] = x[i]
+			sg[k] = grad[i]
+		}
+		tr := NewTree(TreeConfig{
+			MaxDepth:       g.cfg.MaxDepth,
+			MinSamplesLeaf: g.cfg.MinSamplesLeaf,
+		})
+		if err := tr.Fit(sx, sg); err != nil {
+			return err
+		}
+
+		// Newton leaf updates: value = sum g / sum h over the round's
+		// rows.
+		clear(leafGrad)
+		clear(leafHess)
+		for _, i := range rows {
+			leaf := tr.Apply(x[i])
+			pi := sigmoid(f[i])
+			leafGrad[leaf] += grad[i]
+			leafHess[leaf] += pi * (1 - pi)
+		}
+		for leaf, gsum := range leafGrad {
+			h := leafHess[leaf]
+			if h < 1e-9 {
+				h = 1e-9
+			}
+			tr.setLeafValue(leaf, gsum/h)
+		}
+
+		g.trees = append(g.trees, tr)
+		for i := range f {
+			f[i] += g.cfg.LearningRate * tr.Predict(x[i])
+		}
+	}
+	return nil
+}
+
+// decision returns the raw additive score (log-odds).
+func (g *GBDT) decision(x []float64) float64 {
+	out := g.base
+	for _, tr := range g.trees {
+		out += g.cfg.LearningRate * tr.Predict(x)
+	}
+	return out
+}
+
+// PredictProb returns P(class = 1 | x).
+func (g *GBDT) PredictProb(x []float64) float64 { return sigmoid(g.decision(x)) }
+
+// PredictClass thresholds the probability at 0.5.
+func (g *GBDT) PredictClass(x []float64) int {
+	if g.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ Regressor  = (*GBRT)(nil)
+	_ Classifier = (*GBDT)(nil)
+)

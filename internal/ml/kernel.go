@@ -1,0 +1,45 @@
+package ml
+
+import "math"
+
+// Kernel computes a positive-semidefinite similarity between feature rows.
+type Kernel func(a, b []float64) float64
+
+// LinearKernel is the plain dot product.
+func LinearKernel(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// RBFKernel returns a Gaussian kernel exp(-gamma * ||a-b||^2).
+func RBFKernel(gamma float64) Kernel {
+	return func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Exp(-gamma * s)
+	}
+}
+
+// kernelMatrix precomputes K[i][j] over the training rows; SMO touches the
+// matrix heavily and n is small (<= a few thousand) for our workloads.
+func kernelMatrix(k Kernel, x [][]float64) [][]float64 {
+	n := len(x)
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k(x[i], x[j])
+			m[i][j] = v
+			m[j][i] = v
+		}
+	}
+	return m
+}

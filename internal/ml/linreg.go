@@ -1,0 +1,99 @@
+package ml
+
+import "errors"
+
+// Ridge is linear least squares with optional L2 regularization, solved by
+// the normal equations. The SMiTe baseline derives its per-resource
+// coefficients with it; Lambda = 0 yields plain OLS (with a tiny jitter to
+// keep the normal matrix invertible).
+type Ridge struct {
+	// Lambda is the L2 penalty (not applied to the intercept).
+	Lambda float64
+	// Intercept adds a bias column when true.
+	Intercept bool
+
+	weights []float64
+	bias    float64
+}
+
+// NewRidge returns an OLS/ridge model with an intercept.
+func NewRidge(lambda float64) *Ridge { return &Ridge{Lambda: lambda, Intercept: true} }
+
+// Weights returns the fitted coefficient vector (excluding the intercept).
+func (r *Ridge) Weights() []float64 { return append([]float64(nil), r.weights...) }
+
+// Bias returns the fitted intercept (0 when Intercept is false).
+func (r *Ridge) Bias() float64 { return r.bias }
+
+// Fit solves (X'X + lambda I) w = X'y.
+func (r *Ridge) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: ridge needs matching non-empty x and y")
+	}
+	d := len(x[0])
+	cols := d
+	if r.Intercept {
+		cols++
+	}
+
+	// Build the normal equations without materializing the augmented X.
+	a := make([][]float64, cols)
+	for i := range a {
+		a[i] = make([]float64, cols)
+	}
+	b := make([]float64, cols)
+
+	at := func(row []float64, j int) float64 {
+		if j < d {
+			return row[j]
+		}
+		return 1 // intercept column
+	}
+	for i := range x {
+		row := x[i]
+		for p := 0; p < cols; p++ {
+			vp := at(row, p)
+			if vp == 0 {
+				continue
+			}
+			b[p] += vp * y[i]
+			for q := p; q < cols; q++ {
+				a[p][q] += vp * at(row, q)
+			}
+		}
+	}
+	for p := 0; p < cols; p++ {
+		for q := 0; q < p; q++ {
+			a[p][q] = a[q][p]
+		}
+	}
+	lam := r.Lambda
+	if lam <= 0 {
+		lam = 1e-9 // numerical jitter for plain OLS
+	}
+	for p := 0; p < d; p++ { // never penalize the intercept
+		a[p][p] += lam
+	}
+
+	w, ok := solveLinear(a, b)
+	if !ok {
+		return errors.New("ml: ridge normal equations are singular")
+	}
+	if r.Intercept {
+		r.weights, r.bias = w[:d], w[d]
+	} else {
+		r.weights, r.bias = w, 0
+	}
+	return nil
+}
+
+// Predict evaluates the linear model at x.
+func (r *Ridge) Predict(x []float64) float64 {
+	out := r.bias
+	for j, w := range r.weights {
+		out += w * x[j]
+	}
+	return out
+}
+
+var _ Regressor = (*Ridge)(nil)

@@ -1,0 +1,143 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRidgeRecoversExactLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trueW := []float64{2, -3, 0.5}
+	trueB := 1.25
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		x = append(x, row)
+		y = append(y, trueB+trueW[0]*row[0]+trueW[1]*row[1]+trueW[2]*row[2])
+	}
+	r := NewRidge(0)
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range r.Weights() {
+		if math.Abs(w-trueW[j]) > 1e-6 {
+			t.Errorf("weight %d = %v, want %v", j, w, trueW[j])
+		}
+	}
+	if math.Abs(r.Bias()-trueB) > 1e-6 {
+		t.Errorf("bias = %v, want %v", r.Bias(), trueB)
+	}
+}
+
+func TestRidgeShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v})
+		y = append(y, 5*v+0.01*rng.NormFloat64())
+	}
+	small := NewRidge(0)
+	big := NewRidge(100)
+	if err := small.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(big.Weights()[0]) >= math.Abs(small.Weights()[0]) {
+		t.Errorf("lambda=100 weight %v should shrink below OLS %v", big.Weights()[0], small.Weights()[0])
+	}
+}
+
+func TestRidgeCollinearColumnsStayFinite(t *testing.T) {
+	// Two identical columns are singular for OLS; the jitter/ridge must
+	// keep the solution finite.
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v, v})
+		y = append(y, 3*v)
+	}
+	r := NewRidge(1e-6)
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range r.Weights() {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("non-finite weight %v", w)
+		}
+	}
+	if got := r.Predict([]float64{0.5, 0.5}); math.Abs(got-1.5) > 1e-3 {
+		t.Errorf("collinear prediction %v, want 1.5", got)
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	if err := NewRidge(0).Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+}
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, 4}
+	w, ok := solveLinear(a, b)
+	if !ok || w[0] != 3 || w[1] != 4 {
+		t.Errorf("identity solve = %v, ok=%v", w, ok)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 2}
+	if _, ok := solveLinear(a, b); ok {
+		t.Error("singular system should report failure")
+	}
+}
+
+// Property: solveLinear returns w with A w = b for random well-conditioned
+// diagonally dominant systems.
+func TestSolveLinearProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) * 3 // diagonal dominance
+			copy(orig[i], a[i])
+			b[i] = rng.NormFloat64()
+		}
+		borig := append([]float64(nil), b...)
+		w, ok := solveLinear(a, b)
+		if !ok {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += orig[i][j] * w[j]
+			}
+			if math.Abs(s-borig[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package ml
+
+import "math"
+
+// Thin wrappers keep the hot paths free of package-qualified calls and give
+// one place to guard domains.
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+func sigmoid(z float64) float64 {
+	// Clamp to avoid overflow in Exp; sigmoid saturates far before ±500.
+	if z > 35 {
+		return 1
+	}
+	if z < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// solveLinear solves A w = b in place by Gaussian elimination with partial
+// pivoting. A is n x n (rows may be swapped), b has length n. It returns
+// false if the system is singular to working precision.
+func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * w[c]
+		}
+		w[r] = s / a[r][r]
+	}
+	return w, true
+}

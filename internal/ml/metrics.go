@@ -1,0 +1,124 @@
+package ml
+
+import "math"
+
+// RelativeError returns |pred - actual| / |actual|, the paper's regression
+// error metric (Section 4.2). A zero actual with nonzero prediction counts
+// as 100% error.
+func RelativeError(pred, actual float64) float64 {
+	if actual == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(pred-actual) / math.Abs(actual)
+}
+
+// MeanRelativeError averages RelativeError over paired slices.
+func MeanRelativeError(pred, actual []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += RelativeError(pred[i], actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, actual []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// RMSE returns the root-mean-square error.
+func RMSE(pred, actual []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// Accuracy returns the fraction of equal entries in two {0,1} label slices.
+func Accuracy(pred, actual []int) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == actual[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}
+
+// Confusion tallies binary predictions against truth. "Positive" follows
+// the paper's Section 5.1 convention: a colocation judged feasible.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Add records one (predicted, actual) pair of {0,1} labels.
+func (c *Confusion) Add(pred, actual int) {
+	switch {
+	case pred == 1 && actual == 1:
+		c.TP++
+	case pred == 1 && actual == 0:
+		c.FP++
+	case pred == 0 && actual == 1:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded pairs.
+func (c Confusion) Total() int { return c.TP + c.FP + c.FN + c.TN }
+
+// Accuracy is (TP+TN)/total, 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision is TP/(TP+FP), 0 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP/(TP+FN), 0 when no actual positives exist.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct{ pred, actual, want float64 }{
+		{0.5, 0.4, 0.25},
+		{0.4, 0.5, 0.2},
+		{0, 0, 0},
+		{0.3, 0, 1},
+		{-0.2, 0.2, 2},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.pred, c.actual); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelativeError(%v, %v) = %v, want %v", c.pred, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestAggregateMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	act := []float64{1, 1, 5}
+	if got := MAE(pred, act); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if got, want := RMSE(pred, act), math.Sqrt(5.0/3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if got := MeanRelativeError([]float64{2}, []float64{4}); got != 0.5 {
+		t.Errorf("MeanRelativeError = %v", got)
+	}
+	if MAE(nil, nil) != 0 || RMSE(nil, nil) != 0 || MeanRelativeError(nil, nil) != 0 {
+		t.Error("empty metrics should be 0")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 0, 1}, []int{1, 1, 1}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestConfusionCounters(t *testing.T) {
+	var c Confusion
+	c.Add(1, 1) // TP
+	c.Add(1, 1) // TP
+	c.Add(1, 0) // FP
+	c.Add(0, 1) // FN
+	c.Add(0, 0) // TN
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", got)
+	}
+	if got, want := c.F1(), 2.0/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, want)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should report zeros")
+	}
+	c.Add(0, 0)
+	if c.Precision() != 0 || c.Recall() != 0 {
+		t.Error("no positives -> precision and recall 0")
+	}
+}
+
+// Property: accuracy, precision and recall always land in [0, 1] and
+// Total() counts every Add.
+func TestConfusionBoundsProperty(t *testing.T) {
+	prop := func(pairs []bool) bool {
+		var c Confusion
+		for i := 0; i < len(pairs)-1; i += 2 {
+			p, a := 0, 0
+			if pairs[i] {
+				p = 1
+			}
+			if pairs[i+1] {
+				a = 1
+			}
+			c.Add(p, a)
+		}
+		in01 := func(v float64) bool { return v >= 0 && v <= 1 }
+		return in01(c.Accuracy()) && in01(c.Precision()) && in01(c.Recall()) && in01(c.F1()) &&
+			c.Total() == (len(pairs)/2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// MF is low-rank matrix factorization trained by SGD over observed entries:
+// X[i][j] ~= mean + bu[i] + bv[j] + U[i] . V[j]. GAugur uses it the way
+// Paragon/Quasar do — to complete a new game's contention features from a
+// handful of probe measurements plus the fully profiled catalog — cutting
+// the O(N) profiling constant (the paper cites collaborative filtering as
+// complementary to its design).
+type MF struct {
+	cfg  MFConfig
+	mean float64
+	bu   []float64
+	bv   []float64
+	u    [][]float64
+	v    [][]float64
+}
+
+// MFConfig controls factorization training.
+type MFConfig struct {
+	// Rank is the latent dimension; <= 0 defaults to 8.
+	Rank int
+	// Epochs of SGD over the observed entries; <= 0 defaults to 200.
+	Epochs int
+	// LearningRate; <= 0 defaults to 0.01.
+	LearningRate float64
+	// Lambda is the L2 penalty on factors and biases; <= 0 defaults to
+	// 0.05.
+	Lambda float64
+	// Seed drives initialization and epoch shuffling.
+	Seed int64
+}
+
+func (c MFConfig) withDefaults() MFConfig {
+	if c.Rank <= 0 {
+		c.Rank = 8
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.05
+	}
+	return c
+}
+
+// NewMF returns an unfitted factorization.
+func NewMF(cfg MFConfig) *MF { return &MF{cfg: cfg.withDefaults()} }
+
+// Fit factorizes x over the entries where observed is true. x and observed
+// must be rectangular and congruent. Pass observed == nil to use every
+// entry.
+func (m *MF) Fit(x [][]float64, observed [][]bool) error {
+	if len(x) == 0 || len(x[0]) == 0 {
+		return errors.New("ml: mf needs a non-empty matrix")
+	}
+	rows, cols := len(x), len(x[0])
+	for i, row := range x {
+		if len(row) != cols {
+			return errors.New("ml: mf matrix is ragged")
+		}
+		if observed != nil && len(observed[i]) != cols {
+			return errors.New("ml: mf mask is ragged")
+		}
+	}
+	seen := func(i, j int) bool { return observed == nil || observed[i][j] }
+
+	type entry struct{ i, j int }
+	var entries []entry
+	sum, n := 0.0, 0
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if seen(i, j) {
+				entries = append(entries, entry{i, j})
+				sum += x[i][j]
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return errors.New("ml: mf has no observed entries")
+	}
+	m.mean = sum / float64(n)
+
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	k := m.cfg.Rank
+	init := func(rows int) [][]float64 {
+		out := make([][]float64, rows)
+		for i := range out {
+			out[i] = make([]float64, k)
+			for f := range out[i] {
+				out[i][f] = rng.NormFloat64() * 0.05
+			}
+		}
+		return out
+	}
+	m.u = init(rows)
+	m.v = init(cols)
+	m.bu = make([]float64, rows)
+	m.bv = make([]float64, cols)
+
+	lr, lam := m.cfg.LearningRate, m.cfg.Lambda
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
+		for _, e := range entries {
+			pred := m.Predict(e.i, e.j)
+			err := x[e.i][e.j] - pred
+			m.bu[e.i] += lr * (err - lam*m.bu[e.i])
+			m.bv[e.j] += lr * (err - lam*m.bv[e.j])
+			ui, vj := m.u[e.i], m.v[e.j]
+			for f := 0; f < k; f++ {
+				du := err*vj[f] - lam*ui[f]
+				dv := err*ui[f] - lam*vj[f]
+				ui[f] += lr * du
+				vj[f] += lr * dv
+			}
+		}
+	}
+	return nil
+}
+
+// Predict returns the reconstructed entry (i, j).
+func (m *MF) Predict(i, j int) float64 {
+	s := m.mean + m.bu[i] + m.bv[j]
+	for f := range m.u[i] {
+		s += m.u[i][f] * m.v[j][f]
+	}
+	return s
+}
+
+// Rank returns the fitted latent dimension.
+func (m *MF) Rank() int { return m.cfg.Rank }
+
+// CompleteRow folds in a new row (a new game) from its observed entries and
+// returns the fully reconstructed row. The new row's factor is the ridge
+// solution of the observed columns' factors — the standard fold-in, no
+// retraining required.
+func (m *MF) CompleteRow(partial []float64, observed []bool) ([]float64, error) {
+	if len(m.v) == 0 {
+		return nil, errors.New("ml: mf not fitted")
+	}
+	cols := len(m.v)
+	if len(partial) != cols || len(observed) != cols {
+		return nil, errors.New("ml: fold-in shapes do not match the fitted matrix")
+	}
+	k := m.cfg.Rank
+	nObs := 0
+	for j := range observed {
+		if observed[j] {
+			nObs++
+		}
+	}
+	if nObs == 0 {
+		return nil, errors.New("ml: fold-in needs at least one observed entry")
+	}
+
+	// Solve the ridge system for [u, bias] jointly: design rows are
+	// [v_j, 1], targets are the column-bias-adjusted observations, and
+	// only u is penalized (biases never are).
+	dim := k + 1
+	a := make([][]float64, dim)
+	for i := range a {
+		a[i] = make([]float64, dim)
+	}
+	b := make([]float64, dim)
+	row := make([]float64, dim)
+	for j := range partial {
+		if !observed[j] {
+			continue
+		}
+		copy(row, m.v[j])
+		row[k] = 1
+		r := partial[j] - m.mean - m.bv[j]
+		for p := 0; p < dim; p++ {
+			b[p] += row[p] * r
+			for q := p; q < dim; q++ {
+				a[p][q] += row[p] * row[q]
+			}
+		}
+	}
+	for p := 0; p < dim; p++ {
+		for q := 0; q < p; q++ {
+			a[p][q] = a[q][p]
+		}
+	}
+	for p := 0; p < k; p++ {
+		a[p][p] += m.cfg.Lambda * float64(nObs)
+	}
+	a[k][k] += 1e-9 // keep the bias column nonsingular when nObs is tiny
+	sol, ok := solveLinear(a, b)
+	if !ok {
+		return nil, errors.New("ml: fold-in system is singular")
+	}
+	u, bias := sol[:k], sol[k]
+
+	out := make([]float64, cols)
+	for j := range out {
+		if observed[j] {
+			out[j] = partial[j]
+			continue
+		}
+		s := m.mean + bias + m.bv[j]
+		for f := 0; f < k; f++ {
+			s += u[f] * m.v[j][f]
+		}
+		out[j] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowRankMatrix builds an exactly rank-k matrix plus optional noise.
+func lowRankMatrix(rows, cols, k int, noise float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	u := make([][]float64, rows)
+	v := make([][]float64, cols)
+	for i := range u {
+		u[i] = make([]float64, k)
+		for f := range u[i] {
+			u[i][f] = rng.NormFloat64()
+		}
+	}
+	for j := range v {
+		v[j] = make([]float64, k)
+		for f := range v[j] {
+			v[j][f] = rng.NormFloat64()
+		}
+	}
+	x := make([][]float64, rows)
+	for i := range x {
+		x[i] = make([]float64, cols)
+		for j := range x[i] {
+			s := 0.0
+			for f := 0; f < k; f++ {
+				s += u[i][f] * v[j][f]
+			}
+			x[i][j] = s + noise*rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func TestMFReconstructsLowRankMatrix(t *testing.T) {
+	x := lowRankMatrix(40, 20, 3, 0, 1)
+	m := NewMF(MFConfig{Rank: 5, Epochs: 400, LearningRate: 0.02, Lambda: 0.002, Seed: 2})
+	if err := m.Fit(x, nil); err != nil {
+		t.Fatal(err)
+	}
+	sse, n := 0.0, 0
+	for i := range x {
+		for j := range x[i] {
+			d := m.Predict(i, j) - x[i][j]
+			sse += d * d
+			n++
+		}
+	}
+	if rmse := math.Sqrt(sse / float64(n)); rmse > 0.15 {
+		t.Errorf("MF RMSE %v too high on noiseless rank-3 matrix", rmse)
+	}
+}
+
+func TestMFCompletesMissingEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := lowRankMatrix(50, 24, 3, 0.01, 4)
+	obs := make([][]bool, len(x))
+	for i := range obs {
+		obs[i] = make([]bool, len(x[i]))
+		for j := range obs[i] {
+			obs[i][j] = rng.Float64() < 0.7 // 30% hidden
+		}
+	}
+	m := NewMF(MFConfig{Rank: 5, Epochs: 500, LearningRate: 0.02, Lambda: 0.005, Seed: 5})
+	if err := m.Fit(x, obs); err != nil {
+		t.Fatal(err)
+	}
+	sse, n := 0.0, 0
+	for i := range x {
+		for j := range x[i] {
+			if !obs[i][j] {
+				d := m.Predict(i, j) - x[i][j]
+				sse += d * d
+				n++
+			}
+		}
+	}
+	if rmse := math.Sqrt(sse / float64(n)); rmse > 0.35 {
+		t.Errorf("held-out RMSE %v too high", rmse)
+	}
+}
+
+func TestMFFoldInNewRow(t *testing.T) {
+	x := lowRankMatrix(60, 30, 3, 0.01, 6)
+	train, probe := x[:55], x[55:]
+	m := NewMF(MFConfig{Rank: 5, Epochs: 500, LearningRate: 0.02, Lambda: 0.005, Seed: 7})
+	if err := m.Fit(train, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range probe {
+		obs := make([]bool, len(row))
+		for j := 0; j < len(row); j += 3 { // observe every third entry
+			obs[j] = true
+		}
+		full, err := m.CompleteRow(row, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sse, n := 0.0, 0
+		for j := range row {
+			if obs[j] {
+				if full[j] != row[j] {
+					t.Fatal("observed entries must pass through unchanged")
+				}
+				continue
+			}
+			d := full[j] - row[j]
+			sse += d * d
+			n++
+		}
+		if rmse := math.Sqrt(sse / float64(n)); rmse > 0.6 {
+			t.Errorf("fold-in RMSE %v too high", rmse)
+		}
+	}
+}
+
+func TestMFErrors(t *testing.T) {
+	m := NewMF(MFConfig{})
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {3}}, nil); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	if _, err := m.CompleteRow([]float64{1}, []bool{true}); err == nil {
+		t.Error("fold-in before fit should fail")
+	}
+	x := lowRankMatrix(10, 5, 2, 0, 8)
+	if err := m.Fit(x, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CompleteRow([]float64{1}, []bool{true}); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if _, err := m.CompleteRow(make([]float64, 5), make([]bool, 5)); err == nil {
+		t.Error("all-hidden fold-in should fail")
+	}
+}
+
+func TestMFMaskedAllHidden(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	obs := [][]bool{{false, false}, {false, false}}
+	if err := NewMF(MFConfig{}).Fit(x, obs); err == nil {
+		t.Error("no observed entries should fail")
+	}
+}

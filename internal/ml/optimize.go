@@ -1,0 +1,126 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// CurveModel evaluates a parametric scalar model at input x with the given
+// parameter vector. The Sigmoid baseline fits its three per-game parameters
+// through this interface.
+type CurveModel func(params []float64, x float64) float64
+
+// FitCurve fits params so that model(params, xs[i]) ~= ys[i] in the
+// least-squares sense, using Levenberg-Marquardt with numeric Jacobians.
+// init seeds the search and is not modified; the fitted parameters are
+// returned. maxIter <= 0 defaults to 200.
+func FitCurve(model CurveModel, xs, ys []float64, init []float64, maxIter int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("ml: FitCurve needs matching xs and ys")
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("ml: FitCurve needs at least one point")
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	p := append([]float64(nil), init...)
+	np := len(p)
+	n := len(xs)
+
+	resid := func(pp []float64) []float64 {
+		r := make([]float64, n)
+		for i := range xs {
+			r[i] = model(pp, xs[i]) - ys[i]
+		}
+		return r
+	}
+	sse := func(r []float64) float64 {
+		s := 0.0
+		for _, v := range r {
+			s += v * v
+		}
+		return s
+	}
+
+	lambda := 1e-3
+	r := resid(p)
+	cur := sse(r)
+
+	jac := make([][]float64, n)
+	for i := range jac {
+		jac[i] = make([]float64, np)
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Numeric Jacobian (forward differences).
+		for j := 0; j < np; j++ {
+			h := 1e-6 * (math.Abs(p[j]) + 1e-6)
+			p[j] += h
+			for i := range xs {
+				jac[i][j] = (model(p, xs[i]) - ys[i] - r[i]) / h
+			}
+			p[j] -= h
+		}
+
+		// Normal equations (J'J + lambda diag(J'J)) dp = -J'r.
+		a := make([][]float64, np)
+		for i := range a {
+			a[i] = make([]float64, np)
+		}
+		g := make([]float64, np)
+		for i := 0; i < n; i++ {
+			for pI := 0; pI < np; pI++ {
+				g[pI] -= jac[i][pI] * r[i]
+				for q := pI; q < np; q++ {
+					a[pI][q] += jac[i][pI] * jac[i][q]
+				}
+			}
+		}
+		for pI := 0; pI < np; pI++ {
+			for q := 0; q < pI; q++ {
+				a[pI][q] = a[q][pI]
+			}
+		}
+		diag := make([]float64, np)
+		for j := 0; j < np; j++ {
+			diag[j] = a[j][j]
+			if diag[j] == 0 {
+				diag[j] = 1e-9
+			}
+		}
+
+		improved := false
+		for attempt := 0; attempt < 12; attempt++ {
+			am := make([][]float64, np)
+			for i := range am {
+				am[i] = append([]float64(nil), a[i]...)
+				am[i][i] += lambda * diag[i]
+			}
+			dp, ok := solveLinear(am, append([]float64(nil), g...))
+			if !ok {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, np)
+			for j := range trial {
+				trial[j] = p[j] + dp[j]
+			}
+			tr := resid(trial)
+			if ts := sse(tr); ts < cur {
+				p, r, cur = trial, tr, ts
+				lambda = math.Max(lambda/3, 1e-12)
+				improved = true
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			break
+		}
+		if cur < 1e-14 {
+			break
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,153 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitCurveLine(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0]*x + p[1] }
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	p, err := FitCurve(model, xs, ys, []float64{0, 0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-2) > 1e-6 || math.Abs(p[1]-1) > 1e-6 {
+		t.Errorf("fit = %v, want [2 1]", p)
+	}
+}
+
+func TestFitCurveExponentialDecay(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] * math.Exp(-p[1]*x) }
+	truth := []float64{3, 0.7}
+	var xs, ys []float64
+	for i := 0; i <= 20; i++ {
+		x := float64(i) / 4
+		xs = append(xs, x)
+		ys = append(ys, model(truth, x))
+	}
+	p, err := FitCurve(model, xs, ys, []float64{1, 0.1}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-truth[0]) > 1e-4 || math.Abs(p[1]-truth[1]) > 1e-4 {
+		t.Errorf("fit = %v, want %v", p, truth)
+	}
+}
+
+func TestFitCurveSigmoidShape(t *testing.T) {
+	// The Sigmoid baseline's exact functional form.
+	model := func(p []float64, n float64) float64 {
+		return p[0] / (1 + math.Exp(-p[1]*n+p[2]))
+	}
+	truth := []float64{120, -0.9, -1.2}
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for n := 0.0; n <= 4; n++ {
+		for rep := 0; rep < 5; rep++ {
+			xs = append(xs, n)
+			ys = append(ys, model(truth, n)*(1+0.01*rng.NormFloat64()))
+		}
+	}
+	p, err := FitCurve(model, xs, ys, []float64{100, -0.5, -1}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the fitted curve matches truth functionally (parameters may
+	// trade off slightly under noise).
+	for n := 0.0; n <= 4; n++ {
+		got := model(p, n)
+		want := model(truth, n)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("fitted curve at n=%v: %v vs %v", n, got, want)
+		}
+	}
+}
+
+func TestFitCurveErrors(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] }
+	if _, err := FitCurve(model, []float64{1}, []float64{1, 2}, []float64{0}, 10); err == nil {
+		t.Error("mismatched points should fail")
+	}
+	if _, err := FitCurve(model, nil, nil, []float64{0}, 10); err == nil {
+		t.Error("empty points should fail")
+	}
+}
+
+func TestFitCurveDoesNotMutateInit(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] * x }
+	init := []float64{1}
+	if _, err := FitCurve(model, []float64{1, 2}, []float64{2, 4}, init, 50); err != nil {
+		t.Fatal(err)
+	}
+	if init[0] != 1 {
+		t.Errorf("init mutated to %v", init[0])
+	}
+}
+
+func TestSigmoidHelperClamps(t *testing.T) {
+	if sigmoid(1000) != 1 || sigmoid(-1000) != 0 {
+		t.Error("sigmoid must clamp extreme inputs")
+	}
+	if math.Abs(sigmoid(0)-0.5) > 1e-12 {
+		t.Error("sigmoid(0) must be 0.5")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	x := [][]float64{{1, 10}, {3, 10}}
+	s := FitStandardizer(x)
+	got := s.Transform([]float64{2, 10})
+	if math.Abs(got[0]) > 1e-12 {
+		t.Errorf("mean-centered value should be 0, got %v", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("constant column should map to 0, got %v", got[1])
+	}
+	all := s.TransformAll(x)
+	if math.Abs(all[0][0]+1) > 1e-12 || math.Abs(all[1][0]-1) > 1e-12 {
+		t.Errorf("unit-variance scaling broken: %v", all)
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	d, err := NewDataset([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Features() != 1 {
+		t.Errorf("Len/Features = %d/%d", d.Len(), d.Features())
+	}
+	tr, te := d.Split(2)
+	if tr.Len() != 2 || te.Len() != 1 {
+		t.Errorf("Split = %d/%d", tr.Len(), te.Len())
+	}
+	c := d.Clone()
+	c.X[0][0] = 99
+	if d.X[0][0] == 99 {
+		t.Error("Clone must deep-copy")
+	}
+	a := d.Clone()
+	a.Shuffle(7)
+	b := d.Clone()
+	b.Shuffle(7)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same-seed shuffles must agree")
+		}
+	}
+	if _, err := NewDataset([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched dataset should fail")
+	}
+	if _, err := NewDataset([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("ragged dataset should fail")
+	}
+	if _, err := NewDataset(nil, nil); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if h := d.Head(10); h.Len() != 3 {
+		t.Errorf("Head over-length = %d", h.Len())
+	}
+}

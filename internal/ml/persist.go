@@ -1,0 +1,301 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// This file implements gob persistence for every model family. GAugur's
+// whole point is the offline/online split: models are trained once,
+// serialized, and loaded by the latency-critical request dispatcher — so
+// round-trippable models are part of the library contract.
+//
+// Unexported model state is mirrored into exported shadow structs; the
+// shadow layout is the on-disk format and is versioned defensively.
+
+const persistVersion = 1
+
+// treeState is the exported mirror of Tree.
+type treeState struct {
+	Version   int
+	Cfg       TreeConfig
+	NFeatures int
+	Feature   []int
+	Threshold []float64
+	Left      []int32
+	Right     []int32
+	Value     []float64
+}
+
+func (t *Tree) state() treeState {
+	s := treeState{Version: persistVersion, Cfg: t.cfg, NFeatures: t.nFeatures}
+	for _, n := range t.nodes {
+		s.Feature = append(s.Feature, n.feature)
+		s.Threshold = append(s.Threshold, n.threshold)
+		s.Left = append(s.Left, n.left)
+		s.Right = append(s.Right, n.right)
+		s.Value = append(s.Value, n.value)
+	}
+	return s
+}
+
+func (t *Tree) restore(s treeState) error {
+	if s.Version != persistVersion {
+		return fmt.Errorf("ml: tree state version %d unsupported", s.Version)
+	}
+	n := len(s.Value)
+	if len(s.Feature) != n || len(s.Threshold) != n || len(s.Left) != n || len(s.Right) != n {
+		return fmt.Errorf("ml: corrupt tree state")
+	}
+	t.cfg = s.Cfg
+	t.nFeatures = s.NFeatures
+	t.nodes = make([]treeNode, n)
+	for i := range t.nodes {
+		t.nodes[i] = treeNode{
+			feature:   s.Feature[i],
+			threshold: s.Threshold[i],
+			left:      s.Left[i],
+			right:     s.Right[i],
+			value:     s.Value[i],
+		}
+	}
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tree) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t.state()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(data []byte) error {
+	var s treeState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return err
+	}
+	return t.restore(s)
+}
+
+// forestState mirrors Forest.
+type forestState struct {
+	Version int
+	Cfg     ForestConfig
+	Trees   []*Tree
+}
+
+// GobEncode implements gob.GobEncoder.
+func (f *Forest) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(forestState{persistVersion, f.cfg, f.trees}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Forest) GobDecode(data []byte) error {
+	var s forestState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return err
+	}
+	if s.Version != persistVersion {
+		return fmt.Errorf("ml: forest state version %d unsupported", s.Version)
+	}
+	f.cfg = s.Cfg
+	f.trees = s.Trees
+	return nil
+}
+
+// gbrtState mirrors GBRT; gbdtState mirrors GBDT.
+type gbrtState struct {
+	Version int
+	Cfg     GBMConfig
+	Base    float64
+	Trees   []*Tree
+}
+
+// GobEncode implements gob.GobEncoder.
+func (g *GBRT) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gbrtState{persistVersion, g.cfg, g.base, g.trees}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (g *GBRT) GobDecode(data []byte) error {
+	var s gbrtState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return err
+	}
+	if s.Version != persistVersion {
+		return fmt.Errorf("ml: gbrt state version %d unsupported", s.Version)
+	}
+	g.cfg, g.base, g.trees = s.Cfg, s.Base, s.Trees
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (g *GBDT) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gbrtState{persistVersion, g.cfg, g.base, g.trees}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (g *GBDT) GobDecode(data []byte) error {
+	var s gbrtState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return err
+	}
+	if s.Version != persistVersion {
+		return fmt.Errorf("ml: gbdt state version %d unsupported", s.Version)
+	}
+	g.cfg, g.base, g.trees = s.Cfg, s.Base, s.Trees
+	return nil
+}
+
+// svmState mirrors SVC and SVR (the kernel is reconstructed from Cfg).
+type svmState struct {
+	Version int
+	Cfg     SVMConfig
+	Std     *Standardizer
+	X       [][]float64
+	Coef    []float64 // alpha for SVC, beta for SVR
+	Y       []float64 // SVC only
+	B       float64
+}
+
+func (s *SVC) gamma() float64 {
+	if s.cfg.Gamma > 0 {
+		return s.cfg.Gamma
+	}
+	if len(s.x) == 0 || len(s.x[0]) == 0 {
+		return 1
+	}
+	return 1 / float64(len(s.x[0]))
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *SVC) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	st := svmState{persistVersion, s.cfg, s.std, s.x, s.alpha, s.y, s.b}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *SVC) GobDecode(data []byte) error {
+	var st svmState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if st.Version != persistVersion {
+		return fmt.Errorf("ml: svc state version %d unsupported", st.Version)
+	}
+	s.cfg, s.std, s.x, s.alpha, s.y, s.b = st.Cfg, st.Std, st.X, st.Coef, st.Y, st.B
+	s.kernel = RBFKernel(s.gamma())
+	return nil
+}
+
+func (s *SVR) gamma() float64 {
+	if s.cfg.Gamma > 0 {
+		return s.cfg.Gamma
+	}
+	if len(s.x) == 0 || len(s.x[0]) == 0 {
+		return 1
+	}
+	return 1 / float64(len(s.x[0]))
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *SVR) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	st := svmState{persistVersion, s.cfg, s.std, s.x, s.beta, nil, s.b}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *SVR) GobDecode(data []byte) error {
+	var st svmState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if st.Version != persistVersion {
+		return fmt.Errorf("ml: svr state version %d unsupported", st.Version)
+	}
+	s.cfg, s.std, s.x, s.beta, s.b = st.Cfg, st.Std, st.X, st.Coef, st.B
+	s.kernel = RBFKernel(s.gamma())
+	return nil
+}
+
+// ridgeState mirrors Ridge.
+type ridgeState struct {
+	Version   int
+	Lambda    float64
+	Intercept bool
+	Weights   []float64
+	Bias      float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (r *Ridge) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	st := ridgeState{persistVersion, r.Lambda, r.Intercept, r.weights, r.bias}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (r *Ridge) GobDecode(data []byte) error {
+	var st ridgeState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if st.Version != persistVersion {
+		return fmt.Errorf("ml: ridge state version %d unsupported", st.Version)
+	}
+	r.Lambda, r.Intercept, r.weights, r.bias = st.Lambda, st.Intercept, st.Weights, st.Bias
+	return nil
+}
+
+// SaveModel gob-encodes any of the package's models to w.
+func SaveModel(w io.Writer, model any) error {
+	return gob.NewEncoder(w).Encode(model)
+}
+
+// LoadModel gob-decodes into the supplied model pointer.
+func LoadModel(r io.Reader, model any) error {
+	return gob.NewDecoder(r).Decode(model)
+}
+
+func init() {
+	// Register concrete types so they can travel behind interfaces.
+	gob.Register(&Tree{})
+	gob.Register(&TreeRegressor{})
+	gob.Register(&TreeClassifier{})
+	gob.Register(&Forest{})
+	gob.Register(&ForestRegressor{})
+	gob.Register(&ForestClassifier{})
+	gob.Register(&GBRT{})
+	gob.Register(&GBDT{})
+	gob.Register(&SVC{})
+	gob.Register(&SVR{})
+	gob.Register(&Ridge{})
+}

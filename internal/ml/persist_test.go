@@ -1,0 +1,156 @@
+package ml
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip saves and reloads a model through SaveModel/LoadModel.
+func roundTrip(t *testing.T, save any, load any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, save); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := LoadModel(&buf, load); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+}
+
+func persistProblem(seed int64) ([][]float64, []float64, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, 120)
+	y := make([]float64, 120)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = x[i][0]*2 - x[i][1] + x[i][2]*x[i][0]
+	}
+	probes := make([][]float64, 30)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	return x, y, probes
+}
+
+func binarize(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		if v > 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	x, y, probes := persistProblem(1)
+	tr := NewTree(TreeConfig{MaxDepth: 6})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	roundTrip(t, tr, &back)
+	for _, p := range probes {
+		if tr.Predict(p) != back.Predict(p) {
+			t.Fatal("tree prediction changed after round trip")
+		}
+	}
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	x, y, probes := persistProblem(2)
+	f := NewForestRegressor(ForestConfig{NumTrees: 10, Seed: 3})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var back ForestRegressor
+	roundTrip(t, f, &back)
+	for _, p := range probes {
+		if f.Predict(p) != back.Predict(p) {
+			t.Fatal("forest prediction changed after round trip")
+		}
+	}
+}
+
+func TestGBRTRoundTrip(t *testing.T) {
+	x, y, probes := persistProblem(3)
+	g := NewGBRT(GBMConfig{NumTrees: 30})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var back GBRT
+	roundTrip(t, g, &back)
+	for _, p := range probes {
+		if g.Predict(p) != back.Predict(p) {
+			t.Fatal("gbrt prediction changed after round trip")
+		}
+	}
+}
+
+func TestGBDTRoundTrip(t *testing.T) {
+	x, y, probes := persistProblem(4)
+	g := NewGBDT(GBMConfig{NumTrees: 30})
+	if err := g.Fit(x, binarize(y)); err != nil {
+		t.Fatal(err)
+	}
+	var back GBDT
+	roundTrip(t, g, &back)
+	for _, p := range probes {
+		if g.PredictProb(p) != back.PredictProb(p) {
+			t.Fatal("gbdt probability changed after round trip")
+		}
+	}
+}
+
+func TestSVCRoundTrip(t *testing.T) {
+	x, y, probes := persistProblem(5)
+	s := NewSVC(SVMConfig{C: 2, Seed: 6})
+	if err := s.Fit(x, binarize(y)); err != nil {
+		t.Fatal(err)
+	}
+	var back SVC
+	roundTrip(t, s, &back)
+	for _, p := range probes {
+		if s.PredictProb(p) != back.PredictProb(p) {
+			t.Fatal("svc prediction changed after round trip")
+		}
+	}
+}
+
+func TestSVRRoundTrip(t *testing.T) {
+	x, y, probes := persistProblem(7)
+	s := NewSVR(SVMConfig{C: 2, Epsilon: 0.05, MaxIter: 30, Seed: 8})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var back SVR
+	roundTrip(t, s, &back)
+	for _, p := range probes {
+		if s.Predict(p) != back.Predict(p) {
+			t.Fatal("svr prediction changed after round trip")
+		}
+	}
+}
+
+func TestRidgeRoundTrip(t *testing.T) {
+	x, y, probes := persistProblem(9)
+	r := NewRidge(0.01)
+	if err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var back Ridge
+	roundTrip(t, r, &back)
+	for _, p := range probes {
+		if r.Predict(p) != back.Predict(p) {
+			t.Fatal("ridge prediction changed after round trip")
+		}
+	}
+}
+
+func TestCorruptTreeState(t *testing.T) {
+	var tr Tree
+	if err := tr.GobDecode([]byte("garbage")); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+}

@@ -1,0 +1,311 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// SVMConfig controls both SVC and SVR training.
+type SVMConfig struct {
+	// C is the box/regularization constant; <= 0 defaults to 1.
+	C float64
+	// Gamma is the RBF width; <= 0 defaults to 1/d after standardization.
+	Gamma float64
+	// Epsilon is the SVR insensitivity tube; <= 0 defaults to 0.02
+	// (targets are degradation ratios in [0,1]).
+	Epsilon float64
+	// Tol is the SMO KKT tolerance; <= 0 defaults to 1e-3.
+	Tol float64
+	// MaxPasses is the number of alpha-stable sweeps SMO requires before
+	// stopping; <= 0 defaults to 5.
+	MaxPasses int
+	// MaxIter caps total optimization sweeps; <= 0 defaults to 200.
+	MaxIter int
+	// Seed drives SMO partner selection and SVR epoch shuffling.
+	Seed int64
+}
+
+func (c SVMConfig) withDefaults() SVMConfig {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.02
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses <= 0 {
+		c.MaxPasses = 5
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200
+	}
+	return c
+}
+
+// SVC is a kernel support-vector classifier trained with Platt's simplified
+// SMO. Features are standardized internally; labels are {0,1} externally
+// and {-1,+1} internally.
+type SVC struct {
+	cfg    SVMConfig
+	std    *Standardizer
+	x      [][]float64
+	y      []float64 // -1/+1
+	alpha  []float64
+	b      float64
+	kernel Kernel
+}
+
+// NewSVC returns an unfitted classifier.
+func NewSVC(cfg SVMConfig) *SVC { return &SVC{cfg: cfg.withDefaults()} }
+
+// Fit trains the classifier on labels y in {0,1}.
+func (s *SVC) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: svc needs matching non-empty x and y")
+	}
+	s.std = FitStandardizer(x)
+	s.x = s.std.TransformAll(x)
+	n := len(x)
+	d := len(x[0])
+	gamma := s.cfg.Gamma
+	if gamma <= 0 {
+		gamma = 1 / float64(d)
+	}
+	s.kernel = RBFKernel(gamma)
+
+	s.y = make([]float64, n)
+	for i, v := range y {
+		if v >= 0.5 {
+			s.y[i] = 1
+		} else {
+			s.y[i] = -1
+		}
+	}
+	s.alpha = make([]float64, n)
+	s.b = 0
+
+	k := kernelMatrix(s.kernel, s.x)
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	C, tol := s.cfg.C, s.cfg.Tol
+
+	// f(i) = sum_j alpha_j y_j K(j,i) + b
+	f := func(i int) float64 {
+		out := s.b
+		for j := 0; j < n; j++ {
+			if s.alpha[j] != 0 {
+				out += s.alpha[j] * s.y[j] * k[j][i]
+			}
+		}
+		return out
+	}
+
+	passes, iter := 0, 0
+	for passes < s.cfg.MaxPasses && iter < s.cfg.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - s.y[i]
+			if !((s.y[i]*ei < -tol && s.alpha[i] < C) || (s.y[i]*ei > tol && s.alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - s.y[j]
+
+			ai, aj := s.alpha[i], s.alpha[j]
+			var lo, hi float64
+			if s.y[i] != s.y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(C, C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-C)
+				hi = math.Min(C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*k[i][j] - k[i][i] - k[j][j]
+			if eta >= 0 {
+				continue
+			}
+			ajNew := clamp(aj-s.y[j]*(ei-ej)/eta, lo, hi)
+			if math.Abs(ajNew-aj) < 1e-5 {
+				continue
+			}
+			aiNew := ai + s.y[i]*s.y[j]*(aj-ajNew)
+
+			b1 := s.b - ei - s.y[i]*(aiNew-ai)*k[i][i] - s.y[j]*(ajNew-aj)*k[i][j]
+			b2 := s.b - ej - s.y[i]*(aiNew-ai)*k[i][j] - s.y[j]*(ajNew-aj)*k[j][j]
+			switch {
+			case aiNew > 0 && aiNew < C:
+				s.b = b1
+			case ajNew > 0 && ajNew < C:
+				s.b = b2
+			default:
+				s.b = (b1 + b2) / 2
+			}
+			s.alpha[i], s.alpha[j] = aiNew, ajNew
+			changed++
+		}
+		iter++
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	return nil
+}
+
+// decision returns the signed margin for a raw (unstandardized) row.
+func (s *SVC) decision(x []float64) float64 {
+	z := s.std.Transform(x)
+	out := s.b
+	for j := range s.x {
+		if s.alpha[j] != 0 {
+			out += s.alpha[j] * s.y[j] * s.kernel(s.x[j], z)
+		}
+	}
+	return out
+}
+
+// PredictProb squashes the margin through a logistic link. SMO does not
+// calibrate probabilities; this is the standard cheap surrogate and is only
+// used for ranking.
+func (s *SVC) PredictProb(x []float64) float64 { return sigmoid(s.decision(x)) }
+
+// PredictClass returns 1 for a nonnegative margin.
+func (s *SVC) PredictClass(x []float64) int {
+	if s.decision(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// NumSupportVectors counts training rows with nonzero alpha.
+func (s *SVC) NumSupportVectors() int {
+	n := 0
+	for _, a := range s.alpha {
+		if a > 1e-9 {
+			n++
+		}
+	}
+	return n
+}
+
+// SVR is kernel epsilon-insensitive support-vector regression trained by
+// coordinate descent on the dual coefficients beta_i = alpha_i - alpha*_i:
+// minimizing 0.5 beta'K beta - y'beta + eps*sum|beta_i| subject to
+// |beta_i| <= C, with the bias handled by target centering. Each coordinate
+// update has a closed-form soft-threshold solution, so the optimizer is
+// both fast and numerically stable at our sample sizes.
+type SVR struct {
+	cfg    SVMConfig
+	std    *Standardizer
+	x      [][]float64
+	beta   []float64
+	b      float64
+	kernel Kernel
+}
+
+// NewSVR returns an unfitted regressor.
+func NewSVR(cfg SVMConfig) *SVR { return &SVR{cfg: cfg.withDefaults()} }
+
+// Fit trains the regressor.
+func (s *SVR) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: svr needs matching non-empty x and y")
+	}
+	s.std = FitStandardizer(x)
+	s.x = s.std.TransformAll(x)
+	n := len(x)
+	d := len(x[0])
+	gamma := s.cfg.Gamma
+	if gamma <= 0 {
+		gamma = 1 / float64(d)
+	}
+	s.kernel = RBFKernel(gamma)
+
+	k := kernelMatrix(s.kernel, s.x)
+	s.beta = make([]float64, n)
+
+	// Center targets; the mean becomes the bias.
+	s.b = 0
+	for _, v := range y {
+		s.b += v
+	}
+	s.b /= float64(n)
+	yc := make([]float64, n)
+	for i, v := range y {
+		yc[i] = v - s.b
+	}
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	eps := s.cfg.Epsilon
+	C := s.cfg.C
+
+	// f[i] = sum_j beta_j K(j,i), maintained incrementally.
+	f := make([]float64, n)
+	for epoch := 0; epoch < s.cfg.MaxIter; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		maxDelta := 0.0
+		for _, i := range order {
+			kii := k[i][i]
+			if kii < 1e-12 {
+				continue
+			}
+			// Residual with beta_i removed from f[i].
+			r := yc[i] - (f[i] - kii*s.beta[i])
+			var nb float64
+			switch {
+			case r > eps:
+				nb = (r - eps) / kii
+			case r < -eps:
+				nb = (r + eps) / kii
+			default:
+				nb = 0
+			}
+			nb = clamp(nb, -C, C)
+			d := nb - s.beta[i]
+			if d == 0 {
+				continue
+			}
+			s.beta[i] = nb
+			for j := 0; j < n; j++ {
+				f[j] += d * k[i][j]
+			}
+			if math.Abs(d) > maxDelta {
+				maxDelta = math.Abs(d)
+			}
+		}
+		if maxDelta < 1e-5 {
+			break
+		}
+	}
+	return nil
+}
+
+// Predict evaluates the kernel expansion at a raw row.
+func (s *SVR) Predict(x []float64) float64 {
+	z := s.std.Transform(x)
+	out := s.b
+	for j := range s.x {
+		if s.beta[j] != 0 {
+			out += s.beta[j] * s.kernel(s.x[j], z)
+		}
+	}
+	return out
+}
+
+var (
+	_ Classifier = (*SVC)(nil)
+	_ Regressor  = (*SVR)(nil)
+)

@@ -1,0 +1,170 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSVCLinearSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x = append(x, []float64{a, b})
+		if a+b > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	s := NewSVC(SVMConfig{C: 4, Seed: 2})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := range x {
+		if s.PredictClass(x[i]) == int(y[i]) {
+			ok++
+		}
+	}
+	if acc := float64(ok) / float64(len(x)); acc < 0.95 {
+		t.Errorf("SVC accuracy %v < 0.95 on separable data", acc)
+	}
+	if s.NumSupportVectors() == 0 {
+		t.Error("no support vectors after fitting")
+	}
+}
+
+func TestSVCNonlinearBoundaryWithRBF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x = append(x, []float64{a, b})
+		if a*a+b*b < 0.4 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	s := NewSVC(SVMConfig{C: 10, Gamma: 2, Seed: 4})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := range x {
+		if s.PredictClass(x[i]) == int(y[i]) {
+			ok++
+		}
+	}
+	if acc := float64(ok) / float64(len(x)); acc < 0.9 {
+		t.Errorf("RBF SVC accuracy %v < 0.9 on circular data", acc)
+	}
+}
+
+func TestSVCProbabilityMonotoneInMargin(t *testing.T) {
+	x := [][]float64{{0}, {0.1}, {0.9}, {1}}
+	y := []float64{0, 0, 1, 1}
+	s := NewSVC(SVMConfig{C: 4, Seed: 5})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if s.PredictProb([]float64{1}) <= s.PredictProb([]float64{0}) {
+		t.Error("probability should grow toward the positive side")
+	}
+}
+
+func TestSVRFitsSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64() * 2
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v)+0.5*v)
+	}
+	s := NewSVR(SVMConfig{C: 10, Epsilon: 0.01, Gamma: 2, MaxIter: 100, Seed: 7})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	sse := 0.0
+	for i := range x {
+		d := s.Predict(x[i]) - y[i]
+		sse += d * d
+	}
+	if rmse := math.Sqrt(sse / float64(len(x))); rmse > 0.05 {
+		t.Errorf("SVR RMSE %v too high on smooth function", rmse)
+	}
+}
+
+func TestSVRConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{4, 4, 4}
+	s := NewSVR(SVMConfig{})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Predict([]float64{2.5}); math.Abs(got-4) > 0.2 {
+		t.Errorf("constant-target prediction %v far from 4", got)
+	}
+}
+
+func TestSVREpsilonTubeIgnoresSmallNoise(t *testing.T) {
+	// With a wide tube, tiny noise should leave most betas at zero.
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v})
+		y = append(y, 1+0.001*rng.NormFloat64())
+	}
+	s := NewSVR(SVMConfig{Epsilon: 0.5, MaxIter: 50})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	nz := 0
+	for _, b := range s.beta {
+		if b != 0 {
+			nz++
+		}
+	}
+	if nz != 0 {
+		t.Errorf("wide epsilon tube should keep all betas zero, %d nonzero", nz)
+	}
+}
+
+func TestSVMFitErrors(t *testing.T) {
+	if err := NewSVC(SVMConfig{}).Fit(nil, nil); err == nil {
+		t.Error("SVC empty fit should fail")
+	}
+	if err := NewSVR(SVMConfig{}).Fit(nil, nil); err == nil {
+		t.Error("SVR empty fit should fail")
+	}
+}
+
+func TestKernels(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	if got := LinearKernel(a, b); got != 11 {
+		t.Errorf("LinearKernel = %v, want 11", got)
+	}
+	rbf := RBFKernel(0.5)
+	if got := rbf(a, a); got != 1 {
+		t.Errorf("RBF(a,a) = %v, want 1", got)
+	}
+	if got, want := rbf(a, b), math.Exp(-0.5*8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RBF(a,b) = %v, want %v", got, want)
+	}
+	// Symmetry of the precomputed matrix.
+	m := kernelMatrix(rbf, [][]float64{a, b})
+	if m[0][1] != m[1][0] {
+		t.Error("kernel matrix must be symmetric")
+	}
+	if m[0][0] != 1 || m[1][1] != 1 {
+		t.Error("RBF diagonal must be 1")
+	}
+}

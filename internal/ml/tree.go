@@ -1,0 +1,275 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART growth. The zero value means: unlimited depth,
+// leaves of at least one sample, splits considered from two samples up, all
+// features examined at every split.
+type TreeConfig struct {
+	// MaxDepth limits tree depth; <= 0 means unlimited.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples each child must keep.
+	MinSamplesLeaf int
+	// MinSamplesSplit is the minimum node size to consider splitting.
+	MinSamplesSplit int
+	// MaxFeatures caps the number of features examined per split
+	// (random forests use sqrt(d)); <= 0 means all features.
+	MaxFeatures int
+	// Seed drives feature subsampling when MaxFeatures is set.
+	Seed int64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	return c
+}
+
+// treeNode is one node in the flattened tree. Leaves have left == -1.
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right int32
+	value       float64
+}
+
+// Tree is a CART regression tree splitting on variance reduction. With
+// {0,1} targets, variance reduction coincides with Gini-impurity reduction,
+// so the same machinery powers classification trees: the leaf value is then
+// the positive-class fraction.
+type Tree struct {
+	cfg       TreeConfig
+	nodes     []treeNode
+	nFeatures int
+}
+
+// NewTree returns an unfitted tree with the given configuration.
+func NewTree(cfg TreeConfig) *Tree { return &Tree{cfg: cfg.withDefaults()} }
+
+// NumNodes returns the number of nodes in the fitted tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Fit grows the tree on (x, y).
+func (t *Tree) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: tree needs matching non-empty x and y")
+	}
+	t.nFeatures = len(x[0])
+	t.nodes = t.nodes[:0]
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	var rng *rand.Rand
+	if t.cfg.MaxFeatures > 0 && t.cfg.MaxFeatures < t.nFeatures {
+		rng = rand.New(rand.NewSource(t.cfg.Seed))
+	}
+	scratch := make([]int, len(x))
+	t.grow(x, y, idx, 1, rng, scratch)
+	return nil
+}
+
+// grow builds the subtree over idx and returns its node index.
+func (t *Tree) grow(x [][]float64, y []float64, idx []int, depth int, rng *rand.Rand, scratch []int) int32 {
+	me := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{left: -1, right: -1})
+
+	sum := 0.0
+	for _, i := range idx {
+		sum += y[i]
+	}
+	mean := sum / float64(len(idx))
+	t.nodes[me].value = mean
+
+	if len(idx) < t.cfg.MinSamplesSplit ||
+		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) {
+		return me
+	}
+
+	feat, thr, ok := t.bestSplit(x, y, idx, rng)
+	if !ok {
+		return me
+	}
+
+	// Partition idx into scratch: left block then right block.
+	nl := 0
+	nr := 0
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			scratch[nl] = i
+			nl++
+		} else {
+			nr++
+			scratch[len(idx)-nr] = i
+		}
+	}
+	if nl < t.cfg.MinSamplesLeaf || nr < t.cfg.MinSamplesLeaf {
+		return me
+	}
+	copy(idx, scratch[:len(idx)])
+
+	t.nodes[me].feature = feat
+	t.nodes[me].threshold = thr
+	left := t.grow(x, y, idx[:nl], depth+1, rng, scratch)
+	right := t.grow(x, y, idx[nl:], depth+1, rng, scratch)
+	t.nodes[me].left = left
+	t.nodes[me].right = right
+	return me
+}
+
+// bestSplit scans candidate features for the split maximizing weighted
+// variance reduction. It returns ok=false when no valid split improves on
+// the parent (e.g. constant target or constant features).
+func (t *Tree) bestSplit(x [][]float64, y []float64, idx []int, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	n := float64(len(idx))
+	var total, totalSq float64
+	for _, i := range idx {
+		total += y[i]
+		totalSq += y[i] * y[i]
+	}
+	parentSSE := totalSq - total*total/n
+	if parentSSE <= 1e-12 {
+		return 0, 0, false
+	}
+
+	features := t.candidateFeatures(rng)
+	order := append([]int(nil), idx...)
+	bestGain := 1e-12
+	minLeaf := t.cfg.MinSamplesLeaf
+
+	for _, f := range features {
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		var lSum, lSq float64
+		lN := 0.0
+		for k := 0; k < len(order)-1; k++ {
+			yi := y[order[k]]
+			lSum += yi
+			lSq += yi * yi
+			lN++
+			// Only split between distinct feature values.
+			cur, next := x[order[k]][f], x[order[k+1]][f]
+			if cur == next {
+				continue
+			}
+			if int(lN) < minLeaf || len(order)-int(lN) < minLeaf {
+				continue
+			}
+			rSum := total - lSum
+			rSq := totalSq - lSq
+			rN := n - lN
+			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
+			gain := parentSSE - sse
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = cur + (next-cur)/2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// candidateFeatures returns the feature indices examined at one split.
+func (t *Tree) candidateFeatures(rng *rand.Rand) []int {
+	all := make([]int, t.nFeatures)
+	for i := range all {
+		all[i] = i
+	}
+	if rng == nil || t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= t.nFeatures {
+		return all
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:t.cfg.MaxFeatures]
+}
+
+// Predict returns the leaf mean for x.
+func (t *Tree) Predict(x []float64) float64 {
+	return t.nodes[t.Apply(x)].value
+}
+
+// Apply returns the index of the leaf node x lands in. Gradient boosting
+// uses this to recompute leaf values with Newton steps.
+func (t *Tree) Apply(x []float64) int32 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	cur := int32(0)
+	for {
+		nd := &t.nodes[cur]
+		if nd.left < 0 {
+			return cur
+		}
+		if x[nd.feature] <= nd.threshold {
+			cur = nd.left
+		} else {
+			cur = nd.right
+		}
+	}
+}
+
+// setLeafValue overwrites a leaf's prediction (gradient boosting only).
+func (t *Tree) setLeafValue(leaf int32, v float64) { t.nodes[leaf].value = v }
+
+// Depth returns the maximum depth of the fitted tree (root = 1).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var rec func(i int32) int
+	rec = func(i int32) int {
+		nd := &t.nodes[i]
+		if nd.left < 0 {
+			return 1
+		}
+		l, r := rec(nd.left), rec(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(0)
+}
+
+// TreeRegressor is the paper's DTR: a deep CART regression tree.
+type TreeRegressor struct{ Tree }
+
+// NewTreeRegressor mirrors the paper's DTR defaults.
+func NewTreeRegressor(cfg TreeConfig) *TreeRegressor {
+	return &TreeRegressor{Tree: *NewTree(cfg)}
+}
+
+// TreeClassifier is the paper's DTC: a CART tree on {0,1} labels whose leaf
+// value is the positive-class probability.
+type TreeClassifier struct{ Tree }
+
+// NewTreeClassifier returns an unfitted DTC.
+func NewTreeClassifier(cfg TreeConfig) *TreeClassifier {
+	return &TreeClassifier{Tree: *NewTree(cfg)}
+}
+
+// PredictProb returns P(class = 1 | x).
+func (t *TreeClassifier) PredictProb(x []float64) float64 {
+	return clamp(t.Predict(x), 0, 1)
+}
+
+// PredictClass returns the majority class at x's leaf.
+func (t *TreeClassifier) PredictClass(x []float64) int {
+	if t.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ Regressor  = (*TreeRegressor)(nil)
+	_ Classifier = (*TreeClassifier)(nil)
+)

@@ -1,0 +1,205 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeFitsConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	tr := NewTree(TreeConfig{})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("constant target should yield a single leaf, got %d nodes", tr.NumNodes())
+	}
+	if got := tr.Predict([]float64{10}); got != 5 {
+		t.Errorf("Predict = %v, want 5", got)
+	}
+}
+
+func TestTreeLearnsStepFunction(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		x = append(x, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 2)
+		}
+	}
+	tr := NewTree(TreeConfig{MaxDepth: 2})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{0.2}); got != 1 {
+		t.Errorf("left side = %v, want 1", got)
+	}
+	if got := tr.Predict([]float64{0.9}); got != 2 {
+		t.Errorf("right side = %v, want 2", got)
+	}
+}
+
+func TestTreeLearnsANDInteraction(t *testing.T) {
+	// AND needs two levels; a depth-1 stump cannot represent it.
+	// (Symmetric XOR is deliberately not tested: greedy CART has zero
+	// first-level gain there and correctly refuses to split.)
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []float64{0, 0, 0, 1}
+	deep := NewTree(TreeConfig{MaxDepth: 3})
+	if err := deep.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range x {
+		if got := deep.Predict(row); math.Abs(got-y[i]) > 1e-9 {
+			t.Errorf("AND(%v) = %v, want %v", row, got, y[i])
+		}
+	}
+	stump := NewTree(TreeConfig{MaxDepth: 1})
+	if err := stump.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if stump.NumNodes() != 1 {
+		t.Errorf("depth-1 tree must stay a single leaf, got %d nodes", stump.NumNodes())
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(10*v))
+	}
+	for _, d := range []int{1, 2, 4} {
+		tr := NewTree(TreeConfig{MaxDepth: d})
+		if err := tr.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Depth(); got > d {
+			t.Errorf("depth %d exceeds MaxDepth %d", got, d)
+		}
+	}
+}
+
+func TestTreeRespectsMinSamplesLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 64; i++ {
+		x = append(x, []float64{rng.Float64()})
+		y = append(y, rng.Float64())
+	}
+	tr := NewTree(TreeConfig{MinSamplesLeaf: 8})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Count samples per leaf by applying training rows.
+	counts := map[int32]int{}
+	for _, row := range x {
+		counts[tr.Apply(row)]++
+	}
+	for leaf, n := range counts {
+		if n < 8 {
+			t.Errorf("leaf %d holds %d samples, want >= 8", leaf, n)
+		}
+	}
+}
+
+// Property: predictions are always within the training label range.
+func TestTreePredictionBoundedByLabels(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(50)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = []float64{rng.Float64(), rng.Float64()}
+			y[i] = rng.NormFloat64()
+			lo = math.Min(lo, y[i])
+			hi = math.Max(hi, y[i])
+		}
+		tr := NewTree(TreeConfig{MaxDepth: 6})
+		if err := tr.Fit(x, y); err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			p := tr.Predict([]float64{rng.Float64() * 2, rng.Float64() * 2})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tr := NewTree(TreeConfig{})
+	if err := tr.Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if err := tr.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched fit should fail")
+	}
+}
+
+func TestTreeClassifier(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		x = append(x, []float64{v})
+		if v > 0.6 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	c := NewTreeClassifier(TreeConfig{MaxDepth: 3})
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if c.PredictClass([]float64{0.9}) != 1 || c.PredictClass([]float64{0.1}) != 0 {
+		t.Error("classifier mislabels trivially separable data")
+	}
+	if p := c.PredictProb([]float64{0.9}); p < 0.5 || p > 1 {
+		t.Errorf("PredictProb = %v", p)
+	}
+}
+
+func TestTreeDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = rng.Float64()
+	}
+	a := NewTree(TreeConfig{MaxDepth: 5, MaxFeatures: 2, Seed: 9})
+	b := NewTree(TreeConfig{MaxDepth: 5, MaxFeatures: 2, Seed: 9})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatal("same seed must give identical trees")
+		}
+	}
+}

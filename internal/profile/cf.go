@@ -1,0 +1,186 @@
+package profile
+
+import (
+	"fmt"
+
+	"gaugur/internal/ml"
+	"gaugur/internal/sim"
+)
+
+// Collaborative-filtering profiling: Paragon and Quasar showed that an
+// application's contention features can be completed from a few probe
+// measurements plus a library of fully profiled applications, via low-rank
+// matrix completion. The GAugur paper cites this as complementary to its
+// design; this file implements it for game profiles, cutting onboarding
+// cost from the full benchmark sweep (123 colocations per game) to a
+// handful of probes.
+//
+// The CF matrix has one row per game and one column per contention
+// feature: the R*(K+1) sensitivity-curve points followed by the R base
+// intensities. Intensities are completed at the profiling base resolution;
+// GPU-side intensity slopes still require the second-resolution sweep, so
+// CF-completed profiles are most accurate at the base resolution.
+
+// featureColumns returns the CF matrix width for granularity k.
+func featureColumns(k int) int {
+	return sim.NumResources*(k+1) + sim.NumResources
+}
+
+// profileRow flattens one profile into a CF matrix row.
+func profileRow(p *GameProfile) []float64 {
+	row := make([]float64, 0, featureColumns(p.K))
+	row = p.FlatSensitivity(row)
+	for r := 0; r < sim.NumResources; r++ {
+		row = append(row, p.IntensityBase[r])
+	}
+	return row
+}
+
+// ProbePlan says which probe measurements to take for a new game: for each
+// shared resource, the benchmark is run at the listed pressure levels.
+// Each run yields one sensitivity-curve point, and runs at pressure 0.5
+// additionally yield an unbiased intensity estimate (the benchmark's
+// vulnerability modulation is centered there).
+type ProbePlan struct {
+	// Levels are the probed pressure knobs, as indices into the
+	// {0, 1/K, ..., 1} grid. Index 0 (pressure zero) is free knowledge
+	// (degradation 1) and need not be probed.
+	Levels []int
+}
+
+// DefaultProbePlan probes pressures 0.5 and 1.0 for every resource: 14
+// benchmark runs instead of the full sweep's 123.
+func DefaultProbePlan(k int) ProbePlan {
+	return ProbePlan{Levels: []int{k / 2, k}}
+}
+
+// Runs returns the number of benchmark colocations the plan costs.
+func (pp ProbePlan) Runs() int { return len(pp.Levels) * sim.NumResources }
+
+// Completer completes new-game profiles from probes using a factorization
+// of the fully profiled catalog.
+type Completer struct {
+	mf *ml.MF
+	k  int
+}
+
+// NewCompleter factorizes the profile library. All profiles must share the
+// same pressure granularity.
+func NewCompleter(library *Set, cfg ml.MFConfig) (*Completer, error) {
+	if library.Len() < 2 {
+		return nil, fmt.Errorf("profile: completer needs a library of at least 2 profiles")
+	}
+	k := library.Order[0].K
+	matrix := make([][]float64, 0, library.Len())
+	for _, p := range library.Order {
+		if p.K != k {
+			return nil, fmt.Errorf("profile: mixed granularities in library (%d vs %d)", p.K, k)
+		}
+		matrix = append(matrix, profileRow(p))
+	}
+	mf := ml.NewMF(cfg)
+	if err := mf.Fit(matrix, nil); err != nil {
+		return nil, err
+	}
+	return &Completer{mf: mf, k: k}, nil
+}
+
+// ProbeAndComplete onboards a new game: it runs only the plan's probe
+// measurements on the server, folds the observations into the library
+// factorization, and returns a completed profile. Solo frame rates and
+// demand vectors are still measured directly (two cheap solo runs).
+func (c *Completer) ProbeAndComplete(server *sim.Server, g *sim.GameSpec, plan ProbePlan, resLo, resHi sim.Resolution) (*GameProfile, error) {
+	if len(plan.Levels) == 0 {
+		return nil, fmt.Errorf("profile: empty probe plan")
+	}
+	k := c.k
+	cols := featureColumns(k)
+	partial := make([]float64, cols)
+	observed := make([]bool, cols)
+
+	loLow := sim.NewInstance(g, resLo)
+	loHigh := sim.NewInstance(g, resHi)
+	fpsLo := server.MeasureSolo(loLow)
+	fpsHi := server.MeasureSolo(loHigh)
+
+	curveIdx := func(r, level int) int { return r*(k+1) + level }
+	intensityIdx := func(r int) int { return sim.NumResources*(k+1) + r }
+	levels := sim.PressureLevels(k)
+
+	for r := 0; r < sim.NumResources; r++ {
+		// Pressure zero is free: no contention, no degradation.
+		partial[curveIdx(r, 0)] = 1
+		observed[curveIdx(r, 0)] = true
+		for _, li := range plan.Levels {
+			if li <= 0 || li > k {
+				return nil, fmt.Errorf("profile: probe level index %d out of range", li)
+			}
+			obs := server.RunBenchmark(loLow, sim.Resource(r), levels[li])
+			partial[curveIdx(r, li)] = sim.Degradation(obs.GameFPS, fpsLo)
+			observed[curveIdx(r, li)] = true
+			if li == k/2 {
+				// The vulnerability modulation is 1.0 at the
+				// mid knob, so the excess slowdown is an
+				// unbiased single-shot intensity estimate.
+				partial[intensityIdx(r)] = obs.BenchSlowdown - 1
+				observed[intensityIdx(r)] = true
+			}
+		}
+	}
+
+	full, err := c.mf.CompleteRow(partial, observed)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &GameProfile{
+		GameID: g.ID,
+		Name:   g.Name,
+		K:      k,
+		ResLo:  resLo,
+		ResHi:  resHi,
+		CPUMem: g.CPUMem,
+		GPUMem: g.GPUMem,
+	}
+	dm := resHi.MPixels() - resLo.MPixels()
+	p.FPSSlopeA = (fpsLo - fpsHi) / dm
+	p.FPSIntercptB = fpsLo + p.FPSSlopeA*resLo.MPixels()
+	p.DemandBase = server.DemandVector(loLow)
+	demHi := server.DemandVector(loHigh)
+	for r := range p.DemandSlope {
+		p.DemandSlope[r] = (demHi[r] - p.DemandBase[r]) / dm
+	}
+
+	for r := 0; r < sim.NumResources; r++ {
+		curve := make([]float64, k+1)
+		for i := 0; i <= k; i++ {
+			curve[i] = clampUnit(full[curveIdx(r, i)])
+		}
+		// Enforce the physical shape exactly as the full profiler does.
+		curve[0] = 1
+		for i := 1; i <= k; i++ {
+			if curve[i] > curve[i-1] {
+				curve[i] = curve[i-1]
+			}
+		}
+		p.Sensitivity[r] = curve
+		iv := full[intensityIdx(r)]
+		if iv < 0 {
+			iv = 0
+		}
+		p.IntensityBase[r] = iv
+		// Intensity slopes are not probed; CF profiles are pinned to
+		// the base resolution (documented limitation).
+	}
+	return p, nil
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

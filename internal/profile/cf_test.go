@@ -1,0 +1,105 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"gaugur/internal/ml"
+	"gaugur/internal/sim"
+)
+
+// buildLibrary fully profiles the first n games; the remainder are the
+// held-out onboarding set.
+func buildLibrary(t *testing.T, n int) (*sim.Catalog, *sim.Server, *Set, []*sim.GameSpec) {
+	t.Helper()
+	cat := sim.NewCatalog(42)
+	srv := sim.NewServer(1)
+	srv.SetNoise(0)
+	pf := &Profiler{Server: srv, Repeats: 1}
+	lib := &Set{ByID: map[int]*GameProfile{}}
+	for _, g := range cat.Games[:n] {
+		p, err := pf.ProfileGame(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.ByID[g.ID] = p
+		lib.Order = append(lib.Order, p)
+	}
+	return cat, srv, lib, cat.Games[n:]
+}
+
+func TestCompleterReconstructsHeldOutProfiles(t *testing.T) {
+	_, srv, lib, holdout := buildLibrary(t, 80)
+	c, err := NewCompleter(lib, ml.MFConfig{Rank: 10, Epochs: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultProbePlan(DefaultK)
+	if plan.Runs() != 14 {
+		t.Fatalf("default plan costs %d runs, want 14", plan.Runs())
+	}
+
+	full := &Profiler{Server: srv, Repeats: 1}
+	var curveErr, intenErr, nC, nI float64
+	for _, g := range holdout[:10] {
+		truth, err := full.ProfileGame(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := c.ProbeAndComplete(srv, g, plan, sim.Res720p, sim.Res1080p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < sim.NumResources; r++ {
+			for i := range truth.Sensitivity[r] {
+				curveErr += math.Abs(est.Sensitivity[r][i] - truth.Sensitivity[r][i])
+				nC++
+			}
+			intenErr += math.Abs(est.IntensityBase[r] - truth.IntensityBase[r])
+			nI++
+		}
+		// Completed profiles keep the physical invariants.
+		for r := 0; r < sim.NumResources; r++ {
+			curve := est.Sensitivity[r]
+			if curve[0] != 1 {
+				t.Error("completed curve must start at 1")
+			}
+			for i := 1; i < len(curve); i++ {
+				if curve[i] > curve[i-1]+1e-12 {
+					t.Error("completed curve must be monotone")
+				}
+			}
+		}
+	}
+	if mae := curveErr / nC; mae > 0.08 {
+		t.Errorf("completed-curve MAE %v too high (plan observes only 2 of 10 pressure levels)", mae)
+	}
+	if mae := intenErr / nI; mae > 0.12 {
+		t.Errorf("completed-intensity MAE %v too high", mae)
+	}
+}
+
+func TestCompleterValidation(t *testing.T) {
+	_, srv, lib, holdout := buildLibrary(t, 10)
+	if _, err := NewCompleter(&Set{}, ml.MFConfig{}); err == nil {
+		t.Error("empty library should fail")
+	}
+	c, err := NewCompleter(lib, ml.MFConfig{Rank: 4, Epochs: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProbeAndComplete(srv, holdout[0], ProbePlan{}, sim.Res720p, sim.Res1080p); err == nil {
+		t.Error("empty plan should fail")
+	}
+	if _, err := c.ProbeAndComplete(srv, holdout[0], ProbePlan{Levels: []int{99}}, sim.Res720p, sim.Res1080p); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+}
+
+func TestCompleterCheaperThanFullProfiling(t *testing.T) {
+	plan := DefaultProbePlan(DefaultK)
+	fullRuns := sim.NumResources * (DefaultK + 1) // one sweep, ignoring the GPU second pass
+	if plan.Runs()*4 > fullRuns {
+		t.Errorf("probe plan (%d runs) should be at least 4x cheaper than a full sweep (%d)", plan.Runs(), fullRuns)
+	}
+}

@@ -1,0 +1,47 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// setFile is the on-disk JSON layout for a profile set.
+type setFile struct {
+	Version  int            `json:"version"`
+	Profiles []*GameProfile `json:"profiles"`
+}
+
+const setFileVersion = 1
+
+// SaveSet writes the profile set as JSON. Profiles are the platform's
+// offline artifact (Section 3.2's output), so they are persisted in a
+// human-inspectable format.
+func SaveSet(w io.Writer, s *Set) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(setFile{Version: setFileVersion, Profiles: s.Order})
+}
+
+// LoadSet reads a profile set saved by SaveSet.
+func LoadSet(r io.Reader) (*Set, error) {
+	var f setFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("profile: decoding set: %w", err)
+	}
+	if f.Version != setFileVersion {
+		return nil, fmt.Errorf("profile: set version %d unsupported", f.Version)
+	}
+	s := &Set{ByID: make(map[int]*GameProfile, len(f.Profiles))}
+	for _, p := range f.Profiles {
+		if p == nil {
+			return nil, fmt.Errorf("profile: nil profile in set")
+		}
+		if _, dup := s.ByID[p.GameID]; dup {
+			return nil, fmt.Errorf("profile: duplicate game id %d", p.GameID)
+		}
+		s.ByID[p.GameID] = p
+		s.Order = append(s.Order, p)
+	}
+	return s, nil
+}

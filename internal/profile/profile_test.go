@@ -1,0 +1,204 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"gaugur/internal/sim"
+)
+
+func quietProfiler(t *testing.T) (*sim.Catalog, *Profiler) {
+	t.Helper()
+	cat := sim.NewCatalog(42)
+	srv := sim.NewServer(1)
+	srv.SetNoise(0)
+	return cat, &Profiler{Server: srv, Repeats: 1}
+}
+
+func TestProfileGameBasics(t *testing.T) {
+	cat, pf := quietProfiler(t)
+	g := cat.MustGet("Far Cry4")
+	p, err := pf.ProfileGame(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GameID != g.ID || p.Name != g.Name {
+		t.Error("identity fields wrong")
+	}
+	if p.K != DefaultK {
+		t.Errorf("K = %d, want %d", p.K, DefaultK)
+	}
+	for r := 0; r < sim.NumResources; r++ {
+		curve := p.Sensitivity[r]
+		if len(curve) != DefaultK+1 {
+			t.Fatalf("curve %d has %d points", r, len(curve))
+		}
+		if curve[0] != 1 {
+			t.Errorf("curve %d starts at %v, want 1", r, curve[0])
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i] > curve[i-1]+1e-12 {
+				t.Errorf("curve %d not monotone at %d", r, i)
+			}
+			if curve[i] < 0 || curve[i] > 1 {
+				t.Errorf("curve %d value %v out of range", r, curve[i])
+			}
+		}
+		if p.IntensityBase[r] < 0 {
+			t.Errorf("negative intensity on %v", sim.Resource(r))
+		}
+	}
+}
+
+func TestProfileMatchesHiddenSensitivity(t *testing.T) {
+	// Noise-free profiling must recover the hidden response law exactly
+	// at the sampled pressures for resources without benchmark bleed-in
+	// confounds... bleed exists, so allow a tolerance.
+	cat, pf := quietProfiler(t)
+	g := cat.MustGet("The Elder Scrolls5")
+	p, err := pf.ProfileGame(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := sim.PressureLevels(DefaultK)
+	for i, x := range levels {
+		want := g.Response[sim.CPUCE].Degradation(x)
+		got := p.Sensitivity[sim.CPUCE][i]
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("CPU-CE sensitivity at %.1f: measured %v, hidden %v", x, got, want)
+		}
+	}
+}
+
+func TestEquation2FPSInterpolation(t *testing.T) {
+	cat, pf := quietProfiler(t)
+	g := cat.Games[10]
+	p, err := pf.ProfileGame(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fit is anchored at the two profiled resolutions and Equation
+	// (2) is exact in the simulator, so any resolution interpolates.
+	for _, res := range sim.StandardResolutions() {
+		want := g.SoloFPS(res)
+		got := p.SoloFPS(res)
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("solo FPS at %v: %v vs %v", res, got, want)
+		}
+	}
+}
+
+func TestIntensityResolutionLaws(t *testing.T) {
+	cat, pf := quietProfiler(t)
+	p, err := pf.ProfileGame(cat.Games[1]) // AAA game, GPU heavy
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := p.Intensity(sim.Res720p)
+	hi := p.Intensity(sim.Res1440p)
+	for r := 0; r < sim.NumResources; r++ {
+		res := sim.Resource(r)
+		if res.GPUSide() {
+			if hi[r] < lo[r] {
+				t.Errorf("%v: intensity should grow with pixels", res)
+			}
+		} else if math.Abs(hi[r]-lo[r]) > 1e-9 {
+			t.Errorf("%v: CPU-side intensity must be resolution-flat (Observation 7)", res)
+		}
+	}
+}
+
+func TestSensitivityScore(t *testing.T) {
+	cat, pf := quietProfiler(t)
+	g := cat.MustGet("The Elder Scrolls5")
+	p, err := pf.ProfileGame(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hidden scale on CPU-CE is 0.70; measured score should be close.
+	if got := p.SensitivityScore(sim.CPUCE); math.Abs(got-0.70) > 0.1 {
+		t.Errorf("sensitivity score = %v, want ~0.70", got)
+	}
+}
+
+func TestFlatSensitivityLayout(t *testing.T) {
+	cat, pf := quietProfiler(t)
+	p, err := pf.ProfileGame(cat.Games[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := p.FlatSensitivity(nil)
+	if len(flat) != sim.NumResources*(DefaultK+1) {
+		t.Fatalf("flat length %d", len(flat))
+	}
+	// Resource r's block starts at r*(K+1).
+	for r := 0; r < sim.NumResources; r++ {
+		for i := 0; i <= DefaultK; i++ {
+			if flat[r*(DefaultK+1)+i] != p.Sensitivity[r][i] {
+				t.Fatalf("layout mismatch at r=%d i=%d", r, i)
+			}
+		}
+	}
+}
+
+func TestProfileCatalogCompleteAndDeterministic(t *testing.T) {
+	cat := sim.NewCatalog(42)
+	mk := func() *Set {
+		srv := sim.NewServer(9)
+		pf := &Profiler{Server: srv, Repeats: 1}
+		set, err := pf.ProfileCatalog(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	a := mk()
+	b := mk()
+	if a.Len() != cat.Len() {
+		t.Fatalf("profiled %d of %d games", a.Len(), cat.Len())
+	}
+	for _, g := range cat.Games {
+		pa, pb := a.Get(g.ID), b.Get(g.ID)
+		if pa == nil {
+			t.Fatalf("game %d missing", g.ID)
+		}
+		for r := 0; r < sim.NumResources; r++ {
+			for i := range pa.Sensitivity[r] {
+				if pa.Sensitivity[r][i] != pb.Sensitivity[r][i] {
+					t.Fatal("same server seed must give identical profiles")
+				}
+			}
+		}
+	}
+}
+
+func TestProfilerValidation(t *testing.T) {
+	cat := sim.NewCatalog(42)
+	pf := &Profiler{} // nil server
+	if _, err := pf.ProfileGame(cat.Games[0]); err == nil {
+		t.Error("nil server should fail")
+	}
+	pf = &Profiler{Server: sim.NewServer(1), ResLo: sim.Res1440p, ResHi: sim.Res720p}
+	if _, err := pf.ProfileGame(cat.Games[0]); err == nil {
+		t.Error("inverted resolutions should fail")
+	}
+}
+
+func TestDemandInterpolation(t *testing.T) {
+	cat, pf := quietProfiler(t)
+	g := cat.Games[1]
+	p, err := pf.ProfileGame(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sim.NewServer(1)
+	for _, res := range sim.StandardResolutions() {
+		want := srv.DemandVector(sim.NewInstance(g, res))
+		got := p.Demand(res)
+		for r := 0; r < sim.NumResources; r++ {
+			if math.Abs(got[r]-want[r]) > 0.02 {
+				t.Errorf("demand at %v on %v: %v vs %v", res, sim.Resource(r), got[r], want[r])
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"gaugur/internal/core"
+)
+
+// Scorer evaluates the predicted TOTAL frame rate a server would deliver if
+// it hosted exactly the given game multiset (the empty multiset scores 0).
+type Scorer func(games []int) float64
+
+// Dispatcher assigns gaming requests to a fixed fleet of identical servers.
+// Each request goes to the server where the fleet-wide predicted average
+// frame rate after assignment is maximal (Section 5.2's rule); since only
+// the chosen server changes, that is the server maximizing the DELTA in
+// predicted total FPS — which accounts for the interference the newcomer
+// inflicts on the incumbents, not just its own frame rate.
+type Dispatcher struct {
+	// NumServers is the fleet size.
+	NumServers int
+	// MaxPerServer caps colocation size; <= 0 defaults to 4 (the paper
+	// considers colocations of fewer than five games).
+	MaxPerServer int
+	// Score predicts the total FPS of a hypothetical server content.
+	Score Scorer
+}
+
+// serverState groups identical servers: with a 10-game study the number of
+// distinct multisets is tiny compared to the fleet, so scoring is memoized
+// per state instead of per server.
+type serverState struct {
+	games []int // sorted multiset
+	count int
+}
+
+func stateKey(games []int) string { return fmt.Sprint(games) }
+
+// Assign places the requests (a slice of game IDs, in arrival order) and
+// returns the final content of every non-empty server.
+func (d *Dispatcher) Assign(requests []int) ([][]int, error) {
+	if d.NumServers <= 0 {
+		return nil, fmt.Errorf("sched: dispatcher needs at least one server")
+	}
+	maxPer := d.MaxPerServer
+	if maxPer <= 0 {
+		maxPer = 4
+	}
+	if len(requests) > d.NumServers*maxPer {
+		return nil, fmt.Errorf("sched: %d requests exceed fleet capacity %d", len(requests), d.NumServers*maxPer)
+	}
+
+	states := map[string]*serverState{}
+	empty := &serverState{games: nil, count: d.NumServers}
+	states[stateKey(nil)] = empty
+
+	scoreCache := map[string]float64{}
+	score := func(games []int) float64 {
+		k := stateKey(games)
+		if v, ok := scoreCache[k]; ok {
+			return v
+		}
+		v := d.Score(games)
+		scoreCache[k] = v
+		return v
+	}
+
+	for _, g := range requests {
+		var bestFrom *serverState
+		var bestTo []int
+		bestScore := 0.0
+		found := false
+
+		// Deterministic iteration over states.
+		keys := make([]string, 0, len(states))
+		for k := range states {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		for _, k := range keys {
+			st := states[k]
+			if st.count <= 0 || len(st.games) >= maxPer {
+				continue
+			}
+			cand := insertSorted(st.games, g)
+			delta := score(cand)
+			if len(st.games) > 0 {
+				delta -= score(st.games)
+			}
+			if !found || delta > bestScore {
+				found = true
+				bestScore = delta
+				bestFrom = st
+				bestTo = cand
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sched: no server can take game %d", g)
+		}
+		bestFrom.count--
+		if bestFrom.count == 0 {
+			delete(states, stateKey(bestFrom.games))
+		}
+		tk := stateKey(bestTo)
+		if st, ok := states[tk]; ok {
+			st.count++
+		} else {
+			states[tk] = &serverState{games: bestTo, count: 1}
+		}
+	}
+
+	var out [][]int
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := states[k]
+		if len(st.games) == 0 {
+			continue
+		}
+		for i := 0; i < st.count; i++ {
+			out = append(out, append([]int(nil), st.games...))
+		}
+	}
+	return out, nil
+}
+
+// insertSorted returns a new sorted slice with g inserted.
+func insertSorted(games []int, g int) []int {
+	out := make([]int, 0, len(games)+1)
+	out = append(out, games...)
+	i := sort.SearchInts(out, g)
+	out = append(out, 0)
+	copy(out[i+1:], out[i:])
+	out[i] = g
+	return out
+}
+
+// WorstFit assigns each request to the server with the most remaining
+// capacity (the Section 5.2 VBP baseline). demandOf returns the scalar
+// demand a game adds; capacity is the per-server total.
+func WorstFit(requests []int, numServers int, maxPerServer int, capacity float64, demandOf func(game int) float64) ([][]int, error) {
+	if numServers <= 0 {
+		return nil, fmt.Errorf("sched: worst-fit needs at least one server")
+	}
+	if maxPerServer <= 0 {
+		maxPerServer = 4
+	}
+	if len(requests) > numServers*maxPerServer {
+		return nil, fmt.Errorf("sched: %d requests exceed fleet capacity %d", len(requests), numServers*maxPerServer)
+	}
+	remaining := make([]float64, numServers)
+	for i := range remaining {
+		remaining[i] = capacity
+	}
+	content := make([][]int, numServers)
+
+	for _, g := range requests {
+		best := -1
+		for s := 0; s < numServers; s++ {
+			if len(content[s]) >= maxPerServer {
+				continue
+			}
+			if best < 0 || remaining[s] > remaining[best] {
+				best = s
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("sched: no server can take game %d", g)
+		}
+		content[best] = append(content[best], g)
+		remaining[best] -= demandOf(g)
+	}
+
+	var out [][]int
+	for _, c := range content {
+		if len(c) > 0 {
+			sort.Ints(c)
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// ExpandRequests turns a demand map into a deterministic round-robin
+// arrival sequence (interleaved across games, the way a mixed request
+// stream would arrive).
+func ExpandRequests(demand map[int]int) []int {
+	ids := make([]int, 0, len(demand))
+	for id := range demand {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	left := make(map[int]int, len(demand))
+	total := 0
+	for id, n := range demand {
+		left[id] = n
+		total += n
+	}
+	out := make([]int, 0, total)
+	for total > 0 {
+		for _, id := range ids {
+			if left[id] > 0 {
+				out = append(out, id)
+				left[id]--
+				total--
+			}
+		}
+	}
+	return out
+}
+
+// EvaluateFleet measures (noise-free) the actual frame rate of every game
+// hosted by the fleet and returns them all — the population behind Figure
+// 10's averages and CDFs.
+func EvaluateFleet(lab *core.Lab, servers [][]int) []float64 {
+	var fps []float64
+	for _, games := range servers {
+		c := make(core.Colocation, len(games))
+		for i, id := range games {
+			c[i] = core.Workload{GameID: id, Res: core.ReferenceResolution}
+		}
+		fps = append(fps, lab.ExpectedFPS(c)...)
+	}
+	return fps
+}

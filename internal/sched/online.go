@@ -1,0 +1,266 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Online session churn: the Section 5 experiments place a fixed batch of
+// requests, but a production dispatcher faces a stream — sessions arrive,
+// play for a while, and leave, and every placement decision must respect
+// the games ALREADY running on each server. This simulator drives any
+// placement policy through such a stream and reports time-averaged
+// quality, which is where interference-aware placement pays off most: a
+// bad pairing hurts for the whole overlap of two sessions.
+
+// OnlineConfig parameterizes the churn simulation.
+type OnlineConfig struct {
+	// NumServers is the fleet size.
+	NumServers int
+	// MaxPerServer caps colocation size; <= 0 defaults to 4.
+	MaxPerServer int
+	// ArrivalRate is the mean session arrivals per unit time (Poisson).
+	ArrivalRate float64
+	// MeanDuration is the mean session length (exponential).
+	MeanDuration float64
+	// Sessions is the total number of arrivals to simulate.
+	Sessions int
+	// GameIDs is the request mix; arrivals draw uniformly from it.
+	GameIDs []int
+	// Seed drives arrivals, durations, and game draws.
+	Seed int64
+}
+
+// PlacementPolicy picks a server for an arriving session given the current
+// contents of every server (nil slice = idle). Returning ok=false rejects
+// the session (no capacity or deliberate admission control).
+type PlacementPolicy interface {
+	Place(contents [][]int, game int) (server int, ok bool)
+}
+
+// PolicyFunc adapts a function to PlacementPolicy.
+type PolicyFunc func(contents [][]int, game int) (int, bool)
+
+// Place implements PlacementPolicy.
+func (f PolicyFunc) Place(contents [][]int, game int) (int, bool) { return f(contents, game) }
+
+// GreedyPolicy places each arrival on the server maximizing the predicted
+// total-FPS delta, honoring the capacity cap — the online form of the
+// Section 5.2 dispatcher. Scores are memoized per game multiset: with a
+// small catalog the same states recur across thousands of arrivals, so the
+// cache turns most placements into hash lookups.
+func GreedyPolicy(score Scorer, maxPerServer int) PlacementPolicy {
+	if maxPerServer <= 0 {
+		maxPerServer = 4
+	}
+	cache := map[string]float64{}
+	cached := func(games []int) float64 {
+		k := stateKey(games)
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		v := score(games)
+		cache[k] = v
+		return v
+	}
+	return PolicyFunc(func(contents [][]int, game int) (int, bool) {
+		best, bestDelta, found := -1, 0.0, false
+		for s, occ := range contents {
+			if len(occ) >= maxPerServer {
+				continue
+			}
+			cand := insertSorted(occ, game)
+			delta := cached(cand)
+			if len(occ) > 0 {
+				delta -= cached(occ)
+			}
+			if !found || delta > bestDelta {
+				found, best, bestDelta = true, s, delta
+			}
+		}
+		return best, found
+	})
+}
+
+// LeastLoadedPolicy places each arrival on the server with the fewest
+// sessions — the interference-blind strawman.
+func LeastLoadedPolicy(maxPerServer int) PlacementPolicy {
+	if maxPerServer <= 0 {
+		maxPerServer = 4
+	}
+	return PolicyFunc(func(contents [][]int, game int) (int, bool) {
+		best, bestN := -1, maxPerServer
+		for s, occ := range contents {
+			if len(occ) < bestN {
+				best, bestN = s, len(occ)
+			}
+		}
+		return best, best >= 0
+	})
+}
+
+// FPSEvaluator returns the actual frame rate of every session on a server
+// given its game multiset (the ground-truth oracle the simulator scores
+// with; experiments pass lab-backed evaluators).
+type FPSEvaluator func(games []int) []float64
+
+// OnlineResult summarizes one churn run.
+type OnlineResult struct {
+	// MeanFPS is the session-time-weighted average frame rate.
+	MeanFPS float64
+	// ViolationFraction is the fraction of session-time spent below the
+	// QoS floor.
+	ViolationFraction float64
+	// Rejected counts arrivals the policy could not place.
+	Rejected int
+	// Completed counts sessions that ran to their natural end.
+	Completed int
+	// PeakActive is the maximum number of concurrent sessions.
+	PeakActive int
+}
+
+// departure is a scheduled session end.
+type departure struct {
+	at      float64
+	server  int
+	session int // index within the server's occupant list identity
+	game    int
+}
+
+// departureHeap orders departures by time.
+type departureHeap []departure
+
+func (h departureHeap) Len() int           { return len(h) }
+func (h departureHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h departureHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x any)        { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h departureHeap) Peek() (departure, bool) {
+	if len(h) == 0 {
+		return departure{}, false
+	}
+	return h[0], true
+}
+
+// RunOnline drives the policy through a churn stream and scores it with
+// the evaluator against the QoS floor.
+func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos float64) (OnlineResult, error) {
+	if cfg.NumServers <= 0 {
+		return OnlineResult{}, fmt.Errorf("sched: online needs at least one server")
+	}
+	if cfg.Sessions <= 0 || len(cfg.GameIDs) == 0 {
+		return OnlineResult{}, fmt.Errorf("sched: online needs sessions and a game mix")
+	}
+	if cfg.ArrivalRate <= 0 || cfg.MeanDuration <= 0 {
+		return OnlineResult{}, fmt.Errorf("sched: online needs positive rates")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	contents := make([][]int, cfg.NumServers)
+	serverFPS := make([][]float64, cfg.NumServers)
+
+	var deps departureHeap
+	heap.Init(&deps)
+
+	var res OnlineResult
+	now := 0.0
+	var fpsIntegral, violIntegral, timeIntegral float64
+	active := 0
+
+	// currentSums returns total fps and sub-QoS session count.
+	recompute := func(s int) {
+		if len(contents[s]) == 0 {
+			serverFPS[s] = nil
+			return
+		}
+		serverFPS[s] = eval(contents[s])
+	}
+	accumulate := func(dt float64) {
+		if dt <= 0 || active == 0 {
+			return
+		}
+		var sum float64
+		var viol int
+		for s := range serverFPS {
+			for _, f := range serverFPS[s] {
+				sum += f
+				if f < qos {
+					viol++
+				}
+			}
+		}
+		fpsIntegral += sum * dt
+		violIntegral += float64(viol) * dt
+		timeIntegral += float64(active) * dt
+	}
+
+	removeSession := func(d departure) {
+		occ := contents[d.server]
+		for i, g := range occ {
+			if g == d.game {
+				contents[d.server] = append(occ[:i:i], occ[i+1:]...)
+				break
+			}
+		}
+		recompute(d.server)
+		active--
+		res.Completed++
+	}
+
+	nextArrival := now + rng.ExpFloat64()/cfg.ArrivalRate
+	arrived := 0
+	for arrived < cfg.Sessions || deps.Len() > 0 {
+		// Next event: arrival (if any remain) or earliest departure.
+		d, hasDep := deps.Peek()
+		takeDeparture := hasDep && (arrived >= cfg.Sessions || d.at <= nextArrival)
+
+		var eventAt float64
+		if takeDeparture {
+			eventAt = d.at
+		} else {
+			eventAt = nextArrival
+		}
+		accumulate(eventAt - now)
+		now = eventAt
+
+		if takeDeparture {
+			heap.Pop(&deps)
+			removeSession(d)
+			continue
+		}
+
+		// Arrival.
+		game := cfg.GameIDs[rng.Intn(len(cfg.GameIDs))]
+		server, ok := policy.Place(contents, game)
+		if ok && (server < 0 || server >= cfg.NumServers) {
+			return res, fmt.Errorf("sched: policy placed on invalid server %d", server)
+		}
+		if ok {
+			contents[server] = insertSorted(contents[server], game)
+			sort.Ints(contents[server])
+			recompute(server)
+			active++
+			if active > res.PeakActive {
+				res.PeakActive = active
+			}
+			dur := rng.ExpFloat64() * cfg.MeanDuration
+			heap.Push(&deps, departure{at: now + dur, server: server, game: game})
+		} else {
+			res.Rejected++
+		}
+		arrived++
+		nextArrival = now + rng.ExpFloat64()/cfg.ArrivalRate
+	}
+
+	if timeIntegral > 0 {
+		res.MeanFPS = fpsIntegral / timeIntegral
+		res.ViolationFraction = violIntegral / timeIntegral
+	}
+	if math.IsNaN(res.MeanFPS) {
+		return res, fmt.Errorf("sched: online produced NaN metrics")
+	}
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnumerateSubsetsCounts(t *testing.T) {
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	subsets := EnumerateSubsets(ids, 4)
+	// C(10,1)+C(10,2)+C(10,3)+C(10,4) = 10+45+120+210 = 385, the paper's
+	// Section 5.1 count.
+	if len(subsets) != 385 {
+		t.Fatalf("got %d subsets, want 385", len(subsets))
+	}
+	seen := map[string]bool{}
+	for _, s := range subsets {
+		if len(s) == 0 || len(s) > 4 {
+			t.Fatalf("bad subset size %d", len(s))
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Fatalf("subset not strictly sorted: %v", s)
+			}
+		}
+		k := stateKey([]int(s))
+		if seen[k] {
+			t.Fatalf("duplicate subset %v", s)
+		}
+		seen[k] = true
+	}
+}
+
+func TestEnumerateSubsetsSmall(t *testing.T) {
+	if got := len(EnumerateSubsets([]int{1, 2}, 4)); got != 3 {
+		t.Errorf("subsets of 2 = %d, want 3", got)
+	}
+	if got := len(EnumerateSubsets(nil, 4)); got != 0 {
+		t.Errorf("subsets of empty = %d, want 0", got)
+	}
+}
+
+func TestPackRequestsExactCover(t *testing.T) {
+	// Two games, pair feasible: 10 requests each -> 10 servers.
+	feasible := []ColocSet{{1}, {2}, {1, 2}}
+	res := PackRequests(feasible, map[int]int{1: 10, 2: 10})
+	if res.NumServers() != 10 {
+		t.Errorf("servers = %d, want 10", res.NumServers())
+	}
+	if res.Unplaceable != 0 {
+		t.Errorf("unplaceable = %d", res.Unplaceable)
+	}
+}
+
+func TestPackRequestsPrefersLargeColocations(t *testing.T) {
+	feasible := []ColocSet{{1}, {2}, {3}, {1, 2, 3}}
+	res := PackRequests(feasible, map[int]int{1: 5, 2: 5, 3: 5})
+	if res.NumServers() != 5 {
+		t.Errorf("servers = %d, want 5 (triples)", res.NumServers())
+	}
+}
+
+func TestPackRequestsImbalancedDemand(t *testing.T) {
+	feasible := []ColocSet{{1}, {2}, {1, 2}}
+	res := PackRequests(feasible, map[int]int{1: 10, 2: 3})
+	// 3 servers of {1,2}, then 7 singles of {1}.
+	if res.NumServers() != 10 {
+		t.Errorf("servers = %d, want 10", res.NumServers())
+	}
+}
+
+func TestPackRequestsUnplaceable(t *testing.T) {
+	// Game 2 has no feasible colocation at all.
+	feasible := []ColocSet{{1}}
+	res := PackRequests(feasible, map[int]int{1: 2, 2: 3})
+	if res.NumServers() != 5 {
+		t.Errorf("servers = %d, want 5", res.NumServers())
+	}
+	if res.Unplaceable != 3 {
+		t.Errorf("unplaceable = %d, want 3", res.Unplaceable)
+	}
+}
+
+// Property: every request is served exactly once and every multi-game
+// server hosts a feasible colocation.
+func TestPackRequestsServesEveryRequest(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nGames := 2 + rng.Intn(6)
+		ids := make([]int, nGames)
+		for i := range ids {
+			ids[i] = i
+		}
+		all := EnumerateSubsets(ids, 3)
+		var feasible []ColocSet
+		feasSet := map[string]bool{}
+		for _, s := range all {
+			if len(s) == 1 || rng.Float64() < 0.4 {
+				feasible = append(feasible, s)
+				feasSet[stateKey([]int(s))] = true
+			}
+		}
+		demand := map[int]int{}
+		total := 0
+		for _, id := range ids {
+			n := rng.Intn(20)
+			demand[id] = n
+			total += n
+		}
+		res := PackRequests(feasible, demand)
+		served := map[int]int{}
+		for _, srv := range res.Servers {
+			if len(srv) > 1 && !feasSet[stateKey([]int(srv))] {
+				return false // infeasible multi-game colocation used
+			}
+			for _, id := range srv {
+				served[id]++
+			}
+		}
+		for id, n := range demand {
+			if served[id] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpreadRequestsUniform(t *testing.T) {
+	out := SpreadRequests([]int{1, 2, 3}, 10, nil)
+	sum := 0
+	for _, n := range out {
+		sum += n
+		if n < 3 || n > 4 {
+			t.Errorf("uniform spread gave %d", n)
+		}
+	}
+	if sum != 10 {
+		t.Errorf("total = %d, want 10", sum)
+	}
+}
+
+func TestSpreadRequestsWeighted(t *testing.T) {
+	out := SpreadRequests([]int{1, 2}, 100, []float64{3, 1})
+	if out[1] != 75 || out[2] != 25 {
+		t.Errorf("weighted spread = %v", out)
+	}
+}
+
+// Property: SpreadRequests always sums to the total.
+func TestSpreadRequestsSumProperty(t *testing.T) {
+	prop := func(nGames uint8, total uint16) bool {
+		n := int(nGames%20) + 1
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		out := SpreadRequests(ids, int(total), nil)
+		sum := 0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == int(total)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpreadRequestsEdge(t *testing.T) {
+	if len(SpreadRequests(nil, 10, nil)) != 0 {
+		t.Error("no games -> empty")
+	}
+	if len(SpreadRequests([]int{1}, 0, nil)) != 0 {
+		t.Error("no requests -> empty")
+	}
+}

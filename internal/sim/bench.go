@@ -1,0 +1,61 @@
+package sim
+
+// Benchmark is a tunable pressure generator for one shared resource,
+// mirroring the micro-benchmarks of Section 3.2: it can dial the pressure
+// on its target resource anywhere in [0,1] while exerting only mild "bleed"
+// pressure on physically coupled resources (e.g. the GPU-BW benchmark
+// cannot bypass the GPU caches, so it also warms GPU-L2).
+type Benchmark struct {
+	Target Resource
+	// bleed maps coupled resources to the fraction of the target load
+	// they receive.
+	bleed map[Resource]float64
+}
+
+// benchmarkBleeds encodes the unavoidable couplings the paper calls out.
+var benchmarkBleeds = map[Resource]map[Resource]float64{
+	CPUCE:  {LLC: 0.05},
+	LLC:    {MemBW: 0.10},
+	MemBW:  {LLC: 0.15},
+	GPUCE:  {GPUL2: 0.08},
+	GPUBW:  {GPUL2: 0.35}, // "the benchmark also generates pressures on GPU caches"
+	GPUL2:  {GPUBW: 0.10},
+	PCIeBW: {MemBW: 0.08, GPUBW: 0.08},
+}
+
+// NewBenchmark returns the pressure benchmark for resource r.
+func NewBenchmark(r Resource) Benchmark {
+	return Benchmark{Target: r, bleed: benchmarkBleeds[r]}
+}
+
+// LoadAt returns the per-resource load the benchmark exerts when its
+// pressure knob is set to x in [0,1]: the calibrated load on the target
+// resource plus bleed on coupled ones.
+func (b Benchmark) LoadAt(x float64) Vector {
+	var v Vector
+	if x <= 0 {
+		return v
+	}
+	if x > 1 {
+		x = 1
+	}
+	load := benchLoadFor(b.Target, x)
+	v[b.Target] = load
+	for r, f := range b.bleed {
+		v[r] = load * f
+	}
+	return v
+}
+
+// PressureLevels returns the paper's sampling grid {0, 1/k, ..., 1} for
+// granularity k (the paper uses k = 10).
+func PressureLevels(k int) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		out[i] = float64(i) / float64(k)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// gameNames reproduces the paper's 100-game list (footnote [3]) so that the
+// figures can refer to the same titles the paper plots. The hidden specs
+// behind the names are synthetic.
+var gameNames = [100]string{
+	"A Walk in the Woods", "After Dreams", "AirMech Strike", "Ancestors Legacy",
+	"ARK Survival Evolved", "Battlerite", "Black Squad", "BlubBlub",
+	"Borderland2", "Call to Arms", "Candle", "Cities: Skylines",
+	"CoD14", "Cognizer", "Craft The World", "Dark Souls III",
+	"Dragon's Dogma", "Delicious 12", "Destined", "Divinity: Original Sin 2",
+	"DmC: Devil May Cry", "Dota2", "Dragon Ball Xenoverse 2", "Empire Earth III",
+	"Endless Fables", "Far Cry4", "FAR: Lone Sails", "Final Fantasy XII",
+	"Frightened Beetles", "Gems of War", "Getting Over It", "Granado Espada",
+	"GUNS UP!", "H1Z1", "Hand of Fate 2", "Heroes and Generals",
+	"Hobo: Tough Life", "Human: Fall Flat", "Impact Winter", "Kingdom Come: Deliverance",
+	"Life is Strange: Before the Storm", "Little Nightmares", "Little Witch Academia", "League of Legends",
+	"Maries Room", "Naruto Shippuden: UNS4", "NBA 2K17", "NBA Playgrounds",
+	"Need for Speed: Hot Pursuit", "NieR: Automata", "Northgard", "Ori and the Blind Forest",
+	"Oxygen Not Included", "PES2017", "PlanetSide 2", "PES2015",
+	"Project RAT", "Project CARS", "Radical Heights", "RiME",
+	"RimWorld", "Robocraft", "Russian Fishing 4", "Salt and Sanctuary",
+	"Shop Heroes", "Slay the Spire", "StarCraft 2", "Stardew Valley",
+	"Stellaris", "Tactical Monsters", "Team Fortress 2", "TEKKEN 7",
+	"The Long Dark", "The Sibling Experiment", "The Walking Dead: ANF", "The Will of a Single Tale",
+	"The Witcher 3", "Tiger Knight", "Torchlight II", "Trails of Cold Steel",
+	"Unturned", "VEGA Conflict", "War Robots", "War Thunder",
+	"Warface", "Warframe", "World of Warships", "WRC 5",
+	"Assassin's Creed Origins", "Rise of The Tomb Raider", "Hearth Stone", "Mahou Arms",
+	"World of Warcraft", "Warcraft", "Romance of the Three Kingdoms 11", "The Elder Scrolls5",
+	"PES2012", "Dynasty Warriors 5", "Ancestors Online", "Empyrean Drift",
+}
+
+// genreArchetype bounds the random draws for one genre so that resource
+// demands are correlated the way real genres are (Figure 2a's spread).
+type genreArchetype struct {
+	genre Genre
+	// fps1080 is the solo frame-rate range at 1080p (Figure 2b spans
+	// roughly 30..360 FPS across the catalog).
+	fpsLo, fpsHi float64
+	// load ranges per resource group.
+	cpuLo, cpuHi float64 // CPU-CE
+	gpuLo, gpuHi float64 // GPU-CE
+	bwLo, bwHi   float64 // MEM-BW / GPU-BW / PCIe-BW
+	chLo, chHi   float64 // LLC / GPU-L2 occupancy
+	// sensitivity scale range (fraction of FPS lost at max pressure).
+	senLo, senHi float64
+	// memory demand ranges.
+	memLo, memHi float64
+}
+
+var archetypes = [numGenres]genreArchetype{
+	GenreMOBA:         {GenreMOBA, 150, 360, 0.25, 0.50, 0.10, 0.30, 0.08, 0.25, 0.10, 0.35, 0.15, 0.55, 0.05, 0.22},
+	GenreAAAOpenWorld: {GenreAAAOpenWorld, 40, 110, 0.35, 0.70, 0.45, 0.85, 0.30, 0.65, 0.30, 0.70, 0.30, 0.75, 0.15, 0.30},
+	GenreFPS:          {GenreFPS, 80, 200, 0.30, 0.60, 0.35, 0.70, 0.25, 0.55, 0.20, 0.55, 0.25, 0.65, 0.10, 0.28},
+	GenreMMORPG:       {GenreMMORPG, 60, 160, 0.30, 0.65, 0.25, 0.55, 0.20, 0.50, 0.25, 0.60, 0.20, 0.60, 0.12, 0.28},
+	GenreStrategy:     {GenreStrategy, 60, 180, 0.35, 0.75, 0.10, 0.35, 0.12, 0.35, 0.20, 0.55, 0.20, 0.70, 0.08, 0.25},
+	GenreIndie2D:      {GenreIndie2D, 120, 360, 0.05, 0.25, 0.04, 0.18, 0.03, 0.15, 0.05, 0.20, 0.05, 0.35, 0.03, 0.15},
+	GenreRacing:       {GenreRacing, 70, 160, 0.25, 0.50, 0.35, 0.70, 0.25, 0.55, 0.20, 0.50, 0.25, 0.60, 0.10, 0.28},
+	GenreSurvival:     {GenreSurvival, 50, 130, 0.30, 0.65, 0.35, 0.75, 0.25, 0.60, 0.25, 0.60, 0.30, 0.70, 0.12, 0.30},
+}
+
+// genreOf deterministically assigns a genre to each catalog slot so the mix
+// stays stable across seeds.
+func genreOf(i int) Genre { return Genre(i % numGenres) }
+
+// Catalog is the set of games offered by the simulated platform.
+type Catalog struct {
+	Games  []*GameSpec
+	byName map[string]*GameSpec
+}
+
+// NewCatalog generates the 100-game catalog from the given seed. The same
+// seed always yields byte-identical specs. A handful of titles that the
+// paper's figures single out are post-adjusted to match their reported
+// qualitative behaviour (see adjustNamedGames).
+func NewCatalog(seed int64) *Catalog {
+	rng := rand.New(rand.NewSource(seed))
+	games := make([]*GameSpec, len(gameNames))
+	for i := range gameNames {
+		games[i] = generateGame(rng, i)
+	}
+	c := &Catalog{Games: games, byName: make(map[string]*GameSpec, len(games))}
+	for _, g := range games {
+		c.byName[g.Name] = g
+	}
+	c.adjustNamedGames()
+	return c
+}
+
+// Get returns the game with the given name, or nil if absent.
+func (c *Catalog) Get(name string) *GameSpec { return c.byName[name] }
+
+// MustGet returns the named game or panics; intended for experiment drivers
+// that reference paper-named titles.
+func (c *Catalog) MustGet(name string) *GameSpec {
+	g := c.byName[name]
+	if g == nil {
+		panic(fmt.Sprintf("sim: game %q not in catalog", name))
+	}
+	return g
+}
+
+// Len returns the number of games.
+func (c *Catalog) Len() int { return len(c.Games) }
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// randomShape draws a curve shape with the catalog-wide mix: games are
+// mostly nonlinear (Observation 4).
+func randomShape(rng *rand.Rand) (CurveShape, float64) {
+	switch p := rng.Float64(); {
+	case p < 0.20:
+		return ShapeLinear, 0
+	case p < 0.50:
+		return ShapeConvex, uniform(rng, 1.5, 3.5)
+	case p < 0.75:
+		return ShapeConcave, uniform(rng, 1.5, 3.0)
+	default:
+		return ShapeKnee, uniform(rng, 0.35, 0.75)
+	}
+}
+
+func generateGame(rng *rand.Rand, id int) *GameSpec {
+	genre := genreOf(id)
+	a := archetypes[genre]
+	g := &GameSpec{ID: id, Name: gameNames[id], Genre: genre}
+
+	loadRange := func(r Resource) (float64, float64) {
+		switch r {
+		case CPUCE:
+			return a.cpuLo, a.cpuHi
+		case GPUCE:
+			return a.gpuLo, a.gpuHi
+		case LLC, GPUL2:
+			return a.chLo, a.chHi
+		default:
+			return a.bwLo, a.bwHi
+		}
+	}
+
+	// Each game is bottlenecked by a few dominant resources and only
+	// mildly sensitive elsewhere — Figure 4's curves spread between
+	// near-flat and deep. Dominant count 2-3 keeps multiplicative
+	// cross-resource degradation in the paper's observed range.
+	numDominant := 2 + rng.Intn(2)
+	dom := make(map[int]bool, numDominant)
+	for len(dom) < numDominant {
+		dom[rng.Intn(NumResources)] = true
+	}
+
+	for r := 0; r < NumResources; r++ {
+		shape, param := randomShape(rng)
+		scale := uniform(rng, 0.02, 0.12)
+		if dom[r] {
+			scale = uniform(rng, a.senLo, a.senHi)
+		}
+		// Sensitivity and intensity are drawn independently, which is
+		// exactly Observation 2 (they need not correlate).
+		g.Response[r] = ResponseSpec{
+			Shape: shape,
+			Scale: scale,
+			Param: param,
+		}
+		lo, hi := loadRange(Resource(r))
+		g.BaseLoad[r] = uniform(rng, lo, hi)
+		if Resource(r).GPUSide() {
+			// Observation 8: GPU-side intensity is linear in pixels.
+			g.PixelSlope[r] = g.BaseLoad[r] * uniform(rng, 0.20, 0.45) / refResolution.MPixels()
+		}
+	}
+
+	fps1080 := uniform(rng, a.fpsLo, a.fpsHi)
+	slopeFrac := uniform(rng, 0.10, 0.30) // FPS lost per extra megapixel, as a fraction of fps1080
+	g.FPSSlopeA = fps1080 * slopeFrac
+	g.FPSIntercptB = fps1080 + g.FPSSlopeA*refResolution.MPixels()
+
+	g.CPUMem = uniform(rng, a.memLo, a.memHi)
+	g.GPUMem = uniform(rng, a.memLo, a.memHi)
+
+	// Scene dynamics: open-world and survival titles swing hardest;
+	// board-like indie games barely move (Section 7).
+	switch genre {
+	case GenreAAAOpenWorld, GenreSurvival:
+		g.SceneAmp = uniform(rng, 0.15, 0.35)
+	case GenreIndie2D:
+		g.SceneAmp = uniform(rng, 0.02, 0.08)
+	default:
+		g.SceneAmp = uniform(rng, 0.08, 0.22)
+	}
+	return g
+}
+
+// adjustNamedGames pins the qualitative properties the paper reports for
+// specific titles so that the corresponding figures show the same stories:
+//
+//   - Far Cry4 is sensitive to every resource but loses only ~30% on CPU-CE
+//     at max pressure, while The Elder Scrolls5 loses ~70% there (Obs. 3).
+//   - Granado Espada is very sensitive to GPU-CE yet exerts only light
+//     GPU-CE intensity (Obs. 2).
+//   - H1Z1 and ARK Survival Evolved are heavy interferers (Figure 1's bad
+//     partners); Ancestors Legacy and Borderland2 are friendly partners.
+//   - Dragon's Dogma and Little Witch Academia carry the Section 2.2
+//     demand vectors used to show VBP's false feasibility.
+func (c *Catalog) adjustNamedGames() {
+	if g := c.byName["Far Cry4"]; g != nil {
+		for r := 0; r < NumResources; r++ {
+			g.Response[r].Scale = 0.30 + 0.05*float64(r%3)
+		}
+		g.Response[CPUCE] = ResponseSpec{Shape: ShapeConvex, Scale: 0.30, Param: 2.0}
+		g.Response[GPUCE] = ResponseSpec{Shape: ShapeConcave, Scale: 0.45, Param: 2.0}
+	}
+	if g := c.byName["The Elder Scrolls5"]; g != nil {
+		g.Response[CPUCE] = ResponseSpec{Shape: ShapeConcave, Scale: 0.70, Param: 1.8}
+	}
+	if g := c.byName["Granado Espada"]; g != nil {
+		g.Response[GPUCE] = ResponseSpec{Shape: ShapeKnee, Scale: 0.80, Param: 0.45}
+		g.BaseLoad[GPUCE] = 0.08
+		g.PixelSlope[GPUCE] = 0.01 / refResolution.MPixels()
+	}
+	if g := c.byName["H1Z1"]; g != nil {
+		g.BaseLoad = Vector{0.65, 0.55, 0.60, 0.75, 0.65, 0.55, 0.45}
+		for r := 0; r < NumResources; r++ {
+			g.Response[r].Scale = clampF(g.Response[r].Scale+0.15, 0, 0.85)
+		}
+	}
+	if g := c.byName["ARK Survival Evolved"]; g != nil {
+		g.BaseLoad = Vector{0.60, 0.50, 0.55, 0.70, 0.60, 0.50, 0.40}
+	}
+	if g := c.byName["Ancestors Legacy"]; g != nil {
+		g.BaseLoad = Vector{0.30, 0.20, 0.18, 0.30, 0.22, 0.20, 0.12}
+		for r := 0; r < NumResources; r++ {
+			g.Response[r].Scale = clampF(g.Response[r].Scale, 0, 0.45)
+		}
+	}
+	if g := c.byName["Borderland2"]; g != nil {
+		g.BaseLoad = Vector{0.28, 0.22, 0.20, 0.32, 0.25, 0.22, 0.14}
+		for r := 0; r < NumResources; r++ {
+			g.Response[r].Scale = clampF(g.Response[r].Scale, 0, 0.40)
+		}
+	}
+	if g := c.byName["Dragon's Dogma"]; g != nil {
+		g.BaseLoad[CPUCE], g.BaseLoad[GPUCE] = 0.45, 0.32
+		g.CPUMem, g.GPUMem = 0.06, 0.05
+	}
+	if g := c.byName["Little Witch Academia"]; g != nil {
+		g.BaseLoad[CPUCE], g.BaseLoad[GPUCE] = 0.33, 0.60
+		g.CPUMem, g.GPUMem = 0.25, 0.50
+		g.Response[GPUCE] = ResponseSpec{Shape: ShapeConcave, Scale: 0.60, Param: 2.2}
+	}
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCatalogDeterministicAndComplete(t *testing.T) {
+	a := NewCatalog(42)
+	b := NewCatalog(42)
+	if a.Len() != 100 {
+		t.Fatalf("catalog has %d games, want 100", a.Len())
+	}
+	if !reflect.DeepEqual(a.Games, b.Games) {
+		t.Error("same seed must produce identical catalogs")
+	}
+	c := NewCatalog(43)
+	if reflect.DeepEqual(a.Games[0].BaseLoad, c.Games[0].BaseLoad) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	cat := NewCatalog(1)
+	seen := map[string]bool{}
+	for _, g := range cat.Games {
+		if seen[g.Name] {
+			t.Errorf("duplicate game name %q", g.Name)
+		}
+		seen[g.Name] = true
+		if cat.Get(g.Name) != g {
+			t.Errorf("Get(%q) did not return the game", g.Name)
+		}
+	}
+	if cat.Get("definitely not a game") != nil {
+		t.Error("Get of unknown name should be nil")
+	}
+}
+
+func TestCatalogMustGetPanics(t *testing.T) {
+	cat := NewCatalog(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet of unknown game should panic")
+		}
+	}()
+	cat.MustGet("nope")
+}
+
+func TestCatalogSpecsSane(t *testing.T) {
+	cat := NewCatalog(42)
+	for _, g := range cat.Games {
+		if g.CPUMem < 0 || g.CPUMem > 1 || g.GPUMem < 0 || g.GPUMem > 1 {
+			t.Errorf("%s: memory out of range", g.Name)
+		}
+		fps := g.SoloFPS(Res1080p)
+		if fps < 5 || fps > 400 {
+			t.Errorf("%s: solo FPS %v out of plausible range", g.Name, fps)
+		}
+		// Equation 2: FPS decreases with pixels.
+		if g.SoloFPS(Res720p) < g.SoloFPS(Res1440p) {
+			t.Errorf("%s: FPS should drop at higher resolution", g.Name)
+		}
+		for r := 0; r < NumResources; r++ {
+			if g.BaseLoad[r] < 0 || g.BaseLoad[r] > 1 {
+				t.Errorf("%s: base load %v out of range on %v", g.Name, g.BaseLoad[r], Resource(r))
+			}
+			if s := g.Response[r].Scale; s < 0 || s >= 1 {
+				t.Errorf("%s: sensitivity scale %v out of range on %v", g.Name, s, Resource(r))
+			}
+			if !Resource(r).GPUSide() && g.PixelSlope[r] != 0 {
+				t.Errorf("%s: CPU-side resource %v has pixel slope (Observation 7)", g.Name, Resource(r))
+			}
+		}
+	}
+}
+
+func TestNamedGamePropertiesFromPaper(t *testing.T) {
+	cat := NewCatalog(42)
+
+	// Observation 3: Elder Scrolls loses ~70% on CPU-CE at max pressure,
+	// Far Cry4 only ~30%.
+	es := cat.MustGet("The Elder Scrolls5")
+	fc := cat.MustGet("Far Cry4")
+	if got := es.Response[CPUCE].Scale; math.Abs(got-0.70) > 1e-9 {
+		t.Errorf("Elder Scrolls CPU-CE scale = %v, want 0.70", got)
+	}
+	if got := fc.Response[CPUCE].Scale; math.Abs(got-0.30) > 1e-9 {
+		t.Errorf("Far Cry4 CPU-CE scale = %v, want 0.30", got)
+	}
+
+	// Observation 2: Granado Espada is very sensitive to GPU-CE but has
+	// very light GPU-CE load.
+	ge := cat.MustGet("Granado Espada")
+	if ge.Response[GPUCE].Scale < 0.5 {
+		t.Error("Granado Espada should be very sensitive to GPU-CE")
+	}
+	if ge.BaseLoad[GPUCE] > 0.15 {
+		t.Error("Granado Espada should have light GPU-CE load")
+	}
+
+	// Section 2.2 demand vectors.
+	dd := cat.MustGet("Dragon's Dogma")
+	if dd.CPUMem != 0.06 || dd.GPUMem != 0.05 {
+		t.Errorf("Dragon's Dogma memory = (%v, %v)", dd.CPUMem, dd.GPUMem)
+	}
+	lwa := cat.MustGet("Little Witch Academia")
+	if lwa.CPUMem != 0.25 || lwa.GPUMem != 0.50 {
+		t.Errorf("Little Witch Academia memory = (%v, %v)", lwa.CPUMem, lwa.GPUMem)
+	}
+}
+
+func TestGameLoadAtResolutionMonotone(t *testing.T) {
+	cat := NewCatalog(42)
+	for _, g := range cat.Games[:20] {
+		lo := g.LoadAt(Res720p)
+		hi := g.LoadAt(Res1440p)
+		for r := 0; r < NumResources; r++ {
+			res := Resource(r)
+			if res.GPUSide() {
+				if hi[r] < lo[r] {
+					t.Errorf("%s/%v: GPU-side load should grow with pixels", g.Name, res)
+				}
+			} else if math.Abs(hi[r]-lo[r]) > 1e-12 {
+				t.Errorf("%s/%v: CPU-side load should not depend on pixels", g.Name, res)
+			}
+		}
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	cat := NewCatalog(42)
+	in := NewInstance(cat.MustGet("Dota2"), Res1080p)
+	if got := in.String(); got != "Dota2@1920x1080" {
+		t.Errorf("Instance.String() = %q", got)
+	}
+}
+
+func TestGenreString(t *testing.T) {
+	if GenreMOBA.String() != "MOBA" {
+		t.Error("GenreMOBA name wrong")
+	}
+	if Genre(99).String() != "Genre(99)" {
+		t.Error("out-of-range genre name wrong")
+	}
+}

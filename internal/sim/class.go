@@ -1,0 +1,63 @@
+package sim
+
+// Server classes (future-work item 1 of the paper: "GAugur is only tested
+// on one server type ... we wish to test GAugur on more server types").
+// A class scales the hardware's throughput: a beefier machine renders
+// faster AND absorbs more tenant load before the shared resources
+// saturate. Contention features profiled on one class do not transfer
+// verbatim to another — the ext-hetero experiment quantifies exactly that
+// and shows per-class profiling restores accuracy.
+
+// ServerClass describes one hardware generation.
+type ServerClass struct {
+	// Name is a human-readable label.
+	Name string
+	// Perf is the throughput multiplier relative to the reference
+	// machine (the paper's i7-7700 + GTX 1060): solo frame rates scale
+	// up by Perf and per-tenant relative loads scale down by it.
+	Perf float64
+}
+
+// The three simulated fleets.
+var (
+	// ClassReference is the paper's testbed.
+	ClassReference = ServerClass{Name: "reference", Perf: 1.0}
+	// ClassHighEnd is a next-generation machine.
+	ClassHighEnd = ServerClass{Name: "high-end", Perf: 1.35}
+	// ClassBudget is a cheaper, weaker machine.
+	ClassBudget = ServerClass{Name: "budget", Perf: 0.75}
+)
+
+// ServerClasses lists the available classes.
+func ServerClasses() []ServerClass {
+	return []ServerClass{ClassReference, ClassHighEnd, ClassBudget}
+}
+
+// NewServerOfClass returns a server of the given hardware class.
+func NewServerOfClass(seed int64, class ServerClass) *Server {
+	s := NewServer(seed)
+	if class.Perf > 0 {
+		s.perf = class.Perf
+	}
+	return s
+}
+
+// Class returns the server's class label and performance factor.
+func (s *Server) Class() ServerClass {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := "reference"
+	switch {
+	case s.perf > 1:
+		name = "high-end"
+	case s.perf < 1:
+		name = "budget"
+	}
+	return ServerClass{Name: name, Perf: s.perf}
+}
+
+// soloFPS is the class-adjusted solo frame rate of an instance on this
+// server.
+func (s *Server) soloFPS(in Instance) float64 {
+	return in.SoloFPS() * s.perf
+}

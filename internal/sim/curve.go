@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// CurveShape selects the functional form of a game's hidden sensitivity
+// response to pressure on one shared resource. Observation 4 of the paper
+// says game sensitivity is frequently *nonlinear* in the pressure, which is
+// precisely what defeats linear predictors like SMiTe; the simulator
+// therefore mixes several shapes across the catalog.
+type CurveShape int
+
+const (
+	// ShapeLinear degrades proportionally to pressure: h(x) = x.
+	ShapeLinear CurveShape = iota
+	// ShapeConvex stays healthy under light pressure and collapses near
+	// saturation: h(x) = x^p with p > 1 (cache- and bandwidth-like).
+	ShapeConvex
+	// ShapeConcave loses performance quickly even under light pressure:
+	// h(x) = x^(1/p) with p > 1 (core contention for latency-bound loops).
+	ShapeConcave
+	// ShapeKnee is near-flat until a knee then falls steeply, a logistic
+	// in x: h(x) = sigmoid((x-knee)*steep), rescaled to h(0)=0, h(1)=1.
+	ShapeKnee
+
+	numCurveShapes = 4
+)
+
+// String names the shape for debugging output.
+func (s CurveShape) String() string {
+	switch s {
+	case ShapeLinear:
+		return "linear"
+	case ShapeConvex:
+		return "convex"
+	case ShapeConcave:
+		return "concave"
+	case ShapeKnee:
+		return "knee"
+	}
+	return fmt.Sprintf("CurveShape(%d)", int(s))
+}
+
+// ResponseSpec is the hidden per-resource sensitivity law of one game.
+// The observable degradation under pressure x in [0,1] is
+//
+//	delta(x) = 1 - Scale * h(x)
+//
+// where h depends on Shape and Param, h(0)=0 and h(1)=1. Scale in [0,1] is
+// the degradation suffered at maximum pressure (the paper's "sensitivity
+// score" delta_r(1) equals 1-Scale... the paper uses degradation ratio; we
+// keep delta as the *retained* fraction of solo FPS, so Scale is the lost
+// fraction at x=1).
+type ResponseSpec struct {
+	Shape CurveShape
+	// Scale is the fraction of solo frame rate lost at maximum pressure,
+	// in [0, 1).
+	Scale float64
+	// Param tunes the shape: the power for convex/concave, the knee
+	// position in (0,1) for knee curves. Ignored for linear.
+	Param float64
+}
+
+// shapeValue evaluates the normalized loss h(x) in [0,1] for pressure x in
+// [0,1].
+func (rs ResponseSpec) shapeValue(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	switch rs.Shape {
+	case ShapeConvex:
+		p := rs.Param
+		if p < 1 {
+			p = 2
+		}
+		return math.Pow(x, p)
+	case ShapeConcave:
+		p := rs.Param
+		if p < 1 {
+			p = 2
+		}
+		return math.Pow(x, 1/p)
+	case ShapeKnee:
+		knee := rs.Param
+		if knee <= 0 || knee >= 1 {
+			knee = 0.5
+		}
+		const steep = 12
+		sig := func(t float64) float64 { return 1 / (1 + math.Exp(-steep*(t-knee))) }
+		lo, hi := sig(0), sig(1)
+		return (sig(x) - lo) / (hi - lo)
+	default: // ShapeLinear
+		return x
+	}
+}
+
+// Degradation returns the retained performance fraction delta(x) in (0,1]
+// for pressure x in [0,1]: 1 means unharmed, smaller means slower.
+func (rs ResponseSpec) Degradation(x float64) float64 {
+	d := 1 - rs.Scale*rs.shapeValue(x)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,64 @@
+package sim
+
+// Processing delay (Section 7, last paragraph; future-work item 4): cloud
+// gaming cares about interaction latency, whose server-side component is
+//
+//	delay = input processing + frame rendering + video encoding
+//
+// Rendering time is the reciprocal of the frame rate, so it already
+// inherits all the interference modeling. Input processing runs on the
+// CPU and stretches under CPU-side contention. Encoding adds a small
+// pixel-proportional term when the hardware encoder is enabled (and the
+// encoder block itself queues under GPU memory-bandwidth pressure).
+//
+// GAugur predicts delay "in a similar way" (the paper's words): the same
+// contention features regress the measured delay instead of the
+// degradation ratio. The ext-delay experiment exercises exactly that.
+
+const (
+	// inputBaseMs is a game's solo input-processing time per frame.
+	inputBaseMs = 1.6
+	// inputContentionGain stretches input processing under combined
+	// CPU-core and memory-bandwidth pressure.
+	inputContentionGain = 2.5
+	// encodeBaseMsPerMPixel is the hardware encoder's per-frame cost.
+	encodeBaseMsPerMPixel = 0.55
+	// encodeContentionGain stretches encoding under GPU-BW pressure.
+	encodeContentionGain = 1.5
+)
+
+// ExpectedDelays returns the noise-free server-side processing delay (in
+// milliseconds per frame) of every instance in the colocation.
+func (s *Server) ExpectedDelays(insts []Instance) []float64 {
+	fps := s.ExpectedFPS(insts)
+	pressure := s.pressures(insts)
+
+	out := make([]float64, len(insts))
+	for i, in := range insts {
+		render := 1000 / fps[i]
+		cpuP := (pressure[i][CPUCE] + pressure[i][MemBW]) / 2
+		input := inputBaseMs * (1 + inputContentionGain*cpuP)
+		encode := 0.0
+		if s.EncoderEnabled() {
+			encode = encodeBaseMsPerMPixel * in.Res.MPixels() *
+				(1 + encodeContentionGain*pressure[i][GPUBW])
+		}
+		out[i] = input + render + encode
+	}
+	return out
+}
+
+// MeasureDelays is the noisy counterpart of ExpectedDelays.
+func (s *Server) MeasureDelays(insts []Instance) []float64 {
+	out := s.ExpectedDelays(insts)
+	for i := range out {
+		out[i] *= s.noise()
+	}
+	return out
+}
+
+// SoloDelay returns the instance's processing delay when running alone —
+// the naive estimate an interference-blind dispatcher would use.
+func (s *Server) SoloDelay(in Instance) float64 {
+	return s.ExpectedDelays([]Instance{in})[0]
+}

@@ -1,0 +1,61 @@
+package sim
+
+// Hardware video encoding (Section 7): a cloud-gaming server does not just
+// render — it encodes each session's frames and streams them. Modern GPUs
+// carry dedicated NVENC-style encoder blocks, so the marginal load is
+// small but not zero: the encoder touches GPU memory bandwidth (reading
+// frames), PCIe (shipping the bitstream) and a sliver of GPU compute for
+// pre-processing, all roughly proportional to the pixel rate.
+//
+// The simulator models this as an optional per-session load added to every
+// running game. GAugur needs no structural change to absorb it: profiling
+// with encoding enabled simply measures encoder-inclusive sensitivity and
+// intensity, exactly as the paper claims ("our proposed methodology can
+// easily be extended to consider video encoding and streaming").
+
+// encoderLoadPerMPixel is the per-session, per-megapixel load the hardware
+// encoder adds to each shared resource.
+var encoderLoadPerMPixel = Vector{
+	CPUCE:  0.002, // driver/packetization work
+	MemBW:  0.004,
+	GPUCE:  0.005, // pre-processing on the shader array
+	GPUBW:  0.020, // frame readback dominates
+	GPUL2:  0.005,
+	PCIeBW: 0.015, // encoded bitstream + control traffic
+}
+
+// SetEncoder enables or disables hardware-encoding overhead on every
+// session this server runs. Defaults to disabled, matching the paper's
+// evaluation setup.
+func (s *Server) SetEncoder(enabled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.encoderOn = enabled
+}
+
+// EncoderEnabled reports whether encoding overhead is being simulated.
+func (s *Server) EncoderEnabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.encoderOn
+}
+
+// encoderLoad returns the per-session overhead at the given resolution, or
+// the zero vector when disabled.
+func (s *Server) encoderLoad(res Resolution) Vector {
+	if !s.EncoderEnabled() {
+		return Vector{}
+	}
+	return encoderLoadPerMPixel.Scale(res.MPixels())
+}
+
+// effectiveLoad is the instance's rendering load plus any encoder
+// overhead, scaled down by the server class's throughput factor; every
+// contention calculation in the server goes through it.
+func (s *Server) effectiveLoad(in Instance) Vector {
+	v := in.Load().Add(s.encoderLoad(in.Res))
+	if s.perf != 1 && s.perf > 0 {
+		v = v.Scale(1 / s.perf)
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package sim
+
+import "fmt"
+
+// Genre is a coarse game archetype used by the catalog generator to draw
+// correlated resource demands (a MOBA looks nothing like an open-world AAA
+// title, mirroring the demand diversity of Figure 2).
+type Genre int
+
+const (
+	GenreMOBA Genre = iota
+	GenreAAAOpenWorld
+	GenreFPS
+	GenreMMORPG
+	GenreStrategy
+	GenreIndie2D
+	GenreRacing
+	GenreSurvival
+
+	numGenres = 8
+)
+
+var genreNames = [numGenres]string{
+	"MOBA", "AAA-OpenWorld", "FPS", "MMORPG", "Strategy", "Indie2D", "Racing", "Survival",
+}
+
+// String names the genre.
+func (g Genre) String() string {
+	if g < 0 || int(g) >= numGenres {
+		return fmt.Sprintf("Genre(%d)", int(g))
+	}
+	return genreNames[g]
+}
+
+// GameSpec is the *hidden* ground-truth description of one game: how it
+// responds to pressure on each shared resource and how much load it places
+// on each. Only package sim may evaluate these fields; predictors learn
+// about games exclusively through measurements (profiling and colocation
+// runs), as on real hardware.
+type GameSpec struct {
+	ID    int
+	Name  string
+	Genre Genre
+
+	// Response holds the hidden sensitivity law per shared resource.
+	Response [NumResources]ResponseSpec
+
+	// BaseLoad is the load the game places on each shared resource when
+	// rendering at the reference resolution (1080p). Loads are expressed
+	// in server-capacity units: 1.0 would saturate the resource alone.
+	BaseLoad Vector
+
+	// PixelSlope is the additional load per extra megapixel relative to
+	// the reference resolution, nonzero only on GPU-side resources
+	// (Observation 8; Observation 7 makes CPU-side loads flat).
+	PixelSlope Vector
+
+	// FPSSlopeA and FPSIntercptB are the Equation (2) parameters:
+	// soloFPS = -A*MPixels + B. B is the zero-pixel extrapolation; the
+	// catalog generates (A, B) so that 1080p frame rates span the
+	// 30..360 FPS range of Figure 2b.
+	FPSSlopeA    float64
+	FPSIntercptB float64
+
+	// CPUMem and GPUMem are admission-only memory demands normalized to
+	// server capacity. Per Section 3.2, memory does not affect frame
+	// rate until the colocation oversubscribes it.
+	CPUMem float64
+	GPUMem float64
+
+	// SceneAmp is the scene-dynamics swing amplitude in [0, 1): the
+	// game's instantaneous load varies within base*(1 +/- SceneAmp) as
+	// scenes change during play (Section 7). Zero means a perfectly
+	// steady workload.
+	SceneAmp float64
+}
+
+// SoloFPS returns the game's frame rate running alone at resolution res,
+// per Equation (2) of the paper. The result is floored at a small positive
+// value so degenerate parameter draws cannot produce non-positive rates.
+func (g *GameSpec) SoloFPS(res Resolution) float64 {
+	fps := -g.FPSSlopeA*res.MPixels() + g.FPSIntercptB
+	if fps < 5 {
+		return 5
+	}
+	return fps
+}
+
+// LoadAt returns the per-resource load exerted at resolution res: the base
+// 1080p load plus the pixel-linear GPU-side term. Loads never go negative.
+func (g *GameSpec) LoadAt(res Resolution) Vector {
+	dm := res.MPixels() - refResolution.MPixels()
+	v := g.BaseLoad
+	for r := range v {
+		v[r] += g.PixelSlope[r] * dm
+		if v[r] < 0 {
+			v[r] = 0
+		}
+	}
+	return v
+}
+
+// Instance is one running copy of a game at a player-chosen resolution —
+// the unit that gets colocated onto servers.
+type Instance struct {
+	Spec *GameSpec
+	Res  Resolution
+}
+
+// NewInstance pairs a game with a resolution.
+func NewInstance(spec *GameSpec, res Resolution) Instance {
+	return Instance{Spec: spec, Res: res}
+}
+
+// String renders "Dota2@1920x1080".
+func (in Instance) String() string {
+	return fmt.Sprintf("%s@%s", in.Spec.Name, in.Res)
+}
+
+// Load returns the per-resource load of the instance.
+func (in Instance) Load() Vector { return in.Spec.LoadAt(in.Res) }
+
+// SoloFPS returns the instance's solo frame rate (noise-free).
+func (in Instance) SoloFPS() float64 { return in.Spec.SoloFPS(in.Res) }

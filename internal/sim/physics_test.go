@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComposePressureBounds(t *testing.T) {
+	prop := func(raw []float64, ri uint8) bool {
+		r := Resource(int(ri) % NumResources)
+		loads := make([]float64, len(raw))
+		for i, v := range raw {
+			loads[i] = math.Mod(math.Abs(v), 3) // arbitrary loads in [0,3)
+		}
+		p := composePressure(r, loads)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposePressureMonotoneInLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, r := range Resources() {
+		for trial := 0; trial < 100; trial++ {
+			base := []float64{rng.Float64(), rng.Float64()}
+			bigger := []float64{base[0] + rng.Float64(), base[1]}
+			if composePressure(r, bigger) < composePressure(r, base)-1e-12 {
+				t.Fatalf("%v: pressure decreased when load grew", r)
+			}
+		}
+	}
+}
+
+func TestComposePressureEmptyAndZero(t *testing.T) {
+	for _, r := range Resources() {
+		if p := composePressure(r, nil); p != 0 {
+			t.Errorf("%v: empty loads -> %v, want 0", r, p)
+		}
+		if p := composePressure(r, []float64{0, 0}); p != 0 {
+			t.Errorf("%v: zero loads -> %v, want 0", r, p)
+		}
+	}
+}
+
+// The benchmark calibration invariant: a lone benchmark at knob x generates
+// pressure exactly x on its target resource.
+func TestBenchLoadForInvertsCompose(t *testing.T) {
+	for _, r := range Resources() {
+		for _, x := range PressureLevels(20) {
+			load := benchLoadFor(r, x)
+			got := composePressure(r, []float64{load})
+			if math.Abs(got-x) > 1e-9 {
+				t.Errorf("%v: knob %.2f -> load %.4f -> pressure %.4f", r, x, load, got)
+			}
+		}
+	}
+}
+
+// Non-additivity (Observation 5): cores are superadditive below
+// saturation, caches and bandwidths subadditive.
+func TestCompositionNonAdditivity(t *testing.T) {
+	l1, l2 := 0.3, 0.4
+	for _, r := range Resources() {
+		single1 := composePressure(r, []float64{l1})
+		single2 := composePressure(r, []float64{l2})
+		joint := composePressure(r, []float64{l1, l2})
+		sum := single1 + single2
+		switch composeKindOf(r) {
+		case kindCores:
+			if joint <= sum {
+				t.Errorf("%v (cores): joint %.4f should exceed sum %.4f", r, joint, sum)
+			}
+		default:
+			if joint >= sum {
+				t.Errorf("%v: joint %.4f should be below sum %.4f", r, joint, sum)
+			}
+		}
+	}
+}
+
+func TestResponseSpecDegradation(t *testing.T) {
+	for _, shape := range []CurveShape{ShapeLinear, ShapeConvex, ShapeConcave, ShapeKnee} {
+		rs := ResponseSpec{Shape: shape, Scale: 0.6, Param: 2}
+		if got := rs.Degradation(0); got != 1 {
+			t.Errorf("%v: delta(0) = %v, want 1", shape, got)
+		}
+		if got := rs.Degradation(1); math.Abs(got-0.4) > 1e-9 {
+			t.Errorf("%v: delta(1) = %v, want 0.4", shape, got)
+		}
+		// Monotone nonincreasing across the sweep.
+		prev := 1.0
+		for _, x := range PressureLevels(50) {
+			d := rs.Degradation(x)
+			if d > prev+1e-12 {
+				t.Errorf("%v: degradation increased at x=%.2f", shape, x)
+			}
+			if d < 0 || d > 1 {
+				t.Errorf("%v: degradation %v out of [0,1]", shape, d)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestResponseSpecShapeOrdering(t *testing.T) {
+	// At mid pressure, convex should retain more than linear, concave
+	// less.
+	lin := ResponseSpec{Shape: ShapeLinear, Scale: 0.5}
+	conv := ResponseSpec{Shape: ShapeConvex, Scale: 0.5, Param: 2}
+	conc := ResponseSpec{Shape: ShapeConcave, Scale: 0.5, Param: 2}
+	x := 0.4
+	if !(conv.Degradation(x) > lin.Degradation(x) && lin.Degradation(x) > conc.Degradation(x)) {
+		t.Errorf("shape ordering violated at x=%.1f: convex %.3f linear %.3f concave %.3f",
+			x, conv.Degradation(x), lin.Degradation(x), conc.Degradation(x))
+	}
+}
+
+func TestDegradationUnderPressureMultiplies(t *testing.T) {
+	g := &GameSpec{}
+	for r := 0; r < NumResources; r++ {
+		g.Response[r] = ResponseSpec{Shape: ShapeLinear, Scale: 0.1}
+	}
+	var pressure Vector
+	for r := range pressure {
+		pressure[r] = 1
+	}
+	got := degradationUnderPressure(g, pressure)
+	want := math.Pow(0.9, NumResources)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("multiplicative degradation = %v, want %v", got, want)
+	}
+}

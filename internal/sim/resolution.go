@@ -1,0 +1,39 @@
+package sim
+
+import "fmt"
+
+// Resolution is a rendering resolution chosen by a player (Section 3.3).
+// Players pick different resolutions per session; the profiler only measures
+// two resolutions per game and interpolates the rest using Observations 6-8
+// and Equation (2) of the paper.
+type Resolution struct {
+	Width, Height int
+}
+
+// Common resolutions offered by cloud-gaming front ends.
+var (
+	Res720p  = Resolution{1280, 720}
+	Res900p  = Resolution{1600, 900}
+	Res1080p = Resolution{1920, 1080}
+	Res1440p = Resolution{2560, 1440}
+)
+
+// StandardResolutions lists the resolutions players may request, in
+// ascending pixel count. The slice is freshly allocated.
+func StandardResolutions() []Resolution {
+	return []Resolution{Res720p, Res900p, Res1080p, Res1440p}
+}
+
+// Pixels returns the number of pixels rendered per frame.
+func (r Resolution) Pixels() float64 { return float64(r.Width) * float64(r.Height) }
+
+// MPixels returns the pixel count in millions, the unit used by the
+// resolution laws (Equation 2 keeps a and b at sane magnitudes this way).
+func (r Resolution) MPixels() float64 { return r.Pixels() / 1e6 }
+
+// String formats the resolution as "1920x1080".
+func (r Resolution) String() string { return fmt.Sprintf("%dx%d", r.Width, r.Height) }
+
+// refResolution is the reference point at which GameSpec base intensities
+// and solo frame rates are expressed. 1080p is the paper's profiling default.
+var refResolution = Res1080p

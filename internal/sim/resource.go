@@ -1,0 +1,138 @@
+// Package sim implements the simulated cloud-gaming server substrate that
+// stands in for the physical testbed used by the GAugur paper (HPDC'19):
+// an i7-7700 + GTX 1060 Windows machine running 100 commercial games.
+//
+// The simulator models the seven shared resources the paper identifies
+// (CPU cores, last-level cache, memory bandwidth, GPU cores, GPU memory
+// bandwidth, GPU L2 cache, and PCIe bandwidth), a hidden nonlinear
+// ground-truth interference model, tunable pressure benchmarks (one per
+// resource), and a seeded catalog of 100 synthetic games whose behaviour
+// reproduces the paper's Observations 1-8.
+//
+// Everything outside this package treats the simulator as a black box that
+// can only be measured — exactly how the paper's profiler treats real
+// hardware. Predictors must never read the hidden GameSpec response
+// parameters directly.
+package sim
+
+import "fmt"
+
+// Resource identifies one of the shared resources contended by colocated
+// games. The set matches Section 3.2 of the paper.
+type Resource int
+
+// The seven shared resources, in the order the paper lists them.
+const (
+	CPUCE  Resource = iota // CPU cores (compute elements)
+	LLC                    // last-level cache
+	MemBW                  // memory bandwidth
+	GPUCE                  // GPU cores
+	GPUBW                  // GPU memory bandwidth
+	GPUL2                  // GPU L2 cache
+	PCIeBW                 // PCIe bandwidth
+
+	// NumResources is the number of shared resources R.
+	NumResources = 7
+)
+
+var resourceNames = [NumResources]string{
+	"CPU-CE", "LLC", "MEM-BW", "GPU-CE", "GPU-BW", "GPU-L2", "PCIe-BW",
+}
+
+// String returns the paper's name for the resource (e.g. "GPU-BW").
+func (r Resource) String() string {
+	if r < 0 || int(r) >= NumResources {
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+	return resourceNames[r]
+}
+
+// Valid reports whether r names one of the seven shared resources.
+func (r Resource) Valid() bool { return r >= 0 && int(r) < NumResources }
+
+// GPUSide reports whether the resource lives on the GPU side of the PCIe
+// boundary. Per Observation 8, a game's intensity on GPU-side resources
+// scales linearly with the rendered pixel count, while CPU-side intensity
+// is resolution-insensitive (Observation 7). PCIe carries the CPU->GPU
+// command and upload traffic, which also grows with pixels.
+func (r Resource) GPUSide() bool {
+	switch r {
+	case GPUCE, GPUBW, GPUL2, PCIeBW:
+		return true
+	}
+	return false
+}
+
+// Resources returns all shared resources in canonical order. The slice is
+// freshly allocated; callers may modify it.
+func Resources() []Resource {
+	out := make([]Resource, NumResources)
+	for i := range out {
+		out[i] = Resource(i)
+	}
+	return out
+}
+
+// ParseResource converts a paper-style resource name (case-sensitive,
+// e.g. "MEM-BW") back into a Resource.
+func ParseResource(name string) (Resource, error) {
+	for i, n := range resourceNames {
+		if n == name {
+			return Resource(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown resource %q", name)
+}
+
+// Vector holds one scalar per shared resource, indexed by Resource. It is
+// the common currency for loads, pressures, and intensity profiles.
+type Vector [NumResources]float64
+
+// Add returns the element-wise sum v + w.
+func (v Vector) Add(w Vector) Vector {
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Scale returns v with every element multiplied by c.
+func (v Vector) Scale(c float64) Vector {
+	for i := range v {
+		v[i] *= c
+	}
+	return v
+}
+
+// Max returns the largest element of v.
+func (v Vector) Max() float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements of v.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Clamp returns v with every element clamped into [lo, hi].
+func (v Vector) Clamp(lo, hi float64) Vector {
+	for i := range v {
+		if v[i] < lo {
+			v[i] = lo
+		}
+		if v[i] > hi {
+			v[i] = hi
+		}
+	}
+	return v
+}

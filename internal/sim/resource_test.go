@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceString(t *testing.T) {
+	cases := map[Resource]string{
+		CPUCE:  "CPU-CE",
+		LLC:    "LLC",
+		MemBW:  "MEM-BW",
+		GPUCE:  "GPU-CE",
+		GPUBW:  "GPU-BW",
+		GPUL2:  "GPU-L2",
+		PCIeBW: "PCIe-BW",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Resource(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+	if got := Resource(99).String(); got != "Resource(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestParseResourceRoundTrip(t *testing.T) {
+	for _, r := range Resources() {
+		got, err := ParseResource(r.String())
+		if err != nil {
+			t.Fatalf("ParseResource(%q): %v", r.String(), err)
+		}
+		if got != r {
+			t.Errorf("round trip %v -> %v", r, got)
+		}
+	}
+	if _, err := ParseResource("bogus"); err == nil {
+		t.Error("ParseResource(bogus) should fail")
+	}
+}
+
+func TestResourceGPUSide(t *testing.T) {
+	gpu := map[Resource]bool{
+		CPUCE: false, LLC: false, MemBW: false,
+		GPUCE: true, GPUBW: true, GPUL2: true, PCIeBW: true,
+	}
+	for r, want := range gpu {
+		if got := r.GPUSide(); got != want {
+			t.Errorf("%v.GPUSide() = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestResourcesOrderAndValidity(t *testing.T) {
+	rs := Resources()
+	if len(rs) != NumResources {
+		t.Fatalf("Resources() has %d entries, want %d", len(rs), NumResources)
+	}
+	for i, r := range rs {
+		if int(r) != i {
+			t.Errorf("Resources()[%d] = %v", i, r)
+		}
+		if !r.Valid() {
+			t.Errorf("%v should be valid", r)
+		}
+	}
+	if Resource(-1).Valid() || Resource(NumResources).Valid() {
+		t.Error("out-of-range resources must be invalid")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3, 4, 5, 6, 7}
+	w := Vector{7, 6, 5, 4, 3, 2, 1}
+	sum := v.Add(w)
+	for i := range sum {
+		if sum[i] != 8 {
+			t.Fatalf("Add[%d] = %v, want 8", i, sum[i])
+		}
+	}
+	if got := v.Scale(2)[3]; got != 8 {
+		t.Errorf("Scale: got %v, want 8", got)
+	}
+	if got := v.Max(); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if got := v.Sum(); got != 28 {
+		t.Errorf("Sum = %v, want 28", got)
+	}
+	cl := Vector{-1, 0.5, 2, 0, 1, 3, -5}.Clamp(0, 1)
+	want := Vector{0, 0.5, 1, 0, 1, 1, 0}
+	if cl != want {
+		t.Errorf("Clamp = %v, want %v", cl, want)
+	}
+}
+
+// Property: Add is commutative and Scale distributes over Add.
+func TestVectorAlgebraProperties(t *testing.T) {
+	comm := func(a, b Vector) bool { return a.Add(b) == b.Add(a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	dist := func(aRaw, bRaw [NumResources]int16, cRaw int8) bool {
+		var a, b Vector
+		for i := range a {
+			a[i] = float64(aRaw[i]) / 128
+			b[i] = float64(bRaw[i]) / 128
+		}
+		c := float64(cRaw)
+		lhs := a.Add(b).Scale(c)
+		rhs := a.Scale(c).Add(b.Scale(c))
+		for i := range lhs {
+			d := lhs[i] - rhs[i]
+			if d > 1e-6 || d < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(dist, nil); err != nil {
+		t.Errorf("Scale does not distribute over Add: %v", err)
+	}
+}

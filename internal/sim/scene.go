@@ -1,0 +1,104 @@
+package sim
+
+// Scene dynamics (Section 7 of the paper): frame rate varies during game
+// play because scenes generate different amounts of rendering work. The
+// paper's default profiling averages over a window, which risks *temporary*
+// QoS violations when all colocated games render complex scenes at once;
+// its suggested fix is to profile the minimum frame rate instead.
+//
+// The simulator models this with a per-game scene-load amplitude: a game's
+// instantaneous resource load swings within [base*(1-A), base*(1+A)], and
+// its instantaneous frame rate inversely. Mean measurements integrate over
+// the swing; Min measurements capture the adversarial moment when every
+// colocated game peaks simultaneously.
+
+// FPSStats is a frame-rate measurement over a play window.
+type FPSStats struct {
+	// Mean is the window-averaged frame rate (the paper's default
+	// profiling metric).
+	Mean float64
+	// Min is the frame rate during the worst co-peaking moment (the
+	// conservative metric of Section 7).
+	Min float64
+}
+
+// sceneAmplitude returns the game's scene-load swing A in [0, 1).
+func (g *GameSpec) sceneAmplitude() float64 {
+	return g.SceneAmp
+}
+
+// peakLoad returns the per-resource load at the top of the scene swing,
+// including any encoder overhead (the encoder works hardest on busy
+// frames too).
+func (s *Server) peakLoad(in Instance) Vector {
+	return s.effectiveLoad(in).Scale(1 + in.Spec.sceneAmplitude())
+}
+
+// soloMinFPS is the solo frame rate during the game's own heaviest scene:
+// the renderer has (1+A)x the work, so throughput drops accordingly.
+func (s *Server) soloMinFPS(in Instance) float64 {
+	return s.soloFPS(in) / (1 + in.Spec.sceneAmplitude())
+}
+
+// ExpectedFPSStats returns noise-free mean and min frame rates for every
+// instance of the colocation. The min composes three effects: the target's
+// own heavy scene, every partner peaking simultaneously (loads at the top
+// of their swings), and the memory admission rule.
+func (s *Server) ExpectedFPSStats(insts []Instance) []FPSStats {
+	mean := s.ExpectedFPS(insts)
+
+	peaks := make([]Vector, len(insts))
+	for i, in := range insts {
+		peaks[i] = s.peakLoad(in)
+	}
+	pressure := pressuresFrom(peaks)
+	overflow := !s.MemoryFits(insts)
+
+	out := make([]FPSStats, len(insts))
+	for i, in := range insts {
+		min := s.soloMinFPS(in) * degradationUnderPressure(in.Spec, pressure[i])
+		if overflow {
+			min *= memoryOverflowPenalty
+		}
+		if min > mean[i] {
+			min = mean[i]
+		}
+		out[i] = FPSStats{Mean: mean[i], Min: min}
+	}
+	return out
+}
+
+// MeasureColocationStats is the noisy counterpart of ExpectedFPSStats.
+func (s *Server) MeasureColocationStats(insts []Instance) []FPSStats {
+	out := s.ExpectedFPSStats(insts)
+	for i := range out {
+		f := s.noise()
+		out[i].Mean *= f
+		out[i].Min *= f
+		if out[i].Min > out[i].Mean {
+			out[i].Min = out[i].Mean
+		}
+	}
+	return out
+}
+
+// MeasureSoloStats returns the measured solo mean and min frame rates.
+func (s *Server) MeasureSoloStats(in Instance) FPSStats {
+	f := s.noise()
+	mean := s.soloFPS(in) * f
+	min := s.soloMinFPS(in) * f
+	if min > mean {
+		min = mean
+	}
+	return FPSStats{Mean: mean, Min: min}
+}
+
+// RunBenchmarkConservative mirrors RunBenchmark but reports the game's
+// minimum frame rate under the benchmark's pressure: the game's own scene
+// peak coincides with the pressure (the benchmark is steady, so only the
+// game's swing matters).
+func (s *Server) RunBenchmarkConservative(in Instance, r Resource, x float64) BenchObservation {
+	obs := s.RunBenchmark(in, r, x)
+	obs.GameFPS /= 1 + in.Spec.sceneAmplitude()
+	return obs
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedFPSStatsMinNeverExceedsMean(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	for i := 0; i < 20; i++ {
+		insts := []Instance{
+			NewInstance(cat.Games[i], Res1080p),
+			NewInstance(cat.Games[99-i], Res900p),
+		}
+		for _, st := range s.ExpectedFPSStats(insts) {
+			if st.Min > st.Mean+1e-9 {
+				t.Fatalf("min %v exceeds mean %v", st.Min, st.Mean)
+			}
+			if st.Min <= 0 {
+				t.Fatalf("non-positive min FPS %v", st.Min)
+			}
+		}
+	}
+}
+
+func TestSceneAmplitudeDrivesTheGap(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	// Clone a game with zero and with high scene amplitude.
+	calm := *cat.Games[0]
+	calm.SceneAmp = 0
+	wild := *cat.Games[0]
+	wild.SceneAmp = 0.35
+	partner := NewInstance(cat.Games[1], Res1080p)
+
+	calmStats := s.ExpectedFPSStats([]Instance{NewInstance(&calm, Res1080p), partner})[0]
+	wildStats := s.ExpectedFPSStats([]Instance{NewInstance(&wild, Res1080p), partner})[0]
+
+	calmGap := calmStats.Mean - calmStats.Min
+	wildGap := wildStats.Mean - wildStats.Min
+	if wildGap <= calmGap {
+		t.Errorf("higher amplitude should widen the mean-min gap: calm %v, wild %v", calmGap, wildGap)
+	}
+	// A zero-amplitude solo game has min == mean.
+	solo := s.ExpectedFPSStats([]Instance{NewInstance(&calm, Res1080p)})[0]
+	if math.Abs(solo.Mean-solo.Min) > 1e-9 {
+		t.Errorf("steady solo game should have min == mean, got %v vs %v", solo.Min, solo.Mean)
+	}
+}
+
+func TestMeasureSoloStatsOrdering(t *testing.T) {
+	cat := NewCatalog(42)
+	s := NewServer(5)
+	for _, g := range cat.Games[:10] {
+		st := s.MeasureSoloStats(NewInstance(g, Res1080p))
+		if st.Min > st.Mean {
+			t.Fatalf("%s: solo min %v > mean %v", g.Name, st.Min, st.Mean)
+		}
+	}
+}
+
+func TestRunBenchmarkConservativeIsLower(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	in := NewInstance(cat.Games[4], Res1080p)
+	if in.Spec.SceneAmp <= 0 {
+		t.Skip("game has no scene swing")
+	}
+	normal := s.RunBenchmark(in, CPUCE, 0.5)
+	cons := s.RunBenchmarkConservative(in, CPUCE, 0.5)
+	if cons.GameFPS >= normal.GameFPS {
+		t.Errorf("conservative FPS %v should be below normal %v", cons.GameFPS, normal.GameFPS)
+	}
+}
+
+func TestEncoderOverheadReducesColocatedFPS(t *testing.T) {
+	cat := NewCatalog(42)
+	off := noiselessServer()
+	on := noiselessServer()
+	on.SetEncoder(true)
+	if !on.EncoderEnabled() || off.EncoderEnabled() {
+		t.Fatal("encoder toggles broken")
+	}
+	insts := []Instance{
+		NewInstance(cat.Games[1], Res1080p),
+		NewInstance(cat.Games[2], Res1080p),
+	}
+	offFPS := off.ExpectedFPS(insts)
+	onFPS := on.ExpectedFPS(insts)
+	for i := range insts {
+		if onFPS[i] > offFPS[i]+1e-9 {
+			t.Errorf("encoding should not raise colocated FPS: %v vs %v", onFPS[i], offFPS[i])
+		}
+	}
+	// Solo FPS is unaffected (a session's encoder does not contend with
+	// its own rendering in this model).
+	if got, want := on.ExpectedFPS(insts[:1])[0], off.ExpectedFPS(insts[:1])[0]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("solo FPS changed with encoder: %v vs %v", got, want)
+	}
+}
+
+func TestDelaysRespondToInterference(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	a := NewInstance(cat.Games[1], Res1080p)
+	b := NewInstance(cat.Games[4], Res1080p)
+	solo := s.SoloDelay(a)
+	coloc := s.ExpectedDelays([]Instance{a, b})[0]
+	if coloc <= solo {
+		t.Errorf("colocation should raise processing delay: solo %v, coloc %v", solo, coloc)
+	}
+	if solo <= 0 {
+		t.Errorf("non-positive solo delay %v", solo)
+	}
+}
+
+func TestDelayIncludesEncodingWhenEnabled(t *testing.T) {
+	cat := NewCatalog(42)
+	off := noiselessServer()
+	on := noiselessServer()
+	on.SetEncoder(true)
+	in := NewInstance(cat.Games[1], Res1080p)
+	if on.SoloDelay(in) <= off.SoloDelay(in) {
+		t.Error("enabling the encoder must add delay")
+	}
+}
+
+func TestMeasureDelaysNoisyButPositive(t *testing.T) {
+	cat := NewCatalog(42)
+	s := NewServer(11)
+	d := s.MeasureDelays([]Instance{
+		NewInstance(cat.Games[0], Res1080p),
+		NewInstance(cat.Games[1], Res1080p),
+	})
+	for _, v := range d {
+		if v <= 0 {
+			t.Fatalf("non-positive delay %v", v)
+		}
+	}
+}
+
+func TestServerClasses(t *testing.T) {
+	cat := NewCatalog(42)
+	in := NewInstance(cat.Games[1], Res1080p)
+	ref := NewServerOfClass(1, ClassReference)
+	ref.SetNoise(0)
+	high := NewServerOfClass(1, ClassHighEnd)
+	high.SetNoise(0)
+	budget := NewServerOfClass(1, ClassBudget)
+	budget.SetNoise(0)
+
+	if high.MeasureSolo(in) <= ref.MeasureSolo(in) {
+		t.Error("high-end class should render faster")
+	}
+	if budget.MeasureSolo(in) >= ref.MeasureSolo(in) {
+		t.Error("budget class should render slower")
+	}
+
+	// The same pair degrades RELATIVELY less on the high-end class.
+	pair := []Instance{in, NewInstance(cat.Games[4], Res1080p)}
+	rel := func(s *Server) float64 {
+		return s.ExpectedFPS(pair)[0] / s.MeasureSolo(in)
+	}
+	if rel(high) <= rel(ref) {
+		t.Error("high-end class should suffer relatively less interference")
+	}
+	if rel(budget) >= rel(ref) {
+		t.Error("budget class should suffer relatively more interference")
+	}
+
+	if got := high.Class(); got.Name != "high-end" || got.Perf != 1.35 {
+		t.Errorf("Class() = %+v", got)
+	}
+	if len(ServerClasses()) != 3 {
+		t.Error("expected three server classes")
+	}
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Server is the simulated gaming server: one CPU, one GPU, unit capacity on
+// every shared resource and on both memories — the stand-in for the paper's
+// i7-7700 + GTX 1060 testbed. All measurement methods add seeded
+// multiplicative noise, modeling the frame-rate variability of real
+// gameplay windows; deterministic Expected* variants exist for tests and
+// for scoring predictions against ground truth.
+//
+// Server is safe for concurrent use.
+type Server struct {
+	// Capacity per shared resource, normalized to 1.0.
+	Capacity Vector
+	// CPUMemCap and GPUMemCap are the normalized memory capacities.
+	CPUMemCap float64
+	GPUMemCap float64
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	noiseSigma float64
+	encoderOn  bool
+	perf       float64 // hardware-class throughput factor, 1.0 = reference
+}
+
+// DefaultNoiseSigma is the relative frame-rate measurement noise. It is
+// calibrated so the best learnable prediction error lands near the paper's
+// 5-8% band rather than at zero.
+const DefaultNoiseSigma = 0.025
+
+// NewServer returns a unit-capacity server whose measurement noise stream
+// is seeded by seed.
+func NewServer(seed int64) *Server {
+	var cap Vector
+	for i := range cap {
+		cap[i] = 1.0
+	}
+	return &Server{
+		Capacity:   cap,
+		CPUMemCap:  1.0,
+		GPUMemCap:  1.0,
+		rng:        rand.New(rand.NewSource(seed)),
+		noiseSigma: DefaultNoiseSigma,
+		perf:       1.0,
+	}
+}
+
+// SetNoise overrides the relative measurement noise (0 disables noise).
+func (s *Server) SetNoise(sigma float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sigma < 0 {
+		sigma = 0
+	}
+	s.noiseSigma = sigma
+}
+
+// noise returns one multiplicative noise factor.
+func (s *Server) noise() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.noiseSigma == 0 {
+		return 1
+	}
+	f := 1 + s.rng.NormFloat64()*s.noiseSigma
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}
+
+// MemoryFits reports whether the colocation's total CPU and GPU memory
+// demands fit within the server.
+func (s *Server) MemoryFits(insts []Instance) bool {
+	var cpu, gpu float64
+	for _, in := range insts {
+		cpu += in.Spec.CPUMem
+		gpu += in.Spec.GPUMem
+	}
+	return cpu <= s.CPUMemCap && gpu <= s.GPUMemCap
+}
+
+// DemandVector returns the solo resource-utilization vector of an instance
+// as a VBP-style policy would measure it: the per-resource load clamped to
+// capacity. (VBP treats solo consumption as the demand, Section 2.2.)
+func (s *Server) DemandVector(in Instance) Vector {
+	v := s.effectiveLoad(in)
+	for r := range v {
+		if v[r] > s.Capacity[r] {
+			v[r] = s.Capacity[r]
+		}
+	}
+	return v
+}
+
+// pressuresFrom computes, for each instance, the per-resource pressure the
+// OTHER tenants' loads generate on it.
+func pressuresFrom(loads []Vector) []Vector {
+	out := make([]Vector, len(loads))
+	others := make([]float64, 0, len(loads))
+	for i := range loads {
+		for r := 0; r < NumResources; r++ {
+			others = others[:0]
+			for j := range loads {
+				if j != i {
+					others = append(others, loads[j][r])
+				}
+			}
+			out[i][r] = composePressure(Resource(r), others)
+		}
+	}
+	return out
+}
+
+// pressures returns the interference pressure felt by each instance of the
+// colocation under steady (mean-scene) loads.
+func (s *Server) pressures(insts []Instance) []Vector {
+	loads := make([]Vector, len(insts))
+	for i, in := range insts {
+		loads[i] = s.effectiveLoad(in)
+	}
+	return pressuresFrom(loads)
+}
+
+// ExpectedFPS returns the noise-free frame rate of every instance in the
+// colocation. This is the hidden ground truth; experiment code uses it to
+// score predictions, and MeasureColocation adds noise on top of it.
+func (s *Server) ExpectedFPS(insts []Instance) []float64 {
+	pressure := s.pressures(insts)
+	overflow := !s.MemoryFits(insts)
+
+	out := make([]float64, len(insts))
+	for i, in := range insts {
+		fps := s.soloFPS(in) * degradationUnderPressure(in.Spec, pressure[i])
+		if overflow {
+			fps *= memoryOverflowPenalty
+		}
+		out[i] = fps
+	}
+	return out
+}
+
+// MeasureColocation runs the colocation and returns the measured (noisy)
+// frame rate of every instance, in input order. It corresponds to the
+// paper's "record the frame rate of each game" during a real colocation
+// test.
+func (s *Server) MeasureColocation(insts []Instance) []float64 {
+	fps := s.ExpectedFPS(insts)
+	for i := range fps {
+		fps[i] *= s.noise()
+	}
+	return fps
+}
+
+// MeasureSolo returns the measured solo frame rate of one instance.
+func (s *Server) MeasureSolo(in Instance) float64 {
+	return s.soloFPS(in) * s.noise()
+}
+
+// BenchObservation is one profiling data point: the game's frame rate while
+// sharing the server with the benchmark at a given pressure, and the
+// benchmark's completion-time slowdown caused by the game (>= 1).
+type BenchObservation struct {
+	GameFPS       float64
+	BenchSlowdown float64
+}
+
+// RunBenchmark colocates instance in with the resource-r benchmark at
+// pressure x and returns the two measurements the profiler needs. The
+// benchmark's slowdown reflects the pressure the GAME exerts on r — the
+// benchmark's own knob only slightly modulates its vulnerability, and that
+// modulation averages out over the paper's pressure sweep.
+func (s *Server) RunBenchmark(in Instance, r Resource, x float64) BenchObservation {
+	bm := NewBenchmark(r)
+	bload := bm.LoadAt(x)
+	gload := s.effectiveLoad(in)
+
+	// Pressure felt by the game: the benchmark's loads, resource by
+	// resource.
+	var pressure Vector
+	for rr := 0; rr < NumResources; rr++ {
+		if bload[rr] > 0 {
+			pressure[rr] = composePressure(Resource(rr), []float64{bload[rr]})
+		}
+	}
+	gameFPS := s.soloFPS(in) * degradationUnderPressure(in.Spec, pressure) * s.noise()
+
+	// Pressure felt by the benchmark on its target resource: the game's
+	// load there. A hotter benchmark (larger x) is slightly more exposed
+	// to contention; the modulation is centered at 1 so the sweep average
+	// isolates the game's intrinsic intensity.
+	gp := composePressure(r, []float64{gload[r]})
+	vulnerability := 0.75 + 0.5*x
+	slowdown := 1 + benchBeta[r]*gp*vulnerability
+	slowdown *= s.noise()
+	if slowdown < 1 {
+		slowdown = 1
+	}
+
+	return BenchObservation{GameFPS: gameFPS, BenchSlowdown: slowdown}
+}
+
+// RunBenchmarkAgainst colocates the resource-r benchmark at pressure x with
+// an arbitrary set of game instances and returns only the benchmark's
+// slowdown. This powers the Figure 6 experiment (aggregate intensity of two
+// games vs. the sum of their individual intensities).
+func (s *Server) RunBenchmarkAgainst(insts []Instance, r Resource, x float64) float64 {
+	loads := make([]float64, len(insts))
+	for i, in := range insts {
+		loads[i] = s.effectiveLoad(in)[r]
+	}
+	gp := composePressure(r, loads)
+	vulnerability := 0.75 + 0.5*x
+	slowdown := 1 + benchBeta[r]*gp*vulnerability
+	slowdown *= s.noise()
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	return slowdown
+}
+
+// QoSSatisfied reports whether every measured frame rate meets the floor.
+func QoSSatisfied(fps []float64, floor float64) bool {
+	for _, f := range fps {
+		if f < floor {
+			return false
+		}
+	}
+	return true
+}
+
+// Degradation converts a colocated frame rate and a solo frame rate into
+// the paper's degradation ratio delta = colocated/solo, clamped to [0,1].
+// (Equation 7's example labels 40/100 as "0.4 degradation", i.e. the
+// retained fraction; we follow that convention everywhere.)
+func Degradation(colocFPS, soloFPS float64) float64 {
+	if soloFPS <= 0 {
+		return 0
+	}
+	d := colocFPS / soloFPS
+	if d < 0 {
+		return 0
+	}
+	if d > 1 || math.IsNaN(d) {
+		return 1
+	}
+	return d
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func noiselessServer() *Server {
+	s := NewServer(1)
+	s.SetNoise(0)
+	return s
+}
+
+func TestServerSoloFPSMatchesSpec(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	in := NewInstance(cat.Games[0], Res1080p)
+	if got, want := s.MeasureSolo(in), cat.Games[0].SoloFPS(Res1080p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("noise-free solo = %v, want %v", got, want)
+	}
+}
+
+func TestColocationNeverFasterThanSolo(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	for i := 0; i < 30; i++ {
+		a := NewInstance(cat.Games[i], Res1080p)
+		b := NewInstance(cat.Games[99-i], Res1080p)
+		fps := s.ExpectedFPS([]Instance{a, b})
+		if fps[0] > a.SoloFPS()+1e-9 || fps[1] > b.SoloFPS()+1e-9 {
+			t.Errorf("colocation faster than solo: %v vs (%v, %v)", fps, a.SoloFPS(), b.SoloFPS())
+		}
+		if fps[0] <= 0 || fps[1] <= 0 {
+			t.Errorf("non-positive FPS: %v", fps)
+		}
+	}
+}
+
+func TestMorePartnersHurtMore(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	target := NewInstance(cat.Games[3], Res1080p)
+	two := []Instance{target, NewInstance(cat.Games[10], Res1080p)}
+	three := append(append([]Instance(nil), two...), NewInstance(cat.Games[20], Res1080p))
+	fps2 := s.ExpectedFPS(two)[0]
+	fps3 := s.ExpectedFPS(three)[0]
+	if fps3 > fps2+1e-9 {
+		t.Errorf("adding a partner increased FPS: %v -> %v", fps2, fps3)
+	}
+}
+
+func TestExpectedFPSOrderIndependentForTarget(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	a := NewInstance(cat.Games[5], Res1080p)
+	b := NewInstance(cat.Games[6], Res900p)
+	c := NewInstance(cat.Games[7], Res720p)
+	f1 := s.ExpectedFPS([]Instance{a, b, c})
+	f2 := s.ExpectedFPS([]Instance{c, b, a})
+	if math.Abs(f1[0]-f2[2]) > 1e-9 || math.Abs(f1[2]-f2[0]) > 1e-9 || math.Abs(f1[1]-f2[1]) > 1e-9 {
+		t.Errorf("FPS depends on listing order: %v vs %v", f1, f2)
+	}
+}
+
+func TestMemoryOverflowPenalty(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	// Build a colocation that oversubscribes CPU memory.
+	specs := []*GameSpec{}
+	var mem float64
+	for _, g := range cat.Games {
+		if g.CPUMem > 0.25 {
+			specs = append(specs, g)
+			mem += g.CPUMem
+			if mem > 1.0 && len(specs) >= 2 {
+				break
+			}
+		}
+	}
+	if mem <= 1.0 {
+		t.Skip("catalog has no oversubscribing combination")
+	}
+	insts := make([]Instance, len(specs))
+	for i, g := range specs {
+		insts[i] = NewInstance(g, Res720p)
+	}
+	if s.MemoryFits(insts) {
+		t.Fatal("expected memory overflow")
+	}
+	with := s.ExpectedFPS(insts)
+	// Rebuild the same colocation with memory demands zeroed to isolate
+	// the penalty.
+	zeroed := make([]Instance, len(specs))
+	for i, g := range specs {
+		cp := *g
+		cp.CPUMem, cp.GPUMem = 0, 0
+		zeroed[i] = NewInstance(&cp, Res720p)
+	}
+	without := s.ExpectedFPS(zeroed)
+	for i := range with {
+		if math.Abs(with[i]-without[i]*memoryOverflowPenalty) > 1e-9 {
+			t.Errorf("game %d: overflow FPS %v, want %v", i, with[i], without[i]*memoryOverflowPenalty)
+		}
+	}
+}
+
+func TestMeasurementNoiseIsBoundedAndSeeded(t *testing.T) {
+	cat := NewCatalog(42)
+	in := NewInstance(cat.Games[0], Res1080p)
+	s1 := NewServer(123)
+	s2 := NewServer(123)
+	for i := 0; i < 50; i++ {
+		a := s1.MeasureSolo(in)
+		b := s2.MeasureSolo(in)
+		if a != b {
+			t.Fatal("same seed must give identical measurement streams")
+		}
+		rel := math.Abs(a-in.SoloFPS()) / in.SoloFPS()
+		if rel > 0.5 {
+			t.Fatalf("noise factor out of bounds: %v", rel)
+		}
+	}
+}
+
+func TestRunBenchmarkZeroPressureHarmless(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	in := NewInstance(cat.Games[2], Res1080p)
+	for _, r := range Resources() {
+		obs := s.RunBenchmark(in, r, 0)
+		if math.Abs(obs.GameFPS-in.SoloFPS()) > 1e-9 {
+			t.Errorf("%v: benchmark at zero pressure degraded the game", r)
+		}
+		if obs.BenchSlowdown < 1 {
+			t.Errorf("%v: slowdown %v < 1", r, obs.BenchSlowdown)
+		}
+	}
+}
+
+func TestRunBenchmarkPressureMonotone(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	in := NewInstance(cat.Games[4], Res1080p) // heavy game
+	for _, r := range Resources() {
+		prev := math.Inf(1)
+		for _, x := range PressureLevels(10) {
+			obs := s.RunBenchmark(in, r, x)
+			if obs.GameFPS > prev+1e-9 {
+				t.Errorf("%v: game FPS rose when pressure grew (x=%.1f)", r, x)
+			}
+			prev = obs.GameFPS
+		}
+	}
+}
+
+func TestRunBenchmarkAgainstAggregates(t *testing.T) {
+	cat := NewCatalog(42)
+	s := noiselessServer()
+	a := NewInstance(cat.Games[1], Res1080p)
+	b := NewInstance(cat.Games[2], Res1080p)
+	for _, r := range Resources() {
+		one := s.RunBenchmarkAgainst([]Instance{a}, r, 0.5)
+		two := s.RunBenchmarkAgainst([]Instance{a, b}, r, 0.5)
+		if two < one-1e-9 {
+			t.Errorf("%v: adding a game reduced benchmark slowdown", r)
+		}
+	}
+}
+
+func TestQoSSatisfied(t *testing.T) {
+	if !QoSSatisfied([]float64{60, 61}, 60) {
+		t.Error("should satisfy at the floor")
+	}
+	if QoSSatisfied([]float64{60, 59.9}, 60) {
+		t.Error("should fail below the floor")
+	}
+	if !QoSSatisfied(nil, 60) {
+		t.Error("empty colocation trivially satisfies")
+	}
+}
+
+func TestDegradationClamps(t *testing.T) {
+	cases := []struct{ coloc, solo, want float64 }{
+		{40, 100, 0.4},
+		{110, 100, 1},
+		{-5, 100, 0},
+		{10, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Degradation(c.coloc, c.solo); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Degradation(%v, %v) = %v, want %v", c.coloc, c.solo, got, c.want)
+		}
+	}
+}
+
+func TestDemandVectorClamped(t *testing.T) {
+	cat := NewCatalog(42)
+	s := NewServer(1)
+	for _, g := range cat.Games[:10] {
+		d := s.DemandVector(NewInstance(g, Res1440p))
+		for r := range d {
+			if d[r] < 0 || d[r] > s.Capacity[r] {
+				t.Errorf("%s: demand %v out of [0, cap]", g.Name, d[r])
+			}
+		}
+	}
+}
+
+func TestPressureLevels(t *testing.T) {
+	lv := PressureLevels(10)
+	if len(lv) != 11 || lv[0] != 0 || lv[10] != 1 {
+		t.Errorf("PressureLevels(10) = %v", lv)
+	}
+	if got := PressureLevels(0); len(got) != 2 {
+		t.Errorf("PressureLevels(0) should clamp k to 1, got %v", got)
+	}
+}
+
+func TestBenchmarkLoadBleeds(t *testing.T) {
+	bm := NewBenchmark(GPUBW)
+	v := bm.LoadAt(0.8)
+	if v[GPUBW] <= 0 {
+		t.Fatal("no load on target")
+	}
+	if v[GPUL2] <= 0 {
+		t.Error("GPU-BW benchmark must bleed into GPU-L2 (cannot bypass cache)")
+	}
+	if z := bm.LoadAt(0); z != (Vector{}) {
+		t.Errorf("zero knob should be a zero vector, got %v", z)
+	}
+}

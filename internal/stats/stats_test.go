@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty reducers should return 0")
+	}
+}
+
+func TestPaperVarMatchesEquation5(t *testing.T) {
+	// var = (1/|G|) * sqrt(sum (x - mean)^2), the paper's literal form.
+	xs := []float64{1, 3}
+	// mean=2, sum sq = 2, sqrt = 1.4142..., /2
+	want := math.Sqrt2 / 2
+	if got := PaperVar(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PaperVar = %v, want %v", got, want)
+	}
+	if PaperVar(nil) != 0 {
+		t.Error("empty PaperVar should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v, %v)", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Error("empty MinMax should return ErrEmpty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v (%v), want %v", c.q, got, err, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("empty Quantile should fail")
+	}
+	// Interpolation between order stats.
+	got, _ := Quantile([]float64{0, 10}, 0.25)
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("interpolated quantile = %v, want 2.5", got)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if got := c.InverseAt(0.5); got != 2 {
+		t.Errorf("InverseAt(0.5) = %v, want 2", got)
+	}
+	if got := c.InverseAt(0); got != 1 {
+		t.Errorf("InverseAt(0) = %v, want 1", got)
+	}
+	if got := c.InverseAt(1); got != 3 {
+		t.Errorf("InverseAt(1) = %v, want 3", got)
+	}
+	empty := NewCDF(nil)
+	if !math.IsNaN(empty.InverseAt(0.5)) || empty.At(1) != 0 {
+		t.Error("empty CDF edge cases broken")
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 3, 2, 4})
+	ps, vals := c.Series(5)
+	if len(ps) != 5 || len(vals) != 5 {
+		t.Fatalf("series lengths %d/%d", len(ps), len(vals))
+	}
+	if !sort.Float64sAreSorted(vals) {
+		t.Errorf("series values must be nondecreasing: %v", vals)
+	}
+	if vals[4] != 5 {
+		t.Errorf("last series value %v, want max 5", vals[4])
+	}
+}
+
+// Properties: CDF.At is nondecreasing, bounded in [0,1]; InverseAt returns
+// actual sample values.
+func TestCDFProperties(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = math.Mod(v, 1000)
+		}
+		c := NewCDF(xs)
+		prev := math.Inf(-1)
+		for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			v := c.At(c.InverseAt(q))
+			if v < q-1e-9 { // at least q mass at the q-quantile
+				return false
+			}
+			iv := c.InverseAt(q)
+			if iv < prev {
+				return false
+			}
+			prev = iv
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mean is bounded by MinMax.
+func TestMeanBoundedProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = math.Mod(v, 1e6)
+		}
+		lo, hi, err := MinMax(xs)
+		if err != nil {
+			return false
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

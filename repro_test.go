@@ -1,0 +1,33 @@
+package gaugur_test
+
+import (
+	"testing"
+
+	"gaugur/internal/experiments"
+)
+
+// TestEveryPaperFigureHasABenchmark keeps the benchmark harness and the
+// experiment registry in lockstep: a figure added to the registry without a
+// matching Benchmark function here is a reproduction gap.
+func TestEveryPaperFigureHasABenchmark(t *testing.T) {
+	// The figure IDs wired into benchFigure/benchQuickFigure calls in
+	// bench_test.go, kept in the registry's order.
+	benched := map[string]bool{
+		"fig1": true, "fig2": true, "fig4": true, "fig5": true, "fig6": true,
+		"fig7a": true, "fig7b": true, "fig7c": true,
+		"fig8a": true, "fig8b": true, "fig8c": true,
+		"fig9a": true, "fig9b": true, "fig9c": true,
+		"fig10a": true, "fig10b": true, "overhead": true,
+		"ext-conservative": true, "ext-encoder": true, "ext-delay": true,
+		"ext-cf": true, "ext-churn": true, "ext-hetero": true,
+		"abl-aggregate": true, "abl-log": true, "abl-k": true, "abl-noise": true,
+	}
+	for _, id := range experiments.IDs() {
+		if !benched[id] {
+			t.Errorf("figure %q has no benchmark in bench_test.go", id)
+		}
+	}
+	if len(experiments.IDs()) != len(benched) {
+		t.Errorf("registry has %d figures, bench harness covers %d", len(experiments.IDs()), len(benched))
+	}
+}
