@@ -1,0 +1,27 @@
+# Tier-1 gate plus the deeper checks CI and pre-commit runs use.
+
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# -short skips the heaviest ablation drivers, which exceed the default
+# per-package timeout under race instrumentation; everything else runs
+# fully instrumented.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# verify is the full gate: tier-1 build+test, static analysis, and the
+# race detector over every package.
+verify: build test vet race

@@ -144,6 +144,7 @@ func BenchmarkExtDelayPrediction(b *testing.B)       { benchQuickFigure(b, "ext-
 func BenchmarkExtCFOnboarding(b *testing.B)          { benchQuickFigure(b, "ext-cf") }
 func BenchmarkExtSessionChurn(b *testing.B)          { benchQuickFigure(b, "ext-churn") }
 func BenchmarkExtHeterogeneousFleet(b *testing.B)    { benchQuickFigure(b, "ext-hetero") }
+func BenchmarkExtFaultTolerance(b *testing.B)        { benchQuickFigure(b, "ext-faults") }
 func BenchmarkAblAggregateTransform(b *testing.B)    { benchQuickFigure(b, "abl-aggregate") }
 func BenchmarkAblLogTarget(b *testing.B)             { benchQuickFigure(b, "abl-log") }
 func BenchmarkAblGranularity(b *testing.B)           { benchQuickFigure(b, "abl-k") }

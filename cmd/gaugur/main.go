@@ -41,6 +41,8 @@ func main() {
 		err = cmdDispatch(args)
 	case "churn":
 		err = cmdChurn(args)
+	case "faults":
+		err = cmdFaults(args)
 	case "onboard":
 		err = cmdOnboard(args)
 	case "help", "-h", "--help":
@@ -64,6 +66,7 @@ commands:
   pack      pack requests onto the fewest servers with QoS guarantees
   dispatch  dispatch requests onto a fixed fleet maximizing average FPS
   churn     simulate an online arrival/departure stream against the model
+  faults    churn under injected crashes, spikes, and prediction dropouts
   onboard   profile a new game cheaply via probes + matrix completion
 
 run "gaugur <command> -h" for the command's flags`)

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// Graceful prediction degradation: the serving layer must keep placing
+// sessions even when the trained CM/RM is missing, erroring, or stale. A
+// FallbackPredictor chains prediction stages from most accurate to most
+// conservative — the full GAugur models first, then a VBP-style capacity
+// check built from profiles alone (the one feasibility test Section 3.2
+// says needs no interference prediction). A circuit breaker per fallible
+// stage trips after consecutive failures or a declared outage and
+// half-open-probes its way back, so one flaky model cannot take placement
+// down with it.
+
+// ErrStageUnavailable is returned by a stage that cannot currently answer
+// (model not loaded, profiling data missing, declared outage).
+var ErrStageUnavailable = errors.New("core: prediction stage unavailable")
+
+// PredictorStage is one link in the degradation chain: a source of FPS and
+// feasibility answers that may fail.
+type PredictorStage interface {
+	// Name identifies the stage in stats and logs.
+	Name() string
+	// PredictFPS estimates the frame rate of workload idx within c.
+	PredictFPS(c Colocation, idx int) (float64, error)
+	// Feasible reports whether every member of c clears the QoS floor.
+	Feasible(c Colocation) (bool, error)
+}
+
+// modelStage adapts the trained Predictor to the fallible stage interface,
+// converting panics and missing models into errors instead of crashes.
+type modelStage struct {
+	p *Predictor
+}
+
+func (m *modelStage) Name() string { return "model" }
+
+func (m *modelStage) guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("core: model stage panicked: %v", r)
+	}
+}
+
+func (m *modelStage) PredictFPS(c Colocation, idx int) (fps float64, err error) {
+	defer m.guard(&err)
+	if m.p == nil || m.p.RM == nil || m.p.Profiles == nil {
+		return 0, fmt.Errorf("%w: RM not loaded", ErrStageUnavailable)
+	}
+	return m.p.PredictFPS(c, idx), nil
+}
+
+func (m *modelStage) Feasible(c Colocation) (ok bool, err error) {
+	defer m.guard(&err)
+	if m.p == nil || m.p.Profiles == nil || (m.p.CM == nil && m.p.RM == nil) {
+		return false, fmt.Errorf("%w: CM/RM not loaded", ErrStageUnavailable)
+	}
+	if m.p.CM != nil {
+		return m.p.FeasibleCM(c), nil
+	}
+	return m.p.FeasibleRM(c), nil
+}
+
+// capacityStage is the conservative terminal stage: a VBP-style capacity
+// check from solo profiles only. It never fails — when even profiles are
+// missing it answers with the safest possible estimate (infeasible, zero
+// FPS), which degrades placement quality but never placement availability.
+type capacityStage struct {
+	profiles *profile.Set
+	capacity sim.Vector
+	cpuMem   float64
+	gpuMem   float64
+	qos      float64
+}
+
+// countedCapacityResources mirrors the VBP baseline: every shared resource
+// except the caches, whose utilization VBP cannot meaningfully count.
+var countedCapacityResources = []sim.Resource{sim.CPUCE, sim.MemBW, sim.GPUCE, sim.GPUBW, sim.PCIeBW}
+
+func (v *capacityStage) Name() string { return "capacity" }
+
+func (v *capacityStage) PredictFPS(c Colocation, idx int) (float64, error) {
+	if v.profiles == nil {
+		return 0, nil
+	}
+	p := v.profiles.Get(c[idx].GameID)
+	if p == nil {
+		return 0, nil
+	}
+	solo := p.SoloFPS(c[idx].Res)
+	// Conservative degradation estimate: scale solo FPS down by the
+	// worst-dimension utilization of the whole colocation. Crude, but
+	// monotone in load — exactly what a capacity heuristic can promise.
+	if frac := v.loadFraction(c); frac > 1 {
+		return solo / frac, nil
+	}
+	return solo, nil
+}
+
+func (v *capacityStage) Feasible(c Colocation) (bool, error) {
+	if v.profiles == nil {
+		return false, nil
+	}
+	var res sim.Vector
+	var cpu, gpu float64
+	for _, w := range c {
+		p := v.profiles.Get(w.GameID)
+		if p == nil {
+			return false, nil
+		}
+		if p.SoloFPS(w.Res) < v.qos {
+			return false, nil
+		}
+		res = res.Add(p.Demand(w.Res))
+		cpu += p.CPUMem
+		gpu += p.GPUMem
+	}
+	for _, r := range countedCapacityResources {
+		if res[r] > v.capacity[r] {
+			return false, nil
+		}
+	}
+	return cpu <= v.cpuMem && gpu <= v.gpuMem, nil
+}
+
+// loadFraction is the colocation's worst counted-dimension utilization
+// relative to capacity (>1 means oversubscribed).
+func (v *capacityStage) loadFraction(c Colocation) float64 {
+	var res sim.Vector
+	for _, w := range c {
+		if p := v.profiles.Get(w.GameID); p != nil {
+			res = res.Add(p.Demand(w.Res))
+		}
+	}
+	worst := 0.0
+	for _, r := range countedCapacityResources {
+		if v.capacity[r] > 0 {
+			if f := res[r] / v.capacity[r]; f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst
+}
+
+// BreakerConfig tunes the per-stage circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive stage failures trip the
+	// breaker open; <= 0 defaults to 3.
+	FailureThreshold int
+	// CooldownCalls is how many queries the open breaker short-circuits
+	// before letting one probe through (half-open); <= 0 defaults to 50.
+	CooldownCalls int
+}
+
+func (b BreakerConfig) withDefaults() BreakerConfig {
+	if b.FailureThreshold <= 0 {
+		b.FailureThreshold = 3
+	}
+	if b.CooldownCalls <= 0 {
+		b.CooldownCalls = 50
+	}
+	return b
+}
+
+// breakerState is the classic three-state circuit breaker, counted in
+// calls rather than wall time so simulated serving stays deterministic.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	cfg      BreakerConfig
+	state    breakerState
+	failures int // consecutive failures while closed
+	skipped  int // calls short-circuited while open
+	forced   bool
+}
+
+// allow reports whether the protected stage may be consulted.
+func (b *breaker) allow() bool {
+	if b.forced {
+		return false
+	}
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return true
+	default: // open: wait out the cooldown, then probe.
+		b.skipped++
+		if b.skipped >= b.cfg.CooldownCalls {
+			b.state = breakerHalfOpen
+			b.skipped = 0
+			return true
+		}
+		return false
+	}
+}
+
+// observe records a stage outcome.
+func (b *breaker) observe(ok bool) {
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		b.skipped = 0
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.skipped = 0
+	default:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = breakerOpen
+			b.failures = 0
+			b.skipped = 0
+		}
+	}
+}
+
+// FallbackPredictor chains prediction stages behind circuit breakers and
+// always answers: queries walk the chain until a healthy stage responds,
+// and the terminal capacity stage cannot fail. Not safe for concurrent
+// use (one per serving loop, like the rng).
+type FallbackPredictor struct {
+	stages   []PredictorStage
+	breakers []*breaker
+
+	// Served counts answers per stage name — the observability a serving
+	// experiment reads to show which layer carried the traffic.
+	Served map[string]int
+	// Errors counts stage failures per stage name.
+	Errors map[string]int
+}
+
+// NewFallbackPredictor builds the standard two-stage chain: the trained
+// predictor (may be nil — the breaker then trips immediately) degrading to
+// the conservative capacity check over profiles. qos is the frame-rate
+// floor the capacity stage screens solo FPS against.
+func NewFallbackPredictor(p *Predictor, profiles *profile.Set, qos float64, cfg BreakerConfig) *FallbackPredictor {
+	var capVec sim.Vector
+	for i := range capVec {
+		capVec[i] = 1
+	}
+	return NewFallbackChain(cfg,
+		&modelStage{p: p},
+		&capacityStage{profiles: profiles, capacity: capVec, cpuMem: 1, gpuMem: 1, qos: qos},
+	)
+}
+
+// NewFallbackChain builds a fallback predictor over arbitrary stages,
+// ordered most-preferred first. Every stage but the last sits behind its
+// own circuit breaker; the last is the unconditional terminal.
+func NewFallbackChain(cfg BreakerConfig, stages ...PredictorStage) *FallbackPredictor {
+	cfg = cfg.withDefaults()
+	f := &FallbackPredictor{
+		stages: stages,
+		Served: map[string]int{},
+		Errors: map[string]int{},
+	}
+	for range stages {
+		f.breakers = append(f.breakers, &breaker{cfg: cfg})
+	}
+	return f
+}
+
+// ReportOutage forces the primary stage's breaker open (true) or releases
+// it (false) — the hook for declared failures such as profiling-
+// measurement dropouts, where waiting for organic errors would serve
+// garbage in the meantime.
+func (f *FallbackPredictor) ReportOutage(down bool) {
+	if len(f.breakers) == 0 {
+		return
+	}
+	f.breakers[0].forced = down
+	if !down {
+		// Recover immediately: the outage was declared over, not probed.
+		f.breakers[0].state = breakerClosed
+		f.breakers[0].failures = 0
+	}
+}
+
+// Degraded reports whether the primary stage is currently unavailable
+// (forced or tripped open).
+func (f *FallbackPredictor) Degraded() bool {
+	if len(f.breakers) == 0 {
+		return false
+	}
+	b := f.breakers[0]
+	return b.forced || b.state == breakerOpen
+}
+
+// query walks the chain until a stage answers; the final stage's error (if
+// any) is returned as a last resort.
+func (f *FallbackPredictor) query(call func(PredictorStage) error) (string, error) {
+	var lastErr error
+	for i, st := range f.stages {
+		terminal := i == len(f.stages)-1
+		if !terminal && !f.breakers[i].allow() {
+			continue
+		}
+		err := call(st)
+		if !terminal {
+			f.breakers[i].observe(err == nil)
+		}
+		if err == nil {
+			f.Served[st.Name()]++
+			return st.Name(), nil
+		}
+		f.Errors[st.Name()]++
+		lastErr = err
+	}
+	return "", fmt.Errorf("core: every prediction stage failed: %w", lastErr)
+}
+
+// PredictFPS estimates the frame rate of workload idx within c, returning
+// the name of the stage that answered.
+func (f *FallbackPredictor) PredictFPS(c Colocation, idx int) (float64, string, error) {
+	var fps float64
+	stage, err := f.query(func(st PredictorStage) error {
+		v, err := st.PredictFPS(c, idx)
+		fps = v
+		return err
+	})
+	return fps, stage, err
+}
+
+// Feasible reports whether every member of c clears the QoS floor,
+// returning the name of the stage that answered.
+func (f *FallbackPredictor) Feasible(c Colocation) (bool, string, error) {
+	var ok bool
+	stage, err := f.query(func(st PredictorStage) error {
+		v, err := st.Feasible(c)
+		ok = v
+		return err
+	})
+	return ok, stage, err
+}
+
+// PredictTotalFPS sums PredictFPS over the colocation — the scorer shape
+// the greedy dispatcher wants, degradation included.
+func (f *FallbackPredictor) PredictTotalFPS(c Colocation) float64 {
+	s := 0.0
+	for i := range c {
+		fps, _, err := f.PredictFPS(c, i)
+		if err == nil {
+			s += fps
+		}
+	}
+	return s
+}

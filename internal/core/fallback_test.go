@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// flakyStage answers from a script of errors (nil = success), returning a
+// recognizable FPS so tests can tell who served a query.
+type flakyStage struct {
+	name  string
+	fps   float64
+	errs  []error
+	calls int
+}
+
+func (s *flakyStage) Name() string { return s.name }
+func (s *flakyStage) next() error {
+	var err error
+	if s.calls < len(s.errs) {
+		err = s.errs[s.calls]
+	}
+	s.calls++
+	return err
+}
+func (s *flakyStage) PredictFPS(Colocation, int) (float64, error) {
+	if err := s.next(); err != nil {
+		return 0, err
+	}
+	return s.fps, nil
+}
+func (s *flakyStage) Feasible(Colocation) (bool, error) {
+	if err := s.next(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func repeatErr(err error, n int) []error {
+	out := make([]error, n)
+	for i := range out {
+		out[i] = err
+	}
+	return out
+}
+
+func testColoc() Colocation {
+	return Colocation{{GameID: 0, Res: sim.Res1080p}, {GameID: 1, Res: sim.Res1080p}}
+}
+
+func TestFallbackServesPrimaryWhenHealthy(t *testing.T) {
+	primary := &flakyStage{name: "primary", fps: 100}
+	backup := &flakyStage{name: "backup", fps: 50}
+	f := NewFallbackChain(BreakerConfig{}, primary, backup)
+
+	fps, stage, err := f.PredictFPS(testColoc(), 0)
+	if err != nil || stage != "primary" || fps != 100 {
+		t.Fatalf("healthy primary should serve: fps=%v stage=%q err=%v", fps, stage, err)
+	}
+	if f.Degraded() {
+		t.Error("healthy chain should not report degraded")
+	}
+}
+
+func TestFallbackTripsAfterConsecutiveFailures(t *testing.T) {
+	boom := errors.New("boom")
+	primary := &flakyStage{name: "primary", fps: 100, errs: repeatErr(boom, 1000)}
+	backup := &flakyStage{name: "backup", fps: 50}
+	f := NewFallbackChain(BreakerConfig{FailureThreshold: 3, CooldownCalls: 10}, primary, backup)
+
+	// Every query falls through to the backup; after 3 consecutive
+	// failures the breaker opens and stops consulting the primary.
+	for i := 0; i < 8; i++ {
+		fps, stage, err := f.PredictFPS(testColoc(), 0)
+		if err != nil || stage != "backup" || fps != 50 {
+			t.Fatalf("query %d: want backup to serve, got fps=%v stage=%q err=%v", i, fps, stage, err)
+		}
+	}
+	if primary.calls != 3 {
+		t.Errorf("primary consulted %d times, want exactly FailureThreshold=3 before the trip", primary.calls)
+	}
+	if !f.Degraded() {
+		t.Error("tripped chain should report degraded")
+	}
+
+	// After CooldownCalls short-circuits, a half-open probe goes through.
+	for i := 0; i < 10; i++ {
+		f.PredictFPS(testColoc(), 0)
+	}
+	if primary.calls != 4 {
+		t.Errorf("primary consulted %d times, want one half-open probe after cooldown", primary.calls)
+	}
+}
+
+func TestFallbackRecoversViaHalfOpenProbe(t *testing.T) {
+	boom := errors.New("boom")
+	// Fails 3 times (trips), then recovers.
+	primary := &flakyStage{name: "primary", fps: 100, errs: repeatErr(boom, 3)}
+	backup := &flakyStage{name: "backup", fps: 50}
+	f := NewFallbackChain(BreakerConfig{FailureThreshold: 3, CooldownCalls: 2}, primary, backup)
+
+	for i := 0; i < 3; i++ {
+		f.PredictFPS(testColoc(), 0)
+	}
+	// Two short-circuited calls, then the probe succeeds and closes the
+	// breaker for good.
+	f.PredictFPS(testColoc(), 0)
+	f.PredictFPS(testColoc(), 0)
+	fps, stage, err := f.PredictFPS(testColoc(), 0)
+	if err != nil || stage != "primary" || fps != 100 {
+		t.Fatalf("recovered primary should serve again: fps=%v stage=%q err=%v", fps, stage, err)
+	}
+	if f.Degraded() {
+		t.Error("recovered chain should not report degraded")
+	}
+}
+
+func TestFallbackReportOutage(t *testing.T) {
+	primary := &flakyStage{name: "primary", fps: 100}
+	backup := &flakyStage{name: "backup", fps: 50}
+	f := NewFallbackChain(BreakerConfig{}, primary, backup)
+
+	f.ReportOutage(true)
+	fps, stage, err := f.PredictFPS(testColoc(), 0)
+	if err != nil || stage != "backup" || fps != 50 {
+		t.Fatalf("declared outage must route to backup: fps=%v stage=%q err=%v", fps, stage, err)
+	}
+	if primary.calls != 0 {
+		t.Errorf("primary consulted %d times during a declared outage", primary.calls)
+	}
+	if !f.Degraded() {
+		t.Error("declared outage should report degraded")
+	}
+
+	f.ReportOutage(false)
+	fps, stage, err = f.PredictFPS(testColoc(), 0)
+	if err != nil || stage != "primary" || fps != 100 {
+		t.Fatalf("ended outage must restore the primary: fps=%v stage=%q err=%v", fps, stage, err)
+	}
+}
+
+func TestFallbackServedAndErrorStats(t *testing.T) {
+	boom := errors.New("boom")
+	primary := &flakyStage{name: "primary", fps: 100, errs: []error{boom, nil, boom}}
+	backup := &flakyStage{name: "backup", fps: 50}
+	f := NewFallbackChain(BreakerConfig{FailureThreshold: 5}, primary, backup)
+
+	for i := 0; i < 3; i++ {
+		f.PredictFPS(testColoc(), 0)
+	}
+	if f.Served["primary"] != 1 || f.Served["backup"] != 2 {
+		t.Errorf("served stats %v, want primary=1 backup=2", f.Served)
+	}
+	if f.Errors["primary"] != 2 {
+		t.Errorf("error stats %v, want primary=2", f.Errors)
+	}
+}
+
+func TestModelStageGuardsNilAndPanics(t *testing.T) {
+	// Nil predictor: unavailable error, not a nil-pointer crash.
+	m := &modelStage{p: nil}
+	if _, err := m.PredictFPS(testColoc(), 0); !errors.Is(err, ErrStageUnavailable) {
+		t.Errorf("nil predictor should be ErrStageUnavailable, got %v", err)
+	}
+	if _, err := m.Feasible(testColoc()); !errors.Is(err, ErrStageUnavailable) {
+		t.Errorf("nil predictor feasibility should be ErrStageUnavailable, got %v", err)
+	}
+
+	// A predictor whose profile set lacks the queried game panics inside
+	// PredictFPS; the guard must surface an error instead.
+	m = &modelStage{p: &Predictor{Profiles: &profile.Set{ByID: map[int]*profile.GameProfile{}}, RM: nil}}
+	if _, err := m.PredictFPS(testColoc(), 0); !errors.Is(err, ErrStageUnavailable) {
+		t.Errorf("missing RM should be unavailable, got %v", err)
+	}
+}
+
+func TestFallbackTerminalStageAlwaysAnswers(t *testing.T) {
+	// Even with no model AND no profiles, the chain answers — with the
+	// safest possible estimate — instead of failing the placement.
+	f := NewFallbackPredictor(nil, nil, 60, BreakerConfig{})
+	ok, stage, err := f.Feasible(testColoc())
+	if err != nil {
+		t.Fatalf("terminal capacity stage must always answer: %v", err)
+	}
+	if stage != "capacity" {
+		t.Errorf("stage %q, want capacity", stage)
+	}
+	if ok {
+		t.Error("capacity stage with no profiles must answer conservatively (infeasible)")
+	}
+	if fps, _, _ := f.PredictFPS(testColoc(), 0); fps != 0 {
+		t.Errorf("capacity stage with no profiles should predict 0 FPS, got %v", fps)
+	}
+}
+
+// TestCapacityStageAgainstWorld exercises the conservative stage with real
+// profiles: solo-clearing small colocations are feasible, oversubscribed
+// ones are not, and predictions stay positive.
+func TestCapacityStageAgainstWorld(t *testing.T) {
+	catalog := sim.NewCatalog(42)
+	server := sim.NewServer(7)
+	pf := &profile.Profiler{Server: server}
+	set, err := pf.ProfileCatalog(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFallbackPredictor(nil, set, 60, BreakerConfig{})
+
+	// Find a game whose solo FPS clears the floor.
+	var solo Colocation
+	for _, p := range set.Order {
+		if p.SoloFPS(ReferenceResolution) >= 80 {
+			solo = Colocation{{GameID: p.GameID, Res: ReferenceResolution}}
+			break
+		}
+	}
+	if solo == nil {
+		t.Fatal("no game clears 80 FPS solo")
+	}
+	ok, stage, err := f.Feasible(solo)
+	if err != nil || stage != "capacity" {
+		t.Fatalf("stage=%q err=%v", stage, err)
+	}
+	if !ok {
+		t.Error("a fast solo game must be capacity-feasible")
+	}
+	fps, _, err := f.PredictFPS(solo, 0)
+	if err != nil || fps < 60 {
+		t.Errorf("solo prediction should be its solo FPS: %v (err %v)", fps, err)
+	}
+
+	// Pile up copies of the most demanding game until demand overflows:
+	// the conservative check must eventually refuse.
+	heavy := set.Order[0]
+	for _, p := range set.Order {
+		if p.Demand(ReferenceResolution).Max() > heavy.Demand(ReferenceResolution).Max() {
+			heavy = p
+		}
+	}
+	big := Colocation{}
+	for i := 0; i < 12; i++ {
+		big = append(big, Workload{GameID: heavy.GameID, Res: ReferenceResolution})
+	}
+	if ok, _, _ := f.Feasible(big); ok {
+		t.Error("12 copies of the heaviest game must oversubscribe capacity")
+	}
+}

@@ -92,6 +92,48 @@ func TestExtChurnRowsAndBounds(t *testing.T) {
 	}
 }
 
+func TestExtFaultsMigrationRecovers(t *testing.T) {
+	tab := runFig(t, "ext-faults")
+	if len(tab.Rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(tab.Rows))
+	}
+	// Rows: 0 no-faults reference, 1 migrating aware, 2 fallback chain,
+	// 3 migration disabled, 4 blind least-loaded.
+	for i := range tab.Rows {
+		fps := cellFloat(t, tab, i, 1)
+		viol := cellFloat(t, tab, i, 2)
+		if fps <= 0 {
+			t.Errorf("row %d: non-positive mean FPS", i)
+		}
+		if viol < 0 || viol > 1 {
+			t.Errorf("row %d: violation fraction %v out of range", i, viol)
+		}
+	}
+	if m := cellFloat(t, tab, 1, 3); m == 0 {
+		t.Error("migrating policy should rescue orphans under the crash schedule")
+	}
+	if d := cellFloat(t, tab, 1, 4); d > cellFloat(t, tab, 3, 4) {
+		t.Error("migration should not drop more sessions than no migration")
+	}
+	if cellFloat(t, tab, 3, 3) != 0 {
+		t.Error("migration-disabled row must not migrate")
+	}
+	if cellFloat(t, tab, 3, 4) == 0 {
+		t.Error("migration-disabled row should drop the crash orphans")
+	}
+	// The migrating interference-aware policy recovers: mean FPS within a
+	// few percent of the fault-free reference, and less QoS-violating time
+	// than the interference-blind policy under the same faults.
+	if ref, aware := cellFloat(t, tab, 0, 1), cellFloat(t, tab, 1, 1); aware < 0.9*ref {
+		t.Errorf("migrating aware policy (%v FPS) should recover to near the fault-free run (%v)", aware, ref)
+	}
+	awareViol := cellFloat(t, tab, 1, 2)
+	blindViol := cellFloat(t, tab, 4, 2)
+	if awareViol >= blindViol {
+		t.Errorf("aware policy under faults (%v) should stay below blind (%v)", awareViol, blindViol)
+	}
+}
+
 func TestExtHeteroPerClassWins(t *testing.T) {
 	tab := runFig(t, "ext-hetero")
 	if len(tab.Rows) != 4 {
@@ -150,7 +192,7 @@ func TestAblationDrivers(t *testing.T) {
 func TestRegistryIncludesExtensions(t *testing.T) {
 	for _, id := range []string{
 		"ext-conservative", "ext-encoder", "ext-delay",
-		"ext-cf", "ext-churn", "ext-hetero",
+		"ext-cf", "ext-churn", "ext-hetero", "ext-faults",
 		"abl-aggregate", "abl-log", "abl-k", "abl-noise",
 	} {
 		if _, ok := Lookup(id); !ok {

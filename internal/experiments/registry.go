@@ -40,6 +40,7 @@ var Registry = []struct {
 	{"ext-cf", ExtCF},
 	{"ext-churn", ExtChurn},
 	{"ext-hetero", ExtHetero},
+	{"ext-faults", ExtFaults},
 
 	// Ablations of the reproduction's own design choices.
 	{"abl-aggregate", AblAggregate},

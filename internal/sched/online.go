@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"gaugur/internal/sim"
 )
 
 // Online session churn: the Section 5 experiments place a fixed batch of
@@ -15,6 +17,18 @@ import (
 // placement policy through such a stream and reports time-averaged
 // quality, which is where interference-aware placement pays off most: a
 // bad pairing hurts for the whole overlap of two sessions.
+//
+// The loop is also fault-tolerant: an optional sim.FaultEvent schedule
+// injects whole-server crashes (sessions orphaned, then re-placed via the
+// active policy with bounded retry and exponential backoff), noisy-neighbor
+// pressure spikes (scored through the real physics via SpikeEval), and
+// prediction-pipeline dropouts (surfaced through OnOutage so a fallback
+// predictor can trip its circuit breaker). A QoS watchdog migrates the
+// worst victim off servers that violate the floor for a sustained window,
+// and load-shedding admission control rejects arrivals outright when the
+// live fleet is saturated. With no faults configured and the resilience
+// knobs at their zero values, the loop is bit-for-bit identical to the
+// fault-free simulator — resilience costs nothing when idle.
 
 // OnlineConfig parameterizes the churn simulation.
 type OnlineConfig struct {
@@ -32,6 +46,40 @@ type OnlineConfig struct {
 	GameIDs []int
 	// Seed drives arrivals, durations, and game draws.
 	Seed int64
+
+	// Faults is the injected fault schedule (see sim.GenerateFaults). Nil
+	// or empty leaves the resilience machinery entirely idle.
+	Faults []sim.FaultEvent
+	// SpikeEval scores a server's occupants under extra noisy-neighbor
+	// load; required when Faults contains pressure spikes.
+	SpikeEval func(games []int, extra sim.Vector) []float64
+	// MigrationRetries caps the delayed re-placement attempts per orphaned
+	// session (after the immediate attempt at crash time) before it counts
+	// as dropped; <= 0 defaults to 3.
+	MigrationRetries int
+	// MigrationBackoff is the delay before the first re-placement retry,
+	// doubling on each subsequent attempt; <= 0 defaults to 0.25.
+	MigrationBackoff float64
+	// DisableMigration drops orphaned sessions immediately instead of
+	// re-placing them (the non-resilient strawman).
+	DisableMigration bool
+	// WatchdogWindow is how long a server must violate the QoS floor
+	// continuously before the watchdog migrates its worst victim; 0
+	// disables the watchdog.
+	WatchdogWindow float64
+	// ShedUtilization sheds arrivals (rejecting them without consulting
+	// the policy) when running sessions reach this fraction of the live
+	// fleet's slot capacity; 0 disables load shedding.
+	ShedUtilization float64
+	// OnOutage, if set, is called when a prediction-pipeline dropout
+	// begins (true) and ends (false) — the hook a FallbackPredictor's
+	// circuit breaker listens on.
+	OnOutage func(down bool)
+}
+
+// resilient reports whether any fault-handling machinery is configured.
+func (c OnlineConfig) resilient() bool {
+	return len(c.Faults) > 0 || c.WatchdogWindow > 0 || c.ShedUtilization > 0
 }
 
 // PlacementPolicy picks a server for an arriving session given the current
@@ -47,6 +95,51 @@ type PolicyFunc func(contents [][]int, game int) (int, bool)
 // Place implements PlacementPolicy.
 func (f PolicyFunc) Place(contents [][]int, game int) (int, bool) { return f(contents, game) }
 
+// greedyCacheCap bounds GreedyPolicy's score memo. A week-long churn
+// stream visits unboundedly many distinct states, so the memo evicts FIFO
+// past this many entries instead of growing memory without limit.
+const greedyCacheCap = 1 << 14
+
+// scoreCache is a FIFO-bounded string->float64 memo. Eviction order never
+// affects results (the scorer is pure); the bound only caps memory.
+type scoreCache struct {
+	limit int
+	m     map[string]float64
+	order []string
+	head  int
+}
+
+func newScoreCache(limit int) *scoreCache {
+	if limit <= 0 {
+		limit = greedyCacheCap
+	}
+	return &scoreCache{limit: limit, m: make(map[string]float64)}
+}
+
+// get returns the memoized value for k, computing and (boundedly) storing
+// it on a miss.
+func (c *scoreCache) get(k string, miss func() float64) float64 {
+	if v, ok := c.m[k]; ok {
+		return v
+	}
+	v := miss()
+	if len(c.m) >= c.limit {
+		// Evict the oldest entry; compact the order slice once the dead
+		// prefix outgrows the cap so memory stays O(limit).
+		delete(c.m, c.order[c.head])
+		c.head++
+		if c.head > c.limit {
+			c.order = append(c.order[:0], c.order[c.head:]...)
+			c.head = 0
+		}
+	}
+	c.m[k] = v
+	c.order = append(c.order, k)
+	return v
+}
+
+func (c *scoreCache) len() int { return len(c.m) }
+
 // GreedyPolicy places each arrival on the server maximizing the predicted
 // total-FPS delta, honoring the capacity cap — the online form of the
 // Section 5.2 dispatcher. Scores are memoized per game multiset: with a
@@ -56,15 +149,9 @@ func GreedyPolicy(score Scorer, maxPerServer int) PlacementPolicy {
 	if maxPerServer <= 0 {
 		maxPerServer = 4
 	}
-	cache := map[string]float64{}
+	cache := newScoreCache(greedyCacheCap)
 	cached := func(games []int) float64 {
-		k := stateKey(games)
-		if v, ok := cache[k]; ok {
-			return v
-		}
-		v := score(games)
-		cache[k] = v
-		return v
+		return cache.get(stateKey(games), func() float64 { return score(games) })
 	}
 	return PolicyFunc(func(contents [][]int, game int) (int, bool) {
 		best, bestDelta, found := -1, 0.0, false
@@ -114,35 +201,79 @@ type OnlineResult struct {
 	// ViolationFraction is the fraction of session-time spent below the
 	// QoS floor.
 	ViolationFraction float64
-	// Rejected counts arrivals the policy could not place.
+	// Rejected counts arrivals the policy could not place (including shed
+	// arrivals).
 	Rejected int
 	// Completed counts sessions that ran to their natural end.
 	Completed int
 	// PeakActive is the maximum number of concurrent sessions.
 	PeakActive int
+
+	// Migrated counts successful session moves: orphans re-placed after a
+	// crash plus victims relocated by the QoS watchdog.
+	Migrated int
+	// Dropped counts sessions lost to faults: orphaned by a crash and
+	// never re-placed within the retry budget, or departing mid-limbo.
+	Dropped int
+	// Shed counts arrivals rejected by load-shedding admission control
+	// (also included in Rejected).
+	Shed int
+	// Crashes counts server-crash faults applied during the run.
+	Crashes int
+	// MeanTimeToRecover is the mean delay between a session being
+	// orphaned and its successful re-placement (0 when nothing recovered).
+	MeanTimeToRecover float64
 }
 
-// departure is a scheduled session end.
-type departure struct {
-	at      float64
-	server  int
-	session int // index within the server's occupant list identity
-	game    int
+// evKind orders the internal event types.
+type evKind int
+
+const (
+	evDeparture evKind = iota
+	evRetry
+	evWatchdog
+)
+
+// event is one scheduled simulator event.
+type event struct {
+	at   float64
+	seq  int64
+	kind evKind
+	sid  int // departure/retry: session id
+	srv  int // watchdog: server
+	gen  int // watchdog: violation generation at scheduling time
 }
 
-// departureHeap orders departures by time.
-type departureHeap []departure
+// eventHeap orders events by time, FIFO within a tie.
+type eventHeap []event
 
-func (h departureHeap) Len() int           { return len(h) }
-func (h departureHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h departureHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *departureHeap) Push(x any)        { *h = append(*h, x.(departure)) }
-func (h *departureHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h departureHeap) Peek() (departure, bool) {
-	if len(h) == 0 {
-		return departure{}, false
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
-	return h[0], true
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// session is one admitted request's lifetime state.
+type session struct {
+	id       int
+	game     int
+	server   int // -1 while orphaned
+	departAt float64
+	// orphan bookkeeping
+	orphanedAt float64
+	retries    int
+	done       bool
 }
 
 // RunOnline drives the policy through a churn stream and scores it with
@@ -157,26 +288,94 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 	if cfg.ArrivalRate <= 0 || cfg.MeanDuration <= 0 {
 		return OnlineResult{}, fmt.Errorf("sched: online needs positive rates")
 	}
+	effMax := cfg.MaxPerServer
+	if effMax <= 0 {
+		effMax = 4
+	}
+	migRetries := cfg.MigrationRetries
+	if migRetries <= 0 {
+		migRetries = 3
+	}
+	migBackoff := cfg.MigrationBackoff
+	if migBackoff <= 0 {
+		migBackoff = 0.25
+	}
+
+	var inj *sim.Injector
+	if len(cfg.Faults) > 0 {
+		for _, ev := range cfg.Faults {
+			if ev.Kind == sim.FaultSpike && cfg.SpikeEval == nil {
+				return OnlineResult{}, fmt.Errorf("sched: fault schedule contains pressure spikes but SpikeEval is nil")
+			}
+			if (ev.Kind == sim.FaultCrash || ev.Kind == sim.FaultSpike) && (ev.Server < 0 || ev.Server >= cfg.NumServers) {
+				return OnlineResult{}, fmt.Errorf("sched: fault targets invalid server %d", ev.Server)
+			}
+		}
+		inj = sim.NewInjector(cfg.Faults)
+	}
+	watchdogOn := cfg.WatchdogWindow > 0
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	contents := make([][]int, cfg.NumServers)
+	slots := make([][]int, cfg.NumServers) // session ids aligned with contents
 	serverFPS := make([][]float64, cfg.NumServers)
 
-	var deps departureHeap
-	heap.Init(&deps)
+	var events eventHeap
+	heap.Init(&events)
+	var seq int64
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&events, e)
+	}
 
 	var res OnlineResult
 	now := 0.0
 	var fpsIntegral, violIntegral, timeIntegral float64
+	var recoverSum float64
+	recoverN := 0
 	active := 0
+	sessions := make([]*session, 0, cfg.Sessions)
 
-	// currentSums returns total fps and sub-QoS session count.
-	recompute := func(s int) {
-		if len(contents[s]) == 0 {
-			serverFPS[s] = nil
+	// Watchdog state: per-server "currently violating" flag with a
+	// generation counter to invalidate stale timer events.
+	var violating []bool
+	var violGen []int
+	if watchdogOn {
+		violating = make([]bool, cfg.NumServers)
+		violGen = make([]int, cfg.NumServers)
+	}
+
+	updateViolation := func(s int) {
+		v := false
+		for _, f := range serverFPS[s] {
+			if f < qos {
+				v = true
+				break
+			}
+		}
+		if v == violating[s] {
 			return
 		}
-		serverFPS[s] = eval(contents[s])
+		violating[s] = v
+		violGen[s]++
+		if v {
+			push(event{at: now + cfg.WatchdogWindow, kind: evWatchdog, srv: s, gen: violGen[s]})
+		}
+	}
+
+	recompute := func(s int) {
+		switch {
+		case len(contents[s]) == 0:
+			serverFPS[s] = nil
+		case inj != nil && inj.SpikeActive(s):
+			serverFPS[s] = cfg.SpikeEval(contents[s], inj.SpikeLoad(s))
+		default:
+			serverFPS[s] = eval(contents[s])
+		}
+		if watchdogOn {
+			updateViolation(s)
+		}
 	}
 	accumulate := func(dt float64) {
 		if dt <= 0 || active == 0 {
@@ -197,57 +396,280 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		timeIntegral += float64(active) * dt
 	}
 
-	removeSession := func(d departure) {
-		occ := contents[d.server]
-		for i, g := range occ {
-			if g == d.game {
-				contents[d.server] = append(occ[:i:i], occ[i+1:]...)
+	insertAt := func(xs []int, i, v int) []int {
+		out := make([]int, 0, len(xs)+1)
+		out = append(out, xs[:i]...)
+		out = append(out, v)
+		return append(out, xs[i:]...)
+	}
+	removeIdx := func(xs []int, i int) []int {
+		return append(xs[:i:i], xs[i+1:]...)
+	}
+
+	// place admits sess onto server (already validated) and recomputes.
+	place := func(sess *session, server int) {
+		i := sort.SearchInts(contents[server], sess.game)
+		contents[server] = insertAt(contents[server], i, sess.game)
+		slots[server] = insertAt(slots[server], i, sess.id)
+		sess.server = server
+		recompute(server)
+		active++
+		if active > res.PeakActive {
+			res.PeakActive = active
+		}
+	}
+	// unplace removes sess from its server without completing it.
+	unplace := func(sess *session) {
+		s := sess.server
+		for i, id := range slots[s] {
+			if id == sess.id {
+				contents[s] = removeIdx(contents[s], i)
+				slots[s] = removeIdx(slots[s], i)
 				break
 			}
 		}
-		recompute(d.server)
+		sess.server = -1
+		recompute(s)
 		active--
-		res.Completed++
+	}
+
+	// validatePlacement applies the invalid-server, crashed-server, and
+	// full-server checks to a policy decision.
+	validatePlacement := func(server int) error {
+		if server < 0 || server >= cfg.NumServers {
+			return fmt.Errorf("sched: policy placed on invalid server %d", server)
+		}
+		if inj != nil && inj.ServerDown(server) {
+			return fmt.Errorf("sched: policy placed on crashed server %d", server)
+		}
+		if len(contents[server]) >= effMax {
+			return fmt.Errorf("sched: policy placed on full server %d (%d/%d sessions)", server, len(contents[server]), effMax)
+		}
+		return nil
+	}
+
+	// policyView masks crashed servers (and optionally one excluded
+	// server) as full so policies cannot choose them. The blocked slice is
+	// shared — policies must not mutate their input, which none do.
+	blocked := make([]int, effMax)
+	view := make([][]int, cfg.NumServers)
+	policyView := func(exclude int) [][]int {
+		if inj == nil && exclude < 0 {
+			return contents
+		}
+		for s := range contents {
+			if s == exclude || (inj != nil && inj.ServerDown(s)) {
+				view[s] = blocked
+			} else {
+				view[s] = contents[s]
+			}
+		}
+		return view
+	}
+
+	// tryMigrate attempts to re-place an orphan, scheduling a backoff
+	// retry or dropping it when the budget is exhausted.
+	tryMigrate := func(sess *session) error {
+		if sess.done || sess.server >= 0 {
+			return nil
+		}
+		server, ok := policy.Place(policyView(-1), sess.game)
+		if ok {
+			if err := validatePlacement(server); err != nil {
+				return err
+			}
+			place(sess, server)
+			res.Migrated++
+			recoverSum += now - sess.orphanedAt
+			recoverN++
+			return nil
+		}
+		if sess.retries >= migRetries {
+			sess.done = true
+			res.Dropped++
+			return nil
+		}
+		sess.retries++
+		delay := migBackoff * math.Pow(2, float64(sess.retries-1))
+		push(event{at: now + delay, kind: evRetry, sid: sess.id})
+		return nil
+	}
+
+	// crash orphans every session on s and starts their migration.
+	crash := func(s int) error {
+		res.Crashes++
+		orphans := append([]int(nil), slots[s]...)
+		contents[s], slots[s], serverFPS[s] = nil, nil, nil
+		if watchdogOn && violating[s] {
+			violating[s] = false
+			violGen[s]++
+		}
+		active -= len(orphans)
+		for _, sid := range orphans {
+			sess := sessions[sid]
+			sess.server = -1
+			sess.orphanedAt = now
+			sess.retries = 0
+			if cfg.DisableMigration {
+				sess.done = true
+				res.Dropped++
+				continue
+			}
+			if err := tryMigrate(sess); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// handleTransition applies one fault state change.
+	handleTransition := func(tr sim.FaultTransition) error {
+		switch tr.Event.Kind {
+		case sim.FaultCrash:
+			if tr.Started {
+				return crash(tr.Event.Server)
+			}
+			// Server returns empty; nothing to recompute.
+		case sim.FaultSpike:
+			if !(inj != nil && inj.ServerDown(tr.Event.Server)) {
+				recompute(tr.Event.Server)
+			}
+		case sim.FaultDropout:
+			if cfg.OnOutage != nil {
+				cfg.OnOutage(tr.Started)
+			}
+		}
+		return nil
+	}
+
+	// liveCapacity counts placeable slots for load shedding.
+	liveCapacity := func() int {
+		if inj == nil {
+			return cfg.NumServers * effMax
+		}
+		up := 0
+		for s := 0; s < cfg.NumServers; s++ {
+			if !inj.ServerDown(s) {
+				up++
+			}
+		}
+		return up * effMax
 	}
 
 	nextArrival := now + rng.ExpFloat64()/cfg.ArrivalRate
 	arrived := 0
-	for arrived < cfg.Sessions || deps.Len() > 0 {
-		// Next event: arrival (if any remain) or earliest departure.
-		d, hasDep := deps.Peek()
-		takeDeparture := hasDep && (arrived >= cfg.Sessions || d.at <= nextArrival)
-
-		var eventAt float64
-		if takeDeparture {
-			eventAt = d.at
-		} else {
+	for arrived < cfg.Sessions || events.Len() > 0 {
+		// Next event: the earliest of pending internal events, the next
+		// arrival, and the next fault transition. Ties: internal events
+		// beat arrivals (matching the fault-free loop), fault transitions
+		// beat both.
+		const inf = math.MaxFloat64
+		eventAt := inf
+		takeHeap := false
+		if arrived < cfg.Sessions {
 			eventAt = nextArrival
+		}
+		if events.Len() > 0 && events[0].at <= eventAt {
+			eventAt = events[0].at
+			takeHeap = true
+		}
+		takeFault := false
+		if inj != nil {
+			if fa, ok := inj.NextChange(); ok && fa <= eventAt {
+				eventAt = fa
+				takeFault = true
+			}
+		}
+		if eventAt == inf {
+			break
 		}
 		accumulate(eventAt - now)
 		now = eventAt
 
-		if takeDeparture {
-			heap.Pop(&deps)
-			removeSession(d)
+		if takeFault {
+			for _, tr := range inj.AdvanceTo(now) {
+				if err := handleTransition(tr); err != nil {
+					return res, err
+				}
+			}
+			continue
+		}
+
+		if takeHeap {
+			e := heap.Pop(&events).(event)
+			switch e.kind {
+			case evDeparture:
+				sess := sessions[e.sid]
+				if sess.done {
+					break
+				}
+				if sess.server < 0 {
+					// Departed while orphaned: the playtime is gone.
+					sess.done = true
+					res.Dropped++
+					break
+				}
+				unplace(sess)
+				sess.done = true
+				res.Completed++
+			case evRetry:
+				if err := tryMigrate(sessions[e.sid]); err != nil {
+					return res, err
+				}
+			case evWatchdog:
+				s := e.srv
+				if !watchdogOn || !violating[s] || e.gen != violGen[s] {
+					break
+				}
+				// Sustained violation: migrate the worst victim.
+				worst, worstFPS := -1, math.MaxFloat64
+				for i, f := range serverFPS[s] {
+					if f < worstFPS {
+						worst, worstFPS = i, f
+					}
+				}
+				if worst >= 0 {
+					victim := sessions[slots[s][worst]]
+					if target, ok := policy.Place(policyView(s), victim.game); ok {
+						if err := validatePlacement(target); err != nil {
+							return res, err
+						}
+						unplace(victim)
+						place(victim, target)
+						res.Migrated++
+					}
+				}
+				// Re-arm: if the server still violates, check again a
+				// window from now.
+				if violating[s] {
+					push(event{at: now + cfg.WatchdogWindow, kind: evWatchdog, srv: s, gen: violGen[s]})
+				}
+			}
 			continue
 		}
 
 		// Arrival.
 		game := cfg.GameIDs[rng.Intn(len(cfg.GameIDs))]
-		server, ok := policy.Place(contents, game)
-		if ok && (server < 0 || server >= cfg.NumServers) {
-			return res, fmt.Errorf("sched: policy placed on invalid server %d", server)
-		}
-		if ok {
-			contents[server] = insertSorted(contents[server], game)
-			sort.Ints(contents[server])
-			recompute(server)
-			active++
-			if active > res.PeakActive {
-				res.PeakActive = active
+		if cfg.ShedUtilization > 0 {
+			if capacity := liveCapacity(); capacity == 0 || float64(active) >= cfg.ShedUtilization*float64(capacity) {
+				res.Rejected++
+				res.Shed++
+				arrived++
+				nextArrival = now + rng.ExpFloat64()/cfg.ArrivalRate
+				continue
 			}
+		}
+		server, ok := policy.Place(policyView(-1), game)
+		if ok {
+			if err := validatePlacement(server); err != nil {
+				return res, err
+			}
+			sess := &session{id: len(sessions), game: game, server: -1}
+			sessions = append(sessions, sess)
+			place(sess, server)
 			dur := rng.ExpFloat64() * cfg.MeanDuration
-			heap.Push(&deps, departure{at: now + dur, server: server, game: game})
+			sess.departAt = now + dur
+			push(event{at: sess.departAt, kind: evDeparture, sid: sess.id})
 		} else {
 			res.Rejected++
 		}
@@ -258,6 +680,9 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 	if timeIntegral > 0 {
 		res.MeanFPS = fpsIntegral / timeIntegral
 		res.ViolationFraction = violIntegral / timeIntegral
+	}
+	if recoverN > 0 {
+		res.MeanTimeToRecover = recoverSum / float64(recoverN)
 	}
 	if math.IsNaN(res.MeanFPS) {
 		return res, fmt.Errorf("sched: online produced NaN metrics")

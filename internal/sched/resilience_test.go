@@ -1,0 +1,435 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"gaugur/internal/sim"
+)
+
+// toySpikeEval extends toyEval with noisy-neighbor pressure: each unit of
+// spike load costs every session 40 FPS (enough to push sessions under the
+// 60-FPS floor used by the tests).
+func toySpikeEval(games []int, extra sim.Vector) []float64 {
+	out := toyEval(games)
+	for i := range out {
+		out[i] -= 40 * extra.Sum()
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+func resilientCfg() OnlineConfig {
+	cfg := baseCfg()
+	cfg.SpikeEval = toySpikeEval
+	return cfg
+}
+
+func TestRunOnlineCrashOrphansAndMigrates(t *testing.T) {
+	cfg := resilientCfg()
+	// A long blackout of server 0 early in the run: sessions there must be
+	// orphaned and re-placed (capacity exists: 6 servers at 2 slots, load
+	// well under the fleet).
+	cfg.Faults = []sim.FaultEvent{
+		{At: 5, Kind: sim.FaultCrash, Server: 0, Duration: 20},
+		{At: 30, Kind: sim.FaultCrash, Server: 1, Duration: 20},
+	}
+	res, err := RunOnline(cfg, GreedyPolicy(toyScore, 2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 2 {
+		t.Errorf("crashes applied %d, want 2", res.Crashes)
+	}
+	if res.Migrated == 0 {
+		t.Error("crashes on a loaded fleet should migrate at least one session")
+	}
+	if res.Completed+res.Rejected+res.Dropped != cfg.Sessions {
+		t.Errorf("accounting: completed %d + rejected %d + dropped %d != %d",
+			res.Completed, res.Rejected, res.Dropped, cfg.Sessions)
+	}
+	if res.MeanTimeToRecover < 0 {
+		t.Errorf("negative MTTR %v", res.MeanTimeToRecover)
+	}
+}
+
+func TestRunOnlineMigrationDisabledDropsOrphans(t *testing.T) {
+	cfg := resilientCfg()
+	cfg.Faults = []sim.FaultEvent{{At: 10, Kind: sim.FaultCrash, Server: 0, Duration: 5}}
+	cfg.DisableMigration = true
+	res, err := RunOnline(cfg, LeastLoadedPolicy(2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrated != 0 {
+		t.Errorf("migration disabled but %d sessions migrated", res.Migrated)
+	}
+	if res.Dropped == 0 {
+		t.Error("a crash with migration disabled should drop the orphans")
+	}
+	if res.Completed+res.Rejected+res.Dropped != cfg.Sessions {
+		t.Errorf("accounting mismatch: %+v", res)
+	}
+}
+
+func TestRunOnlineRetryBackoffAndDrop(t *testing.T) {
+	// Single server: a crash orphans everything and there is nowhere to
+	// migrate while it is down. With a downtime longer than the full
+	// backoff budget, every orphan must be dropped after its retries.
+	cfg := OnlineConfig{
+		NumServers:   1,
+		MaxPerServer: 4,
+		ArrivalRate:  5,
+		MeanDuration: 50,
+		Sessions:     4,
+		GameIDs:      []int{3},
+		Seed:         9,
+		Faults: []sim.FaultEvent{
+			{At: 2, Kind: sim.FaultCrash, Server: 0, Duration: 1000},
+		},
+		MigrationRetries: 2,
+		MigrationBackoff: 0.5,
+	}
+	res, err := RunOnline(cfg, LeastLoadedPolicy(4), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrated != 0 {
+		t.Errorf("nowhere to migrate, yet %d migrated", res.Migrated)
+	}
+	if res.Dropped == 0 {
+		t.Error("orphans must be dropped once the retry budget is spent")
+	}
+	if res.Completed+res.Rejected+res.Dropped != cfg.Sessions {
+		t.Errorf("accounting mismatch: %+v", res)
+	}
+}
+
+func TestRunOnlineSpikeRaisesViolations(t *testing.T) {
+	cfg := resilientCfg()
+	clean, err := RunOnline(cfg, LeastLoadedPolicy(2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blanket the whole fleet with heavy long spikes.
+	for s := 0; s < cfg.NumServers; s++ {
+		cfg.Faults = append(cfg.Faults, sim.FaultEvent{
+			At: 1, Kind: sim.FaultSpike, Server: s, Resource: sim.MemBW, Magnitude: 1.0, Duration: 80,
+		})
+	}
+	spiked, err := RunOnline(cfg, LeastLoadedPolicy(2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spiked.MeanFPS >= clean.MeanFPS {
+		t.Errorf("fleet-wide spikes should cost FPS: %v vs %v", spiked.MeanFPS, clean.MeanFPS)
+	}
+	if spiked.ViolationFraction <= clean.ViolationFraction {
+		t.Errorf("fleet-wide spikes should raise violation time: %v vs %v",
+			spiked.ViolationFraction, clean.ViolationFraction)
+	}
+}
+
+func TestRunOnlineSpikeRequiresSpikeEval(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Faults = []sim.FaultEvent{{At: 1, Kind: sim.FaultSpike, Server: 0, Resource: sim.MemBW, Magnitude: 0.5, Duration: 5}}
+	if _, err := RunOnline(cfg, LeastLoadedPolicy(2), toyEval, 60); err == nil {
+		t.Error("spike faults without SpikeEval should fail fast")
+	}
+	cfg.Faults = []sim.FaultEvent{{At: 1, Kind: sim.FaultCrash, Server: 99, Duration: 5}}
+	if _, err := RunOnline(cfg, LeastLoadedPolicy(2), toyEval, 60); err == nil {
+		t.Error("fault targeting an invalid server should fail fast")
+	}
+}
+
+func TestRunOnlineWatchdogMigratesVictims(t *testing.T) {
+	// Spike one server hard so its sessions sit far below the floor; the
+	// watchdog must move them somewhere healthy. Without the watchdog the
+	// victims are stuck for the spike's whole duration.
+	mk := func(watchdog float64) OnlineResult {
+		cfg := resilientCfg()
+		cfg.WatchdogWindow = watchdog
+		cfg.Faults = []sim.FaultEvent{
+			{At: 2, Kind: sim.FaultSpike, Server: 0, Resource: sim.MemBW, Magnitude: 2.0, Duration: 60},
+			{At: 2, Kind: sim.FaultSpike, Server: 1, Resource: sim.MemBW, Magnitude: 2.0, Duration: 60},
+		}
+		res, err := RunOnline(cfg, GreedyPolicy(toyScore, 2), toyEval, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	without := mk(0)
+	with := mk(0.5)
+	if with.Migrated == 0 {
+		t.Fatal("watchdog should migrate victims off the spiked servers")
+	}
+	if with.ViolationFraction >= without.ViolationFraction {
+		t.Errorf("watchdog should cut violation time: %v (with) vs %v (without)",
+			with.ViolationFraction, without.ViolationFraction)
+	}
+}
+
+func TestRunOnlineLoadSheddingCapsAdmission(t *testing.T) {
+	cfg := baseCfg()
+	cfg.ArrivalRate = 50 // heavy overload
+	cfg.ShedUtilization = 0.5
+	res, err := RunOnline(cfg, LeastLoadedPolicy(2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Error("an overloaded fleet with shedding on must shed arrivals")
+	}
+	if res.Shed > res.Rejected {
+		t.Errorf("shed (%d) must be included in rejected (%d)", res.Shed, res.Rejected)
+	}
+	// Threshold 0.5 of 12 slots = 6 running sessions max.
+	if res.PeakActive > 6 {
+		t.Errorf("peak active %d exceeds the shed ceiling of 6", res.PeakActive)
+	}
+}
+
+func TestRunOnlineOutageCallback(t *testing.T) {
+	cfg := baseCfg()
+	var calls []bool
+	cfg.Faults = []sim.FaultEvent{
+		{At: 5, Kind: sim.FaultDropout, Duration: 10},
+		{At: 40, Kind: sim.FaultDropout, Duration: 5},
+	}
+	cfg.OnOutage = func(down bool) { calls = append(calls, down) }
+	if _, err := RunOnline(cfg, LeastLoadedPolicy(2), toyEval, 60); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	if len(calls) != len(want) {
+		t.Fatalf("outage callbacks %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("outage callbacks %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestRunOnlineDeterministicUnderFaults(t *testing.T) {
+	mk := func() OnlineResult {
+		cfg := resilientCfg()
+		cfg.WatchdogWindow = 1
+		cfg.ShedUtilization = 0.9
+		cfg.Faults = sim.GenerateFaults(sim.FaultConfig{
+			Seed: 3, Horizon: 80, NumServers: cfg.NumServers,
+			CrashRate: 0.05, CrashDowntime: 5,
+			SpikeRate: 0.1, SpikeDuration: 5, SpikeMagnitude: 1.2,
+			DropoutRate: 0.02, DropoutDuration: 5,
+		})
+		res, err := RunOnline(cfg, GreedyPolicy(toyScore, 2), toyEval, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Errorf("same seed + same fault schedule must reproduce the run:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Crashes == 0 {
+		t.Error("the generated schedule should contain crashes (weak test otherwise)")
+	}
+	if a.Completed+a.Rejected+a.Dropped != 200 {
+		t.Errorf("accounting mismatch under faults: %+v", a)
+	}
+}
+
+// TestRunOnlineFaultsAfterLastDeparture ensures fault events scheduled
+// beyond the stream's end do not hang or corrupt the run.
+func TestRunOnlineFaultsBeyondHorizon(t *testing.T) {
+	cfg := resilientCfg()
+	cfg.Faults = []sim.FaultEvent{
+		{At: 1e9, Kind: sim.FaultCrash, Server: 0, Duration: 10},
+	}
+	res, err := RunOnline(cfg, LeastLoadedPolicy(2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 0 {
+		t.Errorf("a crash beyond the horizon should never fire, got %d", res.Crashes)
+	}
+	if res.Completed+res.Rejected != cfg.Sessions {
+		t.Errorf("accounting mismatch: %+v", res)
+	}
+}
+
+// Bounded-memo satellite: the greedy score cache must not grow without
+// limit, and eviction must not change results.
+func TestScoreCacheCapHolds(t *testing.T) {
+	misses := 0
+	c := newScoreCache(4)
+	get := func(k string) float64 {
+		return c.get(k, func() float64 { misses++; return float64(len(k)) })
+	}
+	keys := []string{"a", "bb", "ccc", "dddd", "eeeee", "ffffff", "g", "hh", "iii", "jjjj"}
+	for _, k := range keys {
+		get(k)
+	}
+	if c.len() > 4 {
+		t.Fatalf("cache holds %d entries, cap is 4", c.len())
+	}
+	if misses != len(keys) {
+		t.Fatalf("misses %d, want %d distinct inserts", misses, len(keys))
+	}
+	// The most recent keys are resident; the oldest were evicted and miss
+	// again (recomputing the same value).
+	get("jjjj")
+	if misses != len(keys) {
+		t.Error("recent key should hit")
+	}
+	if v := get("a"); v != 1 {
+		t.Errorf("recomputed value %v, want 1", v)
+	}
+	if misses != len(keys)+1 {
+		t.Error("evicted key should miss")
+	}
+	if c.len() > 4 {
+		t.Errorf("cache grew past cap after churn: %d", c.len())
+	}
+}
+
+func TestScoreCacheCompaction(t *testing.T) {
+	c := newScoreCache(3)
+	// Churn far past the cap to force order-slice compaction.
+	for i := 0; i < 50; i++ {
+		k := string(rune('a' + i%26))
+		c.get(k+"x", func() float64 { return float64(i) })
+	}
+	if c.len() > 3 {
+		t.Errorf("cache len %d after heavy churn, cap 3", c.len())
+	}
+	if len(c.order)-c.head > 2*c.limit+1 {
+		t.Errorf("order slice not compacted: len %d head %d", len(c.order), c.head)
+	}
+}
+
+func TestGreedyPolicyBoundedCacheKeepsResults(t *testing.T) {
+	// Same policy logic through a tiny cache (indirectly, via many distinct
+	// states): results must match an uncached oracle run exactly.
+	cfg := baseCfg()
+	cfg.GameIDs = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	cached, err := RunOnline(cfg, GreedyPolicy(toyScore, 2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := RunOnline(cfg, PolicyFunc(func(contents [][]int, game int) (int, bool) {
+		best, bestDelta, found := -1, 0.0, false
+		for s, occ := range contents {
+			if len(occ) >= 2 {
+				continue
+			}
+			cand := insertSorted(occ, game)
+			delta := toyScore(cand)
+			if len(occ) > 0 {
+				delta -= toyScore(occ)
+			}
+			if !found || delta > bestDelta {
+				found, best, bestDelta = true, s, delta
+			}
+		}
+		return best, found
+	}), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != uncached {
+		t.Errorf("cached and uncached greedy diverge:\n%+v\nvs\n%+v", cached, uncached)
+	}
+}
+
+// Capacity-validation satellite: a buggy policy that overfills a server
+// must be rejected with a descriptive error.
+func TestRunOnlineRejectsOverCapacityPlacement(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MaxPerServer = 1
+	always0 := PolicyFunc(func(contents [][]int, game int) (int, bool) { return 0, true })
+	_, err := RunOnline(cfg, always0, toyEval, 60)
+	if err == nil {
+		t.Fatal("placing onto a full server must error")
+	}
+	if got := err.Error(); !contains(got, "full server") {
+		t.Errorf("error %q should mention the full server", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRunOnlineAllArrivalsRejected(t *testing.T) {
+	cfg := baseCfg()
+	never := PolicyFunc(func(contents [][]int, game int) (int, bool) { return 0, false })
+	res, err := RunOnline(cfg, never, toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != cfg.Sessions || res.Completed != 0 {
+		t.Errorf("always-reject policy: rejected %d completed %d, want %d and 0",
+			res.Rejected, res.Completed, cfg.Sessions)
+	}
+	if res.MeanFPS != 0 || res.ViolationFraction != 0 || res.PeakActive != 0 {
+		t.Errorf("an empty fleet has no quality to report: %+v", res)
+	}
+}
+
+func TestRunOnlineNearZeroDurations(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MeanDuration = 1e-12 // sessions depart essentially instantly
+	res, err := RunOnline(cfg, GreedyPolicy(toyScore, 2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != cfg.Sessions {
+		t.Errorf("instant sessions never contend: completed %d, want %d", res.Completed, cfg.Sessions)
+	}
+	if math.IsNaN(res.MeanFPS) || math.IsNaN(res.ViolationFraction) {
+		t.Errorf("zero-length occupancy must not produce NaN metrics: %+v", res)
+	}
+}
+
+func TestRunOnlineMTTRReflectsBackoff(t *testing.T) {
+	// Two servers, capacity 1 each; both full when server 0 crashes. The
+	// orphan cannot land anywhere until a departure frees a slot, so its
+	// recovery time must be positive (backoff retries did the work).
+	cfg := OnlineConfig{
+		NumServers:   2,
+		MaxPerServer: 1,
+		ArrivalRate:  3,
+		MeanDuration: 6,
+		Sessions:     40,
+		GameIDs:      []int{3},
+		Seed:         11,
+		Faults: []sim.FaultEvent{
+			{At: 4, Kind: sim.FaultCrash, Server: 0, Duration: 2},
+		},
+		MigrationRetries: 10,
+		MigrationBackoff: 0.25,
+	}
+	res, err := RunOnline(cfg, LeastLoadedPolicy(1), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrated > 0 && res.MeanTimeToRecover <= 0 {
+		t.Errorf("migrations with a blocked fleet should show positive MTTR: %+v", res)
+	}
+	if res.Migrated == 0 && res.Dropped == 0 {
+		t.Error("the crash must orphan someone (weak scenario otherwise)")
+	}
+	if math.IsNaN(res.MeanFPS) {
+		t.Error("NaN mean FPS")
+	}
+}

@@ -145,6 +145,33 @@ func (s *Server) ExpectedFPS(insts []Instance) []float64 {
 	return out
 }
 
+// ExpectedFPSWithNeighbor returns the noise-free frame rate of every
+// instance while a phantom neighbor exerts the given per-resource load on
+// the server — the physics behind injected noisy-neighbor pressure spikes
+// (sim.FaultSpike). The neighbor participates in pressure composition
+// exactly like a real tenant, so a spike of load L on resource r is
+// indistinguishable from a colocated workload with that footprint; a zero
+// vector reproduces ExpectedFPS bit for bit.
+func (s *Server) ExpectedFPSWithNeighbor(insts []Instance, neighbor Vector) []float64 {
+	loads := make([]Vector, len(insts)+1)
+	for i, in := range insts {
+		loads[i] = s.effectiveLoad(in)
+	}
+	loads[len(insts)] = neighbor
+	pressure := pressuresFrom(loads)
+	overflow := !s.MemoryFits(insts)
+
+	out := make([]float64, len(insts))
+	for i, in := range insts {
+		fps := s.soloFPS(in) * degradationUnderPressure(in.Spec, pressure[i])
+		if overflow {
+			fps *= memoryOverflowPenalty
+		}
+		out[i] = fps
+	}
+	return out
+}
+
 // MeasureColocation runs the colocation and returns the measured (noisy)
 // frame rate of every instance, in input order. It corresponds to the
 // paper's "record the frame rate of each game" during a real colocation
