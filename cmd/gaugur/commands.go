@@ -39,13 +39,20 @@ func cmdProfile(args []string) error {
 	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
 	out := fs.String("out", "profiles.json", "output path for the profile set")
 	k := fs.Int("k", profile.DefaultK, "pressure sampling granularity")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address during profiling")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after profiling")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, stopMetrics, err := startMetrics(*metricsAddr)
+	if err != nil {
 		return err
 	}
 
 	catalog := sim.NewCatalog(*catalogSeed)
 	server := sim.NewServer(*serverSeed)
-	pf := &profile.Profiler{Server: server, K: *k}
+	server.SetMetrics(reg)
+	pf := &profile.Profiler{Server: server, K: *k, Metrics: reg}
 	set, err := pf.ProfileCatalog(catalog)
 	if err != nil {
 		return err
@@ -59,6 +66,14 @@ func cmdProfile(args []string) error {
 		return err
 	}
 	fmt.Printf("profiled %d games (k=%d) -> %s\n", set.Len(), *k, *out)
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Printf("metrics: %d games timed, %d benchmark runs, %d solo measurements\n",
+			snap.Counters["gaugur_profile_games_total"],
+			snap.Counters["gaugur_profile_bench_runs_total"],
+			snap.Counters[`gaugur_sim_measurements_total{kind="solo"}`])
+	}
+	stopMetrics(*metricsHold)
 	return nil
 }
 

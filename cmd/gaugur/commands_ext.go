@@ -25,11 +25,17 @@ func cmdChurn(args []string) error {
 	load := fs.Float64("load", 0.85, "target fleet load (fraction of slot capacity)")
 	duration := fs.Float64("duration", 8, "mean session duration (time units)")
 	seed := fs.Int64("seed", 13, "simulation seed")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address during the run")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *games == "" {
 		return fmt.Errorf("churn: -games is required")
+	}
+	reg, stopMetrics, err := startMetrics(*metricsAddr)
+	if err != nil {
+		return err
 	}
 	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
 	if err != nil {
@@ -61,6 +67,7 @@ func cmdChurn(args []string) error {
 		return s
 	}
 
+	p.EnableMetrics(reg)
 	const maxPer = 4
 	cfg := sched.OnlineConfig{
 		NumServers:   *servers,
@@ -70,6 +77,7 @@ func cmdChurn(args []string) error {
 		Sessions:     *sessions,
 		GameIDs:      ids,
 		Seed:         *seed,
+		Metrics:      reg,
 	}
 	run := func(name string, pol sched.PlacementPolicy) error {
 		res, err := sched.RunOnline(cfg, pol, eval, p.QoS)
@@ -85,7 +93,18 @@ func cmdChurn(args []string) error {
 	if err := run("GAugur greedy", sched.GreedyPolicy(score, maxPer)); err != nil {
 		return err
 	}
-	return run("least-loaded", sched.LeastLoadedPolicy(maxPer))
+	if err := run("least-loaded", sched.LeastLoadedPolicy(maxPer)); err != nil {
+		return err
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Printf("metrics: %d placements, %d predictions, %d placement spans recorded\n",
+			snap.Counters["gaugur_sched_placements_total"],
+			snap.Counters["gaugur_predict_total"],
+			snap.Histograms["gaugur_sched_place_seconds"].Count)
+	}
+	stopMetrics(*metricsHold)
+	return nil
 }
 
 // cmdOnboard demonstrates collaborative-filtering onboarding: it profiles a

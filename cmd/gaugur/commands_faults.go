@@ -31,11 +31,17 @@ func cmdFaults(args []string) error {
 	spikeMag := fs.Float64("spike-mag", 0.35, "mean spike load on the targeted resource")
 	dropoutRate := fs.Float64("dropout-rate", 0.15, "mean prediction dropouts per unit time")
 	watchdog := fs.Float64("watchdog", 1, "QoS watchdog window (0 disables)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address during the run")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *games == "" {
 		return fmt.Errorf("faults: -games is required")
+	}
+	reg, stopMetrics, err := startMetrics(*metricsAddr)
+	if err != nil {
+		return err
 	}
 	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
 	if err != nil {
@@ -97,7 +103,8 @@ func cmdFaults(args []string) error {
 
 	// The greedy scorer runs through the fallback chain so the dropout
 	// windows exercise graceful degradation.
-	fb := core.NewFallbackPredictor(p, lab.Profiles, p.QoS, core.BreakerConfig{})
+	p.EnableMetrics(reg)
+	fb := core.NewFallbackPredictor(p, lab.Profiles, p.QoS, core.BreakerConfig{}).EnableMetrics(reg)
 	score := func(g []int) float64 { return fb.PredictTotalFPS(toColoc(g)) }
 
 	run := func(name string, pol sched.PlacementPolicy, migrate bool) error {
@@ -106,6 +113,7 @@ func cmdFaults(args []string) error {
 		cfg.SpikeEval = spikeEval
 		cfg.DisableMigration = !migrate
 		cfg.OnOutage = fb.ReportOutage
+		cfg.Metrics = reg
 		if migrate {
 			cfg.WatchdogWindow = *watchdog
 		}
@@ -129,5 +137,13 @@ func cmdFaults(args []string) error {
 	}
 	fmt.Printf("fallback chain: %d queries served by the model, %d by the capacity stage\n",
 		fb.Served["model"], fb.Served["capacity"])
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Printf("metrics: %d migrations, %d crashes, %d breaker transitions recorded\n",
+			snap.Counters["gaugur_sched_migrations_total"],
+			snap.Counters["gaugur_sched_crashes_total"],
+			snap.Counters[`gaugur_fallback_breaker_transitions_total{stage="model"}`])
+	}
+	stopMetrics(*metricsHold)
 	return nil
 }

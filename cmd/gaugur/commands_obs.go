@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/sched"
+	"gaugur/internal/sim"
+)
+
+// startMetrics starts the runtime observability endpoint when addr is
+// non-empty: /metrics (Prometheus), /metrics.json, /debug/vars (expvar),
+// and /debug/pprof. It returns the registry to instrument with (nil when
+// disabled) and a stop function that optionally holds the endpoint open
+// before shutting down.
+func startMetrics(addr string) (*obs.Registry, func(hold time.Duration), error) {
+	if addr == "" {
+		return nil, func(time.Duration) {}, nil
+	}
+	reg := obs.New()
+	srv, err := obs.StartServer(addr, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("metrics: serving /metrics /metrics.json /debug/vars /debug/pprof on http://%s\n", srv.Addr())
+	stop := func(hold time.Duration) {
+		if hold > 0 {
+			fmt.Printf("metrics: holding endpoint open for %s\n", hold)
+			time.Sleep(hold)
+		}
+		srv.Close()
+	}
+	return reg, stop, nil
+}
+
+// demoEval is the synthetic ground truth serve-metrics drives: each session
+// starts from a per-game solo rate and loses frame rate per cohabitant.
+// Pure and deterministic, so the demo needs no profiles or trained model.
+func demoEval(games []int) []float64 {
+	out := make([]float64, len(games))
+	for i, g := range games {
+		solo := 90 + float64(g%7)*5
+		out[i] = solo - 22*float64(len(games)-1)
+	}
+	return out
+}
+
+// demoSpikeEval folds extra noisy-neighbor load into demoEval.
+func demoSpikeEval(games []int, extra sim.Vector) []float64 {
+	load := 0.0
+	for _, v := range extra {
+		load += v
+	}
+	out := demoEval(games)
+	for i := range out {
+		out[i] *= 1 / (1 + load)
+	}
+	return out
+}
+
+// cmdServeMetrics stands up the observability endpoint and drives an
+// instrumented, fault-injected churn workload against a synthetic substrate
+// so every dashboard has live data — no profiles or trained model needed.
+func cmdServeMetrics(args []string) error {
+	fs := newFlagSet("serve-metrics")
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address for the metrics endpoint (host:0 picks a port)")
+	rounds := fs.Int("rounds", 3, "instrumented churn rounds to drive (0 serves an idle registry)")
+	servers := fs.Int("servers", 50, "fleet size per round")
+	sessions := fs.Int("sessions", 2000, "session arrivals per round")
+	seed := fs.Int64("seed", 13, "simulation seed (advanced per round)")
+	hold := fs.Duration("hold", 0, "keep serving this long after the rounds finish")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg, stop, err := startMetrics(*addr)
+	if err != nil {
+		return err
+	}
+
+	score := func(g []int) float64 {
+		s := 0.0
+		for _, f := range demoEval(g) {
+			s += f
+		}
+		return s
+	}
+	const maxPer = 4
+	for round := 0; round < *rounds; round++ {
+		cfg := sched.OnlineConfig{
+			NumServers:   *servers,
+			MaxPerServer: maxPer,
+			ArrivalRate:  0.85 * float64(*servers) * maxPer / 6,
+			MeanDuration: 6,
+			Sessions:     *sessions,
+			GameIDs:      []int{0, 1, 2, 3, 4, 5, 6},
+			Seed:         *seed + int64(round),
+			Metrics:      reg,
+			SpikeEval:    demoSpikeEval,
+			Faults: sim.GenerateFaults(sim.FaultConfig{
+				Seed:       *seed + 100 + int64(round),
+				Horizon:    float64(*sessions) / (0.85 * float64(*servers) * maxPer / 6),
+				NumServers: *servers,
+				CrashRate:  0.01 * float64(*servers), CrashDowntime: 2,
+				SpikeRate: 0.02 * float64(*servers), SpikeDuration: 3, SpikeMagnitude: 0.3,
+			}),
+			WatchdogWindow:  1,
+			ShedUtilization: 0.97,
+		}
+		res, err := sched.RunOnline(cfg, sched.GreedyPolicy(score, maxPer), demoEval, 60)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %d: mean FPS %.1f  migrated %d  dropped %d  shed %d\n",
+			round, res.MeanFPS, res.Migrated, res.Dropped, res.Shed)
+	}
+	snap := reg.Snapshot()
+	fmt.Printf("registry: %d placements, %d migrations, %d crashes, %d placement spans\n",
+		snap.Counters["gaugur_sched_placements_total"],
+		snap.Counters["gaugur_sched_migrations_total"],
+		snap.Counters["gaugur_sched_crashes_total"],
+		snap.Histograms["gaugur_sched_place_seconds"].Count)
+	stop(*hold)
+	return nil
+}

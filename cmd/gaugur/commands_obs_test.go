@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", runErr, buf.String())
+	}
+	return buf.String()
+}
+
+// TestStartMetricsDisabled proves an empty address keeps observability off:
+// nil registry, working no-op stop.
+func TestStartMetricsDisabled(t *testing.T) {
+	reg, stop, err := startMetrics("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != nil {
+		t.Error("empty address must return a nil registry")
+	}
+	stop(0) // must not panic
+}
+
+// TestStartMetricsBadAddr proves a malformed listen address is reported.
+func TestStartMetricsBadAddr(t *testing.T) {
+	if _, _, err := startMetrics("definitely:not:an:addr"); err == nil {
+		t.Error("expected listen error for malformed address")
+	}
+}
+
+// TestServeMetricsCommand drives the full serve-metrics command on an
+// ephemeral port: rounds run, the registry summary reflects real activity,
+// and the endpoint address is announced.
+func TestServeMetricsCommand(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdServeMetrics([]string{
+			"-addr", "127.0.0.1:0",
+			"-rounds", "1",
+			"-servers", "10",
+			"-sessions", "300",
+			"-hold", "0",
+		})
+	})
+	for _, frag := range []string{
+		"metrics: serving",
+		"/metrics",
+		"round 0: mean FPS",
+		"registry:",
+		"placement spans",
+	} {
+		if !bytes.Contains([]byte(out), []byte(frag)) {
+			t.Errorf("serve-metrics output missing %q:\n%s", frag, out)
+		}
+	}
+	if bytes.Contains([]byte(out), []byte("registry: 0 placements")) {
+		t.Errorf("rounds ran but registry recorded no placements:\n%s", out)
+	}
+}
+
+// TestServeMetricsZeroRounds serves an idle registry and exits cleanly.
+func TestServeMetricsZeroRounds(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdServeMetrics([]string{"-addr", "127.0.0.1:0", "-rounds", "0", "-hold", "0"})
+	})
+	if !bytes.Contains([]byte(out), []byte("registry: 0 placements")) {
+		t.Errorf("idle run should report an empty registry:\n%s", out)
+	}
+}
+
+// TestChurnMetricsFlag runs the churn command with -metrics-addr on an
+// ephemeral port, exercising the flag wiring end to end (profile + train +
+// online loop with a live endpoint and instrumented predictor).
+func TestChurnMetricsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	profiles := filepath.Join(dir, "profiles.json")
+	model := filepath.Join(dir, "model.gob")
+	if err := cmdProfile([]string{"-out", profiles}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrain([]string{
+		"-profiles", profiles, "-out", model,
+		"-pairs", "60", "-triples", "15", "-quads", "15",
+		"-rm", "DTR", "-cm", "DTC",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdChurn([]string{
+			"-profiles", profiles,
+			"-model", model,
+			"-games", "Dota2,Borderland2,Far Cry4",
+			"-servers", "10",
+			"-sessions", "200",
+			"-metrics-addr", "127.0.0.1:0",
+		})
+	})
+	for _, frag := range []string{"metrics: serving", "placements", "predictions"} {
+		if !bytes.Contains([]byte(out), []byte(frag)) {
+			t.Errorf("churn output missing %q:\n%s", frag, out)
+		}
+	}
+	if bytes.Contains([]byte(out), []byte("metrics: 0 placements")) {
+		t.Errorf("instrumented churn recorded no placements:\n%s", out)
+	}
+}

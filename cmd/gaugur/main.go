@@ -45,6 +45,8 @@ func main() {
 		err = cmdFaults(args)
 	case "onboard":
 		err = cmdOnboard(args)
+	case "serve-metrics":
+		err = cmdServeMetrics(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -68,6 +70,12 @@ commands:
   churn     simulate an online arrival/departure stream against the model
   faults    churn under injected crashes, spikes, and prediction dropouts
   onboard   profile a new game cheaply via probes + matrix completion
+
+  serve-metrics  run an instrumented demo workload and serve /metrics,
+                 /metrics.json, expvar, and pprof over HTTP
+
+churn, faults, and profile accept -metrics-addr to expose the same
+endpoint live during a real run.
 
 run "gaugur <command> -h" for the command's flags`)
 }

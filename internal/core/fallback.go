@@ -240,6 +240,10 @@ type FallbackPredictor struct {
 	Served map[string]int
 	// Errors counts stage failures per stage name.
 	Errors map[string]int
+
+	// met mirrors Served/Errors into an obs registry and additionally
+	// tracks breaker transitions; see EnableMetrics.
+	met fallbackMetrics
 }
 
 // NewFallbackPredictor builds the standard two-stage chain: the trained
@@ -287,6 +291,20 @@ func (f *FallbackPredictor) ReportOutage(down bool) {
 		f.breakers[0].state = breakerClosed
 		f.breakers[0].failures = 0
 	}
+	f.updateDegraded()
+}
+
+// updateDegraded refreshes the degraded gauge (no-op when metrics are
+// disabled).
+func (f *FallbackPredictor) updateDegraded() {
+	if f.met.degraded == nil {
+		return
+	}
+	v := 0.0
+	if f.Degraded() {
+		v = 1
+	}
+	f.met.degraded.Set(v)
 }
 
 // Degraded reports whether the primary stage is currently unavailable
@@ -305,20 +323,31 @@ func (f *FallbackPredictor) query(call func(PredictorStage) error) (string, erro
 	var lastErr error
 	for i, st := range f.stages {
 		terminal := i == len(f.stages)-1
-		if !terminal && !f.breakers[i].allow() {
-			continue
+		var prev breakerState
+		if !terminal {
+			prev = f.breakers[i].state
+			if !f.breakers[i].allow() {
+				continue
+			}
 		}
 		err := call(st)
 		if !terminal {
 			f.breakers[i].observe(err == nil)
+			if f.breakers[i].state != prev {
+				f.met.transitions[st.Name()].Inc()
+			}
 		}
 		if err == nil {
 			f.Served[st.Name()]++
+			f.met.served[st.Name()].Inc()
+			f.updateDegraded()
 			return st.Name(), nil
 		}
 		f.Errors[st.Name()]++
+		f.met.errors[st.Name()].Inc()
 		lastErr = err
 	}
+	f.updateDegraded()
 	return "", fmt.Errorf("core: every prediction stage failed: %w", lastErr)
 }
 

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gaugur/internal/obs"
+)
+
+// TestFallbackMetricsMirrorCounters proves the registry counters track the
+// chain's own Served/Errors books and record breaker transitions.
+func TestFallbackMetricsMirrorCounters(t *testing.T) {
+	reg := obs.New()
+	primary := &flakyStage{name: "model", fps: 50, errs: repeatErr(errors.New("down"), 20)}
+	terminal := &flakyStage{name: "capacity", fps: 30}
+	f := NewFallbackChain(BreakerConfig{FailureThreshold: 2, CooldownCalls: 3}, primary, terminal).
+		EnableMetrics(reg)
+
+	c := Colocation{{GameID: 1}, {GameID: 2}}
+	for i := 0; i < 6; i++ {
+		f.PredictFPS(c, 0)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[`gaugur_fallback_served_total{stage="capacity"}`]; got != int64(f.Served["capacity"]) {
+		t.Errorf("capacity served counter = %d, want %d", got, f.Served["capacity"])
+	}
+	if got := snap.Counters[`gaugur_fallback_errors_total{stage="model"}`]; got != int64(f.Errors["model"]) {
+		t.Errorf("model error counter = %d, want %d", got, f.Errors["model"])
+	}
+	// Two failures trip the breaker: at least one transition recorded and
+	// the degraded gauge raised.
+	if snap.Counters[`gaugur_fallback_breaker_transitions_total{stage="model"}`] == 0 {
+		t.Error("breaker tripped but no transition counted")
+	}
+	if snap.Gauges["gaugur_fallback_degraded"] != 1 {
+		t.Errorf("degraded gauge = %g, want 1 while breaker open", snap.Gauges["gaugur_fallback_degraded"])
+	}
+
+	// Heal the primary; the half-open probe should close the breaker and
+	// clear the gauge.
+	primary.errs = nil
+	for i := 0; i < 10; i++ {
+		f.PredictFPS(c, 0)
+	}
+	snap = reg.Snapshot()
+	if snap.Gauges["gaugur_fallback_degraded"] != 0 {
+		t.Errorf("degraded gauge = %g after recovery, want 0", snap.Gauges["gaugur_fallback_degraded"])
+	}
+	if got := snap.Counters[`gaugur_fallback_served_total{stage="model"}`]; got != int64(f.Served["model"]) {
+		t.Errorf("model served counter = %d, want %d", got, f.Served["model"])
+	}
+}
+
+// TestFallbackOutageGauge proves ReportOutage drives the degraded gauge in
+// both directions.
+func TestFallbackOutageGauge(t *testing.T) {
+	reg := obs.New()
+	f := NewFallbackChain(BreakerConfig{}, &flakyStage{name: "model", fps: 50}, &flakyStage{name: "capacity", fps: 30}).
+		EnableMetrics(reg)
+	f.ReportOutage(true)
+	if reg.Snapshot().Gauges["gaugur_fallback_degraded"] != 1 {
+		t.Error("declared outage must raise the degraded gauge")
+	}
+	f.ReportOutage(false)
+	if reg.Snapshot().Gauges["gaugur_fallback_degraded"] != 0 {
+		t.Error("outage end must clear the degraded gauge")
+	}
+}
+
+// TestPredictorMetricsCountQueries wires a trained predictor into a
+// registry and checks the query counters and latency histogram move.
+func TestPredictorMetricsCountQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	lab := testLab(t)
+	samples := lab.CollectSamples(RandomColocations(lab.Catalog, ColocationPlan{Pairs: 40, Triples: 10}, 7), 60, 10)
+	reg := obs.New()
+	p, err := Train(lab.Profiles, TrainConfig{Samples: samples, RMKind: DTR, CMKind: DTC, Seed: 1, EncoderK: 10, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Colocation{{GameID: 0, Res: ReferenceResolution}, {GameID: 1, Res: ReferenceResolution}}
+	const n = 25
+	for i := 0; i < n; i++ {
+		p.PredictFPS(c, 0)
+		p.SatisfiesQoS(c, 1)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["gaugur_predict_total"]; got != n {
+		t.Errorf("prediction counter = %d, want %d", got, n)
+	}
+	if got := snap.Counters["gaugur_predict_qos_checks_total"]; got != n {
+		t.Errorf("qos-check counter = %d, want %d", got, n)
+	}
+	h := snap.Histograms["gaugur_predict_seconds"]
+	if h.Count != 2*n {
+		t.Errorf("latency histogram count = %d, want %d", h.Count, 2*n)
+	}
+	// Train must have timed both fitting stages.
+	for _, name := range []string{`gaugur_train_stage_seconds{stage="rm"}`, `gaugur_train_stage_seconds{stage="cm"}`} {
+		if snap.Histograms[name].Count != 1 {
+			t.Errorf("%s count = %d, want 1", name, snap.Histograms[name].Count)
+		}
+	}
+	if snap.Gauges["gaugur_train_samples"] != float64(samples.Len()) {
+		t.Errorf("train samples gauge = %g, want %d", snap.Gauges["gaugur_train_samples"], samples.Len())
+	}
+
+	// The exposition must carry the labeled training stages as one family.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `gaugur_train_stage_seconds_count{stage="rm"} 1`) {
+		t.Error("labeled training-stage series missing from exposition")
+	}
+}

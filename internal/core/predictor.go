@@ -6,6 +6,7 @@ import (
 
 	"gaugur/internal/features"
 	"gaugur/internal/ml"
+	"gaugur/internal/obs"
 	"gaugur/internal/profile"
 )
 
@@ -24,6 +25,10 @@ type Predictor struct {
 
 	// QoS is the frame-rate floor the CM was trained against.
 	QoS float64
+
+	// met instruments the online query path; see EnableMetrics. The zero
+	// value (nil instruments) disables it.
+	met predictorMetrics
 }
 
 // TrainConfig bundles everything Train needs to build a working predictor.
@@ -38,6 +43,9 @@ type TrainConfig struct {
 	Seed int64
 	// EncoderK is the profile pressure granularity.
 	EncoderK int
+	// Metrics, when non-nil, receives per-stage fitting timings and is
+	// wired into the returned predictor's query path.
+	Metrics *obs.Registry
 }
 
 // Train fits both models on the sample set and returns a ready predictor.
@@ -59,21 +67,28 @@ func Train(profiles *profile.Set, cfg TrainConfig) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
+	tm := newTrainMetrics(cfg.Metrics)
+	tm.samples.Set(float64(cfg.Samples.Len()))
 	rx, ry := cfg.Samples.RMMatrices()
+	span := tm.rmFit.Start()
 	if err := rm.Fit(rx, ry); err != nil {
 		return nil, fmt.Errorf("core: fitting %s: %w", cfg.RMKind, err)
 	}
+	span.Stop()
 	cx, cy := cfg.Samples.CMMatrices()
+	span = tm.cmFit.Start()
 	if err := cm.Fit(cx, cy); err != nil {
 		return nil, fmt.Errorf("core: fitting %s: %w", cfg.CMKind, err)
 	}
-	return &Predictor{
+	span.Stop()
+	p := &Predictor{
 		Profiles: profiles,
 		Enc:      newEncoder(cfg.EncoderK),
 		RM:       rm,
 		CM:       cm,
 		QoS:      cfg.Samples.QoS,
-	}, nil
+	}
+	return p.EnableMetrics(cfg.Metrics), nil
 }
 
 // members resolves a colocation against the profile set.
@@ -91,6 +106,9 @@ func (p *Predictor) members(c Colocation) []features.Member {
 // definition, so singletons short-circuit to 1 — the models are only ever
 // trained on real colocations.
 func (p *Predictor) PredictDegradation(c Colocation, idx int) float64 {
+	p.met.predictions.Inc()
+	span := p.met.latency.Start()
+	defer span.Stop()
 	if len(c) == 1 {
 		return 1
 	}
@@ -117,6 +135,9 @@ func (p *Predictor) PredictFPS(c Colocation, idx int) float64 {
 // SatisfiesQoS answers Equation (3) for the target workload via the CM.
 // Singletons compare the known solo frame rate against the floor directly.
 func (p *Predictor) SatisfiesQoS(c Colocation, idx int) bool {
+	p.met.qosChecks.Inc()
+	span := p.met.latency.Start()
+	defer span.Stop()
 	if len(c) == 1 {
 		return p.Profiles.Get(c[idx].GameID).SoloFPS(c[idx].Res) >= p.QoS
 	}

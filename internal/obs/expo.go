@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistogramSnapshot is the exported state of one histogram. Counts has one
+// entry per bound plus a final +Inf overflow entry, and holds per-bucket
+// (non-cumulative) counts.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, keyed by full
+// instrument name (labels included). encoding/json sorts map keys, so the
+// serialized form is deterministic — the golden tests rely on that.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current state of every instrument. Nil registries
+// return an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// splitName separates an instrument name into its metric-family name and
+// the inner content of its literal label set ("" when unlabeled):
+// `x_total{stage="rm"}` -> ("x_total", `stage="rm"`).
+func splitName(full string) (fam, labels string) {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return full, ""
+	}
+	return full[:i], strings.TrimSuffix(full[i+1:], "}")
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel appends extra labels (already rendered, e.g. `le="0.5"`) to an
+// instrument's label content.
+func withLabel(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	if extra == "" {
+		return labels
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus writes every instrument in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP/TYPE header
+// per family, series sorted within a family. Nil registries write nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	type series struct{ full, labels string }
+	type family struct {
+		name string
+		kind string
+		rows []series
+	}
+	fams := map[string]*family{}
+	collect := func(full, kind string) {
+		fam, labels := splitName(full)
+		f, ok := fams[fam]
+		if !ok {
+			f = &family{name: fam, kind: kind}
+			fams[fam] = f
+		}
+		f.rows = append(f.rows, series{full: full, labels: labels})
+	}
+	for name := range snap.Counters {
+		collect(name, "counter")
+	}
+	for name := range snap.Gauges {
+		collect(name, "gauge")
+	}
+	for name := range snap.Histograms {
+		collect(name, "histogram")
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.rows, func(i, j int) bool { return f.rows[i].full < f.rows[j].full })
+		if h, ok := help[name]; ok {
+			bw.WriteString("# HELP " + name + " " + h + "\n")
+		}
+		bw.WriteString("# TYPE " + name + " " + f.kind + "\n")
+		for _, row := range f.rows {
+			switch f.kind {
+			case "counter":
+				writeSample(bw, name, row.labels, strconv.FormatInt(snap.Counters[row.full], 10))
+			case "gauge":
+				writeSample(bw, name, row.labels, formatFloat(snap.Gauges[row.full]))
+			case "histogram":
+				hs := snap.Histograms[row.full]
+				cum := int64(0)
+				for i, b := range hs.Bounds {
+					cum += hs.Counts[i]
+					writeSample(bw, name+"_bucket",
+						withLabel(row.labels, `le="`+formatFloat(b)+`"`),
+						strconv.FormatInt(cum, 10))
+				}
+				cum += hs.Counts[len(hs.Bounds)]
+				writeSample(bw, name+"_bucket", withLabel(row.labels, `le="+Inf"`),
+					strconv.FormatInt(cum, 10))
+				writeSample(bw, name+"_sum", row.labels, formatFloat(hs.Sum))
+				writeSample(bw, name+"_count", row.labels, strconv.FormatInt(hs.Count, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	bw.WriteString(name)
+	if labels != "" {
+		bw.WriteString("{" + labels + "}")
+	}
+	bw.WriteString(" " + value + "\n")
+}

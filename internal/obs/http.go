@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry snapshot as JSON.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+}
+
+// NewMux mounts the full runtime surface:
+//
+//	/metrics        Prometheus text format
+//	/metrics.json   JSON snapshot
+//	/debug/vars     expvar (cmdline, memstats, anything else published)
+//	/debug/pprof/*  net/http/pprof profiles
+//	/               tiny index page linking the above
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>gaugur observability</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus)</li>
+<li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>
+<li><a href="/debug/vars">/debug/vars</a> (expvar)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> (pprof)</li>
+</ul></body></html>`)
+	})
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// StartServer listens on addr (":0" picks a free port) and serves the full
+// NewMux surface in a background goroutine until Close.
+func StartServer(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, http: &http.Server{Handler: NewMux(r)}}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.http.Close() }

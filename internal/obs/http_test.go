@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerEndpoints starts a real listener on a free port and exercises
+// the whole mounted surface: Prometheus, JSON, expvar, pprof, the index,
+// and 404s.
+func TestServerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("gaugur_http_test_total", "endpoint test counter").Add(3)
+	r.Gauge("gaugur_http_test_gauge").Set(1.5)
+
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "gaugur_http_test_total 3") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if snap.Counters["gaugur_http_test_total"] != 3 || snap.Gauges["gaugur_http_test_gauge"] != 1.5 {
+		t.Errorf("/metrics.json snapshot wrong: %+v", snap)
+	}
+
+	// expvar always publishes cmdline and memstats.
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d, body lacks memstats", code)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics.json") {
+		t.Errorf("index = %d:\n%s", code, body)
+	}
+
+	if code, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+// TestServerCloseReleasesPort proves Close stops the listener.
+func TestServerCloseReleasesPort(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("endpoint still reachable after Close")
+	}
+}

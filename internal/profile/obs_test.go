@@ -1,0 +1,55 @@
+package profile
+
+import (
+	"testing"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/sim"
+)
+
+// TestProfilerMetrics profiles the catalog with a registry attached and
+// checks the counters and stage timers account for the work done.
+func TestProfilerMetrics(t *testing.T) {
+	cat, pf := quietProfiler(t)
+	reg := obs.New()
+	pf.Metrics = reg
+
+	set, err := pf.ProfileCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["gaugur_profile_games_total"]; got != int64(set.Len()) {
+		t.Errorf("games counter = %d, want %d (catalog size)", got, set.Len())
+	}
+	if snap.Counters["gaugur_profile_bench_runs_total"] == 0 {
+		t.Error("profiling ran no counted benchmark measurements")
+	}
+	if got := snap.Histograms["gaugur_profile_game_seconds"].Count; got != int64(set.Len()) {
+		t.Errorf("per-game spans = %d, want %d", got, set.Len())
+	}
+	if got := snap.Histograms["gaugur_profile_catalog_seconds"].Count; got != 1 {
+		t.Errorf("catalog spans = %d, want 1", got)
+	}
+}
+
+// TestProfilerMetricsSkipFailures proves failed profiling runs are not
+// counted as completed games.
+func TestProfilerMetricsSkipFailures(t *testing.T) {
+	cat, pf := quietProfiler(t)
+	reg := obs.New()
+	pf.Metrics = reg
+	// An inverted sweep range must be rejected before any measurement.
+	pf.ResLo, pf.ResHi = sim.Res1080p, sim.Res720p
+
+	if _, err := pf.ProfileGame(cat.Games[0]); err == nil {
+		t.Fatal("expected an error from an empty resolution sweep")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["gaugur_profile_games_total"] != 0 {
+		t.Error("failed run must not increment the games counter")
+	}
+	if snap.Histograms["gaugur_profile_game_seconds"].Count != 0 {
+		t.Error("failed run must not record a completed span")
+	}
+}

@@ -10,6 +10,7 @@ package profile
 import (
 	"fmt"
 
+	"gaugur/internal/obs"
 	"gaugur/internal/sim"
 	"gaugur/internal/stats"
 )
@@ -130,6 +131,9 @@ type Profiler struct {
 	// simultaneously. Sensitivity curves and solo rates are then both
 	// worst-case figures.
 	Conservative bool
+	// Metrics, when non-nil, receives per-game profiling timings and
+	// benchmark-colocation counts (see internal/obs).
+	Metrics *obs.Registry
 }
 
 func (pf *Profiler) defaults() Profiler {
@@ -158,6 +162,10 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 	if cfg.ResLo.MPixels() >= cfg.ResHi.MPixels() {
 		return nil, fmt.Errorf("profile: ResLo %v must have fewer pixels than ResHi %v", cfg.ResLo, cfg.ResHi)
 	}
+	span := cfg.Metrics.Timer("gaugur_profile_game_seconds",
+		"wall-clock time to profile one game end to end").Start()
+	benchRuns := cfg.Metrics.Counter("gaugur_profile_bench_runs_total",
+		"benchmark colocation measurements executed while profiling")
 	p := &GameProfile{
 		GameID: g.ID,
 		Name:   g.Name,
@@ -202,14 +210,15 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 		for xi, x := range levels {
 			var degr, slow float64
 			for rep := 0; rep < cfg.Repeats; rep++ {
-				var obs sim.BenchObservation
+				var ob sim.BenchObservation
 				if cfg.Conservative {
-					obs = cfg.Server.RunBenchmarkConservative(loLow, res, x)
+					ob = cfg.Server.RunBenchmarkConservative(loLow, res, x)
 				} else {
-					obs = cfg.Server.RunBenchmark(loLow, res, x)
+					ob = cfg.Server.RunBenchmark(loLow, res, x)
 				}
-				degr += sim.Degradation(obs.GameFPS, fpsLo)
-				slow += obs.BenchSlowdown
+				benchRuns.Inc()
+				degr += sim.Degradation(ob.GameFPS, fpsLo)
+				slow += ob.BenchSlowdown
 			}
 			curve[xi] = degr / float64(cfg.Repeats)
 			excessLo = append(excessLo, slow/float64(cfg.Repeats)-1)
@@ -232,18 +241,22 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 			for _, x := range levels {
 				var slow float64
 				for rep := 0; rep < cfg.Repeats; rep++ {
-					obs := cfg.Server.RunBenchmark(loHigh, res, x)
-					slow += obs.BenchSlowdown
+					ob := cfg.Server.RunBenchmark(loHigh, res, x)
+					benchRuns.Inc()
+					slow += ob.BenchSlowdown
 				}
 				excessHi = append(excessHi, slow/float64(cfg.Repeats)-1)
 			}
 			p.IntensitySlope[r] = (stats.Mean(excessHi) - p.IntensityBase[r]) / dm
 		}
 	}
+	span.Stop()
+	cfg.Metrics.Counter("gaugur_profile_games_total",
+		"games profiled end to end").Inc()
 	return p, nil
 }
 
-func (pf Profiler) avg(f func() float64) float64 {
+func (pf *Profiler) avg(f func() float64) float64 {
 	s := 0.0
 	for i := 0; i < pf.Repeats; i++ {
 		s += f()
@@ -262,6 +275,8 @@ type Set struct {
 // the offline artifact GAugur trains and predicts from; its cost is O(N) in
 // the number of games, matching Section 3.6.
 func (pf *Profiler) ProfileCatalog(c *sim.Catalog) (*Set, error) {
+	span := pf.Metrics.Timer("gaugur_profile_catalog_seconds",
+		"wall-clock time to profile the whole catalog").Start()
 	set := &Set{ByID: make(map[int]*GameProfile, c.Len())}
 	for _, g := range c.Games {
 		p, err := pf.ProfileGame(g)
@@ -271,6 +286,7 @@ func (pf *Profiler) ProfileCatalog(c *sim.Catalog) (*Set, error) {
 		set.ByID[g.ID] = p
 		set.Order = append(set.Order, p)
 	}
+	span.Stop()
 	return set, nil
 }
 

@@ -3,13 +3,17 @@ package sched
 import (
 	"math"
 	"testing"
+
+	"gaugur/internal/obs"
 )
 
 // These golden values were captured from the pre-resilience RunOnline
 // implementation (the growth seed). The resilient event loop must
 // reproduce them bit for bit when no faults or resilience knobs are
 // configured — proving the fault-tolerance machinery is zero-cost when
-// idle (same seeds, same event order, same rng consumption).
+// idle (same seeds, same event order, same rng consumption). Each run
+// carries a live metrics registry: instrumentation must never perturb
+// simulation state, so the goldens hold with observability enabled.
 func TestRunOnlineMatchesSeedGolden(t *testing.T) {
 	type golden struct {
 		meanFPS, violFrac   float64
@@ -42,6 +46,7 @@ func TestRunOnlineMatchesSeedGolden(t *testing.T) {
 			{"ll", LeastLoadedPolicy(cfg.MaxPerServer)},
 		} {
 			key := names[i] + "/" + pol.name
+			cfg.Metrics = obs.New()
 			res, err := RunOnline(cfg, pol.p, toyEval, 60)
 			if err != nil {
 				t.Fatalf("%s: %v", key, err)

@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/sim"
+)
+
+// TestOnlineMetricsMirrorResult proves the registry counters agree with the
+// loop's own end-of-run counters, fault machinery included.
+func TestOnlineMetricsMirrorResult(t *testing.T) {
+	reg := obs.New()
+	cfg := OnlineConfig{
+		NumServers:   4,
+		MaxPerServer: 2,
+		ArrivalRate:  6,
+		MeanDuration: 3,
+		Sessions:     400,
+		GameIDs:      []int{1, 2, 3},
+		Seed:         5,
+		Faults: []sim.FaultEvent{
+			{At: 5, Kind: sim.FaultCrash, Server: 0, Duration: 2},
+			{At: 20, Kind: sim.FaultCrash, Server: 1, Duration: 2},
+		},
+		WatchdogWindow:  0.5,
+		ShedUtilization: 0.9,
+		Metrics:         reg,
+	}
+	res, err := RunOnline(cfg, GreedyPolicy(toyScore, 2), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	checks := []struct {
+		name string
+		want int
+	}{
+		{"gaugur_sched_departures_total", res.Completed},
+		{"gaugur_sched_migrations_total", res.Migrated},
+		{"gaugur_sched_dropped_total", res.Dropped},
+		{"gaugur_sched_shed_total", res.Shed},
+		{"gaugur_sched_rejected_total", res.Rejected},
+		{"gaugur_sched_crashes_total", res.Crashes},
+	}
+	for _, c := range checks {
+		if got := snap.Counters[c.name]; got != int64(c.want) {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if res.Crashes != 2 {
+		t.Errorf("expected both scheduled crashes to apply, got %d", res.Crashes)
+	}
+	// Placements = arrivals that were admitted plus successful migrations.
+	admitted := cfg.Sessions - res.Rejected
+	if got := snap.Counters["gaugur_sched_placements_total"]; got != int64(admitted+res.Migrated) {
+		t.Errorf("placements = %d, want %d admitted + %d migrated", got, admitted, res.Migrated)
+	}
+	// Every admitted arrival, retry, and watchdog action timed a placement
+	// decision; at minimum one span per admitted arrival must exist.
+	if got := snap.Histograms["gaugur_sched_place_seconds"].Count; got < int64(admitted) {
+		t.Errorf("placement spans = %d, want >= %d", got, admitted)
+	}
+	if res.Migrated > 0 && snap.Histograms["gaugur_sched_recovery_time"].Count == 0 {
+		t.Error("recovery histogram empty despite migrations")
+	}
+	if snap.Gauges["gaugur_sched_mean_fps"] != res.MeanFPS {
+		t.Errorf("mean FPS gauge = %g, want %g", snap.Gauges["gaugur_sched_mean_fps"], res.MeanFPS)
+	}
+	if snap.Gauges["gaugur_sched_active_sessions"] != 0 {
+		t.Errorf("active gauge = %g after drain, want 0", snap.Gauges["gaugur_sched_active_sessions"])
+	}
+}
+
+// TestOnlineMetricsDoNotPerturbResults runs the same config with and
+// without a registry: the simulation outputs must be bit-identical, the
+// invariant the golden snapshot test depends on.
+func TestOnlineMetricsDoNotPerturbResults(t *testing.T) {
+	cfg := OnlineConfig{
+		NumServers: 5, MaxPerServer: 3, ArrivalRate: 4, MeanDuration: 2,
+		Sessions: 600, GameIDs: []int{1, 2, 3, 4}, Seed: 11,
+	}
+	bare, err := RunOnline(cfg, GreedyPolicy(toyScore, 3), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Metrics = obs.New()
+	instr, err := RunOnline(cfg, GreedyPolicy(toyScore, 3), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare != instr {
+		t.Errorf("metrics perturbed the simulation:\nbare  %+v\ninstr %+v", bare, instr)
+	}
+}
+
+// TestOnlineMetricsDeterministicWithManualClock pins full snapshot
+// determinism: with an injectable manual clock even the latency histograms
+// are bit-identical across runs.
+func TestOnlineMetricsDeterministicWithManualClock(t *testing.T) {
+	run := func() obs.Snapshot {
+		clk := obs.NewManualClock(0, 100*time.Microsecond)
+		reg := obs.NewWithClock(clk.Now)
+		cfg := OnlineConfig{
+			NumServers: 4, MaxPerServer: 2, ArrivalRate: 5, MeanDuration: 2,
+			Sessions: 300, GameIDs: []int{1, 2, 3}, Seed: 21, Metrics: reg,
+		}
+		if _, err := RunOnline(cfg, GreedyPolicy(toyScore, 2), toyEval, 60); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot()
+	}
+	a, b := run(), run()
+	ha, hb := a.Histograms["gaugur_sched_place_seconds"], b.Histograms["gaugur_sched_place_seconds"]
+	if ha.Count != hb.Count || ha.Sum != hb.Sum {
+		t.Errorf("latency histograms diverged under manual clock: %+v vs %+v", ha, hb)
+	}
+	for name, v := range a.Counters {
+		if b.Counters[name] != v {
+			t.Errorf("counter %s diverged: %d vs %d", name, v, b.Counters[name])
+		}
+	}
+}
+
+// overheadCfg is the workload the overhead budget is measured on: enough
+// servers and sessions that placement scoring dominates, as in real runs.
+func overheadCfg(reg *obs.Registry) OnlineConfig {
+	return OnlineConfig{
+		NumServers: 40, MaxPerServer: 4, ArrivalRate: 20, MeanDuration: 4,
+		Sessions: 1500, GameIDs: []int{1, 2, 3, 4, 5}, Seed: 3, Metrics: reg,
+	}
+}
+
+func timeOnline(t *testing.T, reg *obs.Registry) time.Duration {
+	t.Helper()
+	start := time.Now()
+	if _, err := RunOnline(overheadCfg(reg), GreedyPolicy(toyScore, 4), toyEval, 60); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// TestObsOverheadUnderBudget asserts the acceptance bound directly: full
+// instrumentation must cost <5% wall-clock on the online-loop hot path.
+// Min-of-N per variant filters scheduler noise; a small absolute slack
+// keeps sub-millisecond jitter from failing a relative comparison.
+func TestObsOverheadUnderBudget(t *testing.T) {
+	const trials = 7
+	minBare, minInstr := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < trials; i++ {
+		if d := timeOnline(t, nil); d < minBare {
+			minBare = d
+		}
+		if d := timeOnline(t, obs.New()); d < minInstr {
+			minInstr = d
+		}
+	}
+	budget := minBare + minBare/20 + 2*time.Millisecond
+	if minInstr > budget {
+		t.Errorf("instrumented online loop %v exceeds 5%%+2ms budget over bare %v", minInstr, minBare)
+	}
+	t.Logf("bare %v, instrumented %v (budget %v)", minBare, minInstr, budget)
+}

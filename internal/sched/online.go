@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"gaugur/internal/obs"
 	"gaugur/internal/sim"
 )
 
@@ -75,6 +76,11 @@ type OnlineConfig struct {
 	// begins (true) and ends (false) — the hook a FallbackPredictor's
 	// circuit breaker listens on.
 	OnOutage func(down bool)
+
+	// Metrics, when non-nil, receives live counters, gauges, and latency
+	// histograms for the run (see internal/obs). Metrics never feed back
+	// into simulation state: results are bit-identical with or without it.
+	Metrics *obs.Registry
 }
 
 // resilient reports whether any fault-handling machinery is configured.
@@ -315,6 +321,8 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 	}
 	watchdogOn := cfg.WatchdogWindow > 0
 
+	om := newOnlineMetrics(cfg.Metrics)
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	contents := make([][]int, cfg.NumServers)
 	slots := make([][]int, cfg.NumServers) // session ids aligned with contents
@@ -417,6 +425,8 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		if active > res.PeakActive {
 			res.PeakActive = active
 		}
+		om.placements.Inc()
+		om.active.Set(float64(active))
 	}
 	// unplace removes sess from its server without completing it.
 	unplace := func(sess *session) {
@@ -431,6 +441,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		sess.server = -1
 		recompute(s)
 		active--
+		om.active.Set(float64(active))
 	}
 
 	// validatePlacement applies the invalid-server, crashed-server, and
@@ -473,20 +484,25 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		if sess.done || sess.server >= 0 {
 			return nil
 		}
+		span := om.placeSec.Start()
 		server, ok := policy.Place(policyView(-1), sess.game)
+		span.Stop()
 		if ok {
 			if err := validatePlacement(server); err != nil {
 				return err
 			}
 			place(sess, server)
 			res.Migrated++
+			om.migrations.Inc()
 			recoverSum += now - sess.orphanedAt
 			recoverN++
+			om.recovery.Observe(now - sess.orphanedAt)
 			return nil
 		}
 		if sess.retries >= migRetries {
 			sess.done = true
 			res.Dropped++
+			om.dropped.Inc()
 			return nil
 		}
 		sess.retries++
@@ -498,6 +514,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 	// crash orphans every session on s and starts their migration.
 	crash := func(s int) error {
 		res.Crashes++
+		om.crashes.Inc()
 		orphans := append([]int(nil), slots[s]...)
 		contents[s], slots[s], serverFPS[s] = nil, nil, nil
 		if watchdogOn && violating[s] {
@@ -505,6 +522,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 			violGen[s]++
 		}
 		active -= len(orphans)
+		om.active.Set(float64(active))
 		for _, sid := range orphans {
 			sess := sessions[sid]
 			sess.server = -1
@@ -513,6 +531,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 			if cfg.DisableMigration {
 				sess.done = true
 				res.Dropped++
+				om.dropped.Inc()
 				continue
 			}
 			if err := tryMigrate(sess); err != nil {
@@ -607,11 +626,13 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 					// Departed while orphaned: the playtime is gone.
 					sess.done = true
 					res.Dropped++
+					om.dropped.Inc()
 					break
 				}
 				unplace(sess)
 				sess.done = true
 				res.Completed++
+				om.departures.Inc()
 			case evRetry:
 				if err := tryMigrate(sessions[e.sid]); err != nil {
 					return res, err
@@ -628,15 +649,20 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 						worst, worstFPS = i, f
 					}
 				}
+				om.watchdog.Inc()
 				if worst >= 0 {
 					victim := sessions[slots[s][worst]]
-					if target, ok := policy.Place(policyView(s), victim.game); ok {
+					span := om.placeSec.Start()
+					target, ok := policy.Place(policyView(s), victim.game)
+					span.Stop()
+					if ok {
 						if err := validatePlacement(target); err != nil {
 							return res, err
 						}
 						unplace(victim)
 						place(victim, target)
 						res.Migrated++
+						om.migrations.Inc()
 					}
 				}
 				// Re-arm: if the server still violates, check again a
@@ -654,12 +680,16 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 			if capacity := liveCapacity(); capacity == 0 || float64(active) >= cfg.ShedUtilization*float64(capacity) {
 				res.Rejected++
 				res.Shed++
+				om.rejected.Inc()
+				om.shed.Inc()
 				arrived++
 				nextArrival = now + rng.ExpFloat64()/cfg.ArrivalRate
 				continue
 			}
 		}
+		span := om.placeSec.Start()
 		server, ok := policy.Place(policyView(-1), game)
+		span.Stop()
 		if ok {
 			if err := validatePlacement(server); err != nil {
 				return res, err
@@ -672,6 +702,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 			push(event{at: sess.departAt, kind: evDeparture, sid: sess.id})
 		} else {
 			res.Rejected++
+			om.rejected.Inc()
 		}
 		arrived++
 		nextArrival = now + rng.ExpFloat64()/cfg.ArrivalRate
@@ -681,6 +712,8 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		res.MeanFPS = fpsIntegral / timeIntegral
 		res.ViolationFraction = violIntegral / timeIntegral
 	}
+	om.meanFPS.Set(res.MeanFPS)
+	om.violFrac.Set(res.ViolationFraction)
 	if recoverN > 0 {
 		res.MeanTimeToRecover = recoverSum / float64(recoverN)
 	}

@@ -1,0 +1,30 @@
+package sim
+
+import "gaugur/internal/obs"
+
+// serverMetrics counts the measurement traffic a server handles — the
+// simulated analogue of profiling cost accounting. All fields are nil
+// until SetMetrics wires a registry; obs methods are nil-safe.
+type serverMetrics struct {
+	solo  *obs.Counter
+	coloc *obs.Counter
+	bench *obs.Counter
+}
+
+// SetMetrics wires the server's measurement counters into r (nil disables
+// them again). Safe to call concurrently with measurements only before the
+// first measurement; wire it at construction time.
+func (s *Server) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		s.met = serverMetrics{}
+		return
+	}
+	s.met = serverMetrics{
+		solo: r.Counter(`gaugur_sim_measurements_total{kind="solo"}`,
+			"server measurements executed, by kind"),
+		coloc: r.Counter(`gaugur_sim_measurements_total{kind="colocation"}`,
+			"server measurements executed, by kind"),
+		bench: r.Counter(`gaugur_sim_measurements_total{kind="benchmark"}`,
+			"server measurements executed, by kind"),
+	}
+}

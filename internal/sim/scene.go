@@ -70,6 +70,7 @@ func (s *Server) ExpectedFPSStats(insts []Instance) []FPSStats {
 
 // MeasureColocationStats is the noisy counterpart of ExpectedFPSStats.
 func (s *Server) MeasureColocationStats(insts []Instance) []FPSStats {
+	s.met.coloc.Inc()
 	out := s.ExpectedFPSStats(insts)
 	for i := range out {
 		f := s.noise()
@@ -84,6 +85,7 @@ func (s *Server) MeasureColocationStats(insts []Instance) []FPSStats {
 
 // MeasureSoloStats returns the measured solo mean and min frame rates.
 func (s *Server) MeasureSoloStats(in Instance) FPSStats {
+	s.met.solo.Inc()
 	f := s.noise()
 	mean := s.soloFPS(in) * f
 	min := s.soloMinFPS(in) * f

@@ -26,6 +26,10 @@ type Server struct {
 	noiseSigma float64
 	encoderOn  bool
 	perf       float64 // hardware-class throughput factor, 1.0 = reference
+
+	// met counts measurement traffic when observability is enabled; see
+	// SetMetrics.
+	met serverMetrics
 }
 
 // DefaultNoiseSigma is the relative frame-rate measurement noise. It is
@@ -177,6 +181,7 @@ func (s *Server) ExpectedFPSWithNeighbor(insts []Instance, neighbor Vector) []fl
 // paper's "record the frame rate of each game" during a real colocation
 // test.
 func (s *Server) MeasureColocation(insts []Instance) []float64 {
+	s.met.coloc.Inc()
 	fps := s.ExpectedFPS(insts)
 	for i := range fps {
 		fps[i] *= s.noise()
@@ -186,6 +191,7 @@ func (s *Server) MeasureColocation(insts []Instance) []float64 {
 
 // MeasureSolo returns the measured solo frame rate of one instance.
 func (s *Server) MeasureSolo(in Instance) float64 {
+	s.met.solo.Inc()
 	return s.soloFPS(in) * s.noise()
 }
 
@@ -203,6 +209,7 @@ type BenchObservation struct {
 // benchmark's own knob only slightly modulates its vulnerability, and that
 // modulation averages out over the paper's pressure sweep.
 func (s *Server) RunBenchmark(in Instance, r Resource, x float64) BenchObservation {
+	s.met.bench.Inc()
 	bm := NewBenchmark(r)
 	bload := bm.LoadAt(x)
 	gload := s.effectiveLoad(in)
@@ -237,6 +244,7 @@ func (s *Server) RunBenchmark(in Instance, r Resource, x float64) BenchObservati
 // slowdown. This powers the Figure 6 experiment (aggregate intensity of two
 // games vs. the sum of their individual intensities).
 func (s *Server) RunBenchmarkAgainst(insts []Instance, r Resource, x float64) float64 {
+	s.met.bench.Inc()
 	loads := make([]float64, len(insts))
 	for i, in := range insts {
 		loads[i] = s.effectiveLoad(in)[r]

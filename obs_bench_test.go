@@ -1,0 +1,70 @@
+package gaugur_test
+
+import (
+	"testing"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/sched"
+)
+
+// obsOverheadConfig is the online-loop workload the observability budget is
+// measured on: a fleet large enough that placement scoring dominates, the
+// same hot path the scheduler runs in production.
+func obsOverheadConfig(reg *obs.Registry) sched.OnlineConfig {
+	return sched.OnlineConfig{
+		NumServers:   40,
+		MaxPerServer: 4,
+		ArrivalRate:  20,
+		MeanDuration: 4,
+		Sessions:     1500,
+		GameIDs:      []int{1, 2, 3, 4, 5},
+		Seed:         3,
+		Metrics:      reg,
+	}
+}
+
+func obsOverheadScore(games []int) float64 {
+	s := 0.0
+	for _, g := range games {
+		s += 90 - 20*float64(len(games)-1) + float64(g)
+	}
+	return s
+}
+
+func obsOverheadEval(games []int) []float64 {
+	out := make([]float64, len(games))
+	for i, g := range games {
+		out[i] = 90 - 20*float64(len(games)-1) + float64(g)
+	}
+	return out
+}
+
+func runObsOverhead(b *testing.B, reg func() *obs.Registry) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.RunOnline(obsOverheadConfig(reg()), sched.GreedyPolicy(obsOverheadScore, 4), obsOverheadEval, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 {
+			b.Fatal("online loop completed no sessions")
+		}
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of full metric instrumentation on
+// the online scheduling loop. Compare the two sub-benchmarks:
+//
+//	go test -bench BenchmarkObsOverhead -benchtime 5x .
+//
+// The acceptance budget is <5% overhead for instrumented over bare; the
+// hard assertion lives in internal/sched's TestObsOverheadUnderBudget, this
+// benchmark makes the same numbers inspectable in CI bench output.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("bare", func(b *testing.B) {
+		runObsOverhead(b, func() *obs.Registry { return nil })
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		runObsOverhead(b, obs.New)
+	})
+}
