@@ -7,7 +7,7 @@ GO ?= go
 # to make a failing build pass.
 COVER_MIN ?= 75
 
-.PHONY: build test vet race bench verify fmt fmt-check cover
+.PHONY: build test vet race bench bench-json verify fmt fmt-check cover
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,19 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-json runs the offline-pipeline and batch-prediction benchmarks and
+# snapshots their ns/op into BENCH_pipeline.json, the artifact CI archives
+# to track the perf trajectory. The -N GOMAXPROCS suffix is stripped so
+# keys stay stable across runners.
+bench-json:
+	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch' \
+		-benchtime 1x -run '^$$' . > bench_pipeline.txt
+	cat bench_pipeline.txt
+	awk 'BEGIN { print "{" } \
+		/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); if (n++) printf ",\n"; printf "  \"%s_ns_op\": %s", $$1, $$3 } \
+		END { print "\n}" }' bench_pipeline.txt > BENCH_pipeline.json
+	cat BENCH_pipeline.json
 
 # fmt rewrites every tracked Go file in place; fmt-check is the CI gate
 # that fails (and lists offenders) when anything is unformatted.

@@ -39,6 +39,7 @@ func cmdProfile(args []string) error {
 	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
 	out := fs.String("out", "profiles.json", "output path for the profile set")
 	k := fs.Int("k", profile.DefaultK, "pressure sampling granularity")
+	workers := fs.Int("workers", 0, "games profiled concurrently (0 = all cores, 1 = sequential; identical output either way)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address during profiling")
 	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after profiling")
 	if err := fs.Parse(args); err != nil {
@@ -52,7 +53,7 @@ func cmdProfile(args []string) error {
 	catalog := sim.NewCatalog(*catalogSeed)
 	server := sim.NewServer(*serverSeed)
 	server.SetMetrics(reg)
-	pf := &profile.Profiler{Server: server, K: *k, Metrics: reg}
+	pf := &profile.Profiler{Server: server, K: *k, Metrics: reg, Workers: *workers}
 	set, err := pf.ProfileCatalog(catalog)
 	if err != nil {
 		return err
@@ -90,6 +91,7 @@ func cmdTrain(args []string) error {
 	colocSeed := fs.Int64("coloc-seed", 99, "colocation sampling seed")
 	rmKind := fs.String("rm", string(core.GBRT), "regression model kind (DTR, GBRT, RF, SVR)")
 	cmKind := fs.String("cm", string(core.GBDT), "classification model kind (DTC, GBDT, RF, SVC)")
+	workers := fs.Int("workers", 0, "colocations measured concurrently (0 = all cores, 1 = sequential; identical output either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +100,7 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	lab.Workers = *workers
 	plan := core.ColocationPlan{Pairs: *pairs, Triples: *triples, Quads: *quads}
 	colocs := core.RandomColocations(lab.Catalog, plan, *colocSeed)
 	samples := lab.CollectSamples(colocs, *qos, profile.DefaultK)
@@ -355,7 +358,11 @@ func cmdDispatch(args []string) error {
 			name, stats.Mean(fps), pctl(fps, 0.1), pctl(fps, 0.5), pctl(fps, 0.9), len(fleet))
 		return nil
 	}
-	if err := run("GAugur(RM)", scorerFor(p.PredictFPS)); err != nil {
+	// GAugur scores through the batch API: one buffer set per candidate
+	// colocation instead of per-index allocations.
+	if err := run("GAugur(RM)", func(games []int) float64 {
+		return p.PredictTotalFPS(toColoc(games))
+	}); err != nil {
 		return err
 	}
 	if *compare {

@@ -58,14 +58,7 @@ func cmdChurn(args []string) error {
 		return c
 	}
 	eval := func(g []int) []float64 { return lab.ExpectedFPS(toColoc(g)) }
-	score := func(g []int) float64 {
-		c := toColoc(g)
-		s := 0.0
-		for i := range c {
-			s += p.PredictFPS(c, i)
-		}
-		return s
-	}
+	score := func(g []int) float64 { return p.PredictTotalFPS(toColoc(g)) }
 
 	p.EnableMetrics(reg)
 	const maxPer = 4

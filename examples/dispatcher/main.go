@@ -62,14 +62,10 @@ func main() {
 	}
 
 	// GAugur(RM)-steered greedy: place each request where the predicted
-	// total FPS delta is best.
+	// total FPS delta is best. PredictTotalFPS batches the colocation's
+	// per-index queries over one shared buffer set.
 	score := func(games []int) float64 {
-		c := toColoc(games)
-		s := 0.0
-		for i := range c {
-			s += predictor.PredictFPS(c, i)
-		}
-		return s
+		return predictor.PredictTotalFPS(toColoc(games))
 	}
 	d := &sched.Dispatcher{NumServers: servers, MaxPerServer: 4, Score: score}
 	fleet, err := d.Assign(stream)

@@ -1,0 +1,109 @@
+package core
+
+import "gaugur/internal/features"
+
+// Batch prediction for the online path. Scoring loops — the dispatcher
+// evaluating candidate placements, experiments sweeping a sample set —
+// issue many RM queries back to back, and the per-query path re-resolves
+// profile members and allocates a fresh feature vector every time. The
+// batch API answers the same queries with the same values (and the same
+// metric increments) while reusing one set of member/feature buffers
+// across the whole batch, and skips member re-resolution entirely for
+// consecutive queries against the same colocation.
+
+// BatchQuery names one (colocation, target index) degradation query.
+type BatchQuery struct {
+	Coloc Colocation
+	Index int
+}
+
+// batchState holds the buffers one batch call reuses across its queries.
+type batchState struct {
+	p       *Predictor
+	members []features.Member
+	others  []features.Member
+	feat    []float64
+	cur     Colocation
+}
+
+// sameColoc reports whether a and b are the same backing slice, the cheap
+// identity test that lets consecutive queries share resolved members.
+func sameColoc(a, b Colocation) bool {
+	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
+}
+
+// degradation answers one query exactly like Predictor.PredictDegradation,
+// but from reused buffers.
+func (b *batchState) degradation(c Colocation, idx int) float64 {
+	b.p.met.predictions.Inc()
+	span := b.p.met.latency.Start()
+	defer span.Stop()
+	if len(c) == 1 {
+		return 1
+	}
+	if !sameColoc(c, b.cur) {
+		b.members = b.members[:0]
+		for _, w := range c {
+			b.members = append(b.members, features.NewMember(b.p.Profiles.Get(w.GameID), w.Res))
+		}
+		b.cur = c
+	}
+	b.others = b.others[:0]
+	for i, m := range b.members {
+		if i != idx {
+			b.others = append(b.others, m)
+		}
+	}
+	b.feat = b.p.Enc.RMInto(b.feat, b.members[idx], b.others)
+	d := b.p.RM.Predict(b.feat)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// PredictBatch answers every query with the RM degradation ratio, writing
+// results into dst (grown when too small) and returning it. Values are
+// identical to calling PredictDegradation per query.
+func (p *Predictor) PredictBatch(qs []BatchQuery, dst []float64) []float64 {
+	if cap(dst) < len(qs) {
+		dst = make([]float64, len(qs))
+	}
+	dst = dst[:len(qs)]
+	st := batchState{p: p, feat: make([]float64, 0, p.Enc.RMWidth())}
+	for qi, q := range qs {
+		dst[qi] = st.degradation(q.Coloc, q.Index)
+	}
+	return dst
+}
+
+// PredictFPSBatch fills dst with the predicted frame rate of every
+// workload in c (Equation 2 solo estimate times RM degradation) — the
+// per-index loop every scoring call site runs, answered from one buffer
+// set. Values are identical to calling PredictFPS per index.
+func (p *Predictor) PredictFPSBatch(c Colocation, dst []float64) []float64 {
+	if cap(dst) < len(c) {
+		dst = make([]float64, len(c))
+	}
+	dst = dst[:len(c)]
+	st := batchState{p: p, feat: make([]float64, 0, p.Enc.RMWidth())}
+	for i := range c {
+		solo := p.Profiles.Get(c[i].GameID).SoloFPS(c[i].Res)
+		dst[i] = solo * st.degradation(c, i)
+	}
+	return dst
+}
+
+// PredictTotalFPS sums the predicted frame rates of the colocation — the
+// scorer shape the greedy dispatcher maximizes.
+func (p *Predictor) PredictTotalFPS(c Colocation) float64 {
+	var buf [8]float64
+	s := 0.0
+	for _, fps := range p.PredictFPSBatch(c, buf[:0]) {
+		s += fps
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// TestParallelPipelineMatchesSequential is the golden guarantee behind the
+// parallel offline pipeline: profile -> collect samples -> train run at
+// workers=1 and workers=8 must produce byte-identical profiles, samples,
+// and model predictions. Derived per-task noise streams make every
+// measurement a pure function of its identity, so execution order — and
+// therefore worker count — cannot leak into the artifacts. GOMAXPROCS is
+// raised for the run so the worker pools genuinely interleave even on a
+// single-core machine.
+func TestParallelPipelineMatchesSequential(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	catalog := sim.NewCatalog(42)
+	plan := ColocationPlan{Pairs: 40, Triples: 10, Quads: 10}
+	if testing.Short() {
+		plan = ColocationPlan{Pairs: 15, Triples: 5, Quads: 5}
+	}
+	colocs := RandomColocations(catalog, plan, 99)
+
+	type artifacts struct {
+		set     *profile.Set
+		samples *SampleSet
+		pred    *Predictor
+	}
+	run := func(workers int) artifacts {
+		server := sim.NewServer(7)
+		pf := &profile.Profiler{Server: server, Repeats: 1, Workers: workers}
+		set, err := pf.ProfileCatalog(catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := NewLab(server, catalog, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab.Workers = workers
+		samples := lab.CollectSamples(colocs, 60, profile.DefaultK)
+		pred, err := Train(set, TrainConfig{Samples: samples, Seed: 1, EncoderK: profile.DefaultK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return artifacts{set: set, samples: samples, pred: pred}
+	}
+
+	seq := run(1)
+	par := run(8)
+
+	if seq.set.Len() != par.set.Len() {
+		t.Fatalf("profile counts differ: %d vs %d", seq.set.Len(), par.set.Len())
+	}
+	for i, sp := range seq.set.Order {
+		if !reflect.DeepEqual(*sp, *par.set.Order[i]) {
+			t.Fatalf("game %d (%s): profiles differ between workers=1 and workers=8:\nseq: %+v\npar: %+v",
+				sp.GameID, sp.Name, *sp, *par.set.Order[i])
+		}
+	}
+	if seq.samples.Len() != par.samples.Len() {
+		t.Fatalf("sample counts differ: %d vs %d", seq.samples.Len(), par.samples.Len())
+	}
+	for i := range seq.samples.Samples {
+		if !reflect.DeepEqual(seq.samples.Samples[i], par.samples.Samples[i]) {
+			t.Fatalf("sample %d differs between workers=1 and workers=8:\nseq: %+v\npar: %+v",
+				i, seq.samples.Samples[i], par.samples.Samples[i])
+		}
+	}
+	for _, c := range colocs {
+		for i := range c {
+			a, b := seq.pred.PredictDegradation(c, i), par.pred.PredictDegradation(c, i)
+			if a != b {
+				t.Fatalf("prediction for coloc %v idx %d differs: %v vs %v", c, i, a, b)
+			}
+			if sa, sb := seq.pred.SatisfiesQoS(c, i), par.pred.SatisfiesQoS(c, i); sa != sb {
+				t.Fatalf("QoS verdict for coloc %v idx %d differs: %v vs %v", c, i, sa, sb)
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesSingleQueries: the batch API must be a pure
+// optimization — same values as the per-query path, in query order.
+func TestPredictBatchMatchesSingleQueries(t *testing.T) {
+	lab := testLab(t)
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 30, Triples: 10, Quads: 5}, 3)
+	samples := lab.CollectSamples(colocs, 60, 10)
+	p, err := Train(lab.Profiles, TrainConfig{Samples: samples, RMKind: DTR, CMKind: DTC, Seed: 1, EncoderK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var qs []BatchQuery
+	for _, c := range colocs {
+		for i := range c {
+			qs = append(qs, BatchQuery{Coloc: c, Index: i})
+		}
+	}
+	// Singletons short-circuit to 1 in both paths.
+	qs = append(qs, BatchQuery{Coloc: Colocation{{GameID: 0, Res: ReferenceResolution}}, Index: 0})
+
+	got := p.PredictBatch(qs, nil)
+	if len(got) != len(qs) {
+		t.Fatalf("batch returned %d results for %d queries", len(got), len(qs))
+	}
+	for qi, q := range qs {
+		if want := p.PredictDegradation(q.Coloc, q.Index); got[qi] != want {
+			t.Fatalf("query %d: batch %v != single %v", qi, got[qi], want)
+		}
+	}
+
+	// The dst buffer must be reused when it has capacity.
+	buf := make([]float64, 0, len(qs))
+	out := p.PredictBatch(qs, buf)
+	if &out[0] != &buf[:1][0] {
+		t.Error("PredictBatch reallocated despite sufficient dst capacity")
+	}
+
+	// PredictFPSBatch against per-index PredictFPS.
+	for _, c := range colocs[:10] {
+		fps := p.PredictFPSBatch(c, nil)
+		total := 0.0
+		for i := range c {
+			if want := p.PredictFPS(c, i); fps[i] != want {
+				t.Fatalf("coloc %v idx %d: batch FPS %v != single %v", c, i, fps[i], want)
+			}
+			total += fps[i]
+		}
+		if got := p.PredictTotalFPS(c); got != total {
+			t.Fatalf("coloc %v: PredictTotalFPS %v != summed %v", c, got, total)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"gaugur/internal/features"
 	"gaugur/internal/ml"
@@ -69,18 +70,33 @@ func Train(profiles *profile.Set, cfg TrainConfig) (*Predictor, error) {
 	}
 	tm := newTrainMetrics(cfg.Metrics)
 	tm.samples.Set(float64(cfg.Samples.Len()))
+	// The two models share no state and each fit is internally
+	// deterministic, so they train concurrently; RM errors are preferred
+	// when both fail, matching the old sequential reporting order.
 	rx, ry := cfg.Samples.RMMatrices()
-	span := tm.rmFit.Start()
-	if err := rm.Fit(rx, ry); err != nil {
-		return nil, fmt.Errorf("core: fitting %s: %w", cfg.RMKind, err)
-	}
-	span.Stop()
 	cx, cy := cfg.Samples.CMMatrices()
-	span = tm.cmFit.Start()
-	if err := cm.Fit(cx, cy); err != nil {
-		return nil, fmt.Errorf("core: fitting %s: %w", cfg.CMKind, err)
+	var wg sync.WaitGroup
+	var rmErr, cmErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		span := tm.rmFit.Start()
+		defer span.Stop()
+		rmErr = rm.Fit(rx, ry)
+	}()
+	go func() {
+		defer wg.Done()
+		span := tm.cmFit.Start()
+		defer span.Stop()
+		cmErr = cm.Fit(cx, cy)
+	}()
+	wg.Wait()
+	if rmErr != nil {
+		return nil, fmt.Errorf("core: fitting %s: %w", cfg.RMKind, rmErr)
 	}
-	span.Stop()
+	if cmErr != nil {
+		return nil, fmt.Errorf("core: fitting %s: %w", cfg.CMKind, cmErr)
+	}
 	p := &Predictor{
 		Profiles: profiles,
 		Enc:      newEncoder(cfg.EncoderK),
@@ -162,8 +178,9 @@ func (p *Predictor) FeasibleCM(c Colocation) bool {
 // rate and compare against the QoS floor (how the paper applies regression
 // models to the feasibility question).
 func (p *Predictor) FeasibleRM(c Colocation) bool {
-	for i := range c {
-		if p.PredictFPS(c, i) < p.QoS {
+	var buf [8]float64
+	for _, fps := range p.PredictFPSBatch(c, buf[:0]) {
+		if fps < p.QoS {
 			return false
 		}
 	}
@@ -176,9 +193,10 @@ func (p *Predictor) PredictAverageFPS(c Colocation) float64 {
 	if len(c) == 0 {
 		return 0
 	}
+	var buf [8]float64
 	s := 0.0
-	for i := range c {
-		s += p.PredictFPS(c, i)
+	for _, fps := range p.PredictFPSBatch(c, buf[:0]) {
+		s += fps
 	}
 	return s / float64(len(c))
 }

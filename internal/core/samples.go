@@ -1,6 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+
+	"gaugur/internal/features"
 	"gaugur/internal/sim"
 )
 
@@ -93,41 +97,89 @@ func (l *Lab) CollectSamples(colocs []Colocation, qos float64, encK int) *Sample
 }
 
 // CollectSamplesMetric is CollectSamples with an explicit labeling metric.
+// Colocations are measured by a pool of l.Workers goroutines; the returned
+// samples appear in input order (colocation by colocation, target index
+// within each), byte-identical at any worker count because each
+// colocation's measurement noise derives from its list position.
 func (l *Lab) CollectSamplesMetric(colocs []Colocation, qos float64, encK int, metric Metric) *SampleSet {
 	enc := newEncoder(encK)
+	perColoc := make([][]Sample, len(colocs))
+	collect := func(ci int) {
+		perColoc[ci] = l.colocSamples(enc, colocs[ci], ci, qos, metric)
+	}
+
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(colocs) {
+		workers = len(colocs)
+	}
+	if workers <= 1 {
+		for ci := range colocs {
+			collect(ci)
+		}
+	} else {
+		tasks := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range tasks {
+					collect(ci)
+				}
+			}()
+		}
+		for ci := range colocs {
+			tasks <- ci
+		}
+		close(tasks)
+		wg.Wait()
+	}
+
 	set := &SampleSet{QoS: qos, Samples: make([]Sample, 0, 3*len(colocs))}
-	for _, c := range colocs {
-		var fps []float64
-		if metric == MetricMin {
-			stats := l.Server.MeasureColocationStats(l.Instances(c))
-			fps = make([]float64, len(stats))
-			for i, st := range stats {
-				fps[i] = st.Min
-			}
-		} else {
-			fps = l.Measure(c)
-		}
-		members := l.Members(c)
-		for i := range c {
-			target := members[i]
-			others := append(members[:i:i], members[i+1:]...)
-			solo := target.Profile.SoloFPS(target.Res)
-			label := 0.0
-			if fps[i] >= qos {
-				label = 1
-			}
-			set.Samples = append(set.Samples, Sample{
-				RMX:         enc.RM(target, others),
-				CMX:         enc.CM(qos, target, others),
-				RMY:         sim.Degradation(fps[i], solo),
-				CMY:         label,
-				Size:        c.Size(),
-				MeasuredFPS: fps[i],
-				SoloFPS:     solo,
-				Coloc:       c,
-				Index:       i,
-			})
-		}
+	for _, s := range perColoc {
+		set.Samples = append(set.Samples, s...)
 	}
 	return set
+}
+
+// colocSamples measures one colocation on a task server derived from its
+// list position and expands it into per-game samples.
+func (l *Lab) colocSamples(enc features.Encoder, c Colocation, ci int, qos float64, metric Metric) []Sample {
+	srv := l.Server.TaskServer("collect-coloc", int64(ci))
+	var fps []float64
+	if metric == MetricMin {
+		stats := srv.MeasureColocationStats(l.Instances(c))
+		fps = make([]float64, len(stats))
+		for i, st := range stats {
+			fps[i] = st.Min
+		}
+	} else {
+		fps = srv.MeasureColocation(l.Instances(c))
+	}
+	members := l.Members(c)
+	out := make([]Sample, 0, len(c))
+	for i := range c {
+		target := members[i]
+		others := append(members[:i:i], members[i+1:]...)
+		solo := target.Profile.SoloFPS(target.Res)
+		label := 0.0
+		if fps[i] >= qos {
+			label = 1
+		}
+		out = append(out, Sample{
+			RMX:         enc.RM(target, others),
+			CMX:         enc.CM(qos, target, others),
+			RMY:         sim.Degradation(fps[i], solo),
+			CMY:         label,
+			Size:        c.Size(),
+			MeasuredFPS: fps[i],
+			SoloFPS:     solo,
+			Coloc:       c,
+			Index:       i,
+		})
+	}
+	return out
 }

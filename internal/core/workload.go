@@ -51,6 +51,12 @@ type Lab struct {
 	Server   *sim.Server
 	Catalog  *sim.Catalog
 	Profiles *profile.Set
+	// Workers bounds the number of colocations CollectSamples measures
+	// concurrently; <= 0 defaults to runtime.NumCPU(), 1 forces the
+	// sequential path. Any worker count produces identical samples: each
+	// colocation's noise stream derives from its position in the list
+	// (sim.Server.TaskServer), not from execution order.
+	Workers int
 }
 
 // NewLab builds a lab after checking that every catalog game has a profile.

@@ -236,7 +236,9 @@ func (e *Env) dispatchFleet(numServers int) (names []string, fleets [][][]int, e
 
 	names = []string{"GAugur(RM)", "Sigmoid", "SMiTe", "VBP"}
 	scorers := []sched.Scorer{
-		totalFPS(p.PredictFPS),
+		// GAugur scores through the batch API (identical values, shared
+		// buffers across the colocation's indices).
+		func(games []int) float64 { return p.PredictTotalFPS(toColoc(games)) },
 		totalFPS(sg.PredictFPS),
 		totalFPS(sm.PredictFPS),
 		nil, // VBP uses worst-fit instead

@@ -91,18 +91,32 @@ func (e Encoder) CMWidth() int { return e.RMWidth() + 2 }
 // RM builds the regression input for target colocated with others
 // (Equation 4): [ S^A | Eq5(others) ].
 func (e Encoder) RM(target Member, others []Member) []float64 {
-	out := make([]float64, 0, e.RMWidth())
-	out = target.Profile.FlatSensitivity(out)
-	out = AggregateIntensity(others).append(out)
-	return out
+	return e.RMInto(make([]float64, 0, e.RMWidth()), target, others)
+}
+
+// RMInto is RM writing into dst's backing array (truncated to length 0
+// first), returning the filled vector. Batch callers pass the same buffer
+// for every query to stay allocation-free; the result is valid until the
+// next reuse.
+func (e Encoder) RMInto(dst []float64, target Member, others []Member) []float64 {
+	dst = dst[:0]
+	dst = target.Profile.FlatSensitivity(dst)
+	dst = AggregateIntensity(others).append(dst)
+	return dst
 }
 
 // CM builds the classification input (Equation 3):
 // [ Q | F_solo | S^A | Eq5(others) ].
 func (e Encoder) CM(qos float64, target Member, others []Member) []float64 {
-	out := make([]float64, 0, e.CMWidth())
-	out = append(out, qos, target.Profile.SoloFPS(target.Res))
-	out = target.Profile.FlatSensitivity(out)
-	out = AggregateIntensity(others).append(out)
-	return out
+	return e.CMInto(make([]float64, 0, e.CMWidth()), qos, target, others)
+}
+
+// CMInto is CM writing into dst's backing array, with the same reuse
+// contract as RMInto.
+func (e Encoder) CMInto(dst []float64, qos float64, target Member, others []Member) []float64 {
+	dst = dst[:0]
+	dst = append(dst, qos, target.Profile.SoloFPS(target.Res))
+	dst = target.Profile.FlatSensitivity(dst)
+	dst = AggregateIntensity(others).append(dst)
+	return dst
 }

@@ -41,35 +41,50 @@ func (c GBMConfig) withDefaults() GBMConfig {
 
 // subsampler draws row subsets for stochastic gradient boosting. A
 // fraction outside (0,1) disables subsampling and draw returns all rows.
+//
+// draw runs a partial Fisher–Yates over one persistent permutation buffer:
+// k swaps (and k bounded rng draws) per round instead of rand.Perm's fresh
+// n-int allocation and n draws. The k-prefix is uniform without
+// replacement from whatever permutation the buffer was left in, so reusing
+// it across rounds is sound. NOTE: this consumes the RNG differently from
+// the historical Perm(n)[:k] implementation (k draws per round, not n), so
+// at equal seeds the drawn subsets differ from pre-optimization builds;
+// within a build they remain fully deterministic per seed. The returned
+// slice is only valid until the next draw.
 type subsampler struct {
 	frac float64
 	n    int
 	rng  *rand.Rand
-	all  []int
+	perm []int
 }
 
 func newSubsampler(frac float64, n int, seed int64) *subsampler {
-	s := &subsampler{frac: frac, n: n}
+	s := &subsampler{frac: frac, n: n, perm: make([]int, n)}
+	for i := range s.perm {
+		s.perm[i] = i
+	}
 	if frac > 0 && frac < 1 {
 		s.rng = rand.New(rand.NewSource(seed))
-	} else {
-		s.all = make([]int, n)
-		for i := range s.all {
-			s.all[i] = i
-		}
 	}
 	return s
 }
 
 func (s *subsampler) draw() []int {
 	if s.rng == nil {
-		return s.all
+		return s.perm
 	}
 	k := int(s.frac * float64(s.n))
 	if k < 2 {
 		k = 2
 	}
-	return s.rng.Perm(s.n)[:k]
+	if k > s.n {
+		k = s.n
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(s.n-i)
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+	}
+	return s.perm[:k]
 }
 
 // GBRT is least-squares gradient boosting: the paper's best regression
@@ -105,20 +120,22 @@ func (g *GBRT) Fit(x [][]float64, y []float64) error {
 	}
 	g.trees = make([]*Tree, 0, g.cfg.NumTrees)
 
+	// One presort of the design matrix serves every boosting round: each
+	// round's tree filters the global column orders by its subsample in
+	// O(d·n) instead of re-sorting O(d·n·log n) at every node.
+	ps := newPreSorted(x)
+	resid := make([]float64, n)
 	sub := newSubsampler(g.cfg.Subsample, n, g.cfg.Seed)
 	for m := 0; m < g.cfg.NumTrees; m++ {
 		rows := sub.draw()
-		sx := make([][]float64, len(rows))
-		sr := make([]float64, len(rows))
-		for k, i := range rows {
-			sx[k] = x[i]
-			sr[k] = y[i] - f[i]
+		for _, i := range rows {
+			resid[i] = y[i] - f[i]
 		}
 		tr := NewTree(TreeConfig{
 			MaxDepth:       g.cfg.MaxDepth,
 			MinSamplesLeaf: g.cfg.MinSamplesLeaf,
 		})
-		if err := tr.Fit(sx, sr); err != nil {
+		if err := tr.fitPresorted(x, resid, ps, rows); err != nil {
 			return err
 		}
 		g.trees = append(g.trees, tr)
@@ -180,6 +197,8 @@ func (g *GBDT) Fit(x [][]float64, y []float64) error {
 
 	leafGrad := map[int32]float64{}
 	leafHess := map[int32]float64{}
+	// As in GBRT: presort once, reuse across every round.
+	ps := newPreSorted(x)
 	sub := newSubsampler(g.cfg.Subsample, n, g.cfg.Seed)
 
 	for m := 0; m < g.cfg.NumTrees; m++ {
@@ -187,17 +206,11 @@ func (g *GBDT) Fit(x [][]float64, y []float64) error {
 			grad[i] = y[i] - sigmoid(f[i])
 		}
 		rows := sub.draw()
-		sx := make([][]float64, len(rows))
-		sg := make([]float64, len(rows))
-		for k, i := range rows {
-			sx[k] = x[i]
-			sg[k] = grad[i]
-		}
 		tr := NewTree(TreeConfig{
 			MaxDepth:       g.cfg.MaxDepth,
 			MinSamplesLeaf: g.cfg.MinSamplesLeaf,
 		})
-		if err := tr.Fit(sx, sg); err != nil {
+		if err := tr.fitPresorted(x, grad, ps, rows); err != nil {
 			return err
 		}
 

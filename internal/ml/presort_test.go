@@ -1,0 +1,154 @@
+package ml
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// synthData builds a deterministic regression dataset with deliberate
+// duplicate feature values so tie handling is exercised.
+func synthData(n, d int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			// Quantize to force ties within columns.
+			row[j] = float64(rng.Intn(7)) / 3.0
+		}
+		x[i] = row
+		y[i] = row[0]*2 - row[d-1] + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// TestFitPresortedMatchesFit: Fit is defined as fitPresorted over all
+// rows; an explicit preSorted plus a full duplicate-free subset must
+// produce the identical tree.
+func TestFitPresortedMatchesFit(t *testing.T) {
+	x, y := synthData(300, 8, 1)
+	a := NewTree(TreeConfig{MaxDepth: 6, MinSamplesLeaf: 3})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ps := newPreSorted(x)
+	rows := make([]int, len(x))
+	for i := range rows {
+		rows[i] = i
+	}
+	b := NewTree(TreeConfig{MaxDepth: 6, MinSamplesLeaf: 3})
+	if err := b.fitPresorted(x, y, ps, rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.nodes) != len(b.nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.nodes), len(b.nodes))
+	}
+	for i := range x {
+		if pa, pb := a.Predict(x[i]), b.Predict(x[i]); pa != pb {
+			t.Fatalf("row %d: predictions differ: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+// TestParallelFeatureScanDeterministic grows the same tree at GOMAXPROCS 1
+// and 4 on a node large enough to trip the parallel candidate-feature
+// scan, and requires bit-identical predictions — the reduce-in-candidate-
+// order tie-breaking must reproduce the sequential scan exactly.
+func TestParallelFeatureScanDeterministic(t *testing.T) {
+	n := 2048
+	d := 16 // n*d above parallelScanWork at the root
+	if n*d < parallelScanWork {
+		t.Fatalf("test dataset too small to trigger the parallel scan")
+	}
+	x, y := synthData(n, d, 2)
+
+	prev := runtime.GOMAXPROCS(1)
+	seq := NewTree(TreeConfig{MaxDepth: 8, MinSamplesLeaf: 2})
+	err1 := seq.Fit(x, y)
+	runtime.GOMAXPROCS(4)
+	par := NewTree(TreeConfig{MaxDepth: 8, MinSamplesLeaf: 2})
+	err2 := par.Fit(x, y)
+	runtime.GOMAXPROCS(prev)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(seq.nodes) != len(par.nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(seq.nodes), len(par.nodes))
+	}
+	for i := range x {
+		if a, b := seq.Predict(x[i]), par.Predict(x[i]); a != b {
+			t.Fatalf("row %d: GOMAXPROCS changed the tree: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestSubsamplerDrawProperties: the partial Fisher–Yates draw must return
+// k distinct in-range indices, vary between rounds, and be reproducible
+// per seed.
+func TestSubsamplerDrawProperties(t *testing.T) {
+	const n = 100
+	s := newSubsampler(0.6, n, 5)
+	k := int(0.6 * n)
+	var firstRound []int
+	seenDifferent := false
+	for round := 0; round < 10; round++ {
+		got := s.draw()
+		if len(got) != k {
+			t.Fatalf("round %d: drew %d rows, want %d", round, len(got), k)
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= n {
+				t.Fatalf("round %d: index %d out of range", round, i)
+			}
+			if seen[i] {
+				t.Fatalf("round %d: duplicate index %d", round, i)
+			}
+			seen[i] = true
+		}
+		if round == 0 {
+			firstRound = append([]int(nil), got...)
+		} else if !equalInts(firstRound, got) {
+			seenDifferent = true
+		}
+	}
+	if !seenDifferent {
+		t.Fatal("ten rounds drew the identical subset; subsampling is not advancing")
+	}
+
+	// Reproducibility per seed.
+	a, b := newSubsampler(0.6, n, 5), newSubsampler(0.6, n, 5)
+	for round := 0; round < 5; round++ {
+		if !equalInts(a.draw(), b.draw()) {
+			t.Fatalf("round %d: equal seeds drew different subsets", round)
+		}
+	}
+}
+
+// TestSubsamplerDisabled: a fraction outside (0,1) returns all rows.
+func TestSubsamplerDisabled(t *testing.T) {
+	s := newSubsampler(1.0, 5, 1)
+	got := s.draw()
+	if len(got) != 5 {
+		t.Fatalf("disabled subsampler returned %d rows, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("disabled subsampler must return the identity order, got %v", got)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

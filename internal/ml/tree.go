@@ -3,7 +3,9 @@ package ml
 import (
 	"errors"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // TreeConfig controls CART growth. The zero value means: unlimited depth,
@@ -57,137 +59,346 @@ func NewTree(cfg TreeConfig) *Tree { return &Tree{cfg: cfg.withDefaults()} }
 // NumNodes returns the number of nodes in the fitted tree.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
-// Fit grows the tree on (x, y).
+// Fit grows the tree on (x, y). It presorts every feature column once and
+// grows from the sorted orders; callers that fit many trees on the same
+// design matrix (gradient boosting) should build one preSorted themselves
+// and use fitPresorted to amortize the sort across rounds.
 func (t *Tree) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return errors.New("ml: tree needs matching non-empty x and y")
 	}
-	t.nFeatures = len(x[0])
+	return t.fitPresorted(x, y, newPreSorted(x), nil)
+}
+
+// preSorted caches, for every feature, the dataset's row indices in
+// ascending feature-value order (ties broken by row index, so the order is
+// a pure function of x). Building it costs O(d·n·log n) once; each tree
+// node then maintains the orders by an O(d·m) stable partition instead of
+// re-sorting, and boosting reuses one preSorted across all rounds.
+type preSorted struct {
+	ord [][]int32
+}
+
+// newPreSorted sorts each feature column of x. Columns are independent, so
+// they sort in parallel across the available cores; parallelism cannot
+// change the result.
+func newPreSorted(x [][]float64) *preSorted {
+	n := len(x)
+	d := 0
+	if n > 0 {
+		d = len(x[0])
+	}
+	ps := &preSorted{ord: make([][]int32, d)}
+	sortCol := func(f int) {
+		col := make([]int32, n)
+		for i := range col {
+			col[i] = int32(i)
+		}
+		sort.Slice(col, func(a, b int) bool {
+			va, vb := x[col[a]][f], x[col[b]][f]
+			if va != vb {
+				return va < vb
+			}
+			return col[a] < col[b]
+		})
+		ps.ord[f] = col
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > d {
+		workers = d
+	}
+	if workers <= 1 || n*d < parallelScanWork {
+		for f := 0; f < d; f++ {
+			sortCol(f)
+		}
+		return ps
+	}
+	var wg sync.WaitGroup
+	feats := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range feats {
+				sortCol(f)
+			}
+		}()
+	}
+	for f := 0; f < d; f++ {
+		feats <- f
+	}
+	close(feats)
+	wg.Wait()
+	return ps
+}
+
+// parallelScanWork is the minimum rows*features work at one node before
+// the candidate-feature scan fans out across goroutines; below it the
+// spawn overhead outweighs the scan.
+const parallelScanWork = 1 << 14
+
+// growState carries the per-fit working set: one order per feature plus a
+// canonical membership list, all segmented identically so [lo:hi) always
+// denotes the same node in every array.
+type growState struct {
+	x       [][]float64
+	y       []float64
+	ords    [][]int32
+	rows    []int32 // canonical members, ascending row id at the root
+	left    []bool  // left-membership scratch, indexed by global row id
+	scratch []int32
+	splits  []splitResult
+	feats   []int
+	rng     *rand.Rand
+}
+
+// splitResult is one feature's best split at a node.
+type splitResult struct {
+	gain float64
+	thr  float64
+	ok   bool
+}
+
+// fitPresorted grows the tree on the subset rows of (x, y) using the
+// precomputed column orders. rows must be duplicate-free; nil means all
+// rows. y is indexed by global row id, so boosting passes full-length
+// residual vectors without compacting.
+func (t *Tree) fitPresorted(x [][]float64, y []float64, ps *preSorted, rows []int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: tree needs matching non-empty x and y")
+	}
+	n := len(x)
+	d := len(x[0])
+	t.nFeatures = d
 	t.nodes = t.nodes[:0]
-	idx := make([]int, len(x))
-	for i := range idx {
-		idx[i] = i
+	if len(rows) == n {
+		rows = nil // a full duplicate-free subset is just "all rows"
 	}
-	var rng *rand.Rand
-	if t.cfg.MaxFeatures > 0 && t.cfg.MaxFeatures < t.nFeatures {
-		rng = rand.New(rand.NewSource(t.cfg.Seed))
+
+	st := &growState{x: x, y: y, ords: make([][]int32, d)}
+	if rows == nil {
+		for f := range st.ords {
+			st.ords[f] = append([]int32(nil), ps.ord[f]...)
+		}
+		st.rows = make([]int32, n)
+		for i := range st.rows {
+			st.rows[i] = int32(i)
+		}
+	} else {
+		in := make([]bool, n)
+		for _, r := range rows {
+			in[r] = true
+		}
+		st.rows = make([]int32, 0, len(rows))
+		for i := 0; i < n; i++ {
+			if in[i] {
+				st.rows = append(st.rows, int32(i))
+			}
+		}
+		for f := range st.ords {
+			seg := make([]int32, 0, len(st.rows))
+			for _, r := range ps.ord[f] {
+				if in[r] {
+					seg = append(seg, r)
+				}
+			}
+			st.ords[f] = seg
+		}
 	}
-	scratch := make([]int, len(x))
-	t.grow(x, y, idx, 1, rng, scratch)
+	m := len(st.rows)
+	if m == 0 {
+		return errors.New("ml: tree fit on empty row subset")
+	}
+	st.left = make([]bool, n)
+	st.scratch = make([]int32, m)
+	st.splits = make([]splitResult, d)
+	st.feats = make([]int, d)
+	if t.cfg.MaxFeatures > 0 && t.cfg.MaxFeatures < d {
+		st.rng = rand.New(rand.NewSource(t.cfg.Seed))
+	}
+	t.grow(st, 0, m, 1)
 	return nil
 }
 
-// grow builds the subtree over idx and returns its node index.
-func (t *Tree) grow(x [][]float64, y []float64, idx []int, depth int, rng *rand.Rand, scratch []int) int32 {
+// grow builds the subtree over the segment [lo, hi) and returns its node
+// index.
+func (t *Tree) grow(st *growState, lo, hi, depth int) int32 {
 	me := int32(len(t.nodes))
 	t.nodes = append(t.nodes, treeNode{left: -1, right: -1})
 
 	sum := 0.0
-	for _, i := range idx {
-		sum += y[i]
+	for _, i := range st.rows[lo:hi] {
+		sum += st.y[i]
 	}
-	mean := sum / float64(len(idx))
-	t.nodes[me].value = mean
+	t.nodes[me].value = sum / float64(hi-lo)
 
-	if len(idx) < t.cfg.MinSamplesSplit ||
+	if hi-lo < t.cfg.MinSamplesSplit ||
 		(t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) {
 		return me
 	}
 
-	feat, thr, ok := t.bestSplit(x, y, idx, rng)
+	feat, thr, ok := t.bestSplit(st, lo, hi)
 	if !ok {
 		return me
 	}
 
-	// Partition idx into scratch: left block then right block.
 	nl := 0
-	nr := 0
-	for _, i := range idx {
-		if x[i][feat] <= thr {
-			scratch[nl] = i
+	for _, i := range st.rows[lo:hi] {
+		l := st.x[i][feat] <= thr
+		st.left[i] = l
+		if l {
 			nl++
-		} else {
-			nr++
-			scratch[len(idx)-nr] = i
 		}
 	}
-	if nl < t.cfg.MinSamplesLeaf || nr < t.cfg.MinSamplesLeaf {
+	if nl < t.cfg.MinSamplesLeaf || (hi-lo)-nl < t.cfg.MinSamplesLeaf {
 		return me
 	}
-	copy(idx, scratch[:len(idx)])
+	// Stable partition of every order: each side keeps its relative
+	// order, so children stay sorted per feature with no re-sort.
+	stablePartition(st.rows, st.left, st.scratch, lo, hi, nl)
+	for f := range st.ords {
+		stablePartition(st.ords[f], st.left, st.scratch, lo, hi, nl)
+	}
 
 	t.nodes[me].feature = feat
 	t.nodes[me].threshold = thr
-	left := t.grow(x, y, idx[:nl], depth+1, rng, scratch)
-	right := t.grow(x, y, idx[nl:], depth+1, rng, scratch)
+	left := t.grow(st, lo, lo+nl, depth+1)
+	right := t.grow(st, lo+nl, hi, depth+1)
 	t.nodes[me].left = left
 	t.nodes[me].right = right
 	return me
 }
 
+// stablePartition rearranges a[lo:hi] so rows with left[i] true form the
+// first nl slots, preserving relative order on both sides.
+func stablePartition(a []int32, left []bool, scratch []int32, lo, hi, nl int) {
+	l, r := 0, nl
+	for _, i := range a[lo:hi] {
+		if left[i] {
+			scratch[l] = i
+			l++
+		} else {
+			scratch[r] = i
+			r++
+		}
+	}
+	copy(a[lo:hi], scratch[:hi-lo])
+}
+
 // bestSplit scans candidate features for the split maximizing weighted
 // variance reduction. It returns ok=false when no valid split improves on
-// the parent (e.g. constant target or constant features).
-func (t *Tree) bestSplit(x [][]float64, y []float64, idx []int, rng *rand.Rand) (feat int, thr float64, ok bool) {
-	n := float64(len(idx))
+// the parent (e.g. constant target or constant features). Features scan
+// independently over their presorted segments; when the node is large the
+// scan fans out across goroutines and reduces in candidate order, which
+// reproduces the sequential first-wins tie-breaking exactly.
+func (t *Tree) bestSplit(st *growState, lo, hi int) (feat int, thr float64, ok bool) {
+	n := float64(hi - lo)
 	var total, totalSq float64
-	for _, i := range idx {
-		total += y[i]
-		totalSq += y[i] * y[i]
+	for _, i := range st.rows[lo:hi] {
+		yi := st.y[i]
+		total += yi
+		totalSq += yi * yi
 	}
 	parentSSE := totalSq - total*total/n
 	if parentSSE <= 1e-12 {
 		return 0, 0, false
 	}
 
-	features := t.candidateFeatures(rng)
-	order := append([]int(nil), idx...)
-	bestGain := 1e-12
+	feats := t.candidateFeatures(st)
+	res := st.splits[:len(feats)]
 	minLeaf := t.cfg.MinSamplesLeaf
+	scan := func(pos int) {
+		res[pos] = scanFeature(st, feats[pos], lo, hi, total, totalSq, parentSSE, minLeaf)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(feats) {
+		workers = len(feats)
+	}
+	if workers > 1 && (hi-lo)*len(feats) >= parallelScanWork {
+		var wg sync.WaitGroup
+		chunk := (len(feats) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			s, e := w*chunk, (w+1)*chunk
+			if e > len(feats) {
+				e = len(feats)
+			}
+			if s >= e {
+				break
+			}
+			wg.Add(1)
+			go func(s, e int) {
+				defer wg.Done()
+				for pos := s; pos < e; pos++ {
+					scan(pos)
+				}
+			}(s, e)
+		}
+		wg.Wait()
+	} else {
+		for pos := range feats {
+			scan(pos)
+		}
+	}
 
-	for _, f := range features {
-		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
-		var lSum, lSq float64
-		lN := 0.0
-		for k := 0; k < len(order)-1; k++ {
-			yi := y[order[k]]
-			lSum += yi
-			lSq += yi * yi
-			lN++
-			// Only split between distinct feature values.
-			cur, next := x[order[k]][f], x[order[k+1]][f]
-			if cur == next {
-				continue
-			}
-			if int(lN) < minLeaf || len(order)-int(lN) < minLeaf {
-				continue
-			}
-			rSum := total - lSum
-			rSq := totalSq - lSq
-			rN := n - lN
-			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
-			gain := parentSSE - sse
-			if gain > bestGain {
-				bestGain = gain
-				feat = f
-				thr = cur + (next-cur)/2
-				ok = true
-			}
+	bestGain := 1e-12
+	for pos, r := range res {
+		if r.ok && r.gain > bestGain {
+			bestGain = r.gain
+			feat = feats[pos]
+			thr = r.thr
+			ok = true
 		}
 	}
 	return feat, thr, ok
 }
 
-// candidateFeatures returns the feature indices examined at one split.
-func (t *Tree) candidateFeatures(rng *rand.Rand) []int {
-	all := make([]int, t.nFeatures)
+// scanFeature walks one feature's presorted segment accumulating left-side
+// sums and returns the feature's best split. Splits land only between
+// distinct feature values, so the result does not depend on how ties are
+// ordered.
+func scanFeature(st *growState, f, lo, hi int, total, totalSq, parentSSE float64, minLeaf int) splitResult {
+	ord := st.ords[f][lo:hi]
+	x, y := st.x, st.y
+	n := float64(len(ord))
+	var lSum, lSq, lN float64
+	best := splitResult{gain: 1e-12}
+	for k := 0; k < len(ord)-1; k++ {
+		i := ord[k]
+		yi := y[i]
+		lSum += yi
+		lSq += yi * yi
+		lN++
+		cur, next := x[i][f], x[ord[k+1]][f]
+		if cur == next {
+			continue
+		}
+		if int(lN) < minLeaf || len(ord)-int(lN) < minLeaf {
+			continue
+		}
+		rSum := total - lSum
+		rSq := totalSq - lSq
+		rN := n - lN
+		sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
+		if gain := parentSSE - sse; gain > best.gain {
+			best.gain = gain
+			best.thr = cur + (next-cur)/2
+			best.ok = true
+		}
+	}
+	return best
+}
+
+// candidateFeatures returns the feature indices examined at one split,
+// reusing the fit-scoped buffer.
+func (t *Tree) candidateFeatures(st *growState) []int {
+	all := st.feats[:t.nFeatures]
 	for i := range all {
 		all[i] = i
 	}
-	if rng == nil || t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= t.nFeatures {
+	if st.rng == nil || t.cfg.MaxFeatures <= 0 || t.cfg.MaxFeatures >= t.nFeatures {
 		return all
 	}
-	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	st.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
 	return all[:t.cfg.MaxFeatures]
 }
 

@@ -9,6 +9,8 @@ package profile
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"gaugur/internal/obs"
 	"gaugur/internal/sim"
@@ -134,6 +136,12 @@ type Profiler struct {
 	// Metrics, when non-nil, receives per-game profiling timings and
 	// benchmark-colocation counts (see internal/obs).
 	Metrics *obs.Registry
+	// Workers bounds the number of games profiled concurrently by
+	// ProfileCatalog; <= 0 defaults to runtime.NumCPU(), 1 forces the
+	// sequential path. Results are identical at any worker count because
+	// every game's measurement noise is derived from its own identity
+	// (sim.Server.TaskServer), never from execution order.
+	Workers int
 }
 
 func (pf *Profiler) defaults() Profiler {
@@ -150,6 +158,9 @@ func (pf *Profiler) defaults() Profiler {
 	if out.Repeats <= 0 {
 		out.Repeats = 3
 	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.NumCPU()
+	}
 	return out
 }
 
@@ -162,8 +173,17 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 	if cfg.ResLo.MPixels() >= cfg.ResHi.MPixels() {
 		return nil, fmt.Errorf("profile: ResLo %v must have fewer pixels than ResHi %v", cfg.ResLo, cfg.ResHi)
 	}
+	// Every measurement for this game draws noise from a stream derived
+	// from (server seed, game ID) — not from the caller's shared stream —
+	// so the profile is a pure function of the game's identity and
+	// ProfileCatalog may run games in any order, on any worker count,
+	// with byte-identical results.
+	srv := cfg.Server.TaskServer("profile-game", int64(g.ID))
 	span := cfg.Metrics.Timer("gaugur_profile_game_seconds",
 		"wall-clock time to profile one game end to end").Start()
+	// Stop via defer so a mid-profile error return can never leak the
+	// span and skew the histogram.
+	defer span.Stop()
 	benchRuns := cfg.Metrics.Counter("gaugur_profile_bench_runs_total",
 		"benchmark colocation measurements executed while profiling")
 	p := &GameProfile{
@@ -182,7 +202,7 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 	// Solo frame rates at both resolutions -> Equation (2) parameters.
 	// Conservative mode anchors everything to the minimum frame rate.
 	measureSolo := func(in sim.Instance) float64 {
-		st := cfg.Server.MeasureSoloStats(in)
+		st := srv.MeasureSoloStats(in)
 		if cfg.Conservative {
 			return st.Min
 		}
@@ -195,8 +215,8 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 	p.FPSIntercptB = fpsLo + p.FPSSlopeA*cfg.ResLo.MPixels()
 
 	// Solo demand vectors (utilization counters) at both resolutions.
-	p.DemandBase = cfg.Server.DemandVector(loLow)
-	demHi := cfg.Server.DemandVector(loHigh)
+	p.DemandBase = srv.DemandVector(loLow)
+	demHi := srv.DemandVector(loHigh)
 	for r := range p.DemandSlope {
 		p.DemandSlope[r] = (demHi[r] - p.DemandBase[r]) / dm
 	}
@@ -212,9 +232,9 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 			for rep := 0; rep < cfg.Repeats; rep++ {
 				var ob sim.BenchObservation
 				if cfg.Conservative {
-					ob = cfg.Server.RunBenchmarkConservative(loLow, res, x)
+					ob = srv.RunBenchmarkConservative(loLow, res, x)
 				} else {
-					ob = cfg.Server.RunBenchmark(loLow, res, x)
+					ob = srv.RunBenchmark(loLow, res, x)
 				}
 				benchRuns.Inc()
 				degr += sim.Degradation(ob.GameFPS, fpsLo)
@@ -241,7 +261,7 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 			for _, x := range levels {
 				var slow float64
 				for rep := 0; rep < cfg.Repeats; rep++ {
-					ob := cfg.Server.RunBenchmark(loHigh, res, x)
+					ob := srv.RunBenchmark(loHigh, res, x)
 					benchRuns.Inc()
 					slow += ob.BenchSlowdown
 				}
@@ -250,7 +270,6 @@ func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
 			p.IntensitySlope[r] = (stats.Mean(excessHi) - p.IntensityBase[r]) / dm
 		}
 	}
-	span.Stop()
 	cfg.Metrics.Counter("gaugur_profile_games_total",
 		"games profiled end to end").Inc()
 	return p, nil
@@ -273,20 +292,64 @@ type Set struct {
 
 // ProfileCatalog profiles every game in the catalog. The returned Set is
 // the offline artifact GAugur trains and predicts from; its cost is O(N) in
-// the number of games, matching Section 3.6.
+// the number of games, matching Section 3.6. Games are profiled by a pool
+// of Workers goroutines (per-game measurement is embarrassingly parallel
+// once noise streams derive from game identity); the Set is assembled in
+// catalog order regardless of completion order, so any worker count yields
+// the same bytes as the sequential path.
 func (pf *Profiler) ProfileCatalog(c *sim.Catalog) (*Set, error) {
+	cfg := pf.defaults()
 	span := pf.Metrics.Timer("gaugur_profile_catalog_seconds",
 		"wall-clock time to profile the whole catalog").Start()
-	set := &Set{ByID: make(map[int]*GameProfile, c.Len())}
-	for _, g := range c.Games {
-		p, err := pf.ProfileGame(g)
-		if err != nil {
-			return nil, fmt.Errorf("profile: game %q: %w", g.Name, err)
+	// Stop via defer: the early error return below must still record the
+	// catalog span instead of leaking it.
+	defer span.Stop()
+
+	games := c.Games
+	profiles := make([]*GameProfile, len(games))
+	errs := make([]error, len(games))
+	workers := cfg.Workers
+	if workers > len(games) {
+		workers = len(games)
+	}
+	if workers <= 1 {
+		for i, g := range games {
+			profiles[i], errs[i] = pf.ProfileGame(g)
+			if errs[i] != nil {
+				break
+			}
 		}
-		set.ByID[g.ID] = p
+	} else {
+		tasks := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range tasks {
+					profiles[i], errs[i] = pf.ProfileGame(games[i])
+				}
+			}()
+		}
+		for i := range games {
+			tasks <- i
+		}
+		close(tasks)
+		wg.Wait()
+	}
+	// Report the lowest-index failure, mirroring where the sequential
+	// loop would have stopped.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("profile: game %q: %w", games[i].Name, err)
+		}
+	}
+
+	set := &Set{ByID: make(map[int]*GameProfile, c.Len())}
+	for _, p := range profiles {
+		set.ByID[p.GameID] = p
 		set.Order = append(set.Order, p)
 	}
-	span.Stop()
 	return set, nil
 }
 

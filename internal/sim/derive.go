@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Derived-seed task servers. The offline pipeline (profiling a catalog,
+// collecting training colocations) issues thousands of independent
+// measurement tasks. When they all draw noise from one shared RNG stream,
+// every measurement depends on the execution order of every measurement
+// before it — correct, but impossible to parallelize without changing the
+// results. TaskServer instead derives an independent noise stream per task
+// from (base seed, domain, task id), so a task's measurements are a pure
+// function of its identity. Parallel and sequential execution then produce
+// byte-identical outputs, and a re-run of one task reproduces its numbers
+// without replaying the whole pipeline.
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// mixer (Steele et al., "Fast splittable pseudorandom number generators").
+// It turns structured inputs (seed + small ints) into seeds with no visible
+// correlation between neighboring tasks.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// deriveSeed hashes (base, domain, id) into one RNG seed. The domain
+// string separates pipeline stages ("profile-game" vs "collect-coloc") so
+// a game and a colocation that happen to share a numeric id still get
+// uncorrelated streams.
+func deriveSeed(base int64, domain string, id int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	mixed := splitmix64(uint64(base)) ^ splitmix64(h.Sum64()) ^ splitmix64(uint64(id)+0x632be59bd9b4e019)
+	return int64(splitmix64(mixed))
+}
+
+// TaskServer returns a server identical to s in every physical respect
+// (capacity, memory, noise level, encoder setting, hardware class, metric
+// counters) whose noise stream is independently seeded from s's base seed,
+// the domain label, and the task id. Two calls with the same identity
+// return servers that measure identically; calls with different identities
+// are statistically independent. The clone shares s's atomic measurement
+// counters, so observability keeps a fleet-wide view.
+func (s *Server) TaskServer(domain string, id int64) *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Server{
+		Capacity:   s.Capacity,
+		CPUMemCap:  s.CPUMemCap,
+		GPUMemCap:  s.GPUMemCap,
+		seed:       s.seed,
+		rng:        rand.New(rand.NewSource(deriveSeed(s.seed, domain, id))),
+		noiseSigma: s.noiseSigma,
+		encoderOn:  s.encoderOn,
+		perf:       s.perf,
+		met:        s.met,
+	}
+}

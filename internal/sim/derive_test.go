@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// TestTaskServerDeterministicPerIdentity proves a task server's
+// measurements are a pure function of (base seed, domain, id): re-deriving
+// the same identity reproduces them exactly, regardless of what other
+// derived servers measured in between.
+func TestTaskServerDeterministicPerIdentity(t *testing.T) {
+	cat := NewCatalog(1)
+	in := NewInstance(cat.Games[3], Res1080p)
+
+	base := NewServer(7)
+	a := base.TaskServer("profile-game", 3)
+	first := []float64{a.MeasureSolo(in), a.MeasureSolo(in), a.RunBenchmark(in, GPUCE, 0.5).GameFPS}
+
+	// Interleave unrelated measurement traffic on the base stream and on
+	// other derived streams.
+	base.MeasureSolo(in)
+	base.TaskServer("profile-game", 4).MeasureSolo(in)
+	base.TaskServer("collect-coloc", 3).MeasureSolo(in)
+
+	b := base.TaskServer("profile-game", 3)
+	second := []float64{b.MeasureSolo(in), b.MeasureSolo(in), b.RunBenchmark(in, GPUCE, 0.5).GameFPS}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("measurement %d: re-derived task server diverged: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestTaskServerStreamsIndependent checks distinct identities (different
+// id, or same id under a different domain) get distinct noise streams.
+func TestTaskServerStreamsIndependent(t *testing.T) {
+	cat := NewCatalog(1)
+	in := NewInstance(cat.Games[0], Res1080p)
+	base := NewServer(7)
+	a := base.TaskServer("profile-game", 1).MeasureSolo(in)
+	b := base.TaskServer("profile-game", 2).MeasureSolo(in)
+	c := base.TaskServer("collect-coloc", 1).MeasureSolo(in)
+	if a == b || a == c || b == c {
+		t.Fatalf("derived streams collided: %v %v %v", a, b, c)
+	}
+}
+
+// TestTaskServerInheritsPhysics: the clone must measure with the parent's
+// noise level, hardware class, and capacity — only the stream differs.
+func TestTaskServerInheritsPhysics(t *testing.T) {
+	cat := NewCatalog(1)
+	in := NewInstance(cat.Games[0], Res1080p)
+
+	base := NewServerOfClass(7, ClassHighEnd)
+	base.SetNoise(0)
+	ts := base.TaskServer("x", 0)
+	if got, want := ts.MeasureSolo(in), base.MeasureSolo(in); got != want {
+		t.Fatalf("noise-free task server measured %v, base %v", got, want)
+	}
+	if ts.Class() != base.Class() {
+		t.Fatalf("task server class %+v != base %+v", ts.Class(), base.Class())
+	}
+}

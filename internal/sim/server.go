@@ -22,6 +22,7 @@ type Server struct {
 	GPUMemCap float64
 
 	mu         sync.Mutex
+	seed       int64 // base seed, retained so TaskServer can derive sub-streams
 	rng        *rand.Rand
 	noiseSigma float64
 	encoderOn  bool
@@ -48,6 +49,7 @@ func NewServer(seed int64) *Server {
 		Capacity:   cap,
 		CPUMemCap:  1.0,
 		GPUMemCap:  1.0,
+		seed:       seed,
 		rng:        rand.New(rand.NewSource(seed)),
 		noiseSigma: DefaultNoiseSigma,
 		perf:       1.0,

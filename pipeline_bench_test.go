@@ -1,0 +1,129 @@
+package gaugur_test
+
+import (
+	"testing"
+
+	"gaugur/internal/core"
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// Pipeline benchmarks: the offline profile -> collect -> train path at its
+// two ends of the worker knob (workers=1 is the sequential path, workers=0
+// uses every core), plus the batch online-prediction API. `make bench-json`
+// snapshots their ns/op into BENCH_pipeline.json so CI tracks the perf
+// trajectory. Outputs are byte-identical at any worker count (see
+// TestParallelPipelineMatchesSequential), so the Seq/parallel pairs measure
+// the same computation.
+
+// pipelinePlan keeps one benchmark iteration affordable while still
+// exercising all three colocation sizes.
+var pipelinePlan = core.ColocationPlan{Pairs: 250, Triples: 50, Quads: 50}
+
+func benchProfileCatalog(b *testing.B, workers int) {
+	catalog := sim.NewCatalog(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf := &profile.Profiler{Server: sim.NewServer(7), Workers: workers}
+		if _, err := pf.ProfileCatalog(catalog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileCatalog profiles the full 100-game catalog on all cores.
+func BenchmarkProfileCatalog(b *testing.B) { benchProfileCatalog(b, 0) }
+
+// BenchmarkProfileCatalogSeq is the workers=1 baseline for the same work.
+func BenchmarkProfileCatalogSeq(b *testing.B) { benchProfileCatalog(b, 1) }
+
+func benchCollectSamples(b *testing.B, workers int) {
+	catalog := sim.NewCatalog(42)
+	server := sim.NewServer(7)
+	pf := &profile.Profiler{Server: server}
+	set, err := pf.ProfileCatalog(catalog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab, err := core.NewLab(server, catalog, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab.Workers = workers
+	colocs := core.RandomColocations(catalog, pipelinePlan, 99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := lab.CollectSamples(colocs, 60, profile.DefaultK); s.Len() == 0 {
+			b.Fatal("no samples collected")
+		}
+	}
+}
+
+// BenchmarkCollectSamples measures colocation sample collection on all
+// cores.
+func BenchmarkCollectSamples(b *testing.B) { benchCollectSamples(b, 0) }
+
+// BenchmarkCollectSamplesSeq is the workers=1 baseline for the same work.
+func BenchmarkCollectSamplesSeq(b *testing.B) { benchCollectSamples(b, 1) }
+
+func benchTrainPipeline(b *testing.B, workers int) {
+	catalog := sim.NewCatalog(42)
+	colocs := core.RandomColocations(catalog, pipelinePlan, 99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		server := sim.NewServer(7)
+		pf := &profile.Profiler{Server: server, Workers: workers}
+		set, err := pf.ProfileCatalog(catalog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lab, err := core.NewLab(server, catalog, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lab.Workers = workers
+		samples := lab.CollectSamples(colocs, 60, profile.DefaultK)
+		if _, err := core.Train(set, core.TrainConfig{
+			Samples:  samples,
+			Seed:     1,
+			EncoderK: profile.DefaultK,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainPipeline runs the whole offline pipeline — profile the
+// 100-game catalog, measure the colocation plan, train GBRT+GBDT — on all
+// cores. This is the headline number of the perf trajectory.
+func BenchmarkTrainPipeline(b *testing.B) { benchTrainPipeline(b, 0) }
+
+// BenchmarkTrainPipelineSeq is the workers=1 baseline for the same
+// pipeline (the tree learner's presort and the concurrent CM/RM fits still
+// apply; only the measurement pools are serialized).
+func BenchmarkTrainPipelineSeq(b *testing.B) { benchTrainPipeline(b, 1) }
+
+// BenchmarkPredictBatch answers 256 RM queries per iteration through the
+// buffer-reusing batch API — the shape of the dispatcher's scoring loops.
+func BenchmarkPredictBatch(b *testing.B) {
+	env := benchEnv(b)
+	p, err := env.GAugur(env.Cfg.QoSHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	colocs := core.RandomColocations(env.Catalog, core.ColocationPlan{Pairs: 48, Triples: 8, Quads: 8}, 5)
+	qs := make([]core.BatchQuery, 0, 256)
+	for _, c := range colocs {
+		for i := range c {
+			if len(qs) == cap(qs) {
+				break
+			}
+			qs = append(qs, core.BatchQuery{Coloc: c, Index: i})
+		}
+	}
+	dst := make([]float64, len(qs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictBatch(qs, dst)
+	}
+}
