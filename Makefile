@@ -7,7 +7,11 @@ GO ?= go
 # to make a failing build pass.
 COVER_MIN ?= 75
 
-.PHONY: build test vet race bench bench-json verify fmt fmt-check cover
+.PHONY: build test vet race bench bench-json verify fmt fmt-check cover lint
+
+# Staticcheck version the lint gate pins (see .github/workflows/ci.yml —
+# keep the two in sync so local runs match CI).
+STATICCHECK_VERSION ?= 2024.1.1
 
 build:
 	$(GO) build ./...
@@ -27,12 +31,13 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# bench-json runs the offline-pipeline and batch-prediction benchmarks and
-# snapshots their ns/op into BENCH_pipeline.json, the artifact CI archives
-# to track the perf trajectory. The -N GOMAXPROCS suffix is stripped so
-# keys stay stable across runners.
+# bench-json runs the offline-pipeline, batch-prediction, and
+# tracing-overhead benchmarks and snapshots their ns/op into
+# BENCH_pipeline.json, the artifact CI archives to track the perf
+# trajectory. The -N GOMAXPROCS suffix is stripped so keys stay stable
+# across runners.
 bench-json:
-	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch' \
+	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch|BenchmarkTraceOverhead' \
 		-benchtime 1x -run '^$$' . > bench_pipeline.txt
 	cat bench_pipeline.txt
 	awk 'BEGIN { print "{" } \
@@ -59,6 +64,18 @@ cover:
 	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
+
+# lint runs staticcheck when it is on PATH and explains how to get the
+# pinned version otherwise. It is not part of `make verify` because the
+# tool is an external binary; CI runs it as its own cached job.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; run:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+		exit 1; \
+	fi
 
 # verify is the full gate: tier-1 build+test, formatting, static analysis,
 # and the race detector over every package.

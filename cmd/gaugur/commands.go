@@ -9,6 +9,7 @@ import (
 
 	"gaugur/internal/baselines"
 	"gaugur/internal/core"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/profile"
 	"gaugur/internal/sched"
 	"gaugur/internal/sim"
@@ -45,7 +46,7 @@ func cmdProfile(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, stopMetrics, err := startMetrics(*metricsAddr)
+	reg, tracer, stopMetrics, err := startMetrics(*metricsAddr, *catalogSeed)
 	if err != nil {
 		return err
 	}
@@ -53,7 +54,7 @@ func cmdProfile(args []string) error {
 	catalog := sim.NewCatalog(*catalogSeed)
 	server := sim.NewServer(*serverSeed)
 	server.SetMetrics(reg)
-	pf := &profile.Profiler{Server: server, K: *k, Metrics: reg, Workers: *workers}
+	pf := &profile.Profiler{Server: server, K: *k, Metrics: reg, Workers: *workers, Tracer: tracer}
 	set, err := pf.ProfileCatalog(catalog)
 	if err != nil {
 		return err
@@ -92,7 +93,13 @@ func cmdTrain(args []string) error {
 	rmKind := fs.String("rm", string(core.GBRT), "regression model kind (DTR, GBRT, RF, SVR)")
 	cmKind := fs.String("cm", string(core.GBDT), "classification model kind (DTC, GBDT, RF, SVC)")
 	workers := fs.Int("workers", 0, "colocations measured concurrently (0 = all cores, 1 = sequential; identical output either way)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, pprof, and /debug/traces on this address during measurement + training")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after training")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, tracer, stopMetrics, err := startMetrics(*metricsAddr, *colocSeed)
+	if err != nil {
 		return err
 	}
 
@@ -100,7 +107,9 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	lab.Server.SetMetrics(reg)
 	lab.Workers = *workers
+	lab.Tracer = tracer
 	plan := core.ColocationPlan{Pairs: *pairs, Triples: *triples, Quads: *quads}
 	colocs := core.RandomColocations(lab.Catalog, plan, *colocSeed)
 	samples := lab.CollectSamples(colocs, *qos, profile.DefaultK)
@@ -112,6 +121,7 @@ func cmdTrain(args []string) error {
 		CMKind:   core.ClassifierKind(*cmKind),
 		Seed:     1,
 		EncoderK: profile.DefaultK,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		return err
@@ -125,6 +135,7 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("trained %s + %s (QoS %.0f FPS) -> %s\n", *rmKind, *cmKind, *qos, *out)
+	stopMetrics(*metricsHold)
 	return nil
 }
 
@@ -261,11 +272,17 @@ func cmdPack(args []string) error {
 	games := fs.String("games", "", "comma-separated game names or ids")
 	requests := fs.Int("requests", 5000, "gaming requests to pack")
 	maxSize := fs.Int("max-size", 4, "maximum colocation size")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, pprof, and /debug/traces on this address during packing")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after packing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *games == "" {
 		return fmt.Errorf("pack: -games is required")
+	}
+	reg, tracer, stopMetrics, err := startMetrics(*metricsAddr, *catalogSeed)
+	if err != nil {
+		return err
 	}
 	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
 	if err != nil {
@@ -275,11 +292,15 @@ func cmdPack(args []string) error {
 	if err != nil {
 		return err
 	}
+	p.EnableMetrics(reg)
 	ids, err := resolveGames(lab, *games)
 	if err != nil {
 		return err
 	}
 
+	tctx := tracer.StartTrace("pack",
+		trace.Int("games", len(ids)), trace.Int("requests", *requests))
+	sp := tctx.StartSpan("filter-feasible")
 	subsets := sched.EnumerateSubsets(ids, *maxSize)
 	var feasible []sched.ColocSet
 	for _, s := range subsets {
@@ -287,14 +308,19 @@ func cmdPack(args []string) error {
 			feasible = append(feasible, s)
 		}
 	}
+	sp.End(trace.Int("candidates", len(subsets)), trace.Int("feasible", len(feasible)))
+	sp = tctx.StartSpan("pack-requests")
 	demand := sched.SpreadRequests(ids, *requests, nil)
 	res := sched.PackRequests(feasible, demand)
+	sp.End(trace.Int("servers", res.NumServers()))
+	tctx.End()
 	fmt.Printf("games=%d candidate colocations=%d judged feasible=%d\n", len(ids), len(subsets), len(feasible))
 	fmt.Printf("packed %d requests onto %d servers (no-colocation policy would use %d)\n",
 		*requests, res.NumServers(), *requests)
 	if res.Unplaceable > 0 {
 		fmt.Printf("%d requests had no feasible colocation and run on dedicated servers\n", res.Unplaceable)
 	}
+	stopMetrics(*metricsHold)
 	return nil
 }
 
@@ -308,11 +334,17 @@ func cmdDispatch(args []string) error {
 	requests := fs.Int("requests", 5000, "gaming requests to dispatch")
 	servers := fs.Int("servers", 2000, "fleet size")
 	compare := fs.Bool("compare", false, "also dispatch with Sigmoid, SMiTe, and worst-fit VBP")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, pprof, and /debug/traces on this address during dispatch")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after dispatch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *games == "" {
 		return fmt.Errorf("dispatch: -games is required")
+	}
+	reg, tracer, stopMetrics, err := startMetrics(*metricsAddr, *catalogSeed)
+	if err != nil {
+		return err
 	}
 	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
 	if err != nil {
@@ -322,6 +354,7 @@ func cmdDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	p.EnableMetrics(reg)
 	ids, err := resolveGames(lab, *games)
 	if err != nil {
 		return err
@@ -348,12 +381,16 @@ func cmdDispatch(args []string) error {
 	}
 
 	run := func(name string, sc sched.Scorer) error {
+		tctx := tracer.StartTrace("dispatch",
+			trace.String("scorer", name), trace.Int("requests", len(stream)))
 		d := &sched.Dispatcher{NumServers: *servers, MaxPerServer: 4, Score: sc}
 		fleet, err := d.Assign(stream)
 		if err != nil {
+			tctx.End(trace.String("outcome", "error"))
 			return err
 		}
 		fps := sched.EvaluateFleet(lab, fleet)
+		tctx.End(trace.Int("servers", len(fleet)), trace.Float("avg_fps", stats.Mean(fps)))
 		fmt.Printf("%-12s avg FPS %6.1f  (p10 %.1f, p50 %.1f, p90 %.1f) on %d servers\n",
 			name, stats.Mean(fps), pctl(fps, 0.1), pctl(fps, 0.5), pctl(fps, 0.9), len(fleet))
 		return nil
@@ -393,6 +430,7 @@ func cmdDispatch(args []string) error {
 		fmt.Printf("%-12s avg FPS %6.1f  (p10 %.1f, p50 %.1f, p90 %.1f) on %d servers\n",
 			"VBP", stats.Mean(fps), pctl(fps, 0.1), pctl(fps, 0.5), pctl(fps, 0.9), len(fleet))
 	}
+	stopMetrics(*metricsHold)
 	return nil
 }
 

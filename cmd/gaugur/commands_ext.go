@@ -33,7 +33,7 @@ func cmdChurn(args []string) error {
 	if *games == "" {
 		return fmt.Errorf("churn: -games is required")
 	}
-	reg, stopMetrics, err := startMetrics(*metricsAddr)
+	reg, tracer, stopMetrics, err := startMetrics(*metricsAddr, *seed)
 	if err != nil {
 		return err
 	}
@@ -62,6 +62,13 @@ func cmdChurn(args []string) error {
 
 	p.EnableMetrics(reg)
 	const maxPer = 4
+	// Audit the model's placement-time predictions against what each
+	// session actually receives, but only on the model-driven run: the
+	// least-loaded baseline never consults the predictor.
+	var aud *core.Auditor
+	if reg != nil {
+		aud = core.NewAuditor(nil, p, p.QoS, core.AuditorConfig{Metrics: reg})
+	}
 	cfg := sched.OnlineConfig{
 		NumServers:   *servers,
 		MaxPerServer: maxPer,
@@ -71,9 +78,14 @@ func cmdChurn(args []string) error {
 		GameIDs:      ids,
 		Seed:         *seed,
 		Metrics:      reg,
+		Tracer:       tracer,
 	}
-	run := func(name string, pol sched.PlacementPolicy) error {
-		res, err := sched.RunOnline(cfg, pol, eval, p.QoS)
+	run := func(name string, pol sched.PlacementPolicy, audited bool) error {
+		c := cfg
+		if audited && aud != nil {
+			c.Audit = aud
+		}
+		res, err := sched.RunOnline(c, pol, eval, p.QoS)
 		if err != nil {
 			return err
 		}
@@ -83,10 +95,10 @@ func cmdChurn(args []string) error {
 	}
 	fmt.Printf("%d sessions onto %d servers at %.0f%% target load (QoS %.0f FPS)\n",
 		*sessions, *servers, 100**load, p.QoS)
-	if err := run("GAugur greedy", sched.GreedyPolicy(score, maxPer)); err != nil {
+	if err := run("GAugur greedy", sched.GreedyPolicyTraced(score, maxPer, tracer), true); err != nil {
 		return err
 	}
-	if err := run("least-loaded", sched.LeastLoadedPolicy(maxPer)); err != nil {
+	if err := run("least-loaded", sched.LeastLoadedPolicy(maxPer), false); err != nil {
 		return err
 	}
 	if reg != nil {
@@ -95,9 +107,24 @@ func cmdChurn(args []string) error {
 			snap.Counters["gaugur_sched_placements_total"],
 			snap.Counters["gaugur_predict_total"],
 			snap.Histograms["gaugur_sched_place_seconds"].Count)
+		printQuality(aud)
 	}
 	stopMetrics(*metricsHold)
 	return nil
+}
+
+// printQuality renders the audit monitor's rolling model-quality state.
+func printQuality(aud *core.Auditor) {
+	if aud == nil {
+		return
+	}
+	s := aud.Summary()
+	state := "quiet"
+	if s.Drifting {
+		state = "DRIFTING"
+	}
+	fmt.Printf("quality: %d/%d predictions resolved  RM MAE %.2f FPS  CM accuracy %.3f  false-QoS-pass %.3f  drift %s (%d alarms)\n",
+		s.Resolved, s.Placed, s.RMMAE, s.CMAccuracy, s.FalseQoSPassRate, state, s.DriftAlarms)
 }
 
 // cmdOnboard demonstrates collaborative-filtering onboarding: it profiles a

@@ -39,7 +39,7 @@ func cmdFaults(args []string) error {
 	if *games == "" {
 		return fmt.Errorf("faults: -games is required")
 	}
-	reg, stopMetrics, err := startMetrics(*metricsAddr)
+	reg, tracer, stopMetrics, err := startMetrics(*metricsAddr, *seed)
 	if err != nil {
 		return err
 	}
@@ -104,16 +104,27 @@ func cmdFaults(args []string) error {
 	// The greedy scorer runs through the fallback chain so the dropout
 	// windows exercise graceful degradation.
 	p.EnableMetrics(reg)
-	fb := core.NewFallbackPredictor(p, lab.Profiles, p.QoS, core.BreakerConfig{}).EnableMetrics(reg)
+	fb := core.NewFallbackPredictor(p, lab.Profiles, p.QoS, core.BreakerConfig{}).
+		EnableMetrics(reg).EnableTracing(tracer)
 	score := func(g []int) float64 { return fb.PredictTotalFPS(toColoc(g)) }
+	// Audit through the fallback chain so records carry the serving stage;
+	// attached only to the first (model-driven, migrating) run.
+	var aud *core.Auditor
+	if reg != nil {
+		aud = core.NewAuditor(fb, p, p.QoS, core.AuditorConfig{Metrics: reg})
+	}
 
-	run := func(name string, pol sched.PlacementPolicy, migrate bool) error {
+	run := func(name string, pol sched.PlacementPolicy, migrate, audited bool) error {
 		cfg := base
 		cfg.Faults = faults
 		cfg.SpikeEval = spikeEval
 		cfg.DisableMigration = !migrate
 		cfg.OnOutage = fb.ReportOutage
 		cfg.Metrics = reg
+		cfg.Tracer = tracer
+		if audited && aud != nil {
+			cfg.Audit = aud
+		}
 		if migrate {
 			cfg.WatchdogWindow = *watchdog
 		}
@@ -126,13 +137,13 @@ func cmdFaults(args []string) error {
 		return nil
 	}
 
-	if err := run("GAugur greedy + migration", sched.GreedyPolicy(score, maxPer), true); err != nil {
+	if err := run("GAugur greedy + migration", sched.GreedyPolicyTraced(score, maxPer, tracer), true, true); err != nil {
 		return err
 	}
-	if err := run("GAugur greedy, no migration", sched.GreedyPolicy(score, maxPer), false); err != nil {
+	if err := run("GAugur greedy, no migration", sched.GreedyPolicyTraced(score, maxPer, tracer), false, false); err != nil {
 		return err
 	}
-	if err := run("least-loaded + migration", sched.LeastLoadedPolicy(maxPer), true); err != nil {
+	if err := run("least-loaded + migration", sched.LeastLoadedPolicy(maxPer), true, false); err != nil {
 		return err
 	}
 	fmt.Printf("fallback chain: %d queries served by the model, %d by the capacity stage\n",
@@ -143,6 +154,7 @@ func cmdFaults(args []string) error {
 			snap.Counters["gaugur_sched_migrations_total"],
 			snap.Counters["gaugur_sched_crashes_total"],
 			snap.Counters[`gaugur_fallback_breaker_transitions_total{stage="model"}`])
+		printQuality(aud)
 	}
 	stopMetrics(*metricsHold)
 	return nil

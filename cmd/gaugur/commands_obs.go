@@ -4,34 +4,45 @@ import (
 	"fmt"
 	"time"
 
+	"gaugur/internal/core"
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/sched"
 	"gaugur/internal/sim"
 )
 
 // startMetrics starts the runtime observability endpoint when addr is
 // non-empty: /metrics (Prometheus), /metrics.json, /debug/vars (expvar),
-// and /debug/pprof. It returns the registry to instrument with (nil when
-// disabled) and a stop function that optionally holds the endpoint open
-// before shutting down.
-func startMetrics(addr string) (*obs.Registry, func(hold time.Duration), error) {
+// /debug/pprof, and /debug/traces. It returns the registry and tracer to
+// instrument with (both nil when disabled) and a stop function that
+// optionally holds the endpoint open before draining it gracefully. The
+// tracer's ID stream derives from the command's simulation seed so a rerun
+// names its traces identically.
+func startMetrics(addr string, seed int64) (*obs.Registry, *trace.Tracer, func(hold time.Duration), error) {
 	if addr == "" {
-		return nil, func(time.Duration) {}, nil
+		return nil, nil, func(time.Duration) {}, nil
 	}
 	reg := obs.New()
-	srv, err := obs.StartServer(addr, reg)
+	tracer := trace.New(trace.Config{Seed: sim.DeriveSeed(seed, "trace", 0)})
+	th := trace.Handler(tracer.Store())
+	srv, err := obs.StartServer(addr, reg,
+		obs.Mount{Pattern: "/debug/traces", Handler: th},
+		obs.Mount{Pattern: "/debug/traces/", Handler: th},
+	)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	fmt.Printf("metrics: serving /metrics /metrics.json /debug/vars /debug/pprof on http://%s\n", srv.Addr())
+	fmt.Printf("metrics: serving /metrics /metrics.json /debug/vars /debug/pprof /debug/traces on http://%s\n", srv.Addr())
 	stop := func(hold time.Duration) {
 		if hold > 0 {
 			fmt.Printf("metrics: holding endpoint open for %s\n", hold)
 			time.Sleep(hold)
 		}
-		srv.Close()
+		// Graceful drain with a bounded wait; Shutdown falls back to a hard
+		// Close internally if scrapes are still in flight at the deadline.
+		_ = srv.Shutdown(2 * time.Second)
 	}
-	return reg, stop, nil
+	return reg, tracer, stop, nil
 }
 
 // demoEval is the synthetic ground truth serve-metrics drives: each session
@@ -74,7 +85,7 @@ func cmdServeMetrics(args []string) error {
 		return err
 	}
 
-	reg, stop, err := startMetrics(*addr)
+	reg, tracer, stop, err := startMetrics(*addr, *seed)
 	if err != nil {
 		return err
 	}
@@ -86,6 +97,12 @@ func cmdServeMetrics(args []string) error {
 		}
 		return s
 	}
+	// Audit the demo predictor against the demo substrate so the quality
+	// gauges and /debug/traces have live data too.
+	aud := core.NewAuditorFunc(func(games []int, idx int) (float64, bool) {
+		fps := demoEval(games)[idx]
+		return fps, fps >= 60
+	}, 60, core.AuditorConfig{Metrics: reg})
 	const maxPer = 4
 	for round := 0; round < *rounds; round++ {
 		cfg := sched.OnlineConfig{
@@ -97,6 +114,8 @@ func cmdServeMetrics(args []string) error {
 			GameIDs:      []int{0, 1, 2, 3, 4, 5, 6},
 			Seed:         *seed + int64(round),
 			Metrics:      reg,
+			Tracer:       tracer,
+			Audit:        aud,
 			SpikeEval:    demoSpikeEval,
 			Faults: sim.GenerateFaults(sim.FaultConfig{
 				Seed:       *seed + 100 + int64(round),
@@ -108,7 +127,7 @@ func cmdServeMetrics(args []string) error {
 			WatchdogWindow:  1,
 			ShedUtilization: 0.97,
 		}
-		res, err := sched.RunOnline(cfg, sched.GreedyPolicy(score, maxPer), demoEval, 60)
+		res, err := sched.RunOnline(cfg, sched.GreedyPolicyTraced(score, maxPer, tracer), demoEval, 60)
 		if err != nil {
 			return err
 		}
@@ -121,6 +140,11 @@ func cmdServeMetrics(args []string) error {
 		snap.Counters["gaugur_sched_migrations_total"],
 		snap.Counters["gaugur_sched_crashes_total"],
 		snap.Histograms["gaugur_sched_place_seconds"].Count)
+	if tracer != nil {
+		fmt.Printf("traces: %d retained (%d recorded), audit: %d resolved, rolling MAE %.2f FPS\n",
+			tracer.Store().Len(), tracer.Store().Total(),
+			aud.Summary().Resolved, aud.Summary().RMMAE)
+	}
 	stop(*hold)
 	return nil
 }

@@ -31,21 +31,24 @@ func captureStdout(t *testing.T, fn func() error) string {
 }
 
 // TestStartMetricsDisabled proves an empty address keeps observability off:
-// nil registry, working no-op stop.
+// nil registry, nil tracer, working no-op stop.
 func TestStartMetricsDisabled(t *testing.T) {
-	reg, stop, err := startMetrics("")
+	reg, tracer, stop, err := startMetrics("", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if reg != nil {
 		t.Error("empty address must return a nil registry")
 	}
+	if tracer != nil {
+		t.Error("empty address must return a nil tracer")
+	}
 	stop(0) // must not panic
 }
 
 // TestStartMetricsBadAddr proves a malformed listen address is reported.
 func TestStartMetricsBadAddr(t *testing.T) {
-	if _, _, err := startMetrics("definitely:not:an:addr"); err == nil {
+	if _, _, _, err := startMetrics("definitely:not:an:addr", 1); err == nil {
 		t.Error("expected listen error for malformed address")
 	}
 }
@@ -86,6 +89,50 @@ func TestServeMetricsZeroRounds(t *testing.T) {
 	})
 	if !bytes.Contains([]byte(out), []byte("registry: 0 placements")) {
 		t.Errorf("idle run should report an empty registry:\n%s", out)
+	}
+}
+
+// TestTraceCommand runs the self-contained trace dump: traces listed, span
+// trees expanded, quality summary printed, and the Chrome export written.
+func TestTraceCommand(t *testing.T) {
+	chrome := filepath.Join(t.TempDir(), "trace.json")
+	out := captureStdout(t, func() error {
+		return cmdTrace([]string{
+			"-servers", "10",
+			"-sessions", "200",
+			"-n", "5",
+			"-spans", "1",
+			"-chrome", chrome,
+		})
+	})
+	for _, frag := range []string{
+		"traces: ",
+		"placement",
+		"score-candidates",
+		"quality: ",
+		"drift quiet",
+	} {
+		if !bytes.Contains([]byte(out), []byte(frag)) {
+			t.Errorf("trace output missing %q:\n%s", frag, out)
+		}
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"traceEvents"`)) {
+		t.Errorf("chrome export missing traceEvents array:\n%.200s", data)
+	}
+}
+
+// TestTraceCommandPerturbed proves the demo drift alarm fires when the
+// substrate is skewed away from the demo predictor.
+func TestTraceCommandPerturbed(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdTrace([]string{"-servers", "10", "-sessions", "200", "-spans", "0", "-perturb", "0.6"})
+	})
+	if !bytes.Contains([]byte(out), []byte("drift DRIFTING")) {
+		t.Errorf("perturbed trace run did not report drift:\n%s", out)
 	}
 }
 

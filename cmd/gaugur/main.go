@@ -47,6 +47,8 @@ func main() {
 		err = cmdOnboard(args)
 	case "serve-metrics":
 		err = cmdServeMetrics(args)
+	case "trace":
+		err = cmdTrace(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -72,10 +74,12 @@ commands:
   onboard   profile a new game cheaply via probes + matrix completion
 
   serve-metrics  run an instrumented demo workload and serve /metrics,
-                 /metrics.json, expvar, and pprof over HTTP
+                 /metrics.json, expvar, pprof, and /debug/traces over HTTP
+  trace          drive a traced + audited demo workload and dump recent
+                 decision traces plus the model-quality summary
 
-churn, faults, and profile accept -metrics-addr to expose the same
-endpoint live during a real run.
+profile, train, pack, dispatch, churn, and faults accept -metrics-addr to
+expose the same endpoint (metrics + traces) live during a real run.
 
 run "gaugur <command> -h" for the command's flags`)
 }

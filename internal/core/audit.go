@@ -1,0 +1,494 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"gaugur/internal/obs"
+)
+
+// Prediction audit log + online model-quality monitor. Every placement the
+// dispatcher makes rests on a model prediction; this file closes the loop
+// by recording what was predicted at decision time and resolving it against
+// what the session actually got. The rolling comparison is the online
+// drift detector: when the serving-time error distribution drifts away
+// from the offline evaluation (a perturbed fleet, stale profiles, a bad
+// model push), the alarm fires long before an offline re-evaluation would
+// notice. The Auditor implements sched.AuditSink structurally — sched
+// defines the interface, core supplies the model-aware implementation.
+
+// AuditOutcome labels the lifecycle terminal state of an audit record.
+type AuditOutcome string
+
+const (
+	// AuditPending marks a record still awaiting ground truth.
+	AuditPending AuditOutcome = "pending"
+	// AuditResolved marks a record matched against an observed frame rate.
+	AuditResolved AuditOutcome = "resolved"
+	// AuditDropped marks a session lost to faults before any observation.
+	AuditDropped AuditOutcome = "dropped"
+	// AuditSuperseded marks a record replaced by a re-placement (migration)
+	// of the same session; only the newest placement is resolved.
+	AuditSuperseded AuditOutcome = "superseded"
+	// AuditEvicted marks a pending record pushed out of the bounded ring
+	// before its session departed.
+	AuditEvicted AuditOutcome = "evicted"
+)
+
+// AuditRecord is one placement-time prediction and, once resolved, its
+// ground truth.
+type AuditRecord struct {
+	// Session and Game identify the placed session.
+	Session int
+	Game    int
+	// Games is the server's post-placement colocation (sorted game IDs).
+	Games []int
+	// FeaturesDigest fingerprints the RM input vector the prediction was
+	// made from (FNV-1a over the raw float bits; 0 when no model ran), so
+	// identical states can be grouped without storing the vector.
+	FeaturesDigest uint64
+	// ModelVersion is the predictor serialization version (PredictorVersion).
+	ModelVersion int
+	// Stage names the fallback stage that answered ("model", "capacity");
+	// "direct" when auditing a bare Predictor.
+	Stage string
+	// PredictedFPS and PredictedOK are the decision-time answers: the RM
+	// frame-rate estimate and the QoS feasibility call.
+	PredictedFPS float64
+	PredictedOK  bool
+	// ObservedFPS is the frame rate observed while the recorded colocation
+	// was still running (resolved records only) — see sched.AuditSink.
+	ObservedFPS float64
+	// Outcome is the record's lifecycle state.
+	Outcome AuditOutcome
+}
+
+// AuditorConfig tunes the audit log and quality monitor.
+type AuditorConfig struct {
+	// Capacity bounds the record ring; <= 0 defaults to 1024. Pending
+	// records evicted by the ring count as expired, never resolved.
+	Capacity int
+	// Window is the rolling quality window in resolved records; <= 0
+	// defaults to 256.
+	Window int
+	// MinResolved is how many resolved records the window needs before the
+	// drift alarm may fire; <= 0 defaults to 16.
+	MinResolved int
+	// MAEThreshold is the rolling RM mean-absolute-error (in FPS) above
+	// which the drift alarm trips; <= 0 defaults to 10. The alarm clears
+	// with hysteresis at 0.8x the threshold.
+	MAEThreshold float64
+	// Metrics, when non-nil, publishes the quality gauges, lifecycle
+	// counters, and the calibration histogram.
+	Metrics *obs.Registry
+}
+
+func (c AuditorConfig) withDefaults() AuditorConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.MinResolved <= 0 {
+		c.MinResolved = 16
+	}
+	if c.MAEThreshold <= 0 {
+		c.MAEThreshold = 10
+	}
+	return c
+}
+
+// calibrationBuckets bound the observed/predicted FPS ratio histogram:
+// dense around the perfect-calibration ratio of 1.
+var calibrationBuckets = []float64{0.5, 0.8, 0.9, 0.95, 1, 1.05, 1.1, 1.25, 2}
+
+// rollingMean is an O(1) fixed-window running mean.
+type rollingMean struct {
+	buf  []float64
+	head int
+	n    int
+	sum  float64
+}
+
+func newRollingMean(window int) *rollingMean {
+	return &rollingMean{buf: make([]float64, window)}
+}
+
+func (r *rollingMean) add(v float64) {
+	if r.n == len(r.buf) {
+		r.sum -= r.buf[r.head]
+	} else {
+		r.n++
+	}
+	r.buf[r.head] = v
+	r.sum += v
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+func (r *rollingMean) mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+func (r *rollingMean) count() int { return r.n }
+
+// auditPredictFn answers a placement-time prediction for the session at
+// index idx of the colocation: estimated FPS, the QoS feasibility call, the
+// serving stage name, and the feature digest (0 if unavailable).
+type auditPredictFn func(games []int, idx int) (fps float64, ok bool, stage string, digest uint64)
+
+// auditMetrics holds the optional registry instruments (nil when disabled).
+type auditMetrics struct {
+	placed, resolved, dropped, superseded, evicted, unmatched, alarms *obs.Counter
+	pending, mae, accuracy, falsePass, drifting                       *obs.Gauge
+	calibration                                                       *obs.Histogram
+}
+
+// Auditor is the bounded prediction audit log plus rolling model-quality
+// monitor. Safe for concurrent use (the serving loop writes, HTTP and CLI
+// readers poll Summary). All methods are nil-safe, so wiring is opt-in:
+//
+//	var aud *core.Auditor            // disabled
+//	cfg.Audit = core.NewAuditor(...) // enabled
+type Auditor struct {
+	mu      sync.Mutex
+	predict auditPredictFn
+	qos     float64
+	cfg     AuditorConfig
+
+	// ring of records, all outcomes; bySession points at the pending
+	// record of each live session.
+	ring      []*AuditRecord
+	head      int
+	size      int
+	bySession map[int]*AuditRecord
+
+	// lifecycle tallies (mirror the ring, which forgets old records).
+	placed, resolved, dropped, superseded, evicted, unmatched int64
+
+	// rolling quality state over resolved records.
+	absErr    *rollingMean // |predicted - observed| FPS
+	correct   *rollingMean // 1 when the QoS call matched reality
+	falsePass *rollingMean // 1 when predicted-OK but observed < QoS
+	drifting  bool
+	alarms    int64
+
+	met auditMetrics
+}
+
+// NewAuditor builds an auditor over the serving predictor. When fb is
+// non-nil, predictions flow through the fallback chain (recording which
+// stage answered); otherwise p answers directly. p additionally supplies
+// the CM feasibility call and the feature digest when present. qos is the
+// frame-rate floor observations are judged against.
+func NewAuditor(fb *FallbackPredictor, p *Predictor, qos float64, cfg AuditorConfig) *Auditor {
+	predict := func(games []int, idx int) (float64, bool, string, uint64) {
+		c := colocationOf(games)
+		var digest uint64
+		if p != nil && p.Profiles != nil && len(c) > 1 {
+			m := p.members(c)
+			target := m[idx]
+			others := append(m[:idx:idx], m[idx+1:]...)
+			digest = featureDigest(p.Enc.RM(target, others))
+		}
+		if fb != nil {
+			fps, stage, err := fb.PredictFPS(c, idx)
+			ok := fps >= qos
+			if err != nil {
+				stage = "none"
+				ok = false
+			} else if p != nil && p.CM != nil && stage == "model" {
+				ok = p.SatisfiesQoS(c, idx)
+			}
+			return fps, ok, stage, digest
+		}
+		fps := p.PredictFPS(c, idx)
+		ok := fps >= qos
+		if p.CM != nil {
+			ok = p.SatisfiesQoS(c, idx)
+		}
+		return fps, ok, "direct", digest
+	}
+	return newAuditor(predict, qos, cfg)
+}
+
+// NewAuditorFunc builds an auditor over a bare prediction function — the
+// hook tests and custom serving stacks use. predict answers the estimated
+// FPS and QoS call for the session at index idx of the colocation.
+func NewAuditorFunc(predict func(games []int, idx int) (fps float64, ok bool), qos float64, cfg AuditorConfig) *Auditor {
+	return newAuditor(func(games []int, idx int) (float64, bool, string, uint64) {
+		fps, ok := predict(games, idx)
+		return fps, ok, "direct", 0
+	}, qos, cfg)
+}
+
+func newAuditor(predict auditPredictFn, qos float64, cfg AuditorConfig) *Auditor {
+	cfg = cfg.withDefaults()
+	a := &Auditor{
+		predict:   predict,
+		qos:       qos,
+		cfg:       cfg,
+		ring:      make([]*AuditRecord, cfg.Capacity),
+		bySession: make(map[int]*AuditRecord),
+		absErr:    newRollingMean(cfg.Window),
+		correct:   newRollingMean(cfg.Window),
+		falsePass: newRollingMean(cfg.Window),
+	}
+	if r := cfg.Metrics; r != nil {
+		a.met = auditMetrics{
+			placed:     r.Counter("gaugur_audit_placed_total", "placement predictions recorded"),
+			resolved:   r.Counter("gaugur_audit_resolved_total", "audit records resolved against observed FPS"),
+			dropped:    r.Counter("gaugur_audit_dropped_total", "audited sessions lost to faults before observation"),
+			superseded: r.Counter("gaugur_audit_superseded_total", "audit records replaced by a re-placement"),
+			evicted:    r.Counter("gaugur_audit_evicted_total", "pending audit records evicted by the bounded ring"),
+			unmatched:  r.Counter("gaugur_audit_unmatched_total", "observations with no pending audit record"),
+			alarms:     r.Counter("gaugur_quality_drift_alarms_total", "rising edges of the model-drift alarm"),
+			pending:    r.Gauge("gaugur_audit_pending", "audit records awaiting ground truth"),
+			mae:        r.Gauge("gaugur_quality_rm_mae", "rolling mean absolute FPS error of resolved predictions"),
+			accuracy:   r.Gauge("gaugur_quality_cm_accuracy", "rolling accuracy of the QoS feasibility call"),
+			falsePass:  r.Gauge("gaugur_quality_false_qos_pass_rate", "rolling rate of predicted-OK sessions observed below QoS"),
+			drifting:   r.Gauge("gaugur_quality_drift", "1 while the rolling RM MAE exceeds the drift threshold"),
+			calibration: r.Histogram("gaugur_quality_calibration", calibrationBuckets,
+				"observed/predicted FPS ratio of resolved predictions (1 = perfectly calibrated)"),
+		}
+	}
+	return a
+}
+
+// colocationOf builds the reference-resolution colocation for a game list.
+func colocationOf(games []int) Colocation {
+	c := make(Colocation, len(games))
+	for i, g := range games {
+		c[i] = Workload{GameID: g, Res: ReferenceResolution}
+	}
+	return c
+}
+
+// featureDigest fingerprints a model input vector: FNV-1a over the raw
+// IEEE-754 bits, so equal vectors always collide and nothing is stored.
+func featureDigest(x []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// indexOf finds the target game's position in the sorted colocation. When
+// the game appears multiple times any copy is equivalent (same features).
+func indexOf(games []int, game int) int {
+	for i, g := range games {
+		if g == game {
+			return i
+		}
+	}
+	return 0
+}
+
+// Placed implements sched.AuditSink: record the placement-time prediction.
+func (a *Auditor) Placed(sid, game int, games []int) {
+	if a == nil {
+		return
+	}
+	gamesCopy := append([]int(nil), games...)
+	fps, ok, stage, digest := a.predict(gamesCopy, indexOf(gamesCopy, game))
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, live := a.bySession[sid]; live {
+		// A migration re-placed the session: only the newest placement
+		// will be resolved.
+		prev.Outcome = AuditSuperseded
+		a.superseded++
+		a.met.superseded.Inc()
+	}
+	rec := &AuditRecord{
+		Session:        sid,
+		Game:           game,
+		Games:          gamesCopy,
+		FeaturesDigest: digest,
+		ModelVersion:   PredictorVersion,
+		Stage:          stage,
+		PredictedFPS:   fps,
+		PredictedOK:    ok,
+		Outcome:        AuditPending,
+	}
+	if old := a.ring[a.head]; old != nil && old.Outcome == AuditPending {
+		old.Outcome = AuditEvicted
+		delete(a.bySession, old.Session)
+		a.evicted++
+		a.met.evicted.Inc()
+	}
+	a.ring[a.head] = rec
+	a.head = (a.head + 1) % len(a.ring)
+	if a.size < len(a.ring) {
+		a.size++
+	}
+	a.bySession[sid] = rec
+	a.placed++
+	a.met.placed.Inc()
+	a.met.pending.Set(float64(len(a.bySession)))
+}
+
+// Observed implements sched.AuditSink: resolve the pending record against
+// the frame rate observed under the recorded colocation and fold the
+// result into the rolling quality windows.
+func (a *Auditor) Observed(sid int, fps float64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec, live := a.bySession[sid]
+	if !live {
+		a.unmatched++
+		a.met.unmatched.Inc()
+		return
+	}
+	delete(a.bySession, sid)
+	rec.ObservedFPS = fps
+	rec.Outcome = AuditResolved
+	a.resolved++
+	a.met.resolved.Inc()
+	a.met.pending.Set(float64(len(a.bySession)))
+
+	a.absErr.add(math.Abs(rec.PredictedFPS - fps))
+	hit := 0.0
+	if rec.PredictedOK == (fps >= a.qos) {
+		hit = 1
+	}
+	a.correct.add(hit)
+	fp := 0.0
+	if rec.PredictedOK && fps < a.qos {
+		fp = 1
+	}
+	a.falsePass.add(fp)
+	if rec.PredictedFPS > 0 {
+		a.met.calibration.Observe(fps / rec.PredictedFPS)
+	}
+	a.met.mae.Set(a.absErr.mean())
+	a.met.accuracy.Set(a.correct.mean())
+	a.met.falsePass.Set(a.falsePass.mean())
+	a.updateDrift()
+}
+
+// Dropped implements sched.AuditSink: the session was lost to faults, no
+// observation will arrive.
+func (a *Auditor) Dropped(sid int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec, live := a.bySession[sid]
+	if !live {
+		return
+	}
+	delete(a.bySession, sid)
+	rec.Outcome = AuditDropped
+	a.dropped++
+	a.met.dropped.Inc()
+	a.met.pending.Set(float64(len(a.bySession)))
+}
+
+// updateDrift applies the hysteresis alarm: trip when the rolling MAE
+// crosses the threshold with enough resolved evidence, clear only once it
+// falls back below 0.8x the threshold. Callers hold a.mu.
+func (a *Auditor) updateDrift() {
+	if a.absErr.count() < a.cfg.MinResolved {
+		return
+	}
+	mae := a.absErr.mean()
+	switch {
+	case !a.drifting && mae > a.cfg.MAEThreshold:
+		a.drifting = true
+		a.alarms++
+		a.met.alarms.Inc()
+		a.met.drifting.Set(1)
+	case a.drifting && mae < 0.8*a.cfg.MAEThreshold:
+		a.drifting = false
+		a.met.drifting.Set(0)
+	}
+}
+
+// Drifting reports whether the drift alarm is currently raised.
+func (a *Auditor) Drifting() bool {
+	if a == nil {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.drifting
+}
+
+// Recent returns up to n retained audit records, newest first (all retained
+// records when n <= 0). Records are copies; Games slices are shared but
+// never mutated after creation.
+func (a *Auditor) Recent(n int) []AuditRecord {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n <= 0 || n > a.size {
+		n = a.size
+	}
+	out := make([]AuditRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (a.head - 1 - i + len(a.ring)) % len(a.ring)
+		out = append(out, *a.ring[idx])
+	}
+	return out
+}
+
+// QualitySummary is the monitor's reportable state.
+type QualitySummary struct {
+	// Lifecycle tallies since construction (not bounded by the ring).
+	Placed, Resolved, Dropped, Superseded, Evicted, Unmatched int64
+	// Pending counts records still awaiting ground truth.
+	Pending int
+	// RMMAE is the rolling mean absolute FPS error, CMAccuracy the rolling
+	// QoS-call accuracy, FalseQoSPassRate the rolling rate of predicted-OK
+	// sessions observed below the floor — all over WindowResolved records.
+	RMMAE            float64
+	CMAccuracy       float64
+	FalseQoSPassRate float64
+	WindowResolved   int
+	// Drifting and DriftAlarms describe the hysteresis alarm.
+	Drifting    bool
+	DriftAlarms int64
+	// ModelVersion stamps which predictor generation is being audited.
+	ModelVersion int
+}
+
+// Summary snapshots the quality monitor (zero value on a nil auditor).
+func (a *Auditor) Summary() QualitySummary {
+	if a == nil {
+		return QualitySummary{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return QualitySummary{
+		Placed:           a.placed,
+		Resolved:         a.resolved,
+		Dropped:          a.dropped,
+		Superseded:       a.superseded,
+		Evicted:          a.evicted,
+		Unmatched:        a.unmatched,
+		Pending:          len(a.bySession),
+		RMMAE:            a.absErr.mean(),
+		CMAccuracy:       a.correct.mean(),
+		FalseQoSPassRate: a.falsePass.mean(),
+		WindowResolved:   a.absErr.count(),
+		Drifting:         a.drifting,
+		DriftAlarms:      a.alarms,
+		ModelVersion:     PredictorVersion,
+	}
+}

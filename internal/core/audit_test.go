@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gaugur/internal/obs"
+)
+
+func TestAuditorLifecycle(t *testing.T) {
+	reg := obs.New()
+	aud := NewAuditorFunc(func(games []int, idx int) (float64, bool) {
+		return 60, true
+	}, 55, AuditorConfig{Capacity: 16, Window: 8, Metrics: reg})
+
+	// Place three sessions, resolve one, drop one, supersede one.
+	aud.Placed(0, 3, []int{3, 5})
+	aud.Placed(1, 5, []int{3, 5})
+	aud.Placed(2, 7, []int{7})
+	aud.Observed(0, 58)           // accurate: |60-58| = 2, QoS call correct
+	aud.Dropped(1)                // lost to a fault
+	aud.Placed(2, 7, []int{2, 7}) // migration supersedes
+	aud.Observed(2, 40)           // QoS miss the model called OK
+	aud.Observed(99, 50)          // no record
+
+	s := aud.Summary()
+	if s.Placed != 4 || s.Resolved != 2 || s.Dropped != 1 || s.Superseded != 1 || s.Unmatched != 1 {
+		t.Fatalf("summary tallies = %+v", s)
+	}
+	if s.Pending != 0 {
+		t.Errorf("pending = %d, want 0", s.Pending)
+	}
+	if want := (2.0 + 20.0) / 2; math.Abs(s.RMMAE-want) > 1e-12 {
+		t.Errorf("RMMAE = %v, want %v", s.RMMAE, want)
+	}
+	if s.CMAccuracy != 0.5 {
+		t.Errorf("CMAccuracy = %v, want 0.5", s.CMAccuracy)
+	}
+	if s.FalseQoSPassRate != 0.5 {
+		t.Errorf("FalseQoSPassRate = %v, want 0.5", s.FalseQoSPassRate)
+	}
+	if s.ModelVersion != PredictorVersion {
+		t.Errorf("ModelVersion = %d", s.ModelVersion)
+	}
+
+	recent := aud.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent = %d records, want 4", len(recent))
+	}
+	// Newest first: the re-placement of session 2.
+	if recent[0].Session != 2 || recent[0].Outcome != AuditResolved || recent[0].ObservedFPS != 40 {
+		t.Errorf("newest record = %+v", recent[0])
+	}
+	outcomes := map[AuditOutcome]int{}
+	for _, r := range recent {
+		outcomes[r.Outcome]++
+	}
+	if outcomes[AuditResolved] != 2 || outcomes[AuditDropped] != 1 || outcomes[AuditSuperseded] != 1 {
+		t.Errorf("outcomes = %v", outcomes)
+	}
+
+	// Metrics mirror the tallies.
+	snap := reg.Snapshot()
+	if snap.Counters["gaugur_audit_placed_total"] != 4 ||
+		snap.Counters["gaugur_audit_resolved_total"] != 2 ||
+		snap.Counters["gaugur_audit_unmatched_total"] != 1 {
+		t.Errorf("audit counters = %v", snap.Counters)
+	}
+	if snap.Gauges["gaugur_quality_rm_mae"] != s.RMMAE {
+		t.Errorf("mae gauge = %v, want %v", snap.Gauges["gaugur_quality_rm_mae"], s.RMMAE)
+	}
+	if snap.Histograms["gaugur_quality_calibration"].Count != 2 {
+		t.Errorf("calibration observations = %d, want 2", snap.Histograms["gaugur_quality_calibration"].Count)
+	}
+}
+
+func TestAuditorRingEviction(t *testing.T) {
+	aud := NewAuditorFunc(func([]int, int) (float64, bool) { return 60, true }, 55,
+		AuditorConfig{Capacity: 4, Window: 8})
+	for sid := 0; sid < 6; sid++ {
+		aud.Placed(sid, 0, []int{0})
+	}
+	s := aud.Summary()
+	if s.Evicted != 2 {
+		t.Errorf("evicted = %d, want 2", s.Evicted)
+	}
+	if s.Pending != 4 {
+		t.Errorf("pending = %d, want 4", s.Pending)
+	}
+	// Evicted sessions resolve as unmatched, retained ones normally.
+	aud.Observed(0, 60)
+	aud.Observed(5, 60)
+	s = aud.Summary()
+	if s.Unmatched != 1 || s.Resolved != 1 {
+		t.Errorf("after eviction: unmatched=%d resolved=%d, want 1 and 1", s.Unmatched, s.Resolved)
+	}
+	if got := aud.Recent(0); len(got) != 4 {
+		t.Errorf("Recent = %d, want capacity 4", len(got))
+	}
+}
+
+func TestAuditorDriftHysteresis(t *testing.T) {
+	reg := obs.New()
+	aud := NewAuditorFunc(func([]int, int) (float64, bool) { return 60, true }, 30,
+		AuditorConfig{Capacity: 64, Window: 8, MinResolved: 4, MAEThreshold: 10, Metrics: reg})
+
+	sid := 0
+	feed := func(observed float64, n int) {
+		for i := 0; i < n; i++ {
+			aud.Placed(sid, 0, []int{0})
+			aud.Observed(sid, observed)
+			sid++
+		}
+	}
+
+	// Accurate phase: |60-58| = 2, far under the threshold.
+	feed(58, 8)
+	if aud.Drifting() {
+		t.Fatal("alarm raised during the accurate phase")
+	}
+	// Drift phase: |60-40| = 20 floods the window.
+	feed(40, 8)
+	if !aud.Drifting() {
+		t.Fatal("alarm not raised after sustained 20-FPS errors over a 10-FPS threshold")
+	}
+	if s := aud.Summary(); s.DriftAlarms != 1 {
+		t.Errorf("alarms = %d, want 1", s.DriftAlarms)
+	}
+	// Partial recovery inside the hysteresis band (0.8*10=8 < MAE < 10)
+	// must NOT clear the alarm: window becomes mix of 20s and 2s.
+	feed(58, 4) // window: 4x20 + 4x2 -> MAE 11: still above threshold band
+	if !aud.Drifting() {
+		t.Fatal("alarm cleared while MAE still above the clear threshold")
+	}
+	// Full recovery clears it.
+	feed(58, 8)
+	if aud.Drifting() {
+		t.Fatal("alarm not cleared after full recovery")
+	}
+	// Second excursion raises a second alarm (rising edges counted).
+	feed(40, 8)
+	if s := aud.Summary(); !s.Drifting || s.DriftAlarms != 2 {
+		t.Errorf("second excursion: drifting=%v alarms=%d, want true and 2", s.Drifting, s.DriftAlarms)
+	}
+	if snap := reg.Snapshot(); snap.Counters["gaugur_quality_drift_alarms_total"] != 2 ||
+		snap.Gauges["gaugur_quality_drift"] != 1 {
+		t.Errorf("drift metrics = %v / %v", snap.Counters["gaugur_quality_drift_alarms_total"],
+			snap.Gauges["gaugur_quality_drift"])
+	}
+}
+
+func TestAuditorNilSafe(t *testing.T) {
+	var aud *Auditor
+	aud.Placed(0, 0, []int{0})
+	aud.Observed(0, 60)
+	aud.Dropped(0)
+	if aud.Drifting() {
+		t.Error("nil auditor drifting")
+	}
+	if aud.Recent(5) != nil {
+		t.Error("nil auditor Recent != nil")
+	}
+	if s := aud.Summary(); s != (QualitySummary{}) {
+		t.Errorf("nil auditor summary = %+v", s)
+	}
+}

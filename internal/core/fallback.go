@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/profile"
 	"gaugur/internal/sim"
 )
@@ -178,6 +179,18 @@ const (
 	breakerHalfOpen
 )
 
+// String names the state for span annotations and logs.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 type breaker struct {
 	cfg      BreakerConfig
 	state    breakerState
@@ -244,6 +257,10 @@ type FallbackPredictor struct {
 	// met mirrors Served/Errors into an obs registry and additionally
 	// tracks breaker transitions; see EnableMetrics.
 	met fallbackMetrics
+
+	// tracer, when set, emits one span per stage consulted (or skipped by
+	// an open breaker) under the ambient decision trace; see EnableTracing.
+	tracer *trace.Tracer
 }
 
 // NewFallbackPredictor builds the standard two-stage chain: the trained
@@ -274,6 +291,18 @@ func NewFallbackChain(cfg BreakerConfig, stages ...PredictorStage) *FallbackPred
 	for range stages {
 		f.breakers = append(f.breakers, &breaker{cfg: cfg})
 	}
+	return f
+}
+
+// EnableTracing attaches a span tracer: every query then emits one
+// "stage:<name>" span per stage consulted — annotated with the breaker
+// state at entry and the outcome — plus skipped-stage spans when an open
+// breaker short-circuits, all as children of the tracer's ambient decision
+// trace (RunOnline installs one per placement). Nil-safe: a nil tracer, or
+// no ambient trace, records nothing and costs one pointer load per query.
+// Returns f for chaining.
+func (f *FallbackPredictor) EnableTracing(t *trace.Tracer) *FallbackPredictor {
+	f.tracer = t
 	return f
 }
 
@@ -320,6 +349,8 @@ func (f *FallbackPredictor) Degraded() bool {
 // query walks the chain until a stage answers; the final stage's error (if
 // any) is returned as a last resort.
 func (f *FallbackPredictor) query(call func(PredictorStage) error) (string, error) {
+	parent := f.tracer.Current()
+	traced := parent.Active()
 	var lastErr error
 	for i, st := range f.stages {
 		terminal := i == len(f.stages)-1
@@ -327,8 +358,23 @@ func (f *FallbackPredictor) query(call func(PredictorStage) error) (string, erro
 		if !terminal {
 			prev = f.breakers[i].state
 			if !f.breakers[i].allow() {
+				if traced {
+					sp := parent.StartSpan("stage:"+st.Name(),
+						trace.String("breaker", prev.String()),
+						trace.Bool("skipped", true),
+					)
+					sp.End()
+				}
 				continue
 			}
+		}
+		var sp trace.Ctx
+		if traced {
+			state := "terminal"
+			if !terminal {
+				state = prev.String()
+			}
+			sp = parent.StartSpan("stage:"+st.Name(), trace.String("breaker", state))
 		}
 		err := call(st)
 		if !terminal {
@@ -341,11 +387,13 @@ func (f *FallbackPredictor) query(call func(PredictorStage) error) (string, erro
 			f.Served[st.Name()]++
 			f.met.served[st.Name()].Inc()
 			f.updateDegraded()
+			sp.End(trace.String("outcome", "served"))
 			return st.Name(), nil
 		}
 		f.Errors[st.Name()]++
 		f.met.errors[st.Name()].Inc()
 		lastErr = err
+		sp.End(trace.String("outcome", "error"))
 	}
 	f.updateDegraded()
 	return "", fmt.Errorf("core: every prediction stage failed: %w", lastErr)

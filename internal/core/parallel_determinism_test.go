@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/profile"
 	"gaugur/internal/sim"
 )
@@ -17,6 +18,11 @@ import (
 // therefore worker count — cannot leak into the artifacts. GOMAXPROCS is
 // raised for the run so the worker pools genuinely interleave even on a
 // single-core machine.
+//
+// Both runs carry a live tracer through every pipeline stage: spans observe,
+// they must not participate, so the artifacts stay byte-identical with
+// tracing enabled and the traced stage structure is identical at workers=1
+// and workers=8.
 func TestParallelPipelineMatchesSequential(t *testing.T) {
 	prev := runtime.GOMAXPROCS(8)
 	defer runtime.GOMAXPROCS(prev)
@@ -32,10 +38,12 @@ func TestParallelPipelineMatchesSequential(t *testing.T) {
 		set     *profile.Set
 		samples *SampleSet
 		pred    *Predictor
+		traces  map[string]int // committed trace count by name
 	}
 	run := func(workers int) artifacts {
+		tracer := trace.New(trace.Config{Seed: 5})
 		server := sim.NewServer(7)
-		pf := &profile.Profiler{Server: server, Repeats: 1, Workers: workers}
+		pf := &profile.Profiler{Server: server, Repeats: 1, Workers: workers, Tracer: tracer}
 		set, err := pf.ProfileCatalog(catalog)
 		if err != nil {
 			t.Fatal(err)
@@ -45,16 +53,32 @@ func TestParallelPipelineMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		lab.Workers = workers
+		lab.Tracer = tracer
 		samples := lab.CollectSamples(colocs, 60, profile.DefaultK)
-		pred, err := Train(set, TrainConfig{Samples: samples, Seed: 1, EncoderK: profile.DefaultK})
+		pred, err := Train(set, TrainConfig{Samples: samples, Seed: 1, EncoderK: profile.DefaultK, Tracer: tracer})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return artifacts{set: set, samples: samples, pred: pred}
+		traces := map[string]int{}
+		for _, tr := range tracer.Store().Recent(0) {
+			traces[tr.Name]++
+		}
+		if tracer.Store().Total() == 0 {
+			t.Fatalf("workers=%d: pipeline recorded no traces", workers)
+		}
+		if n := tracer.DroppedSpans(); n != 0 {
+			t.Fatalf("workers=%d: %d spans leaked past their trace commit", workers, n)
+		}
+		return artifacts{set: set, samples: samples, pred: pred, traces: traces}
 	}
 
 	seq := run(1)
 	par := run(8)
+
+	if !reflect.DeepEqual(seq.traces, par.traces) {
+		t.Errorf("traced stage structure differs between workers=1 and workers=8:\nseq: %v\npar: %v",
+			seq.traces, par.traces)
+	}
 
 	if seq.set.Len() != par.set.Len() {
 		t.Fatalf("profile counts differ: %d vs %d", seq.set.Len(), par.set.Len())

@@ -22,7 +22,10 @@ type predictorState struct {
 	CM       []byte
 }
 
-const predictorVersion = 1
+// PredictorVersion is the serialization format version Save stamps and
+// LoadPredictor enforces; audit records carry it so a logged prediction can
+// be tied to the model generation that produced it.
+const PredictorVersion = 1
 
 // Save serializes the trained models and prediction configuration.
 func (p *Predictor) Save(w io.Writer) error {
@@ -40,7 +43,7 @@ func (p *Predictor) Save(w io.Writer) error {
 		return fmt.Errorf("core: encoding CM: %w", err)
 	}
 	return gob.NewEncoder(w).Encode(predictorState{
-		Version:  predictorVersion,
+		Version:  PredictorVersion,
 		QoS:      p.QoS,
 		EncoderK: p.Enc.K,
 		RM:       rmBuf.Bytes(),
@@ -55,7 +58,7 @@ func LoadPredictor(r io.Reader, profiles *profile.Set) (*Predictor, error) {
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("core: decoding predictor: %w", err)
 	}
-	if st.Version != predictorVersion {
+	if st.Version != PredictorVersion {
 		return nil, fmt.Errorf("core: predictor version %d unsupported", st.Version)
 	}
 	var rmInner ml.Regressor

@@ -8,6 +8,7 @@ import (
 	"gaugur/internal/features"
 	"gaugur/internal/ml"
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/profile"
 )
 
@@ -47,6 +48,10 @@ type TrainConfig struct {
 	// Metrics, when non-nil, receives per-stage fitting timings and is
 	// wired into the returned predictor's query path.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records one "train" trace with a child span
+	// per model fit. The fits run concurrently, so spans are threaded
+	// explicitly rather than through the ambient context.
+	Tracer *trace.Tracer
 }
 
 // Train fits both models on the sample set and returns a ready predictor.
@@ -75,22 +80,32 @@ func Train(profiles *profile.Set, cfg TrainConfig) (*Predictor, error) {
 	// when both fail, matching the old sequential reporting order.
 	rx, ry := cfg.Samples.RMMatrices()
 	cx, cy := cfg.Samples.CMMatrices()
+	root := cfg.Tracer.StartTrace("train",
+		trace.Int("samples", cfg.Samples.Len()),
+		trace.String("rm", string(cfg.RMKind)),
+		trace.String("cm", string(cfg.CMKind)),
+	)
 	var wg sync.WaitGroup
 	var rmErr, cmErr error
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
+		sp := root.StartSpan("fit-rm", trace.String("kind", string(cfg.RMKind)))
 		span := tm.rmFit.Start()
 		defer span.Stop()
 		rmErr = rm.Fit(rx, ry)
+		sp.End(trace.Bool("ok", rmErr == nil))
 	}()
 	go func() {
 		defer wg.Done()
+		sp := root.StartSpan("fit-cm", trace.String("kind", string(cfg.CMKind)))
 		span := tm.cmFit.Start()
 		defer span.Stop()
 		cmErr = cm.Fit(cx, cy)
+		sp.End(trace.Bool("ok", cmErr == nil))
 	}()
 	wg.Wait()
+	root.End(trace.Bool("ok", rmErr == nil && cmErr == nil))
 	if rmErr != nil {
 		return nil, fmt.Errorf("core: fitting %s: %w", cfg.RMKind, rmErr)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gaugur/internal/features"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/sim"
 )
 
@@ -104,9 +105,6 @@ func (l *Lab) CollectSamples(colocs []Colocation, qos float64, encK int) *Sample
 func (l *Lab) CollectSamplesMetric(colocs []Colocation, qos float64, encK int, metric Metric) *SampleSet {
 	enc := newEncoder(encK)
 	perColoc := make([][]Sample, len(colocs))
-	collect := func(ci int) {
-		perColoc[ci] = l.colocSamples(enc, colocs[ci], ci, qos, metric)
-	}
 
 	workers := l.Workers
 	if workers <= 0 {
@@ -114,6 +112,14 @@ func (l *Lab) CollectSamplesMetric(colocs []Colocation, qos float64, encK int, m
 	}
 	if workers > len(colocs) {
 		workers = len(colocs)
+	}
+	root := l.Tracer.StartTrace("collect-samples",
+		trace.Int("colocations", len(colocs)), trace.Int("workers", workers))
+	collect := func(ci int) {
+		sp := root.StartSpan("measure-coloc",
+			trace.Int("index", ci), trace.Int("size", colocs[ci].Size()))
+		perColoc[ci] = l.colocSamples(enc, colocs[ci], ci, qos, metric)
+		sp.End(trace.Int("samples", len(perColoc[ci])))
 	}
 	if workers <= 1 {
 		for ci := range colocs {
@@ -142,6 +148,7 @@ func (l *Lab) CollectSamplesMetric(colocs []Colocation, qos float64, encK int, m
 	for _, s := range perColoc {
 		set.Samples = append(set.Samples, s...)
 	}
+	root.End(trace.Int("samples", set.Len()))
 	return set
 }
 

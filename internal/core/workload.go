@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"gaugur/internal/features"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/profile"
 	"gaugur/internal/sim"
 )
@@ -57,6 +58,10 @@ type Lab struct {
 	// colocation's noise stream derives from its position in the list
 	// (sim.Server.TaskServer), not from execution order.
 	Workers int
+	// Tracer, when non-nil, records one trace per CollectSamples run with
+	// a child span per measured colocation. Spans are threaded explicitly
+	// across the worker pool (the ambient context would race).
+	Tracer *trace.Tracer
 }
 
 // NewLab builds a lab after checking that every catalog game has a profile.

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"time"
 )
 
 // Handler serves the registry in Prometheus text exposition format.
@@ -24,6 +27,16 @@ func JSONHandler(r *Registry) http.Handler {
 	})
 }
 
+// Mount names one extra handler to attach to the runtime mux — how
+// subsystems with their own debug surfaces (the span tracer's
+// /debug/traces) ride on the same endpoint without obs importing them.
+type Mount struct {
+	// Pattern is the ServeMux pattern, e.g. "/debug/traces".
+	Pattern string
+	// Handler serves it.
+	Handler http.Handler
+}
+
 // NewMux mounts the full runtime surface:
 //
 //	/metrics        Prometheus text format
@@ -31,7 +44,10 @@ func JSONHandler(r *Registry) http.Handler {
 //	/debug/vars     expvar (cmdline, memstats, anything else published)
 //	/debug/pprof/*  net/http/pprof profiles
 //	/               tiny index page linking the above
-func NewMux(r *Registry) *http.ServeMux {
+//
+// plus any extra mounts (also linked from the index when their pattern has
+// no wildcard).
+func NewMux(r *Registry, extra ...Mount) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
 	mux.Handle("/metrics.json", JSONHandler(r))
@@ -41,18 +57,30 @@ func NewMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	links := []string{
+		`<li><a href="/metrics">/metrics</a> (Prometheus)</li>`,
+		`<li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>`,
+		`<li><a href="/debug/vars">/debug/vars</a> (expvar)</li>`,
+		`<li><a href="/debug/pprof/">/debug/pprof/</a> (pprof)</li>`,
+	}
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+		if p := m.Pattern; p != "" && p[len(p)-1] != '/' && p[len(p)-1] != '}' {
+			links = append(links, `<li><a href="`+p+`">`+p+`</a></li>`)
+		}
+	}
+	sort.Strings(links)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, `<html><body><h1>gaugur observability</h1><ul>
-<li><a href="/metrics">/metrics</a> (Prometheus)</li>
-<li><a href="/metrics.json">/metrics.json</a> (JSON snapshot)</li>
-<li><a href="/debug/vars">/debug/vars</a> (expvar)</li>
-<li><a href="/debug/pprof/">/debug/pprof/</a> (pprof)</li>
-</ul></body></html>`)
+		fmt.Fprint(w, "<html><body><h1>gaugur observability</h1><ul>\n")
+		for _, l := range links {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprint(w, "</ul></body></html>")
 	})
 	return mux
 }
@@ -64,13 +92,14 @@ type Server struct {
 }
 
 // StartServer listens on addr (":0" picks a free port) and serves the full
-// NewMux surface in a background goroutine until Close.
-func StartServer(addr string, r *Registry) (*Server, error) {
+// NewMux surface (plus any extra mounts) in a background goroutine until
+// Shutdown or Close.
+func StartServer(addr string, r *Registry, extra ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, http: &http.Server{Handler: NewMux(r)}}
+	s := &Server{ln: ln, http: &http.Server{Handler: NewMux(r, extra...)}}
 	go s.http.Serve(ln)
 	return s, nil
 }
@@ -78,5 +107,22 @@ func StartServer(addr string, r *Registry) (*Server, error) {
 // Addr returns the bound address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
+// Shutdown stops the server gracefully: the listener closes immediately,
+// in-flight scrapes get up to timeout to finish, and only then does the
+// hard Close fire as a fallback. Returns the shutdown error when the
+// timeout expired with requests still in flight (they were then aborted).
+func (s *Server) Shutdown(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Graceful drain ran out of patience: fall back to the hard stop
+		// so the port is released no matter what.
+		s.http.Close()
+	}
+	return err
+}
+
+// Close stops the server immediately, dropping in-flight requests — the
+// hard-stop fallback. Prefer Shutdown.
 func (s *Server) Close() error { return s.http.Close() }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -87,5 +88,109 @@ func TestServerCloseReleasesPort(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
 		t.Error("endpoint still reachable after Close")
+	}
+}
+
+// TestServerShutdownIdle proves graceful shutdown with nothing in flight
+// returns promptly and releases the port.
+func TestServerShutdownIdle(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("idle Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("endpoint still reachable after Shutdown")
+	}
+}
+
+// TestServerShutdownDrainsInflight proves the bug Close had is gone: a
+// scrape already being served when shutdown starts completes successfully
+// instead of being dropped mid-response.
+func TestServerShutdownDrainsInflight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		io.WriteString(w, "drained ok")
+	})
+	srv, err := StartServer("127.0.0.1:0", New(), Mount{Pattern: "/slow", Handler: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	scrape := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			scrape <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		scrape <- result{body: string(body), err: err}
+	}()
+
+	<-started // the scrape is now in flight
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(10 * time.Second) }()
+	// Shutdown must wait for the handler; release it and both should finish.
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown with in-flight scrape: %v", err)
+	}
+	got := <-scrape
+	if got.err != nil || got.body != "drained ok" {
+		t.Fatalf("in-flight scrape dropped: body=%q err=%v", got.body, got.err)
+	}
+}
+
+// TestServerShutdownTimeoutFallsBack proves a handler that never finishes
+// cannot wedge Shutdown: the timeout fires, Close is the fallback, and the
+// error reports the aborted drain.
+func TestServerShutdownTimeoutFallsBack(t *testing.T) {
+	started := make(chan struct{})
+	stuck := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		close(started)
+		<-req.Context().Done() // hold until the hard stop kills the conn
+	})
+	srv, err := StartServer("127.0.0.1:0", New(), Mount{Pattern: "/stuck", Handler: stuck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get("http://" + srv.Addr() + "/stuck")
+	<-started
+	if err := srv.Shutdown(50 * time.Millisecond); err == nil {
+		t.Error("Shutdown with a stuck handler returned nil, want timeout error")
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("endpoint still reachable after fallback Close")
+	}
+}
+
+// TestExtraMounts proves extra handlers are served and linked on the index.
+func TestExtraMounts(t *testing.T) {
+	extra := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "extra ok")
+	})
+	srv, err := StartServer("127.0.0.1:0", New(), Mount{Pattern: "/debug/traces", Handler: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, body := get(t, base+"/debug/traces"); code != http.StatusOK || body != "extra ok" {
+		t.Errorf("mounted handler = %d %q", code, body)
+	}
+	if _, body := get(t, base+"/"); !strings.Contains(body, "/debug/traces") {
+		t.Errorf("index does not link the extra mount:\n%s", body)
 	}
 }

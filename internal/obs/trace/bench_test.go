@@ -1,0 +1,36 @@
+package trace
+
+import "testing"
+
+// BenchmarkDecisionTrace measures the exact span sequence RunOnline emits
+// per placement decision: a root trace with one annotated child span,
+// ambient-context propagation included. This is the unit cost the
+// TestTraceOverheadUnderBudget budget in internal/sched is built on.
+func BenchmarkDecisionTrace(b *testing.B) {
+	tr := New(Config{Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tctx := tr.StartTrace("placement", Int("game", 3))
+		tr.SetCurrent(tctx)
+		span := tr.Current().StartSpan("score-candidates", Int("game", 3))
+		span.End(Int("evaluated", 40), Int("cache_misses", 0), Int("server", 7), Bool("placed", true))
+		tr.ClearCurrent()
+		tctx.End(String("outcome", "placed"), Int("server", 7), Int("session", i))
+	}
+}
+
+// BenchmarkDecisionTraceManualClock is the same sequence with a fixed
+// clock, isolating bookkeeping cost from monotonic clock reads.
+func BenchmarkDecisionTraceManualClock(b *testing.B) {
+	var now int64
+	tr := New(Config{Seed: 1, Clock: func() int64 { now += 1000; return now }})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tctx := tr.StartTrace("placement", Int("game", 3))
+		tr.SetCurrent(tctx)
+		span := tr.Current().StartSpan("score-candidates", Int("game", 3))
+		span.End(Int("evaluated", 40), Int("cache_misses", 0), Int("server", 7), Bool("placed", true))
+		tr.ClearCurrent()
+		tctx.End(String("outcome", "placed"), Int("server", 7), Int("session", i))
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Export is the structured-JSON envelope WriteJSON emits: IDs are rendered
+// as fixed-width hex strings (JSON numbers cannot hold a full uint64).
+type Export struct {
+	Traces []ExportTrace `json:"traces"`
+}
+
+// ExportTrace mirrors Trace with portable identifiers.
+type ExportTrace struct {
+	ID         string       `json:"id"`
+	Name       string       `json:"name"`
+	StartNS    int64        `json:"start_ns"`
+	DurationNS int64        `json:"duration_ns"`
+	Spans      []ExportSpan `json:"spans"`
+}
+
+// ExportSpan mirrors Span with portable identifiers.
+type ExportSpan struct {
+	ID         string `json:"id"`
+	Parent     string `json:"parent,omitempty"`
+	Name       string `json:"name"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+	Attrs      []Attr `json:"attrs,omitempty"`
+}
+
+// FormatID renders a trace or span identifier the way the HTTP endpoints
+// and exports do: 16 hex digits.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID parses a FormatID-rendered identifier.
+func ParseID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+// toExport converts traces to the portable form.
+func toExport(traces []Trace) Export {
+	out := Export{Traces: make([]ExportTrace, 0, len(traces))}
+	for _, tr := range traces {
+		et := ExportTrace{
+			ID:         FormatID(tr.ID),
+			Name:       tr.Name,
+			StartNS:    tr.StartNS,
+			DurationNS: tr.DurationNS(),
+			Spans:      make([]ExportSpan, 0, len(tr.Spans)),
+		}
+		for _, sp := range tr.Spans {
+			es := ExportSpan{
+				ID:         FormatID(sp.SpanID),
+				Name:       sp.Name,
+				StartNS:    sp.StartNS,
+				DurationNS: sp.DurationNS(),
+				Attrs:      sp.Attrs,
+			}
+			if sp.Parent != 0 {
+				es.Parent = FormatID(sp.Parent)
+			}
+			et.Spans = append(et.Spans, es)
+		}
+		out.Traces = append(out.Traces, et)
+	}
+	return out
+}
+
+// WriteJSON writes traces as indented structured JSON.
+func WriteJSON(w io.Writer, traces []Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toExport(traces))
+}
+
+// ChromeEvent is one Chrome trace-event ("X" complete events plus "M"
+// thread-name metadata), the format chrome://tracing and Perfetto load.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  float64           `json:"dur,omitempty"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeExport is the object form of the Chrome trace-event file.
+type ChromeExport struct {
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+}
+
+// ToChromeEvents converts traces to Chrome trace events. Each trace maps to
+// one synthetic thread (tid = position in the input, newest first as
+// returned by Store.Recent), named "<trace name> <id>" via a metadata
+// event; every span becomes a complete ("X") event whose args carry the
+// span attributes plus the span/trace identifiers.
+func ToChromeEvents(traces []Trace) []ChromeEvent {
+	events := make([]ChromeEvent, 0, len(traces)*2)
+	for i, tr := range traces {
+		tid := i + 1
+		events = append(events, ChromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tid,
+			Args: map[string]string{"name": tr.Name + " " + FormatID(tr.ID)},
+		})
+		for _, sp := range tr.Spans {
+			args := make(map[string]string, len(sp.Attrs)+2)
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+			args["span_id"] = FormatID(sp.SpanID)
+			args["trace_id"] = FormatID(tr.ID)
+			events = append(events, ChromeEvent{
+				Name: sp.Name,
+				Cat:  tr.Name,
+				Ph:   "X",
+				TS:   float64(sp.StartNS) / 1e3,
+				Dur:  float64(sp.DurationNS()) / 1e3,
+				PID:  1,
+				TID:  tid,
+				Args: args,
+			})
+		}
+	}
+	return events
+}
+
+// WriteChromeTrace writes traces in Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, traces []Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ChromeExport{TraceEvents: ToChromeEvents(traces)})
+}

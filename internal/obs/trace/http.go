@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Summary is the list-view row /debug/traces serves: enough to pick a
+// trace without shipping every span.
+type Summary struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+	Spans      int    `json:"spans"`
+}
+
+// listResponse is the /debug/traces body.
+type listResponse struct {
+	Retained int       `json:"retained"`
+	Total    int64     `json:"total"`
+	Evicted  int64     `json:"evicted"`
+	Traces   []Summary `json:"traces"`
+}
+
+// Handler serves the store over HTTP. Mount it at both "/debug/traces" and
+// "/debug/traces/" (two obs.Mount entries sharing one Handler):
+//
+//	GET <root>              recent trace summaries, newest first (?n=K)
+//	GET <root>?format=chrome       recent traces as Chrome trace events
+//	GET <root>/{id}         one trace, full span detail
+//	GET <root>/{id}?format=chrome  one trace as Chrome trace events
+//
+// A nil store serves empty listings and 404 details.
+func Handler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// The last path segment distinguishes list from detail regardless
+		// of where the handler is mounted.
+		seg := req.URL.Path[strings.LastIndexByte(req.URL.Path, '/')+1:]
+		chrome := req.URL.Query().Get("format") == "chrome"
+		if seg == "" || seg == "traces" {
+			serveList(w, req, s, chrome)
+			return
+		}
+		id, err := ParseID(seg)
+		if err != nil {
+			http.Error(w, "bad trace id (want 16 hex digits)", http.StatusBadRequest)
+			return
+		}
+		tr, ok := s.Get(id)
+		if !ok {
+			http.NotFound(w, req)
+			return
+		}
+		if chrome {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, []Trace{tr})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, []Trace{tr})
+	})
+}
+
+func serveList(w http.ResponseWriter, req *http.Request, s *Store, chrome bool) {
+	n := 0
+	if v := req.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			n = parsed
+		}
+	}
+	recent := s.Recent(n)
+	w.Header().Set("Content-Type", "application/json")
+	if chrome {
+		_ = WriteChromeTrace(w, recent)
+		return
+	}
+	resp := listResponse{
+		Retained: s.Len(),
+		Total:    s.Total(),
+		Evicted:  s.Evicted(),
+		Traces:   make([]Summary, 0, len(recent)),
+	}
+	for _, tr := range recent {
+		resp.Traces = append(resp.Traces, Summary{
+			ID:         FormatID(tr.ID),
+			Name:       tr.Name,
+			StartNS:    tr.StartNS,
+			DurationNS: tr.DurationNS(),
+			Spans:      len(tr.Spans),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

@@ -1,0 +1,341 @@
+// Package trace is gaugur's dependency-free, deterministic span tracer:
+// the "why did the system do X" companion to internal/obs's "how often/how
+// long" metrics. A Tracer records trees of named, timed spans grouped into
+// traces (one trace per logical decision or pipeline stage), keeps the most
+// recent traces in a bounded ring buffer, and exports them as structured
+// JSON or Chrome trace-event JSON for chrome://tracing / Perfetto.
+//
+// Design constraints, matching internal/obs:
+//
+//  1. Zero dependencies. Standard library only.
+//  2. Disabled must cost (almost) nothing. Every method is nil-safe: a nil
+//     *Tracer yields inert Ctx values whose methods are single nil checks,
+//     so instrumented code traces unconditionally.
+//  3. Deterministic identifiers. Trace and span IDs come from a SplitMix64
+//     sequence over a caller-supplied seed (derive it from the simulation
+//     seed via sim.DeriveSeed), never from time.Now or math/rand
+//     global state. Timestamps are read through an injectable Clock; tests
+//     swap in a manual clock so exports are bit-identical across runs.
+//  4. Tracing never feeds back into traced state: spans observe, they do
+//     not participate. The golden and parallel-determinism tests run with
+//     tracing enabled to prove simulation outputs stay byte-identical.
+package trace
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock returns a monotonic timestamp in nanoseconds (the same contract as
+// obs.Clock; an obs.ManualClock's Now method satisfies it directly).
+type Clock func() int64
+
+// realClock anchors at creation and reads Go's monotonic clock.
+func realClock() Clock {
+	base := time.Now()
+	return func() int64 { return int64(time.Since(base)) }
+}
+
+// Attr is one span annotation. Values are pre-rendered strings so export is
+// allocation-predictable and deterministic.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Int64 builds a 64-bit integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Float builds a float attribute rendered with %g precision.
+func Float(k string, v float64) Attr {
+	return Attr{Key: k, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool(v)} }
+
+// splitmix64 is the SplitMix64 finalizer — the same mixer sim/derive.go
+// uses for per-task measurement seeds, applied here to (seed + n*gamma) so
+// the n-th identifier of a tracer is a pure function of its seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Seed drives the deterministic trace/span ID sequence. Derive it from
+	// the simulation seed (sim.DeriveSeed(seed, "trace", 0)) so the same
+	// run always names its traces the same way.
+	Seed int64
+	// Clock supplies span timestamps; nil selects the real monotonic
+	// clock. Pass an obs.ManualClock's Now for bit-identical exports.
+	Clock Clock
+	// Capacity bounds the ring buffer of completed traces; <= 0 defaults
+	// to DefaultCapacity.
+	Capacity int
+}
+
+// DefaultCapacity is the default ring-buffer size in completed traces.
+const DefaultCapacity = 256
+
+// Tracer records spans into a bounded store. All methods are safe for
+// concurrent use and nil-safe: a nil Tracer is a valid no-op tracer.
+type Tracer struct {
+	clock Clock
+	seed  uint64
+	idseq atomic.Uint64
+
+	// mu guards every in-flight *Trace (span appends and commits) and the
+	// free list; Ctx carries a direct pointer to its trace, so there is no
+	// lookup on the span hot path.
+	mu   sync.Mutex
+	free []*Trace // recycled trace headers, bounded by freeListCap
+
+	store *Store
+
+	// curMu guards the ambient trace context for single-consumer serving
+	// loops (see SetCurrent); concurrent pipelines pass Ctx explicitly.
+	curMu sync.Mutex
+	cur   Ctx
+
+	droppedSpans atomic.Int64
+}
+
+// freeListCap bounds the recycled-trace pool; serial decision loops only
+// ever keep one or two headers in flight, so a small cap is plenty.
+const freeListCap = 64
+
+// New builds a tracer from cfg.
+func New(cfg Config) *Tracer {
+	if cfg.Clock == nil {
+		cfg.Clock = realClock()
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	return &Tracer{
+		clock: cfg.Clock,
+		seed:  splitmix64(uint64(cfg.Seed)),
+		store: newStore(cfg.Capacity),
+	}
+}
+
+// Store exposes the completed-trace ring buffer (nil on a nil tracer).
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// DroppedSpans counts spans that ended after their trace was already
+// committed (a leak in the instrumentation, not the tracer).
+func (t *Tracer) DroppedSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.droppedSpans.Load()
+}
+
+// nextID returns the n-th identifier of the seeded SplitMix64 sequence,
+// never zero (zero is the "no parent" sentinel).
+func (t *Tracer) nextID() uint64 {
+	id := splitmix64(t.seed + t.idseq.Add(1)*0x9e3779b97f4a7c15)
+	if id == 0 {
+		return 1
+	}
+	return id
+}
+
+// endAttrCap is the spare attribute capacity reserved at span start so the
+// common pattern Start(attrs...) ... End(attrs...) renders without a second
+// slice allocation.
+const endAttrCap = 4
+
+// Ctx is one in-flight span: the handle instrumented code threads through
+// the work it measures. The zero Ctx (and any Ctx from a nil tracer) is
+// inert — every method is a no-op.
+type Ctx struct {
+	t       *Tracer
+	tr      *Trace // the in-flight trace this span belongs to
+	gen     uint64 // tr's generation when this span started
+	traceID uint64
+	spanID  uint64
+	parent  uint64
+	name    string
+	start   int64
+	root    bool
+
+	// attrs accumulate until End; the slice is owned by this Ctx.
+	attrs []Attr
+}
+
+// startAttrs copies the caller's attributes into a Ctx-owned slice with
+// room for End's final annotations.
+func startAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	return append(make([]Attr, 0, len(attrs)+endAttrCap), attrs...)
+}
+
+// StartTrace opens a new trace rooted at a span called name. End the
+// returned Ctx to commit the whole trace to the store. Trace headers and
+// their span buffers are recycled through a free list once committed (the
+// store keeps its own copy), so a steady decision loop allocates almost
+// nothing per trace.
+func (t *Tracer) StartTrace(name string, attrs ...Attr) Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	traceID := t.nextID()
+	spanID := t.nextID()
+	start := t.clock()
+	t.mu.Lock()
+	var tr *Trace
+	if n := len(t.free); n > 0 {
+		tr = t.free[n-1]
+		t.free = t.free[:n-1]
+	}
+	t.mu.Unlock()
+	if tr == nil {
+		tr = &Trace{Spans: make([]Span, 0, 4)}
+	}
+	tr.ID, tr.Name, tr.Root, tr.StartNS, tr.EndNS = traceID, name, spanID, start, 0
+	return Ctx{
+		t:       t,
+		tr:      tr,
+		gen:     tr.gen,
+		traceID: traceID,
+		spanID:  spanID,
+		name:    name,
+		start:   start,
+		root:    true,
+		attrs:   startAttrs(attrs),
+	}
+}
+
+// StartSpan opens a child span under ctx. Children may start and end from
+// any goroutine; they must End before the root does or they are dropped.
+func (c Ctx) StartSpan(name string, attrs ...Attr) Ctx {
+	if c.t == nil {
+		return Ctx{}
+	}
+	return Ctx{
+		t:       c.t,
+		tr:      c.tr,
+		gen:     c.gen,
+		traceID: c.traceID,
+		spanID:  c.t.nextID(),
+		parent:  c.spanID,
+		name:    name,
+		start:   c.t.clock(),
+		attrs:   startAttrs(attrs),
+	}
+}
+
+// SetAttr adds an annotation to the span. The returned Ctx carries the
+// attribute; the receiver is unchanged when it escaped by value, so use the
+// pattern ctx = ctx.SetAttr(...) or annotate at Start/End time.
+func (c Ctx) SetAttr(attrs ...Attr) Ctx {
+	if c.t == nil {
+		return c
+	}
+	c.attrs = append(c.attrs, attrs...)
+	return c
+}
+
+// Active reports whether the context belongs to a live tracer.
+func (c Ctx) Active() bool { return c.t != nil }
+
+// TraceID returns the span's trace identifier (0 when inert).
+func (c Ctx) TraceID() uint64 { return c.traceID }
+
+// End finishes the span with optional final attributes. Ending a root span
+// commits its trace (the store copies it) and recycles the header —
+// children still open at that point observe the bumped generation, are
+// dropped, and counted in DroppedSpans.
+func (c Ctx) End(attrs ...Attr) {
+	if c.t == nil {
+		return
+	}
+	end := c.t.clock()
+	a := c.attrs
+	if len(attrs) > 0 {
+		a = append(a, attrs...)
+	}
+	sp := Span{
+		SpanID:  c.spanID,
+		Parent:  c.parent,
+		Name:    c.name,
+		StartNS: c.start,
+		EndNS:   end,
+		Attrs:   a,
+	}
+	t := c.t
+	t.mu.Lock()
+	if c.tr.gen != c.gen {
+		t.mu.Unlock()
+		t.droppedSpans.Add(1)
+		return
+	}
+	c.tr.Spans = append(c.tr.Spans, sp)
+	if c.root {
+		c.tr.EndNS = end
+		t.store.add(*c.tr)
+		// Invalidate outstanding children and recycle the header; the
+		// store deep-copied the spans, so the buffer is reusable.
+		c.tr.gen++
+		c.tr.Spans = c.tr.Spans[:0]
+		if len(t.free) < freeListCap {
+			t.free = append(t.free, c.tr)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// SetCurrent installs ctx as the tracer's ambient trace context — the
+// propagation channel for single-consumer serving loops whose inner layers
+// (placement policies, the fallback chain) cannot thread a Ctx through
+// their interfaces. Concurrent pipelines must pass Ctx explicitly instead.
+func (t *Tracer) SetCurrent(ctx Ctx) {
+	if t == nil {
+		return
+	}
+	t.curMu.Lock()
+	t.cur = ctx
+	t.curMu.Unlock()
+}
+
+// ClearCurrent removes the ambient context.
+func (t *Tracer) ClearCurrent() {
+	if t == nil {
+		return
+	}
+	t.curMu.Lock()
+	t.cur = Ctx{}
+	t.curMu.Unlock()
+}
+
+// Current returns the ambient context (inert when none is installed or the
+// tracer is nil).
+func (t *Tracer) Current() Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	t.curMu.Lock()
+	c := t.cur
+	t.curMu.Unlock()
+	return c
+}

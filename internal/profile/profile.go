@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/sim"
 	"gaugur/internal/stats"
 )
@@ -136,6 +137,11 @@ type Profiler struct {
 	// Metrics, when non-nil, receives per-game profiling timings and
 	// benchmark-colocation counts (see internal/obs).
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records one trace per ProfileCatalog run with
+	// a child span per game (and one trace per standalone ProfileGame).
+	// Unlike the serving loop's ambient context, the profiling pipeline is
+	// concurrent, so spans are threaded explicitly to stay race-free.
+	Tracer *trace.Tracer
 	// Workers bounds the number of games profiled concurrently by
 	// ProfileCatalog; <= 0 defaults to runtime.NumCPU(), 1 forces the
 	// sequential path. Results are identical at any worker count because
@@ -166,6 +172,13 @@ func (pf *Profiler) defaults() Profiler {
 
 // ProfileGame measures one game end to end.
 func (pf *Profiler) ProfileGame(g *sim.GameSpec) (*GameProfile, error) {
+	root := pf.Tracer.StartTrace("profile-game", trace.Int("game", g.ID), trace.String("name", g.Name))
+	p, err := pf.profileGame(g)
+	root.End(trace.Bool("ok", err == nil))
+	return p, err
+}
+
+func (pf *Profiler) profileGame(g *sim.GameSpec) (*GameProfile, error) {
 	cfg := pf.defaults()
 	if cfg.Server == nil {
 		return nil, fmt.Errorf("profile: nil server")
@@ -312,9 +325,21 @@ func (pf *Profiler) ProfileCatalog(c *sim.Catalog) (*Set, error) {
 	if workers > len(games) {
 		workers = len(games)
 	}
+	root := pf.Tracer.StartTrace("profile-catalog",
+		trace.Int("games", len(games)), trace.Int("workers", workers))
+	defer func() { root.End() }()
+	// profileOne wraps one game in a child span; spans are passed
+	// explicitly (StartSpan/End are goroutine-safe) because the ambient
+	// current-context channel would race across workers.
+	profileOne := func(i int) {
+		sp := root.StartSpan("profile-game",
+			trace.Int("game", games[i].ID), trace.String("name", games[i].Name))
+		profiles[i], errs[i] = pf.profileGame(games[i])
+		sp.End(trace.Bool("ok", errs[i] == nil))
+	}
 	if workers <= 1 {
-		for i, g := range games {
-			profiles[i], errs[i] = pf.ProfileGame(g)
+		for i := range games {
+			profileOne(i)
 			if errs[i] != nil {
 				break
 			}
@@ -327,7 +352,7 @@ func (pf *Profiler) ProfileCatalog(c *sim.Catalog) (*Set, error) {
 			go func() {
 				defer wg.Done()
 				for i := range tasks {
-					profiles[i], errs[i] = pf.ProfileGame(games[i])
+					profileOne(i)
 				}
 			}()
 		}

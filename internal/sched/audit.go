@@ -1,0 +1,34 @@
+package sched
+
+// AuditSink receives session-lifecycle callbacks from RunOnline — the hook
+// a prediction audit log (core.Auditor) attaches to so every placement
+// decision can later be resolved against what the session actually got.
+// sched defines only the interface; the auditor lives in internal/core
+// (which already imports the model stack) and satisfies it structurally.
+//
+// Callbacks never feed back into simulation state: a run with a sink
+// attached is bit-identical to a run without one, which the golden snapshot
+// test enforces. Implementations must not mutate the games slice and must
+// copy it if they retain it past the call.
+type AuditSink interface {
+	// Placed fires when session sid running game lands on a server, with
+	// the server's post-placement colocation (sorted game IDs, sid's own
+	// game included). A later Placed for the same sid (a migration)
+	// supersedes the earlier record.
+	Placed(sid, game int, games []int)
+	// Observed fires once per placement record with the frame rate the
+	// session was actually receiving while the recorded colocation was
+	// still intact — the loop resolves every unobserved session on a
+	// server just before its colocation changes (a neighbor arriving or
+	// leaving, a crash) or at the session's own departure, whichever comes
+	// first. Observing at the first colocation change rather than at
+	// departure keeps the ground truth aligned with the state the
+	// prediction was made for: by departure time the neighbors have
+	// typically churned, and the mismatch would measure churn, not model
+	// error.
+	Observed(sid int, fps float64)
+	// Dropped fires when a session is lost to faults before its record was
+	// resolved (orphaned past the retry budget, or departing mid-limbo):
+	// no observation will arrive for it.
+	Dropped(sid int)
+}

@@ -5,14 +5,27 @@ import (
 	"testing"
 
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
 )
+
+// countingSink is a pure AuditSink: it tallies callbacks without feeding
+// anything back, standing in for core.Auditor (which cannot be imported
+// here — core imports sched).
+type countingSink struct {
+	placed, observed, dropped int
+}
+
+func (s *countingSink) Placed(sid, game int, games []int) { s.placed++ }
+func (s *countingSink) Observed(sid int, fps float64)     { s.observed++ }
+func (s *countingSink) Dropped(sid int)                   { s.dropped++ }
 
 // These golden values were captured from the pre-resilience RunOnline
 // implementation (the growth seed). The resilient event loop must
 // reproduce them bit for bit when no faults or resilience knobs are
 // configured — proving the fault-tolerance machinery is zero-cost when
 // idle (same seeds, same event order, same rng consumption). Each run
-// carries a live metrics registry: instrumentation must never perturb
+// carries a live metrics registry, a live tracer (with the traced greedy
+// policy), and an audit sink: instrumentation must never perturb
 // simulation state, so the goldens hold with observability enabled.
 func TestRunOnlineMatchesSeedGolden(t *testing.T) {
 	type golden struct {
@@ -38,18 +51,28 @@ func TestRunOnlineMatchesSeedGolden(t *testing.T) {
 	}
 	names := []string{"cfg0", "cfg1", "cfg2", "cfg3"}
 	for i, cfg := range cfgs {
+		tracer := trace.New(trace.Config{Seed: cfg.Seed})
 		for _, pol := range []struct {
 			name string
 			p    PlacementPolicy
 		}{
-			{"greedy", GreedyPolicy(toyScore, cfg.MaxPerServer)},
+			{"greedy", GreedyPolicyTraced(toyScore, cfg.MaxPerServer, tracer)},
 			{"ll", LeastLoadedPolicy(cfg.MaxPerServer)},
 		} {
 			key := names[i] + "/" + pol.name
 			cfg.Metrics = obs.New()
+			cfg.Tracer = tracer
+			sink := &countingSink{}
+			cfg.Audit = sink
 			res, err := RunOnline(cfg, pol.p, toyEval, 60)
 			if err != nil {
 				t.Fatalf("%s: %v", key, err)
+			}
+			if sink.placed == 0 || sink.observed == 0 {
+				t.Errorf("%s: audit sink saw no traffic (placed=%d observed=%d)", key, sink.placed, sink.observed)
+			}
+			if tracer.Store().Total() == 0 {
+				t.Errorf("%s: tracer recorded no decision traces", key)
 			}
 			w := want[key]
 			// The seed values were recorded with %.15g, so compare to

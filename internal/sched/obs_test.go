@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/sim"
 )
 
@@ -161,4 +162,112 @@ func TestObsOverheadUnderBudget(t *testing.T) {
 		t.Errorf("instrumented online loop %v exceeds 5%%+2ms budget over bare %v", minInstr, minBare)
 	}
 	t.Logf("bare %v, instrumented %v (budget %v)", minBare, minInstr, budget)
+}
+
+// timeOnlineTraced runs the overhead workload with the whole observability
+// stack attached: registry, tracer, traced greedy policy, audit sink.
+func timeOnlineTraced(t *testing.T) time.Duration {
+	t.Helper()
+	tracer := trace.New(trace.Config{Seed: 3})
+	cfg := overheadCfg(obs.New())
+	cfg.Tracer = tracer
+	cfg.Audit = &countingSink{}
+	start := time.Now()
+	if _, err := RunOnline(cfg, GreedyPolicyTraced(toyScore, 4, tracer), toyEval, 60); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// TestTraceOverheadUnderBudget extends the overhead bound to tracing + audit:
+// a fully traced run (decision traces, per-candidate scoring spans, audit
+// callbacks) must also stay within the 5%+2ms budget over the bare loop.
+//
+// Shared machines see noise bursts larger than the margin being measured,
+// so comparing minimums of independent runs is unstable. Instead each trial
+// runs the two variants back to back — both land in the same noise window,
+// so their difference isolates the tracing cost — and the budget is checked
+// against the smallest paired difference. Order alternates between trials
+// so cache/frequency warm-up cannot systematically favor either variant.
+func TestTraceOverheadUnderBudget(t *testing.T) {
+	const trials = 7
+	minBare := time.Duration(1 << 62)
+	minDelta := time.Duration(1 << 62)
+	for i := 0; i < trials; i++ {
+		var bare, traced time.Duration
+		if i%2 == 0 {
+			bare = timeOnline(t, nil)
+			traced = timeOnlineTraced(t)
+		} else {
+			traced = timeOnlineTraced(t)
+			bare = timeOnline(t, nil)
+		}
+		if bare < minBare {
+			minBare = bare
+		}
+		if d := traced - bare; d < minDelta {
+			minDelta = d
+		}
+	}
+	budget := minBare/20 + 2*time.Millisecond
+	if minDelta > budget {
+		t.Errorf("traced online loop overhead %v exceeds 5%%+2ms budget (%v) over bare %v", minDelta, budget, minBare)
+	}
+	t.Logf("bare %v, traced overhead %v (budget %v)", minBare, minDelta, budget)
+}
+
+// TestOnlineDecisionTraces pins the shape of what the loop records: one
+// trace per decision, named by kind, with the policy's scoring span nested
+// under placements and outcomes annotated on the root.
+func TestOnlineDecisionTraces(t *testing.T) {
+	tracer := trace.New(trace.Config{Seed: 9})
+	cfg := OnlineConfig{
+		NumServers: 3, MaxPerServer: 2, ArrivalRate: 8, MeanDuration: 4,
+		Sessions: 120, GameIDs: []int{1, 2, 3}, Seed: 17,
+		Tracer: tracer,
+		Faults: []sim.FaultEvent{
+			{At: 2, Kind: sim.FaultCrash, Server: 0, Duration: 1},
+		},
+		ShedUtilization: 0.8,
+	}
+	res, err := RunOnline(cfg, GreedyPolicyTraced(toyScore, 2, tracer), toyEval, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	withScoring := 0
+	outcomes := map[string]int{}
+	for _, tr := range tracer.Store().Recent(0) {
+		byName[tr.Name]++
+		for _, sp := range tr.Spans {
+			if sp.Name == "score-candidates" {
+				withScoring++
+			}
+			if sp.SpanID == tr.Root {
+				for _, a := range sp.Attrs {
+					if a.Key == "outcome" {
+						outcomes[a.Value]++
+					}
+				}
+			}
+		}
+	}
+	if byName["placement"] == 0 {
+		t.Error("no placement traces recorded")
+	}
+	if res.Crashes > 0 && byName["migration"] == 0 {
+		t.Error("crash occurred but no migration traces recorded")
+	}
+	if res.Shed > 0 && byName["shed"] == 0 {
+		t.Error("arrivals shed but no shed traces recorded")
+	}
+	if withScoring == 0 {
+		t.Error("no score-candidates spans nested under decisions")
+	}
+	if outcomes["placed"] == 0 {
+		t.Errorf("no placed outcomes annotated; outcomes = %v", outcomes)
+	}
+	if n := tracer.DroppedSpans(); n != 0 {
+		t.Errorf("%d spans leaked past their trace commit", n)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/sim"
 )
 
@@ -81,6 +82,18 @@ type OnlineConfig struct {
 	// histograms for the run (see internal/obs). Metrics never feed back
 	// into simulation state: results are bit-identical with or without it.
 	Metrics *obs.Registry
+
+	// Tracer, when non-nil, records one trace per scheduling decision
+	// (placement, migration, watchdog eviction, shed) with child spans for
+	// the policy call; it is also installed as the ambient trace context so
+	// traced policies (GreedyPolicyTraced) and fallback predictors attach
+	// their own spans under the decision. Like Metrics, tracing never feeds
+	// back into simulation state.
+	Tracer *trace.Tracer
+	// Audit, when non-nil, receives session-lifecycle callbacks (see
+	// AuditSink) so a prediction audit log can resolve placement-time
+	// predictions against observed frame rates.
+	Audit AuditSink
 }
 
 // resilient reports whether any fault-handling machinery is configured.
@@ -152,14 +165,38 @@ func (c *scoreCache) len() int { return len(c.m) }
 // small catalog the same states recur across thousands of arrivals, so the
 // cache turns most placements into hash lookups.
 func GreedyPolicy(score Scorer, maxPerServer int) PlacementPolicy {
+	return greedyPolicy(score, maxPerServer, nil)
+}
+
+// GreedyPolicyTraced is GreedyPolicy with span emission: each Place call
+// adds a "score-candidates" child span under the tracer's ambient context
+// (the decision trace RunOnline installs), and every score-cache miss — the
+// only time the underlying predictor actually runs — gets its own "predict"
+// span. Cache hits emit nothing, so span volume is bounded by distinct
+// colocation states, not by arrivals. A nil tracer degrades to GreedyPolicy.
+func GreedyPolicyTraced(score Scorer, maxPerServer int, t *trace.Tracer) PlacementPolicy {
+	return greedyPolicy(score, maxPerServer, t)
+}
+
+func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer) PlacementPolicy {
 	if maxPerServer <= 0 {
 		maxPerServer = 4
 	}
 	cache := newScoreCache(greedyCacheCap)
-	cached := func(games []int) float64 {
-		return cache.get(stateKey(games), func() float64 { return score(games) })
-	}
 	return PolicyFunc(func(contents [][]int, game int) (int, bool) {
+		span := t.Current().StartSpan("score-candidates", trace.Int("game", game))
+		evaluated, misses := 0, 0
+		cached := func(games []int) float64 {
+			evaluated++
+			key := stateKey(games)
+			return cache.get(key, func() float64 {
+				misses++
+				sp := span.StartSpan("predict", trace.String("state", key))
+				v := score(games)
+				sp.End(trace.Float("fps_total", v))
+				return v
+			})
+		}
 		best, bestDelta, found := -1, 0.0, false
 		for s, occ := range contents {
 			if len(occ) >= maxPerServer {
@@ -174,6 +211,12 @@ func GreedyPolicy(score Scorer, maxPerServer int) PlacementPolicy {
 				found, best, bestDelta = true, s, delta
 			}
 		}
+		span.End(
+			trace.Int("evaluated", evaluated),
+			trace.Int("cache_misses", misses),
+			trace.Int("server", best),
+			trace.Bool("placed", found),
+		)
 		return best, found
 	})
 }
@@ -280,6 +323,10 @@ type session struct {
 	orphanedAt float64
 	retries    int
 	done       bool
+	// audited marks that the current placement's audit record has been
+	// resolved with an observation (see AuditSink.Observed); reset on
+	// every re-placement.
+	audited bool
 }
 
 // RunOnline drives the policy through a churn stream and scores it with
@@ -322,6 +369,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 	watchdogOn := cfg.WatchdogWindow > 0
 
 	om := newOnlineMetrics(cfg.Metrics)
+	tr := cfg.Tracer // nil-safe: every method on a nil Tracer is a no-op
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	contents := make([][]int, cfg.NumServers)
@@ -414,8 +462,28 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		return append(xs[:i:i], xs[i+1:]...)
 	}
 
+	// flushObservations resolves the audit record of every not-yet-observed
+	// session on server s against the frame rate it is running at RIGHT
+	// NOW. It is called immediately before any mutation of the server's
+	// colocation (an arrival joining, a session leaving, a crash), so each
+	// record's observation is taken while the colocation it predicted is
+	// still the one actually running — ground truth for the decision,
+	// uncontaminated by later churn.
+	flushObservations := func(s int) {
+		if cfg.Audit == nil {
+			return
+		}
+		for i, sid := range slots[s] {
+			if sess := sessions[sid]; !sess.audited {
+				sess.audited = true
+				cfg.Audit.Observed(sid, serverFPS[s][i])
+			}
+		}
+	}
+
 	// place admits sess onto server (already validated) and recomputes.
 	place := func(sess *session, server int) {
+		flushObservations(server)
 		i := sort.SearchInts(contents[server], sess.game)
 		contents[server] = insertAt(contents[server], i, sess.game)
 		slots[server] = insertAt(slots[server], i, sess.id)
@@ -427,10 +495,24 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		}
 		om.placements.Inc()
 		om.active.Set(float64(active))
+		if cfg.Audit != nil {
+			cfg.Audit.Placed(sess.id, sess.game, contents[server])
+			sess.audited = false
+		}
+	}
+	// dropSession marks sess lost to faults and notifies the audit sink.
+	dropSession := func(sess *session) {
+		sess.done = true
+		res.Dropped++
+		om.dropped.Inc()
+		if cfg.Audit != nil {
+			cfg.Audit.Dropped(sess.id)
+		}
 	}
 	// unplace removes sess from its server without completing it.
 	unplace := func(sess *session) {
 		s := sess.server
+		flushObservations(s)
 		for i, id := range slots[s] {
 			if id == sess.id {
 				contents[s] = removeIdx(contents[s], i)
@@ -484,11 +566,19 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		if sess.done || sess.server >= 0 {
 			return nil
 		}
+		tctx := tr.StartTrace("migration",
+			trace.Int("session", sess.id),
+			trace.Int("game", sess.game),
+			trace.Int("attempt", sess.retries),
+		)
+		tr.SetCurrent(tctx)
 		span := om.placeSec.Start()
 		server, ok := policy.Place(policyView(-1), sess.game)
 		span.Stop()
+		tr.ClearCurrent()
 		if ok {
 			if err := validatePlacement(server); err != nil {
+				tctx.End(trace.String("outcome", "error"))
 				return err
 			}
 			place(sess, server)
@@ -497,17 +587,18 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 			recoverSum += now - sess.orphanedAt
 			recoverN++
 			om.recovery.Observe(now - sess.orphanedAt)
+			tctx.End(trace.String("outcome", "migrated"), trace.Int("server", server))
 			return nil
 		}
 		if sess.retries >= migRetries {
-			sess.done = true
-			res.Dropped++
-			om.dropped.Inc()
+			dropSession(sess)
+			tctx.End(trace.String("outcome", "dropped"))
 			return nil
 		}
 		sess.retries++
 		delay := migBackoff * math.Pow(2, float64(sess.retries-1))
 		push(event{at: now + delay, kind: evRetry, sid: sess.id})
+		tctx.End(trace.String("outcome", "retry"))
 		return nil
 	}
 
@@ -515,6 +606,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 	crash := func(s int) error {
 		res.Crashes++
 		om.crashes.Inc()
+		flushObservations(s)
 		orphans := append([]int(nil), slots[s]...)
 		contents[s], slots[s], serverFPS[s] = nil, nil, nil
 		if watchdogOn && violating[s] {
@@ -529,9 +621,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 			sess.orphanedAt = now
 			sess.retries = 0
 			if cfg.DisableMigration {
-				sess.done = true
-				res.Dropped++
-				om.dropped.Inc()
+				dropSession(sess)
 				continue
 			}
 			if err := tryMigrate(sess); err != nil {
@@ -624,9 +714,7 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 				}
 				if sess.server < 0 {
 					// Departed while orphaned: the playtime is gone.
-					sess.done = true
-					res.Dropped++
-					om.dropped.Inc()
+					dropSession(sess)
 					break
 				}
 				unplace(sess)
@@ -652,17 +740,28 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 				om.watchdog.Inc()
 				if worst >= 0 {
 					victim := sessions[slots[s][worst]]
+					tctx := tr.StartTrace("watchdog",
+						trace.Int("server", s),
+						trace.Int("session", victim.id),
+						trace.Float("victim_fps", worstFPS),
+					)
+					tr.SetCurrent(tctx)
 					span := om.placeSec.Start()
 					target, ok := policy.Place(policyView(s), victim.game)
 					span.Stop()
+					tr.ClearCurrent()
 					if ok {
 						if err := validatePlacement(target); err != nil {
+							tctx.End(trace.String("outcome", "error"))
 							return res, err
 						}
 						unplace(victim)
 						place(victim, target)
 						res.Migrated++
 						om.migrations.Inc()
+						tctx.End(trace.String("outcome", "migrated"), trace.Int("target", target))
+					} else {
+						tctx.End(trace.String("outcome", "no-target"))
 					}
 				}
 				// Re-arm: if the server still violates, check again a
@@ -678,20 +777,30 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 		game := cfg.GameIDs[rng.Intn(len(cfg.GameIDs))]
 		if cfg.ShedUtilization > 0 {
 			if capacity := liveCapacity(); capacity == 0 || float64(active) >= cfg.ShedUtilization*float64(capacity) {
+				tctx := tr.StartTrace("shed",
+					trace.Int("game", game),
+					trace.Int("active", active),
+					trace.Int("capacity", capacity),
+				)
 				res.Rejected++
 				res.Shed++
 				om.rejected.Inc()
 				om.shed.Inc()
 				arrived++
 				nextArrival = now + rng.ExpFloat64()/cfg.ArrivalRate
+				tctx.End()
 				continue
 			}
 		}
+		tctx := tr.StartTrace("placement", trace.Int("game", game))
+		tr.SetCurrent(tctx)
 		span := om.placeSec.Start()
 		server, ok := policy.Place(policyView(-1), game)
 		span.Stop()
+		tr.ClearCurrent()
 		if ok {
 			if err := validatePlacement(server); err != nil {
+				tctx.End(trace.String("outcome", "error"))
 				return res, err
 			}
 			sess := &session{id: len(sessions), game: game, server: -1}
@@ -700,9 +809,15 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 			dur := rng.ExpFloat64() * cfg.MeanDuration
 			sess.departAt = now + dur
 			push(event{at: sess.departAt, kind: evDeparture, sid: sess.id})
+			tctx.End(
+				trace.String("outcome", "placed"),
+				trace.Int("server", server),
+				trace.Int("session", sess.id),
+			)
 		} else {
 			res.Rejected++
 			om.rejected.Inc()
+			tctx.End(trace.String("outcome", "rejected"))
 		}
 		arrived++
 		nextArrival = now + rng.ExpFloat64()/cfg.ArrivalRate

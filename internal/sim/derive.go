@@ -38,6 +38,15 @@ func deriveSeed(base int64, domain string, id int64) int64 {
 	return int64(splitmix64(mixed))
 }
 
+// DeriveSeed exposes the (base, domain, id) seed derivation for subsystems
+// that need deterministic identity streams outside the simulator — the span
+// tracer seeds its trace/span ID sequence with
+// DeriveSeed(simSeed, "trace", 0) so traces are reproducible per run yet
+// uncorrelated with every measurement stream.
+func DeriveSeed(base int64, domain string, id int64) int64 {
+	return deriveSeed(base, domain, id)
+}
+
 // TaskServer returns a server identical to s in every physical respect
 // (capacity, memory, noise level, encoder setting, hardware class, metric
 // counters) whose noise stream is independently seeded from s's base seed,
