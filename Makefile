@@ -7,7 +7,12 @@ GO ?= go
 # to make a failing build pass.
 COVER_MIN ?= 75
 
-.PHONY: build test vet race bench bench-json verify fmt fmt-check cover lint
+.PHONY: build test vet race bench bench-json bench-check verify fmt fmt-check cover lint
+
+# Relative slowdown bench-check tolerates before failing, in percent.
+# Benchmarks at -benchtime 1x are noisy; 30% separates "regressed" from
+# "jittered" on the tracked hot paths.
+BENCH_TOLERANCE ?= 30
 
 # Staticcheck version the lint gate pins (see .github/workflows/ci.yml —
 # keep the two in sync so local runs match CI).
@@ -37,13 +42,51 @@ bench:
 # trajectory. The -N GOMAXPROCS suffix is stripped so keys stay stable
 # across runners.
 bench-json:
-	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch|BenchmarkTraceOverhead' \
+	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch|BenchmarkOnlinePlacement|BenchmarkTraceOverhead' \
 		-benchtime 1x -run '^$$' . > bench_pipeline.txt
 	cat bench_pipeline.txt
 	awk 'BEGIN { print "{" } \
 		/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); if (n++) printf ",\n"; printf "  \"%s_ns_op\": %s", $$1, $$3 } \
 		END { print "\n}" }' bench_pipeline.txt > BENCH_pipeline.json
 	cat BENCH_pipeline.json
+
+# bench-check is the perf regression guard: it re-runs the two guarded
+# hot paths — the batch prediction kernel and the full offline pipeline —
+# and fails when either is more than BENCH_TOLERANCE percent slower than
+# the committed BENCH_pipeline.json baseline. Only those two are guarded
+# because the parallel Seq variants and trace overheads swing with runner
+# load. PredictBatch runs 20 iterations (a single shot of a sub-ms kernel
+# jitters past any sane tolerance); TrainPipeline is seconds long and
+# stable at one. The baseline file is read, never rewritten — run
+# `make bench-json` deliberately to move it.
+bench-check:
+	@test -f BENCH_pipeline.json || { echo "BENCH_pipeline.json baseline missing; run make bench-json and commit it"; exit 1; }
+	$(GO) test -bench 'BenchmarkPredictBatch$$' -benchtime 20x -run '^$$' . > bench_check.txt
+	$(GO) test -bench 'BenchmarkTrainPipeline$$' -benchtime 1x -run '^$$' . >> bench_check.txt
+	@cat bench_check.txt
+	@awk -v tol=$(BENCH_TOLERANCE) ' \
+		FNR == 1 { f++ } \
+		f == 1 && /_ns_op/ { \
+			key = $$1; gsub(/[":]/, "", key); \
+			val = $$2; gsub(/,/, "", val); \
+			base[key] = val; \
+		} \
+		f == 2 && /^Benchmark/ { \
+			key = $$1; sub(/-[0-9]+$$/, "", key); \
+			cur[key "_ns_op"] = $$3; \
+		} \
+		END { \
+			n = split("BenchmarkPredictBatch_ns_op BenchmarkTrainPipeline_ns_op", guard, " "); \
+			fail = 0; \
+			for (i = 1; i <= n; i++) { \
+				k = guard[i]; \
+				if (!(k in base) || !(k in cur)) { printf "bench-check: %s missing from baseline or fresh run\n", k; fail = 1; continue; } \
+				pct = (cur[k] - base[k]) * 100.0 / base[k]; \
+				printf "bench-check: %-36s base=%s fresh=%s delta=%+.1f%%\n", k, base[k], cur[k], pct; \
+				if (pct > tol) { printf "bench-check: %s regressed beyond %d%% tolerance\n", k, tol; fail = 1; } \
+			} \
+			exit fail; \
+		}' BENCH_pipeline.json bench_check.txt
 
 # fmt rewrites every tracked Go file in place; fmt-check is the CI gate
 # that fails (and lists offenders) when anything is unformatted.

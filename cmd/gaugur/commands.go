@@ -9,6 +9,7 @@ import (
 
 	"gaugur/internal/baselines"
 	"gaugur/internal/core"
+	"gaugur/internal/obs"
 	"gaugur/internal/obs/trace"
 	"gaugur/internal/profile"
 	"gaugur/internal/sched"
@@ -121,6 +122,7 @@ func cmdTrain(args []string) error {
 		CMKind:   core.ClassifierKind(*cmKind),
 		Seed:     1,
 		EncoderK: profile.DefaultK,
+		Metrics:  reg,
 		Tracer:   tracer,
 	})
 	if err != nil {
@@ -135,6 +137,7 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("trained %s + %s (QoS %.0f FPS) -> %s\n", *rmKind, *cmKind, *qos, *out)
+	reportCompileTime(reg)
 	stopMetrics(*metricsHold)
 	return nil
 }
@@ -169,13 +172,37 @@ func parseColocation(lab *core.Lab, spec string) (core.Colocation, error) {
 	return c, nil
 }
 
-func loadPredictor(lab *core.Lab, path string) (*core.Predictor, error) {
+// reportCompileTime prints the model-compile stage timing accumulated in
+// reg — the cost of lowering the fitted ensembles into compiled inference
+// plans. Train, pack, and dispatch call it so the one-time compile cost is
+// visible next to the numbers it buys; no registry, no line.
+func reportCompileTime(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h, ok := reg.Snapshot().Histograms[`gaugur_stage_seconds{stage="model-compile"}`]
+	if !ok || h.Count == 0 {
+		return
+	}
+	fmt.Printf("metrics: model compile %.3gs across %d lowering(s)\n", h.Sum, h.Count)
+}
+
+// loadPredictor reads a saved predictor and wires it to reg (nil
+// disables). Metrics are enabled before the explicit re-Compile so the
+// gaugur_stage_seconds{stage="model-compile"} timer observes the plan
+// lowering that LoadPredictor's own (pre-metrics) compile already did —
+// Compile is idempotent, and the double lowering costs microseconds.
+func loadPredictor(lab *core.Lab, path string, reg *obs.Registry) (*core.Predictor, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return core.LoadPredictor(f, lab.Profiles)
+	p, err := core.LoadPredictor(f, lab.Profiles)
+	if err != nil {
+		return nil, err
+	}
+	return p.EnableMetrics(reg).Compile(), nil
 }
 
 func cmdPredict(args []string) error {
@@ -196,7 +223,7 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := loadPredictor(lab, *model)
+	p, err := loadPredictor(lab, *model, nil)
 	if err != nil {
 		return err
 	}
@@ -288,11 +315,10 @@ func cmdPack(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := loadPredictor(lab, *model)
+	p, err := loadPredictor(lab, *model, reg)
 	if err != nil {
 		return err
 	}
-	p.EnableMetrics(reg)
 	ids, err := resolveGames(lab, *games)
 	if err != nil {
 		return err
@@ -320,6 +346,7 @@ func cmdPack(args []string) error {
 	if res.Unplaceable > 0 {
 		fmt.Printf("%d requests had no feasible colocation and run on dedicated servers\n", res.Unplaceable)
 	}
+	reportCompileTime(reg)
 	stopMetrics(*metricsHold)
 	return nil
 }
@@ -350,11 +377,10 @@ func cmdDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := loadPredictor(lab, *model)
+	p, err := loadPredictor(lab, *model, reg)
 	if err != nil {
 		return err
 	}
-	p.EnableMetrics(reg)
 	ids, err := resolveGames(lab, *games)
 	if err != nil {
 		return err
@@ -430,6 +456,7 @@ func cmdDispatch(args []string) error {
 		fmt.Printf("%-12s avg FPS %6.1f  (p10 %.1f, p50 %.1f, p90 %.1f) on %d servers\n",
 			"VBP", stats.Mean(fps), pctl(fps, 0.1), pctl(fps, 0.5), pctl(fps, 0.9), len(fleet))
 	}
+	reportCompileTime(reg)
 	stopMetrics(*metricsHold)
 	return nil
 }

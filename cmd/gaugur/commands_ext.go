@@ -41,7 +41,7 @@ func cmdChurn(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := loadPredictor(lab, *model)
+	p, err := loadPredictor(lab, *model, reg)
 	if err != nil {
 		return err
 	}
@@ -60,7 +60,6 @@ func cmdChurn(args []string) error {
 	eval := func(g []int) []float64 { return lab.ExpectedFPS(toColoc(g)) }
 	score := func(g []int) float64 { return p.PredictTotalFPS(toColoc(g)) }
 
-	p.EnableMetrics(reg)
 	const maxPer = 4
 	// Audit the model's placement-time predictions against what each
 	// session actually receives, but only on the model-driven run: the

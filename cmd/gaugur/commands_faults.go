@@ -47,7 +47,7 @@ func cmdFaults(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := loadPredictor(lab, *model)
+	p, err := loadPredictor(lab, *model, reg)
 	if err != nil {
 		return err
 	}
@@ -103,7 +103,6 @@ func cmdFaults(args []string) error {
 
 	// The greedy scorer runs through the fallback chain so the dropout
 	// windows exercise graceful degradation.
-	p.EnableMetrics(reg)
 	fb := core.NewFallbackPredictor(p, lab.Profiles, p.QoS, core.BreakerConfig{}).
 		EnableMetrics(reg).EnableTracing(tracer)
 	score := func(g []int) float64 { return fb.PredictTotalFPS(toColoc(g)) }

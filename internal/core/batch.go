@@ -1,15 +1,22 @@
 package core
 
-import "gaugur/internal/features"
+import (
+	"gaugur/internal/features"
+	"gaugur/internal/ml"
+	"gaugur/internal/obs"
+)
 
-// Batch prediction for the online path. Scoring loops — the dispatcher
-// evaluating candidate placements, experiments sweeping a sample set —
-// issue many RM queries back to back, and the per-query path re-resolves
-// profile members and allocates a fresh feature vector every time. The
-// batch API answers the same queries with the same values (and the same
-// metric increments) while reusing one set of member/feature buffers
-// across the whole batch, and skips member re-resolution entirely for
-// consecutive queries against the same colocation.
+// Batch prediction and the pooled scratch for the online path. Scoring
+// loops — the dispatcher evaluating candidate placements, experiments
+// sweeping a sample set — issue many RM/CM queries back to back. Every
+// query method reuses one set of member/feature buffers drawn from the
+// predictor's sync.Pool, so the steady-state path allocates nothing, and
+// consecutive queries against the same colocation skip member
+// re-resolution entirely. RM queries are additionally gathered into
+// blocks of four and evaluated in one tree-major Eval4 pass, which
+// amortizes the compiled plan's memory traffic across the block. Values
+// and metric increments are identical to the original allocating
+// per-query path.
 
 // BatchQuery names one (colocation, target index) degradation query.
 type BatchQuery struct {
@@ -17,14 +24,45 @@ type BatchQuery struct {
 	Index int
 }
 
-// batchState holds the buffers one batch call reuses across its queries.
-type batchState struct {
-	p       *Predictor
+// rmBlock is the blocked-evaluation gather width, matching the compiled
+// kernel's chunk size so one flush is one tree-major pass.
+const rmBlock = ml.EvalChunkSize
+
+// predictScratch holds the buffers one query sequence reuses. Instances
+// are recycled through Predictor.pool; cur memoizes the colocation whose
+// members are currently resolved and is invalidated on every pool Get
+// (the identity test below is by backing address, which could otherwise
+// alias a freed-and-reallocated slice across pool cycles).
+type predictScratch struct {
 	members []features.Member
 	others  []features.Member
 	feat    []float64
 	cur     Colocation
+
+	// Pending RM block: feature vectors (each with its own backing
+	// array), destination indices, and the per-query latency spans that
+	// stop when the block flushes. bn counts gathered queries; bout
+	// receives the raw plan outputs.
+	bx    [rmBlock][]float64
+	bqi   [rmBlock]int
+	bspan [rmBlock]obs.Span
+	bout  [rmBlock]float64
+	bn    int
 }
+
+// getScratch draws a scratch from the pool (allocating only on first use
+// per P) with the colocation memo and block state cleared.
+func (p *Predictor) getScratch() *predictScratch {
+	if s, _ := p.pool.Get().(*predictScratch); s != nil {
+		s.cur = nil
+		s.bn = 0
+		return s
+	}
+	return &predictScratch{feat: make([]float64, 0, p.Enc.CMWidth())}
+}
+
+// putScratch returns a scratch for reuse.
+func (p *Predictor) putScratch(s *predictScratch) { p.pool.Put(s) }
 
 // sameColoc reports whether a and b are the same backing slice, the cheap
 // identity test that lets consecutive queries share resolved members.
@@ -32,30 +70,45 @@ func sameColoc(a, b Colocation) bool {
 	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
 }
 
-// degradation answers one query exactly like Predictor.PredictDegradation,
-// but from reused buffers.
-func (b *batchState) degradation(c Colocation, idx int) float64 {
-	b.p.met.predictions.Inc()
-	span := b.p.met.latency.Start()
+// resolve fills s.members for c, skipping the work when c is the
+// colocation already resolved.
+func (s *predictScratch) resolve(p *Predictor, c Colocation) {
+	if sameColoc(c, s.cur) {
+		return
+	}
+	s.members = s.members[:0]
+	for _, w := range c {
+		s.members = append(s.members, features.NewMember(p.Profiles.Get(w.GameID), w.Res))
+	}
+	s.cur = c
+}
+
+// split returns the target member at idx and the remaining members packed
+// into the reused others buffer.
+func (s *predictScratch) split(idx int) (features.Member, []features.Member) {
+	s.others = s.others[:0]
+	for i, m := range s.members {
+		if i != idx {
+			s.others = append(s.others, m)
+		}
+	}
+	return s.members[idx], s.others
+}
+
+// degradation answers one RM query exactly like the original
+// Predictor.PredictDegradation, but from reused buffers and through the
+// compiled plan when one is installed.
+func (p *Predictor) degradation(s *predictScratch, c Colocation, idx int) float64 {
+	p.met.predictions.Inc()
+	span := p.met.latency.Start()
 	defer span.Stop()
 	if len(c) == 1 {
 		return 1
 	}
-	if !sameColoc(c, b.cur) {
-		b.members = b.members[:0]
-		for _, w := range c {
-			b.members = append(b.members, features.NewMember(b.p.Profiles.Get(w.GameID), w.Res))
-		}
-		b.cur = c
-	}
-	b.others = b.others[:0]
-	for i, m := range b.members {
-		if i != idx {
-			b.others = append(b.others, m)
-		}
-	}
-	b.feat = b.p.Enc.RMInto(b.feat, b.members[idx], b.others)
-	d := b.p.RM.Predict(b.feat)
+	s.resolve(p, c)
+	target, others := s.split(idx)
+	s.feat = p.Enc.RMInto(s.feat, target, others)
+	d := p.rmPredict(s.feat)
 	if d < 0 {
 		return 0
 	}
@@ -63,6 +116,58 @@ func (b *batchState) degradation(c Colocation, idx int) float64 {
 		return 1
 	}
 	return d
+}
+
+// gatherDeg queues one degradation query for blocked evaluation, writing
+// the result to dst[qi] — immediately for singletons, at the next flush
+// otherwise. Metric increments happen at gather time, in query order, so
+// counters match the per-query path exactly.
+func (p *Predictor) gatherDeg(s *predictScratch, c Colocation, idx, qi int, dst []float64) {
+	p.met.predictions.Inc()
+	if len(c) == 1 {
+		span := p.met.latency.Start()
+		dst[qi] = 1
+		span.Stop()
+		return
+	}
+	s.bspan[s.bn] = p.met.latency.Start()
+	s.resolve(p, c)
+	target, others := s.split(idx)
+	s.bx[s.bn] = p.Enc.RMInto(s.bx[s.bn], target, others)
+	s.bqi[s.bn] = qi
+	s.bn++
+	if s.bn == rmBlock {
+		p.flushDeg(s, dst)
+	}
+}
+
+// flushDeg evaluates the pending block and stores each query's final
+// degradation at its destination index. With a compiled plan the block
+// goes through the tree-major EvalBatch kernel in one pass; uncompiled
+// models fall back to the one-at-a-time path. Results are bit-identical
+// either way.
+func (p *Predictor) flushDeg(s *predictScratch, dst []float64) {
+	if p.rmPlan != nil {
+		out := p.rmPlan.EvalBatch(s.bout[:0], s.bx[:s.bn])
+		for k := 0; k < s.bn; k++ {
+			dst[s.bqi[k]] = p.rmFromRaw(out[k])
+		}
+	} else {
+		for k := 0; k < s.bn; k++ {
+			d := p.rmPredict(s.bx[k])
+			if d < 0 {
+				d = 0
+			}
+			if d > 1 {
+				d = 1
+			}
+			dst[s.bqi[k]] = d
+		}
+	}
+	for k := 0; k < s.bn; k++ {
+		s.bspan[k].Stop()
+	}
+	s.bn = 0
 }
 
 // PredictBatch answers every query with the RM degradation ratio, writing
@@ -73,10 +178,12 @@ func (p *Predictor) PredictBatch(qs []BatchQuery, dst []float64) []float64 {
 		dst = make([]float64, len(qs))
 	}
 	dst = dst[:len(qs)]
-	st := batchState{p: p, feat: make([]float64, 0, p.Enc.RMWidth())}
+	s := p.getScratch()
 	for qi, q := range qs {
-		dst[qi] = st.degradation(q.Coloc, q.Index)
+		p.gatherDeg(s, q.Coloc, q.Index, qi, dst)
 	}
+	p.flushDeg(s, dst)
+	p.putScratch(s)
 	return dst
 }
 
@@ -89,10 +196,15 @@ func (p *Predictor) PredictFPSBatch(c Colocation, dst []float64) []float64 {
 		dst = make([]float64, len(c))
 	}
 	dst = dst[:len(c)]
-	st := batchState{p: p, feat: make([]float64, 0, p.Enc.RMWidth())}
+	s := p.getScratch()
+	for i := range c {
+		p.gatherDeg(s, c, i, i, dst)
+	}
+	p.flushDeg(s, dst)
+	p.putScratch(s)
 	for i := range c {
 		solo := p.Profiles.Get(c[i].GameID).SoloFPS(c[i].Res)
-		dst[i] = solo * st.degradation(c, i)
+		dst[i] = solo * dst[i]
 	}
 	return dst
 }

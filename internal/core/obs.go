@@ -13,6 +13,7 @@ type predictorMetrics struct {
 	predictions *obs.Counter
 	qosChecks   *obs.Counter
 	latency     *obs.StageTimer
+	compile     *obs.StageTimer
 }
 
 // EnableMetrics wires the predictor's online query path into r (a nil r
@@ -29,6 +30,8 @@ func (p *Predictor) EnableMetrics(r *obs.Registry) *Predictor {
 			"CM QoS-feasibility queries answered"),
 		latency: r.Timer("gaugur_predict_seconds",
 			"latency of one online interference prediction"),
+		compile: r.Timer(`gaugur_stage_seconds{stage="model-compile"}`,
+			"time lowering fitted models into compiled inference plans"),
 	}
 	return p
 }

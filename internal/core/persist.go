@@ -69,11 +69,15 @@ func LoadPredictor(r io.Reader, profiles *profile.Set) (*Predictor, error) {
 	if err := gob.NewDecoder(bytes.NewReader(st.CM)).Decode(&cm); err != nil {
 		return nil, fmt.Errorf("core: decoding CM: %w", err)
 	}
-	return &Predictor{
+	p := &Predictor{
 		Profiles: profiles,
 		Enc:      newEncoder(st.EncoderK),
 		RM:       logRegressor{inner: rmInner},
 		CM:       cm,
 		QoS:      st.QoS,
-	}, nil
+	}
+	// Plans are never persisted — they are recompiled from the decoded
+	// trees, so a round-tripped predictor serves from compiled plans
+	// transparently.
+	return p.Compile(), nil
 }

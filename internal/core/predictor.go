@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"gaugur/internal/features"
@@ -31,6 +32,108 @@ type Predictor struct {
 	// met instruments the online query path; see EnableMetrics. The zero
 	// value (nil instruments) disables it.
 	met predictorMetrics
+
+	// Compiled inference plans (see Compile). When set, every query routes
+	// through the flat structure-of-arrays kernels instead of the model
+	// interfaces; outputs are bit-identical either way. rmLog records that
+	// the RM plan produces log-degradation (the logRegressor transform) so
+	// the compiled path applies the same exp+clamp inverse.
+	rmPlan *ml.CompiledForest
+	cmPlan *ml.CompiledForest
+	rmLog  bool
+
+	// pool recycles per-query scratch (member/feature buffers) across the
+	// online query methods, keeping the steady-state path allocation-free
+	// and concurrency-safe.
+	pool sync.Pool
+}
+
+// Compile lowers the fitted RM and CM into ml.CompiledForest plans so the
+// online query path traverses flat cache-resident arrays instead of
+// pointer-chasing per-tree node slices. Models that cannot compile (SVMs,
+// ridge — or unfitted models) silently keep the interface path; compiled
+// output is bit-identical to the reference walk, so compiling is always
+// safe. Train and LoadPredictor call this automatically; call it again
+// after swapping models in place. Returns p for chaining.
+func (p *Predictor) Compile() *Predictor {
+	span := p.met.compile.Start()
+	defer span.Stop()
+	p.rmPlan, p.cmPlan, p.rmLog = nil, nil, false
+	rm := p.RM
+	if lr, ok := rm.(logRegressor); ok {
+		rm, p.rmLog = lr.inner, true
+	}
+	if c, ok := rm.(ml.PlanCompiler); ok {
+		if plan, err := c.CompilePlan(); err == nil {
+			p.rmPlan = plan
+		}
+	}
+	if c, ok := p.CM.(ml.PlanCompiler); ok {
+		if plan, err := c.CompilePlan(); err == nil {
+			p.cmPlan = plan
+		}
+	}
+	return p
+}
+
+// Compiled reports whether the RM and CM queries are served from compiled
+// plans.
+func (p *Predictor) Compiled() (rm, cm bool) {
+	return p.rmPlan != nil, p.cmPlan != nil
+}
+
+// rmPredict answers one RM query from the compiled plan when available,
+// reproducing logRegressor.Predict's exp+clamp inverse exactly; otherwise
+// it falls through to the model interface.
+func (p *Predictor) rmPredict(feat []float64) float64 {
+	if p.rmPlan == nil {
+		return p.RM.Predict(feat)
+	}
+	d := p.rmPlan.Eval(feat)
+	if !p.rmLog {
+		return d
+	}
+	d = math.Exp(d)
+	if d > 1 {
+		return 1
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// rmFromRaw maps a raw compiled-plan output to the final degradation
+// ratio: the exact transform chain of logRegressor.Predict (exp and
+// clamp, when the plan was compiled from a log-target model) followed by
+// the [0,1] clamp PredictDegradation applies. The blocked scoring path
+// evaluates four feature vectors in one Eval4 pass and finishes each
+// result here, bit-identical to the one-at-a-time path.
+func (p *Predictor) rmFromRaw(d float64) float64 {
+	if p.rmLog {
+		d = math.Exp(d)
+		if d > 1 {
+			d = 1
+		}
+		if d < 0 {
+			d = 0
+		}
+	}
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// cmClass answers one CM query from the compiled plan when available.
+func (p *Predictor) cmClass(feat []float64) int {
+	if p.cmPlan == nil {
+		return p.CM.PredictClass(feat)
+	}
+	return p.cmPlan.Class(feat)
 }
 
 // TrainConfig bundles everything Train needs to build a working predictor.
@@ -119,7 +222,7 @@ func Train(profiles *profile.Set, cfg TrainConfig) (*Predictor, error) {
 		CM:       cm,
 		QoS:      cfg.Samples.QoS,
 	}
-	return p.EnableMetrics(cfg.Metrics), nil
+	return p.EnableMetrics(cfg.Metrics).Compile(), nil
 }
 
 // members resolves a colocation against the profile set.
@@ -137,22 +240,9 @@ func (p *Predictor) members(c Colocation) []features.Member {
 // definition, so singletons short-circuit to 1 — the models are only ever
 // trained on real colocations.
 func (p *Predictor) PredictDegradation(c Colocation, idx int) float64 {
-	p.met.predictions.Inc()
-	span := p.met.latency.Start()
-	defer span.Stop()
-	if len(c) == 1 {
-		return 1
-	}
-	m := p.members(c)
-	target := m[idx]
-	others := append(m[:idx:idx], m[idx+1:]...)
-	d := p.RM.Predict(p.Enc.RM(target, others))
-	if d < 0 {
-		return 0
-	}
-	if d > 1 {
-		return 1
-	}
+	s := p.getScratch()
+	d := p.degradation(s, c, idx)
+	p.putScratch(s)
 	return d
 }
 
@@ -166,27 +256,41 @@ func (p *Predictor) PredictFPS(c Colocation, idx int) float64 {
 // SatisfiesQoS answers Equation (3) for the target workload via the CM.
 // Singletons compare the known solo frame rate against the floor directly.
 func (p *Predictor) SatisfiesQoS(c Colocation, idx int) bool {
+	s := p.getScratch()
+	ok := p.satisfies(s, c, idx)
+	p.putScratch(s)
+	return ok
+}
+
+// satisfies answers one CM query from reused buffers, with the same metric
+// increments as the public entry point.
+func (p *Predictor) satisfies(s *predictScratch, c Colocation, idx int) bool {
 	p.met.qosChecks.Inc()
 	span := p.met.latency.Start()
 	defer span.Stop()
 	if len(c) == 1 {
 		return p.Profiles.Get(c[idx].GameID).SoloFPS(c[idx].Res) >= p.QoS
 	}
-	m := p.members(c)
-	target := m[idx]
-	others := append(m[:idx:idx], m[idx+1:]...)
-	return p.CM.PredictClass(p.Enc.CM(p.QoS, target, others)) == 1
+	s.resolve(p, c)
+	target, others := s.split(idx)
+	s.feat = p.Enc.CMInto(s.feat, p.QoS, target, others)
+	return p.cmClass(s.feat) == 1
 }
 
 // FeasibleCM reports whether the CM judges EVERY game in the colocation to
-// satisfy the QoS floor — the feasibility test of Section 5.1.
+// satisfy the QoS floor — the feasibility test of Section 5.1. Members are
+// resolved once and shared across the per-game checks.
 func (p *Predictor) FeasibleCM(c Colocation) bool {
+	s := p.getScratch()
+	ok := true
 	for i := range c {
-		if !p.SatisfiesQoS(c, i) {
-			return false
+		if !p.satisfies(s, c, i) {
+			ok = false
+			break
 		}
 	}
-	return true
+	p.putScratch(s)
+	return ok
 }
 
 // FeasibleRM applies the RM for classification: predict each game's frame

@@ -6,6 +6,8 @@
 package features
 
 import (
+	"math"
+
 	"gaugur/internal/profile"
 	"gaugur/internal/sim"
 	"gaugur/internal/stats"
@@ -55,6 +57,49 @@ func AggregateIntensity(members []Member) Aggregate {
 // AggregateWidth is the number of scalars in the Equation (5) block.
 const AggregateWidth = 2*sim.NumResources + 1
 
+// appendAggregate writes the Equation (5) block for members to dst without
+// allocating: each member's intensity vector is resolved once into a small
+// stack buffer (AggregateIntensity re-interpolates it per resource and
+// allocates a column scratch per call), and the mean/var accumulations
+// replicate stats.Mean and stats.PaperVar term for term — same summation
+// order, same normalization expressions — so the output is bit-identical
+// to AggregateIntensity(members).append(dst). The online scoring hot path
+// goes through here; the allocating AggregateIntensity stays as the
+// reference (and public) form.
+func appendAggregate(dst []float64, members []Member) []float64 {
+	n := len(members)
+	dst = append(dst, float64(n))
+	if n == 0 {
+		for r := 0; r < sim.NumResources; r++ {
+			dst = append(dst, 0, 0)
+		}
+		return dst
+	}
+	var stack [4]sim.Vector
+	ivs := stack[:0]
+	if n > len(stack) {
+		ivs = make([]sim.Vector, 0, n)
+	}
+	for _, m := range members {
+		ivs = append(ivs, m.Intensity())
+	}
+	fn := float64(n)
+	for r := 0; r < sim.NumResources; r++ {
+		s := 0.0
+		for i := range ivs {
+			s += ivs[i][r]
+		}
+		mean := s / fn
+		q := 0.0
+		for i := range ivs {
+			d := ivs[i][r] - mean
+			q += d * d
+		}
+		dst = append(dst, mean, math.Sqrt(q)/fn)
+	}
+	return dst
+}
+
 // append writes the aggregate block to dst.
 func (a Aggregate) append(dst []float64) []float64 {
 	dst = append(dst, float64(a.Count))
@@ -101,7 +146,7 @@ func (e Encoder) RM(target Member, others []Member) []float64 {
 func (e Encoder) RMInto(dst []float64, target Member, others []Member) []float64 {
 	dst = dst[:0]
 	dst = target.Profile.FlatSensitivity(dst)
-	dst = AggregateIntensity(others).append(dst)
+	dst = appendAggregate(dst, others)
 	return dst
 }
 
@@ -117,6 +162,6 @@ func (e Encoder) CMInto(dst []float64, qos float64, target Member, others []Memb
 	dst = dst[:0]
 	dst = append(dst, qos, target.Profile.SoloFPS(target.Res))
 	dst = target.Profile.FlatSensitivity(dst)
-	dst = AggregateIntensity(others).append(dst)
+	dst = appendAggregate(dst, others)
 	return dst
 }

@@ -166,3 +166,46 @@ func TestNewEncoderDefaultK(t *testing.T) {
 		t.Error("explicit K should stick")
 	}
 }
+
+// TestAppendAggregateBitIdentical proves the alloc-free hot-path aggregate
+// reproduces the reference AggregateIntensity+append composition bit for
+// bit across random member sets of every size the scheduler produces
+// (including zero, one, and past the stack-buffer spill point).
+func TestAppendAggregateBitIdentical(t *testing.T) {
+	_, set := testProfiles(t)
+	resAll := sim.StandardResolutions()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(7) // 0..6 covers the [4]Vector stack buffer and the spill
+		members := make([]Member, n)
+		for i := range members {
+			members[i] = NewMember(set.Get(rng.Intn(set.Len())), resAll[rng.Intn(len(resAll))])
+		}
+		want := AggregateIntensity(members).append([]float64{})
+		got := appendAggregate([]float64{}, members)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d): len %d, want %d", trial, n, len(got), len(want))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d (n=%d): slot %d = %v, want %v (bit mismatch)",
+					trial, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAppendAggregateAllocFree pins the hot-path property the scoring loop
+// relies on: aggregating into a pre-sized buffer heap-allocates nothing for
+// colocation-sized member sets.
+func TestAppendAggregateAllocFree(t *testing.T) {
+	_, set := testProfiles(t)
+	members := membersOf(set, []int{1, 2, 3}, sim.Res1080p)
+	dst := make([]float64, 0, AggregateWidth)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = appendAggregate(dst[:0], members)
+	})
+	if allocs != 0 {
+		t.Errorf("appendAggregate allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,534 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"unsafe"
+)
+
+// Compiled forest inference. The fitted tree ensembles answer every online
+// query GAugur serves, and the reference walk (Tree.Predict) pays for its
+// generality on every node visit: each tree is its own heap object, each
+// node a 32-byte array-of-structs entry, and each ensemble member costs a
+// method call plus a slice-header load before the first comparison runs.
+// Worse, the walk's exit condition and direction are both data-dependent
+// branches the hardware cannot predict, so an ensemble evaluation is one
+// long serial chain of loads and mispredictions. CompiledForest lowers a
+// fitted ensemble once, at train or load time, into flat
+// structure-of-arrays plans shared by every tree:
+//
+//	feature[]    int32   split feature per node (a valid index at leaves)
+//	threshold[]  float64 split threshold per node; NaN at leaves
+//	left[]       int32   left-child index; leaves point at themselves
+//	right[]      int32   right-child index; leaves point at themselves
+//	leaf[]       float64 node value (the prediction at leaves)
+//	roots[]      int32   root node index per tree
+//	depth[]      int32   node depth of the deepest leaf per tree
+//
+// Nodes are emitted in preorder (left[i] is always i+1 for internal nodes),
+// so the whole ensemble lives in a few contiguous arrays that stay
+// cache-resident across a scoring batch, and evaluation allocates nothing.
+//
+// The self-looping leaves are what make the walk branch-free: a leaf's
+// threshold is NaN (minimum key in the packed kernel), so the step
+// compare always sends the walk to right == itself — reaching a leaf is
+// a fixed point, not an exit branch. Eval runs every walk for the
+// (group-max) recorded depth unconditionally and interleaves four
+// independent load-compare-step chains for the out-of-order core to
+// overlap, and the child select itself is integer sort-key mask
+// arithmetic (see cnode), so the only branch left in the hot loop is the
+// loop counter itself.
+//
+// Correctness contract: a compiled plan reproduces the reference walk BIT
+// FOR BIT. Padded steps hold the walk at the leaf the reference walk ends
+// on, and the per-tree accumulation order, the shrinkage multiply, the
+// forest mean, and the classification links are the exact floating-point
+// expressions of the reference implementations, so swapping a plan in can
+// never change a prediction (compile_test.go holds this property over
+// random ensembles).
+
+// errUnfitted is returned when compiling a model with no fitted trees.
+var errUnfitted = errors.New("ml: cannot compile unfitted model")
+
+// linkKind maps the raw ensemble output to a class probability.
+type linkKind int
+
+const (
+	// linkIdentity leaves the raw output untouched (regressors).
+	linkIdentity linkKind = iota
+	// linkClamp01 clamps the raw output into [0,1] (CART / forest
+	// classifiers, whose leaves already hold positive-class fractions).
+	linkClamp01
+	// linkSigmoid squashes additive log-odds (GBDT).
+	linkSigmoid
+)
+
+// CompiledForest is a fitted tree ensemble lowered into flat
+// structure-of-arrays evaluation plans. Build one with the CompilePlan
+// method of Tree, Forest, GBRT, or GBDT; the zero value is not usable.
+// Plans are immutable after compilation and safe for concurrent use.
+type CompiledForest struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	leaf      []float64
+	roots     []int32
+	depth     []int32
+
+	// nodes packs the three fields every walk step reads — threshold sort
+	// key, feature, right child — into one 16-byte record, derived from
+	// the canonical arrays above at compile time. A visit in the SoA arrays
+	// touches up to four cache lines (one per array at an unpredictable
+	// index); against a 500-tree plan that streams most of the plan
+	// through the cache on EVERY query, and memory traffic, not
+	// arithmetic, bounds throughput. The packed record makes each visit a
+	// single line touch, and preorder layout puts the (more likely) left
+	// child on the same or next line.
+	nodes []cnode
+
+	base    float64 // additive offset (boosting's initial estimate)
+	scale   float64 // per-tree multiplier (boosting's learning rate)
+	average bool    // divide the accumulated sum by NumTrees (forest mean)
+	link    linkKind
+	nFeat   int
+}
+
+// cnode is the packed per-node record of the evaluation kernel. Left
+// children are implicit (preorder: always the next node); leaves carry
+// the minimum sort key and a self-referencing right child, so a padded
+// walk step at a leaf always selects right == itself and stays put.
+//
+// key is the split threshold lowered into the integer sort-key domain
+// (see sortKey), not the float threshold itself: the kernel's child
+// select is branchless mask arithmetic over int64 keys. It cannot be a
+// float compare feeding an if: the walk index is a load address, and the
+// compiler refuses to lower selects that feed load addresses into
+// conditional moves (cmd/compile's branchelim, issue 26306), leaving a
+// data-dependent branch that mispredicts on every other node — tree
+// split directions are coin flips by construction.
+type cnode struct {
+	key   int64
+	feat  int32
+	right int32
+}
+
+// sortKey maps a float64 onto an int64 whose signed order equals the
+// float order for all finite values (flip the lower 63 bits of negative
+// values so more-negative floats map to more-negative ints). Comparing
+// keys with integer mask arithmetic is what makes the walk branch-free.
+// The mapping is exact — key(x) <= key(t) iff x <= t — for finite x and
+// t with one caveat handled at compile time: -0.0 and +0.0 get distinct
+// keys, so thresholds normalize -0.0 to +0.0 (features need no fixup;
+// -0.0 <= key(t) agrees with the float compare once t is normalized).
+// NaN features are unordered in float compares (always stepping right)
+// but ordered by the key transform; encoder output is always finite, so
+// the kernel never sees one.
+func sortKey(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	return b ^ int64(uint64(b>>63)>>1)
+}
+
+// thrKey lowers a split threshold into the sort-key domain: leaves (NaN
+// threshold) take the minimum key so every finite feature compares
+// greater and the walk holds at the leaf, and -0.0 normalizes to +0.0 so
+// key ties match float ties.
+func thrKey(f float64) int64 {
+	if math.IsNaN(f) {
+		return math.MinInt64
+	}
+	if f == 0 {
+		f = 0 // -0.0 → +0.0
+	}
+	return sortKey(f)
+}
+
+// rightMask returns all ones when kt < kx — the feature strictly exceeds
+// the threshold and the walk steps right — and zero otherwise, without
+// branching. The subtraction trick alone would overflow across the key
+// range, so the sign is corrected the standard way (Hacker's Delight
+// §2-12).
+func rightMask(kt, kx int64) int64 {
+	d := kt - kx
+	return (d ^ ((kt ^ kx) & (d ^ kt))) >> 63
+}
+
+// PlanCompiler is implemented by models that can lower themselves into a
+// CompiledForest. The serving layer compiles through this interface and
+// falls back to the model's own Predict when it is not implemented (SVMs,
+// ridge).
+type PlanCompiler interface {
+	CompilePlan() (*CompiledForest, error)
+}
+
+// NumTrees returns the number of trees in the plan.
+func (p *CompiledForest) NumTrees() int { return len(p.roots) }
+
+// NumNodes returns the total node count across all trees.
+func (p *CompiledForest) NumNodes() int { return len(p.feature) }
+
+// NumFeatures returns the input width the plan was fitted on.
+func (p *CompiledForest) NumFeatures() int { return p.nFeat }
+
+// appendTree emits t's nodes in preorder so the left child of node i is
+// node i+1, with leaves lowered to branch-free fixed points (NaN
+// threshold, self-referencing children), and records the tree's depth.
+func (p *CompiledForest) appendTree(t *Tree) error {
+	if t == nil || len(t.nodes) == 0 {
+		return errUnfitted
+	}
+	p.roots = append(p.roots, int32(len(p.feature)))
+	maxDepth := int32(0)
+	var emit func(n, d int32) int32
+	emit = func(n, d int32) int32 {
+		nd := &t.nodes[n]
+		me := int32(len(p.feature))
+		if nd.left < 0 {
+			if d > maxDepth {
+				maxDepth = d
+			}
+			p.feature = append(p.feature, 0)
+			p.threshold = append(p.threshold, math.NaN())
+			p.left = append(p.left, me)
+			p.right = append(p.right, me)
+			p.leaf = append(p.leaf, nd.value)
+			return me
+		}
+		p.feature = append(p.feature, int32(nd.feature))
+		p.threshold = append(p.threshold, nd.threshold)
+		p.left = append(p.left, me+1)
+		p.right = append(p.right, 0) // patched once the left subtree is laid out
+		p.leaf = append(p.leaf, nd.value)
+		emit(nd.left, d+1)
+		p.right[me] = emit(nd.right, d+1)
+		return me
+	}
+	emit(0, 0)
+	p.depth = append(p.depth, maxDepth)
+	return nil
+}
+
+// compileTrees lays out the ensemble members back to back.
+func compileTrees(trees []*Tree, nFeat int) (*CompiledForest, error) {
+	if len(trees) == 0 {
+		return nil, errUnfitted
+	}
+	total := 0
+	for _, t := range trees {
+		if t == nil {
+			return nil, errUnfitted
+		}
+		total += len(t.nodes)
+	}
+	p := &CompiledForest{
+		feature:   make([]int32, 0, total),
+		threshold: make([]float64, 0, total),
+		left:      make([]int32, 0, total),
+		right:     make([]int32, 0, total),
+		leaf:      make([]float64, 0, total),
+		roots:     make([]int32, 0, len(trees)),
+		depth:     make([]int32, 0, len(trees)),
+		scale:     1,
+		nFeat:     nFeat,
+	}
+	for _, t := range trees {
+		if err := p.appendTree(t); err != nil {
+			return nil, err
+		}
+	}
+	p.nodes = make([]cnode, len(p.feature))
+	for i := range p.nodes {
+		p.nodes[i] = cnode{key: thrKey(p.threshold[i]), feat: p.feature[i], right: p.right[i]}
+	}
+	return p, nil
+}
+
+// CompilePlan lowers a fitted CART tree into a one-tree plan. The plan's
+// Eval equals Tree.Predict exactly; Prob/Class match TreeClassifier.
+func (t *Tree) CompilePlan() (*CompiledForest, error) {
+	p, err := compileTrees([]*Tree{t}, t.nFeatures)
+	if err != nil {
+		return nil, err
+	}
+	p.link = linkClamp01
+	return p, nil
+}
+
+// CompilePlan lowers a fitted random forest. Eval reproduces
+// Forest.Predict's sum-then-mean exactly; Prob/Class match
+// ForestClassifier.
+func (f *Forest) CompilePlan() (*CompiledForest, error) {
+	nFeat := 0
+	if len(f.trees) > 0 && f.trees[0] != nil {
+		nFeat = f.trees[0].nFeatures
+	}
+	p, err := compileTrees(f.trees, nFeat)
+	if err != nil {
+		return nil, err
+	}
+	p.average = true
+	p.link = linkClamp01
+	return p, nil
+}
+
+// CompilePlan lowers a fitted GBRT: base + sum of shrunken trees, the exact
+// expression of GBRT.Predict.
+func (g *GBRT) CompilePlan() (*CompiledForest, error) {
+	nFeat := 0
+	if len(g.trees) > 0 && g.trees[0] != nil {
+		nFeat = g.trees[0].nFeatures
+	}
+	p, err := compileTrees(g.trees, nFeat)
+	if err != nil {
+		return nil, err
+	}
+	p.base = g.base
+	p.scale = g.cfg.LearningRate
+	return p, nil
+}
+
+// CompilePlan lowers a fitted GBDT. Eval returns the raw additive log-odds
+// (GBDT.decision); Prob/Class apply the logistic link exactly as
+// GBDT.PredictProb / PredictClass do.
+func (g *GBDT) CompilePlan() (*CompiledForest, error) {
+	nFeat := 0
+	if len(g.trees) > 0 && g.trees[0] != nil {
+		nFeat = g.trees[0].nFeatures
+	}
+	p, err := compileTrees(g.trees, nFeat)
+	if err != nil {
+		return nil, err
+	}
+	p.base = g.base
+	p.scale = g.cfg.LearningRate
+	p.link = linkSigmoid
+	return p, nil
+}
+
+// Eval traverses every tree for one sample over the flat arrays and
+// returns the raw ensemble output (degradation for regressors, log-odds
+// for GBDT, leaf-fraction mean for classification forests). It allocates
+// nothing.
+//
+// Trees are walked four at a time for the group-max depth: each step is a
+// branchless sort-key mask select (leaves are fixed points, see the
+// package comment), and the four walks are independent dependency chains
+// the CPU executes in parallel. Leaf contributions are still accumulated
+// one tree at a time in ensemble order, so the floating-point result is
+// exactly the reference walk's.
+func (p *CompiledForest) Eval(x []float64) float64 {
+	nodes, leafv := p.nodes, p.leaf
+	roots, depth := p.roots, p.depth
+	acc := p.base
+	t := 0
+	for ; t+4 <= len(roots); t += 4 {
+		i0, i1, i2, i3 := roots[t], roots[t+1], roots[t+2], roots[t+3]
+		d := depth[t]
+		if d2 := depth[t+1]; d2 > d {
+			d = d2
+		}
+		if d2 := depth[t+2]; d2 > d {
+			d = d2
+		}
+		if d2 := depth[t+3]; d2 > d {
+			d = d2
+		}
+		for ; d > 0; d-- {
+			// One packed load per lane; the child select is branchless
+			// mask arithmetic over sort keys (see cnode), so the only
+			// branch in the walk is the loop counter.
+			n0, n1, n2, n3 := nodes[i0], nodes[i1], nodes[i2], nodes[i3]
+			l0 := i0 + 1
+			i0 = l0 ^ ((l0 ^ n0.right) & int32(rightMask(n0.key, sortKey(x[n0.feat]))))
+			l1 := i1 + 1
+			i1 = l1 ^ ((l1 ^ n1.right) & int32(rightMask(n1.key, sortKey(x[n1.feat]))))
+			l2 := i2 + 1
+			i2 = l2 ^ ((l2 ^ n2.right) & int32(rightMask(n2.key, sortKey(x[n2.feat]))))
+			l3 := i3 + 1
+			i3 = l3 ^ ((l3 ^ n3.right) & int32(rightMask(n3.key, sortKey(x[n3.feat]))))
+		}
+		acc += p.scale * leafv[i0]
+		acc += p.scale * leafv[i1]
+		acc += p.scale * leafv[i2]
+		acc += p.scale * leafv[i3]
+	}
+	for ; t < len(roots); t++ {
+		i := roots[t]
+		for d := depth[t]; d > 0; d-- {
+			nd := nodes[i]
+			l := i + 1
+			i = l ^ ((l ^ nd.right) & int32(rightMask(nd.key, sortKey(x[nd.feat]))))
+		}
+		acc += p.scale * leafv[i]
+	}
+	if p.average {
+		acc /= float64(len(p.roots))
+	}
+	return acc
+}
+
+// EvalChunkSize is the sample-block width of EvalBatch's batched kernel.
+// A chunk's rows are first packed into one flat row-major scratch buffer
+// of pre-transformed sort keys: four per-sample slice headers would
+// otherwise occupy eight registers in the four-lane walk and push the
+// register allocator into spilling lane state onto the stack, and the
+// per-access float-to-key transform is hoisted out of the walk entirely —
+// each row is transformed once, then visited ~NumTrees times. Sixteen
+// samples keep the packed buffer a few KB, L1-resident beside the nodes
+// being walked.
+const EvalChunkSize = 16
+
+// chunkScratch recycles the packed row buffers across EvalBatch calls so
+// the steady-state batch path allocates nothing. Rows are packed as
+// sort keys (see sortKey), pre-transformed once per chunk so the walk
+// compares plain int64s.
+var chunkScratch = sync.Pool{
+	New: func() any { return new([]int64) },
+}
+
+// EvalBatch evaluates every row of X, writing the raw outputs into dst
+// (grown only when too small) and returning it. Rows are processed in
+// chunks of EvalChunkSize; outputs are bit-identical to per-row Eval. In
+// steady state (cap(dst) >= len(X)) the call allocates nothing.
+func (p *CompiledForest) EvalBatch(dst []float64, X [][]float64) []float64 {
+	if cap(dst) < len(X) {
+		dst = make([]float64, len(X))
+	}
+	dst = dst[:len(X)]
+	bp := chunkScratch.Get().(*[]int64)
+	if need := EvalChunkSize * p.nFeat; cap(*bp) < need {
+		*bp = make([]int64, need)
+	}
+	xb := (*bp)[:cap(*bp)]
+	for base := 0; base < len(X); base += EvalChunkSize {
+		end := base + EvalChunkSize
+		if end > len(X) {
+			end = len(X)
+		}
+		p.evalChunk(dst[base:end], X[base:end], xb)
+	}
+	chunkScratch.Put(bp)
+	return dst
+}
+
+// cnodeSize is the packed node record width, used to pre-scale node
+// indices into byte offsets in the batched kernel.
+const cnodeSize = unsafe.Sizeof(cnode{})
+
+// evalChunk evaluates up to EvalChunkSize samples: rows are packed into
+// the flat xb scratch, then groups of four samples walk the forest
+// through the branch-free four-lane step — four independent load-compare
+// chains for the out-of-order core to overlap. Each sample's accumulator
+// takes its trees in ensemble order, so the floating-point result is
+// exactly the reference walk's. Samples past the last full group of four
+// — and whole chunks whose rows are narrower than the plan (reference
+// semantics, including panics on rows too short for a split) — take the
+// single-sample kernel.
+//
+// The walk addresses nodes and packed rows through unsafe base pointers
+// and byte offsets rather than slice indexing: the live state (one node
+// base, four row pointers, four offsets, the depth counter) then fits
+// the register file, where the indexed form spills lane state to the
+// stack and re-loads it inside the dependency chain. Combined with the
+// sort-key mask select (see cnode) the loop body has no branch at all
+// beyond the trip counter — no bounds checks, no float-compare branch,
+// no mispredicts. Safety is structural, not checked: offsets are node
+// indices produced by the plan compiler (appendTree), in range for
+// nodes/leaf by construction, and feature ids are < nFeat == the packed
+// row stride. The equivalence property suite pins this kernel
+// bit-for-bit against the pure-Go reference walk.
+func (p *CompiledForest) evalChunk(dst []float64, X [][]float64, xb []int64) {
+	nodes, leafv := p.nodes, p.leaf
+	roots, depth := p.roots, p.depth
+	scale, stride := p.scale, p.nFeat
+	ng := len(X) &^ 3 // samples covered by full four-lane groups
+	if len(nodes) == 0 {
+		ng = 0
+	}
+	for r := 0; r < ng; r++ {
+		if len(X[r]) < stride {
+			ng = 0 // short row: keep the reference per-row path for the chunk
+			break
+		}
+		row := X[r][:stride]
+		for k, v := range row {
+			xb[r*stride+k] = sortKey(v)
+		}
+	}
+	for g := 0; g+4 <= ng; g += 4 {
+		nb := unsafe.Pointer(&nodes[0])
+		x0 := unsafe.Pointer(&xb[g*stride])
+		x1 := unsafe.Pointer(&xb[(g+1)*stride])
+		x2 := unsafe.Pointer(&xb[(g+2)*stride])
+		x3 := unsafe.Pointer(&xb[(g+3)*stride])
+		a0, a1, a2, a3 := p.base, p.base, p.base, p.base
+		for t, root := range roots {
+			u := uintptr(root) * cnodeSize
+			u0, u1, u2, u3 := u, u, u, u
+			for d := depth[t]; d > 0; d-- {
+				n0 := (*cnode)(unsafe.Add(nb, u0))
+				n1 := (*cnode)(unsafe.Add(nb, u1))
+				n2 := (*cnode)(unsafe.Add(nb, u2))
+				n3 := (*cnode)(unsafe.Add(nb, u3))
+				k0 := *(*int64)(unsafe.Add(x0, uintptr(n0.feat)*8))
+				k1 := *(*int64)(unsafe.Add(x1, uintptr(n1.feat)*8))
+				k2 := *(*int64)(unsafe.Add(x2, uintptr(n2.feat)*8))
+				k3 := *(*int64)(unsafe.Add(x3, uintptr(n3.feat)*8))
+				l0 := u0 + cnodeSize
+				u0 = l0 ^ ((l0 ^ uintptr(n0.right)*cnodeSize) & uintptr(rightMask(n0.key, k0)))
+				l1 := u1 + cnodeSize
+				u1 = l1 ^ ((l1 ^ uintptr(n1.right)*cnodeSize) & uintptr(rightMask(n1.key, k1)))
+				l2 := u2 + cnodeSize
+				u2 = l2 ^ ((l2 ^ uintptr(n2.right)*cnodeSize) & uintptr(rightMask(n2.key, k2)))
+				l3 := u3 + cnodeSize
+				u3 = l3 ^ ((l3 ^ uintptr(n3.right)*cnodeSize) & uintptr(rightMask(n3.key, k3)))
+			}
+			a0 += scale * leafv[u0/cnodeSize]
+			a1 += scale * leafv[u1/cnodeSize]
+			a2 += scale * leafv[u2/cnodeSize]
+			a3 += scale * leafv[u3/cnodeSize]
+		}
+		if p.average {
+			n := float64(len(roots))
+			a0 /= n
+			a1 /= n
+			a2 /= n
+			a3 /= n
+		}
+		dst[g] = a0
+		dst[g+1] = a1
+		dst[g+2] = a2
+		dst[g+3] = a3
+	}
+	for r := ng; r < len(X); r++ {
+		dst[r] = p.Eval(X[r])
+	}
+}
+
+// Prob maps Eval through the plan's classification link: P(class = 1 | x).
+func (p *CompiledForest) Prob(x []float64) float64 {
+	raw := p.Eval(x)
+	switch p.link {
+	case linkSigmoid:
+		return sigmoid(raw)
+	case linkClamp01:
+		return clamp(raw, 0, 1)
+	}
+	return raw
+}
+
+// Class thresholds Prob at 0.5, matching every reference classifier.
+func (p *CompiledForest) Class(x []float64) int {
+	if p.Prob(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ PlanCompiler = (*Tree)(nil)
+	_ PlanCompiler = (*Forest)(nil)
+	_ PlanCompiler = (*GBRT)(nil)
+	_ PlanCompiler = (*GBDT)(nil)
+)

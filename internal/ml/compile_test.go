@@ -1,0 +1,350 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The compiled-vs-reference equivalence suite. The serving stack swaps
+// CompiledForest plans in for the reference tree walk, so equality here
+// must be BIT-identical, not approximately equal: every comparison goes
+// through math.Float64bits.
+
+// randomDataset draws an n x d design matrix and a target with enough
+// structure to grow non-trivial trees.
+func randomDataset(rng *rand.Rand, n, d int) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = math.Sin(row[0]) + 0.5*row[1%d] + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// binarizeAtZero turns a continuous target into {0,1} labels at its median-ish 0.
+func binarizeAtZero(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		if v > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// checkRegEquivalence verifies Eval and EvalBatch against predict for every
+// row of X.
+func checkRegEquivalence(t *testing.T, name string, plan *CompiledForest, predict func(x []float64) float64, X [][]float64) {
+	t.Helper()
+	batch := plan.EvalBatch(nil, X)
+	for i, x := range X {
+		want := predict(x)
+		if got := plan.Eval(x); !bitsEqual(got, want) {
+			t.Fatalf("%s: Eval(row %d) = %v, reference %v (bits %x vs %x)",
+				name, i, got, want, math.Float64bits(got), math.Float64bits(want))
+		}
+		if !bitsEqual(batch[i], want) {
+			t.Fatalf("%s: EvalBatch(row %d) = %v, reference %v", name, i, batch[i], want)
+		}
+	}
+}
+
+// checkClsEquivalence verifies Prob and Class against the reference
+// classifier for every row of X.
+func checkClsEquivalence(t *testing.T, name string, plan *CompiledForest, c Classifier, X [][]float64) {
+	t.Helper()
+	for i, x := range X {
+		if got, want := plan.Prob(x), c.PredictProb(x); !bitsEqual(got, want) {
+			t.Fatalf("%s: Prob(row %d) = %v, reference %v", name, i, got, want)
+		}
+		if got, want := plan.Class(x), c.PredictClass(x); got != want {
+			t.Fatalf("%s: Class(row %d) = %d, reference %d", name, i, got, want)
+		}
+	}
+}
+
+// TestCompiledEquivalenceProperty fits every compilable family on random
+// datasets across several seeds and sizes and demands bit-identical
+// outputs from the compiled plans, on training rows and on fresh ones.
+func TestCompiledEquivalenceProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(120)
+		d := 3 + rng.Intn(6)
+		x, y := randomDataset(rng, n, d)
+		labels := binarizeAtZero(y)
+		fresh, _ := randomDataset(rng, 50, d)
+		rows := append(append([][]float64{}, x...), fresh...)
+
+		tr := NewTree(TreeConfig{MaxDepth: 6 + rng.Intn(6), MinSamplesLeaf: 1 + rng.Intn(4)})
+		if err := tr.Fit(x, y); err != nil {
+			t.Fatalf("seed %d: tree fit: %v", seed, err)
+		}
+		plan, err := tr.CompilePlan()
+		if err != nil {
+			t.Fatalf("seed %d: tree compile: %v", seed, err)
+		}
+		checkRegEquivalence(t, "tree", plan, tr.Predict, rows)
+		if plan.NumTrees() != 1 || plan.NumNodes() != tr.NumNodes() {
+			t.Fatalf("seed %d: plan shape %d trees / %d nodes, want 1 / %d",
+				seed, plan.NumTrees(), plan.NumNodes(), tr.NumNodes())
+		}
+
+		tc := NewTreeClassifier(TreeConfig{MaxDepth: 8, MinSamplesLeaf: 2})
+		if err := tc.Fit(x, labels); err != nil {
+			t.Fatalf("seed %d: dtc fit: %v", seed, err)
+		}
+		cplan, err := tc.CompilePlan()
+		if err != nil {
+			t.Fatalf("seed %d: dtc compile: %v", seed, err)
+		}
+		checkClsEquivalence(t, "tree-classifier", cplan, tc, rows)
+
+		fo := NewForest(ForestConfig{NumTrees: 12, Seed: seed, Tree: TreeConfig{MaxDepth: 7, MinSamplesLeaf: 2}})
+		if err := fo.Fit(x, y); err != nil {
+			t.Fatalf("seed %d: forest fit: %v", seed, err)
+		}
+		fplan, err := fo.CompilePlan()
+		if err != nil {
+			t.Fatalf("seed %d: forest compile: %v", seed, err)
+		}
+		checkRegEquivalence(t, "forest", fplan, fo.Predict, rows)
+
+		fc := NewForestClassifier(ForestConfig{NumTrees: 9, Seed: seed + 1, Tree: TreeConfig{MaxDepth: 6, MinSamplesLeaf: 2}})
+		if err := fc.Fit(x, labels); err != nil {
+			t.Fatalf("seed %d: rf classifier fit: %v", seed, err)
+		}
+		fcplan, err := fc.CompilePlan()
+		if err != nil {
+			t.Fatalf("seed %d: rf classifier compile: %v", seed, err)
+		}
+		checkClsEquivalence(t, "forest-classifier", fcplan, fc, rows)
+
+		gb := NewGBRT(GBMConfig{NumTrees: 40, LearningRate: 0.1, MaxDepth: 4, Subsample: 0.7, Seed: seed})
+		if err := gb.Fit(x, y); err != nil {
+			t.Fatalf("seed %d: gbrt fit: %v", seed, err)
+		}
+		gplan, err := gb.CompilePlan()
+		if err != nil {
+			t.Fatalf("seed %d: gbrt compile: %v", seed, err)
+		}
+		checkRegEquivalence(t, "gbrt", gplan, gb.Predict, rows)
+
+		gd := NewGBDT(GBMConfig{NumTrees: 35, LearningRate: 0.1, MaxDepth: 3, Subsample: 0.8, Seed: seed})
+		if err := gd.Fit(x, labels); err != nil {
+			t.Fatalf("seed %d: gbdt fit: %v", seed, err)
+		}
+		dplan, err := gd.CompilePlan()
+		if err != nil {
+			t.Fatalf("seed %d: gbdt compile: %v", seed, err)
+		}
+		checkClsEquivalence(t, "gbdt", dplan, gd, rows)
+		checkRegEquivalence(t, "gbdt-raw", dplan, gd.decision, rows)
+	}
+}
+
+// TestCompiledDegenerateTrees covers the layout edge cases: a single-leaf
+// tree (constant target) and a max-depth chain (one sample split off per
+// level).
+func TestCompiledDegenerateTrees(t *testing.T) {
+	// Single leaf: constant target admits no split.
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 5, 5, 5}
+	tr := NewTree(TreeConfig{})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 1 {
+		t.Fatalf("constant fit grew %d nodes, want 1", tr.NumNodes())
+	}
+	plan, err := tr.CompilePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRegEquivalence(t, "single-leaf", plan, tr.Predict, x)
+
+	// Max-depth chain: strictly increasing target on one feature with
+	// MinSamplesLeaf 1 grows a deep unbalanced spine.
+	n := 64
+	cx := make([][]float64, n)
+	cy := make([]float64, n)
+	for i := range cx {
+		cx[i] = []float64{float64(i)}
+		cy[i] = math.Exp(float64(i) / 7)
+	}
+	chain := NewTree(TreeConfig{MinSamplesLeaf: 1})
+	if err := chain.Fit(cx, cy); err != nil {
+		t.Fatal(err)
+	}
+	if chain.Depth() < 6 {
+		t.Fatalf("chain fit depth %d, want a deep spine", chain.Depth())
+	}
+	cplan, err := chain.CompilePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := append(append([][]float64{}, cx...),
+		[]float64{-10}, []float64{0.5}, []float64{63.5}, []float64{1000})
+	checkRegEquivalence(t, "max-depth-chain", cplan, chain.Predict, probe)
+}
+
+// TestCompileUnfitted verifies compiling unfitted models fails loudly
+// instead of producing an empty plan.
+func TestCompileUnfitted(t *testing.T) {
+	if _, err := NewTree(TreeConfig{}).CompilePlan(); err == nil {
+		t.Error("unfitted tree compiled without error")
+	}
+	if _, err := NewForest(ForestConfig{}).CompilePlan(); err == nil {
+		t.Error("unfitted forest compiled without error")
+	}
+	if _, err := NewGBRT(GBMConfig{}).CompilePlan(); err == nil {
+		t.Error("unfitted gbrt compiled without error")
+	}
+	if _, err := NewGBDT(GBMConfig{}).CompilePlan(); err == nil {
+		t.Error("unfitted gbdt compiled without error")
+	}
+}
+
+// TestCompiledPersistRoundTrip gob-encodes fitted models, decodes them, and
+// demands the recompiled plans predict identically to the originals — the
+// serving path loads models from disk and must compile transparently.
+func TestCompiledPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := randomDataset(rng, 120, 5)
+	labels := binarizeAtZero(y)
+	probe, _ := randomDataset(rng, 40, 5)
+
+	gb := NewGBRT(GBMConfig{NumTrees: 30, MaxDepth: 4, Subsample: 0.7, Seed: 3})
+	if err := gb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gb); err != nil {
+		t.Fatal(err)
+	}
+	loaded := &GBRT{}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(loaded); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := loaded.CompilePlan()
+	if err != nil {
+		t.Fatalf("recompile after decode: %v", err)
+	}
+	checkRegEquivalence(t, "gbrt-roundtrip", plan, gb.Predict, probe)
+
+	gd := NewGBDT(GBMConfig{NumTrees: 25, MaxDepth: 3, Subsample: 0.8, Seed: 4})
+	if err := gd.Fit(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(gd); err != nil {
+		t.Fatal(err)
+	}
+	dloaded := &GBDT{}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(dloaded); err != nil {
+		t.Fatal(err)
+	}
+	dplan, err := dloaded.CompilePlan()
+	if err != nil {
+		t.Fatalf("recompile after decode: %v", err)
+	}
+	checkClsEquivalence(t, "gbdt-roundtrip", dplan, gd, probe)
+
+	fo := NewForest(ForestConfig{NumTrees: 10, Seed: 5, Tree: TreeConfig{MaxDepth: 6}})
+	if err := fo.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(fo); err != nil {
+		t.Fatal(err)
+	}
+	floaded := &Forest{}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(floaded); err != nil {
+		t.Fatal(err)
+	}
+	fplan, err := floaded.CompilePlan()
+	if err != nil {
+		t.Fatalf("recompile after decode: %v", err)
+	}
+	checkRegEquivalence(t, "forest-roundtrip", fplan, fo.Predict, probe)
+}
+
+// TestCompiledPreorderLayout pins the structural invariants the Eval loop
+// relies on: the left child of every internal node is the next node, roots
+// ascend, every leaf is a branch-free fixed point (NaN threshold,
+// self-referencing children, valid padded feature), and each tree's
+// recorded depth equals its deepest leaf.
+func TestCompiledPreorderLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := randomDataset(rng, 100, 4)
+	gb := NewGBRT(GBMConfig{NumTrees: 8, MaxDepth: 4, Seed: 11})
+	if err := gb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := gb.CompilePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTrees() != 8 {
+		t.Fatalf("NumTrees = %d, want 8", p.NumTrees())
+	}
+	if len(p.depth) != len(p.roots) {
+		t.Fatalf("depth entries %d != trees %d", len(p.depth), len(p.roots))
+	}
+	for ti, root := range p.roots {
+		if ti > 0 && root <= p.roots[ti-1] {
+			t.Fatalf("roots not ascending at tree %d", ti)
+		}
+		if p.depth[ti] < 0 || p.depth[ti] > 4 {
+			t.Fatalf("tree %d depth %d outside [0, MaxDepth=4]", ti, p.depth[ti])
+		}
+		end := int32(p.NumNodes())
+		if ti+1 < len(p.roots) {
+			end = p.roots[ti+1]
+		}
+		// Walk the tree in layout order, tracking node depths so the
+		// recorded per-tree depth can be checked against the deepest leaf.
+		depths := make([]int32, end-root)
+		deepest := int32(0)
+		for i := root; i < end; i++ {
+			if math.IsNaN(p.threshold[i]) { // leaf
+				if p.left[i] != i || p.right[i] != i {
+					t.Fatalf("leaf %d children (%d, %d) are not self-references", i, p.left[i], p.right[i])
+				}
+				if p.feature[i] < 0 || int(p.feature[i]) >= p.NumFeatures() {
+					t.Fatalf("leaf %d feature %d not a valid padded index", i, p.feature[i])
+				}
+				if depths[i-root] > deepest {
+					deepest = depths[i-root]
+				}
+				continue
+			}
+			if i+1 >= end {
+				t.Fatalf("internal node %d has no in-tree left child", i)
+			}
+			if p.left[i] != i+1 {
+				t.Fatalf("internal node %d left child %d, want %d", i, p.left[i], i+1)
+			}
+			if p.right[i] <= i+1 || p.right[i] >= end {
+				t.Fatalf("internal node %d right child %d outside (i+1, %d)", i, p.right[i], end)
+			}
+			depths[p.left[i]-root] = depths[i-root] + 1
+			depths[p.right[i]-root] = depths[i-root] + 1
+		}
+		if p.depth[ti] != deepest {
+			t.Fatalf("tree %d recorded depth %d, deepest leaf at %d", ti, p.depth[ti], deepest)
+		}
+	}
+}

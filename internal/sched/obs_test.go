@@ -147,6 +147,14 @@ func timeOnline(t *testing.T, reg *obs.Registry) time.Duration {
 // Min-of-N per variant filters scheduler noise; a small absolute slack
 // keeps sub-millisecond jitter from failing a relative comparison.
 func TestObsOverheadUnderBudget(t *testing.T) {
+	if raceEnabled {
+		// The race detector slows allocating code (span and trace
+		// construction) an order of magnitude more than the now
+		// allocation-free bare scoring loop, so the ratio this test
+		// bounds does not exist in race builds. The budget is enforced
+		// by the regular `go test` runs.
+		t.Skip("wall-clock overhead budget is not meaningful under the race detector")
+	}
 	const trials = 7
 	minBare, minInstr := time.Duration(1<<62), time.Duration(1<<62)
 	for i := 0; i < trials; i++ {
@@ -190,6 +198,11 @@ func timeOnlineTraced(t *testing.T) time.Duration {
 // against the smallest paired difference. Order alternates between trials
 // so cache/frequency warm-up cannot systematically favor either variant.
 func TestTraceOverheadUnderBudget(t *testing.T) {
+	if raceEnabled {
+		// See TestObsOverheadUnderBudget: the race detector distorts
+		// the allocating-vs-allocation-free ratio this budget bounds.
+		t.Skip("wall-clock overhead budget is not meaningful under the race detector")
+	}
 	const trials = 7
 	minBare := time.Duration(1 << 62)
 	minDelta := time.Duration(1 << 62)

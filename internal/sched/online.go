@@ -119,41 +119,58 @@ func (f PolicyFunc) Place(contents [][]int, game int) (int, bool) { return f(con
 // past this many entries instead of growing memory without limit.
 const greedyCacheCap = 1 << 14
 
-// scoreCache is a FIFO-bounded string->float64 memo. Eviction order never
-// affects results (the scorer is pure); the bound only caps memory.
+// multisetHash folds a game multiset into a 64-bit key by summing each
+// id through sim.Mix64. Addition commutes, so the hash is
+// order-invariant — hash(occupants ∪ {g}) is hash(occupants) +
+// Mix64(g), computable without materializing the candidate slice — and
+// the mixer spreads ids across the full word so sums of small ids do not
+// collide. The empty multiset hashes to zero.
+func multisetHash(games []int) uint64 {
+	var h uint64
+	for _, g := range games {
+		h += sim.Mix64(uint64(g))
+	}
+	return h
+}
+
+// scoreCache is a FIFO-bounded uint64->float64 memo. Eviction order never
+// affects results (the scorer is pure); the bound only caps memory. The
+// insertion order lives in a fixed ring, so every get — hit, insert, or
+// insert-with-eviction — is O(1) with no compaction pauses, and a hit
+// allocates nothing.
 type scoreCache struct {
 	limit int
-	m     map[string]float64
-	order []string
-	head  int
+	m     map[uint64]float64
+	ring  []uint64 // insertion order; grows to limit, then overwrites
+	head  int      // oldest entry once the ring is full
 }
 
 func newScoreCache(limit int) *scoreCache {
 	if limit <= 0 {
 		limit = greedyCacheCap
 	}
-	return &scoreCache{limit: limit, m: make(map[string]float64)}
+	return &scoreCache{limit: limit, m: make(map[uint64]float64)}
 }
 
 // get returns the memoized value for k, computing and (boundedly) storing
 // it on a miss.
-func (c *scoreCache) get(k string, miss func() float64) float64 {
+func (c *scoreCache) get(k uint64, miss func() float64) float64 {
 	if v, ok := c.m[k]; ok {
 		return v
 	}
 	v := miss()
-	if len(c.m) >= c.limit {
-		// Evict the oldest entry; compact the order slice once the dead
-		// prefix outgrows the cap so memory stays O(limit).
-		delete(c.m, c.order[c.head])
+	if len(c.ring) < c.limit {
+		c.ring = append(c.ring, k)
+	} else {
+		// Full: overwrite the oldest ring slot in place.
+		delete(c.m, c.ring[c.head])
+		c.ring[c.head] = k
 		c.head++
-		if c.head > c.limit {
-			c.order = append(c.order[:0], c.order[c.head:]...)
+		if c.head == c.limit {
 			c.head = 0
 		}
 	}
 	c.m[k] = v
-	c.order = append(c.order, k)
 	return v
 }
 
@@ -186,26 +203,35 @@ func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer) PlacementPoli
 	return PolicyFunc(func(contents [][]int, game int) (int, bool) {
 		span := t.Current().StartSpan("score-candidates", trace.Int("game", game))
 		evaluated, misses := 0, 0
-		cached := func(games []int) float64 {
+		// scoreState answers one memoized score. The candidate colocation
+		// (occupants plus the arriving game) is identified by hash alone —
+		// hash(occ)+Mix64(game), order-invariant — so on a hit nothing is
+		// materialized and nothing allocates; only a miss builds the sorted
+		// slice the scorer needs.
+		scoreState := func(h uint64, occ []int, insert bool) float64 {
 			evaluated++
-			key := stateKey(games)
-			return cache.get(key, func() float64 {
+			return cache.get(h, func() float64 {
 				misses++
-				sp := span.StartSpan("predict", trace.String("state", key))
+				games := occ
+				if insert {
+					games = insertSorted(occ, game)
+				}
+				sp := span.StartSpan("predict", trace.String("state", stateKey(games)))
 				v := score(games)
 				sp.End(trace.Float("fps_total", v))
 				return v
 			})
 		}
+		gh := sim.Mix64(uint64(game))
 		best, bestDelta, found := -1, 0.0, false
 		for s, occ := range contents {
 			if len(occ) >= maxPerServer {
 				continue
 			}
-			cand := insertSorted(occ, game)
-			delta := cached(cand)
+			oh := multisetHash(occ)
+			delta := scoreState(oh+gh, occ, true)
 			if len(occ) > 0 {
-				delta -= cached(occ)
+				delta -= scoreState(oh, occ, false)
 			}
 			if !found || delta > bestDelta {
 				found, best, bestDelta = true, s, delta

@@ -1,0 +1,9 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports that this binary was built with the race detector.
+// The wall-clock overhead-budget tests consult it: the detector slows
+// allocating code an order of magnitude more than allocation-free code,
+// which inverts exactly the bare-vs-instrumented ratio those tests bound.
+const raceEnabled = true

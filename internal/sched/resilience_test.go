@@ -267,29 +267,28 @@ func TestRunOnlineFaultsBeyondHorizon(t *testing.T) {
 func TestScoreCacheCapHolds(t *testing.T) {
 	misses := 0
 	c := newScoreCache(4)
-	get := func(k string) float64 {
-		return c.get(k, func() float64 { misses++; return float64(len(k)) })
+	get := func(k uint64) float64 {
+		return c.get(k, func() float64 { misses++; return float64(k) })
 	}
-	keys := []string{"a", "bb", "ccc", "dddd", "eeeee", "ffffff", "g", "hh", "iii", "jjjj"}
-	for _, k := range keys {
+	for k := uint64(1); k <= 10; k++ {
 		get(k)
 	}
 	if c.len() > 4 {
 		t.Fatalf("cache holds %d entries, cap is 4", c.len())
 	}
-	if misses != len(keys) {
-		t.Fatalf("misses %d, want %d distinct inserts", misses, len(keys))
+	if misses != 10 {
+		t.Fatalf("misses %d, want 10 distinct inserts", misses)
 	}
 	// The most recent keys are resident; the oldest were evicted and miss
 	// again (recomputing the same value).
-	get("jjjj")
-	if misses != len(keys) {
+	get(10)
+	if misses != 10 {
 		t.Error("recent key should hit")
 	}
-	if v := get("a"); v != 1 {
+	if v := get(1); v != 1 {
 		t.Errorf("recomputed value %v, want 1", v)
 	}
-	if misses != len(keys)+1 {
+	if misses != 11 {
 		t.Error("evicted key should miss")
 	}
 	if c.len() > 4 {
@@ -297,18 +296,84 @@ func TestScoreCacheCapHolds(t *testing.T) {
 	}
 }
 
-func TestScoreCacheCompaction(t *testing.T) {
+// A cache at capacity must keep serving hits for every resident key —
+// eviction replaces exactly the oldest entry and touches nothing else.
+func TestScoreCacheFullStillServesHits(t *testing.T) {
+	const cap = 8
+	c := newScoreCache(cap)
+	misses := 0
+	get := func(k uint64) float64 {
+		return c.get(k, func() float64 { misses++; return float64(k * 3) })
+	}
+	for k := uint64(1); k <= cap; k++ {
+		get(k)
+	}
+	if c.len() != cap || misses != cap {
+		t.Fatalf("warmup: len %d misses %d, want %d each", c.len(), misses, cap)
+	}
+	// Every resident key hits, repeatedly, with the cache full.
+	for round := 0; round < 3; round++ {
+		for k := uint64(1); k <= cap; k++ {
+			if v := get(k); v != float64(k*3) {
+				t.Fatalf("full-cache hit for %d returned %v", k, v)
+			}
+		}
+	}
+	if misses != cap {
+		t.Fatalf("full-cache hits recomputed: %d misses, want %d", misses, cap)
+	}
+	// One insert past cap evicts exactly the oldest key (1); all others
+	// still hit.
+	get(100)
+	if v := get(2); v != 6 || misses != cap+1 {
+		t.Fatalf("post-evict hit broken: v=%v misses=%d", v, misses)
+	}
+	get(1) // evicted → miss
+	if misses != cap+2 {
+		t.Fatalf("oldest key should have been evicted: misses=%d", misses)
+	}
+	if c.len() > cap {
+		t.Fatalf("cache len %d past cap %d", c.len(), cap)
+	}
+}
+
+// Eviction is O(1) in-place ring overwrite: no auxiliary structure grows
+// with churn, however far past the cap the stream runs.
+func TestScoreCacheEvictionConstantSpace(t *testing.T) {
 	c := newScoreCache(3)
-	// Churn far past the cap to force order-slice compaction.
-	for i := 0; i < 50; i++ {
-		k := string(rune('a' + i%26))
-		c.get(k+"x", func() float64 { return float64(i) })
+	for i := uint64(0); i < 1000; i++ {
+		k := i
+		c.get(k, func() float64 { return float64(k) })
 	}
 	if c.len() > 3 {
 		t.Errorf("cache len %d after heavy churn, cap 3", c.len())
 	}
-	if len(c.order)-c.head > 2*c.limit+1 {
-		t.Errorf("order slice not compacted: len %d head %d", len(c.order), c.head)
+	if len(c.ring) != 3 || cap(c.ring) > 8 {
+		t.Errorf("ring grew with churn: len %d cap %d, want len 3", len(c.ring), cap(c.ring))
+	}
+	if c.head < 0 || c.head >= 3 {
+		t.Errorf("ring head out of range: %d", c.head)
+	}
+}
+
+// The greedy cached-hit path is allocation-free: once every candidate
+// state is memoized, a Place call allocates nothing per candidate — the
+// order-invariant hash identifies the insert-candidate without building
+// its slice.
+func TestGreedyPolicyCachedHitNoAllocs(t *testing.T) {
+	policy := GreedyPolicy(toyScore, 4)
+	contents := [][]int{{1, 2}, {2, 3}, {1}, {}, {3, 3, 4}}
+	// Warm every (occupancy, candidate) state the placement touches.
+	for _, g := range []int{1, 2, 3, 4} {
+		policy.Place(contents, g)
+	}
+	for _, g := range []int{1, 2, 3, 4} {
+		g := g
+		if n := testing.AllocsPerRun(100, func() {
+			policy.Place(contents, g)
+		}); n != 0 {
+			t.Errorf("cached-hit Place(game=%d) allocates %.1f times per call, want 0", g, n)
+		}
 	}
 }
 

@@ -38,6 +38,13 @@ func deriveSeed(base int64, domain string, id int64) int64 {
 	return int64(splitmix64(mixed))
 }
 
+// Mix64 exposes the splitmix64 finalizer for subsystems that need a
+// cheap, well-distributed 64-bit mix outside the simulator — the online
+// dispatcher folds game ids through it to build order-invariant
+// colocation hashes (summing mixed elements commutes, raw ids would
+// collide constantly).
+func Mix64(x uint64) uint64 { return splitmix64(x) }
+
 // DeriveSeed exposes the (base, domain, id) seed derivation for subsystems
 // that need deterministic identity streams outside the simulator — the span
 // tracer seeds its trace/span ID sequence with
