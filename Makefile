@@ -7,7 +7,7 @@ GO ?= go
 # to make a failing build pass.
 COVER_MIN ?= 75
 
-.PHONY: build test vet race bench bench-json bench-check verify fmt fmt-check cover lint
+.PHONY: build test vet race bench bench-json bench-check lifecycle-e2e verify fmt fmt-check cover lint
 
 # Relative slowdown bench-check tolerates before failing, in percent.
 # Benchmarks at -benchtime 1x are noisy; 30% separates "regressed" from
@@ -42,7 +42,7 @@ bench:
 # trajectory. The -N GOMAXPROCS suffix is stripped so keys stay stable
 # across runners.
 bench-json:
-	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch|BenchmarkOnlinePlacement|BenchmarkTraceOverhead' \
+	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch|BenchmarkOnlinePlacement|BenchmarkTraceOverhead|BenchmarkHotSwap' \
 		-benchtime 1x -run '^$$' . > bench_pipeline.txt
 	cat bench_pipeline.txt
 	awk 'BEGIN { print "{" } \
@@ -50,18 +50,19 @@ bench-json:
 		END { print "\n}" }' bench_pipeline.txt > BENCH_pipeline.json
 	cat BENCH_pipeline.json
 
-# bench-check is the perf regression guard: it re-runs the two guarded
-# hot paths — the batch prediction kernel and the full offline pipeline —
-# and fails when either is more than BENCH_TOLERANCE percent slower than
-# the committed BENCH_pipeline.json baseline. Only those two are guarded
-# because the parallel Seq variants and trace overheads swing with runner
-# load. PredictBatch runs 20 iterations (a single shot of a sub-ms kernel
-# jitters past any sane tolerance); TrainPipeline is seconds long and
-# stable at one. The baseline file is read, never rewritten — run
-# `make bench-json` deliberately to move it.
+# bench-check is the perf regression guard: it re-runs the guarded hot
+# paths — the batch prediction kernel, the full offline pipeline, and the
+# hot-swap-plus-cache-refill bubble — and fails when any is more than
+# BENCH_TOLERANCE percent slower than the committed BENCH_pipeline.json
+# baseline. Only those are guarded because the parallel Seq variants and
+# trace overheads swing with runner load. PredictBatch and HotSwap run 20
+# iterations (a single shot of a millisecond-scale kernel jitters past any
+# sane tolerance); TrainPipeline is seconds long and stable at one. The
+# baseline file is read, never rewritten — run `make bench-json`
+# deliberately to move it.
 bench-check:
 	@test -f BENCH_pipeline.json || { echo "BENCH_pipeline.json baseline missing; run make bench-json and commit it"; exit 1; }
-	$(GO) test -bench 'BenchmarkPredictBatch$$' -benchtime 20x -run '^$$' . > bench_check.txt
+	$(GO) test -bench 'BenchmarkPredictBatch$$|BenchmarkHotSwap$$' -benchtime 20x -run '^$$' . > bench_check.txt
 	$(GO) test -bench 'BenchmarkTrainPipeline$$' -benchtime 1x -run '^$$' . >> bench_check.txt
 	@cat bench_check.txt
 	@awk -v tol=$(BENCH_TOLERANCE) ' \
@@ -76,7 +77,7 @@ bench-check:
 			cur[key "_ns_op"] = $$3; \
 		} \
 		END { \
-			n = split("BenchmarkPredictBatch_ns_op BenchmarkTrainPipeline_ns_op", guard, " "); \
+			n = split("BenchmarkPredictBatch_ns_op BenchmarkHotSwap_ns_op BenchmarkTrainPipeline_ns_op", guard, " "); \
 			fail = 0; \
 			for (i = 1; i <= n; i++) { \
 				k = guard[i]; \
@@ -87,6 +88,15 @@ bench-check:
 			} \
 			exit fail; \
 		}' BENCH_pipeline.json bench_check.txt
+
+# lifecycle-e2e runs the self-healing headline proof on its own: a mid-run
+# physics perturbation must trip the drift alarm, retrain on post-drift
+# evidence, pass the shadow gate, hot-swap, and end the run healthy — all
+# without a restart. Part of `make test` too (it only skips under -short);
+# this target exists for a fast, verbose signal while working on the
+# lifecycle.
+lifecycle-e2e:
+	$(GO) test -run 'TestLifecycleRecoversFromPerturbedPhysics|TestDriftAlarmPerturbedPhysics' -v ./internal/core/
 
 # fmt rewrites every tracked Go file in place; fmt-check is the CI gate
 # that fails (and lists offenders) when anything is unformatted.

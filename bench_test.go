@@ -145,6 +145,7 @@ func BenchmarkExtCFOnboarding(b *testing.B)          { benchQuickFigure(b, "ext-
 func BenchmarkExtSessionChurn(b *testing.B)          { benchQuickFigure(b, "ext-churn") }
 func BenchmarkExtHeterogeneousFleet(b *testing.B)    { benchQuickFigure(b, "ext-hetero") }
 func BenchmarkExtFaultTolerance(b *testing.B)        { benchQuickFigure(b, "ext-faults") }
+func BenchmarkExtLifecycle(b *testing.B)             { benchQuickFigure(b, "ext-lifecycle") }
 func BenchmarkAblAggregateTransform(b *testing.B)    { benchQuickFigure(b, "abl-aggregate") }
 func BenchmarkAblLogTarget(b *testing.B)             { benchQuickFigure(b, "abl-log") }
 func BenchmarkAblGranularity(b *testing.B)           { benchQuickFigure(b, "abl-k") }

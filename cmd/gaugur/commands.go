@@ -357,6 +357,7 @@ func cmdDispatch(args []string) error {
 	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
 	profiles := fs.String("profiles", "profiles.json", "profile set path")
 	model := fs.String("model", "model.gob", "trained predictor path")
+	registry := fs.String("registry", "", "model registry directory; serves its active version instead of -model")
 	games := fs.String("games", "", "comma-separated game names or ids")
 	requests := fs.Int("requests", 5000, "gaming requests to dispatch")
 	servers := fs.Int("servers", 2000, "fleet size")
@@ -377,7 +378,7 @@ func cmdDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := loadPredictor(lab, *model, reg)
+	p, err := loadServingModel(lab, *model, *registry, reg)
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ func cmdFaults(args []string) error {
 	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
 	profiles := fs.String("profiles", "profiles.json", "profile set path")
 	model := fs.String("model", "model.gob", "trained predictor path")
+	registry := fs.String("registry", "", "model registry directory; serves its active version instead of -model")
 	games := fs.String("games", "", "comma-separated game names or ids")
 	servers := fs.Int("servers", 200, "fleet size")
 	sessions := fs.Int("sessions", 2000, "total session arrivals")
@@ -47,7 +48,7 @@ func cmdFaults(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := loadPredictor(lab, *model, reg)
+	p, err := loadServingModel(lab, *model, *registry, reg)
 	if err != nil {
 		return err
 	}

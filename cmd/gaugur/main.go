@@ -43,6 +43,8 @@ func main() {
 		err = cmdChurn(args)
 	case "faults":
 		err = cmdFaults(args)
+	case "lifecycle":
+		err = cmdLifecycle(args)
 	case "onboard":
 		err = cmdOnboard(args)
 	case "serve-metrics":
@@ -71,6 +73,8 @@ commands:
   dispatch  dispatch requests onto a fixed fleet maximizing average FPS
   churn     simulate an online arrival/departure stream against the model
   faults    churn under injected crashes, spikes, and prediction dropouts
+  lifecycle run the self-healing loop against drifted physics: drift alarm,
+            incremental retrain, shadow evaluation, hot swap, rollback
   onboard   profile a new game cheaply via probes + matrix completion
 
   serve-metrics  run an instrumented demo workload and serve /metrics,
@@ -78,8 +82,10 @@ commands:
   trace          drive a traced + audited demo workload and dump recent
                  decision traces plus the model-quality summary
 
-profile, train, pack, dispatch, churn, and faults accept -metrics-addr to
-expose the same endpoint (metrics + traces) live during a real run.
+profile, train, pack, dispatch, churn, faults, and lifecycle accept
+-metrics-addr to expose the same endpoint (metrics + traces) live during a
+real run. dispatch and faults accept -registry to serve the active version
+a lifecycle run promoted instead of a flat -model file.
 
 run "gaugur <command> -h" for the command's flags`)
 }

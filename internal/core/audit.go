@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"gaugur/internal/obs"
+	"gaugur/internal/sim"
 )
 
 // Prediction audit log + online model-quality monitor. Every placement the
@@ -63,6 +64,32 @@ type AuditRecord struct {
 	ObservedFPS float64
 	// Outcome is the record's lifecycle state.
 	Outcome AuditOutcome
+
+	// Retained feature vectors (RetainExamples > 0, multi-tenant records
+	// only): the exact RM/CM inputs the prediction was made from plus the
+	// target's solo frame rate, held until the record resolves into a
+	// TrainExample.
+	rmx, cmx []float64
+	solo     float64
+	// gen is the serving handle's swap generation at placement time; a
+	// record resolved under a different generation was predicted by a
+	// since-retired model and is excluded from the quality windows.
+	gen uint64
+}
+
+// TrainExample is one resolved audit record turned into training data: the
+// decision-time feature vectors paired with the observed ground truth. The
+// drift-recovery retrainer fits fresh models from a ring of these.
+type TrainExample struct {
+	// RMX/CMX are the RM and CM input vectors captured at placement time.
+	RMX, CMX []float64
+	// RMY is the observed degradation ratio (observed FPS over solo FPS);
+	// CMY is 1 when the observed frame rate cleared the QoS floor.
+	RMY, CMY float64
+	// Seq is the example's position in the auditor's append sequence
+	// (monotonically increasing, never reused) — ExamplesSince uses it to
+	// select only evidence gathered after a drift alarm.
+	Seq int64
 }
 
 // AuditorConfig tunes the audit log and quality monitor.
@@ -80,6 +107,11 @@ type AuditorConfig struct {
 	// which the drift alarm trips; <= 0 defaults to 10. The alarm clears
 	// with hysteresis at 0.8x the threshold.
 	MAEThreshold float64
+	// RetainExamples bounds the ring of resolved feature vectors + ground
+	// truth kept for drift-triggered retraining; 0 disables retention.
+	// Only multi-tenant placements are retained — singletons carry no
+	// interference signal and the models never train on them.
+	RetainExamples int
 	// Metrics, when non-nil, publishes the quality gauges, lifecycle
 	// counters, and the calibration histogram.
 	Metrics *obs.Registry
@@ -137,10 +169,24 @@ func (r *rollingMean) mean() float64 {
 
 func (r *rollingMean) count() int { return r.n }
 
+// auditPrediction is one placement-time prediction: the decision-time
+// answers plus (when retention is requested and features are available)
+// the raw input vectors and solo frame rate needed to later turn the
+// resolved record into a TrainExample.
+type auditPrediction struct {
+	fps    float64
+	ok     bool
+	stage  string
+	digest uint64
+	gen    uint64
+	rmx    []float64
+	cmx    []float64
+	solo   float64
+}
+
 // auditPredictFn answers a placement-time prediction for the session at
-// index idx of the colocation: estimated FPS, the QoS feasibility call, the
-// serving stage name, and the feature digest (0 if unavailable).
-type auditPredictFn func(games []int, idx int) (fps float64, ok bool, stage string, digest uint64)
+// index idx of the colocation; retain asks for the feature vectors too.
+type auditPredictFn func(games []int, idx int, retain bool) auditPrediction
 
 // auditMetrics holds the optional registry instruments (nil when disabled).
 type auditMetrics struct {
@@ -168,6 +214,15 @@ type Auditor struct {
 	size      int
 	bySession map[int]*AuditRecord
 
+	// genFn reads the serving handle's swap generation (nil when the
+	// auditor watches a fixed model). A record placed under one generation
+	// but resolved under another belongs to a RETIRED model: its error is
+	// kept out of the rolling quality windows (charging the old model's
+	// mistakes to the freshly promoted one would trigger bogus rollbacks),
+	// while its ground truth still feeds the retention ring — the physics
+	// evidence is model-independent.
+	genFn func() uint64
+
 	// lifecycle tallies (mirror the ring, which forgets old records).
 	placed, resolved, dropped, superseded, evicted, unmatched int64
 
@@ -178,6 +233,15 @@ type Auditor struct {
 	drifting  bool
 	alarms    int64
 
+	// retention ring of resolved examples for drift-triggered retraining
+	// (nil when RetainExamples == 0). exSeq is the append sequence number
+	// the NEXT example will get; it only ever grows, so sequence windows
+	// survive ring eviction.
+	examples []TrainExample
+	exHead   int
+	exSize   int
+	exSeq    int64
+
 	met auditMetrics
 }
 
@@ -187,14 +251,31 @@ type Auditor struct {
 // the CM feasibility call and the feature digest when present. qos is the
 // frame-rate floor observations are judged against.
 func NewAuditor(fb *FallbackPredictor, p *Predictor, qos float64, cfg AuditorConfig) *Auditor {
-	predict := func(games []int, idx int) (float64, bool, string, uint64) {
+	return NewAuditorHandle(fb, NewModelHandle(p), qos, cfg)
+}
+
+// NewAuditorHandle is NewAuditor over a swappable model slot: every
+// prediction resolves the CURRENT model through the handle, so after a
+// lifecycle hot swap the audit log scores the newly promoted model without
+// rebuilding any wiring. Pass the same handle the FallbackPredictor serves
+// from to audit the serving path, or a different one to shadow-audit a
+// candidate that never serves.
+func NewAuditorHandle(fb *FallbackPredictor, h *ModelHandle, qos float64, cfg AuditorConfig) *Auditor {
+	predict := func(games []int, idx int, retain bool) auditPrediction {
 		c := colocationOf(games)
-		var digest uint64
+		p := h.Load()
+		out := auditPrediction{gen: h.Generation()}
 		if p != nil && p.Profiles != nil && len(c) > 1 {
 			m := p.members(c)
 			target := m[idx]
 			others := append(m[:idx:idx], m[idx+1:]...)
-			digest = featureDigest(p.Enc.RM(target, others))
+			rmx := p.Enc.RM(target, others)
+			out.digest = featureDigest(rmx)
+			if retain {
+				out.rmx = rmx
+				out.cmx = p.Enc.CM(qos, target, others)
+				out.solo = p.Profiles.Get(c[idx].GameID).SoloFPS(c[idx].Res)
+			}
 		}
 		if fb != nil {
 			fps, stage, err := fb.PredictFPS(c, idx)
@@ -205,25 +286,29 @@ func NewAuditor(fb *FallbackPredictor, p *Predictor, qos float64, cfg AuditorCon
 			} else if p != nil && p.CM != nil && stage == "model" {
 				ok = p.SatisfiesQoS(c, idx)
 			}
-			return fps, ok, stage, digest
+			out.fps, out.ok, out.stage = fps, ok, stage
+			return out
 		}
 		fps := p.PredictFPS(c, idx)
 		ok := fps >= qos
 		if p.CM != nil {
 			ok = p.SatisfiesQoS(c, idx)
 		}
-		return fps, ok, "direct", digest
+		out.fps, out.ok, out.stage = fps, ok, "direct"
+		return out
 	}
-	return newAuditor(predict, qos, cfg)
+	a := newAuditor(predict, qos, cfg)
+	a.genFn = h.Generation
+	return a
 }
 
 // NewAuditorFunc builds an auditor over a bare prediction function — the
 // hook tests and custom serving stacks use. predict answers the estimated
 // FPS and QoS call for the session at index idx of the colocation.
 func NewAuditorFunc(predict func(games []int, idx int) (fps float64, ok bool), qos float64, cfg AuditorConfig) *Auditor {
-	return newAuditor(func(games []int, idx int) (float64, bool, string, uint64) {
+	return newAuditor(func(games []int, idx int, retain bool) auditPrediction {
 		fps, ok := predict(games, idx)
-		return fps, ok, "direct", 0
+		return auditPrediction{fps: fps, ok: ok, stage: "direct"}
 	}, qos, cfg)
 }
 
@@ -238,6 +323,9 @@ func newAuditor(predict auditPredictFn, qos float64, cfg AuditorConfig) *Auditor
 		absErr:    newRollingMean(cfg.Window),
 		correct:   newRollingMean(cfg.Window),
 		falsePass: newRollingMean(cfg.Window),
+	}
+	if cfg.RetainExamples > 0 {
+		a.examples = make([]TrainExample, cfg.RetainExamples)
 	}
 	if r := cfg.Metrics; r != nil {
 		a.met = auditMetrics{
@@ -298,7 +386,7 @@ func (a *Auditor) Placed(sid, game int, games []int) {
 		return
 	}
 	gamesCopy := append([]int(nil), games...)
-	fps, ok, stage, digest := a.predict(gamesCopy, indexOf(gamesCopy, game))
+	pr := a.predict(gamesCopy, indexOf(gamesCopy, game), a.cfg.RetainExamples > 0)
 
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -313,12 +401,16 @@ func (a *Auditor) Placed(sid, game int, games []int) {
 		Session:        sid,
 		Game:           game,
 		Games:          gamesCopy,
-		FeaturesDigest: digest,
+		FeaturesDigest: pr.digest,
 		ModelVersion:   PredictorVersion,
-		Stage:          stage,
-		PredictedFPS:   fps,
-		PredictedOK:    ok,
+		Stage:          pr.stage,
+		PredictedFPS:   pr.fps,
+		PredictedOK:    pr.ok,
 		Outcome:        AuditPending,
+		rmx:            pr.rmx,
+		cmx:            pr.cmx,
+		solo:           pr.solo,
+		gen:            pr.gen,
 	}
 	if old := a.ring[a.head]; old != nil && old.Outcome == AuditPending {
 		old.Outcome = AuditEvicted
@@ -359,24 +451,47 @@ func (a *Auditor) Observed(sid int, fps float64) {
 	a.met.resolved.Inc()
 	a.met.pending.Set(float64(len(a.bySession)))
 
-	a.absErr.add(math.Abs(rec.PredictedFPS - fps))
-	hit := 0.0
-	if rec.PredictedOK == (fps >= a.qos) {
-		hit = 1
+	// A record placed under an older serving generation was predicted by a
+	// model that has since been swapped out: its error belongs to the
+	// retired model, not to the one the quality windows currently judge.
+	current := a.genFn == nil || rec.gen == a.genFn()
+	if current {
+		a.absErr.add(math.Abs(rec.PredictedFPS - fps))
+		hit := 0.0
+		if rec.PredictedOK == (fps >= a.qos) {
+			hit = 1
+		}
+		a.correct.add(hit)
+		fp := 0.0
+		if rec.PredictedOK && fps < a.qos {
+			fp = 1
+		}
+		a.falsePass.add(fp)
 	}
-	a.correct.add(hit)
-	fp := 0.0
-	if rec.PredictedOK && fps < a.qos {
-		fp = 1
+	// Ground truth is model-independent — retain it as retraining evidence
+	// regardless of which generation predicted it.
+	if rec.rmx != nil {
+		cmy := 0.0
+		if fps >= a.qos {
+			cmy = 1
+		}
+		a.retainExample(TrainExample{
+			RMX: rec.rmx,
+			CMX: rec.cmx,
+			RMY: sim.Degradation(fps, rec.solo),
+			CMY: cmy,
+			Seq: a.exSeq,
+		})
 	}
-	a.falsePass.add(fp)
-	if rec.PredictedFPS > 0 {
-		a.met.calibration.Observe(fps / rec.PredictedFPS)
+	if current {
+		if rec.PredictedFPS > 0 {
+			a.met.calibration.Observe(fps / rec.PredictedFPS)
+		}
+		a.met.mae.Set(a.absErr.mean())
+		a.met.accuracy.Set(a.correct.mean())
+		a.met.falsePass.Set(a.falsePass.mean())
+		a.updateDrift()
 	}
-	a.met.mae.Set(a.absErr.mean())
-	a.met.accuracy.Set(a.correct.mean())
-	a.met.falsePass.Set(a.falsePass.mean())
-	a.updateDrift()
 }
 
 // Dropped implements sched.AuditSink: the session was lost to faults, no
@@ -416,6 +531,83 @@ func (a *Auditor) updateDrift() {
 		a.drifting = false
 		a.met.drifting.Set(0)
 	}
+}
+
+// retainExample folds one resolved example into the bounded retention ring
+// (no-op when retention is disabled). Callers hold a.mu.
+func (a *Auditor) retainExample(ex TrainExample) {
+	if a.examples == nil {
+		return
+	}
+	a.examples[a.exHead] = ex
+	a.exHead = (a.exHead + 1) % len(a.examples)
+	if a.exSize < len(a.examples) {
+		a.exSize++
+	}
+	a.exSeq++
+}
+
+// ExamplesSince returns copies of every retained example with Seq >= seq,
+// oldest first. The lifecycle retrainer passes the sequence number captured
+// at the drift-alarm rising edge, so only post-drift evidence is fitted.
+func (a *Auditor) ExamplesSince(seq int64) []TrainExample {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TrainExample, 0, a.exSize)
+	for i := 0; i < a.exSize; i++ {
+		idx := (a.exHead - a.exSize + i + len(a.examples)) % len(a.examples)
+		if a.examples[idx].Seq >= seq {
+			out = append(out, a.examples[idx])
+		}
+	}
+	return out
+}
+
+// RetainedExamples reports how many resolved examples the retention ring
+// currently holds.
+func (a *Auditor) RetainedExamples() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.exSize
+}
+
+// ExampleSeq returns the sequence number the NEXT retained example will
+// get. Capturing it at a drift-alarm rising edge and later asking for
+// ExamplesSince(captured) selects exactly the evidence gathered after the
+// alarm.
+func (a *Auditor) ExampleSeq() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.exSeq
+}
+
+// ResetWindows clears the rolling quality windows and the drift alarm —
+// called after a model promotion so the new model is judged on its own
+// record, not the drifted predecessor's. The audit ring, lifecycle tallies,
+// and retained examples are kept.
+func (a *Auditor) ResetWindows() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.absErr = newRollingMean(a.cfg.Window)
+	a.correct = newRollingMean(a.cfg.Window)
+	a.falsePass = newRollingMean(a.cfg.Window)
+	a.drifting = false
+	a.met.mae.Set(0)
+	a.met.accuracy.Set(0)
+	a.met.falsePass.Set(0)
+	a.met.drifting.Set(0)
 }
 
 // Drifting reports whether the drift alarm is currently raised.

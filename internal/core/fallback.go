@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"gaugur/internal/obs/trace"
 	"gaugur/internal/profile"
@@ -35,9 +36,11 @@ type PredictorStage interface {
 }
 
 // modelStage adapts the trained Predictor to the fallible stage interface,
-// converting panics and missing models into errors instead of crashes.
+// converting panics and missing models into errors instead of crashes. The
+// model is resolved through a ModelHandle per query, so a lifecycle hot
+// swap takes effect on the very next prediction with no chain rebuild.
 type modelStage struct {
-	p *Predictor
+	h *ModelHandle
 }
 
 func (m *modelStage) Name() string { return "model" }
@@ -50,21 +53,23 @@ func (m *modelStage) guard(err *error) {
 
 func (m *modelStage) PredictFPS(c Colocation, idx int) (fps float64, err error) {
 	defer m.guard(&err)
-	if m.p == nil || m.p.RM == nil || m.p.Profiles == nil {
+	p := m.h.Load()
+	if p == nil || p.RM == nil || p.Profiles == nil {
 		return 0, fmt.Errorf("%w: RM not loaded", ErrStageUnavailable)
 	}
-	return m.p.PredictFPS(c, idx), nil
+	return p.PredictFPS(c, idx), nil
 }
 
 func (m *modelStage) Feasible(c Colocation) (ok bool, err error) {
 	defer m.guard(&err)
-	if m.p == nil || m.p.Profiles == nil || (m.p.CM == nil && m.p.RM == nil) {
+	p := m.h.Load()
+	if p == nil || p.Profiles == nil || (p.CM == nil && p.RM == nil) {
 		return false, fmt.Errorf("%w: CM/RM not loaded", ErrStageUnavailable)
 	}
-	if m.p.CM != nil {
-		return m.p.FeasibleCM(c), nil
+	if p.CM != nil {
+		return p.FeasibleCM(c), nil
 	}
-	return m.p.FeasibleRM(c), nil
+	return p.FeasibleRM(c), nil
 }
 
 // capacityStage is the conservative terminal stage: a VBP-style capacity
@@ -196,11 +201,22 @@ type breaker struct {
 	state    breakerState
 	failures int // consecutive failures while closed
 	skipped  int // calls short-circuited while open
+	calls    int // calls seen since the last state change (observability)
 	forced   bool
+}
+
+// setState transitions the breaker, resetting the calls-in-state counter
+// only on an actual change.
+func (b *breaker) setState(s breakerState) {
+	if b.state != s {
+		b.state = s
+		b.calls = 0
+	}
 }
 
 // allow reports whether the protected stage may be consulted.
 func (b *breaker) allow() bool {
+	b.calls++
 	if b.forced {
 		return false
 	}
@@ -210,7 +226,7 @@ func (b *breaker) allow() bool {
 	default: // open: wait out the cooldown, then probe.
 		b.skipped++
 		if b.skipped >= b.cfg.CooldownCalls {
-			b.state = breakerHalfOpen
+			b.setState(breakerHalfOpen)
 			b.skipped = 0
 			return true
 		}
@@ -221,19 +237,19 @@ func (b *breaker) allow() bool {
 // observe records a stage outcome.
 func (b *breaker) observe(ok bool) {
 	if ok {
-		b.state = breakerClosed
+		b.setState(breakerClosed)
 		b.failures = 0
 		b.skipped = 0
 		return
 	}
 	switch b.state {
 	case breakerHalfOpen:
-		b.state = breakerOpen
+		b.setState(breakerOpen)
 		b.skipped = 0
 	default:
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
-			b.state = breakerOpen
+			b.setState(breakerOpen)
 			b.failures = 0
 			b.skipped = 0
 		}
@@ -242,16 +258,23 @@ func (b *breaker) observe(ok bool) {
 
 // FallbackPredictor chains prediction stages behind circuit breakers and
 // always answers: queries walk the chain until a healthy stage responds,
-// and the terminal capacity stage cannot fail. Not safe for concurrent
-// use (one per serving loop, like the rng).
+// and the terminal capacity stage cannot fail. Safe for concurrent use:
+// breaker state and the stage tallies are mutex-guarded, so a lifecycle
+// hot swap can land while serving threads are mid-query.
 type FallbackPredictor struct {
+	mu       sync.Mutex
 	stages   []PredictorStage
 	breakers []*breaker
 
+	// handle is the swappable model slot the primary stage serves from
+	// (nil when the chain was built over custom stages).
+	handle *ModelHandle
+
 	// Served counts answers per stage name — the observability a serving
-	// experiment reads to show which layer carried the traffic.
+	// experiment reads to show which layer carried the traffic. Guarded by
+	// mu; read them through Stats when other goroutines may be serving.
 	Served map[string]int
-	// Errors counts stage failures per stage name.
+	// Errors counts stage failures per stage name (guarded by mu).
 	Errors map[string]int
 
 	// met mirrors Served/Errors into an obs registry and additionally
@@ -268,15 +291,28 @@ type FallbackPredictor struct {
 // the conservative capacity check over profiles. qos is the frame-rate
 // floor the capacity stage screens solo FPS against.
 func NewFallbackPredictor(p *Predictor, profiles *profile.Set, qos float64, cfg BreakerConfig) *FallbackPredictor {
+	return NewFallbackPredictorHandle(NewModelHandle(p), profiles, qos, cfg)
+}
+
+// NewFallbackPredictorHandle is NewFallbackPredictor over an externally
+// owned ModelHandle: the lifecycle manager swaps models through the handle
+// and the chain serves the new model on the very next query.
+func NewFallbackPredictorHandle(h *ModelHandle, profiles *profile.Set, qos float64, cfg BreakerConfig) *FallbackPredictor {
 	var capVec sim.Vector
 	for i := range capVec {
 		capVec[i] = 1
 	}
-	return NewFallbackChain(cfg,
-		&modelStage{p: p},
+	f := NewFallbackChain(cfg,
+		&modelStage{h: h},
 		&capacityStage{profiles: profiles, capacity: capVec, cpuMem: 1, gpuMem: 1, qos: qos},
 	)
+	f.handle = h
+	return f
 }
+
+// Handle returns the swappable model slot behind the primary stage (nil
+// for custom chains).
+func (f *FallbackPredictor) Handle() *ModelHandle { return f.handle }
 
 // NewFallbackChain builds a fallback predictor over arbitrary stages,
 // ordered most-preferred first. Every stage but the last sits behind its
@@ -311,34 +347,72 @@ func (f *FallbackPredictor) EnableTracing(t *trace.Tracer) *FallbackPredictor {
 // measurement dropouts, where waiting for organic errors would serve
 // garbage in the meantime.
 func (f *FallbackPredictor) ReportOutage(down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if len(f.breakers) == 0 {
 		return
 	}
-	f.breakers[0].forced = down
+	b := f.breakers[0]
+	if b.forced != down {
+		b.forced = down
+		b.calls = 0
+	}
 	if !down {
 		// Recover immediately: the outage was declared over, not probed.
-		f.breakers[0].state = breakerClosed
-		f.breakers[0].failures = 0
+		b.setState(breakerClosed)
+		b.failures = 0
 	}
+	f.publishBreakers()
 	f.updateDegraded()
 }
 
 // updateDegraded refreshes the degraded gauge (no-op when metrics are
-// disabled).
+// disabled). Callers hold f.mu.
 func (f *FallbackPredictor) updateDegraded() {
 	if f.met.degraded == nil {
 		return
 	}
 	v := 0.0
-	if f.Degraded() {
+	if f.degradedLocked() {
 		v = 1
 	}
 	f.met.degraded.Set(v)
 }
 
+// publishBreakers refreshes the per-stage breaker gauges: the numeric
+// state (0 closed, 1 half-open, 2 open) and the calls seen since the last
+// state change — the breaker's deterministic, call-counted notion of
+// "time in stage". Callers hold f.mu; no-op when metrics are disabled.
+func (f *FallbackPredictor) publishBreakers() {
+	if f.met.breakerState == nil {
+		return
+	}
+	for i, b := range f.breakers {
+		if i == len(f.stages)-1 {
+			break // terminal stage has no breaker semantics
+		}
+		name := f.stages[i].Name()
+		v := 0.0
+		switch {
+		case b.forced || b.state == breakerOpen:
+			v = 2
+		case b.state == breakerHalfOpen:
+			v = 1
+		}
+		f.met.breakerState[name].Set(v)
+		f.met.breakerCalls[name].Set(float64(b.calls))
+	}
+}
+
 // Degraded reports whether the primary stage is currently unavailable
 // (forced or tripped open).
 func (f *FallbackPredictor) Degraded() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degradedLocked()
+}
+
+func (f *FallbackPredictor) degradedLocked() bool {
 	if len(f.breakers) == 0 {
 		return false
 	}
@@ -346,9 +420,63 @@ func (f *FallbackPredictor) Degraded() bool {
 	return b.forced || b.state == breakerOpen
 }
 
+// BreakerStatus is the observable state of one stage's circuit breaker.
+type BreakerStatus struct {
+	// Stage is the protected stage's name.
+	Stage string
+	// State is the breaker state ("closed", "open", "half-open").
+	State string
+	// Forced reports a declared outage holding the breaker open.
+	Forced bool
+	// CallsInState counts queries consulted since the last state change —
+	// the call-counted analogue of time-in-state (the breaker's cooldowns
+	// are counted in calls, not wall time, to keep serving deterministic).
+	CallsInState int
+}
+
+// BreakerStatuses snapshots every non-terminal stage's breaker.
+func (f *FallbackPredictor) BreakerStatuses() []BreakerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []BreakerStatus
+	for i, b := range f.breakers {
+		if i == len(f.stages)-1 {
+			break
+		}
+		out = append(out, BreakerStatus{
+			Stage:        f.stages[i].Name(),
+			State:        b.state.String(),
+			Forced:       b.forced,
+			CallsInState: b.calls,
+		})
+	}
+	return out
+}
+
+// Stats returns copies of the per-stage served/error tallies, safe to read
+// while other goroutines are serving.
+func (f *FallbackPredictor) Stats() (served, errors map[string]int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	served = make(map[string]int, len(f.Served))
+	for k, v := range f.Served {
+		served[k] = v
+	}
+	errors = make(map[string]int, len(f.Errors))
+	for k, v := range f.Errors {
+		errors[k] = v
+	}
+	return served, errors
+}
+
 // query walks the chain until a stage answers; the final stage's error (if
-// any) is returned as a last resort.
+// any) is returned as a last resort. The whole walk holds f.mu, so breaker
+// decisions and tallies are atomic per query: concurrent callers see a
+// serialized sequence of breaker transitions (a half-open probe is one
+// query's to win or lose, never two racing).
 func (f *FallbackPredictor) query(call func(PredictorStage) error) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	parent := f.tracer.Current()
 	traced := parent.Active()
 	var lastErr error
@@ -386,6 +514,7 @@ func (f *FallbackPredictor) query(call func(PredictorStage) error) (string, erro
 		if err == nil {
 			f.Served[st.Name()]++
 			f.met.served[st.Name()].Inc()
+			f.publishBreakers()
 			f.updateDegraded()
 			sp.End(trace.String("outcome", "served"))
 			return st.Name(), nil
@@ -395,6 +524,7 @@ func (f *FallbackPredictor) query(call func(PredictorStage) error) (string, erro
 		lastErr = err
 		sp.End(trace.String("outcome", "error"))
 	}
+	f.publishBreakers()
 	f.updateDegraded()
 	return "", fmt.Errorf("core: every prediction stage failed: %w", lastErr)
 }

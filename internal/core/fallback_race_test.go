@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// raceStage is a chain stage whose health is flipped atomically from the
+// test while many goroutines serve through it.
+type raceStage struct {
+	name     string
+	fps      float64
+	healthy  atomic.Bool
+	attempts atomic.Int64
+}
+
+func (s *raceStage) Name() string { return s.name }
+func (s *raceStage) PredictFPS(Colocation, int) (float64, error) {
+	s.attempts.Add(1)
+	if !s.healthy.Load() {
+		return 0, errors.New("stage down")
+	}
+	return s.fps, nil
+}
+func (s *raceStage) Feasible(Colocation) (bool, error) {
+	s.attempts.Add(1)
+	if !s.healthy.Load() {
+		return false, errors.New("stage down")
+	}
+	return true, nil
+}
+
+// TestFallbackConcurrentHalfOpenProbes hammers a tripped chain from many
+// goroutines (run under -race). The mutex serializes breaker decisions, so
+// even under contention a half-open probe is ONE query's to win or lose:
+// the primary must be consulted at most once per cooldown window, never by
+// a thundering herd of racing probes.
+func TestFallbackConcurrentHalfOpenProbes(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 250
+		cooldown   = 10
+		threshold  = 3
+	)
+	primary := &raceStage{name: "primary", fps: 100}
+	backup := &raceStage{name: "backup", fps: 50}
+	backup.healthy.Store(true)
+	f := NewFallbackChain(BreakerConfig{FailureThreshold: threshold, CooldownCalls: cooldown}, primary, backup)
+
+	hammer := func(n int) {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if _, _, err := f.PredictFPS(testColoc(), 0); err != nil {
+						t.Errorf("chain with healthy terminal failed: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		// Concurrent observability readers must not race the serving path.
+		done := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					f.BreakerStatuses()
+					f.Stats()
+					f.Degraded()
+				}
+			}
+		}()
+		wg.Wait()
+		close(done)
+	}
+
+	// Phase 1: primary down. The breaker trips after `threshold` failures
+	// and then admits one probe per cooldown window.
+	hammer(perG)
+	total := int64(goroutines * perG)
+	served, _ := f.Stats()
+	if int64(served["backup"]) != total {
+		t.Fatalf("backup served %d of %d queries while primary was down", served["backup"], total)
+	}
+	maxAttempts := int64(threshold) + total/int64(cooldown) + 2
+	if got := primary.attempts.Load(); got > maxAttempts {
+		t.Fatalf("primary consulted %d times; want <= %d (threshold + one probe per cooldown)", got, maxAttempts)
+	}
+	if !f.Degraded() {
+		t.Fatal("chain should report degraded while the primary is down")
+	}
+
+	// Phase 2: primary recovers. Some goroutine's probe wins, closes the
+	// breaker, and the primary carries the traffic again.
+	primary.healthy.Store(true)
+	hammer(perG)
+	if f.Degraded() {
+		t.Fatal("chain still degraded after the primary recovered")
+	}
+	served, errs := f.Stats()
+	if served["primary"] == 0 {
+		t.Fatal("primary never served after recovery")
+	}
+	if served["primary"]+served["backup"] != int(2*total) {
+		t.Fatalf("served %v + errors %v do not account for %d queries", served, errs, 2*total)
+	}
+	// The final state is closed with zero forced flag.
+	for _, bs := range f.BreakerStatuses() {
+		if bs.State != "closed" || bs.Forced {
+			t.Fatalf("breaker %+v, want closed/unforced after recovery", bs)
+		}
+	}
+}
+
+// TestHotSwapConcurrentServing swaps the serving model while goroutines
+// query through the fallback chain (run under -race): every answer must
+// come from one of the two models — never a torn read, never an error.
+func TestHotSwapConcurrentServing(t *testing.T) {
+	p, lab := smallPredictor(t)
+	// A second, distinguishable model: same profiles, constant RM.
+	p2 := constPredictor(lab.Profiles, 0.5)
+
+	h := NewModelHandle(p)
+	f := NewFallbackPredictorHandle(h, lab.Profiles, 60, BreakerConfig{})
+	c := Colocation{
+		{GameID: lab.Profiles.Order[0].GameID, Res: ReferenceResolution},
+		{GameID: lab.Profiles.Order[1].GameID, Res: ReferenceResolution},
+	}
+	want1 := p.PredictFPS(c, 0)
+	want2 := p2.PredictFPS(c, 0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fps, stage, err := f.PredictFPS(c, 0)
+				if err != nil || stage != "model" {
+					t.Errorf("serving failed mid-swap: stage=%q err=%v", stage, err)
+					return
+				}
+				if fps != want1 && fps != want2 {
+					t.Errorf("prediction %v belongs to neither model (%v / %v)", fps, want1, want2)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			h.Swap(p2)
+		} else {
+			h.Swap(p)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if gen := h.Generation(); gen != 200 {
+		t.Fatalf("generation = %d after 200 swaps", gen)
+	}
+}

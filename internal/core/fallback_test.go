@@ -161,7 +161,7 @@ func TestFallbackServedAndErrorStats(t *testing.T) {
 
 func TestModelStageGuardsNilAndPanics(t *testing.T) {
 	// Nil predictor: unavailable error, not a nil-pointer crash.
-	m := &modelStage{p: nil}
+	m := &modelStage{h: NewModelHandle(nil)}
 	if _, err := m.PredictFPS(testColoc(), 0); !errors.Is(err, ErrStageUnavailable) {
 		t.Errorf("nil predictor should be ErrStageUnavailable, got %v", err)
 	}
@@ -171,7 +171,7 @@ func TestModelStageGuardsNilAndPanics(t *testing.T) {
 
 	// A predictor whose profile set lacks the queried game panics inside
 	// PredictFPS; the guard must surface an error instead.
-	m = &modelStage{p: &Predictor{Profiles: &profile.Set{ByID: map[int]*profile.GameProfile{}}, RM: nil}}
+	m = &modelStage{h: NewModelHandle(&Predictor{Profiles: &profile.Set{ByID: map[int]*profile.GameProfile{}}, RM: nil})}
 	if _, err := m.PredictFPS(testColoc(), 0); !errors.Is(err, ErrStageUnavailable) {
 		t.Errorf("missing RM should be unavailable, got %v", err)
 	}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gaugur/internal/ml"
+	"gaugur/internal/obs"
+)
+
+// Self-healing model lifecycle. The auditor (audit.go) detects drift; this
+// file closes the loop by acting on it: retrain on post-drift evidence,
+// evaluate the candidate in shadow against the live decision stream, and —
+// only when it measurably beats the incumbent — hot-swap it into serving
+// with automatic rollback if it regresses. The manager is a state machine
+// driven synchronously from the online loop (it implements both
+// sched.AuditSink and sched.LifecycleTicker structurally), so every run is
+// deterministic: no goroutines, no wall clocks, the same event stream
+// always produces the same promotions.
+//
+//	monitoring --drift + enough fresh examples--> retrain
+//	retrain    --fit ok--------------------------> shadowing
+//	retrain    --fit failed (holddown, backoff)--> monitoring
+//	shadowing  --gate passed---------------------> promote (hot swap) --> probation
+//	shadowing  --gate failed (quarantine)--------> monitoring
+//	probation  --regression (rollback+quarantine)-> monitoring
+//	probation  --window clean--------------------> monitoring
+
+// LifecyclePhase names a state of the lifecycle machine.
+type LifecyclePhase string
+
+const (
+	// PhaseMonitoring is steady state: watch the drift alarm.
+	PhaseMonitoring LifecyclePhase = "monitoring"
+	// PhaseShadowing is candidate evaluation: a retrained model scores
+	// every decision through the audit path but never serves one.
+	PhaseShadowing LifecyclePhase = "shadowing"
+	// PhaseProbation follows a promotion: the new model serves, but a
+	// regression triggers automatic rollback to its predecessor.
+	PhaseProbation LifecyclePhase = "probation"
+)
+
+// phaseOrdinal maps phases onto the gauge scale (0 monitoring, 1 shadowing,
+// 2 probation).
+func phaseOrdinal(p LifecyclePhase) float64 {
+	switch p {
+	case PhaseShadowing:
+		return 1
+	case PhaseProbation:
+		return 2
+	}
+	return 0
+}
+
+// LifecycleConfig tunes the state machine.
+type LifecycleConfig struct {
+	// MinExamples is how many post-alarm training examples must accumulate
+	// before a retrain starts; <= 0 defaults to 64.
+	MinExamples int
+	// Rounds is how many boosting rounds the incremental retrainer appends
+	// per retrain; <= 0 defaults to 100.
+	Rounds int
+	// ShadowWindow is how many resolved shadow predictions the gate needs
+	// before judging the candidate; <= 0 defaults to 96.
+	ShadowWindow int
+	// PromoteMargin is the fractional MAE improvement the candidate must
+	// show over the incumbent (0.05 = 5% better); <= 0 defaults to 0.05.
+	// The candidate must also not exceed the incumbent's false-QoS-pass
+	// rate.
+	PromoteMargin float64
+	// ProbationWindow is how many resolved records after a promotion the
+	// new model is watched for regression; <= 0 defaults to 96.
+	ProbationWindow int
+	// RollbackMAE is the rolling MAE (FPS) during probation above which the
+	// promoted model is rolled back and quarantined; <= 0 defaults to 10.
+	RollbackMAE float64
+	// RetrainHolddown is the tick delay before retrying after a failed fit
+	// or a rejected candidate, doubling per consecutive failure; <= 0
+	// defaults to 256.
+	RetrainHolddown int
+	// TrainFunc overrides the default retrainer (clone the active predictor
+	// and ContinueFit its RM/CM on the examples). Tests inject deliberately
+	// bad candidates and failing fits through it.
+	TrainFunc func(examples []TrainExample) (*Predictor, error)
+	// Metrics, when non-nil, publishes lifecycle counters and gauges.
+	Metrics *obs.Registry
+}
+
+func (c LifecycleConfig) withDefaults() LifecycleConfig {
+	if c.MinExamples <= 0 {
+		c.MinExamples = 64
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.ShadowWindow <= 0 {
+		c.ShadowWindow = 96
+	}
+	if c.PromoteMargin <= 0 {
+		c.PromoteMargin = 0.05
+	}
+	if c.ProbationWindow <= 0 {
+		c.ProbationWindow = 96
+	}
+	if c.RollbackMAE <= 0 {
+		c.RollbackMAE = 10
+	}
+	if c.RetrainHolddown <= 0 {
+		c.RetrainHolddown = 256
+	}
+	return c
+}
+
+// lifecycleMetrics holds the optional instruments (nil-safe when disabled).
+type lifecycleMetrics struct {
+	retrains, retrainFailures, promotions, rollbacks, rejects *obs.Counter
+	phase, activeVersion, retained                            *obs.Gauge
+}
+
+// LifecycleManager drives the self-healing loop. It wraps the serving
+// auditor as the scheduler's AuditSink (forwarding every callback, and
+// mirroring them to the shadow auditor while a candidate is under
+// evaluation) and acts on its Tick callback. Safe for concurrent use; all
+// methods are nil-safe.
+type LifecycleManager struct {
+	mu     sync.Mutex
+	handle *ModelHandle
+	aud    *Auditor
+	reg    *Registry
+	cfg    LifecycleConfig
+
+	phase         LifecyclePhase
+	tick          int64
+	holddownUntil int64
+	failures      int
+
+	// drift episode state: alarmSeq is the retention sequence captured at
+	// the alarm's rising edge, so retraining only ever sees post-drift
+	// evidence.
+	alarmArmed bool
+	alarmSeq   int64
+
+	activeVersion int
+	prev          *Predictor // rollback target while on probation
+	prevVersion   int
+
+	shadow        *Predictor
+	shadowVersion int
+	shadowAud     *Auditor
+
+	met lifecycleMetrics
+}
+
+// NewLifecycleManager wires the lifecycle over the serving handle (which
+// must already hold the seed model), the serving auditor (which must retain
+// examples — AuditorConfig.RetainExamples > 0), and a registry. The seed
+// model is registered as the first active version unless the registry
+// already has one.
+func NewLifecycleManager(h *ModelHandle, aud *Auditor, reg *Registry, cfg LifecycleConfig) (*LifecycleManager, error) {
+	if h == nil || h.Load() == nil {
+		return nil, errors.New("core: lifecycle needs a handle holding the seed model")
+	}
+	if aud == nil {
+		return nil, errors.New("core: lifecycle needs an auditor")
+	}
+	if aud.cfg.RetainExamples <= 0 {
+		return nil, errors.New("core: lifecycle auditor must retain examples (AuditorConfig.RetainExamples)")
+	}
+	if reg == nil {
+		return nil, errors.New("core: lifecycle needs a registry")
+	}
+	m := &LifecycleManager{
+		handle: h,
+		aud:    aud,
+		reg:    reg,
+		cfg:    cfg.withDefaults(),
+		phase:  PhaseMonitoring,
+	}
+	if act, ok := reg.Active(); ok {
+		m.activeVersion = act.Version
+	} else {
+		v, err := reg.Add(h.Load(), ModelActive, "seed model")
+		if err != nil {
+			return nil, err
+		}
+		m.activeVersion = v
+	}
+	if r := m.cfg.Metrics; r != nil {
+		m.met = lifecycleMetrics{
+			retrains:        r.Counter("gaugur_lifecycle_retrains_total", "drift-triggered retrains started"),
+			retrainFailures: r.Counter("gaugur_lifecycle_retrain_failures_total", "retrains that failed to fit (holddown armed)"),
+			promotions:      r.Counter("gaugur_lifecycle_promotions_total", "candidates promoted to serving"),
+			rollbacks:       r.Counter("gaugur_lifecycle_rollbacks_total", "promoted models rolled back during probation"),
+			rejects:         r.Counter("gaugur_lifecycle_shadow_rejects_total", "candidates rejected by the shadow gate"),
+			phase:           r.Gauge("gaugur_lifecycle_phase", "lifecycle phase (0 monitoring, 1 shadowing, 2 probation)"),
+			activeVersion:   r.Gauge("gaugur_lifecycle_active_version", "registry version currently serving"),
+			retained:        r.Gauge("gaugur_lifecycle_retained_examples", "resolved training examples in the retention ring"),
+		}
+		m.met.activeVersion.Set(float64(m.activeVersion))
+	}
+	return m, nil
+}
+
+// Handle returns the serving model slot the manager swaps.
+func (m *LifecycleManager) Handle() *ModelHandle { return m.handle }
+
+// Placed implements sched.AuditSink: forward to the serving auditor and,
+// while a candidate shadows, mirror the decision to its auditor so both
+// models are judged on the identical stream.
+func (m *LifecycleManager) Placed(sid, game int, games []int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	sh := m.shadowAud
+	m.mu.Unlock()
+	m.aud.Placed(sid, game, games)
+	sh.Placed(sid, game, games)
+}
+
+// Observed implements sched.AuditSink.
+func (m *LifecycleManager) Observed(sid int, fps float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	sh := m.shadowAud
+	m.mu.Unlock()
+	m.aud.Observed(sid, fps)
+	sh.Observed(sid, fps)
+}
+
+// Dropped implements sched.AuditSink.
+func (m *LifecycleManager) Dropped(sid int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	sh := m.shadowAud
+	m.mu.Unlock()
+	m.aud.Dropped(sid)
+	sh.Dropped(sid)
+}
+
+// Tick implements sched.LifecycleTicker: advance the state machine one
+// step. Cheap when idle — one drift check in steady state.
+func (m *LifecycleManager) Tick(now float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	switch m.phase {
+	case PhaseShadowing:
+		m.tickShadowing()
+	case PhaseProbation:
+		m.tickProbation()
+	default:
+		m.tickMonitoring()
+	}
+	m.met.phase.Set(phaseOrdinal(m.phase))
+}
+
+// tickMonitoring watches the drift alarm and launches a retrain once
+// enough post-alarm evidence exists. Callers hold m.mu.
+func (m *LifecycleManager) tickMonitoring() {
+	if !m.aud.Drifting() {
+		// Alarm cleared on its own (hysteresis): the episode is over.
+		m.alarmArmed = false
+		return
+	}
+	if !m.alarmArmed {
+		// Rising edge: everything retained from here on is post-drift.
+		m.alarmArmed = true
+		m.alarmSeq = m.aud.ExampleSeq()
+	}
+	if m.tick < m.holddownUntil {
+		return
+	}
+	examples := m.aud.ExamplesSince(m.alarmSeq)
+	m.met.retained.Set(float64(len(examples)))
+	if len(examples) < m.cfg.MinExamples {
+		return
+	}
+	m.met.retrains.Inc()
+	cand, err := m.train(examples)
+	if err == nil && cand == nil {
+		err = errors.New("core: retrainer returned no model")
+	}
+	var version int
+	if err == nil {
+		version, err = m.reg.Add(cand, ModelShadow, fmt.Sprintf("drift retrain (%d examples)", len(examples)))
+	}
+	if err != nil {
+		// Failed fit: arm the holddown with exponential backoff and keep
+		// serving the incumbent — a broken retrain must never degrade
+		// serving.
+		m.met.retrainFailures.Inc()
+		m.armHolddown()
+		return
+	}
+	m.failures = 0
+	m.shadow = cand
+	m.shadowVersion = version
+	m.shadowAud = NewAuditor(nil, cand, m.handle.Load().QoS, AuditorConfig{
+		Window:      m.cfg.ShadowWindow,
+		MinResolved: m.cfg.ShadowWindow,
+	})
+	m.phase = PhaseShadowing
+}
+
+// armHolddown schedules the next retrain attempt with doubling backoff.
+// Callers hold m.mu.
+func (m *LifecycleManager) armHolddown() {
+	m.failures++
+	backoff := int64(m.cfg.RetrainHolddown)
+	for i := 1; i < m.failures && backoff < 1<<20; i++ {
+		backoff *= 2
+	}
+	m.holddownUntil = m.tick + backoff
+}
+
+// train runs the configured retrainer. Callers hold m.mu.
+func (m *LifecycleManager) train(examples []TrainExample) (*Predictor, error) {
+	if m.cfg.TrainFunc != nil {
+		return m.cfg.TrainFunc(examples)
+	}
+	return RetrainIncremental(m.handle.Load(), examples, m.cfg.Rounds)
+}
+
+// RetrainIncremental clones the serving predictor (via a save/load round
+// trip, so the serving copy is never mutated) and extends its RM and CM
+// with boosting rounds fitted on the examples. Both models must support
+// incremental fitting (the paper's winning GBRT/GBDT pair does).
+func RetrainIncremental(active *Predictor, examples []TrainExample, rounds int) (*Predictor, error) {
+	if active == nil {
+		return nil, errors.New("core: no active model to retrain from")
+	}
+	if len(examples) == 0 {
+		return nil, errors.New("core: no examples to retrain on")
+	}
+	var buf bytes.Buffer
+	if err := active.Save(&buf); err != nil {
+		return nil, fmt.Errorf("core: cloning active model: %w", err)
+	}
+	cand, err := LoadPredictor(bytes.NewReader(buf.Bytes()), active.Profiles)
+	if err != nil {
+		return nil, fmt.Errorf("core: cloning active model: %w", err)
+	}
+	rmx := make([][]float64, len(examples))
+	rmy := make([]float64, len(examples))
+	cmx := make([][]float64, len(examples))
+	cmy := make([]float64, len(examples))
+	for i, ex := range examples {
+		rmx[i], rmy[i] = ex.RMX, ex.RMY
+		cmx[i], cmy[i] = ex.CMX, ex.CMY
+	}
+	rm, ok := cand.RM.(ml.IncrementalFitter)
+	if !ok {
+		return nil, fmt.Errorf("core: RM %T does not support incremental fitting", cand.RM)
+	}
+	if err := rm.ContinueFit(rmx, rmy, rounds); err != nil {
+		return nil, fmt.Errorf("core: extending RM: %w", err)
+	}
+	cm, ok := cand.CM.(ml.IncrementalFitter)
+	if !ok {
+		return nil, fmt.Errorf("core: CM %T does not support incremental fitting", cand.CM)
+	}
+	if err := cm.ContinueFit(cmx, cmy, rounds); err != nil {
+		return nil, fmt.Errorf("core: extending CM: %w", err)
+	}
+	return cand.Compile(), nil
+}
+
+// tickShadowing judges the candidate once its auditor has resolved a full
+// window. Callers hold m.mu.
+func (m *LifecycleManager) tickShadowing() {
+	sh := m.shadowAud.Summary()
+	if sh.WindowResolved < m.cfg.ShadowWindow {
+		return
+	}
+	act := m.aud.Summary()
+	note := fmt.Sprintf("shadow MAE %.2f vs active %.2f, false-pass %.3f vs %.3f over %d decisions",
+		sh.RMMAE, act.RMMAE, sh.FalseQoSPassRate, act.FalseQoSPassRate, sh.WindowResolved)
+	if sh.RMMAE < act.RMMAE*(1-m.cfg.PromoteMargin) && sh.FalseQoSPassRate <= act.FalseQoSPassRate {
+		m.promoteLocked(m.shadow, m.shadowVersion, "promote: "+note)
+		return
+	}
+	// Gate failed: quarantine the candidate — it never serves — and go back
+	// to watching with backoff, so a stream of equally bad candidates does
+	// not churn forever.
+	m.met.rejects.Inc()
+	m.reg.Quarantine(m.shadowVersion, "shadow gate failed: "+note)
+	m.clearShadowLocked()
+	m.armHolddown()
+	m.alarmSeq = m.aud.ExampleSeq() // demand fresh evidence next time
+	m.phase = PhaseMonitoring
+}
+
+// clearShadowLocked drops the candidate state. Callers hold m.mu.
+func (m *LifecycleManager) clearShadowLocked() {
+	m.shadow, m.shadowAud, m.shadowVersion = nil, nil, 0
+}
+
+// promoteLocked performs the atomic hot swap: candidate into the serving
+// handle (one atomic pointer store — zero dropped decisions, and the
+// generation bump invalidates every score the greedy policy memoized from
+// the old model), registry transition, fresh quality windows so the new
+// model is judged on its own record, and probation armed with the
+// incumbent retained as the rollback target. Callers hold m.mu.
+func (m *LifecycleManager) promoteLocked(cand *Predictor, version int, note string) {
+	m.prev = m.handle.Swap(cand)
+	m.prevVersion = m.activeVersion
+	m.activeVersion = version
+	m.reg.Promote(version, note)
+	m.aud.ResetWindows()
+	m.clearShadowLocked()
+	m.failures = 0
+	m.holddownUntil = 0
+	m.alarmArmed = false
+	m.phase = PhaseProbation
+	m.met.promotions.Inc()
+	m.met.activeVersion.Set(float64(version))
+}
+
+// tickProbation watches the freshly promoted model and rolls back on
+// regression. Callers hold m.mu.
+func (m *LifecycleManager) tickProbation() {
+	s := m.aud.Summary()
+	judgeAt := m.cfg.ProbationWindow / 4
+	if judgeAt < 8 {
+		judgeAt = 8
+	}
+	if s.WindowResolved >= judgeAt && s.RMMAE > m.cfg.RollbackMAE && m.prev != nil {
+		// The promoted model is measurably worse than the floor: revert to
+		// the previous version and quarantine the regression.
+		bad := m.activeVersion
+		m.handle.Swap(m.prev)
+		m.activeVersion = m.prevVersion
+		m.reg.Rollback(m.prevVersion, fmt.Sprintf("rollback: probation MAE %.2f exceeded %.2f", s.RMMAE, m.cfg.RollbackMAE))
+		m.reg.Quarantine(bad, fmt.Sprintf("quarantine: regressed on probation (MAE %.2f)", s.RMMAE))
+		m.prev, m.prevVersion = nil, 0
+		m.aud.ResetWindows()
+		m.armHolddown()
+		m.alarmArmed = false
+		m.phase = PhaseMonitoring
+		m.met.rollbacks.Inc()
+		m.met.activeVersion.Set(float64(m.activeVersion))
+		return
+	}
+	if s.WindowResolved >= m.cfg.ProbationWindow {
+		// Probation passed: the promotion sticks.
+		m.prev, m.prevVersion = nil, 0
+		m.alarmArmed = false
+		m.phase = PhaseMonitoring
+	}
+}
+
+// ForcePromote registers p and promotes it immediately, bypassing the
+// shadow gate — the operator override (and the rollback test's way to
+// install a deliberately bad model). Probation still applies, so a forced
+// regression is still rolled back automatically.
+func (m *LifecycleManager) ForcePromote(p *Predictor, note string) (int, error) {
+	if m == nil {
+		return 0, errors.New("core: nil lifecycle manager")
+	}
+	if p == nil {
+		return 0, errors.New("core: cannot promote a nil model")
+	}
+	version, err := m.reg.Add(p, ModelShadow, "force-promote: "+note)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clearShadowLocked()
+	m.promoteLocked(p, version, "force-promote: "+note)
+	return version, nil
+}
+
+// LifecycleStatus is the manager's reportable state.
+type LifecycleStatus struct {
+	// Phase is the current state-machine phase.
+	Phase LifecyclePhase
+	// ActiveVersion is the registry version currently serving; ShadowVersion
+	// the candidate under evaluation (0 when none).
+	ActiveVersion, ShadowVersion int
+	// Ticks counts lifecycle callbacks; HolddownRemaining is how many more
+	// must pass before the next retrain may start.
+	Ticks, HolddownRemaining int64
+	// Failures counts consecutive failed or rejected retrains (drives the
+	// backoff).
+	Failures int
+	// Generation is the serving handle's swap counter.
+	Generation uint64
+}
+
+// Status snapshots the lifecycle state (zero value on nil).
+func (m *LifecycleManager) Status() LifecycleStatus {
+	if m == nil {
+		return LifecycleStatus{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hold := m.holddownUntil - m.tick
+	if hold < 0 {
+		hold = 0
+	}
+	return LifecycleStatus{
+		Phase:             m.phase,
+		ActiveVersion:     m.activeVersion,
+		ShadowVersion:     m.shadowVersion,
+		Ticks:             m.tick,
+		HolddownRemaining: hold,
+		Failures:          m.failures,
+		Generation:        m.handle.Generation(),
+	}
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"strings"
+	"testing"
+
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// constReg is a regressor predicting a fixed degradation ratio — lifecycle
+// tests use it to build predictors whose error against a known ground truth
+// is exact, so gate and rollback decisions are fully controlled.
+type constReg struct{ D float64 }
+
+func init() { gob.Register(constReg{}) } // registry blobs gob-encode the RM
+
+func (r constReg) Fit([][]float64, []float64) error { return nil }
+func (r constReg) Predict([]float64) float64        { return r.D }
+
+// constPredictor predicts solo FPS scaled by a fixed degradation for every
+// multi-tenant query.
+func constPredictor(set *profile.Set, d float64) *Predictor {
+	return &Predictor{Profiles: set, Enc: newEncoder(profile.DefaultK), RM: constReg{D: d}, QoS: 60}
+}
+
+// lifecycleWorld is the shared harness: a serving handle over a constant
+// predictor, a retaining auditor, an in-memory registry, and a manager. The
+// ground truth runs at trueD x solo, so serving error is |d-trueD| x solo.
+type lifecycleWorld struct {
+	set    *profile.Set
+	handle *ModelHandle
+	aud    *Auditor
+	reg    *Registry
+	lm     *LifecycleManager
+	games  []int
+	trueD  float64
+	sid    int
+}
+
+func newLifecycleWorld(t *testing.T, servingD, trueD float64, cfg LifecycleConfig) *lifecycleWorld {
+	t.Helper()
+	lab := testLab(t)
+	set := lab.Profiles
+	h := NewModelHandle(constPredictor(set, servingD))
+	aud := NewAuditorHandle(nil, h, 60, AuditorConfig{
+		Window: 32, MinResolved: 8, MAEThreshold: 10, RetainExamples: 256,
+	})
+	reg, err := NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := NewLifecycleManager(h, aud, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := set.Order[0].GameID, set.Order[1].GameID
+	if a > b {
+		a, b = b, a
+	}
+	return &lifecycleWorld{set: set, handle: h, aud: aud, reg: reg, lm: lm,
+		games: []int{a, b}, trueD: trueD}
+}
+
+// step runs one simulated decision: tick, place a two-game colocation, and
+// resolve it against the fixed ground-truth physics.
+func (w *lifecycleWorld) step() {
+	w.lm.Tick(float64(w.sid))
+	sid := w.sid
+	w.sid++
+	w.lm.Placed(sid, w.games[0], w.games)
+	solo := w.set.Get(w.games[0]).SoloFPS(ReferenceResolution)
+	w.lm.Observed(sid, w.trueD*solo)
+}
+
+func (w *lifecycleWorld) run(n int) {
+	for i := 0; i < n; i++ {
+		w.step()
+	}
+}
+
+func TestLifecycleRequiresRetainingAuditor(t *testing.T) {
+	lab := testLab(t)
+	h := NewModelHandle(constPredictor(lab.Profiles, 1))
+	aud := NewAuditorHandle(nil, h, 60, AuditorConfig{}) // no retention
+	reg, _ := NewRegistry("")
+	if _, err := NewLifecycleManager(h, aud, reg, LifecycleConfig{}); err == nil {
+		t.Fatal("manager accepted an auditor that retains no examples")
+	}
+	if _, err := NewLifecycleManager(NewModelHandle(nil), aud, reg, LifecycleConfig{}); err == nil {
+		t.Fatal("manager accepted an empty serving handle")
+	}
+}
+
+// TestLifecyclePromotesRecoveringCandidate walks the full happy path:
+// serving model drifts (predicts d=1 against true d=0.5), the retrainer
+// produces a matching candidate, the shadow gate passes it, the hot swap
+// installs it, and probation concludes clean.
+func TestLifecyclePromotesRecoveringCandidate(t *testing.T) {
+	var trained int
+	w := newLifecycleWorld(t, 1.0, 0.5, LifecycleConfig{
+		MinExamples: 8, ShadowWindow: 8, ProbationWindow: 16,
+		RollbackMAE: 10, RetrainHolddown: 4,
+	})
+	// The candidate matches the true physics exactly.
+	w.lm.cfg.TrainFunc = func(examples []TrainExample) (*Predictor, error) {
+		trained++
+		if len(examples) < 8 {
+			t.Errorf("retrainer handed only %d examples, want >= MinExamples", len(examples))
+		}
+		return constPredictor(w.set, 0.5), nil
+	}
+
+	w.run(300)
+
+	st := w.lm.Status()
+	if trained == 0 {
+		t.Fatal("drift never triggered a retrain")
+	}
+	if st.ActiveVersion != 2 {
+		t.Fatalf("active version = %d, want 2 (promoted candidate)", st.ActiveVersion)
+	}
+	if st.Generation != 1 {
+		t.Fatalf("handle generation = %d, want exactly one swap", st.Generation)
+	}
+	if got := w.handle.Load().RM.(constReg).D; got != 0.5 {
+		t.Fatalf("serving model predicts d=%v, want the promoted candidate (0.5)", got)
+	}
+	if st.Phase != PhaseMonitoring {
+		t.Fatalf("phase = %q, want monitoring after clean probation", st.Phase)
+	}
+	if act, _ := w.reg.Active(); act.Version != 2 {
+		t.Fatalf("registry active = v%d, want v2", act.Version)
+	}
+	// Post-promotion quality windows reflect the new model: near-zero MAE.
+	if s := w.aud.Summary(); s.RMMAE > 1e-9 || s.Drifting {
+		t.Fatalf("post-recovery quality = %+v, want clean", s)
+	}
+	promoted := false
+	for _, ev := range w.reg.History() {
+		if ev.Event == "promote" && ev.Version == 2 && ev.Prev == 1 {
+			promoted = true
+		}
+	}
+	if !promoted {
+		t.Fatalf("no promote event in history: %+v", w.reg.History())
+	}
+}
+
+// TestLifecycleShadowGateRejectsBadCandidate proves a candidate that is
+// WORSE than the incumbent never serves: it is quarantined, the serving
+// model is untouched, and the next retrain is held down.
+func TestLifecycleShadowGateRejectsBadCandidate(t *testing.T) {
+	w := newLifecycleWorld(t, 1.0, 0.5, LifecycleConfig{
+		MinExamples: 8, ShadowWindow: 8, RetrainHolddown: 64,
+	})
+	// The candidate predicts 2x solo — no better than the incumbent against
+	// a true 0.5x, so the gate must refuse it.
+	w.lm.cfg.TrainFunc = func([]TrainExample) (*Predictor, error) {
+		return constPredictor(w.set, 2.0), nil
+	}
+
+	w.run(300)
+
+	st := w.lm.Status()
+	if st.ActiveVersion != 1 {
+		t.Fatalf("active version = %d, bad candidate must not serve", st.ActiveVersion)
+	}
+	if st.Generation != 0 {
+		t.Fatalf("handle generation = %d, want 0 (no swap ever)", st.Generation)
+	}
+	if got := w.handle.Load().RM.(constReg).D; got != 1.0 {
+		t.Fatalf("serving model changed to d=%v", got)
+	}
+	quarantined := 0
+	for _, v := range w.reg.Versions() {
+		if v.State == ModelQuarantined {
+			quarantined++
+		}
+	}
+	if quarantined == 0 {
+		t.Fatalf("rejected candidate not quarantined: %+v", w.reg.Versions())
+	}
+	rejected := false
+	for _, ev := range w.reg.History() {
+		if ev.Event == "quarantine" && strings.Contains(ev.Note, "shadow gate failed") {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatalf("no shadow-gate quarantine in history: %+v", w.reg.History())
+	}
+}
+
+// TestLifecycleRollsBackRegressingPromotion force-promotes a bad model over
+// a healthy one and requires the probation watchdog to revert and
+// quarantine it automatically.
+func TestLifecycleRollsBackRegressingPromotion(t *testing.T) {
+	// Serving matches truth (d = 0.5): healthy steady state.
+	w := newLifecycleWorld(t, 0.5, 0.5, LifecycleConfig{
+		MinExamples: 8, ShadowWindow: 8, ProbationWindow: 32, RollbackMAE: 10,
+	})
+	w.run(40) // establish a clean baseline
+
+	bad := constPredictor(w.set, 2.0)
+	v, err := w.lm.ForcePromote(bad, "ops override")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.handle.Load() != bad {
+		t.Fatal("force-promote did not install the model")
+	}
+	if st := w.lm.Status(); st.Phase != PhaseProbation || st.ActiveVersion != v {
+		t.Fatalf("status after force-promote = %+v", st)
+	}
+
+	w.run(100)
+
+	st := w.lm.Status()
+	if st.ActiveVersion != 1 {
+		t.Fatalf("active version = %d, want rollback to v1", st.ActiveVersion)
+	}
+	if got := w.handle.Load().RM.(constReg).D; got != 0.5 {
+		t.Fatalf("serving model predicts d=%v, want the restored original (0.5)", got)
+	}
+	if st.Generation != 2 {
+		t.Fatalf("handle generation = %d, want 2 (promote + rollback)", st.Generation)
+	}
+	for _, mv := range w.reg.Versions() {
+		if mv.Version == v && mv.State != ModelQuarantined {
+			t.Fatalf("regressed version v%d state = %q, want quarantined", v, mv.State)
+		}
+	}
+	rolledBack := false
+	for _, ev := range w.reg.History() {
+		if ev.Event == "rollback" && ev.Version == 1 {
+			rolledBack = true
+		}
+	}
+	if !rolledBack {
+		t.Fatalf("no rollback event in history: %+v", w.reg.History())
+	}
+	// The restored model keeps serving cleanly.
+	w.run(40)
+	if s := w.aud.Summary(); s.Drifting {
+		t.Fatalf("drift alarm raised after rollback: %+v", s)
+	}
+}
+
+// TestLifecycleRetrainFailureBacksOff requires failed fits to retry with
+// doubling holddown instead of hammering the trainer every tick.
+func TestLifecycleRetrainFailureBacksOff(t *testing.T) {
+	attempts := []int64{}
+	w := newLifecycleWorld(t, 1.0, 0.5, LifecycleConfig{
+		MinExamples: 8, RetrainHolddown: 16,
+	})
+	w.lm.cfg.TrainFunc = func([]TrainExample) (*Predictor, error) {
+		attempts = append(attempts, w.lm.tick)
+		return nil, errors.New("fit exploded")
+	}
+
+	w.run(400)
+
+	if len(attempts) < 3 {
+		t.Fatalf("only %d retrain attempts in 400 ticks", len(attempts))
+	}
+	// Gaps between consecutive attempts must grow (doubling backoff).
+	for i := 2; i < len(attempts); i++ {
+		prev := attempts[i-1] - attempts[i-2]
+		cur := attempts[i] - attempts[i-1]
+		if cur < prev*2 {
+			t.Fatalf("backoff not doubling: gaps %v then %v (attempts at %v)", prev, cur, attempts)
+		}
+	}
+	st := w.lm.Status()
+	if st.Failures != len(attempts) {
+		t.Fatalf("failures = %d, want %d", st.Failures, len(attempts))
+	}
+	if st.ActiveVersion != 1 || st.Generation != 0 {
+		t.Fatalf("failed retrains must leave serving untouched: %+v", st)
+	}
+}
+
+// TestAuditorRetainsTrainExamples pins the retention ring semantics: only
+// multi-tenant resolutions are kept, the ring is bounded, sequence numbers
+// survive eviction, and ResetWindows clears quality but not evidence.
+func TestAuditorRetainsTrainExamples(t *testing.T) {
+	lab := testLab(t)
+	set := lab.Profiles
+	h := NewModelHandle(constPredictor(set, 1))
+	aud := NewAuditorHandle(nil, h, 60, AuditorConfig{
+		Window: 16, MinResolved: 4, MAEThreshold: 10, RetainExamples: 4,
+	})
+	a, b := set.Order[0].GameID, set.Order[1].GameID
+	if a > b {
+		a, b = b, a
+	}
+	solo := set.Get(a).SoloFPS(ReferenceResolution)
+
+	// Six resolved multi-tenant records through a 4-slot ring.
+	for sid := 0; sid < 6; sid++ {
+		aud.Placed(sid, a, []int{a, b})
+		aud.Observed(sid, 0.5*solo)
+	}
+	// Singletons resolve but are never retained (no interference signal).
+	aud.Placed(100, a, []int{a})
+	aud.Observed(100, solo)
+	// Dropped sessions contribute nothing.
+	aud.Placed(101, a, []int{a, b})
+	aud.Dropped(101)
+
+	if n := aud.RetainedExamples(); n != 4 {
+		t.Fatalf("retained = %d, want ring bound 4", n)
+	}
+	if seq := aud.ExampleSeq(); seq != 6 {
+		t.Fatalf("example seq = %d, want 6 (one per multi-tenant resolution)", seq)
+	}
+	all := aud.ExamplesSince(0)
+	if len(all) != 4 {
+		t.Fatalf("ExamplesSince(0) = %d examples, want 4", len(all))
+	}
+	// Oldest two were evicted: the survivors are seq 2..5 in order.
+	for i, ex := range all {
+		if ex.Seq != int64(2+i) {
+			t.Fatalf("example %d has seq %d, want %d", i, ex.Seq, 2+i)
+		}
+		if want := sim.Degradation(0.5*solo, solo); ex.RMY != want {
+			t.Fatalf("RMY = %v, want observed degradation %v", ex.RMY, want)
+		}
+		if ex.CMY != 0 && 0.5*solo < 60 {
+			t.Fatalf("CMY = %v for a below-floor observation", ex.CMY)
+		}
+		enc := newEncoder(profile.DefaultK)
+		if len(ex.RMX) != enc.RMWidth() || len(ex.CMX) != enc.CMWidth() {
+			t.Fatalf("feature widths %d/%d, want %d/%d", len(ex.RMX), len(ex.CMX), enc.RMWidth(), enc.CMWidth())
+		}
+	}
+	if got := aud.ExamplesSince(4); len(got) != 2 {
+		t.Fatalf("ExamplesSince(4) = %d examples, want 2", len(got))
+	}
+
+	if !aud.Drifting() {
+		t.Fatal("half-solo observations should have tripped the drift alarm")
+	}
+	before := aud.Summary()
+	aud.ResetWindows()
+	after := aud.Summary()
+	if after.RMMAE != 0 || after.WindowResolved != 0 || after.Drifting {
+		t.Fatalf("ResetWindows left quality state: %+v", after)
+	}
+	if after.Resolved != before.Resolved || aud.RetainedExamples() != 4 {
+		t.Fatal("ResetWindows must keep lifecycle tallies and retained evidence")
+	}
+}
+
+// A record placed before a hot swap but resolved after it was predicted by
+// the RETIRED model: counting its error against the quality windows would
+// charge the old model's mistakes to the freshly promoted one — at fleet
+// scale enough in-flight sessions straddle the swap to trigger a bogus
+// rollback of a perfectly good candidate. The windows must exclude
+// cross-generation resolutions; the retraining ring must keep them (ground
+// truth is model-independent).
+func TestAuditorExcludesCrossGenerationResolutions(t *testing.T) {
+	lab := testLab(t)
+	set := lab.Profiles
+	// Serving model is perfect (d=1 matches truth): baseline MAE 0.
+	h := NewModelHandle(constPredictor(set, 1))
+	aud := NewAuditorHandle(nil, h, 60, AuditorConfig{
+		Window: 16, MinResolved: 2, MAEThreshold: 10, RetainExamples: 16,
+	})
+	a, b := set.Order[0].GameID, set.Order[1].GameID
+	solo := set.Get(a).SoloFPS(ReferenceResolution)
+
+	// Two in-flight placements predicted by generation 0...
+	aud.Placed(0, a, []int{a, b})
+	aud.Placed(1, a, []int{a, b})
+	// ...then a promotion swaps the serving model (generation 1).
+	h.Swap(constPredictor(set, 1))
+	aud.ResetWindows()
+	// The straddling sessions resolve WAY off the old model's predictions.
+	aud.Observed(0, 0.2*solo)
+	aud.Observed(1, 0.2*solo)
+
+	s := aud.Summary()
+	if s.WindowResolved != 0 || s.RMMAE != 0 || s.Drifting {
+		t.Fatalf("cross-generation resolutions leaked into the quality window: %+v", s)
+	}
+	if s.Resolved != 2 {
+		t.Fatalf("resolved tally = %d, want 2 (stale records still resolve)", s.Resolved)
+	}
+	if aud.RetainedExamples() != 2 {
+		t.Fatalf("retained = %d, want 2: ground truth survives the swap", aud.RetainedExamples())
+	}
+
+	// Post-swap placements are judged normally.
+	aud.Placed(2, a, []int{a, b})
+	aud.Observed(2, solo*0.99)
+	if s := aud.Summary(); s.WindowResolved != 1 {
+		t.Fatalf("current-generation resolution not counted: %+v", s)
+	}
+}
+
+// TestAuditorRetentionDisabledByDefault: with RetainExamples unset nothing
+// accumulates and the example machinery stays inert.
+func TestAuditorRetentionDisabledByDefault(t *testing.T) {
+	lab := testLab(t)
+	h := NewModelHandle(constPredictor(lab.Profiles, 1))
+	aud := NewAuditorHandle(nil, h, 60, AuditorConfig{})
+	a, b := lab.Profiles.Order[0].GameID, lab.Profiles.Order[1].GameID
+	aud.Placed(0, a, []int{a, b})
+	aud.Observed(0, 30)
+	if aud.RetainedExamples() != 0 || aud.ExampleSeq() != 0 || len(aud.ExamplesSince(0)) != 0 {
+		t.Fatal("retention active despite RetainExamples = 0")
+	}
+}

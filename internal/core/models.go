@@ -60,6 +60,25 @@ func (l logRegressor) Fit(x [][]float64, y []float64) error {
 	return l.inner.Fit(x, ly)
 }
 
+// ContinueFit forwards incremental fitting to the wrapped model when it
+// supports it (GBRT does), applying the same log-target transform as Fit.
+// The lifecycle retrainer uses this to extend a drifted RM with boosting
+// rounds fitted on post-drift evidence.
+func (l logRegressor) ContinueFit(x [][]float64, y []float64, rounds int) error {
+	inc, ok := l.inner.(ml.IncrementalFitter)
+	if !ok {
+		return fmt.Errorf("core: %T does not support incremental fitting", l.inner)
+	}
+	ly := make([]float64, len(y))
+	for i, v := range y {
+		if v < logFloor {
+			v = logFloor
+		}
+		ly[i] = math.Log(v)
+	}
+	return inc.ContinueFit(x, ly, rounds)
+}
+
 // Predict exponentiates the wrapped prediction and clamps to [0,1].
 func (l logRegressor) Predict(x []float64) float64 {
 	d := math.Exp(l.inner.Predict(x))

@@ -40,10 +40,12 @@ func (p *Predictor) EnableMetrics(r *obs.Registry) *Predictor {
 // each query, stage errors, circuit-breaker transitions, and whether the
 // chain is currently degraded.
 type fallbackMetrics struct {
-	served      map[string]*obs.Counter
-	errors      map[string]*obs.Counter
-	transitions map[string]*obs.Counter
-	degraded    *obs.Gauge
+	served       map[string]*obs.Counter
+	errors       map[string]*obs.Counter
+	transitions  map[string]*obs.Counter
+	breakerState map[string]*obs.Gauge
+	breakerCalls map[string]*obs.Gauge
+	degraded     *obs.Gauge
 }
 
 // EnableMetrics wires the fallback chain into r (nil disables). Counters
@@ -55,9 +57,11 @@ func (f *FallbackPredictor) EnableMetrics(r *obs.Registry) *FallbackPredictor {
 		return f
 	}
 	m := fallbackMetrics{
-		served:      make(map[string]*obs.Counter, len(f.stages)),
-		errors:      make(map[string]*obs.Counter, len(f.stages)),
-		transitions: make(map[string]*obs.Counter, len(f.stages)),
+		served:       make(map[string]*obs.Counter, len(f.stages)),
+		errors:       make(map[string]*obs.Counter, len(f.stages)),
+		transitions:  make(map[string]*obs.Counter, len(f.stages)),
+		breakerState: make(map[string]*obs.Gauge, len(f.stages)),
+		breakerCalls: make(map[string]*obs.Gauge, len(f.stages)),
 		degraded: r.Gauge("gaugur_fallback_degraded",
 			"1 while the primary prediction stage is unavailable"),
 	}
@@ -69,6 +73,10 @@ func (f *FallbackPredictor) EnableMetrics(r *obs.Registry) *FallbackPredictor {
 			"stage failures, by chain stage")
 		m.transitions[name] = r.Counter(`gaugur_fallback_breaker_transitions_total{stage="`+name+`"}`,
 			"circuit-breaker state changes, by chain stage")
+		m.breakerState[name] = r.Gauge(`gaugur_fallback_breaker_state{stage="`+name+`"}`,
+			"circuit-breaker state, by chain stage (0 closed, 1 half-open, 2 open)")
+		m.breakerCalls[name] = r.Gauge(`gaugur_fallback_breaker_calls_in_state{stage="`+name+`"}`,
+			"queries consulted since the breaker last changed state (call-counted time-in-stage)")
 	}
 	f.met = m
 	return f

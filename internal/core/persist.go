@@ -3,12 +3,39 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"gaugur/internal/ml"
 	"gaugur/internal/profile"
 )
+
+// Typed load errors. The model registry hot-loads predictor files off disk
+// at runtime; callers need to tell a damaged file (quarantine the version)
+// from a format-era mismatch (leave it for a compatible build) from a model
+// that decoded fine but was trained against a different feature layout.
+var (
+	// ErrPredictorVersion marks a predictor file from an unsupported
+	// format version (either the outer layout or an inner model's).
+	ErrPredictorVersion = errors.New("core: predictor format version unsupported")
+	// ErrPredictorCorrupt marks a truncated or structurally invalid
+	// predictor file.
+	ErrPredictorCorrupt = errors.New("core: predictor data corrupt")
+	// ErrPredictorMismatch marks a well-formed predictor whose models
+	// disagree with the feature encoder's input widths.
+	ErrPredictorMismatch = errors.New("core: predictor incompatible with feature encoder")
+)
+
+// wrapDecode tags a section decode failure with the right sentinel while
+// keeping the underlying cause readable.
+func wrapDecode(section string, err error) error {
+	if errors.Is(err, ml.ErrModelVersion) {
+		return fmt.Errorf("%w: decoding %s: %v", ErrPredictorVersion, section, err)
+	}
+	return fmt.Errorf("%w: decoding %s: %v", ErrPredictorCorrupt, section, err)
+}
 
 // predictorState is the on-disk layout of a trained predictor. The inner
 // (unwrapped) models are gob-encoded behind their interfaces; profiles are
@@ -52,26 +79,52 @@ func (p *Predictor) Save(w io.Writer) error {
 }
 
 // LoadPredictor reconstructs a predictor saved with Save, binding it to the
-// supplied profile set.
-func LoadPredictor(r io.Reader, profiles *profile.Set) (*Predictor, error) {
+// supplied profile set. Untrusted input never panics: failures come back
+// wrapping ErrPredictorCorrupt, ErrPredictorVersion, or ErrPredictorMismatch.
+func LoadPredictor(r io.Reader, profiles *profile.Set) (p *Predictor, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p, err = nil, fmt.Errorf("%w: decode panicked: %v", ErrPredictorCorrupt, rec)
+		}
+	}()
 	var st predictorState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	if derr := gob.NewDecoder(r).Decode(&st); derr != nil {
+		return nil, wrapDecode("predictor state", derr)
 	}
 	if st.Version != PredictorVersion {
-		return nil, fmt.Errorf("core: predictor version %d unsupported", st.Version)
+		return nil, fmt.Errorf("%w: predictor version %d", ErrPredictorVersion, st.Version)
+	}
+	if math.IsNaN(st.QoS) || math.IsInf(st.QoS, 0) || st.QoS < 0 {
+		return nil, fmt.Errorf("%w: QoS floor %v", ErrPredictorCorrupt, st.QoS)
+	}
+	if st.EncoderK <= 0 {
+		return nil, fmt.Errorf("%w: encoder K %d", ErrPredictorCorrupt, st.EncoderK)
 	}
 	var rmInner ml.Regressor
-	if err := gob.NewDecoder(bytes.NewReader(st.RM)).Decode(&rmInner); err != nil {
-		return nil, fmt.Errorf("core: decoding RM: %w", err)
+	if derr := ml.LoadModel(bytes.NewReader(st.RM), &rmInner); derr != nil {
+		return nil, wrapDecode("RM", derr)
 	}
 	var cm ml.Classifier
-	if err := gob.NewDecoder(bytes.NewReader(st.CM)).Decode(&cm); err != nil {
-		return nil, fmt.Errorf("core: decoding CM: %w", err)
+	if derr := ml.LoadModel(bytes.NewReader(st.CM), &cm); derr != nil {
+		return nil, wrapDecode("CM", derr)
 	}
-	p := &Predictor{
+	if rmInner == nil || cm == nil {
+		return nil, fmt.Errorf("%w: missing model section", ErrPredictorCorrupt)
+	}
+	enc := newEncoder(st.EncoderK)
+	if d, ok := rmInner.(ml.FeatureDimer); ok {
+		if w := d.FeatureDim(); w != 0 && w != enc.RMWidth() {
+			return nil, fmt.Errorf("%w: RM expects %d features, encoder produces %d", ErrPredictorMismatch, w, enc.RMWidth())
+		}
+	}
+	if d, ok := cm.(ml.FeatureDimer); ok {
+		if w := d.FeatureDim(); w != 0 && w != enc.CMWidth() {
+			return nil, fmt.Errorf("%w: CM expects %d features, encoder produces %d", ErrPredictorMismatch, w, enc.CMWidth())
+		}
+	}
+	p = &Predictor{
 		Profiles: profiles,
-		Enc:      newEncoder(st.EncoderK),
+		Enc:      enc,
 		RM:       logRegressor{inner: rmInner},
 		CM:       cm,
 		QoS:      st.QoS,

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"testing"
+
+	"gaugur/internal/profile"
+)
+
+// smallPredictor trains a cheap DTR/DTC predictor suitable for per-byte
+// truncation sweeps.
+func smallPredictor(t *testing.T) (*Predictor, *Lab) {
+	t.Helper()
+	lab := testLab(t)
+	colocs := RandomColocations(lab.Catalog, ColocationPlan{Pairs: 40, Triples: 10}, 8)
+	train := lab.CollectSamples(colocs, 60, profile.DefaultK)
+	p, err := Train(lab.Profiles, TrainConfig{Samples: train, RMKind: DTR, CMKind: DTC, Seed: 2, EncoderK: profile.DefaultK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, lab
+}
+
+// TestLoadPredictorTruncation truncates a saved predictor at every byte
+// offset and requires a typed error every time — never a panic, never a
+// silently loaded partial model.
+func TestLoadPredictorTruncation(t *testing.T) {
+	p, lab := smallPredictor(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		got, err := LoadPredictor(bytes.NewReader(data[:cut]), lab.Profiles)
+		if err == nil || got != nil {
+			t.Fatalf("truncation at %d/%d loaded a predictor", cut, len(data))
+		}
+		if !errors.Is(err, ErrPredictorCorrupt) && !errors.Is(err, ErrPredictorVersion) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+	if _, err := LoadPredictor(bytes.NewReader(data), lab.Profiles); err != nil {
+		t.Fatalf("full stream failed: %v", err)
+	}
+}
+
+// decodeState round-trips a saved predictor into its outer state struct so
+// tests can tamper with individual sections.
+func decodeState(t *testing.T, p *Predictor) predictorState {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st predictorState
+	if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func encodeState(t *testing.T, st predictorState) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// TestLoadPredictorRejectsTamperedSections tampers each section of the
+// outer layout and checks the sentinel the failure maps to.
+func TestLoadPredictorRejectsTamperedSections(t *testing.T) {
+	p, lab := smallPredictor(t)
+	base := decodeState(t, p)
+
+	cases := []struct {
+		name string
+		mut  func(*predictorState)
+		want error
+	}{
+		{"outer version", func(s *predictorState) { s.Version = 99 }, ErrPredictorVersion},
+		{"nan qos", func(s *predictorState) { s.QoS = math.NaN() }, ErrPredictorCorrupt},
+		{"negative qos", func(s *predictorState) { s.QoS = -5 }, ErrPredictorCorrupt},
+		{"encoder k", func(s *predictorState) { s.EncoderK = 0 }, ErrPredictorCorrupt},
+		{"rm garbage", func(s *predictorState) { s.RM = []byte("junk") }, ErrPredictorCorrupt},
+		{"cm garbage", func(s *predictorState) { s.CM = []byte("junk") }, ErrPredictorCorrupt},
+		{"rm truncated", func(s *predictorState) { s.RM = s.RM[:len(s.RM)/2] }, ErrPredictorCorrupt},
+		{"cm truncated", func(s *predictorState) { s.CM = s.CM[:len(s.CM)/2] }, ErrPredictorCorrupt},
+		{"rm empty", func(s *predictorState) { s.RM = nil }, ErrPredictorCorrupt},
+		{"width mismatch", func(s *predictorState) { s.EncoderK = profile.DefaultK + 2 }, ErrPredictorMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := base
+			tc.mut(&st)
+			got, err := LoadPredictor(encodeState(t, st), lab.Profiles)
+			if got != nil || !errors.Is(err, tc.want) {
+				t.Fatalf("got (%v, %v), want error %v", got, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadPredictorCrossWiredModels swaps the RM and CM sections; the
+// width check must notice the models were trained for the other slot.
+func TestLoadPredictorCrossWiredModels(t *testing.T) {
+	p, lab := smallPredictor(t)
+	st := decodeState(t, p)
+	st.RM, st.CM = st.CM, st.RM
+	if _, err := LoadPredictor(encodeState(t, st), lab.Profiles); err == nil {
+		t.Fatal("cross-wired RM/CM sections loaded successfully")
+	}
+}

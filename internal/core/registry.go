@@ -1,0 +1,290 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gaugur/internal/profile"
+)
+
+// Versioned model registry. Every model the lifecycle manager ever serves
+// or shadows is registered here as an immutable numbered version, so a
+// promotion is a state transition over durable records — not an in-place
+// overwrite — and a rollback always has a concrete artifact to return to.
+//
+// Two storage modes share one API: dir == "" keeps blobs in memory (tests,
+// single-process experiments); a non-empty dir persists each version as
+// v%04d.model.gob next to a MANIFEST.json. The manifest is committed with
+// write-temp-then-rename, and blobs are written before the manifest entry
+// that names them, so a crash at any point leaves either the old manifest
+// or the new one — never a manifest pointing at a half-written model.
+
+// ModelState labels a registered version's lifecycle state.
+type ModelState string
+
+const (
+	// ModelActive is the version currently serving placements.
+	ModelActive ModelState = "active"
+	// ModelShadow is a candidate scoring decisions without serving them.
+	ModelShadow ModelState = "shadow"
+	// ModelRetired is a previously active version displaced by a promotion.
+	// Retired versions stay loadable — they are the rollback targets.
+	ModelRetired ModelState = "retired"
+	// ModelQuarantined is a version pulled for cause (failed the shadow
+	// gate, or regressed after promotion). Quarantined versions are never
+	// promoted again.
+	ModelQuarantined ModelState = "quarantined"
+)
+
+// ModelVersion is one immutable registered model.
+type ModelVersion struct {
+	// Version is the registry-assigned number (1-based, never reused).
+	Version int
+	// State is the version's current lifecycle state.
+	State ModelState
+	// Note records why the version exists ("seed model", "drift retrain #2").
+	Note string
+}
+
+// PromotionRecord is one entry of the append-only lifecycle history.
+type PromotionRecord struct {
+	// Event is "add", "promote", "rollback", or "quarantine".
+	Event string
+	// Version is the model the event applies to.
+	Version int
+	// Prev is the displaced active version (promote/rollback events; 0 when
+	// there was none).
+	Prev int
+	// Note carries the decision context (gate verdict, regression MAE).
+	Note string
+}
+
+// registryManifest is the durable registry state (MANIFEST.json on disk).
+type registryManifest struct {
+	Versions []ModelVersion
+	History  []PromotionRecord
+}
+
+// ErrRegistryVersion marks registry operations against a version number
+// that does not exist or is in the wrong state for the transition.
+var ErrRegistryVersion = errors.New("core: registry version unavailable")
+
+// Registry is the versioned model store. Safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	dir   string
+	blobs map[int][]byte // in-memory mode (dir == "")
+	man   registryManifest
+}
+
+const registryManifestName = "MANIFEST.json"
+
+// NewRegistry opens the registry rooted at dir, creating it when absent and
+// recovering durable state when present. An empty dir selects the
+// in-memory mode: same semantics, nothing touches disk.
+func NewRegistry(dir string) (*Registry, error) {
+	r := &Registry{dir: dir}
+	if dir == "" {
+		r.blobs = make(map[int][]byte)
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating registry dir: %w", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, registryManifestName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return r, nil
+	case err != nil:
+		return nil, fmt.Errorf("core: reading registry manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &r.man); err != nil {
+		return nil, fmt.Errorf("core: registry manifest corrupt: %w", err)
+	}
+	return r, nil
+}
+
+// blobName is the immutable per-version artifact file name.
+func blobName(version int) string { return fmt.Sprintf("v%04d.model.gob", version) }
+
+// writeFileAtomic commits data to path via a temp file + rename, so readers
+// (and crash recovery) only ever see complete files.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// commit persists the manifest (no-op in memory mode). Callers hold r.mu.
+func (r *Registry) commit() error {
+	if r.dir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(&r.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(r.dir, registryManifestName), raw); err != nil {
+		return fmt.Errorf("core: committing registry manifest: %w", err)
+	}
+	return nil
+}
+
+// find returns the manifest entry for version. Callers hold r.mu.
+func (r *Registry) find(version int) *ModelVersion {
+	for i := range r.man.Versions {
+		if r.man.Versions[i].Version == version {
+			return &r.man.Versions[i]
+		}
+	}
+	return nil
+}
+
+// Add registers p as a new immutable version in the given initial state
+// (ModelActive for the seed model, ModelShadow for retrain candidates) and
+// returns its number. The blob is durable before the manifest names it.
+func (r *Registry) Add(p *Predictor, state ModelState, note string) (int, error) {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return 0, fmt.Errorf("core: serializing model for registry: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	version := 1
+	for _, v := range r.man.Versions {
+		if v.Version >= version {
+			version = v.Version + 1
+		}
+	}
+	if r.dir == "" {
+		r.blobs[version] = append([]byte(nil), buf.Bytes()...)
+	} else if err := writeFileAtomic(filepath.Join(r.dir, blobName(version)), buf.Bytes()); err != nil {
+		return 0, fmt.Errorf("core: writing model blob: %w", err)
+	}
+	if state == ModelActive {
+		if act := r.activeLocked(); act != nil {
+			act.State = ModelRetired
+		}
+	}
+	r.man.Versions = append(r.man.Versions, ModelVersion{Version: version, State: state, Note: note})
+	r.man.History = append(r.man.History, PromotionRecord{Event: "add", Version: version, Note: note})
+	if err := r.commit(); err != nil {
+		return 0, err
+	}
+	return version, nil
+}
+
+// Load reconstructs a registered version, binding it to profiles. The
+// returned predictor is freshly decoded and compiled — mutating it cannot
+// touch the stored artifact or any serving copy.
+func (r *Registry) Load(version int, profiles *profile.Set) (*Predictor, error) {
+	r.mu.Lock()
+	if r.find(version) == nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: v%d not registered", ErrRegistryVersion, version)
+	}
+	var raw []byte
+	if r.dir == "" {
+		raw = r.blobs[version]
+		r.mu.Unlock()
+	} else {
+		path := filepath.Join(r.dir, blobName(version))
+		r.mu.Unlock()
+		var err error
+		raw, err = os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("%w: reading v%d: %v", ErrRegistryVersion, version, err)
+		}
+	}
+	return LoadPredictor(bytes.NewReader(raw), profiles)
+}
+
+// Promote transitions version to active, retiring the previous active
+// model. Quarantined versions are refused — a model pulled for cause never
+// serves again.
+func (r *Registry) Promote(version int, note string) error {
+	return r.transition(version, "promote", note)
+}
+
+// Rollback is Promote in reverse: reinstate a retired (or still-registered)
+// version after its successor regressed. Recorded as a distinct history
+// event so operators can tell recoveries from routine promotions.
+func (r *Registry) Rollback(version int, note string) error {
+	return r.transition(version, "rollback", note)
+}
+
+func (r *Registry) transition(version int, event, note string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mv := r.find(version)
+	if mv == nil {
+		return fmt.Errorf("%w: v%d not registered", ErrRegistryVersion, version)
+	}
+	if mv.State == ModelQuarantined {
+		return fmt.Errorf("%w: v%d is quarantined", ErrRegistryVersion, version)
+	}
+	prev := 0
+	if act := r.activeLocked(); act != nil && act.Version != version {
+		act.State = ModelRetired
+		prev = act.Version
+	}
+	mv.State = ModelActive
+	r.man.History = append(r.man.History, PromotionRecord{Event: event, Version: version, Prev: prev, Note: note})
+	return r.commit()
+}
+
+// Quarantine pulls version for cause; it can never be promoted afterwards.
+// Quarantining the active version leaves the registry with no active model
+// — callers promote or roll back first.
+func (r *Registry) Quarantine(version int, note string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mv := r.find(version)
+	if mv == nil {
+		return fmt.Errorf("%w: v%d not registered", ErrRegistryVersion, version)
+	}
+	mv.State = ModelQuarantined
+	r.man.History = append(r.man.History, PromotionRecord{Event: "quarantine", Version: version, Note: note})
+	return r.commit()
+}
+
+// activeLocked returns the active entry, nil when none. Callers hold r.mu.
+func (r *Registry) activeLocked() *ModelVersion {
+	for i := range r.man.Versions {
+		if r.man.Versions[i].State == ModelActive {
+			return &r.man.Versions[i]
+		}
+	}
+	return nil
+}
+
+// Active returns the currently active version (ok is false when none).
+func (r *Registry) Active() (ModelVersion, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if act := r.activeLocked(); act != nil {
+		return *act, true
+	}
+	return ModelVersion{}, false
+}
+
+// Versions snapshots all registered versions in registration order.
+func (r *Registry) Versions() []ModelVersion {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ModelVersion(nil), r.man.Versions...)
+}
+
+// History snapshots the append-only lifecycle event log.
+func (r *Registry) History() []PromotionRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]PromotionRecord(nil), r.man.History...)
+}

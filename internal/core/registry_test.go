@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegistryInMemoryLifecycle(t *testing.T) {
+	p, _ := smallPredictor(t)
+	reg, err := NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := reg.Add(p, ModelActive, "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 {
+		t.Fatalf("first version = %d, want 1", v1)
+	}
+	v2, err := reg.Add(p, ModelShadow, "candidate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act, ok := reg.Active(); !ok || act.Version != v1 {
+		t.Fatalf("active = %+v ok=%v, want v1", act, ok)
+	}
+
+	if err := reg.Promote(v2, "gate passed"); err != nil {
+		t.Fatal(err)
+	}
+	if act, _ := reg.Active(); act.Version != v2 {
+		t.Fatalf("active after promote = v%d, want v%d", act.Version, v2)
+	}
+	vs := reg.Versions()
+	if len(vs) != 2 || vs[0].State != ModelRetired || vs[1].State != ModelActive {
+		t.Fatalf("versions after promote = %+v", vs)
+	}
+
+	// The displaced version is the rollback target.
+	if err := reg.Rollback(v1, "v2 regressed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Quarantine(v2, "regressed on probation"); err != nil {
+		t.Fatal(err)
+	}
+	if act, _ := reg.Active(); act.Version != v1 {
+		t.Fatalf("active after rollback = v%d, want v%d", act.Version, v1)
+	}
+	// Quarantined versions can never serve again.
+	if err := reg.Promote(v2, "oops"); !errors.Is(err, ErrRegistryVersion) {
+		t.Fatalf("promoting quarantined version: err = %v, want ErrRegistryVersion", err)
+	}
+
+	events := []string{}
+	for _, h := range reg.History() {
+		events = append(events, h.Event)
+	}
+	want := []string{"add", "add", "promote", "rollback", "quarantine"}
+	if len(events) != len(want) {
+		t.Fatalf("history %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("history %v, want %v", events, want)
+		}
+	}
+
+	if _, err := reg.Load(99, p.Profiles); !errors.Is(err, ErrRegistryVersion) {
+		t.Fatalf("loading unknown version: err = %v, want ErrRegistryVersion", err)
+	}
+}
+
+func TestRegistryLoadRoundTrip(t *testing.T) {
+	p, lab := smallPredictor(t)
+	reg, err := NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.Add(p, ModelActive, "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Load(v, lab.Profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Colocation{
+		{GameID: lab.Profiles.Order[0].GameID, Res: ReferenceResolution},
+		{GameID: lab.Profiles.Order[1].GameID, Res: ReferenceResolution},
+	}
+	if want, have := p.PredictFPS(c, 0), got.PredictFPS(c, 0); want != have {
+		t.Fatalf("loaded version predicts %v, original %v", have, want)
+	}
+}
+
+func TestRegistryDiskPersistsAcrossReopen(t *testing.T) {
+	p, lab := smallPredictor(t)
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := reg.Add(p, ModelActive, "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.Add(p, ModelShadow, "candidate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote(v2, "gate passed"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The durable layout: one immutable blob per version plus the manifest,
+	// and no leftover temp files from the atomic commits.
+	for _, name := range []string{"v0001.model.gob", "v0002.model.gob", "MANIFEST.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing registry file %s: %v", name, err)
+		}
+	}
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmp) != 0 {
+		t.Errorf("leftover temp files after commit: %v", tmp)
+	}
+
+	// A fresh process recovers the full state.
+	reopened, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act, ok := reopened.Active(); !ok || act.Version != v2 {
+		t.Fatalf("reopened active = %+v ok=%v, want v%d", act, ok, v2)
+	}
+	if vs := reopened.Versions(); len(vs) != 2 || vs[0].Version != v1 || vs[0].State != ModelRetired {
+		t.Fatalf("reopened versions = %+v", vs)
+	}
+	if len(reopened.History()) != 3 {
+		t.Fatalf("reopened history = %+v", reopened.History())
+	}
+	if _, err := reopened.Load(v1, lab.Profiles); err != nil {
+		t.Fatalf("loading v1 after reopen: %v", err)
+	}
+	// New versions continue the numbering rather than reusing it.
+	v3, err := reopened.Add(p, ModelShadow, "post-restart candidate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 != 3 {
+		t.Fatalf("post-reopen version = %d, want 3", v3)
+	}
+}

@@ -189,10 +189,32 @@ func TestAblationDrivers(t *testing.T) {
 	}
 }
 
+func TestExtLifecycleSelfHeals(t *testing.T) {
+	tab := runFig(t, "ext-lifecycle")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tab.Rows))
+	}
+	// Rows: 0 stale model (alarm only), 1 self-healing lifecycle.
+	staleMAE := cellFloat(t, tab, 0, 3)
+	healMAE := cellFloat(t, tab, 1, 3)
+	if a := cellFloat(t, tab, 0, 4); a == 0 {
+		t.Error("drift alarm never fired against the stale model")
+	}
+	if p := cellFloat(t, tab, 1, 5); p == 0 {
+		t.Error("the lifecycle never promoted a retrained candidate")
+	}
+	if v := cellFloat(t, tab, 1, 7); v < 2 {
+		t.Errorf("final serving version %v, want >= 2 after a promotion", v)
+	}
+	if healMAE >= staleMAE {
+		t.Errorf("self-healed final RM MAE (%v) should beat the stale model (%v)", healMAE, staleMAE)
+	}
+}
+
 func TestRegistryIncludesExtensions(t *testing.T) {
 	for _, id := range []string{
 		"ext-conservative", "ext-encoder", "ext-delay",
-		"ext-cf", "ext-churn", "ext-hetero", "ext-faults",
+		"ext-cf", "ext-churn", "ext-hetero", "ext-faults", "ext-lifecycle",
 		"abl-aggregate", "abl-log", "abl-k", "abl-noise",
 	} {
 		if _, ok := Lookup(id); !ok {

@@ -41,6 +41,7 @@ var Registry = []struct {
 	{"ext-churn", ExtChurn},
 	{"ext-hetero", ExtHetero},
 	{"ext-faults", ExtFaults},
+	{"ext-lifecycle", ExtLifecycle},
 
 	// Ablations of the reproduction's own design choices.
 	{"abl-aggregate", AblAggregate},

@@ -1,0 +1,58 @@
+package ml
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadModel throws arbitrary bytes at the deserializer for every model
+// family the registry hot-loads. The contract under fuzzing: LoadModel
+// never panics, and any stream it accepts yields a model whose Predict is
+// safe on a FeatureDim-width input.
+func FuzzLoadModel(f *testing.F) {
+	x, y, _ := persistProblem(5)
+	tr := NewTree(TreeConfig{MaxDepth: 3})
+	if err := tr.Fit(x, y); err != nil {
+		f.Fatal(err)
+	}
+	gr := NewGBRT(GBMConfig{NumTrees: 4, MaxDepth: 2, Seed: 1})
+	if err := gr.Fit(x, y); err != nil {
+		f.Fatal(err)
+	}
+	sv := NewSVR(SVMConfig{C: 1, MaxIter: 10})
+	if err := sv.Fit(x[:25], y[:25]); err != nil {
+		f.Fatal(err)
+	}
+	rg := NewRidge(0.1)
+	if err := rg.Fit(x, y); err != nil {
+		f.Fatal(err)
+	}
+	for _, m := range []any{tr, gr, sv, rg} {
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is definitely not gob"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tree Tree
+		if err := LoadModel(bytes.NewReader(data), &tree); err == nil && tree.NumNodes() > 0 {
+			tree.Predict(make([]float64, tree.FeatureDim()))
+		}
+		var gbrt GBRT
+		if err := LoadModel(bytes.NewReader(data), &gbrt); err == nil && len(gbrt.trees) > 0 {
+			gbrt.Predict(make([]float64, gbrt.FeatureDim()))
+		}
+		var svr SVR
+		if err := LoadModel(bytes.NewReader(data), &svr); err == nil && len(svr.x) > 0 {
+			svr.Predict(make([]float64, svr.FeatureDim()))
+		}
+		var ridge Ridge
+		if err := LoadModel(bytes.NewReader(data), &ridge); err == nil {
+			ridge.Predict(make([]float64, ridge.FeatureDim()))
+		}
+	})
+}

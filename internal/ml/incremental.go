@@ -1,0 +1,157 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// IncrementalFitter is an ensemble that can append boosting rounds on top
+// of an already-fitted model from fresh data. The drift-recovery path uses
+// it to warm-start a retrain from the serving model instead of paying for a
+// full from-scratch fit.
+type IncrementalFitter interface {
+	// ContinueFit appends rounds boosting rounds fitted against the
+	// residuals of the current ensemble on (x, y); rounds <= 0 uses the
+	// configured NumTrees. On an unfitted model it behaves like Fit.
+	ContinueFit(x [][]float64, y []float64, rounds int) error
+}
+
+func (g *GBRT) continueSeed() int64 {
+	// Offset by the existing round count so appended rounds draw different
+	// subsamples from the original fit while staying deterministic.
+	return g.cfg.Seed + int64(len(g.trees))
+}
+
+// ContinueFit appends boosting rounds fitted to the residuals of the
+// current ensemble on fresh data. The existing trees are untouched, so the
+// model keeps what it learned and corrects where the new data disagrees.
+func (g *GBRT) ContinueFit(x [][]float64, y []float64, rounds int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: gbrt needs matching non-empty x and y")
+	}
+	if rounds <= 0 {
+		rounds = g.cfg.NumTrees
+	}
+	if len(g.trees) == 0 {
+		cfg := g.cfg
+		cfg.NumTrees = rounds
+		fresh := NewGBRT(cfg)
+		if err := fresh.Fit(x, y); err != nil {
+			return err
+		}
+		*g = *fresh
+		return nil
+	}
+	if d := g.FeatureDim(); len(x[0]) != d {
+		return fmt.Errorf("ml: gbrt fitted on %d features, got %d", d, len(x[0]))
+	}
+
+	n := len(x)
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = g.Predict(x[i])
+	}
+	ps := newPreSorted(x)
+	resid := make([]float64, n)
+	sub := newSubsampler(g.cfg.Subsample, n, g.continueSeed())
+	for m := 0; m < rounds; m++ {
+		rows := sub.draw()
+		for _, i := range rows {
+			resid[i] = y[i] - f[i]
+		}
+		tr := NewTree(TreeConfig{
+			MaxDepth:       g.cfg.MaxDepth,
+			MinSamplesLeaf: g.cfg.MinSamplesLeaf,
+		})
+		if err := tr.fitPresorted(x, resid, ps, rows); err != nil {
+			return err
+		}
+		g.trees = append(g.trees, tr)
+		for i := range f {
+			f[i] += g.cfg.LearningRate * tr.Predict(x[i])
+		}
+	}
+	return nil
+}
+
+func (g *GBDT) continueSeed() int64 {
+	return g.cfg.Seed + int64(len(g.trees))
+}
+
+// ContinueFit appends logistic-loss boosting rounds on fresh {0,1} labels,
+// starting from the current ensemble's decision function.
+func (g *GBDT) ContinueFit(x [][]float64, y []float64, rounds int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("ml: gbdt needs matching non-empty x and y")
+	}
+	if rounds <= 0 {
+		rounds = g.cfg.NumTrees
+	}
+	if len(g.trees) == 0 {
+		cfg := g.cfg
+		cfg.NumTrees = rounds
+		fresh := NewGBDT(cfg)
+		if err := fresh.Fit(x, y); err != nil {
+			return err
+		}
+		*g = *fresh
+		return nil
+	}
+	if d := g.FeatureDim(); len(x[0]) != d {
+		return fmt.Errorf("ml: gbdt fitted on %d features, got %d", d, len(x[0]))
+	}
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return errors.New("ml: gbdt labels must be 0 or 1")
+		}
+	}
+
+	n := len(x)
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = g.decision(x[i])
+	}
+	grad := make([]float64, n)
+	leafGrad := map[int32]float64{}
+	leafHess := map[int32]float64{}
+	ps := newPreSorted(x)
+	sub := newSubsampler(g.cfg.Subsample, n, g.continueSeed())
+	for m := 0; m < rounds; m++ {
+		for i := range grad {
+			grad[i] = y[i] - sigmoid(f[i])
+		}
+		rows := sub.draw()
+		tr := NewTree(TreeConfig{
+			MaxDepth:       g.cfg.MaxDepth,
+			MinSamplesLeaf: g.cfg.MinSamplesLeaf,
+		})
+		if err := tr.fitPresorted(x, grad, ps, rows); err != nil {
+			return err
+		}
+		clear(leafGrad)
+		clear(leafHess)
+		for _, i := range rows {
+			leaf := tr.Apply(x[i])
+			pi := sigmoid(f[i])
+			leafGrad[leaf] += grad[i]
+			leafHess[leaf] += pi * (1 - pi)
+		}
+		for leaf, gsum := range leafGrad {
+			h := leafHess[leaf]
+			if h < 1e-9 {
+				h = 1e-9
+			}
+			tr.setLeafValue(leaf, gsum/h)
+		}
+		g.trees = append(g.trees, tr)
+		for i := range f {
+			f[i] += g.cfg.LearningRate * tr.Predict(x[i])
+		}
+	}
+	return nil
+}
+
+var (
+	_ IncrementalFitter = (*GBRT)(nil)
+	_ IncrementalFitter = (*GBDT)(nil)
+)

@@ -1,0 +1,129 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// shiftedProblem returns a training set drawn from one response surface
+// and a second set from a shifted surface, to exercise warm-start fitting.
+func shiftedProblem(seed int64, n int, shift float64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = x[i][0]*2 - x[i][1] + shift
+	}
+	return x, y
+}
+
+func mae(m Regressor, x [][]float64, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += math.Abs(m.Predict(x[i]) - y[i])
+	}
+	return s / float64(len(x))
+}
+
+func TestGBRTContinueFitAdaptsToShift(t *testing.T) {
+	x0, y0 := shiftedProblem(1, 200, 0)
+	g := NewGBRT(GBMConfig{NumTrees: 60, MaxDepth: 3, Seed: 1})
+	if err := g.Fit(x0, y0); err != nil {
+		t.Fatal(err)
+	}
+	x1, y1 := shiftedProblem(2, 200, 1.5)
+	before := mae(g, x1, y1)
+	if err := g.ContinueFit(x1, y1, 60); err != nil {
+		t.Fatal(err)
+	}
+	after := mae(g, x1, y1)
+	if after >= before/2 {
+		t.Fatalf("continue fit did not adapt: before=%v after=%v", before, after)
+	}
+	if g.NumTrees() != 120 {
+		t.Fatalf("expected 120 trees, got %d", g.NumTrees())
+	}
+}
+
+func TestGBRTContinueFitOnUnfittedEqualsFit(t *testing.T) {
+	x, y := shiftedProblem(3, 150, 0)
+	a := NewGBRT(GBMConfig{NumTrees: 40, MaxDepth: 3, Seed: 7})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	b := NewGBRT(GBMConfig{NumTrees: 40, MaxDepth: 3, Seed: 7})
+	if err := b.ContinueFit(x, y, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if a.Predict(x[i]) != b.Predict(x[i]) {
+			t.Fatal("ContinueFit on unfitted model diverged from Fit")
+		}
+	}
+}
+
+func TestGBRTContinueFitRejectsWidthMismatch(t *testing.T) {
+	x, y := shiftedProblem(4, 100, 0)
+	g := NewGBRT(GBMConfig{NumTrees: 10, MaxDepth: 2, Seed: 1})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	narrow := make([][]float64, len(x))
+	for i := range x {
+		narrow[i] = x[i][:2]
+	}
+	if err := g.ContinueFit(narrow, y, 5); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestGBDTContinueFitAdaptsToShift(t *testing.T) {
+	// Labels flip meaning between the two phases: phase 0 thresholds the
+	// response at 0.5, phase 1 at 1.2 — the boundary moves.
+	x0, y0 := shiftedProblem(5, 300, 0)
+	l0 := binarize(y0)
+	g := NewGBDT(GBMConfig{NumTrees: 60, MaxDepth: 3, Seed: 1})
+	if err := g.Fit(x0, l0); err != nil {
+		t.Fatal(err)
+	}
+	x1, y1 := shiftedProblem(6, 300, 0)
+	l1 := make([]float64, len(y1))
+	for i, v := range y1 {
+		if v > 1.2 {
+			l1[i] = 1
+		}
+	}
+	errRate := func() float64 {
+		wrong := 0
+		for i := range x1 {
+			if float64(g.PredictClass(x1[i])) != l1[i] {
+				wrong++
+			}
+		}
+		return float64(wrong) / float64(len(x1))
+	}
+	before := errRate()
+	if err := g.ContinueFit(x1, l1, 80); err != nil {
+		t.Fatal(err)
+	}
+	after := errRate()
+	if after >= before {
+		t.Fatalf("continue fit did not adapt: before=%v after=%v", before, after)
+	}
+	if after > 0.1 {
+		t.Fatalf("error rate still %v after continue fit", after)
+	}
+}
+
+func TestGBDTContinueFitRejectsBadLabels(t *testing.T) {
+	x, y := shiftedProblem(7, 100, 0)
+	g := NewGBDT(GBMConfig{NumTrees: 10, MaxDepth: 2, Seed: 1})
+	if err := g.Fit(x, binarize(y)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ContinueFit(x, y, 5); err == nil {
+		t.Fatal("non-binary labels accepted")
+	}
+}

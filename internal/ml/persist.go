@@ -3,6 +3,7 @@ package ml
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -43,11 +44,11 @@ func (t *Tree) state() treeState {
 
 func (t *Tree) restore(s treeState) error {
 	if s.Version != persistVersion {
-		return fmt.Errorf("ml: tree state version %d unsupported", s.Version)
+		return fmt.Errorf("%w: tree state version %d", ErrModelVersion, s.Version)
 	}
 	n := len(s.Value)
 	if len(s.Feature) != n || len(s.Threshold) != n || len(s.Left) != n || len(s.Right) != n {
-		return fmt.Errorf("ml: corrupt tree state")
+		return fmt.Errorf("%w: tree column lengths disagree", ErrModelCorrupt)
 	}
 	t.cfg = s.Cfg
 	t.nFeatures = s.NFeatures
@@ -61,7 +62,7 @@ func (t *Tree) restore(s treeState) error {
 			value:     s.Value[i],
 		}
 	}
-	return nil
+	return t.validate()
 }
 
 // GobEncode implements gob.GobEncoder.
@@ -105,7 +106,10 @@ func (f *Forest) GobDecode(data []byte) error {
 		return err
 	}
 	if s.Version != persistVersion {
-		return fmt.Errorf("ml: forest state version %d unsupported", s.Version)
+		return fmt.Errorf("%w: forest state version %d", ErrModelVersion, s.Version)
+	}
+	if err := validateEnsemble("forest", s.Trees); err != nil {
+		return err
 	}
 	f.cfg = s.Cfg
 	f.trees = s.Trees
@@ -136,7 +140,10 @@ func (g *GBRT) GobDecode(data []byte) error {
 		return err
 	}
 	if s.Version != persistVersion {
-		return fmt.Errorf("ml: gbrt state version %d unsupported", s.Version)
+		return fmt.Errorf("%w: gbrt state version %d", ErrModelVersion, s.Version)
+	}
+	if err := validateEnsemble("gbrt", s.Trees); err != nil {
+		return err
 	}
 	g.cfg, g.base, g.trees = s.Cfg, s.Base, s.Trees
 	return nil
@@ -158,7 +165,10 @@ func (g *GBDT) GobDecode(data []byte) error {
 		return err
 	}
 	if s.Version != persistVersion {
-		return fmt.Errorf("ml: gbdt state version %d unsupported", s.Version)
+		return fmt.Errorf("%w: gbdt state version %d", ErrModelVersion, s.Version)
+	}
+	if err := validateEnsemble("gbdt", s.Trees); err != nil {
+		return err
 	}
 	g.cfg, g.base, g.trees = s.Cfg, s.Base, s.Trees
 	return nil
@@ -202,7 +212,10 @@ func (s *SVC) GobDecode(data []byte) error {
 		return err
 	}
 	if st.Version != persistVersion {
-		return fmt.Errorf("ml: svc state version %d unsupported", st.Version)
+		return fmt.Errorf("%w: svc state version %d", ErrModelVersion, st.Version)
+	}
+	if err := validateSVM("svc", st, true); err != nil {
+		return err
 	}
 	s.cfg, s.std, s.x, s.alpha, s.y, s.b = st.Cfg, st.Std, st.X, st.Coef, st.Y, st.B
 	s.kernel = RBFKernel(s.gamma())
@@ -236,7 +249,10 @@ func (s *SVR) GobDecode(data []byte) error {
 		return err
 	}
 	if st.Version != persistVersion {
-		return fmt.Errorf("ml: svr state version %d unsupported", st.Version)
+		return fmt.Errorf("%w: svr state version %d", ErrModelVersion, st.Version)
+	}
+	if err := validateSVM("svr", st, false); err != nil {
+		return err
 	}
 	s.cfg, s.std, s.x, s.beta, s.b = st.Cfg, st.Std, st.X, st.Coef, st.B
 	s.kernel = RBFKernel(s.gamma())
@@ -269,7 +285,7 @@ func (r *Ridge) GobDecode(data []byte) error {
 		return err
 	}
 	if st.Version != persistVersion {
-		return fmt.Errorf("ml: ridge state version %d unsupported", st.Version)
+		return fmt.Errorf("%w: ridge state version %d", ErrModelVersion, st.Version)
 	}
 	r.Lambda, r.Intercept, r.weights, r.bias = st.Lambda, st.Intercept, st.Weights, st.Bias
 	return nil
@@ -280,9 +296,23 @@ func SaveModel(w io.Writer, model any) error {
 	return gob.NewEncoder(w).Encode(model)
 }
 
-// LoadModel gob-decodes into the supplied model pointer.
-func LoadModel(r io.Reader, model any) error {
-	return gob.NewDecoder(r).Decode(model)
+// LoadModel gob-decodes into the supplied model pointer. Untrusted input
+// never panics: decode failures, truncated streams, and structurally
+// invalid model states all come back as errors wrapping ErrModelCorrupt
+// (or ErrModelVersion for recognizable format-era mismatches).
+func LoadModel(r io.Reader, model any) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: decode panicked: %v", ErrModelCorrupt, p)
+		}
+	}()
+	if err := gob.NewDecoder(r).Decode(model); err != nil {
+		if errors.Is(err, ErrModelVersion) || errors.Is(err, ErrModelCorrupt) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+	}
+	return nil
 }
 
 func init() {

@@ -1,0 +1,285 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+)
+
+// hardenModels returns one small fitted model of every persisted family,
+// paired with a factory for a fresh decode target of the same type.
+func hardenModels(t *testing.T) []struct {
+	name   string
+	model  any
+	target func() any
+} {
+	t.Helper()
+	x, y, _ := persistProblem(7)
+	yb := binarize(y)
+
+	tr := NewTree(TreeConfig{MaxDepth: 4})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewForest(ForestConfig{NumTrees: 4, Tree: TreeConfig{MaxDepth: 3}, Seed: 1})
+	if err := fr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	gr := NewGBRT(GBMConfig{NumTrees: 6, MaxDepth: 2, Seed: 1})
+	if err := gr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	gc := NewGBDT(GBMConfig{NumTrees: 6, MaxDepth: 2, Seed: 1})
+	if err := gc.Fit(x, yb); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewSVC(SVMConfig{C: 1, MaxIter: 20})
+	if err := svc.Fit(x[:40], yb[:40]); err != nil {
+		t.Fatal(err)
+	}
+	svr := NewSVR(SVMConfig{C: 1, MaxIter: 20})
+	if err := svr.Fit(x[:40], y[:40]); err != nil {
+		t.Fatal(err)
+	}
+	rg := NewRidge(0.1)
+	if err := rg.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+
+	return []struct {
+		name   string
+		model  any
+		target func() any
+	}{
+		{"tree", tr, func() any { return &Tree{} }},
+		{"forest", fr, func() any { return &Forest{} }},
+		{"gbrt", gr, func() any { return &GBRT{} }},
+		{"gbdt", gc, func() any { return &GBDT{} }},
+		{"svc", svc, func() any { return &SVC{} }},
+		{"svr", svr, func() any { return &SVR{} }},
+		{"ridge", rg, func() any { return &Ridge{} }},
+	}
+}
+
+// TestLoadModelTruncation truncates each model's encoding at every byte
+// offset — which covers every section boundary in the stream — and
+// requires a typed error, never a panic and never a silent success.
+func TestLoadModelTruncation(t *testing.T) {
+	for _, tc := range hardenModels(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := SaveModel(&buf, tc.model); err != nil {
+				t.Fatal(err)
+			}
+			data := buf.Bytes()
+			for cut := 0; cut < len(data); cut++ {
+				err := LoadModel(bytes.NewReader(data[:cut]), tc.target())
+				if err == nil {
+					t.Fatalf("truncation at %d/%d decoded successfully", cut, len(data))
+				}
+			}
+			if err := LoadModel(bytes.NewReader(data), tc.target()); err != nil {
+				t.Fatalf("full stream failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestLoadModelBitFlips flips individual bytes of a tree encoding and
+// checks that decoding either fails with an error or yields a model that
+// predicts without panicking — never a crash.
+func TestLoadModelBitFlips(t *testing.T) {
+	x, y, _ := persistProblem(11)
+	tr := NewTree(TreeConfig{MaxDepth: 4})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	probe := make([]float64, 3)
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		var back Tree
+		if err := LoadModel(bytes.NewReader(mut), &back); err != nil {
+			continue
+		}
+		if back.NumNodes() > 0 && back.FeatureDim() <= len(probe) {
+			back.Predict(probe)
+		}
+	}
+}
+
+func encodeTreeState(t *testing.T, s treeState) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTreeRestoreRejectsInvalidTopology hand-crafts tree states violating
+// each structural invariant and checks the typed rejection.
+func TestTreeRestoreRejectsInvalidTopology(t *testing.T) {
+	// A minimal valid shape: root splits on feature 0, two leaves.
+	valid := func() treeState {
+		return treeState{
+			Version:   persistVersion,
+			NFeatures: 2,
+			Feature:   []int{0, 0, 0},
+			Threshold: []float64{0.5, 0, 0},
+			Left:      []int32{1, -1, -1},
+			Right:     []int32{2, -1, -1},
+			Value:     []float64{0, 1, 2},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*treeState)
+		want error
+	}{
+		{"version", func(s *treeState) { s.Version = 99 }, ErrModelVersion},
+		{"ragged columns", func(s *treeState) { s.Feature = s.Feature[:2] }, ErrModelCorrupt},
+		{"negative feature count", func(s *treeState) { s.NFeatures = -1 }, ErrModelCorrupt},
+		{"feature out of range", func(s *treeState) { s.Feature[0] = 2 }, ErrModelCorrupt},
+		{"negative feature", func(s *treeState) { s.Feature[0] = -1 }, ErrModelCorrupt},
+		{"child cycle", func(s *treeState) { s.Left[0] = 0 }, ErrModelCorrupt},
+		{"child backward edge", func(s *treeState) { s.Right[2] = 1; s.Left[2] = 1 }, ErrModelCorrupt},
+		{"child out of range", func(s *treeState) { s.Right[0] = 7 }, ErrModelCorrupt},
+		{"half leaf", func(s *treeState) { s.Left[1] = 2 }, ErrModelCorrupt},
+		{"bad leaf sentinel", func(s *treeState) { s.Left[1] = -3; s.Right[1] = -3 }, ErrModelCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mut(&s)
+			var tr Tree
+			err := tr.GobDecode(encodeTreeState(t, s))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The unmutated state must decode and predict.
+	var tr Tree
+	if err := tr.GobDecode(encodeTreeState(t, valid())); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	if got := tr.Predict([]float64{0.9, 0}); got != 2 {
+		t.Fatalf("predict = %v, want 2", got)
+	}
+}
+
+// TestEnsembleRejectsInconsistentTrees checks ensemble-level validation:
+// empty member trees and width disagreements between members.
+func TestEnsembleRejectsInconsistentTrees(t *testing.T) {
+	x, y, _ := persistProblem(3)
+	t1 := NewTree(TreeConfig{MaxDepth: 2})
+	if err := t1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	narrow := make([][]float64, len(x))
+	for i := range x {
+		narrow[i] = x[i][:2]
+	}
+	t2 := NewTree(TreeConfig{MaxDepth: 2})
+	if err := t2.Fit(narrow, y); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		trees []*Tree
+	}{
+		{"empty member", []*Tree{t1, {}}},
+		{"width mismatch", []*Tree{t1, t2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := &GBRT{trees: tc.trees}
+			var buf bytes.Buffer
+			if err := SaveModel(&buf, bad); err != nil {
+				t.Fatal(err)
+			}
+			err := LoadModel(bytes.NewReader(buf.Bytes()), &GBRT{})
+			if !errors.Is(err, ErrModelCorrupt) {
+				t.Fatalf("got %v, want ErrModelCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestSVMRejectsShapeMismatch checks the coefficient/label/standardizer
+// shape invariants on both SVM families.
+func TestSVMRejectsShapeMismatch(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}}
+	base := func() svmState {
+		return svmState{
+			Version: persistVersion,
+			X:       rows,
+			Coef:    []float64{0.5, -0.5},
+			Y:       []float64{1, -1},
+			Std:     &Standardizer{Mean: []float64{0, 0}, Scale: []float64{1, 1}},
+		}
+	}
+	encode := func(s svmState) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name string
+		mut  func(*svmState)
+	}{
+		{"coef count", func(s *svmState) { s.Coef = s.Coef[:1] }},
+		{"label count", func(s *svmState) { s.Y = s.Y[:1] }},
+		{"ragged rows", func(s *svmState) { s.X = [][]float64{{1, 2}, {3}} }},
+		{"standardizer scale", func(s *svmState) { s.Std.Scale = s.Std.Scale[:1] }},
+		{"standardizer width", func(s *svmState) { s.Std.Mean = []float64{0}; s.Std.Scale = []float64{1} }},
+	}
+	for _, tc := range cases {
+		t.Run("svc/"+tc.name, func(t *testing.T) {
+			s := base()
+			tc.mut(&s)
+			var back SVC
+			if err := back.GobDecode(encode(s)); !errors.Is(err, ErrModelCorrupt) {
+				t.Fatalf("got %v, want ErrModelCorrupt", err)
+			}
+		})
+		if tc.name == "label count" {
+			continue // SVR carries no labels
+		}
+		t.Run("svr/"+tc.name, func(t *testing.T) {
+			s := base()
+			s.Y = nil
+			tc.mut(&s)
+			var back SVR
+			if err := back.GobDecode(encode(s)); !errors.Is(err, ErrModelCorrupt) {
+				t.Fatalf("got %v, want ErrModelCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestFeatureDim checks the advertised input width of every family.
+func TestFeatureDim(t *testing.T) {
+	for _, tc := range hardenModels(t) {
+		d, ok := tc.model.(FeatureDimer)
+		if !ok {
+			t.Fatalf("%s does not implement FeatureDimer", tc.name)
+		}
+		if got := d.FeatureDim(); got != 3 {
+			t.Fatalf("%s FeatureDim = %d, want 3", tc.name, got)
+		}
+	}
+	if (&Tree{}).FeatureDim() != 0 || (&GBRT{}).FeatureDim() != 0 || (&SVR{}).FeatureDim() != 0 {
+		t.Fatal("unfitted models should report width 0")
+	}
+}

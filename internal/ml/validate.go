@@ -1,0 +1,155 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed deserialization errors. Registry hot-loading (internal/core) must
+// distinguish "this file is from a different format era" from "this file is
+// damaged"; both are terminal for the file, but only the latter warrants
+// quarantining a model version.
+var (
+	// ErrModelVersion marks a persisted model whose format version this
+	// build does not understand.
+	ErrModelVersion = errors.New("ml: model format version unsupported")
+	// ErrModelCorrupt marks a persisted model that failed structural
+	// validation or could not be decoded at all.
+	ErrModelCorrupt = errors.New("ml: model data corrupt")
+)
+
+// FeatureDimer reports the feature-vector width a fitted model expects.
+// Loaders use it to reject models whose width disagrees with the feature
+// encoder before the mismatch can surface as an index panic at serve time.
+type FeatureDimer interface {
+	// FeatureDim returns the expected input width, or 0 if unknown
+	// (unfitted or width-agnostic models).
+	FeatureDim() int
+}
+
+// FeatureDim returns the input width the tree was fitted on.
+func (t *Tree) FeatureDim() int { return t.nFeatures }
+
+// FeatureDim returns the input width of the forest's trees (0 if unfitted).
+func (f *Forest) FeatureDim() int {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	return f.trees[0].FeatureDim()
+}
+
+// FeatureDim returns the input width of the ensemble's trees (0 if unfitted).
+func (g *GBRT) FeatureDim() int {
+	if len(g.trees) == 0 {
+		return 0
+	}
+	return g.trees[0].FeatureDim()
+}
+
+// FeatureDim returns the input width of the ensemble's trees (0 if unfitted).
+func (g *GBDT) FeatureDim() int {
+	if len(g.trees) == 0 {
+		return 0
+	}
+	return g.trees[0].FeatureDim()
+}
+
+// FeatureDim returns the support-vector width (0 if unfitted).
+func (s *SVC) FeatureDim() int { return svmDim(s.std, s.x) }
+
+// FeatureDim returns the support-vector width (0 if unfitted).
+func (s *SVR) FeatureDim() int { return svmDim(s.std, s.x) }
+
+// FeatureDim returns the coefficient-vector width (0 if unfitted).
+func (r *Ridge) FeatureDim() int { return len(r.weights) }
+
+func svmDim(std *Standardizer, x [][]float64) int {
+	if std != nil && len(std.Mean) > 0 {
+		return len(std.Mean)
+	}
+	if len(x) > 0 {
+		return len(x[0])
+	}
+	return 0
+}
+
+// validate checks the structural invariants a fitted tree must satisfy
+// before Apply can be trusted not to panic or loop: grow() appends children
+// after their parent (preorder), so every internal node's child indices are
+// strictly greater than its own and in range — which also proves the node
+// graph acyclic — leaves have both children == -1, and split features index
+// into the fitted width.
+func (t *Tree) validate() error {
+	if t.nFeatures < 0 {
+		return fmt.Errorf("%w: tree has negative feature count %d", ErrModelCorrupt, t.nFeatures)
+	}
+	n := len(t.nodes)
+	for i, nd := range t.nodes {
+		if nd.left < 0 || nd.right < 0 {
+			if nd.left != -1 || nd.right != -1 {
+				return fmt.Errorf("%w: tree node %d has half-leaf children (%d, %d)", ErrModelCorrupt, i, nd.left, nd.right)
+			}
+			continue
+		}
+		if int(nd.left) <= i || int(nd.right) <= i || int(nd.left) >= n || int(nd.right) >= n {
+			return fmt.Errorf("%w: tree node %d has out-of-order children (%d, %d) of %d nodes", ErrModelCorrupt, i, nd.left, nd.right, n)
+		}
+		if nd.feature < 0 || nd.feature >= t.nFeatures {
+			return fmt.Errorf("%w: tree node %d splits on feature %d of %d", ErrModelCorrupt, i, nd.feature, t.nFeatures)
+		}
+	}
+	return nil
+}
+
+// validateEnsemble checks that every member tree is present, individually
+// valid (when decoded outside a Tree.GobDecode path), and fitted on the
+// same feature width.
+func validateEnsemble(kind string, trees []*Tree) error {
+	dim := -1
+	for i, tr := range trees {
+		if tr == nil {
+			return fmt.Errorf("%w: %s tree %d is nil", ErrModelCorrupt, kind, i)
+		}
+		if err := tr.validate(); err != nil {
+			return fmt.Errorf("%s tree %d: %w", kind, i, err)
+		}
+		if len(tr.nodes) == 0 {
+			return fmt.Errorf("%w: %s tree %d is empty", ErrModelCorrupt, kind, i)
+		}
+		if dim == -1 {
+			dim = tr.nFeatures
+		} else if tr.nFeatures != dim {
+			return fmt.Errorf("%w: %s tree %d width %d != %d", ErrModelCorrupt, kind, i, tr.nFeatures, dim)
+		}
+	}
+	return nil
+}
+
+// validateSVM checks the row/coefficient/standardizer shape invariants both
+// SVC and SVR rely on at predict time.
+func validateSVM(kind string, st svmState, wantY bool) error {
+	n := len(st.X)
+	if len(st.Coef) != n {
+		return fmt.Errorf("%w: %s has %d coefficients for %d support vectors", ErrModelCorrupt, kind, len(st.Coef), n)
+	}
+	if wantY && len(st.Y) != n {
+		return fmt.Errorf("%w: %s has %d labels for %d support vectors", ErrModelCorrupt, kind, len(st.Y), n)
+	}
+	dim := -1
+	for i, row := range st.X {
+		if dim == -1 {
+			dim = len(row)
+		} else if len(row) != dim {
+			return fmt.Errorf("%w: %s support vector %d width %d != %d", ErrModelCorrupt, kind, i, len(row), dim)
+		}
+	}
+	if st.Std != nil && len(st.Std.Mean) > 0 {
+		if len(st.Std.Scale) != len(st.Std.Mean) {
+			return fmt.Errorf("%w: %s standardizer mean/scale widths %d/%d", ErrModelCorrupt, kind, len(st.Std.Mean), len(st.Std.Scale))
+		}
+		if n > 0 && dim != len(st.Std.Mean) {
+			return fmt.Errorf("%w: %s standardizer width %d != support vector width %d", ErrModelCorrupt, kind, len(st.Std.Mean), dim)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package sched
+
+// Model-lifecycle hook. The online loop is a discrete-event simulation, so
+// "background" work — drift checks, retraining, shadow-gate evaluation —
+// cannot run on a wall-clock goroutine without destroying determinism.
+// Instead the loop offers a synchronous tick: once per dispatched event,
+// before the event mutates any state, the configured ticker runs with the
+// current simulation time. core's LifecycleManager implements this to drive
+// its detect → retrain → shadow → promote → probation state machine in
+// lockstep with the simulation.
+//
+// Like AuditSink, the ticker must never feed back into simulation state
+// (arrivals, departures, faults, placements already made). Swapping the
+// model a policy scores FUTURE placements with is the one sanctioned
+// side effect — that is the whole point of a hot swap.
+
+// LifecycleTicker receives one synchronous callback per online-loop event.
+// now is the current simulation time. Implementations must be cheap when
+// idle: the loop calls Tick hundreds of thousands of times per run.
+type LifecycleTicker interface {
+	Tick(now float64)
+}
+
+// TickerFunc adapts a function to LifecycleTicker.
+type TickerFunc func(now float64)
+
+// Tick implements LifecycleTicker.
+func (f TickerFunc) Tick(now float64) { f(now) }

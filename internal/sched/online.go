@@ -94,6 +94,11 @@ type OnlineConfig struct {
 	// AuditSink) so a prediction audit log can resolve placement-time
 	// predictions against observed frame rates.
 	Audit AuditSink
+	// Lifecycle, when non-nil, is ticked synchronously once per dispatched
+	// event (see LifecycleTicker) so a model-lifecycle manager can retrain,
+	// shadow-evaluate, and hot-swap models in lockstep with the simulation.
+	// With a nil Lifecycle the loop is bit-identical to previous behavior.
+	Lifecycle LifecycleTicker
 }
 
 // resilient reports whether any fault-handling machinery is configured.
@@ -182,7 +187,7 @@ func (c *scoreCache) len() int { return len(c.m) }
 // small catalog the same states recur across thousands of arrivals, so the
 // cache turns most placements into hash lookups.
 func GreedyPolicy(score Scorer, maxPerServer int) PlacementPolicy {
-	return greedyPolicy(score, maxPerServer, nil)
+	return greedyPolicy(score, maxPerServer, nil, nil)
 }
 
 // GreedyPolicyTraced is GreedyPolicy with span emission: each Place call
@@ -192,10 +197,20 @@ func GreedyPolicy(score Scorer, maxPerServer int) PlacementPolicy {
 // span. Cache hits emit nothing, so span volume is bounded by distinct
 // colocation states, not by arrivals. A nil tracer degrades to GreedyPolicy.
 func GreedyPolicyTraced(score Scorer, maxPerServer int, t *trace.Tracer) PlacementPolicy {
-	return greedyPolicy(score, maxPerServer, t)
+	return greedyPolicy(score, maxPerServer, t, nil)
 }
 
-func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer) PlacementPolicy {
+// GreedyPolicyVersioned is GreedyPolicy bound to a swappable model: gen
+// reports the serving model's generation counter, and every cache key is
+// tagged with it, so a hot swap implicitly invalidates all memoized scores
+// — stale entries become unreachable the instant the generation changes,
+// with no flush and no locking on the placement path. A nil gen degrades
+// to GreedyPolicy (all keys tagged zero).
+func GreedyPolicyVersioned(score Scorer, maxPerServer int, gen func() uint64) PlacementPolicy {
+	return greedyPolicy(score, maxPerServer, nil, gen)
+}
+
+func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer, gen func() uint64) PlacementPolicy {
 	if maxPerServer <= 0 {
 		maxPerServer = 4
 	}
@@ -203,6 +218,16 @@ func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer) PlacementPoli
 	return PolicyFunc(func(contents [][]int, game int) (int, bool) {
 		span := t.Current().StartSpan("score-candidates", trace.Int("game", game))
 		evaluated, misses := 0, 0
+		// genTag folds the model generation into every cache key. Mix64
+		// spreads consecutive generations across the word so a bumped
+		// generation cannot collide with a nearby state hash. Read once per
+		// Place call: a swap mid-call at worst re-scores one placement.
+		var genTag uint64
+		if gen != nil {
+			if g := gen(); g != 0 {
+				genTag = sim.Mix64(g)
+			}
+		}
 		// scoreState answers one memoized score. The candidate colocation
 		// (occupants plus the arriving game) is identified by hash alone —
 		// hash(occ)+Mix64(game), order-invariant — so on a hit nothing is
@@ -228,7 +253,7 @@ func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer) PlacementPoli
 			if len(occ) >= maxPerServer {
 				continue
 			}
-			oh := multisetHash(occ)
+			oh := multisetHash(occ) + genTag
 			delta := scoreState(oh+gh, occ, true)
 			if len(occ) > 0 {
 				delta -= scoreState(oh, occ, false)
@@ -694,6 +719,12 @@ func RunOnline(cfg OnlineConfig, policy PlacementPolicy, eval FPSEvaluator, qos 
 	nextArrival := now + rng.ExpFloat64()/cfg.ArrivalRate
 	arrived := 0
 	for arrived < cfg.Sessions || events.Len() > 0 {
+		// Lifecycle tick: runs before the next event is even selected, so a
+		// hot swap lands between events — never mid-decision.
+		if cfg.Lifecycle != nil {
+			cfg.Lifecycle.Tick(now)
+		}
+
 		// Next event: the earliest of pending internal events, the next
 		// arrival, and the next fault transition. Ties: internal events
 		// beat arrivals (matching the fault-free loop), fault transitions

@@ -1,6 +1,7 @@
 package gaugur_test
 
 import (
+	"bytes"
 	"testing"
 
 	"gaugur/internal/core"
@@ -156,6 +157,66 @@ func BenchmarkOnlinePlacement(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		for s := range contents {
+			contents[s] = contents[s][:0]
+		}
+		for a := 0; a < arrivals; a++ {
+			g := ids[a%len(ids)]
+			if s, ok := policy.Place(contents, g); ok {
+				contents[s] = append(contents[s], g)
+			}
+		}
+	}
+}
+
+// clonePredictor round-trips a model through the persistence layer — the
+// same mechanism the lifecycle uses to produce a retraining candidate that
+// never aliases the serving copy.
+func clonePredictor(b *testing.B, p *core.Predictor) *core.Predictor {
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	clone, err := core.LoadPredictor(&buf, p.Profiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return clone
+}
+
+// BenchmarkHotSwap measures the serving cost of a model promotion: each
+// iteration atomically swaps the serving handle and then re-places a
+// 64-session batch on a 16-server fleet through the generation-tagged
+// greedy policy. This is the worst case for the swap — every cached score
+// is invalidated at once and the whole batch re-scores against the new
+// model — so it bounds the latency bubble a promotion can inject into the
+// dispatcher. Guarded by `make bench-check`.
+func BenchmarkHotSwap(b *testing.B) {
+	env := benchEnv(b)
+	p1, err := env.GAugur(env.Cfg.QoSHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2 := clonePredictor(b, p1)
+	h := core.NewModelHandle(p1)
+	ids := env.TenGames()
+	score := func(games []int) float64 {
+		c := make(core.Colocation, len(games))
+		for i, id := range games {
+			c[i] = core.Workload{GameID: id, Res: core.ReferenceResolution}
+		}
+		return h.Load().PredictTotalFPS(c)
+	}
+	policy := sched.GreedyPolicyVersioned(score, 4, h.Generation)
+	const servers, arrivals = 16, 64
+	contents := make([][]int, servers)
+	for i := range contents {
+		contents[i] = make([]int, 0, 4)
+	}
+	models := [2]*core.Predictor{p1, p2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Swap(models[i%2])
 		for s := range contents {
 			contents[s] = contents[s][:0]
 		}
