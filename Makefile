@@ -7,7 +7,7 @@ GO ?= go
 # to make a failing build pass.
 COVER_MIN ?= 75
 
-.PHONY: build test vet race bench bench-json bench-check lifecycle-e2e verify fmt fmt-check cover lint
+.PHONY: build test vet race bench bench-json bench-check lifecycle-e2e verify fmt fmt-check cover lint vulncheck tidy-check
 
 # Relative slowdown bench-check tolerates before failing, in percent.
 # Benchmarks at -benchtime 1x are noisy; 30% separates "regressed" from
@@ -17,6 +17,9 @@ BENCH_TOLERANCE ?= 30
 # Staticcheck version the lint gate pins (see .github/workflows/ci.yml —
 # keep the two in sync so local runs match CI).
 STATICCHECK_VERSION ?= 2024.1.1
+
+# govulncheck version the vulnerability gate pins (same sync rule).
+GOVULNCHECK_VERSION ?= v1.1.4
 
 build:
 	$(GO) build ./...
@@ -36,14 +39,15 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# bench-json runs the offline-pipeline, batch-prediction, and
-# tracing-overhead benchmarks and snapshots their ns/op into
+# bench-json runs the offline-pipeline, batch-prediction, sharded fleet
+# dispatch, and tracing-overhead benchmarks and snapshots their ns/op into
 # BENCH_pipeline.json, the artifact CI archives to track the perf
 # trajectory. The -N GOMAXPROCS suffix is stripped so keys stay stable
 # across runners.
 bench-json:
 	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch|BenchmarkOnlinePlacement|BenchmarkTraceOverhead|BenchmarkHotSwap' \
 		-benchtime 1x -run '^$$' . > bench_pipeline.txt
+	$(GO) test -bench 'BenchmarkFleetDispatch$$' -benchtime 5x -run '^$$' . >> bench_pipeline.txt
 	cat bench_pipeline.txt
 	awk 'BEGIN { print "{" } \
 		/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); if (n++) printf ",\n"; printf "  \"%s_ns_op\": %s", $$1, $$3 } \
@@ -51,18 +55,20 @@ bench-json:
 	cat BENCH_pipeline.json
 
 # bench-check is the perf regression guard: it re-runs the guarded hot
-# paths — the batch prediction kernel, the full offline pipeline, and the
-# hot-swap-plus-cache-refill bubble — and fails when any is more than
-# BENCH_TOLERANCE percent slower than the committed BENCH_pipeline.json
-# baseline. Only those are guarded because the parallel Seq variants and
-# trace overheads swing with runner load. PredictBatch and HotSwap run 20
-# iterations (a single shot of a millisecond-scale kernel jitters past any
-# sane tolerance); TrainPipeline is seconds long and stable at one. The
-# baseline file is read, never rewritten — run `make bench-json`
-# deliberately to move it.
+# paths — the batch prediction kernel, the sharded fleet dispatch loop,
+# the full offline pipeline, and the hot-swap-plus-cache-refill bubble —
+# and fails when any is more than BENCH_TOLERANCE percent slower than the
+# committed BENCH_pipeline.json baseline. Only those are guarded because
+# the parallel Seq variants and trace overheads swing with runner load.
+# PredictBatch and HotSwap run 20 iterations (a single shot of a
+# millisecond-scale kernel jitters past any sane tolerance); FleetDispatch
+# amortizes 2048 placements per iteration so 5 are enough; TrainPipeline
+# is seconds long and stable at one. The baseline file is read, never
+# rewritten — run `make bench-json` deliberately to move it.
 bench-check:
 	@test -f BENCH_pipeline.json || { echo "BENCH_pipeline.json baseline missing; run make bench-json and commit it"; exit 1; }
 	$(GO) test -bench 'BenchmarkPredictBatch$$|BenchmarkHotSwap$$' -benchtime 20x -run '^$$' . > bench_check.txt
+	$(GO) test -bench 'BenchmarkFleetDispatch$$' -benchtime 5x -run '^$$' . >> bench_check.txt
 	$(GO) test -bench 'BenchmarkTrainPipeline$$' -benchtime 1x -run '^$$' . >> bench_check.txt
 	@cat bench_check.txt
 	@awk -v tol=$(BENCH_TOLERANCE) ' \
@@ -77,7 +83,7 @@ bench-check:
 			cur[key "_ns_op"] = $$3; \
 		} \
 		END { \
-			n = split("BenchmarkPredictBatch_ns_op BenchmarkHotSwap_ns_op BenchmarkTrainPipeline_ns_op", guard, " "); \
+			n = split("BenchmarkPredictBatch_ns_op BenchmarkHotSwap_ns_op BenchmarkFleetDispatch_ns_op BenchmarkTrainPipeline_ns_op", guard, " "); \
 			fail = 0; \
 			for (i = 1; i <= n; i++) { \
 				k = guard[i]; \
@@ -129,6 +135,24 @@ lint:
 		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
 		exit 1; \
 	fi
+
+# vulncheck scans the module against the Go vulnerability database with
+# the pinned govulncheck. Like lint, it needs an external binary (and
+# network access to fetch the DB), so it is CI's own cached job rather
+# than part of `make verify`.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; run:"; \
+		echo "  go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)"; \
+		exit 1; \
+	fi
+
+# tidy-check fails when go.mod/go.sum would change under `go mod tidy` —
+# the committed module graph must already be tidy.
+tidy-check:
+	$(GO) mod tidy -diff
 
 # verify is the full gate: tier-1 build+test, formatting, static analysis,
 # and the race detector over every package.

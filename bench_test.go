@@ -146,6 +146,7 @@ func BenchmarkExtSessionChurn(b *testing.B)          { benchQuickFigure(b, "ext-
 func BenchmarkExtHeterogeneousFleet(b *testing.B)    { benchQuickFigure(b, "ext-hetero") }
 func BenchmarkExtFaultTolerance(b *testing.B)        { benchQuickFigure(b, "ext-faults") }
 func BenchmarkExtLifecycle(b *testing.B)             { benchQuickFigure(b, "ext-lifecycle") }
+func BenchmarkExtFleet(b *testing.B)                 { benchQuickFigure(b, "ext-fleet") }
 func BenchmarkAblAggregateTransform(b *testing.B)    { benchQuickFigure(b, "abl-aggregate") }
 func BenchmarkAblLogTarget(b *testing.B)             { benchQuickFigure(b, "abl-log") }
 func BenchmarkAblGranularity(b *testing.B)           { benchQuickFigure(b, "abl-k") }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+
+	"gaugur/internal/sched/fleet"
+	"gaugur/internal/sim"
+)
+
+// cmdFleet drives a flash-crowd arrival stream through the sharded
+// dispatch plane: k-choices balancing across per-shard dispatchers, with
+// optional work stealing, against the trained predictor.
+func cmdFleet(args []string) error {
+	fs := newFlagSet("fleet")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	profiles := fs.String("profiles", "profiles.json", "profile set path")
+	model := fs.String("model", "model.gob", "trained predictor path")
+	games := fs.String("games", "", "comma-separated game names or ids")
+	servers := fs.Int("servers", 10000, "fleet size")
+	shards := fs.Int("shards", 16, "shard count (1 = flat full scan)")
+	k := fs.Int("k", 2, "shards sampled per arrival (power-of-k-choices)")
+	load := fs.Float64("load", 0.55, "base offered load (fraction of slot capacity)")
+	crowdAt := fs.Float64("crowd-at", 10, "flash crowd start (time units)")
+	crowdDur := fs.Float64("crowd-duration", 5, "flash crowd duration")
+	crowdX := fs.Float64("crowd-factor", 3.5, "flash crowd rate multiplier (<= 1 disables)")
+	horizon := fs.Float64("horizon", 24, "simulated duration (time units)")
+	duration := fs.Float64("duration", 8, "mean session duration (time units)")
+	steal := fs.Float64("steal-threshold", 0, "donor utilization that triggers work stealing (0 disables)")
+	seed := fs.Int64("seed", 17, "balancer seed (sampling + victim selection)")
+	workSeed := fs.Int64("workload-seed", 29, "arrival stream seed")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address during the run")
+	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *games == "" {
+		return fmt.Errorf("fleet: -games is required")
+	}
+	reg, tracer, stopMetrics, err := startMetrics(*metricsAddr, *seed)
+	if err != nil {
+		return err
+	}
+	lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
+	if err != nil {
+		return err
+	}
+	p, err := loadPredictor(lab, *model, reg)
+	if err != nil {
+		return err
+	}
+	ids, err := resolveGames(lab, *games)
+	if err != nil {
+		return err
+	}
+
+	const maxPer = 4
+	c, err := fleet.New(fleet.Config{
+		NumServers:     *servers,
+		ShardCount:     *shards,
+		MaxPerServer:   maxPer,
+		K:              *k,
+		Seed:           *seed,
+		Scorer:         fleet.NewPredictorScorer(p),
+		StealThreshold: *steal,
+		Metrics:        reg,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	crowd := sim.FlashCrowd{Base: *load * float64(*servers) * maxPer / *duration}
+	if *crowdX > 1 {
+		crowd.Peaks = []sim.CrowdPeak{{At: *crowdAt, Duration: *crowdDur, Factor: *crowdX}}
+	}
+	fmt.Printf("%d servers in %d shards, k=%d, base load %.0f%%", *servers, *shards, *k, 100**load)
+	if *crowdX > 1 {
+		fmt.Printf(", flash crowd x%.1f at t=%.0f for %.0f", *crowdX, *crowdAt, *crowdDur)
+	}
+	fmt.Println()
+
+	res, err := fleet.Drive(fleet.DriveConfig{
+		Cluster:  c,
+		Crowd:    crowd,
+		Horizon:  *horizon,
+		MeanHold: *duration,
+		Games:    ids,
+		Seed:     *workSeed,
+	})
+	if err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("arrivals %d  placed %d  rejected %d  peak active %d  mean ΔFPS %.1f\n",
+		res.Arrivals, res.Placed, res.Rejected, res.PeakActive, res.MeanDelta)
+	fmt.Printf("placement latency p50 %s  p99 %s\n", res.P50, res.P99)
+	fmt.Printf("escapes %d  steal plans %d  stolen %d  aborted plans %d\n",
+		st.Escapes, st.StealPlans, st.StolenSessions, st.StealAborts)
+	fmt.Printf("score probes %d  state groups scanned %d  cache misses %d\n",
+		st.ScoreProbes, st.Scanned, st.CacheMisses)
+	stopMetrics(*metricsHold)
+	return nil
+}

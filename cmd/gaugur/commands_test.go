@@ -121,4 +121,25 @@ func TestProfileTrainPredictRoundTripOnDisk(t *testing.T) {
 	if !bytes.Contains(buf.Bytes(), []byte("Dota2")) {
 		t.Errorf("predict output missing game name:\n%s", buf.String())
 	}
+
+	// fleet: a tiny sharded flash-crowd run from the same saved artifacts.
+	r, w, _ = os.Pipe()
+	os.Stdout = w
+	err = cmdFleet([]string{
+		"-profiles", profiles, "-model", model, "-games", "Dota2,Borderland2",
+		"-servers", "64", "-shards", "4", "-horizon", "6",
+		"-crowd-at", "2", "-crowd-duration", "2", "-steal-threshold", "0.6",
+	})
+	w.Close()
+	os.Stdout = old
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("placed")) {
+		t.Errorf("fleet output missing placement summary:\n%s", buf.String())
+	}
 }

@@ -41,6 +41,8 @@ func main() {
 		err = cmdDispatch(args)
 	case "churn":
 		err = cmdChurn(args)
+	case "fleet":
+		err = cmdFleet(args)
 	case "faults":
 		err = cmdFaults(args)
 	case "lifecycle":
@@ -72,6 +74,8 @@ commands:
   pack      pack requests onto the fewest servers with QoS guarantees
   dispatch  dispatch requests onto a fixed fleet maximizing average FPS
   churn     simulate an online arrival/departure stream against the model
+  fleet     drive a flash-crowd stream through the sharded dispatch plane
+            (k-choices balancing, per-shard dispatchers, work stealing)
   faults    churn under injected crashes, spikes, and prediction dropouts
   lifecycle run the self-healing loop against drifted physics: drift alarm,
             incremental retrain, shadow evaluation, hot swap, rollback
@@ -82,7 +86,7 @@ commands:
   trace          drive a traced + audited demo workload and dump recent
                  decision traces plus the model-quality summary
 
-profile, train, pack, dispatch, churn, faults, and lifecycle accept
+profile, train, pack, dispatch, churn, fleet, faults, and lifecycle accept
 -metrics-addr to expose the same endpoint (metrics + traces) live during a
 real run. dispatch and faults accept -registry to serve the active version
 a lifecycle run promoted instead of a flat -model file.

@@ -219,3 +219,50 @@ func (p *Predictor) PredictTotalFPS(c Colocation) float64 {
 	}
 	return s
 }
+
+// PredictTotalFPSBatch scores many candidate server states in one pass:
+// dst[i] receives the predicted total FPS of colocs[i]. Every member query
+// of every colocation is gathered into the same blocked kernel stream, so
+// a shard scoring its distinct candidate states pays one tree-major sweep
+// instead of one predictor round-trip per state. Values are bit-identical
+// to calling PredictTotalFPS per colocation: per-query results are
+// independent of block packing, and each colocation's members are summed
+// in index order either way.
+func (p *Predictor) PredictTotalFPSBatch(colocs []Colocation, dst []float64) []float64 {
+	if cap(dst) < len(colocs) {
+		dst = make([]float64, len(colocs))
+	}
+	dst = dst[:len(colocs)]
+	total := 0
+	for _, c := range colocs {
+		total += len(c)
+	}
+	if total == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	deg := make([]float64, total)
+	s := p.getScratch()
+	qi := 0
+	for _, c := range colocs {
+		for i := range c {
+			p.gatherDeg(s, c, i, qi, deg)
+			qi++
+		}
+	}
+	p.flushDeg(s, deg)
+	p.putScratch(s)
+	qi = 0
+	for ci, c := range colocs {
+		sum := 0.0
+		for i := range c {
+			solo := p.Profiles.Get(c[i].GameID).SoloFPS(c[i].Res)
+			sum += solo * deg[qi]
+			qi++
+		}
+		dst[ci] = sum
+	}
+	return dst
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPredictTotalFPSBatchMatchesSingle: the multi-colocation batch scorer
+// must be bit-identical to scoring each candidate state on its own — the
+// property the sharded dispatcher's determinism proofs lean on (batch
+// composition varies with shard layout, values must not).
+func TestPredictTotalFPSBatchMatchesSingle(t *testing.T) {
+	lab := testLab(t)
+	p, colocs := trainTestPredictor(t, lab, GBRT, GBDT)
+
+	// Mix in degenerate shapes: a singleton and an empty state.
+	states := append([]Colocation{{}, colocs[0][:1]}, colocs...)
+	dst := make([]float64, 0, len(states))
+	dst = p.PredictTotalFPSBatch(states, dst)
+	if len(dst) != len(states) {
+		t.Fatalf("batch returned %d results for %d states", len(dst), len(states))
+	}
+	for i, c := range states {
+		want := p.PredictTotalFPS(c)
+		if math.Float64bits(dst[i]) != math.Float64bits(want) {
+			t.Fatalf("state %d (%v): batch %v != single %v", i, c, dst[i], want)
+		}
+	}
+	if dst[0] != 0 {
+		t.Errorf("empty state scored %v, want 0", dst[0])
+	}
+
+	// Repeating the batch in a different order must not change any value.
+	rev := make([]Colocation, len(states))
+	for i := range states {
+		rev[i] = states[len(states)-1-i]
+	}
+	dstRev := p.PredictTotalFPSBatch(rev, nil)
+	for i := range rev {
+		if math.Float64bits(dstRev[i]) != math.Float64bits(dst[len(states)-1-i]) {
+			t.Fatalf("order-dependent batch value at %d", i)
+		}
+	}
+}

@@ -211,10 +211,37 @@ func TestExtLifecycleSelfHeals(t *testing.T) {
 	}
 }
 
+func TestExtFleetShardedDispatch(t *testing.T) {
+	tab := runFig(t, "ext-fleet")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(tab.Rows))
+	}
+	// Rows: 0 flat full scan, 1 sharded k=2, 2 k=2+stealing, 3 least-loaded.
+	for i := range tab.Rows {
+		if placed := cellFloat(t, tab, i, 1); placed == 0 {
+			t.Errorf("row %d placed nothing", i)
+		}
+	}
+	if esc := cellFloat(t, tab, 0, 4); esc != 0 {
+		t.Errorf("flat full scan recorded %v escapes; it has no sampling to escape from", esc)
+	}
+	// Power-of-k sampling must preserve most of the full scan's predicted
+	// per-placement quality; the same workload hits every row.
+	flat := cellFloat(t, tab, 0, 3)
+	sampled := cellFloat(t, tab, 1, 3)
+	if flat <= 0 || sampled <= 0 {
+		t.Fatalf("greedy mean deltas should be positive: flat %v, sharded %v", flat, sampled)
+	}
+	if sampled < 0.7*flat {
+		t.Errorf("k=2 sampling lost too much quality: %v vs full-scan %v", sampled, flat)
+	}
+}
+
 func TestRegistryIncludesExtensions(t *testing.T) {
 	for _, id := range []string{
 		"ext-conservative", "ext-encoder", "ext-delay",
 		"ext-cf", "ext-churn", "ext-hetero", "ext-faults", "ext-lifecycle",
+		"ext-fleet",
 		"abl-aggregate", "abl-log", "abl-k", "abl-noise",
 	} {
 		if _, ok := Lookup(id); !ok {

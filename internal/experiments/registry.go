@@ -42,6 +42,7 @@ var Registry = []struct {
 	{"ext-hetero", ExtHetero},
 	{"ext-faults", ExtFaults},
 	{"ext-lifecycle", ExtLifecycle},
+	{"ext-fleet", ExtFleet},
 
 	// Ablations of the reproduction's own design choices.
 	{"abl-aggregate", AblAggregate},

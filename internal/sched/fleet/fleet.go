@@ -1,0 +1,542 @@
+// Package fleet is the sharded, fleet-scale dispatch plane. The flat
+// greedy dispatcher (internal/sched) scans every server per arrival —
+// fine at ~100 servers, a wall at 10k. Here cluster state is partitioned
+// into shards, each owned by its own dispatcher goroutine with a private
+// generation-keyed score cache, state-group index, and idle heap; a
+// balancer routes each arrival to k sampled shards (power-of-k-choices),
+// takes the best predicted-QoS placement among the candidates — every
+// candidate is still scored through the interference predictor, never
+// blind bin-packing — and falls back to a full-scan escape hatch when all
+// k sampled shards reject. When a shard saturates, bounded steal batches
+// rebalance sessions toward the emptiest shard, with seeded-deterministic
+// victim selection.
+//
+// Determinism contract: Place/Remove are driven by one caller goroutine
+// (the balancer runs on the caller's stack); the only concurrency is the
+// k-shard scoring fan-out, whose replies are collected in sampled order
+// and reduced by an order-independent (delta, lowest-server-id) rule. A
+// given (Config, call sequence) therefore replays byte-identically at any
+// shard count, under the race detector, with metrics and tracing on. With
+// ShardCount=1 the candidate set degenerates to a full scan and the
+// placement sequence is bit-identical to sched.GreedyPolicy; with
+// K >= ShardCount (full fan-out, stealing off) it is bit-identical across
+// ANY shard count.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
+	"gaugur/internal/sim"
+)
+
+// Mode selects the per-shard placement rule.
+type Mode int
+
+const (
+	// ModeGreedy scores candidate states through the predictor and takes
+	// the best total-FPS delta (the interference-aware default).
+	ModeGreedy Mode = iota
+	// ModeLeastLoaded places on the emptiest sampled server via the idle
+	// heaps — the interference-blind strawman, kept for comparison.
+	ModeLeastLoaded
+)
+
+// BatchScorer scores whole candidate server states: dst[i] receives the
+// predicted total FPS of states[i]. Implementations must be safe for
+// concurrent use — every shard goroutine calls the shared scorer during
+// the fan-out. Values must be pure functions of the state (the caches and
+// all determinism guarantees depend on it).
+type BatchScorer interface {
+	ScoreStates(states [][]int, dst []float64)
+}
+
+// ScorerFunc adapts a single-state sched.Scorer (which must be pure and
+// goroutine-safe) to BatchScorer.
+type ScorerFunc func(games []int) float64
+
+// ScoreStates implements BatchScorer.
+func (f ScorerFunc) ScoreStates(states [][]int, dst []float64) {
+	for i, s := range states {
+		dst[i] = f(s)
+	}
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// NumServers is the fleet size.
+	NumServers int
+	// ShardCount partitions the fleet; <= 0 defaults to 1, clamped to
+	// NumServers.
+	ShardCount int
+	// MaxPerServer caps colocation size; <= 0 defaults to 4.
+	MaxPerServer int
+	// K is the number of shards sampled per arrival; <= 0 defaults to 2.
+	// K >= ShardCount scans every shard (and consumes no randomness, so
+	// results are shard-count invariant).
+	K int
+	// Seed drives shard sampling and steal victim selection.
+	Seed int64
+	// Scorer predicts the total FPS of a hypothetical server state;
+	// required in ModeGreedy.
+	Scorer BatchScorer
+	// Mode selects greedy (default) or least-loaded placement.
+	Mode Mode
+	// Gen, when non-nil, reports the serving model's generation; every
+	// score-cache key is tagged with it so a hot swap invalidates all
+	// shards' memos at once (see sched.GreedyPolicyVersioned).
+	Gen func() uint64
+	// CacheCap bounds each shard's score cache; <= 0 uses the default.
+	CacheCap int
+
+	// StealThreshold is the utilization at which a shard becomes a steal
+	// donor; <= 0 disables work stealing entirely.
+	StealThreshold float64
+	// StealGap is the minimum donor-target utilization gap for a steal
+	// plan to start (and to keep running); <= 0 defaults to 0.2.
+	StealGap float64
+	// StealBatch bounds the sessions per steal plan; <= 0 defaults to 8.
+	StealBatch int
+
+	// Metrics and Tracer mirror the sched.OnlineConfig contract: nil-safe
+	// and never feeding back into placement decisions.
+	Metrics *obs.Registry
+	Tracer  *trace.Tracer
+}
+
+// Placement describes one admitted session.
+type Placement struct {
+	Session int
+	Server  int // global server id
+	Shard   int
+	Delta   float64 // predicted total-FPS delta of the chosen placement
+}
+
+// Stats are the cluster's lifetime counters (single-threaded, exact).
+type Stats struct {
+	Placed, Rejected, Removed         int
+	Escapes                           int
+	StealPlans, StolenSessions        int
+	StealAborts                       int
+	Active, PeakActive                int
+	Scanned, CacheMisses, ScoreProbes int
+}
+
+type sessionLoc struct {
+	shard, server, game int
+}
+
+// stealPlan is a pending bounded steal batch: moves drain one per
+// subsequent Place/Remove call, so a batch never blows up one decision's
+// latency and arrivals genuinely interleave with it.
+type stealPlan struct {
+	from, to int
+	moves    []victim
+}
+
+// Cluster is the sharded dispatch plane. Not safe for concurrent callers:
+// one goroutine drives Place/Remove (the fan-out inside is where the
+// parallelism lives).
+type Cluster struct {
+	cfg     Config
+	nShards int
+	max     int
+	k       int
+	shards  []*shard
+	ranges  [][2]int
+	all     []int // 0..nShards-1, the full-fan-out candidate list
+
+	sessions map[int]*sessionLoc
+	nextSID  int
+	loads    []int // sessions per shard
+	caps     []int // slot capacity per shard
+
+	sampleRng *rand.Rand
+	sampled   []int
+	stealSeq  int64
+	plan      *stealPlan
+
+	stealGap   float64
+	stealBatch int
+
+	met   fleetMetrics
+	tr    *trace.Tracer
+	stats Stats
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New builds the cluster and starts one dispatcher goroutine per shard.
+// Callers must Close it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NumServers <= 0 {
+		return nil, fmt.Errorf("fleet: needs at least one server")
+	}
+	if cfg.Mode == ModeGreedy && cfg.Scorer == nil {
+		return nil, fmt.Errorf("fleet: ModeGreedy needs a Scorer")
+	}
+	max := cfg.MaxPerServer
+	if max <= 0 {
+		max = 4
+	}
+	shardCount := cfg.ShardCount
+	if shardCount <= 0 {
+		shardCount = 1
+	}
+	if shardCount > cfg.NumServers {
+		shardCount = cfg.NumServers
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 2
+	}
+	if k > shardCount {
+		k = shardCount
+	}
+	gap := cfg.StealGap
+	if gap <= 0 {
+		gap = 0.2
+	}
+	batch := cfg.StealBatch
+	if batch <= 0 {
+		batch = 8
+	}
+
+	ranges := sim.Partition(cfg.NumServers, shardCount)
+	c := &Cluster{
+		cfg:        cfg,
+		nShards:    shardCount,
+		max:        max,
+		k:          k,
+		ranges:     ranges,
+		sessions:   map[int]*sessionLoc{},
+		loads:      make([]int, shardCount),
+		caps:       make([]int, shardCount),
+		sampleRng:  rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, "fleet-sample", 0))),
+		stealGap:   gap,
+		stealBatch: batch,
+		met:        newFleetMetrics(cfg.Metrics, shardCount),
+		tr:         cfg.Tracer,
+	}
+	c.all = make([]int, shardCount)
+	c.shards = make([]*shard, shardCount)
+	for i, r := range ranges {
+		c.all[i] = i
+		c.caps[i] = (r[1] - r[0]) * max
+		c.shards[i] = newShard(i, r[0], r[1], max, cfg.Mode, cfg.Scorer, cfg.CacheCap)
+		c.wg.Add(1)
+		go func(sh *shard) {
+			defer c.wg.Done()
+			sh.run()
+		}(c.shards[i])
+	}
+	return c, nil
+}
+
+// Close stops every shard goroutine. The cluster is unusable afterwards.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, sh := range c.shards {
+		close(sh.reqs)
+	}
+	c.wg.Wait()
+}
+
+// Stats returns the lifetime counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Active reports the number of placed sessions.
+func (c *Cluster) Active() int { return c.stats.Active }
+
+// Utilization reports a shard's occupied-slot fraction.
+func (c *Cluster) Utilization(shard int) float64 {
+	return float64(c.loads[shard]) / float64(c.caps[shard])
+}
+
+// Locate reports where a session currently runs (work stealing may have
+// moved it since placement).
+func (c *Cluster) Locate(sid int) (server int, ok bool) {
+	loc, ok := c.sessions[sid]
+	if !ok {
+		return 0, false
+	}
+	return loc.server, true
+}
+
+// genTag folds the model generation into score-cache keys, read once per
+// decision (same contract as sched.GreedyPolicyVersioned).
+func (c *Cluster) genTag() uint64 {
+	if c.cfg.Gen == nil {
+		return 0
+	}
+	if g := c.cfg.Gen(); g != 0 {
+		return sim.Mix64(g)
+	}
+	return 0
+}
+
+// sampleShards picks the candidate shards for one arrival. With k covering
+// every shard the fixed full list is returned and no randomness is
+// consumed — the property the cross-shard-count invariance tests rely on.
+func (c *Cluster) sampleShards() []int {
+	if c.k >= c.nShards {
+		return c.all
+	}
+	s := c.sampled[:0]
+	for len(s) < c.k {
+		d := c.sampleRng.Intn(c.nShards)
+		dup := false
+		for _, have := range s {
+			if have == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s = append(s, d)
+		}
+	}
+	c.sampled = s
+	return s
+}
+
+// probe fans one scoring request out to the candidate shards and reduces
+// the replies to the best (delta, lowest global server id) placement.
+// Replies are collected in candidate order; the reduce is order-
+// independent, so goroutine scheduling never changes the answer. Each
+// candidate gets a child span under tctx carrying its shard id.
+func (c *Cluster) probe(candidates []int, game int, genTag uint64, tctx trace.Ctx) (shardResp, int, bool) {
+	for _, id := range candidates {
+		c.shards[id].reqs <- shardReq{op: opScore, game: game, genTag: genTag}
+	}
+	var best shardResp
+	bestShard, found := -1, false
+	for _, id := range candidates {
+		r := <-c.shards[id].resp
+		c.stats.ScoreProbes++
+		c.stats.Scanned += r.scanned
+		c.stats.CacheMisses += r.misses
+		sp := tctx.StartSpan("score-shard", trace.Int("shard", id))
+		if r.ok {
+			sp.End(trace.Int("server", r.server), trace.Float("delta", r.delta),
+				trace.Int("states", r.scanned), trace.Int("cache_misses", r.misses))
+		} else {
+			sp.End(trace.Bool("rejected", true))
+		}
+		if !r.ok {
+			continue
+		}
+		if !found || r.delta > best.delta || (r.delta == best.delta && r.server < best.server) {
+			best, bestShard, found = r, id, true
+		}
+	}
+	return best, bestShard, found
+}
+
+// Place admits one arriving session, returning its placement. ok=false
+// means no shard in the whole fleet had capacity.
+func (c *Cluster) Place(game int) (Placement, bool) {
+	c.applySteal()
+	span := c.met.decision.Start()
+	defer span.Stop()
+	genTag := c.genTag()
+	tctx := c.tr.StartTrace("fleet-placement", trace.Int("game", game))
+
+	candidates := c.sampleShards()
+	best, bestShard, found := c.probe(candidates, game, genTag, tctx)
+	if !found && len(candidates) < c.nShards {
+		// Escape hatch: every sampled shard rejected (saturated); scan the
+		// whole fleet rather than shedding a placeable session.
+		c.stats.Escapes++
+		c.met.escapes.Inc()
+		tctx = tctx.SetAttr(trace.Bool("escape", true))
+		best, bestShard, found = c.probe(c.all, game, genTag, tctx)
+	}
+	if !found {
+		c.stats.Rejected++
+		c.met.rejected.Inc()
+		tctx.End(trace.String("outcome", "rejected"))
+		return Placement{}, false
+	}
+
+	sid := c.nextSID
+	c.nextSID++
+	sh := c.shards[bestShard]
+	sh.reqs <- shardReq{op: opCommit, game: game, sid: sid, server: best.server}
+	<-sh.resp
+	c.sessions[sid] = &sessionLoc{shard: bestShard, server: best.server, game: game}
+	c.loads[bestShard]++
+	c.stats.Placed++
+	c.stats.Active++
+	if c.stats.Active > c.stats.PeakActive {
+		c.stats.PeakActive = c.stats.Active
+	}
+	c.met.placements.Inc()
+	c.met.active.Set(float64(c.stats.Active))
+	c.met.shardSessions[bestShard].Set(float64(c.loads[bestShard]))
+	tctx.End(
+		trace.String("outcome", "placed"),
+		trace.Int("shard", bestShard),
+		trace.Int("server", best.server),
+		trace.Int("session", sid),
+	)
+	c.maybePlanSteal(bestShard)
+	return Placement{Session: sid, Server: best.server, Shard: bestShard, Delta: best.delta}, true
+}
+
+// Remove departs a session; false when the id is unknown.
+func (c *Cluster) Remove(sid int) bool {
+	c.applySteal()
+	loc, ok := c.sessions[sid]
+	if !ok {
+		return false
+	}
+	sh := c.shards[loc.shard]
+	sh.reqs <- shardReq{op: opRemove, sid: sid, server: loc.server}
+	<-sh.resp
+	delete(c.sessions, sid)
+	c.loads[loc.shard]--
+	c.stats.Removed++
+	c.stats.Active--
+	c.met.active.Set(float64(c.stats.Active))
+	c.met.shardSessions[loc.shard].Set(float64(c.loads[loc.shard]))
+	return true
+}
+
+// maybePlanSteal starts a bounded steal batch when the just-committed
+// shard crossed the saturation threshold and a meaningfully emptier shard
+// exists. Victims are nominated immediately (seeded-deterministically, by
+// the donor) and drained one move per subsequent decision.
+func (c *Cluster) maybePlanSteal(donor int) {
+	if c.cfg.StealThreshold <= 0 || c.plan != nil || c.nShards < 2 {
+		return
+	}
+	du := c.Utilization(donor)
+	if du < c.cfg.StealThreshold {
+		return
+	}
+	target := -1
+	for i := 0; i < c.nShards; i++ {
+		if i == donor {
+			continue
+		}
+		if target < 0 || c.loads[i]*c.caps[target] < c.loads[target]*c.caps[i] {
+			target = i
+		}
+	}
+	if target < 0 || du-c.Utilization(target) < c.stealGap {
+		return
+	}
+	n := (c.loads[donor] - c.loads[target]) / 2
+	if n > c.stealBatch {
+		n = c.stealBatch
+	}
+	free := c.caps[target] - c.loads[target]
+	if n > free {
+		n = free
+	}
+	if n <= 0 {
+		return
+	}
+	seed := sim.DeriveSeed(c.cfg.Seed, "fleet-steal", c.stealSeq)
+	c.stealSeq++
+	sh := c.shards[donor]
+	sh.reqs <- shardReq{op: opVictims, n: n, seed: seed}
+	r := <-sh.resp
+	if len(r.victims) == 0 {
+		return
+	}
+	c.plan = &stealPlan{from: donor, to: target, moves: r.victims}
+	c.stats.StealPlans++
+	c.met.stealPlans.Inc()
+}
+
+// applySteal drains at most one move of the pending steal plan. Each move
+// re-validates against live state — the session may have departed or the
+// balance may have shifted since the plan was cut — and the plan is
+// dropped (never half-applied onto a full shard) the moment it stops
+// making sense. A session is committed on the target before it is removed
+// from the donor, so no interleaving can orphan it.
+func (c *Cluster) applySteal() {
+	if c.plan == nil {
+		return
+	}
+	p := c.plan
+	for len(p.moves) > 0 {
+		m := p.moves[0]
+		p.moves = p.moves[1:]
+		loc, ok := c.sessions[m.sid]
+		if !ok || loc.shard != p.from || loc.server != m.server {
+			// Departed or already moved since nomination; skip silently.
+			continue
+		}
+		if c.Utilization(p.from)-c.Utilization(p.to) < c.stealGap {
+			// Balance reached (arrivals landed elsewhere, departures
+			// drained the donor); the rest of the batch is moot.
+			c.plan = nil
+			c.stats.StealAborts++
+			c.met.stealAborts.Inc()
+			return
+		}
+		genTag := c.genTag()
+		tctx := c.tr.StartTrace("steal-move",
+			trace.Int("session", m.sid),
+			trace.Int("from_shard", p.from),
+			trace.Int("to_shard", p.to),
+		)
+		target := c.shards[p.to]
+		target.reqs <- shardReq{op: opScore, game: m.game, genTag: genTag}
+		r := <-target.resp
+		if !r.ok {
+			// Target filled up mid-batch: abort the plan, leave the
+			// session untouched on the donor.
+			c.plan = nil
+			c.stats.StealAborts++
+			c.met.stealAborts.Inc()
+			tctx.End(trace.String("outcome", "aborted"))
+			return
+		}
+		// Commit on the target FIRST, then remove from the donor: the
+		// session exists somewhere at every step.
+		target.reqs <- shardReq{op: opCommit, game: m.game, sid: m.sid, server: r.server}
+		<-target.resp
+		donor := c.shards[p.from]
+		donor.reqs <- shardReq{op: opRemove, sid: m.sid, server: m.server}
+		<-donor.resp
+		loc.shard, loc.server = p.to, r.server
+		c.loads[p.from]--
+		c.loads[p.to]++
+		c.stats.StolenSessions++
+		c.met.stolen.Inc()
+		c.met.shardSessions[p.from].Set(float64(c.loads[p.from]))
+		c.met.shardSessions[p.to].Set(float64(c.loads[p.to]))
+		tctx.End(trace.String("outcome", "moved"), trace.Int("server", r.server))
+		if len(p.moves) == 0 {
+			c.plan = nil
+		}
+		return // one move per decision: bounded latency
+	}
+	c.plan = nil
+}
+
+// StealPending reports whether a steal batch is still draining.
+func (c *Cluster) StealPending() bool { return c.plan != nil }
+
+// Snapshot assembles the global server contents (sorted multisets; nil
+// for idle servers), for verification and tests.
+func (c *Cluster) Snapshot() [][]int {
+	out := make([][]int, 0, c.cfg.NumServers)
+	for _, sh := range c.shards {
+		sh.reqs <- shardReq{op: opSnapshot}
+		r := <-sh.resp
+		out = append(out, r.snap...)
+	}
+	return out
+}

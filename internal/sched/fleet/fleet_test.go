@@ -1,0 +1,557 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
+	"gaugur/internal/sched"
+)
+
+// synthScore is a cheap, pure stand-in for the predictor: per-game solo
+// FPS discounted by pairwise interference pressure. It sorts a copy before
+// summing so equal multisets score BIT-identically regardless of member
+// order — the flat dispatcher stores contents in arrival order while
+// shards keep them sorted, and float summation order changes last bits.
+func synthScore(games []int) float64 {
+	sorted := append([]int(nil), games...)
+	sort.Ints(sorted)
+	s := 0.0
+	for _, g := range sorted {
+		s += 120.0 / float64(1+g%7)
+	}
+	pairs := len(sorted) * (len(sorted) - 1) / 2
+	return s * math.Pow(0.92, float64(pairs))
+}
+
+// verifyInvariants checks the cluster's global bookkeeping against the
+// shards' ground truth: every session lives exactly where the balancer
+// thinks it does, loads match, and nothing is orphaned or duplicated. The
+// shard goroutines are quiescent between balancer calls (parked on their
+// request channels, with a happens-before edge through the last reply), so
+// reading their state here is race-free.
+func verifyInvariants(t *testing.T, c *Cluster) {
+	t.Helper()
+	total := 0
+	seen := map[int]bool{}
+	for si, sh := range c.shards {
+		load := 0
+		for local, slots := range sh.slots {
+			if len(slots) != len(sh.contents[local]) {
+				t.Fatalf("shard %d server %d: %d slots vs %d contents", si, local, len(slots), len(sh.contents[local]))
+			}
+			load += len(slots)
+			for i, sid := range slots {
+				if seen[sid] {
+					t.Fatalf("session %d present twice", sid)
+				}
+				seen[sid] = true
+				loc, ok := c.sessions[sid]
+				if !ok {
+					t.Fatalf("shard %d holds unknown session %d", si, sid)
+				}
+				if loc.shard != si || loc.server != sh.lo+local || loc.game != sh.contents[local][i] {
+					t.Fatalf("session %d: table says shard %d server %d game %d, shard state says %d/%d/%d",
+						sid, loc.shard, loc.server, loc.game, si, sh.lo+local, sh.contents[local][i])
+				}
+			}
+		}
+		if load != c.loads[si] {
+			t.Fatalf("shard %d: balancer load %d, actual %d", si, c.loads[si], load)
+		}
+		total += load
+	}
+	if total != len(c.sessions) || total != c.stats.Active {
+		t.Fatalf("session count mismatch: shards %d, table %d, stats %d", total, len(c.sessions), c.stats.Active)
+	}
+}
+
+// TestGoldenMatchesFlatGreedy: with one shard the fleet balancer must
+// reproduce the flat sched.GreedyPolicy placement sequence byte-identically
+// across interleaved arrivals and departures — the acceptance criterion
+// that pins the sharded plane to the validated single-loop dispatcher.
+func TestGoldenMatchesFlatGreedy(t *testing.T) {
+	const servers, max = 24, 3
+	c, err := New(Config{
+		NumServers:   servers,
+		ShardCount:   1,
+		MaxPerServer: max,
+		K:            1,
+		Scorer:       ScorerFunc(synthScore),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	flat := sched.GreedyPolicy(synthScore, max)
+	contents := make([][]int, servers)
+	bySID := map[int]int{} // fleet session id -> game (mirror bookkeeping)
+	active := []int{}
+
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 600; step++ {
+		if len(active) > 0 && rng.Intn(3) == 0 {
+			// Departure: remove the same session from both worlds.
+			i := rng.Intn(len(active))
+			sid := active[i]
+			active = append(active[:i], active[i+1:]...)
+			srv, ok := c.Locate(sid)
+			if !ok || !c.Remove(sid) {
+				t.Fatalf("step %d: session %d vanished", step, sid)
+			}
+			game := bySID[sid]
+			for j, g := range contents[srv] {
+				if g == game {
+					contents[srv] = append(contents[srv][:j], contents[srv][j+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		game := rng.Intn(10)
+		wantSrv, wantOK := flat.Place(contents, game)
+		pl, ok := c.Place(game)
+		if ok != wantOK {
+			t.Fatalf("step %d game %d: fleet ok=%v flat ok=%v", step, game, ok, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		if pl.Server != wantSrv {
+			t.Fatalf("step %d game %d: fleet chose server %d, flat chose %d", step, game, pl.Server, wantSrv)
+		}
+		wantDelta := synthScore(append(append([]int{}, contents[wantSrv]...), game)) - synthScore(contents[wantSrv])
+		if math.Float64bits(pl.Delta) != math.Float64bits(wantDelta) {
+			t.Fatalf("step %d: delta %v, want %v", step, pl.Delta, wantDelta)
+		}
+		contents[wantSrv] = append(contents[wantSrv], game)
+		bySID[pl.Session] = game
+		active = append(active, pl.Session)
+	}
+	verifyInvariants(t, c)
+	if c.stats.Placed == 0 || c.stats.Removed == 0 {
+		t.Fatalf("degenerate run: %+v", c.stats)
+	}
+}
+
+// TestShardCountInvariance: with full fan-out (K >= ShardCount) and
+// stealing off, no randomness is consumed and the reduce is global, so the
+// exact placement sequence must be identical at ANY shard count.
+func TestShardCountInvariance(t *testing.T) {
+	type step struct {
+		server int
+		delta  float64
+		ok     bool
+	}
+	run := func(shards int) []step {
+		c, err := New(Config{
+			NumServers:   24,
+			ShardCount:   shards,
+			MaxPerServer: 3,
+			K:            64, // full fan-out at every count under test
+			Scorer:       ScorerFunc(synthScore),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(11))
+		var out []step
+		var active []int
+		for i := 0; i < 400; i++ {
+			if len(active) > 0 && rng.Intn(4) == 0 {
+				j := rng.Intn(len(active))
+				c.Remove(active[j])
+				active = append(active[:j], active[j+1:]...)
+				continue
+			}
+			pl, ok := c.Place(rng.Intn(10))
+			out = append(out, step{server: pl.Server, delta: pl.Delta, ok: ok})
+			if ok {
+				active = append(active, pl.Session)
+			}
+		}
+		verifyInvariants(t, c)
+		return out
+	}
+
+	want := run(1)
+	for _, shards := range []int{2, 4, 8} {
+		got := run(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d steps vs %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ok != want[i].ok || got[i].server != want[i].server ||
+				math.Float64bits(got[i].delta) != math.Float64bits(want[i].delta) {
+				t.Fatalf("shards=%d step %d: got %+v want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEscapeHatch: when every sampled shard rejects, the balancer must
+// full-scan before shedding load — a k=1 arrival stream against a nearly
+// full fleet only places everything if the escape hatch works.
+func TestEscapeHatch(t *testing.T) {
+	c, err := New(Config{
+		NumServers:   4,
+		ShardCount:   4,
+		MaxPerServer: 1,
+		K:            1,
+		Seed:         3,
+		Scorer:       ScorerFunc(synthScore),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Place(i); !ok {
+			t.Fatalf("placement %d rejected with capacity left (escape hatch broken)", i)
+		}
+	}
+	if _, ok := c.Place(9); ok {
+		t.Fatal("placed on a full fleet")
+	}
+	st := c.Stats()
+	if st.Escapes == 0 {
+		t.Fatalf("k=1 fill never exercised the escape hatch: %+v", st)
+	}
+	if st.Rejected != 1 || st.Placed != 4 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	verifyInvariants(t, c)
+}
+
+// TestStealChurnInvariants runs a skewed k=1 churn with stealing enabled
+// and checks the global bookkeeping after every operation: arrivals land
+// mid-steal-batch, sessions depart while nominated, and nothing may ever
+// be orphaned or double-placed.
+func TestStealChurnInvariants(t *testing.T) {
+	c, err := New(Config{
+		NumServers:     16,
+		ShardCount:     2,
+		MaxPerServer:   2,
+		K:              1,
+		Seed:           5,
+		Scorer:         ScorerFunc(synthScore),
+		StealThreshold: 0.4,
+		StealGap:       0.1,
+		StealBatch:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(21))
+	var active []int
+	arrivalDuringSteal := false
+	for i := 0; i < 500; i++ {
+		if len(active) > 0 && rng.Intn(3) == 0 {
+			j := rng.Intn(len(active))
+			if !c.Remove(active[j]) {
+				t.Fatalf("step %d: Remove(%d) failed", i, active[j])
+			}
+			active = append(active[:j], active[j+1:]...)
+		} else {
+			if c.StealPending() {
+				arrivalDuringSteal = true
+			}
+			if pl, ok := c.Place(rng.Intn(10)); ok {
+				active = append(active, pl.Session)
+			}
+		}
+		verifyInvariants(t, c)
+	}
+	st := c.Stats()
+	if st.StealPlans == 0 || st.StolenSessions == 0 {
+		t.Fatalf("steal machinery never engaged: %+v", st)
+	}
+	if !arrivalDuringSteal {
+		t.Fatal("no arrival ever landed during a draining steal batch")
+	}
+	// Moved sessions must still be locatable where the shards hold them
+	// (verifyInvariants proved the deep consistency each step).
+	for _, sid := range active {
+		if _, ok := c.Locate(sid); !ok {
+			t.Fatalf("live session %d unlocatable", sid)
+		}
+	}
+}
+
+// TestStealSkipsDepartedVictims: sessions that depart between victim
+// nomination and move application are skipped, and the batch aborts once
+// the imbalance closes — never touching a session that is gone.
+func TestStealSkipsDepartedVictims(t *testing.T) {
+	c, err := New(Config{
+		NumServers:     8,
+		ShardCount:     2,
+		MaxPerServer:   2,
+		K:              64,
+		Scorer:         ScorerFunc(synthScore),
+		StealThreshold: 0.5,
+		StealGap:       0.1,
+		StealBatch:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Fill the fleet, then empty shard 1 to create a hard imbalance.
+	var placed []Placement
+	for i := 0; i < 16; i++ {
+		pl, ok := c.Place(i % 5)
+		if !ok {
+			t.Fatalf("fill placement %d rejected", i)
+		}
+		placed = append(placed, pl)
+	}
+	var donorSessions []int
+	for _, pl := range placed {
+		if pl.Shard == 1 {
+			c.Remove(pl.Session)
+		} else {
+			donorSessions = append(donorSessions, pl.Session)
+		}
+	}
+	c.maybePlanSteal(0)
+	if c.plan == nil {
+		t.Fatal("no steal plan against a fully skewed fleet")
+	}
+	// Kill the first nominated victim before the move applies.
+	first := c.plan.moves[0].sid
+	if !c.Remove(first) {
+		t.Fatalf("could not remove nominated victim %d", first)
+	}
+	for i := 0; i < 16 && c.plan != nil; i++ {
+		c.applySteal()
+		verifyInvariants(t, c)
+	}
+	st := c.Stats()
+	if st.StolenSessions == 0 {
+		t.Fatalf("no session stolen: %+v", st)
+	}
+	for _, sid := range donorSessions {
+		if sid == first {
+			continue
+		}
+		if _, ok := c.Locate(sid); !ok {
+			t.Fatalf("session %d orphaned by stealing", sid)
+		}
+	}
+	verifyInvariants(t, c)
+}
+
+// TestDeterministicReplay: two identical runs (same config, same op
+// sequence, stealing and sampling on) must agree exactly, including the
+// steal counters.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]Placement, Stats) {
+		c, err := New(Config{
+			NumServers:     32,
+			ShardCount:     4,
+			MaxPerServer:   2,
+			K:              2,
+			Seed:           9,
+			Scorer:         ScorerFunc(synthScore),
+			StealThreshold: 0.4,
+			StealGap:       0.1,
+			StealBatch:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(33))
+		var out []Placement
+		var active []int
+		for i := 0; i < 400; i++ {
+			if len(active) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(active))
+				c.Remove(active[j])
+				active = append(active[:j], active[j+1:]...)
+				continue
+			}
+			if pl, ok := c.Place(rng.Intn(8)); ok {
+				out = append(out, pl)
+				active = append(active, pl.Session)
+			}
+		}
+		return out, c.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if len(a) != len(b) || sa != sb {
+		t.Fatalf("replay diverged: %d/%d placements, stats %+v vs %+v", len(a), len(b), sa, sb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestModeLeastLoaded: the interference-blind mode must track the flat
+// LeastLoadedPolicy at shard count 1.
+func TestModeLeastLoaded(t *testing.T) {
+	const servers, max = 12, 2
+	c, err := New(Config{
+		NumServers:   servers,
+		ShardCount:   1,
+		MaxPerServer: max,
+		Mode:         ModeLeastLoaded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	flat := sched.LeastLoadedPolicy(max)
+	contents := make([][]int, servers)
+	for i := 0; i < servers*max; i++ {
+		want, wantOK := flat.Place(contents, i%4)
+		pl, ok := c.Place(i % 4)
+		if !ok || !wantOK || pl.Server != want {
+			t.Fatalf("arrival %d: fleet %d/%v, flat %d/%v", i, pl.Server, ok, want, wantOK)
+		}
+		contents[want] = append(contents[want], i%4)
+	}
+	if _, ok := c.Place(0); ok {
+		t.Fatal("placed past capacity")
+	}
+}
+
+// TestGenerationInvalidatesCaches: bumping the generation must re-score
+// states rather than serving stale memos — across every shard.
+func TestGenerationInvalidatesCaches(t *testing.T) {
+	gen := uint64(1)
+	var calls atomic.Int64 // shards probe (and score) concurrently
+	c, err := New(Config{
+		NumServers:   8,
+		ShardCount:   2,
+		MaxPerServer: 2,
+		K:            64,
+		Scorer: ScorerFunc(func(games []int) float64 {
+			calls.Add(1)
+			return synthScore(games)
+		}),
+		Gen: func() uint64 { return gen },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Place(1)
+	c.Place(1)
+	warm := calls.Load()
+	c.Place(1) // same states, warm caches: minimal new scorer calls
+	if calls.Load() > warm+2 {
+		t.Fatalf("cache not effective: %d calls after warmup %d", calls.Load(), warm)
+	}
+	before := calls.Load()
+	gen = 2
+	c.Place(1)
+	if calls.Load() == before {
+		t.Fatal("generation bump served stale cached scores")
+	}
+}
+
+// TestObservability: counters, per-shard gauges, and placement traces must
+// reflect a small run exactly.
+func TestObservability(t *testing.T) {
+	reg := obs.New()
+	tr := trace.New(trace.Config{Seed: 1})
+	c, err := New(Config{
+		NumServers:   8,
+		ShardCount:   2,
+		MaxPerServer: 2,
+		K:            2,
+		Scorer:       ScorerFunc(synthScore),
+		Metrics:      reg,
+		Tracer:       tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var sids []int
+	for i := 0; i < 6; i++ {
+		pl, ok := c.Place(i % 3)
+		if !ok {
+			t.Fatalf("placement %d rejected", i)
+		}
+		sids = append(sids, pl.Session)
+	}
+	c.Remove(sids[0])
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["gaugur_fleet_placements_total"]; got != 6 {
+		t.Fatalf("placements counter = %d, want 6", got)
+	}
+	sum := 0.0
+	for i := 0; i < 2; i++ {
+		sum += c.met.shardSessions[i].Value()
+	}
+	if sum != 5 {
+		t.Fatalf("shard gauges sum to %v, want 5", sum)
+	}
+	if c.met.active.Value() != 5 {
+		t.Fatalf("active gauge = %v, want 5", c.met.active.Value())
+	}
+
+	traces := tr.Store().Recent(16)
+	placements := 0
+	for _, trc := range traces {
+		if trc.Name != "fleet-placement" {
+			continue
+		}
+		placements++
+		shardSpans := 0
+		for _, sp := range trc.Spans {
+			if sp.Name == "score-shard" {
+				shardSpans++
+				found := false
+				for _, a := range sp.Attrs {
+					if a.Key == "shard" {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("score-shard span without shard attr: %+v", sp)
+				}
+			}
+		}
+		if shardSpans == 0 {
+			t.Fatalf("placement trace with no per-shard spans: %+v", trc)
+		}
+	}
+	if placements != 6 {
+		t.Fatalf("%d placement traces, want 6", placements)
+	}
+}
+
+// TestNewValidation covers the config error paths.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("accepted zero servers")
+	}
+	if _, err := New(Config{NumServers: 4}); err == nil {
+		t.Fatal("accepted greedy mode without a scorer")
+	}
+	c, err := New(Config{NumServers: 2, ShardCount: 16, MaxPerServer: 1, Mode: ModeLeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.nShards != 2 {
+		t.Fatalf("shard count not clamped to fleet size: %d", c.nShards)
+	}
+}

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"fmt"
+
+	"gaugur/internal/obs"
+)
+
+// fleetMetrics holds the pre-resolved instruments for one Cluster. All
+// fields are nil when metrics are disabled (nil-safe instruments, same
+// contract as the rest of the repo), and nothing here ever feeds back
+// into placement decisions.
+type fleetMetrics struct {
+	placements  *obs.Counter
+	rejected    *obs.Counter
+	escapes     *obs.Counter
+	stealPlans  *obs.Counter
+	stolen      *obs.Counter
+	stealAborts *obs.Counter
+	active      *obs.Gauge
+	decision    *obs.StageTimer
+	// shardSessions carries one labelled gauge per shard so exposition
+	// shows the live balance across the fleet.
+	shardSessions []*obs.Gauge
+}
+
+func newFleetMetrics(r *obs.Registry, shards int) fleetMetrics {
+	if r == nil {
+		return fleetMetrics{shardSessions: make([]*obs.Gauge, shards)}
+	}
+	m := fleetMetrics{
+		placements: r.Counter("gaugur_fleet_placements_total",
+			"sessions placed through the sharded balancer"),
+		rejected: r.Counter("gaugur_fleet_rejected_total",
+			"arrivals no shard could take, escape hatch included"),
+		escapes: r.Counter("gaugur_fleet_escapes_total",
+			"full-scan escape hatch activations (all k sampled shards rejected)"),
+		stealPlans: r.Counter("gaugur_fleet_steal_plans_total",
+			"steal batches planned against a saturated shard"),
+		stolen: r.Counter("gaugur_fleet_stolen_sessions_total",
+			"sessions moved across shards by work stealing"),
+		stealAborts: r.Counter("gaugur_fleet_steal_aborts_total",
+			"steal plans dropped before completion (target filled or balance reached)"),
+		active: r.Gauge("gaugur_fleet_active_sessions",
+			"currently placed sessions across all shards"),
+		decision: r.Timer("gaugur_fleet_decision_seconds",
+			"wall-clock latency of one balancer placement decision"),
+		shardSessions: make([]*obs.Gauge, shards),
+	}
+	for i := range m.shardSessions {
+		m.shardSessions[i] = r.Gauge(
+			fmt.Sprintf("gaugur_fleet_shard_sessions{shard=%q}", fmt.Sprint(i)),
+			"sessions currently placed on this shard")
+	}
+	return m
+}

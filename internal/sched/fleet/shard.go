@@ -1,0 +1,369 @@
+package fleet
+
+import (
+	"math/rand"
+	"sort"
+
+	"gaugur/internal/sched"
+	"gaugur/internal/sim"
+)
+
+// A shard owns a contiguous slice of the fleet's servers and is the ONLY
+// goroutine that ever touches their state — the balancer talks to it
+// exclusively through its request channel, so shard state needs no locks
+// and the race detector has nothing to find. Each shard keeps:
+//
+//   - per-server contents (sorted game multisets) and session slots,
+//   - a state-group index: servers bucketed by occupant multiset, so a
+//     scoring pass costs O(distinct states), not O(servers) — at fleet
+//     scale thousands of servers collapse into a few dozen states,
+//   - its own generation-keyed score cache (hot swaps invalidate by
+//     key-tagging, exactly like sched.GreedyPolicyVersioned),
+//   - an idle heap over its non-full servers (O(1) capacity check and
+//     emptiest-server lookup).
+//
+// Scoring is two-phase: collect every state whose score is not cached,
+// score them all through one BatchScorer call (one blocked pass through
+// the compiled forest), then reduce to the best (delta, lowest global
+// server id) candidate. The reduce is order-independent, so Go's random
+// map iteration never changes the answer.
+
+// shardOp enumerates the balancer->shard requests.
+type shardOp int
+
+const (
+	opScore shardOp = iota
+	opCommit
+	opRemove
+	opVictims
+	opSnapshot
+)
+
+// shardReq is one balancer->shard message.
+type shardReq struct {
+	op     shardOp
+	game   int
+	genTag uint64
+	sid    int
+	server int // global server id (commit/remove)
+	n      int // victims: batch size
+	seed   int64
+}
+
+// victim is one session nominated for a steal move.
+type victim struct {
+	sid    int
+	game   int
+	server int // global server id it currently occupies
+}
+
+// shardResp is the shard's answer, sent on its dedicated reply channel.
+type shardResp struct {
+	ok      bool
+	server  int // global server id of the best candidate
+	delta   float64
+	scanned int // state groups considered
+	misses  int // scorer invocations (uncached states)
+	victims []victim
+	snap    [][]int
+}
+
+// group is one occupant-multiset bucket: the canonical sorted state plus
+// the sorted local indices of every server currently in it. members[0] is
+// the group's tie-break representative (lowest id).
+type group struct {
+	games   []int
+	members []int
+}
+
+type shard struct {
+	id      int
+	lo, hi  int // global server ids [lo, hi)
+	max     int
+	mode    Mode
+	scorer  BatchScorer
+	greedy  bool
+	reqs    chan shardReq
+	resp    chan shardResp
+	statesN int // steady count of distinct states, for diagnostics
+
+	contents [][]int // local idx -> sorted game multiset
+	slots    [][]int // local idx -> session ids aligned with contents
+	groups   map[uint64]*group
+	idle     *idleHeap
+	cache    *sched.ScoreCache
+
+	// scoring scratch, reused across requests
+	pendKeys   []uint64
+	pendStates [][]int
+	pendVals   []float64
+	order      []int // victim selection scratch
+}
+
+func newShard(id, lo, hi, max int, mode Mode, scorer BatchScorer, cacheCap int) *shard {
+	n := hi - lo
+	sh := &shard{
+		id: id, lo: lo, hi: hi, max: max,
+		mode:     mode,
+		scorer:   scorer,
+		greedy:   mode == ModeGreedy,
+		reqs:     make(chan shardReq, 1),
+		resp:     make(chan shardResp, 1),
+		contents: make([][]int, n),
+		slots:    make([][]int, n),
+		groups:   map[uint64]*group{},
+		idle:     newIdleHeap(n),
+		cache:    sched.NewScoreCache(cacheCap),
+	}
+	// All servers start in the empty group (hash 0).
+	g := &group{games: nil, members: make([]int, n)}
+	for i := range g.members {
+		g.members[i] = i
+	}
+	sh.groups[0] = g
+	return sh
+}
+
+// run is the shard dispatcher goroutine: one request at a time, state
+// confined, reply per request on the dedicated channel.
+func (sh *shard) run() {
+	for req := range sh.reqs {
+		switch req.op {
+		case opScore:
+			sh.resp <- sh.scoreBest(req.game, req.genTag)
+		case opCommit:
+			sh.commit(req.game, req.sid, req.server-sh.lo)
+			sh.resp <- shardResp{ok: true}
+		case opRemove:
+			sh.resp <- shardResp{ok: sh.remove(req.sid, req.server-sh.lo)}
+		case opVictims:
+			sh.resp <- shardResp{ok: true, victims: sh.pickVictims(req.n, req.seed)}
+		case opSnapshot:
+			snap := make([][]int, len(sh.contents))
+			for i, c := range sh.contents {
+				if len(c) > 0 {
+					snap[i] = append([]int(nil), c...)
+				}
+			}
+			sh.resp <- shardResp{ok: true, snap: snap}
+		}
+	}
+}
+
+// pendLookup finds key k in the pending (just-scored) list.
+func (sh *shard) pendLookup(k uint64) (float64, bool) {
+	for i, pk := range sh.pendKeys {
+		if pk == k {
+			return sh.pendVals[i], true
+		}
+	}
+	return 0, false
+}
+
+// stateVal returns the cached-or-pending score for key k; ok=false means
+// the state was never queued (cannot happen for keys queued this scan).
+func (sh *shard) stateVal(k uint64) (float64, bool) {
+	if v, ok := sh.cache.Lookup(k); ok {
+		return v, ok
+	}
+	return sh.pendLookup(k)
+}
+
+// queueMiss registers state (with cache key k) for the batch scoring pass
+// unless it is already cached or pending.
+func (sh *shard) queueMiss(k uint64, state []int) {
+	if _, ok := sh.cache.Lookup(k); ok {
+		return
+	}
+	if _, ok := sh.pendLookup(k); ok {
+		return
+	}
+	sh.pendKeys = append(sh.pendKeys, k)
+	sh.pendStates = append(sh.pendStates, state)
+}
+
+// scoreBest answers the balancer's candidate probe: the shard's best
+// placement for game under the current model generation, or ok=false when
+// the shard is saturated. Pure with respect to shard state (only the
+// score cache warms up), so concurrent probes of different shards commute.
+func (sh *shard) scoreBest(game int, genTag uint64) shardResp {
+	if sh.idle.empty() {
+		return shardResp{ok: false}
+	}
+	if !sh.greedy {
+		// Least-loaded: the idle heap's top IS the answer. Delta is the
+		// negated occupancy so the balancer's max-reduce picks the global
+		// minimum, tie-broken by server id exactly like the flat policy.
+		local := sh.idle.top()
+		return shardResp{
+			ok:     true,
+			server: sh.lo + local,
+			delta:  -float64(len(sh.contents[local])),
+		}
+	}
+
+	gh := sim.Mix64(uint64(game))
+	// Phase 1: gather every uncached state this scan needs — each
+	// eligible group's occupant state and its occupants+game candidate.
+	sh.pendKeys = sh.pendKeys[:0]
+	sh.pendStates = sh.pendStates[:0]
+	scanned := 0
+	for h, g := range sh.groups {
+		if len(g.members) == 0 || len(g.games) >= sh.max {
+			continue
+		}
+		scanned++
+		sh.queueMiss(h+gh+genTag, insertSorted(g.games, game))
+		if len(g.games) > 0 {
+			sh.queueMiss(h+genTag, g.games)
+		}
+	}
+	misses := len(sh.pendKeys)
+	if misses > 0 {
+		if cap(sh.pendVals) < misses {
+			sh.pendVals = make([]float64, misses)
+		}
+		sh.pendVals = sh.pendVals[:misses]
+		sh.scorer.ScoreStates(sh.pendStates, sh.pendVals)
+		for i, k := range sh.pendKeys {
+			sh.cache.Put(k, sh.pendVals[i])
+		}
+	}
+
+	// Phase 2: reduce to the best (delta, lowest server id). Values come
+	// from the cache or the still-live pending list (an overfull cache
+	// may already have evicted early puts), so map order cannot matter.
+	best, bestDelta, found := -1, 0.0, false
+	for h, g := range sh.groups {
+		if len(g.members) == 0 || len(g.games) >= sh.max {
+			continue
+		}
+		cand, ok := sh.stateVal(h + gh + genTag)
+		if !ok {
+			continue
+		}
+		delta := cand
+		if len(g.games) > 0 {
+			base, ok := sh.stateVal(h + genTag)
+			if !ok {
+				continue
+			}
+			delta -= base
+		}
+		srv := g.members[0]
+		if !found || delta > bestDelta || (delta == bestDelta && srv < best) {
+			found, best, bestDelta = true, srv, delta
+		}
+	}
+	if !found {
+		return shardResp{ok: false, scanned: scanned, misses: misses}
+	}
+	return shardResp{ok: true, server: sh.lo + best, delta: bestDelta, scanned: scanned, misses: misses}
+}
+
+// regroup moves local server idx from its current multiset group to the
+// one matching its (already mutated) contents.
+func (sh *shard) regroup(local int, oldHash uint64) {
+	og := sh.groups[oldHash]
+	i := sort.SearchInts(og.members, local)
+	og.members = append(og.members[:i], og.members[i+1:]...)
+	if len(og.members) == 0 {
+		delete(sh.groups, oldHash)
+	}
+	newHash := sched.MultisetHash(sh.contents[local])
+	ng := sh.groups[newHash]
+	if ng == nil {
+		ng = &group{games: append([]int(nil), sh.contents[local]...)}
+		sh.groups[newHash] = ng
+	}
+	j := sort.SearchInts(ng.members, local)
+	ng.members = append(ng.members, 0)
+	copy(ng.members[j+1:], ng.members[j:])
+	ng.members[j] = local
+	sh.statesN = len(sh.groups)
+}
+
+// commit admits session sid running game onto local server idx.
+func (sh *shard) commit(game, sid, local int) {
+	oldHash := sched.MultisetHash(sh.contents[local])
+	i := sort.SearchInts(sh.contents[local], game)
+	sh.contents[local] = insertAt(sh.contents[local], i, game)
+	sh.slots[local] = insertAt(sh.slots[local], i, sid)
+	sh.regroup(local, oldHash)
+	sh.idle.update(local, len(sh.contents[local]), sh.max)
+}
+
+// remove evicts session sid from local server idx; false when the session
+// is not there (a steal move racing a departure — the caller skips it).
+func (sh *shard) remove(sid, local int) bool {
+	at := -1
+	for i, id := range sh.slots[local] {
+		if id == sid {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return false
+	}
+	oldHash := sched.MultisetHash(sh.contents[local])
+	sh.contents[local] = append(sh.contents[local][:at:at], sh.contents[local][at+1:]...)
+	sh.slots[local] = append(sh.slots[local][:at:at], sh.slots[local][at+1:]...)
+	sh.regroup(local, oldHash)
+	sh.idle.update(local, len(sh.contents[local]), sh.max)
+	return true
+}
+
+// pickVictims nominates up to n sessions for a steal batch: servers are
+// visited from most to least loaded (lowest index first on ties) and the
+// evicted occupant on each is drawn by the seeded rng — deterministic for
+// a given (seed, shard state), so steal traffic replays byte-identically.
+func (sh *shard) pickVictims(n int, seed int64) []victim {
+	rng := rand.New(rand.NewSource(seed))
+	sh.order = sh.order[:0]
+	for i, c := range sh.contents {
+		if len(c) > 0 {
+			sh.order = append(sh.order, i)
+		}
+	}
+	sort.Slice(sh.order, func(a, b int) bool {
+		oa, ob := sh.order[a], sh.order[b]
+		if len(sh.contents[oa]) != len(sh.contents[ob]) {
+			return len(sh.contents[oa]) > len(sh.contents[ob])
+		}
+		return oa < ob
+	})
+	var out []victim
+	for _, local := range sh.order {
+		if len(out) >= n {
+			break
+		}
+		occ := len(sh.slots[local])
+		pick := rng.Intn(occ)
+		out = append(out, victim{
+			sid:    sh.slots[local][pick],
+			game:   sh.contents[local][pick],
+			server: sh.lo + local,
+		})
+	}
+	return out
+}
+
+// insertSorted returns a new sorted slice with g inserted.
+func insertSorted(games []int, g int) []int {
+	out := make([]int, 0, len(games)+1)
+	out = append(out, games...)
+	i := sort.SearchInts(out, g)
+	out = append(out, 0)
+	copy(out[i+1:], out[i:])
+	out[i] = g
+	return out
+}
+
+// insertAt returns a new slice with v inserted at index i.
+func insertAt(xs []int, i, v int) []int {
+	out := make([]int, 0, len(xs)+1)
+	out = append(out, xs[:i]...)
+	out = append(out, v)
+	return append(out, xs[i:]...)
+}

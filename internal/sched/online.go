@@ -119,68 +119,6 @@ type PolicyFunc func(contents [][]int, game int) (int, bool)
 // Place implements PlacementPolicy.
 func (f PolicyFunc) Place(contents [][]int, game int) (int, bool) { return f(contents, game) }
 
-// greedyCacheCap bounds GreedyPolicy's score memo. A week-long churn
-// stream visits unboundedly many distinct states, so the memo evicts FIFO
-// past this many entries instead of growing memory without limit.
-const greedyCacheCap = 1 << 14
-
-// multisetHash folds a game multiset into a 64-bit key by summing each
-// id through sim.Mix64. Addition commutes, so the hash is
-// order-invariant — hash(occupants ∪ {g}) is hash(occupants) +
-// Mix64(g), computable without materializing the candidate slice — and
-// the mixer spreads ids across the full word so sums of small ids do not
-// collide. The empty multiset hashes to zero.
-func multisetHash(games []int) uint64 {
-	var h uint64
-	for _, g := range games {
-		h += sim.Mix64(uint64(g))
-	}
-	return h
-}
-
-// scoreCache is a FIFO-bounded uint64->float64 memo. Eviction order never
-// affects results (the scorer is pure); the bound only caps memory. The
-// insertion order lives in a fixed ring, so every get — hit, insert, or
-// insert-with-eviction — is O(1) with no compaction pauses, and a hit
-// allocates nothing.
-type scoreCache struct {
-	limit int
-	m     map[uint64]float64
-	ring  []uint64 // insertion order; grows to limit, then overwrites
-	head  int      // oldest entry once the ring is full
-}
-
-func newScoreCache(limit int) *scoreCache {
-	if limit <= 0 {
-		limit = greedyCacheCap
-	}
-	return &scoreCache{limit: limit, m: make(map[uint64]float64)}
-}
-
-// get returns the memoized value for k, computing and (boundedly) storing
-// it on a miss.
-func (c *scoreCache) get(k uint64, miss func() float64) float64 {
-	if v, ok := c.m[k]; ok {
-		return v
-	}
-	v := miss()
-	if len(c.ring) < c.limit {
-		c.ring = append(c.ring, k)
-	} else {
-		// Full: overwrite the oldest ring slot in place.
-		delete(c.m, c.ring[c.head])
-		c.ring[c.head] = k
-		c.head++
-		if c.head == c.limit {
-			c.head = 0
-		}
-	}
-	c.m[k] = v
-	return v
-}
-
-func (c *scoreCache) len() int { return len(c.m) }
-
 // GreedyPolicy places each arrival on the server maximizing the predicted
 // total-FPS delta, honoring the capacity cap — the online form of the
 // Section 5.2 dispatcher. Scores are memoized per game multiset: with a
@@ -214,7 +152,7 @@ func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer, gen func() ui
 	if maxPerServer <= 0 {
 		maxPerServer = 4
 	}
-	cache := newScoreCache(greedyCacheCap)
+	cache := NewScoreCache(greedyCacheCap)
 	return PolicyFunc(func(contents [][]int, game int) (int, bool) {
 		span := t.Current().StartSpan("score-candidates", trace.Int("game", game))
 		evaluated, misses := 0, 0
@@ -235,7 +173,7 @@ func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer, gen func() ui
 		// slice the scorer needs.
 		scoreState := func(h uint64, occ []int, insert bool) float64 {
 			evaluated++
-			return cache.get(h, func() float64 {
+			return cache.Get(h, func() float64 {
 				misses++
 				games := occ
 				if insert {
@@ -253,7 +191,7 @@ func greedyPolicy(score Scorer, maxPerServer int, t *trace.Tracer, gen func() ui
 			if len(occ) >= maxPerServer {
 				continue
 			}
-			oh := multisetHash(occ) + genTag
+			oh := MultisetHash(occ) + genTag
 			delta := scoreState(oh+gh, occ, true)
 			if len(occ) > 0 {
 				delta -= scoreState(oh, occ, false)

@@ -266,15 +266,15 @@ func TestRunOnlineFaultsBeyondHorizon(t *testing.T) {
 // limit, and eviction must not change results.
 func TestScoreCacheCapHolds(t *testing.T) {
 	misses := 0
-	c := newScoreCache(4)
+	c := NewScoreCache(4)
 	get := func(k uint64) float64 {
-		return c.get(k, func() float64 { misses++; return float64(k) })
+		return c.Get(k, func() float64 { misses++; return float64(k) })
 	}
 	for k := uint64(1); k <= 10; k++ {
 		get(k)
 	}
-	if c.len() > 4 {
-		t.Fatalf("cache holds %d entries, cap is 4", c.len())
+	if c.Len() > 4 {
+		t.Fatalf("cache holds %d entries, cap is 4", c.Len())
 	}
 	if misses != 10 {
 		t.Fatalf("misses %d, want 10 distinct inserts", misses)
@@ -291,8 +291,8 @@ func TestScoreCacheCapHolds(t *testing.T) {
 	if misses != 11 {
 		t.Error("evicted key should miss")
 	}
-	if c.len() > 4 {
-		t.Errorf("cache grew past cap after churn: %d", c.len())
+	if c.Len() > 4 {
+		t.Errorf("cache grew past cap after churn: %d", c.Len())
 	}
 }
 
@@ -300,16 +300,16 @@ func TestScoreCacheCapHolds(t *testing.T) {
 // eviction replaces exactly the oldest entry and touches nothing else.
 func TestScoreCacheFullStillServesHits(t *testing.T) {
 	const cap = 8
-	c := newScoreCache(cap)
+	c := NewScoreCache(cap)
 	misses := 0
 	get := func(k uint64) float64 {
-		return c.get(k, func() float64 { misses++; return float64(k * 3) })
+		return c.Get(k, func() float64 { misses++; return float64(k * 3) })
 	}
 	for k := uint64(1); k <= cap; k++ {
 		get(k)
 	}
-	if c.len() != cap || misses != cap {
-		t.Fatalf("warmup: len %d misses %d, want %d each", c.len(), misses, cap)
+	if c.Len() != cap || misses != cap {
+		t.Fatalf("warmup: len %d misses %d, want %d each", c.Len(), misses, cap)
 	}
 	// Every resident key hits, repeatedly, with the cache full.
 	for round := 0; round < 3; round++ {
@@ -332,21 +332,21 @@ func TestScoreCacheFullStillServesHits(t *testing.T) {
 	if misses != cap+2 {
 		t.Fatalf("oldest key should have been evicted: misses=%d", misses)
 	}
-	if c.len() > cap {
-		t.Fatalf("cache len %d past cap %d", c.len(), cap)
+	if c.Len() > cap {
+		t.Fatalf("cache len %d past cap %d", c.Len(), cap)
 	}
 }
 
 // Eviction is O(1) in-place ring overwrite: no auxiliary structure grows
 // with churn, however far past the cap the stream runs.
 func TestScoreCacheEvictionConstantSpace(t *testing.T) {
-	c := newScoreCache(3)
+	c := NewScoreCache(3)
 	for i := uint64(0); i < 1000; i++ {
 		k := i
-		c.get(k, func() float64 { return float64(k) })
+		c.Get(k, func() float64 { return float64(k) })
 	}
-	if c.len() > 3 {
-		t.Errorf("cache len %d after heavy churn, cap 3", c.len())
+	if c.Len() > 3 {
+		t.Errorf("cache len %d after heavy churn, cap 3", c.Len())
 	}
 	if len(c.ring) != 3 || cap(c.ring) > 8 {
 		t.Errorf("ring grew with churn: len %d cap %d, want len 3", len(c.ring), cap(c.ring))

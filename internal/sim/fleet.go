@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fleet-scale cluster generation: deterministic shard partitioning of a
+// server space and a flash-crowd arrival process. The sharded dispatcher
+// (internal/sched/fleet) and its experiments both build on these, so they
+// live with the rest of the simulation substrate.
+
+// Partition splits n items into parts contiguous ranges [lo, hi), spreading
+// the remainder over the leading ranges so sizes differ by at most one.
+// Every range is non-empty; parts is clamped to [1, n]. The layout is a
+// pure function of (n, parts), so shard ownership is reproducible across
+// runs and processes.
+func Partition(n, parts int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if parts <= 0 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, parts)
+	base, rem := n/parts, n%parts
+	lo := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return out
+}
+
+// CrowdPeak is one flash-crowd episode: between At and At+Duration the
+// arrival rate is multiplied by Factor. Overlapping peaks multiply.
+type CrowdPeak struct {
+	At       float64
+	Duration float64
+	Factor   float64
+}
+
+// FlashCrowd is a piecewise-constant-rate (non-homogeneous Poisson)
+// arrival process: a base rate plus multiplicative crowd peaks. It models
+// the fleet-scale regime where load is not stationary — a launch-day
+// spike, an evening surge — which is exactly when candidate-sampling
+// dispatch has to hold its latency bound.
+type FlashCrowd struct {
+	// Base is the stationary arrival rate (arrivals per unit time); must
+	// be positive.
+	Base float64
+	// Peaks are the crowd episodes, in any order.
+	Peaks []CrowdPeak
+}
+
+// Validate checks the process is well-formed.
+func (f FlashCrowd) Validate() error {
+	if f.Base <= 0 {
+		return fmt.Errorf("sim: flash crowd needs a positive base rate")
+	}
+	for _, p := range f.Peaks {
+		if p.Duration <= 0 || p.Factor <= 0 {
+			return fmt.Errorf("sim: crowd peak needs positive duration and factor")
+		}
+	}
+	return nil
+}
+
+// Rate reports the instantaneous arrival rate at time t.
+func (f FlashCrowd) Rate(t float64) float64 {
+	r := f.Base
+	for _, p := range f.Peaks {
+		if t >= p.At && t < p.At+p.Duration {
+			r *= p.Factor
+		}
+	}
+	return r
+}
+
+// boundaries returns the sorted distinct times at which the rate changes.
+func (f FlashCrowd) boundaries() []float64 {
+	bs := make([]float64, 0, 2*len(f.Peaks))
+	for _, p := range f.Peaks {
+		bs = append(bs, p.At, p.At+p.Duration)
+	}
+	sort.Float64s(bs)
+	out := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Next samples the next arrival time strictly after now. The rate is
+// piecewise constant, so sampling is exact (no thinning): draw an
+// exponential gap at the current segment's rate and, when it crosses the
+// segment boundary, restart from the boundary with the next segment's
+// rate — the standard inversion for piecewise-homogeneous processes. The
+// draw sequence depends only on (now, rng state), so runs are seeded-
+// deterministic.
+func (f FlashCrowd) Next(now float64, rng *rand.Rand) float64 {
+	bs := f.boundaries()
+	t := now
+	for {
+		r := f.Rate(t)
+		gap := rng.ExpFloat64() / r
+		// Find the first rate boundary strictly after t.
+		next := -1.0
+		for _, b := range bs {
+			if b > t {
+				next = b
+				break
+			}
+		}
+		if next < 0 || t+gap <= next {
+			return t + gap
+		}
+		t = next
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartitionCoversAndBalances(t *testing.T) {
+	cases := []struct{ n, parts int }{
+		{1, 1}, {10, 1}, {10, 3}, {10, 10}, {10, 99}, {10000, 16}, {7, 4},
+	}
+	for _, c := range cases {
+		ranges := Partition(c.n, c.parts)
+		want := c.parts
+		if want > c.n {
+			want = c.n
+		}
+		if want < 1 {
+			want = 1
+		}
+		if len(ranges) != want {
+			t.Fatalf("Partition(%d,%d): %d ranges, want %d", c.n, c.parts, len(ranges), want)
+		}
+		lo, minSz, maxSz := 0, c.n, 0
+		for _, r := range ranges {
+			if r[0] != lo {
+				t.Fatalf("Partition(%d,%d): gap at %v (expected lo %d)", c.n, c.parts, r, lo)
+			}
+			sz := r[1] - r[0]
+			if sz <= 0 {
+				t.Fatalf("Partition(%d,%d): empty range %v", c.n, c.parts, r)
+			}
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			lo = r[1]
+		}
+		if lo != c.n {
+			t.Fatalf("Partition(%d,%d): covers [0,%d), want [0,%d)", c.n, c.parts, lo, c.n)
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("Partition(%d,%d): sizes spread %d..%d, want within 1", c.n, c.parts, minSz, maxSz)
+		}
+	}
+	if Partition(0, 4) != nil {
+		t.Error("Partition(0, 4) should be nil")
+	}
+}
+
+func TestFlashCrowdRateAndValidate(t *testing.T) {
+	f := FlashCrowd{Base: 2, Peaks: []CrowdPeak{{At: 10, Duration: 5, Factor: 3}}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Rate(5); got != 2 {
+		t.Errorf("rate before peak = %v, want 2", got)
+	}
+	if got := f.Rate(12); got != 6 {
+		t.Errorf("rate inside peak = %v, want 6", got)
+	}
+	if got := f.Rate(15); got != 2 {
+		t.Errorf("rate after peak = %v, want 2", got)
+	}
+	if (FlashCrowd{}).Validate() == nil {
+		t.Error("zero base rate should not validate")
+	}
+	if (FlashCrowd{Base: 1, Peaks: []CrowdPeak{{Factor: 2}}}).Validate() == nil {
+		t.Error("zero-duration peak should not validate")
+	}
+}
+
+// TestFlashCrowdIntensity checks the sampled process actually concentrates
+// arrivals inside the peak at roughly the configured multiplier, and that
+// the draw sequence is seeded-deterministic.
+func TestFlashCrowdIntensity(t *testing.T) {
+	f := FlashCrowd{Base: 10, Peaks: []CrowdPeak{{At: 100, Duration: 100, Factor: 4}}}
+	count := func(seed int64) (in, out int, last float64) {
+		rng := rand.New(rand.NewSource(seed))
+		now := 0.0
+		for now < 300 {
+			now = f.Next(now, rng)
+			if now >= 300 {
+				break
+			}
+			if now >= 100 && now < 200 {
+				in++
+			} else {
+				out++
+			}
+			last = now
+		}
+		return in, out, last
+	}
+	in, out, last := count(7)
+	// Expectation: 4000 arrivals inside the 100-long peak vs 2000 over the
+	// 200 stationary units. Bounds are loose (±20%) to stay robust.
+	if in < 3200 || in > 4800 {
+		t.Errorf("peak arrivals = %d, want ~4000", in)
+	}
+	if out < 1600 || out > 2400 {
+		t.Errorf("off-peak arrivals = %d, want ~2000", out)
+	}
+	in2, out2, last2 := count(7)
+	if in != in2 || out != out2 || last != last2 {
+		t.Errorf("same seed produced different draws: (%d,%d,%v) vs (%d,%d,%v)", in, out, last, in2, out2, last2)
+	}
+}

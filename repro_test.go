@@ -20,7 +20,7 @@ func TestEveryPaperFigureHasABenchmark(t *testing.T) {
 		"fig10a": true, "fig10b": true, "overhead": true,
 		"ext-conservative": true, "ext-encoder": true, "ext-delay": true,
 		"ext-cf": true, "ext-churn": true, "ext-hetero": true, "ext-faults": true,
-		"ext-lifecycle": true,
+		"ext-lifecycle": true, "ext-fleet": true,
 		"abl-aggregate": true, "abl-log": true, "abl-k": true, "abl-noise": true,
 	}
 	for _, id := range experiments.IDs() {
