@@ -7,7 +7,7 @@ GO ?= go
 # to make a failing build pass.
 COVER_MIN ?= 75
 
-.PHONY: build test vet race bench bench-json bench-check lifecycle-e2e verify fmt fmt-check cover lint vulncheck tidy-check
+.PHONY: build test vet race bench bench-json bench-check lifecycle-e2e serve-smoke verify fmt fmt-check cover lint vulncheck tidy-check
 
 # Relative slowdown bench-check tolerates before failing, in percent.
 # Benchmarks at -benchtime 1x are noisy; 30% separates "regressed" from
@@ -40,17 +40,23 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-json runs the offline-pipeline, batch-prediction, sharded fleet
-# dispatch, and tracing-overhead benchmarks and snapshots their ns/op into
-# BENCH_pipeline.json, the artifact CI archives to track the perf
-# trajectory. The -N GOMAXPROCS suffix is stripped so keys stay stable
-# across runners.
+# dispatch, admission-pipeline, and tracing-overhead benchmarks and
+# snapshots their figures into BENCH_pipeline.json, the artifact CI
+# archives to track the perf trajectory. Besides ns/op, every
+# b.ReportMetric figure is published under a sanitized key
+# (placements/s -> _placements_per_s), so the admission benchmarks'
+# p50/p99 latency and placement throughput land in the baseline too. The
+# -N GOMAXPROCS suffix is stripped so keys stay stable across runners.
 bench-json:
 	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch|BenchmarkOnlinePlacement|BenchmarkTraceOverhead|BenchmarkHotSwap' \
 		-benchtime 1x -run '^$$' . > bench_pipeline.txt
 	$(GO) test -bench 'BenchmarkFleetDispatch$$' -benchtime 5x -run '^$$' . >> bench_pipeline.txt
+	$(GO) test -bench 'BenchmarkAdmissionPipeline$$|BenchmarkAdmissionSingleton$$' -benchtime 10x -run '^$$' . >> bench_pipeline.txt
 	cat bench_pipeline.txt
 	awk 'BEGIN { print "{" } \
-		/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); if (n++) printf ",\n"; printf "  \"%s_ns_op\": %s", $$1, $$3 } \
+		/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); \
+			if (n++) printf ",\n"; printf "  \"%s_ns_op\": %s", $$1, $$3; \
+			for (i = 5; i < NF; i += 2) { u = $$(i+1); gsub(/\//, "_per_", u); printf ",\n  \"%s_%s\": %s", $$1, u, $$i } } \
 		END { print "\n}" }' bench_pipeline.txt > BENCH_pipeline.json
 	cat BENCH_pipeline.json
 
@@ -63,13 +69,19 @@ bench-json:
 # PredictBatch and HotSwap run 20 iterations (a single shot of a
 # millisecond-scale kernel jitters past any sane tolerance); FleetDispatch
 # amortizes 2048 placements per iteration so 5 are enough; TrainPipeline
-# is seconds long and stable at one. The baseline file is read, never
-# rewritten — run `make bench-json` deliberately to move it.
+# is seconds long and stable at one; the admission pair amortizes 2048
+# arrivals per iteration so 10 are enough. Beyond the ns/op deltas, the
+# guard asserts the coalescing design's headline invariant within the
+# fresh run itself (so runner speed cancels out): the batched admission
+# pipeline must place at >= 2x the singleton arm's placements/sec. The
+# baseline file is read, never rewritten — run `make bench-json`
+# deliberately to move it.
 bench-check:
 	@test -f BENCH_pipeline.json || { echo "BENCH_pipeline.json baseline missing; run make bench-json and commit it"; exit 1; }
 	$(GO) test -bench 'BenchmarkPredictBatch$$|BenchmarkHotSwap$$' -benchtime 20x -run '^$$' . > bench_check.txt
 	$(GO) test -bench 'BenchmarkFleetDispatch$$' -benchtime 5x -run '^$$' . >> bench_check.txt
 	$(GO) test -bench 'BenchmarkTrainPipeline$$' -benchtime 1x -run '^$$' . >> bench_check.txt
+	$(GO) test -bench 'BenchmarkAdmissionPipeline$$|BenchmarkAdmissionSingleton$$' -benchtime 10x -run '^$$' . >> bench_check.txt
 	@cat bench_check.txt
 	@awk -v tol=$(BENCH_TOLERANCE) ' \
 		FNR == 1 { f++ } \
@@ -81,9 +93,10 @@ bench-check:
 		f == 2 && /^Benchmark/ { \
 			key = $$1; sub(/-[0-9]+$$/, "", key); \
 			cur[key "_ns_op"] = $$3; \
+			for (i = 5; i < NF; i += 2) { u = $$(i+1); gsub(/\//, "_per_", u); cur[key "_" u] = $$i } \
 		} \
 		END { \
-			n = split("BenchmarkPredictBatch_ns_op BenchmarkHotSwap_ns_op BenchmarkFleetDispatch_ns_op BenchmarkTrainPipeline_ns_op", guard, " "); \
+			n = split("BenchmarkPredictBatch_ns_op BenchmarkHotSwap_ns_op BenchmarkFleetDispatch_ns_op BenchmarkTrainPipeline_ns_op BenchmarkAdmissionPipeline_ns_op", guard, " "); \
 			fail = 0; \
 			for (i = 1; i <= n; i++) { \
 				k = guard[i]; \
@@ -91,6 +104,14 @@ bench-check:
 				pct = (cur[k] - base[k]) * 100.0 / base[k]; \
 				printf "bench-check: %-36s base=%s fresh=%s delta=%+.1f%%\n", k, base[k], cur[k], pct; \
 				if (pct > tol) { printf "bench-check: %s regressed beyond %d%% tolerance\n", k, tol; fail = 1; } \
+			} \
+			ps = cur["BenchmarkAdmissionPipeline_placements_per_s"] + 0; \
+			ss = cur["BenchmarkAdmissionSingleton_placements_per_s"] + 0; \
+			if (ps <= 0 || ss <= 0) { print "bench-check: admission placements/s missing from fresh run"; fail = 1; } \
+			else { \
+				ratio = ps / ss; \
+				printf "bench-check: admission coalescing = %.2fx singleton (%.0f vs %.0f placements/s)\n", ratio, ps, ss; \
+				if (ratio < 2.0) { print "bench-check: coalesced admission fell below the 2x-over-singleton bar"; fail = 1; } \
 			} \
 			exit fail; \
 		}' BENCH_pipeline.json bench_check.txt
@@ -103,6 +124,30 @@ bench-check:
 # lifecycle.
 lifecycle-e2e:
 	$(GO) test -run 'TestLifecycleRecoversFromPerturbedPhysics|TestDriftAlarmPerturbedPhysics' -v ./internal/core/
+
+# serve-smoke proves the admission front end end to end through the real
+# binary: build gaugur, boot `serve -demo` on a throwaway port, replay a
+# flash-crowd arrival trace over the wire with loadgen (which exits
+# non-zero if any request errors), then SIGTERM the server and require a
+# graceful drain. The subshell traps EXIT so the server never outlives a
+# failed run.
+serve-smoke:
+	$(GO) build -o bin/gaugur ./cmd/gaugur
+	@set -e; \
+	./bin/gaugur serve -demo -addr 127.0.0.1:18080 -queue-cap 1024 > serve_smoke.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18080/healthz >/dev/null 2>&1; then break; fi; \
+		[ "$$i" = 50 ] && { echo "serve-smoke: server never became ready"; cat serve_smoke.log; exit 1; }; \
+		sleep 0.2; \
+	done; \
+	./bin/gaugur loadgen -target http://127.0.0.1:18080 -rps 300 -horizon 4 -time-scale 4 -crowd-at 1 -crowd-duration 1; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "serve-smoke: server exited non-zero"; cat serve_smoke.log; exit 1; }; \
+	trap - EXIT; \
+	grep -q "drained clean" serve_smoke.log || { echo "serve-smoke: no clean drain"; cat serve_smoke.log; exit 1; }; \
+	echo "serve-smoke: OK"; tail -2 serve_smoke.log
 
 # fmt rewrites every tracked Go file in place; fmt-check is the CI gate
 # that fails (and lists offenders) when anything is unformatted.

@@ -1,0 +1,127 @@
+package gaugur_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"gaugur/internal/sched/fleet"
+	"gaugur/internal/serve"
+)
+
+// benchAdmission drives the coalescing admission pipeline in-process (no
+// sockets): 32 concurrent producers admit sessions against the trained
+// predictor and then leave them, so one iteration is a full
+// place-and-drain cycle and the fleet returns to empty. window=16 is the
+// coalescing path (cross-request batches fill the 16-wide compiled
+// kernel and share probe results); window=1 is the singleton baseline
+// (same pipeline, queue, and threads — only the coalescing differs).
+//
+// CacheCap is deliberately small and identical in both arms: a fleet
+// under churn, diverse colocations, or periodic model hot swaps cannot
+// absorb scoring into the memo, and that scoring regime — not the
+// cache-warm fast path — is what the batch kernel exists for.
+func benchAdmission(b *testing.B, window int) {
+	env := benchEnv(b)
+	p, err := env.GAugur(env.Cfg.QoSHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		servers     = 10240
+		shards      = 16
+		k           = 8
+		producers   = 128
+		perProducer = 16
+	)
+	c, err := fleet.New(fleet.Config{
+		NumServers:   servers,
+		ShardCount:   shards,
+		MaxPerServer: 4,
+		K:            k,
+		Seed:         1,
+		Scorer:       fleet.NewPredictorScorer(p),
+		CacheCap:     256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	pipe, err := serve.NewPipeline(serve.PipelineConfig{
+		Cluster:     c,
+		BatchWindow: window,
+		QueueCap:    1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pipe.Close()
+	ids := env.TenGames()
+
+	var mu sync.Mutex
+	var lats []time.Duration
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		game := ids[i%len(ids)]
+		sidCh := make(chan []int, producers)
+		var wg sync.WaitGroup
+		for w := 0; w < producers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sids := make([]int, 0, perProducer)
+				local := make([]time.Duration, 0, perProducer)
+				for j := 0; j < perProducer; j++ {
+					t0 := time.Now()
+					pl, err := pipe.Admit(game)
+					local = append(local, time.Since(t0))
+					if err != nil {
+						b.Errorf("admit: %v", err)
+						return
+					}
+					sids = append(sids, pl.Session)
+				}
+				sidCh <- sids
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		// Drain the fleet outside the timer: the departures are fixture
+		// reset between iterations, not the admission path under test.
+		b.StopTimer()
+		close(sidCh)
+		for sids := range sidCh {
+			for _, sid := range sids {
+				if !c.Remove(sid) {
+					b.Fatalf("remove: unknown session %d", sid)
+				}
+			}
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+
+	arrivals := float64(b.N) * producers * perProducer
+	b.ReportMetric(arrivals/b.Elapsed().Seconds(), "placements/s")
+	st := c.Stats()
+	b.ReportMetric(float64(st.ScoreProbes)/arrivals, "probes/arrival")
+	b.ReportMetric(float64(st.Scanned)/arrivals, "scanned/arrival")
+	b.ReportMetric(float64(st.CacheMisses)/arrivals, "misses/arrival")
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		b.ReportMetric(float64(lats[len(lats)/2].Nanoseconds()), "p50_ns")
+		b.ReportMetric(float64(lats[len(lats)*99/100].Nanoseconds()), "p99_ns")
+	}
+}
+
+// BenchmarkAdmissionPipeline: coalesced batches at full kernel occupancy.
+func BenchmarkAdmissionPipeline(b *testing.B) { benchAdmission(b, 16) }
+
+// BenchmarkAdmissionSingleton: the same pipeline with coalescing off —
+// every arrival is its own dispatch and its own under-filled kernel call.
+// The acceptance bar for the coalescing design is Pipeline >= 2x this.
+func BenchmarkAdmissionSingleton(b *testing.B) { benchAdmission(b, 1) }

@@ -31,6 +31,8 @@ func cmdFleet(args []string) error {
 	workSeed := fs.Int64("workload-seed", 29, "arrival stream seed")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address during the run")
 	metricsHold := fs.Duration("metrics-hold", 0, "keep the metrics endpoint open this long after the run")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,6 +40,10 @@ func cmdFleet(args []string) error {
 		return fmt.Errorf("fleet: -games is required")
 	}
 	reg, tracer, stopMetrics, err := startMetrics(*metricsAddr, *seed)
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		return err
 	}
@@ -100,6 +106,7 @@ func cmdFleet(args []string) error {
 		st.Escapes, st.StealPlans, st.StolenSessions, st.StealAborts)
 	fmt.Printf("score probes %d  state groups scanned %d  cache misses %d\n",
 		st.ScoreProbes, st.Scanned, st.CacheMisses)
+	stopProfiles()
 	stopMetrics(*metricsHold)
 	return nil
 }

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
+	"gaugur/internal/sched/fleet"
+	"gaugur/internal/serve"
+	"gaugur/internal/sim"
+)
+
+// cmdServe runs the streaming admission front end: an HTTP/JSON (and
+// optionally binary) API over the sharded fleet dispatcher, with the
+// coalescing pipeline batching concurrent arrivals into full-width
+// compiled-kernel calls. The obs surface (metrics, pprof, traces) rides
+// the same mux.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address (host:0 picks a port)")
+	binAddr := fs.String("binary-addr", "", "also serve the length-prefixed binary protocol on this address")
+	demo := fs.Bool("demo", false, "score with the synthetic demo physics instead of a trained model")
+	catalogSeed := fs.Int64("catalog-seed", 42, "catalog generation seed")
+	serverSeed := fs.Int64("server-seed", 7, "measurement noise seed")
+	profiles := fs.String("profiles", "profiles.json", "profile set path (ignored with -demo)")
+	model := fs.String("model", "model.gob", "trained predictor path (ignored with -demo)")
+	servers := fs.Int("servers", 1024, "fleet size")
+	shards := fs.Int("shards", 8, "shard count")
+	k := fs.Int("k", 2, "shards sampled per arrival")
+	maxPer := fs.Int("max-per-server", 4, "colocation cap per server")
+	steal := fs.Float64("steal-threshold", 0, "donor utilization that triggers work stealing (0 disables)")
+	seed := fs.Int64("seed", 17, "balancer seed")
+	window := fs.Int("batch-window", 16, "max arrivals coalesced per dispatch (1 = singleton submission)")
+	delay := fs.Duration("batch-delay", 200*time.Microsecond, "how long to wait filling a batch (0 = drain-only)")
+	queueCap := fs.Int("queue-cap", 256, "admission queue bound (full queue answers 429)")
+	duration := fs.Duration("duration", 0, "serve this long then drain (0 = until SIGINT/SIGTERM)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at drain to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := obs.New()
+	tracer := trace.New(trace.Config{Seed: sim.DeriveSeed(*seed, "trace", 0)})
+
+	var scorer fleet.BatchScorer
+	if *demo {
+		scorer = fleet.ScorerFunc(func(games []int) float64 {
+			total := 0.0
+			for _, fps := range demoEval(games) {
+				total += fps
+			}
+			return total
+		})
+	} else {
+		lab, err := loadWorld(*catalogSeed, *serverSeed, *profiles)
+		if err != nil {
+			return err
+		}
+		p, err := loadPredictor(lab, *model, reg)
+		if err != nil {
+			return err
+		}
+		scorer = fleet.NewPredictorScorer(p)
+	}
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+
+	c, err := fleet.New(fleet.Config{
+		NumServers:     *servers,
+		ShardCount:     *shards,
+		MaxPerServer:   *maxPer,
+		K:              *k,
+		Seed:           *seed,
+		Scorer:         scorer,
+		StealThreshold: *steal,
+		Metrics:        reg,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	pipe, err := serve.NewPipeline(serve.PipelineConfig{
+		Cluster:     c,
+		BatchWindow: *window,
+		BatchDelay:  *delay,
+		QueueCap:    *queueCap,
+		Metrics:     reg,
+		Tracer:      tracer,
+	})
+	if err != nil {
+		return err
+	}
+	th := trace.Handler(tracer.Store())
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Pipeline: pipe,
+		Registry: reg,
+		Extra: []obs.Mount{
+			{Pattern: "/debug/traces", Handler: th},
+			{Pattern: "/debug/traces/", Handler: th},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Printf("admission API + obs surface on http://%s (batch window %d, delay %s, queue %d)\n",
+		srv.Addr(), *window, *delay, *queueCap)
+	if *binAddr != "" {
+		if err := srv.StartBinary(*binAddr); err != nil {
+			return err
+		}
+		fmt.Printf("binary admission protocol on %s\n", srv.BinaryAddr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *duration > 0 {
+		select {
+		case <-time.After(*duration):
+			fmt.Println("duration elapsed, draining")
+		case s := <-sig:
+			fmt.Printf("%s, draining\n", s)
+		}
+	} else {
+		fmt.Println("serving until SIGINT/SIGTERM")
+		s := <-sig
+		fmt.Printf("%s, draining\n", s)
+	}
+	signal.Stop(sig)
+
+	if err := srv.Shutdown(); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	stopProfiles()
+	st := pipe.Stats()
+	fmt.Printf("drained clean: placed %d  rejected %d  removed %d  still active %d\n",
+		st.Placed, st.Rejected, st.Removed, st.Active)
+	fmt.Printf("escapes %d  stolen %d  score probes %d  cache misses %d\n",
+		st.Escapes, st.StolenSessions, st.ScoreProbes, st.CacheMisses)
+	return nil
+}
+
+// cmdLoadgen replays a sim.FlashCrowd arrival trace against a running
+// admission server, over the wire, and reports admission latency
+// percentiles and placements/sec.
+func cmdLoadgen(args []string) error {
+	fs := newFlagSet("loadgen")
+	target := fs.String("target", "http://127.0.0.1:8080", "server base URL (or host:port with -binary)")
+	binaryProto := fs.Bool("binary", false, "use the length-prefixed binary protocol")
+	rps := fs.Float64("rps", 500, "base arrival rate (requests/sec, simulated time)")
+	crowdAt := fs.Float64("crowd-at", 2, "flash crowd start (seconds)")
+	crowdDur := fs.Float64("crowd-duration", 2, "flash crowd duration (seconds)")
+	crowdX := fs.Float64("crowd-factor", 3, "flash crowd rate multiplier (<= 1 disables)")
+	horizon := fs.Float64("horizon", 8, "trace duration (simulated seconds)")
+	timeScale := fs.Float64("time-scale", 1, "simulated seconds per wall second (2 = replay twice as fast)")
+	hold := fs.Float64("hold", 4, "mean session lifetime (simulated seconds, 0 = stay until the end)")
+	gameIDs := fs.String("game-ids", "0,1,2,3,4,5,6,7,8,9", "comma-separated game ids to draw arrivals from")
+	workers := fs.Int("workers", 32, "concurrent in-flight requests")
+	seed := fs.Int64("seed", 23, "arrival trace seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	games, err := parseIntList(*gameIDs)
+	if err != nil {
+		return fmt.Errorf("loadgen: -game-ids: %w", err)
+	}
+
+	crowd := sim.FlashCrowd{Base: *rps}
+	if *crowdX > 1 {
+		crowd.Peaks = []sim.CrowdPeak{{At: *crowdAt, Duration: *crowdDur, Factor: *crowdX}}
+	}
+	fmt.Printf("replaying %.0f rps for %.0fs against %s", *rps, *horizon, *target)
+	if *crowdX > 1 {
+		fmt.Printf(", flash crowd x%.1f at t=%.0fs for %.0fs", *crowdX, *crowdAt, *crowdDur)
+	}
+	fmt.Println()
+
+	res, err := serve.RunLoadGen(serve.LoadGenConfig{
+		Target:    *target,
+		Binary:    *binaryProto,
+		Crowd:     crowd,
+		Horizon:   *horizon,
+		TimeScale: *timeScale,
+		MeanHold:  *hold,
+		Games:     games,
+		Seed:      *seed,
+		Workers:   *workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if res.Errors > 0 {
+		return fmt.Errorf("loadgen: %d requests errored", res.Errors)
+	}
+	return nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty id list")
+	}
+	return out, nil
+}

@@ -115,7 +115,7 @@ func rootAttr(tr trace.Trace, key string) string {
 		}
 		for _, a := range sp.Attrs {
 			if a.Key == key {
-				return a.Value
+				return a.Value()
 			}
 		}
 	}
@@ -134,7 +134,7 @@ func printSpanTree(tr trace.Trace) {
 		for _, sp := range children[id] {
 			fmt.Printf("  %*s%s (%s)", 2*depth, "", sp.Name, time.Duration(sp.EndNS-sp.StartNS))
 			for _, a := range sp.Attrs {
-				fmt.Printf(" %s=%s", a.Key, a.Value)
+				fmt.Printf(" %s=%s", a.Key, a.Value())
 			}
 			fmt.Println()
 			walk(sp.SpanID, depth+1)

@@ -49,6 +49,10 @@ func main() {
 		err = cmdLifecycle(args)
 	case "onboard":
 		err = cmdOnboard(args)
+	case "serve":
+		err = cmdServe(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	case "serve-metrics":
 		err = cmdServeMetrics(args)
 	case "trace":
@@ -76,6 +80,11 @@ commands:
   churn     simulate an online arrival/departure stream against the model
   fleet     drive a flash-crowd stream through the sharded dispatch plane
             (k-choices balancing, per-shard dispatchers, work stealing)
+  serve     run the streaming admission front end: HTTP/JSON (+ optional
+            binary) API over the sharded fleet, coalescing concurrent
+            arrivals into full-width batch-kernel dispatches
+  loadgen   replay a flash-crowd arrival trace against a running serve
+            instance and report p50/p99 admission latency + placements/sec
   faults    churn under injected crashes, spikes, and prediction dropouts
   lifecycle run the self-healing loop against drifted physics: drift alarm,
             incremental retrain, shadow evaluation, hot swap, rollback

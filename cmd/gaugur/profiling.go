@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles begins CPU profiling when cpu is non-empty and returns a
+// stop function that ends it and, when mem is non-empty, writes a heap
+// profile — so hot-path profiles can be captured from a finite run
+// without attaching to the pprof endpoint.
+func startProfiles(cpu, mem string) (func(), error) {
+	stopCPU := func() {}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile written to %s\n", cpu)
+		}
+	}
+	return func() {
+		stopCPU()
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			log.Printf("memprofile: %v", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize only live allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Printf("memprofile: %v", err)
+			return
+		}
+		fmt.Printf("heap profile written to %s\n", mem)
+	}, nil
+}

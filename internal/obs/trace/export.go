@@ -112,7 +112,7 @@ func ToChromeEvents(traces []Trace) []ChromeEvent {
 		for _, sp := range tr.Spans {
 			args := make(map[string]string, len(sp.Attrs)+2)
 			for _, a := range sp.Attrs {
-				args[a.Key] = a.Value
+				args[a.Key] = a.Value()
 			}
 			args["span_id"] = FormatID(sp.SpanID)
 			args["trace_id"] = FormatID(tr.ID)

@@ -22,6 +22,8 @@
 package trace
 
 import (
+	"encoding/json"
+	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -38,29 +40,87 @@ func realClock() Clock {
 	return func() int64 { return int64(time.Since(base)) }
 }
 
-// Attr is one span annotation. Values are pre-rendered strings so export is
-// allocation-predictable and deterministic.
+// attrKind tags which representation an Attr carries.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// Attr is one span annotation. Construction stores the raw value and
+// defers strconv rendering to export time, so building attributes for an
+// inert (nil-tracer) Ctx costs no formatting and no allocation — the
+// price instrumented hot paths pay with tracing off is a struct copy.
+// Rendering stays deterministic: Value always formats the same bits the
+// same way. Attr is comparable; equal inputs build equal attrs.
 type Attr struct {
+	Key  string
+	str  string
+	bits uint64
+	kind attrKind
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, str: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, bits: uint64(int64(v)), kind: attrInt} }
+
+// Int64 builds a 64-bit integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, bits: uint64(v), kind: attrInt} }
+
+// Float builds a float attribute rendered with %g precision.
+func Float(k string, v float64) Attr {
+	return Attr{Key: k, bits: math.Float64bits(v), kind: attrFloat}
+}
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr {
+	var b uint64
+	if v {
+		b = 1
+	}
+	return Attr{Key: k, bits: b, kind: attrBool}
+}
+
+// Value renders the attribute's value as a string.
+func (a Attr) Value() string {
+	switch a.kind {
+	case attrInt:
+		return strconv.FormatInt(int64(a.bits), 10)
+	case attrFloat:
+		return strconv.FormatFloat(math.Float64frombits(a.bits), 'g', -1, 64)
+	case attrBool:
+		return strconv.FormatBool(a.bits != 0)
+	default:
+		return a.str
+	}
+}
+
+// attrJSON is the wire shape exports have always used.
+type attrJSON struct {
 	Key   string `json:"key"`
 	Value string `json:"value"`
 }
 
-// String builds a string attribute.
-func String(k, v string) Attr { return Attr{Key: k, Value: v} }
-
-// Int builds an integer attribute.
-func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
-
-// Int64 builds a 64-bit integer attribute.
-func Int64(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
-
-// Float builds a float attribute rendered with %g precision.
-func Float(k string, v float64) Attr {
-	return Attr{Key: k, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+// MarshalJSON renders the attribute in the {"key","value"} export shape.
+func (a Attr) MarshalJSON() ([]byte, error) {
+	return json.Marshal(attrJSON{Key: a.Key, Value: a.Value()})
 }
 
-// Bool builds a boolean attribute.
-func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool(v)} }
+// UnmarshalJSON round-trips an exported attribute; the value comes back
+// as a string attr regardless of its original kind.
+func (a *Attr) UnmarshalJSON(data []byte) error {
+	var aj attrJSON
+	if err := json.Unmarshal(data, &aj); err != nil {
+		return err
+	}
+	*a = String(aj.Key, aj.Value)
+	return nil
+}
 
 // splitmix64 is the SplitMix64 finalizer — the same mixer sim/derive.go
 // uses for per-task measurement seeds, applied here to (seed + n*gamma) so

@@ -96,7 +96,7 @@ func TestSpanTreeShape(t *testing.T) {
 	if n := len(rootSpan.Attrs); n != 2 {
 		t.Errorf("root span has %d attrs, want 2 (start + end)", n)
 	}
-	if rootSpan.Attrs[1] != (Attr{Key: "placed", Value: "true"}) {
+	if rootSpan.Attrs[1] != Bool("placed", true) {
 		t.Errorf("root end attr = %+v", rootSpan.Attrs[1])
 	}
 }
@@ -125,8 +125,8 @@ func TestRingEviction(t *testing.T) {
 	for i, got := range recent {
 		wantRound := fmt.Sprint(committed - 1 - i)
 		rootAttrs := got.Spans[len(got.Spans)-1].Attrs
-		if rootAttrs[0].Value != wantRound {
-			t.Errorf("Recent[%d] round = %s, want %s", i, rootAttrs[0].Value, wantRound)
+		if rootAttrs[0].Value() != wantRound {
+			t.Errorf("Recent[%d] round = %s, want %s", i, rootAttrs[0].Value(), wantRound)
 		}
 	}
 	// Evicted traces are gone; retained ones resolvable by ID.

@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gaugur/internal/core"
+	"gaugur/internal/profile"
+	"gaugur/internal/sim"
+)
+
+// TestPlaceBatchMatchesSequential is the golden determinism contract for
+// the coalescing admission path: the same arrival stream placed through
+// PlaceBatch in arbitrary chunk sizes must produce byte-identical
+// placements to one-at-a-time Place calls, including under active work
+// stealing and interleaved departures. Only probe-side counters (cache
+// misses, scanned states) are allowed to differ.
+func TestPlaceBatchMatchesSequential(t *testing.T) {
+	mk := func() *Cluster {
+		c, err := New(Config{
+			NumServers:     32,
+			ShardCount:     4,
+			MaxPerServer:   2,
+			K:              2,
+			Seed:           9,
+			Scorer:         ScorerFunc(synthScore),
+			StealThreshold: 0.4,
+			StealGap:       0.1,
+			StealBatch:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	seq, bat := mk(), mk()
+	defer seq.Close()
+	defer bat.Close()
+
+	rng := rand.New(rand.NewSource(41))
+	var active []int
+	var results []BatchResult
+	for step := 0; step < 250; step++ {
+		if len(active) > 0 && rng.Intn(4) == 0 {
+			j := rng.Intn(len(active))
+			sid := active[j]
+			active = append(active[:j], active[j+1:]...)
+			if !seq.Remove(sid) || !bat.Remove(sid) {
+				t.Fatalf("step %d: session %d missing from a cluster", step, sid)
+			}
+			continue
+		}
+		games := make([]int, 1+rng.Intn(16))
+		for i := range games {
+			games[i] = rng.Intn(8)
+		}
+		results = bat.PlaceBatch(games, results[:0])
+		if len(results) != len(games) {
+			t.Fatalf("step %d: %d results for %d arrivals", step, len(results), len(games))
+		}
+		for i, g := range games {
+			pl, ok := seq.Place(g)
+			if ok != results[i].OK {
+				t.Fatalf("step %d arrival %d (game %d): sequential ok=%v, batched ok=%v",
+					step, i, g, ok, results[i].OK)
+			}
+			if !ok {
+				continue
+			}
+			if pl != results[i].Placement {
+				t.Fatalf("step %d arrival %d (game %d): sequential %+v, batched %+v",
+					step, i, g, pl, results[i].Placement)
+			}
+			active = append(active, pl.Session)
+		}
+	}
+
+	verifyInvariants(t, seq)
+	verifyInvariants(t, bat)
+	if a, b := seq.Snapshot(), bat.Snapshot(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("final snapshots diverged:\nsequential: %v\nbatched:    %v", a, b)
+	}
+	ss, bs := seq.Stats(), bat.Stats()
+	if ss.Placed != bs.Placed || ss.Rejected != bs.Rejected || ss.Removed != bs.Removed ||
+		ss.Active != bs.Active || ss.PeakActive != bs.PeakActive ||
+		ss.Escapes != bs.Escapes || ss.StolenSessions != bs.StolenSessions ||
+		ss.StealPlans != bs.StealPlans || ss.StealAborts != bs.StealAborts {
+		t.Fatalf("decision stats diverged:\nsequential: %+v\nbatched:    %+v", ss, bs)
+	}
+	if ss.Placed == 0 || ss.StolenSessions == 0 {
+		t.Fatalf("degenerate run (placed=%d stolen=%d): golden test exercised nothing",
+			ss.Placed, ss.StolenSessions)
+	}
+}
+
+// TestPlaceBatchLeastLoaded pins the interference-blind mode to the same
+// batched-equals-sequential contract (it skips scoring entirely, so the
+// dirty-tracking shortcuts must hold there too).
+func TestPlaceBatchLeastLoaded(t *testing.T) {
+	mk := func() *Cluster {
+		c, err := New(Config{
+			NumServers:   16,
+			ShardCount:   4,
+			MaxPerServer: 2,
+			K:            2,
+			Seed:         5,
+			Mode:         ModeLeastLoaded,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	seq, bat := mk(), mk()
+	defer seq.Close()
+	defer bat.Close()
+
+	rng := rand.New(rand.NewSource(17))
+	var results []BatchResult
+	for step := 0; step < 40; step++ {
+		games := make([]int, 1+rng.Intn(8))
+		for i := range games {
+			games[i] = rng.Intn(6)
+		}
+		results = bat.PlaceBatch(games, results[:0])
+		for i, g := range games {
+			pl, ok := seq.Place(g)
+			if ok != results[i].OK || (ok && pl != results[i].Placement) {
+				t.Fatalf("step %d arrival %d: sequential (%+v,%v), batched (%+v,%v)",
+					step, i, pl, ok, results[i].Placement, results[i].OK)
+			}
+		}
+	}
+	verifyInvariants(t, seq)
+	verifyInvariants(t, bat)
+}
+
+// TestPlaceBatchSaturation: a batch larger than the fleet's remaining
+// capacity admits exactly the head that fits and rejects the tail, with
+// bookkeeping intact. Also covers the degenerate empty batch.
+func TestPlaceBatchSaturation(t *testing.T) {
+	c, err := New(Config{
+		NumServers:   4,
+		ShardCount:   2,
+		MaxPerServer: 2,
+		K:            2,
+		Seed:         1,
+		Scorer:       ScorerFunc(synthScore),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if got := c.PlaceBatch(nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+
+	games := make([]int, 12) // capacity is 4*2 = 8
+	for i := range games {
+		games[i] = i % 5
+	}
+	res := c.PlaceBatch(games, nil)
+	admitted := 0
+	for i, r := range res {
+		if r.OK {
+			admitted++
+		} else if i < 8 {
+			t.Fatalf("arrival %d rejected before capacity ran out", i)
+		}
+	}
+	if admitted != 8 {
+		t.Fatalf("admitted %d of 12, want 8", admitted)
+	}
+	st := c.Stats()
+	if st.Placed != 8 || st.Rejected != 4 || st.Active != 8 {
+		t.Fatalf("stats after saturated batch: %+v", st)
+	}
+	verifyInvariants(t, c)
+}
+
+// TestScorerFuncGrowsDst pins the BatchScorer contract at the interface
+// level: when dst's capacity is short the scorer must grow and return it,
+// never truncate.
+func TestScorerFuncGrowsDst(t *testing.T) {
+	states := [][]int{{1}, {2}, {1, 2}, {3}, {0, 4}}
+	dst := make([]float64, 0, 2) // too small: forces growth
+	dst = ScorerFunc(synthScore).ScoreStates(states, dst)
+	if len(dst) != len(states) {
+		t.Fatalf("got %d scores for %d states", len(dst), len(states))
+	}
+	for i, s := range states {
+		if want := synthScore(s); dst[i] != want {
+			t.Fatalf("state %d: got %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+// TestPredictorScorerRealloc is the regression test for the silent
+// truncation bug: predictorScorer used to copy(dst, res) after
+// PredictTotalFPSBatch, so when the batch call reallocated (cap(dst) <
+// len(states)) every score past cap(dst) was dropped. Forcing the realloc
+// path must now yield all scores, bit-identical to single-state calls.
+func TestPredictorScorerRealloc(t *testing.T) {
+	cat := sim.NewCatalog(42)
+	srv := sim.NewServer(3)
+	pf := &profile.Profiler{Server: srv, Repeats: 2}
+	set, err := pf.ProfileCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := core.NewLab(srv, cat, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colocs := core.RandomColocations(cat, core.ColocationPlan{Pairs: 20, Triples: 8}, 3)
+	samples := lab.CollectSamples(colocs, 60, 10)
+	p, err := core.Train(set, core.TrainConfig{
+		Samples: samples, RMKind: core.GBRT, CMKind: core.GBDT, Seed: 1, EncoderK: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	states := make([][]int, 37) // > one kernel chunk, and > any small dst cap
+	rng := rand.New(rand.NewSource(8))
+	for i := range states {
+		s := make([]int, 1+rng.Intn(3))
+		for j := range s {
+			s[j] = rng.Intn(cat.Len())
+		}
+		states[i] = s
+	}
+	sc := NewPredictorScorer(p)
+
+	for _, cap0 := range []int{0, 1, 5} { // all force the realloc path
+		dst := sc.ScoreStates(states, make([]float64, 0, cap0))
+		if len(dst) != len(states) {
+			t.Fatalf("cap %d: got %d scores for %d states", cap0, len(dst), len(states))
+		}
+		for i, s := range states {
+			coloc := make(core.Colocation, len(s))
+			for j, g := range s {
+				coloc[j] = core.Workload{GameID: g, Res: core.ReferenceResolution}
+			}
+			want := p.PredictTotalFPS(coloc)
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("cap %d state %d (%v): batch %v != single %v", cap0, i, s, dst[i], want)
+			}
+		}
+	}
+}

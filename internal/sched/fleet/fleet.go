@@ -45,13 +45,16 @@ const (
 	ModeLeastLoaded
 )
 
-// BatchScorer scores whole candidate server states: dst[i] receives the
-// predicted total FPS of states[i]. Implementations must be safe for
-// concurrent use — every shard goroutine calls the shared scorer during
-// the fan-out. Values must be pure functions of the state (the caches and
-// all determinism guarantees depend on it).
+// BatchScorer scores whole candidate server states: the returned slice
+// holds one predicted total FPS per state, written into dst when its
+// capacity suffices and into a freshly grown slice otherwise — callers
+// must use the RETURN value, never assume dst was filled in place (the
+// append contract every batch API in this repo follows). Implementations
+// must be safe for concurrent use — every shard goroutine calls the
+// shared scorer during the fan-out. Values must be pure functions of the
+// state (the caches and all determinism guarantees depend on it).
 type BatchScorer interface {
-	ScoreStates(states [][]int, dst []float64)
+	ScoreStates(states [][]int, dst []float64) []float64
 }
 
 // ScorerFunc adapts a single-state sched.Scorer (which must be pure and
@@ -59,10 +62,15 @@ type BatchScorer interface {
 type ScorerFunc func(games []int) float64
 
 // ScoreStates implements BatchScorer.
-func (f ScorerFunc) ScoreStates(states [][]int, dst []float64) {
+func (f ScorerFunc) ScoreStates(states [][]int, dst []float64) []float64 {
+	if cap(dst) < len(states) {
+		dst = make([]float64, len(states))
+	}
+	dst = dst[:len(states)]
 	for i, s := range states {
 		dst[i] = f(s)
 	}
+	return dst
 }
 
 // Config parameterizes a Cluster.
@@ -115,6 +123,12 @@ type Placement struct {
 	Delta   float64 // predicted total-FPS delta of the chosen placement
 }
 
+// BatchResult is one arrival's outcome in a coalesced placement batch.
+type BatchResult struct {
+	Placement
+	OK bool // false: no shard in the whole fleet had capacity
+}
+
 // Stats are the cluster's lifetime counters (single-threaded, exact).
 type Stats struct {
 	Placed, Rejected, Removed         int
@@ -149,7 +163,7 @@ type Cluster struct {
 	ranges  [][2]int
 	all     []int // 0..nShards-1, the full-fan-out candidate list
 
-	sessions map[int]*sessionLoc
+	sessions map[int]sessionLoc
 	nextSID  int
 	loads    []int // sessions per shard
 	caps     []int // slot capacity per shard
@@ -158,6 +172,23 @@ type Cluster struct {
 	sampled   []int
 	stealSeq  int64
 	plan      *stealPlan
+
+	// Batched-placement scratch (PlaceBatch). batchDirty marks shards a
+	// commit or steal move has mutated since the batch probe, so their
+	// precomputed answers must not be reused. batchPending marks shards
+	// whose last batch commit piggybacked a refresh of those answers
+	// that is still sitting unread on the shard's reply channel — any
+	// other read of that channel MUST collectRefresh first. All are
+	// lazily allocated on the first PlaceBatch and reset at the start of
+	// each; stale dirty marks written outside a batch are harmless, and
+	// PlaceBatch drains every pending refresh before returning so no
+	// reply channel ever holds one across calls.
+	batchCandBuf  []int
+	batchGames    [][]int
+	batchResps    [][]shardResp
+	batchDirty    []bool
+	batchPending  []bool
+	batchPendGame [][]int // games the outstanding reply answers, aligned with it
 
 	stealGap   float64
 	stealBatch int
@@ -213,7 +244,7 @@ func New(cfg Config) (*Cluster, error) {
 		max:        max,
 		k:          k,
 		ranges:     ranges,
-		sessions:   map[int]*sessionLoc{},
+		sessions:   map[int]sessionLoc{},
 		loads:      make([]int, shardCount),
 		caps:       make([]int, shardCount),
 		sampleRng:  rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, "fleet-sample", 0))),
@@ -366,12 +397,143 @@ func (c *Cluster) Place(game int) (Placement, bool) {
 		return Placement{}, false
 	}
 
+	pl := c.commitPlacement(game, bestShard, best, tctx, 0, nil)
+	c.maybePlanSteal(bestShard)
+	return pl, true
+}
+
+// markDirty flags a shard's precomputed batch answers as stale. Nil-safe:
+// before the first PlaceBatch there is nothing to invalidate.
+func (c *Cluster) markDirty(shard int) {
+	if c.batchDirty != nil {
+		c.batchDirty[shard] = true
+	}
+}
+
+// collectRefresh reads the batch answers an earlier request left on
+// shard s's reply channel — either the initial opScoreBatch probe
+// (batchResps[s] still nil: the whole game list lands at once) or a
+// piggybacked post-commit refresh (a subset of games is patched into the
+// existing answers; entries not patched are exactly the ones no
+// remaining arrival will read, so the shard counts as clean again). The
+// reply was computed shard-side in parallel with the balancer draining
+// other arrivals — by the time the shard comes up as a candidate it is
+// usually already buffered, so this is a channel read, not a scoring
+// round trip. No-op when nothing is pending.
+func (c *Cluster) collectRefresh(s int) {
+	if c.batchPending == nil || !c.batchPending[s] {
+		return
+	}
+	r := <-c.shards[s].resp
+	c.batchPending[s] = false
+	if c.batchResps[s] == nil {
+		c.batchResps[s] = r.batch
+	} else {
+		c.met.refreshes.Inc()
+		for i, g := range c.batchPendGame[s] {
+			if j := lookupIdx(c.batchGames[s], g); j >= 0 {
+				c.batchResps[s][j] = r.batch[i]
+			}
+		}
+	}
+	c.batchDirty[s] = false
+	for _, e := range r.batch {
+		c.stats.ScoreProbes++
+		c.stats.Scanned += e.scanned
+		c.stats.CacheMisses += e.misses
+	}
+}
+
+// collectAllRefreshes drains every outstanding piggybacked refresh —
+// required before any full-fan-out read of the reply channels (escape
+// hatch, snapshot) and before PlaceBatch returns.
+func (c *Cluster) collectAllRefreshes() {
+	if c.batchPending == nil {
+		return
+	}
+	for s := range c.batchPending {
+		c.collectRefresh(s)
+	}
+}
+
+// probeBatched answers one drained arrival's probe from the batch's
+// precomputed per-shard answers, re-probing only candidates whose state a
+// commit or steal move has dirtied since the batch probe ran. Clean
+// answers are still exact — shard state is goroutine-confined and only
+// this balancer mutates it, so an unchanged shard's precomputed best IS
+// what a fresh probe would return — which is why batched and sequential
+// submission place byte-identically.
+func (c *Cluster) probeBatched(candidates []int, game int, genTag uint64, tctx trace.Ctx) (shardResp, int, bool) {
+	// Install any refreshed answers earlier commits left buffered, then
+	// fan re-probes out so still-dirty shards re-score concurrently.
+	for _, id := range candidates {
+		c.collectRefresh(id)
+	}
+	for _, id := range candidates {
+		if c.batchDirty[id] || lookupIdx(c.batchGames[id], game) < 0 {
+			c.shards[id].reqs <- shardReq{op: opScore, game: game, genTag: genTag}
+		}
+	}
+	var best shardResp
+	bestShard, found := -1, false
+	for _, id := range candidates {
+		var r shardResp
+		cached := false
+		if j := lookupIdx(c.batchGames[id], game); !c.batchDirty[id] && j >= 0 {
+			r = c.batchResps[id][j]
+			cached = true
+		} else {
+			r = <-c.shards[id].resp
+			c.stats.ScoreProbes++
+			c.stats.Scanned += r.scanned
+			c.stats.CacheMisses += r.misses
+			c.met.reprobes.Inc()
+		}
+		sp := tctx.StartSpan("score-shard", trace.Int("shard", id), trace.Bool("batched", cached))
+		if r.ok {
+			sp.End(trace.Int("server", r.server), trace.Float("delta", r.delta))
+		} else {
+			sp.End(trace.Bool("rejected", true))
+		}
+		if !r.ok {
+			continue
+		}
+		if !found || r.delta > best.delta || (r.delta == best.delta && r.server < best.server) {
+			best, bestShard, found = r, id, true
+		}
+	}
+	return best, bestShard, found
+}
+
+// lookupIdx is a linear index scan — candidate game lists are k-small.
+func lookupIdx(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// commitPlacement books an admitted session onto its chosen shard/server
+// and updates every counter and gauge — the shared tail of Place and
+// PlaceBatch. The commit itself is fire-and-forget (channel FIFO orders
+// every later op on the shard behind it); when refresh is non-empty the
+// commit instead piggybacks a rescore of the batch's games against the
+// post-commit state, which the drain collects lazily via collectRefresh.
+func (c *Cluster) commitPlacement(game, bestShard int, best shardResp, tctx trace.Ctx, genTag uint64, refresh []int) Placement {
 	sid := c.nextSID
 	c.nextSID++
 	sh := c.shards[bestShard]
-	sh.reqs <- shardReq{op: opCommit, game: game, sid: sid, server: best.server}
-	<-sh.resp
-	c.sessions[sid] = &sessionLoc{shard: bestShard, server: best.server, game: game}
+	if len(refresh) > 0 {
+		sh.reqs <- shardReq{op: opCommitRefresh, game: game, sid: sid, server: best.server, games: refresh, genTag: genTag}
+		c.batchPending[bestShard] = true
+		c.batchDirty[bestShard] = true
+	} else {
+		sh.reqs <- shardReq{op: opCommit, game: game, sid: sid, server: best.server}
+		c.markDirty(bestShard)
+	}
+	c.sessions[sid] = sessionLoc{shard: bestShard, server: best.server, game: game}
 	c.loads[bestShard]++
 	c.stats.Placed++
 	c.stats.Active++
@@ -387,8 +549,143 @@ func (c *Cluster) Place(game int) (Placement, bool) {
 		trace.Int("server", best.server),
 		trace.Int("session", sid),
 	)
-	c.maybePlanSteal(bestShard)
-	return Placement{Session: sid, Server: best.server, Shard: bestShard, Delta: best.delta}, true
+	return Placement{Session: sid, Server: best.server, Shard: bestShard, Delta: best.delta}
+}
+
+// PlaceBatch admits a coalesced batch of arrivals: dst[i] receives the
+// outcome for games[i]. One batched probe per involved shard scores every
+// (shard, game) pair of the batch in a single BatchScorer call — this is
+// where the compiled forest kernel runs at full 16-wide occupancy instead
+// of one underfilled pass per arrival — and the batch then drains in
+// arrival order, re-probing only shards dirtied by earlier commits or
+// steal moves.
+//
+// Determinism contract: PlaceBatch(games) produces byte-identical
+// placements, session ids, and steal traffic to calling Place(g) once per
+// game in order (the golden tests pin this). The sampleRng draw sequence
+// is preserved by presampling candidates in arrival order, precomputed
+// scores are pure functions of untouched shard state, and dirty shards
+// fall back to fresh probes. Only the performance counters (cache misses,
+// probe counts) may differ between the two submission styles. The model
+// generation is pinned once per batch, so a lifecycle hot swap takes
+// effect at the next batch boundary.
+func (c *Cluster) PlaceBatch(games []int, dst []BatchResult) []BatchResult {
+	if cap(dst) < len(games) {
+		dst = make([]BatchResult, len(games))
+	}
+	dst = dst[:len(games)]
+	if len(games) == 0 {
+		return dst
+	}
+	if len(games) == 1 {
+		pl, ok := c.Place(games[0])
+		dst[0] = BatchResult{Placement: pl, OK: ok}
+		return dst
+	}
+	c.met.batches.Inc()
+	c.met.batchArrivals.Observe(float64(len(games)))
+	genTag := c.genTag()
+
+	// Phase 1: presample every arrival's candidate shards in arrival
+	// order — exactly the sampleRng draws sequential Place calls would
+	// consume, so the two submission styles stay interchangeable.
+	kk := c.k
+	need := len(games) * kk
+	if cap(c.batchCandBuf) < need {
+		c.batchCandBuf = make([]int, need)
+	}
+	cand := c.batchCandBuf[:need]
+	for i := range games {
+		copy(cand[i*kk:(i+1)*kk], c.sampleShards())
+	}
+
+	// Phase 2: group the batch by shard (deduping games per shard) and
+	// fan one batched probe out to every involved shard. Each shard
+	// gathers all its uncached states across all its games and scores
+	// them through ONE kernel pass.
+	if c.batchGames == nil {
+		c.batchGames = make([][]int, c.nShards)
+		c.batchResps = make([][]shardResp, c.nShards)
+		c.batchDirty = make([]bool, c.nShards)
+		c.batchPending = make([]bool, c.nShards)
+		c.batchPendGame = make([][]int, c.nShards)
+	}
+	for s := range c.batchGames {
+		c.batchGames[s] = c.batchGames[s][:0]
+		c.batchResps[s] = nil
+		c.batchDirty[s] = false
+		c.batchPending[s] = false
+		c.batchPendGame[s] = c.batchPendGame[s][:0]
+	}
+	for i, g := range games {
+		for _, s := range cand[i*kk : (i+1)*kk] {
+			if lookupIdx(c.batchGames[s], g) < 0 {
+				c.batchGames[s] = append(c.batchGames[s], g)
+			}
+		}
+	}
+	// The probes fan out but are NOT collected here: each shard scores
+	// its whole game set through one kernel pass in parallel with the
+	// drain below, and collectRefresh installs a shard's answers the
+	// first time an arrival actually needs them. The drain starts
+	// immediately instead of barriering on the slowest shard.
+	tctx := c.tr.StartTrace("fleet-batch-probe", trace.Int("arrivals", len(games)))
+	span := c.met.batchProbe.Start()
+	for s := 0; s < c.nShards; s++ {
+		if len(c.batchGames[s]) == 0 {
+			continue
+		}
+		c.shards[s].reqs <- shardReq{op: opScoreBatch, games: c.batchGames[s], genTag: genTag}
+		c.batchPending[s] = true
+	}
+	span.Stop()
+	tctx.End()
+
+	// Phase 3: drain arrivals in order. Each iteration mirrors Place
+	// exactly — steal drain, probe, escape hatch, commit, steal planning —
+	// with precomputed answers standing in for clean-shard probes.
+	for i, g := range games {
+		c.applySteal()
+		dspan := c.met.decision.Start()
+		atctx := c.tr.StartTrace("fleet-placement", trace.Int("game", g), trace.Bool("batched", true))
+		candidates := cand[i*kk : (i+1)*kk]
+		best, bestShard, found := c.probeBatched(candidates, g, genTag, atctx)
+		if !found && len(candidates) < c.nShards {
+			c.stats.Escapes++
+			c.met.escapes.Inc()
+			atctx = atctx.SetAttr(trace.Bool("escape", true))
+			// The full fan-out reads every reply channel, so any
+			// buffered refresh must be installed first.
+			c.collectAllRefreshes()
+			best, bestShard, found = c.probe(c.all, g, genTag, atctx)
+		}
+		if !found {
+			c.stats.Rejected++
+			c.met.rejected.Inc()
+			atctx.End(trace.String("outcome", "rejected"))
+			dst[i] = BatchResult{}
+			dspan.Stop()
+			continue
+		}
+		// Refresh only what the rest of the batch will actually read
+		// from this shard: the games of remaining arrivals that drew it
+		// as a candidate. Usually that is zero or one game — and when it
+		// is zero the commit needs no reply at all.
+		refresh := c.batchPendGame[bestShard][:0]
+		for j := i + 1; j < len(games); j++ {
+			if lookupIdx(cand[j*kk:(j+1)*kk], bestShard) >= 0 && lookupIdx(refresh, games[j]) < 0 {
+				refresh = append(refresh, games[j])
+			}
+		}
+		c.batchPendGame[bestShard] = refresh
+		dst[i] = BatchResult{Placement: c.commitPlacement(g, bestShard, best, atctx, genTag, refresh), OK: true}
+		dspan.Stop()
+		c.maybePlanSteal(bestShard)
+	}
+	// Leave no refresh buffered: the next reader of a shard's reply
+	// channel (Remove, Snapshot, a sequential Place) expects it empty.
+	c.collectAllRefreshes()
+	return dst
 }
 
 // Remove departs a session; false when the id is unknown.
@@ -402,6 +699,7 @@ func (c *Cluster) Remove(sid int) bool {
 	sh.reqs <- shardReq{op: opRemove, sid: sid, server: loc.server}
 	<-sh.resp
 	delete(c.sessions, sid)
+	c.markDirty(loc.shard)
 	c.loads[loc.shard]--
 	c.stats.Removed++
 	c.stats.Active--
@@ -448,6 +746,7 @@ func (c *Cluster) maybePlanSteal(donor int) {
 	seed := sim.DeriveSeed(c.cfg.Seed, "fleet-steal", c.stealSeq)
 	c.stealSeq++
 	sh := c.shards[donor]
+	c.collectRefresh(donor) // the donor just committed; its refresh may be buffered
 	sh.reqs <- shardReq{op: opVictims, n: n, seed: seed}
 	r := <-sh.resp
 	if len(r.victims) == 0 {
@@ -491,6 +790,10 @@ func (c *Cluster) applySteal() {
 			trace.Int("from_shard", p.from),
 			trace.Int("to_shard", p.to),
 		)
+		// Both shards' reply channels may hold a piggybacked refresh
+		// from a batch drain in progress; install those before reading.
+		c.collectRefresh(p.to)
+		c.collectRefresh(p.from)
 		target := c.shards[p.to]
 		target.reqs <- shardReq{op: opScore, game: m.game, genTag: genTag}
 		r := <-target.resp
@@ -504,13 +807,16 @@ func (c *Cluster) applySteal() {
 			return
 		}
 		// Commit on the target FIRST, then remove from the donor: the
-		// session exists somewhere at every step.
+		// session exists somewhere at every step. The commit needs no
+		// ack — the donor remove below is the move's synchronization.
 		target.reqs <- shardReq{op: opCommit, game: m.game, sid: m.sid, server: r.server}
-		<-target.resp
 		donor := c.shards[p.from]
 		donor.reqs <- shardReq{op: opRemove, sid: m.sid, server: m.server}
 		<-donor.resp
 		loc.shard, loc.server = p.to, r.server
+		c.sessions[m.sid] = loc
+		c.markDirty(p.from)
+		c.markDirty(p.to)
 		c.loads[p.from]--
 		c.loads[p.to]++
 		c.stats.StolenSessions++
@@ -529,9 +835,21 @@ func (c *Cluster) applySteal() {
 // StealPending reports whether a steal batch is still draining.
 func (c *Cluster) StealPending() bool { return c.plan != nil }
 
+// barrier blocks until every shard has applied everything sent so far —
+// commits are fire-and-forget, so direct reads of shard state (tests,
+// invariant checks) must quiesce through here first.
+func (c *Cluster) barrier() {
+	c.collectAllRefreshes()
+	for _, sh := range c.shards {
+		sh.reqs <- shardReq{op: opBarrier}
+		<-sh.resp
+	}
+}
+
 // Snapshot assembles the global server contents (sorted multisets; nil
 // for idle servers), for verification and tests.
 func (c *Cluster) Snapshot() [][]int {
+	c.collectAllRefreshes() // defensive: reply channels must be empty
 	out := make([][]int, 0, c.cfg.NumServers)
 	for _, sh := range c.shards {
 		sh.reqs <- shardReq{op: opSnapshot}

@@ -36,6 +36,7 @@ func synthScore(games []int) float64 {
 // reading their state here is race-free.
 func verifyInvariants(t *testing.T, c *Cluster) {
 	t.Helper()
+	c.barrier() // commits are fire-and-forget; quiesce before direct reads
 	total := 0
 	seen := map[int]bool{}
 	for si, sh := range c.shards {

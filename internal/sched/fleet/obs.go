@@ -17,8 +17,17 @@ type fleetMetrics struct {
 	stealPlans  *obs.Counter
 	stolen      *obs.Counter
 	stealAborts *obs.Counter
+	batches     *obs.Counter
+	reprobes    *obs.Counter
+	refreshes   *obs.Counter
 	active      *obs.Gauge
 	decision    *obs.StageTimer
+	batchProbe  *obs.StageTimer
+	// batchArrivals distributes coalesced batch sizes — full 16-wide
+	// batches are the regime the compiled kernel is fastest in, so this
+	// histogram is how you see whether the admission front end actually
+	// keeps the kernel occupied.
+	batchArrivals *obs.Histogram
 	// shardSessions carries one labelled gauge per shard so exposition
 	// shows the live balance across the fleet.
 	shardSessions []*obs.Gauge
@@ -41,10 +50,21 @@ func newFleetMetrics(r *obs.Registry, shards int) fleetMetrics {
 			"sessions moved across shards by work stealing"),
 		stealAborts: r.Counter("gaugur_fleet_steal_aborts_total",
 			"steal plans dropped before completion (target filled or balance reached)"),
+		batches: r.Counter("gaugur_fleet_batches_total",
+			"coalesced placement batches submitted through PlaceBatch"),
+		reprobes: r.Counter("gaugur_fleet_batch_reprobes_total",
+			"dirty-shard re-probes issued while draining a placement batch"),
+		refreshes: r.Counter("gaugur_fleet_batch_refreshes_total",
+			"piggybacked post-commit answer refreshes collected during batch drains"),
 		active: r.Gauge("gaugur_fleet_active_sessions",
 			"currently placed sessions across all shards"),
 		decision: r.Timer("gaugur_fleet_decision_seconds",
 			"wall-clock latency of one balancer placement decision"),
+		batchProbe: r.Timer("gaugur_fleet_batch_probe_seconds",
+			"wall-clock latency of one batched cross-shard scoring fan-out"),
+		batchArrivals: r.Histogram("gaugur_fleet_batch_arrivals",
+			[]float64{1, 2, 4, 8, 12, 16, 24, 32, 64},
+			"arrivals per coalesced placement batch"),
 		shardSessions: make([]*obs.Gauge, shards),
 	}
 	for i := range m.shardSessions {

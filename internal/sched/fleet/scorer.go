@@ -31,7 +31,7 @@ func NewPredictorScorer(p *core.Predictor) BatchScorer {
 	}
 }
 
-func (ps *predictorScorer) ScoreStates(states [][]int, dst []float64) {
+func (ps *predictorScorer) ScoreStates(states [][]int, dst []float64) []float64 {
 	b := ps.pool.Get().(*scorerBufs)
 	total := 0
 	for _, s := range states {
@@ -51,7 +51,10 @@ func (ps *predictorScorer) ScoreStates(states [][]int, dst []float64) {
 		b.colocs = append(b.colocs, core.Colocation(c))
 		at += len(s)
 	}
-	res := ps.p.PredictTotalFPSBatch(b.colocs, dst[:0])
-	copy(dst, res) // no-op unless the batch call had to reallocate
+	// The batch call's return value IS the result: when dst's capacity is
+	// short it reallocates, and the old in-place copy(dst, res) silently
+	// truncated exactly that case. Returning it keeps every score.
+	dst = ps.p.PredictTotalFPSBatch(b.colocs, dst)
 	ps.pool.Put(b)
+	return dst
 }

@@ -33,16 +33,20 @@ type shardOp int
 
 const (
 	opScore shardOp = iota
+	opScoreBatch
 	opCommit
+	opCommitRefresh
 	opRemove
 	opVictims
 	opSnapshot
+	opBarrier
 )
 
 // shardReq is one balancer->shard message.
 type shardReq struct {
 	op     shardOp
 	game   int
+	games  []int // score-batch: deduped games, scored in one scorer call
 	genTag uint64
 	sid    int
 	server int // global server id (commit/remove)
@@ -66,14 +70,23 @@ type shardResp struct {
 	misses  int // scorer invocations (uncached states)
 	victims []victim
 	snap    [][]int
+	// batch carries one per-game answer for opScoreBatch, aligned with the
+	// request's games slice. The kernel misses of the whole batch are
+	// attributed to entry 0 (they are gathered into one scorer call, so a
+	// per-game split would be arbitrary).
+	batch []shardResp
 }
 
 // group is one occupant-multiset bucket: the canonical sorted state plus
-// the sorted local indices of every server currently in it. members[0] is
-// the group's tie-break representative (lowest id).
+// an indexed min-heap of the local server indices currently in it.
+// members[0] is always the group's tie-break representative (lowest id) —
+// the only ordering the scoring reduce ever reads — so membership updates
+// cost O(log n) instead of the O(n) memmove a fully sorted slice pays on
+// every commit (group sizes reach servers-per-shard; at fleet scale that
+// was the single most expensive step of a placement).
 type group struct {
 	games   []int
-	members []int
+	members []int // min-heap by local index; heap positions in shard.pos
 }
 
 type shard struct {
@@ -93,11 +106,16 @@ type shard struct {
 	idle     *idleHeap
 	cache    *sched.ScoreCache
 
-	// scoring scratch, reused across requests
+	// scoring scratch, reused across requests. pendIdx indexes pendKeys
+	// by key: one probe used to tolerate a linear pending scan, but a
+	// batched probe gathers games × groups states and the reduce phase
+	// looks each one up again, so membership must stay O(1).
 	pendKeys   []uint64
 	pendStates [][]int
 	pendVals   []float64
+	pendIdx    map[uint64]int
 	order      []int // victim selection scratch
+	pos        []int // local idx -> position in its current group's member heap
 }
 
 func newShard(id, lo, hi, max int, mode Mode, scorer BatchScorer, cacheCap int) *shard {
@@ -114,14 +132,81 @@ func newShard(id, lo, hi, max int, mode Mode, scorer BatchScorer, cacheCap int) 
 		groups:   map[uint64]*group{},
 		idle:     newIdleHeap(n),
 		cache:    sched.NewScoreCache(cacheCap),
+		pendIdx:  map[uint64]int{},
+		pos:      make([]int, n),
 	}
-	// All servers start in the empty group (hash 0).
+	// All servers start in the empty group (hash 0); an ascending array is
+	// already a valid min-heap with pos[i] = i.
 	g := &group{games: nil, members: make([]int, n)}
 	for i := range g.members {
 		g.members[i] = i
+		sh.pos[i] = i
 	}
 	sh.groups[0] = g
 	return sh
+}
+
+// heapPush adds local server v to g's member heap.
+func (sh *shard) heapPush(g *group, v int) {
+	g.members = append(g.members, v)
+	sh.siftUp(g, len(g.members)-1)
+}
+
+// heapRemove deletes local server v from g's member heap via its tracked
+// position.
+func (sh *shard) heapRemove(g *group, v int) {
+	p := sh.pos[v]
+	last := len(g.members) - 1
+	if p != last {
+		moved := g.members[last]
+		g.members[p] = moved
+		sh.pos[moved] = p
+	}
+	g.members = g.members[:last]
+	if p < last {
+		p = sh.siftDown(g, p)
+		sh.siftUp(g, p)
+	}
+}
+
+func (sh *shard) siftUp(g *group, i int) {
+	m := g.members
+	v := m[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if m[parent] <= v {
+			break
+		}
+		m[i] = m[parent]
+		sh.pos[m[i]] = i
+		i = parent
+	}
+	m[i] = v
+	sh.pos[v] = i
+}
+
+func (sh *shard) siftDown(g *group, i int) int {
+	m := g.members
+	n := len(m)
+	v := m[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && m[c+1] < m[c] {
+			c++
+		}
+		if m[c] >= v {
+			break
+		}
+		m[i] = m[c]
+		sh.pos[m[i]] = i
+		i = c
+	}
+	m[i] = v
+	sh.pos[v] = i
+	return i
 }
 
 // run is the shard dispatcher goroutine: one request at a time, state
@@ -131,9 +216,22 @@ func (sh *shard) run() {
 		switch req.op {
 		case opScore:
 			sh.resp <- sh.scoreBest(req.game, req.genTag)
+		case opScoreBatch:
+			sh.resp <- shardResp{ok: true, batch: sh.scoreBatch(req.games, req.genTag)}
 		case opCommit:
+			// Fire-and-forget: the balancer never needs an ack — channel
+			// FIFO already orders any later probe or remove behind the
+			// commit, so acking would only stall the sender for nothing.
 			sh.commit(req.game, req.sid, req.server-sh.lo)
-			sh.resp <- shardResp{ok: true}
+		case opCommitRefresh:
+			// Commit, then immediately recompute this shard's batch
+			// answers against the post-commit state. The balancer reads
+			// the reply lazily (only when this shard next comes up as a
+			// candidate), so the rescore runs here in parallel with the
+			// balancer draining other arrivals instead of serializing a
+			// re-probe round trip into every drain step.
+			sh.commit(req.game, req.sid, req.server-sh.lo)
+			sh.resp <- shardResp{ok: true, batch: sh.scoreBatch(req.games, req.genTag)}
 		case opRemove:
 			sh.resp <- shardResp{ok: sh.remove(req.sid, req.server-sh.lo)}
 		case opVictims:
@@ -146,16 +244,26 @@ func (sh *shard) run() {
 				}
 			}
 			sh.resp <- shardResp{ok: true, snap: snap}
+		case opBarrier:
+			// Pure synchronization: the reply proves every earlier
+			// (possibly fire-and-forget) request has been applied.
+			sh.resp <- shardResp{ok: true}
 		}
 	}
 }
 
-// pendLookup finds key k in the pending (just-scored) list.
+// resetPending clears the pending-state scratch for a fresh scan.
+func (sh *shard) resetPending() {
+	sh.pendKeys = sh.pendKeys[:0]
+	sh.pendStates = sh.pendStates[:0]
+	clear(sh.pendIdx)
+}
+
+// pendLookup finds key k in the pending (just-scored) list. Only valid
+// after flushPending — before it, pendVals has not been sized yet.
 func (sh *shard) pendLookup(k uint64) (float64, bool) {
-	for i, pk := range sh.pendKeys {
-		if pk == k {
-			return sh.pendVals[i], true
-		}
+	if i, ok := sh.pendIdx[k]; ok {
+		return sh.pendVals[i], true
 	}
 	return 0, false
 }
@@ -169,70 +277,90 @@ func (sh *shard) stateVal(k uint64) (float64, bool) {
 	return sh.pendLookup(k)
 }
 
-// queueMiss registers state (with cache key k) for the batch scoring pass
-// unless it is already cached or pending.
-func (sh *shard) queueMiss(k uint64, state []int) {
+// wantMiss reports whether key k still needs scoring (neither cached nor
+// already queued this scan).
+func (sh *shard) wantMiss(k uint64) bool {
 	if _, ok := sh.cache.Lookup(k); ok {
-		return
+		return false
 	}
-	if _, ok := sh.pendLookup(k); ok {
-		return
-	}
+	_, ok := sh.pendIdx[k]
+	return !ok
+}
+
+// queueState registers an uncached state for the batch scoring pass; the
+// caller has already established the miss via wantMiss.
+func (sh *shard) queueState(k uint64, state []int) {
+	sh.pendIdx[k] = len(sh.pendKeys)
 	sh.pendKeys = append(sh.pendKeys, k)
 	sh.pendStates = append(sh.pendStates, state)
 }
 
-// scoreBest answers the balancer's candidate probe: the shard's best
-// placement for game under the current model generation, or ok=false when
-// the shard is saturated. Pure with respect to shard state (only the
-// score cache warms up), so concurrent probes of different shards commute.
-func (sh *shard) scoreBest(game int, genTag uint64) shardResp {
-	if sh.idle.empty() {
-		return shardResp{ok: false}
+// queueMiss registers state (with cache key k) for the batch scoring pass
+// unless it is already cached or pending.
+func (sh *shard) queueMiss(k uint64, state []int) {
+	if sh.wantMiss(k) {
+		sh.queueState(k, state)
 	}
-	if !sh.greedy {
-		// Least-loaded: the idle heap's top IS the answer. Delta is the
-		// negated occupancy so the balancer's max-reduce picks the global
-		// minimum, tie-broken by server id exactly like the flat policy.
-		local := sh.idle.top()
-		return shardResp{
-			ok:     true,
-			server: sh.lo + local,
-			delta:  -float64(len(sh.contents[local])),
-		}
-	}
+}
 
+// leastLoadedBest answers a probe in ModeLeastLoaded: the idle heap's top
+// IS the answer. Delta is the negated occupancy so the balancer's
+// max-reduce picks the global minimum, tie-broken by server id exactly
+// like the flat policy.
+func (sh *shard) leastLoadedBest() shardResp {
+	local := sh.idle.top()
+	return shardResp{
+		ok:     true,
+		server: sh.lo + local,
+		delta:  -float64(len(sh.contents[local])),
+	}
+}
+
+// gatherGame queues every uncached state one game's scan needs — each
+// eligible group's occupant state and its occupants+game candidate —
+// returning the number of groups scanned.
+func (sh *shard) gatherGame(game int, genTag uint64) int {
 	gh := sim.Mix64(uint64(game))
-	// Phase 1: gather every uncached state this scan needs — each
-	// eligible group's occupant state and its occupants+game candidate.
-	sh.pendKeys = sh.pendKeys[:0]
-	sh.pendStates = sh.pendStates[:0]
 	scanned := 0
 	for h, g := range sh.groups {
 		if len(g.members) == 0 || len(g.games) >= sh.max {
 			continue
 		}
 		scanned++
-		sh.queueMiss(h+gh+genTag, insertSorted(g.games, game))
+		if sh.wantMiss(h + gh + genTag) {
+			// Materialize the candidate state only on a genuine miss —
+			// warm probes never allocate.
+			sh.queueState(h+gh+genTag, insertSorted(g.games, game))
+		}
 		if len(g.games) > 0 {
 			sh.queueMiss(h+genTag, g.games)
 		}
 	}
-	misses := len(sh.pendKeys)
-	if misses > 0 {
-		if cap(sh.pendVals) < misses {
-			sh.pendVals = make([]float64, misses)
-		}
-		sh.pendVals = sh.pendVals[:misses]
-		sh.scorer.ScoreStates(sh.pendStates, sh.pendVals)
-		for i, k := range sh.pendKeys {
-			sh.cache.Put(k, sh.pendVals[i])
-		}
-	}
+	return scanned
+}
 
-	// Phase 2: reduce to the best (delta, lowest server id). Values come
-	// from the cache or the still-live pending list (an overfull cache
-	// may already have evicted early puts), so map order cannot matter.
+// flushPending scores every queued state through ONE scorer call — the
+// whole point of batching probes: the compiled forest runs at full chunk
+// occupancy instead of one underfilled pass per game — and memoizes the
+// answers. Returns the number of states scored.
+func (sh *shard) flushPending() int {
+	misses := len(sh.pendKeys)
+	if misses == 0 {
+		return 0
+	}
+	sh.pendVals = sh.scorer.ScoreStates(sh.pendStates, sh.pendVals[:0])
+	for i, k := range sh.pendKeys {
+		sh.cache.Put(k, sh.pendVals[i])
+	}
+	return misses
+}
+
+// reduceGame reduces one game's scan to the best (delta, lowest server id)
+// candidate. Values come from the cache or the still-live pending list (an
+// overfull cache may already have evicted early puts), so map order cannot
+// matter.
+func (sh *shard) reduceGame(game int, genTag uint64) shardResp {
+	gh := sim.Mix64(uint64(game))
 	best, bestDelta, found := -1, 0.0, false
 	for h, g := range sh.groups {
 		if len(g.members) == 0 || len(g.games) >= sh.max {
@@ -256,17 +384,74 @@ func (sh *shard) scoreBest(game int, genTag uint64) shardResp {
 		}
 	}
 	if !found {
-		return shardResp{ok: false, scanned: scanned, misses: misses}
+		return shardResp{ok: false}
 	}
-	return shardResp{ok: true, server: sh.lo + best, delta: bestDelta, scanned: scanned, misses: misses}
+	return shardResp{ok: true, server: sh.lo + best, delta: bestDelta}
+}
+
+// scoreBest answers the balancer's candidate probe: the shard's best
+// placement for game under the current model generation, or ok=false when
+// the shard is saturated. Pure with respect to shard state (only the
+// score cache warms up), so concurrent probes of different shards commute.
+func (sh *shard) scoreBest(game int, genTag uint64) shardResp {
+	if sh.idle.empty() {
+		return shardResp{ok: false}
+	}
+	if !sh.greedy {
+		return sh.leastLoadedBest()
+	}
+	sh.resetPending()
+	scanned := sh.gatherGame(game, genTag)
+	misses := sh.flushPending()
+	r := sh.reduceGame(game, genTag)
+	r.scanned, r.misses = scanned, misses
+	return r
+}
+
+// scoreBatch answers one probe for MANY games at once: the uncached
+// states of every game's scan are gathered together and scored through a
+// single BatchScorer call, so a 16-arrival admission batch fills the
+// compiled kernel's 16-wide chunks instead of trickling singleton states
+// through it. Answers are bit-identical to calling scoreBest per game
+// against unchanged shard state (the scorer is pure; only the cache
+// warms). The returned slice is freshly allocated — it crosses into the
+// balancer goroutine and outlives this request.
+func (sh *shard) scoreBatch(games []int, genTag uint64) []shardResp {
+	out := make([]shardResp, len(games))
+	if sh.idle.empty() {
+		return out // every entry ok:false — the shard is saturated
+	}
+	if !sh.greedy {
+		// Least-loaded: against unchanged state every game gets the same
+		// emptiest server (commits between uses dirty the shard, so the
+		// balancer re-probes before the answer can go stale).
+		r := sh.leastLoadedBest()
+		for i := range out {
+			out[i] = r
+		}
+		return out
+	}
+	sh.resetPending()
+	for i, g := range games {
+		out[i].scanned = sh.gatherGame(g, genTag)
+	}
+	misses := sh.flushPending()
+	for i, g := range games {
+		scanned := out[i].scanned
+		out[i] = sh.reduceGame(g, genTag)
+		out[i].scanned = scanned
+	}
+	if len(out) > 0 {
+		out[0].misses = misses
+	}
+	return out
 }
 
 // regroup moves local server idx from its current multiset group to the
 // one matching its (already mutated) contents.
 func (sh *shard) regroup(local int, oldHash uint64) {
 	og := sh.groups[oldHash]
-	i := sort.SearchInts(og.members, local)
-	og.members = append(og.members[:i], og.members[i+1:]...)
+	sh.heapRemove(og, local)
 	if len(og.members) == 0 {
 		delete(sh.groups, oldHash)
 	}
@@ -276,10 +461,7 @@ func (sh *shard) regroup(local int, oldHash uint64) {
 		ng = &group{games: append([]int(nil), sh.contents[local]...)}
 		sh.groups[newHash] = ng
 	}
-	j := sort.SearchInts(ng.members, local)
-	ng.members = append(ng.members, 0)
-	copy(ng.members[j+1:], ng.members[j:])
-	ng.members[j] = local
+	sh.heapPush(ng, local)
 	sh.statesN = len(sh.groups)
 }
 
@@ -307,8 +489,8 @@ func (sh *shard) remove(sid, local int) bool {
 		return false
 	}
 	oldHash := sched.MultisetHash(sh.contents[local])
-	sh.contents[local] = append(sh.contents[local][:at:at], sh.contents[local][at+1:]...)
-	sh.slots[local] = append(sh.slots[local][:at:at], sh.slots[local][at+1:]...)
+	sh.contents[local] = append(sh.contents[local][:at], sh.contents[local][at+1:]...)
+	sh.slots[local] = append(sh.slots[local][:at], sh.slots[local][at+1:]...)
 	sh.regroup(local, oldHash)
 	sh.idle.update(local, len(sh.contents[local]), sh.max)
 	return true
@@ -360,10 +542,12 @@ func insertSorted(games []int, g int) []int {
 	return out
 }
 
-// insertAt returns a new slice with v inserted at index i.
+// insertAt inserts v at index i, reusing xs's backing array when it has
+// room — commits run once per placement, so this path must not allocate
+// once server slices have warmed up to their steady size.
 func insertAt(xs []int, i, v int) []int {
-	out := make([]int, 0, len(xs)+1)
-	out = append(out, xs[:i]...)
-	out = append(out, v)
-	return append(out, xs[i:]...)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
 }

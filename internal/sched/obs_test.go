@@ -259,7 +259,7 @@ func TestOnlineDecisionTraces(t *testing.T) {
 			if sp.SpanID == tr.Root {
 				for _, a := range sp.Attrs {
 					if a.Key == "outcome" {
-						outcomes[a.Value]++
+						outcomes[a.Value()]++
 					}
 				}
 			}

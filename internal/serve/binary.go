@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// The optional binary admission protocol: length-prefixed frames over a
+// plain TCP connection, for clients that can't afford JSON on the hot
+// path. Every frame is a little-endian uint32 payload length followed by
+// the payload.
+//
+//	request:  op byte (1 = admit, 2 = leave) + int64 LE argument
+//	          (game id for admit, session id for leave)
+//	response: status byte + for an admitted session, session int64 LE
+//	          + server int64 LE
+//
+// Requests on one connection are answered in order; clients that want
+// pipelining open more connections.
+const (
+	binOpAdmit = 1
+	binOpLeave = 2
+
+	// BinOK through BinBadRequest are the response status codes, aligned
+	// with the HTTP mapping (429/503/409/404/400).
+	BinOK          = 0
+	BinQueueFull   = 1
+	BinDraining    = 2
+	BinNoCapacity  = 3
+	BinUnknownSess = 4
+	BinBadRequest  = 5
+
+	// binMaxFrame bounds a frame so a garbage length prefix can't make
+	// the server allocate gigabytes.
+	binMaxFrame = 64
+)
+
+func binStatus(err error) byte {
+	switch {
+	case err == nil:
+		return BinOK
+	case errors.Is(err, ErrQueueFull):
+		return BinQueueFull
+	case errors.Is(err, ErrDraining):
+		return BinDraining
+	case errors.Is(err, ErrNoCapacity):
+		return BinNoCapacity
+	case errors.Is(err, ErrUnknownSession):
+		return BinUnknownSess
+	default:
+		return BinBadRequest
+	}
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > binMaxFrame {
+		return nil, fmt.Errorf("serve: binary frame of %d bytes exceeds the %d-byte cap", n, binMaxFrame)
+	}
+	buf = buf[:n]
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// StartBinary listens on addr and serves the binary admission protocol in
+// background goroutines (one per connection) until Shutdown.
+func (s *Server) StartBinary(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: binary listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.binLn = ln
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.binConn[conn] = struct{}{}
+			s.mu.Unlock()
+			s.binWG.Add(1)
+			go s.serveBinaryConn(conn)
+		}
+	}()
+	return nil
+}
+
+// BinaryAddr returns the binary listener's bound address ("" when not
+// started).
+func (s *Server) BinaryAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.binLn == nil {
+		return ""
+	}
+	return s.binLn.Addr().String()
+}
+
+// closeBinary stops accepting, waits for per-connection loops to wind
+// down (draining responses flow until clients hang up), then forces
+// stragglers closed.
+func (s *Server) closeBinary() {
+	s.mu.Lock()
+	ln := s.binLn
+	for conn := range s.binConn {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.binWG.Wait()
+}
+
+func (s *Server) serveBinaryConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.binConn, conn)
+		s.mu.Unlock()
+		s.binWG.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	req := make([]byte, binMaxFrame)
+	resp := make([]byte, 0, binMaxFrame)
+	for {
+		frame, err := readFrame(br, req)
+		if err != nil {
+			return
+		}
+		resp = resp[:0]
+		if len(frame) != 9 {
+			resp = append(resp, BinBadRequest)
+		} else {
+			arg := int64(binary.LittleEndian.Uint64(frame[1:]))
+			switch frame[0] {
+			case binOpAdmit:
+				pl, err := s.cfg.Pipeline.Admit(int(arg))
+				resp = append(resp, binStatus(err))
+				if err == nil {
+					resp = binary.LittleEndian.AppendUint64(resp, uint64(pl.Session))
+					resp = binary.LittleEndian.AppendUint64(resp, uint64(pl.Server))
+				}
+			case binOpLeave:
+				resp = append(resp, binStatus(s.cfg.Pipeline.Leave(int(arg))))
+			default:
+				resp = append(resp, BinBadRequest)
+			}
+		}
+		if err := writeFrame(bw, resp); err != nil {
+			return
+		}
+		// Flush only when no request is already waiting: consecutive
+		// queued requests share one syscall.
+		if br.Buffered() < 4 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// BinaryClient speaks the binary admission protocol over one connection.
+// Not safe for concurrent use — one client per goroutine, which is also
+// the protocol's pipelining model.
+type BinaryClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	req  []byte
+	resp []byte
+}
+
+// DialBinary connects to a server started with StartBinary.
+func DialBinary(addr string) (*BinaryClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryClient{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		req:  make([]byte, 0, 16),
+		resp: make([]byte, binMaxFrame),
+	}, nil
+}
+
+func (c *BinaryClient) Close() error { return c.conn.Close() }
+
+func (c *BinaryClient) roundTrip(op byte, arg int64) ([]byte, error) {
+	c.req = append(c.req[:0], op)
+	c.req = binary.LittleEndian.AppendUint64(c.req, uint64(arg))
+	if err := writeFrame(c.conn, c.req); err != nil {
+		return nil, err
+	}
+	frame, err := readFrame(c.br, c.resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) < 1 {
+		return nil, fmt.Errorf("serve: empty binary response")
+	}
+	return frame, nil
+}
+
+func binErr(status byte) error {
+	switch status {
+	case BinOK:
+		return nil
+	case BinQueueFull:
+		return ErrQueueFull
+	case BinDraining:
+		return ErrDraining
+	case BinNoCapacity:
+		return ErrNoCapacity
+	case BinUnknownSess:
+		return ErrUnknownSession
+	default:
+		return fmt.Errorf("serve: binary status %d", status)
+	}
+}
+
+// Admit requests a placement; on success returns (session, server).
+func (c *BinaryClient) Admit(game int) (session, server int, err error) {
+	frame, err := c.roundTrip(binOpAdmit, int64(game))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := binErr(frame[0]); err != nil {
+		return 0, 0, err
+	}
+	if len(frame) != 17 {
+		return 0, 0, fmt.Errorf("serve: admit response of %d bytes", len(frame))
+	}
+	return int(int64(binary.LittleEndian.Uint64(frame[1:]))),
+		int(int64(binary.LittleEndian.Uint64(frame[9:]))), nil
+}
+
+// Leave removes a session.
+func (c *BinaryClient) Leave(session int) error {
+	frame, err := c.roundTrip(binOpLeave, int64(session))
+	if err != nil {
+		return err
+	}
+	return binErr(frame[0])
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gaugur/internal/obs"
+)
+
+func newHTTPFixture(t *testing.T, pcfg PipelineConfig) (*httptest.Server, *Pipeline) {
+	t.Helper()
+	if pcfg.Cluster == nil {
+		pcfg.Cluster = testCluster(t, 16, 4, 2, nil)
+	}
+	p, err := NewPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	s, err := NewServer(ServerConfig{Pipeline: p, Registry: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, p
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestHTTPAdmitLeaveStats(t *testing.T) {
+	ts, _ := newHTTPFixture(t, PipelineConfig{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/admit", `{"game": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admit: status %d body %v", resp.StatusCode, body)
+	}
+	sid, ok := body["session"].(float64)
+	if !ok {
+		t.Fatalf("admit response lacks session: %v", body)
+	}
+	if _, ok := body["server"]; !ok {
+		t.Fatalf("admit response lacks server: %v", body)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	json.NewDecoder(r.Body).Decode(&stats)
+	r.Body.Close()
+	if stats["placed"].(float64) != 1 || stats["active"].(float64) != 1 {
+		t.Fatalf("stats after one admit: %v", stats)
+	}
+
+	leaveBody := fmt.Sprintf(`{"session": %d}`, int(sid))
+	resp, _ = postJSON(t, ts.URL+"/v1/leave", leaveBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave: status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/leave", leaveBody)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double leave: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/admit", `{bad json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d, want 400", resp.StatusCode)
+	}
+
+	r, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", r.StatusCode)
+	}
+	// The obs surface rides the same mux.
+	r, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", r.StatusCode)
+	}
+}
+
+// TestHTTPNoCapacity: a saturated fleet answers 409, not 5xx — the
+// client's session is rejected, the service is healthy.
+func TestHTTPNoCapacity(t *testing.T) {
+	ts, _ := newHTTPFixture(t, PipelineConfig{
+		Cluster: nil, // 16 servers x 2 slots via fixture default
+	})
+	var last *http.Response
+	for i := 0; i < 33; i++ {
+		last, _ = postJSON(t, ts.URL+"/v1/admit", `{"game": 1}`)
+	}
+	if last.StatusCode != http.StatusConflict {
+		t.Fatalf("admit past capacity: status %d, want 409", last.StatusCode)
+	}
+}
+
+// TestHTTPBackpressure: a full admission queue surfaces as 429 with a
+// Retry-After header — explicit backpressure, not a hung request.
+func TestHTTPBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	cl := testCluster(t, 32, 2, 4, gatedScorer(entered, gate))
+	ts, p := newHTTPFixture(t, PipelineConfig{
+		Cluster: cl, QueueCap: 2, BatchWindow: 1,
+	})
+
+	done := make(chan struct{})
+	admitAsync := func() {
+		go func() {
+			postJSON(t, ts.URL+"/v1/admit", `{"game": 1}`)
+			done <- struct{}{}
+		}()
+	}
+	admitAsync()
+	<-entered
+	admitAsync()
+	admitAsync()
+	waitFor(t, func() bool { return p.QueueDepth() == 2 }, 5*time.Second)
+
+	resp, _ := postJSON(t, ts.URL+"/v1/admit", `{"game": 1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("admit on full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(gate)
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+}
+
+// TestHTTPShutdownDrain: Shutdown over a real listener — draining flips
+// healthz to 503, in-flight work completes, the fleet keeps every
+// admitted session.
+func TestHTTPShutdownDrain(t *testing.T) {
+	c := testCluster(t, 16, 4, 2, nil)
+	p, err := NewPipeline(PipelineConfig{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(ServerConfig{Pipeline: p, Registry: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + s.Addr()
+	resp, _ := postJSON(t, url+"/v1/admit", `{"game": 2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admit: %d", resp.StatusCode)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := p.Admit(1); err != ErrDraining {
+		t.Fatalf("admit after shutdown: %v", err)
+	}
+	if st := p.Stats(); st.Placed != 1 || st.Active != 1 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gaugur/internal/sim"
+)
+
+// LoadGenConfig replays a sim.FlashCrowd arrival trace against a running
+// admission server, over the wire, at wall-clock pace.
+type LoadGenConfig struct {
+	// Target is the server's base URL for HTTP ("http://host:port") or
+	// host:port for the binary protocol.
+	Target string
+	// Binary selects the length-prefixed protocol instead of HTTP/JSON.
+	Binary bool
+	// Crowd shapes the arrival rate over simulated time (requests/sec).
+	Crowd sim.FlashCrowd
+	// Horizon is the simulated trace duration in seconds.
+	Horizon float64
+	// TimeScale compresses simulated time: a sim-second takes
+	// 1/TimeScale wall-seconds; <= 0 defaults to 1 (real time).
+	TimeScale float64
+	// MeanHold is the mean session lifetime in simulated seconds; <= 0
+	// means sessions never leave during the run. All still-active
+	// sessions are removed at the end either way, so a clean run leaves
+	// the fleet empty.
+	MeanHold float64
+	// Games is the game-id population, sampled uniformly; required.
+	Games []int
+	// Seed drives arrivals, game draws, and hold times.
+	Seed int64
+	// Workers bounds concurrent in-flight requests; <= 0 defaults to 32.
+	Workers int
+}
+
+// LoadGenResult is one replay's summary.
+type LoadGenResult struct {
+	Sent             int
+	Admitted         int
+	RejectedCapacity int
+	RejectedQueue    int
+	RejectedDraining int
+	Left             int
+	Errors           int
+	// P50 and P99 are end-to-end admission latencies (queue wait + batch
+	// dispatch + network), measured at the client.
+	P50, P99 time.Duration
+	Elapsed  time.Duration
+	// PlacementsPerSec is admitted sessions per wall-clock second.
+	PlacementsPerSec float64
+}
+
+func (r LoadGenResult) String() string {
+	return fmt.Sprintf(
+		"sent %d admitted %d (capacity-rejected %d, queue-rejected %d, draining %d, errors %d) left %d | p50 %v p99 %v | %.0f placements/s in %v",
+		r.Sent, r.Admitted, r.RejectedCapacity, r.RejectedQueue, r.RejectedDraining,
+		r.Errors, r.Left, r.P50, r.P99, r.PlacementsPerSec, r.Elapsed.Round(time.Millisecond))
+}
+
+// lgClient abstracts the two wire protocols for the generator workers.
+type lgClient interface {
+	admit(game int) (session int, err error)
+	leave(session int) error
+	close()
+}
+
+// holdItem is one scheduled mid-run leave; holdHeap is a plain binary
+// min-heap on expiry time (ties by session id, for a stable order).
+type holdItem struct {
+	at  float64
+	sid int
+}
+
+type holdHeap []holdItem
+
+func (h holdHeap) less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	return h[a].sid < h[b].sid
+}
+
+func (h *holdHeap) push(it holdItem) {
+	*h = append(*h, it)
+	for i := len(*h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *holdHeap) pop() holdItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	for i := 0; ; {
+		l, r, small := 2*i+1, 2*i+2, i
+		if l < last && h.less(l, small) {
+			small = l
+		}
+		if r < last && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+type lgJob struct {
+	admit   bool
+	game    int
+	session int
+	hold    float64 // sim-seconds; 0 = never leaves
+}
+
+// RunLoadGen replays the trace. The arrival schedule is deterministic in
+// Seed; wall-clock pacing and concurrent completion order are not.
+func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
+	if err := cfg.Crowd.Validate(); err != nil {
+		return LoadGenResult{}, err
+	}
+	if cfg.Horizon <= 0 || len(cfg.Games) == 0 {
+		return LoadGenResult{}, fmt.Errorf("serve: loadgen needs Horizon and Games")
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 32
+	}
+
+	var (
+		mu   sync.Mutex
+		res  LoadGenResult
+		lats []time.Duration
+		// live tracks admitted sessions whose leave is not yet scheduled
+		// (the scheduler claims a session out of live the moment it
+		// dispatches its leave, so one session gets exactly one leave);
+		// pendingAdmits/pendingLeaves count jobs handed to workers but not
+		// yet recorded, so the end drain never snapshots mid-flight state.
+		live          = map[int]bool{}
+		holds         holdHeap
+		pendingAdmits int
+		pendingLeaves int
+	)
+	jobs := make(chan lgJob, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		cl, err := newLGClient(cfg)
+		if err != nil {
+			return LoadGenResult{}, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cl.close()
+			for job := range jobs {
+				if !job.admit {
+					err := cl.leave(job.session)
+					mu.Lock()
+					if err == nil {
+						res.Left++
+					} else {
+						res.Errors++
+					}
+					pendingLeaves--
+					mu.Unlock()
+					continue
+				}
+				t0 := time.Now()
+				sid, err := cl.admit(job.game)
+				lat := time.Since(t0)
+				mu.Lock()
+				pendingAdmits--
+				res.Sent++
+				switch err {
+				case nil:
+					res.Admitted++
+					lats = append(lats, lat)
+					live[sid] = true
+					if job.hold > 0 {
+						holds.push(holdItem{at: job.hold, sid: sid})
+					}
+				case ErrNoCapacity:
+					res.RejectedCapacity++
+				case ErrQueueFull:
+					res.RejectedQueue++
+				case ErrDraining:
+					res.RejectedDraining++
+				default:
+					res.Errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// The scheduler paces the deterministic arrival trace in wall time,
+	// interleaving leaves whose (simulated) hold expired.
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, "loadgen", 0)))
+	start := time.Now()
+	now := 0.0
+	for {
+		next := cfg.Crowd.Next(now, rng)
+		game := cfg.Games[rng.Intn(len(cfg.Games))]
+		hold := 0.0
+		if cfg.MeanHold > 0 {
+			hold = rng.ExpFloat64() * cfg.MeanHold
+		}
+		if next > cfg.Horizon {
+			break
+		}
+		if d := time.Duration(float64(time.Second) * next / cfg.TimeScale); d > time.Since(start) {
+			time.Sleep(d - time.Since(start))
+		}
+		// Claim due leaves under the lock, send after releasing it — a
+		// worker blocked on the lock must be able to free job capacity.
+		var due []int
+		mu.Lock()
+		for len(holds) > 0 && holds[0].at <= next {
+			d := holds.pop()
+			if live[d.sid] {
+				delete(live, d.sid)
+				pendingLeaves++
+				due = append(due, d.sid)
+			}
+		}
+		mu.Unlock()
+		for _, sid := range due {
+			jobs <- lgJob{session: sid}
+		}
+		now = next
+		holdAt := 0.0
+		if hold > 0 {
+			holdAt = now + hold
+		}
+		mu.Lock()
+		pendingAdmits++
+		mu.Unlock()
+		jobs <- lgJob{admit: true, game: game, hold: holdAt}
+	}
+
+	// End drain: wait until every admit has been recorded, claim all
+	// surviving sessions for a final leave, then wait for those — a clean
+	// run hands the fleet back empty.
+	settle := func(f func() int) {
+		for {
+			mu.Lock()
+			n := f()
+			mu.Unlock()
+			if n == 0 {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	settle(func() int { return pendingAdmits })
+	mu.Lock()
+	sids := make([]int, 0, len(live))
+	for sid := range live {
+		sids = append(sids, sid)
+		delete(live, sid)
+	}
+	pendingLeaves += len(sids)
+	holds = holds[:0]
+	mu.Unlock()
+	sort.Ints(sids)
+	for _, sid := range sids {
+		jobs <- lgJob{session: sid}
+	}
+	settle(func() int { return pendingLeaves })
+	close(jobs)
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.P50 = lats[len(lats)/2]
+		res.P99 = lats[len(lats)*99/100]
+	}
+	if res.Elapsed > 0 {
+		res.PlacementsPerSec = float64(res.Admitted) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+func newLGClient(cfg LoadGenConfig) (lgClient, error) {
+	if cfg.Binary {
+		c, err := DialBinary(cfg.Target)
+		if err != nil {
+			return nil, err
+		}
+		return &binLGClient{c: c}, nil
+	}
+	return &httpLGClient{base: cfg.Target, c: &http.Client{Timeout: 30 * time.Second}}, nil
+}
+
+type binLGClient struct{ c *BinaryClient }
+
+func (b *binLGClient) admit(game int) (int, error) {
+	sid, _, err := b.c.Admit(game)
+	return sid, err
+}
+func (b *binLGClient) leave(session int) error { return b.c.Leave(session) }
+func (b *binLGClient) close()                  { b.c.Close() }
+
+type httpLGClient struct {
+	base string
+	c    *http.Client
+}
+
+func (h *httpLGClient) post(path string, req, resp any) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	r, err := h.c.Post(h.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode == http.StatusOK && resp != nil {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			return 0, err
+		}
+	}
+	return r.StatusCode, nil
+}
+
+// httpErr maps the status codes writeErr produces back to the sentinels,
+// so both protocols report through the same result buckets.
+func httpErr(code int) error {
+	switch code {
+	case http.StatusOK:
+		return nil
+	case http.StatusTooManyRequests:
+		return ErrQueueFull
+	case http.StatusServiceUnavailable:
+		return ErrDraining
+	case http.StatusConflict:
+		return ErrNoCapacity
+	case http.StatusNotFound:
+		return ErrUnknownSession
+	default:
+		return fmt.Errorf("serve: http status %d", code)
+	}
+}
+
+func (h *httpLGClient) admit(game int) (int, error) {
+	var resp admitResp
+	code, err := h.post("/v1/admit", admitReq{Game: game}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	if err := httpErr(code); err != nil {
+		return 0, err
+	}
+	return resp.Session, nil
+}
+
+func (h *httpLGClient) leave(session int) error {
+	code, err := h.post("/v1/leave", leaveReq{Session: session}, nil)
+	if err != nil {
+		return err
+	}
+	return httpErr(code)
+}
+
+func (h *httpLGClient) close() { h.c.CloseIdleConnections() }

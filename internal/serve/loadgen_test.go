@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/sim"
+)
+
+// TestLoadGenHTTP replays a short flash-crowd trace over real sockets
+// end to end: every request must succeed (admitted or cleanly rejected
+// on capacity), sessions leave, and the drain hands the fleet back empty.
+func TestLoadGenHTTP(t *testing.T) {
+	runLoadGenProto(t, false)
+}
+
+func TestLoadGenBinary(t *testing.T) {
+	runLoadGenProto(t, true)
+}
+
+func runLoadGenProto(t *testing.T, binaryProto bool) {
+	c := testCluster(t, 64, 4, 4, nil)
+	p, err := NewPipeline(PipelineConfig{
+		Cluster:     c,
+		BatchWindow: 16,
+		BatchDelay:  200 * time.Microsecond,
+		Metrics:     obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(ServerConfig{Pipeline: p, Registry: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LoadGenConfig{
+		Crowd: sim.FlashCrowd{
+			Base:  400,
+			Peaks: []sim.CrowdPeak{{At: 0.1, Duration: 0.1, Factor: 3}},
+		},
+		Horizon:   0.3,
+		TimeScale: 1,
+		MeanHold:  0.15,
+		Games:     []int{0, 1, 2, 3, 4, 5},
+		Seed:      11,
+		Workers:   8,
+	}
+	if binaryProto {
+		if err := s.StartBinary("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Binary = true
+		cfg.Target = s.BinaryAddr()
+	} else {
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Target = "http://" + s.Addr()
+	}
+
+	res, err := RunLoadGen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("loadgen errors: %+v", res)
+	}
+	if res.Sent < 50 || res.Admitted == 0 {
+		t.Fatalf("trace barely ran: %+v", res)
+	}
+	if res.Admitted != res.Left {
+		t.Fatalf("admitted %d but only %d left: drain incomplete", res.Admitted, res.Left)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := p.Stats(); st.Active != 0 {
+		t.Fatalf("fleet not empty after loadgen drain: %+v", st)
+	}
+}

@@ -1,0 +1,393 @@
+// Package serve is the network-facing admission front end for the sharded
+// fleet dispatcher. Its core is a coalescing pipeline: concurrent arrival
+// requests land in a bounded MPSC queue, a single collector goroutine
+// drains up to a batch window (or a small latency deadline, whichever
+// fires first) and submits the whole batch through fleet.PlaceBatch, so
+// the power-of-k shard probes and the compiled forest kernel run at full
+// 16-wide occupancy instead of one under-filled forest pass per arrival.
+//
+// The pipeline trades a bounded amount of queueing latency (the batch
+// window) for throughput; under light load the window never fills and the
+// deadline keeps p99 admission latency flat, while under heavy load the
+// queue applies explicit backpressure (ErrQueueFull → HTTP 429) instead
+// of collapsing.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gaugur/internal/obs"
+	"gaugur/internal/obs/trace"
+	"gaugur/internal/sched/fleet"
+)
+
+// Sentinel errors returned by Admit/Leave. The HTTP layer maps them to
+// status codes (429, 503, 409, 404).
+var (
+	// ErrQueueFull: the bounded admission queue is at capacity —
+	// backpressure, retry later.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining: the pipeline is shutting down and no longer accepts
+	// work.
+	ErrDraining = errors.New("serve: draining")
+	// ErrNoCapacity: every server in the fleet is saturated.
+	ErrNoCapacity = errors.New("serve: no capacity")
+	// ErrUnknownSession: Leave named a session the fleet doesn't hold.
+	ErrUnknownSession = errors.New("serve: unknown session")
+)
+
+// PipelineConfig parameterizes the coalescing admission pipeline.
+type PipelineConfig struct {
+	// Cluster is the fleet dispatch plane; required. The pipeline becomes
+	// its sole caller (the Cluster itself is not safe for concurrent use).
+	Cluster *fleet.Cluster
+	// BatchWindow is the most arrivals coalesced into one dispatch;
+	// <= 0 defaults to 16 — one full compiled-kernel chunk. 1 disables
+	// coalescing (singleton submission, the comparison baseline).
+	BatchWindow int
+	// BatchDelay is how long the collector waits for the window to fill
+	// once it holds at least one request; <= 0 means "don't wait": drain
+	// whatever is queued right now and dispatch. A small deadline
+	// (~200µs) trades that much p50 latency for fuller batches under
+	// moderate load.
+	BatchDelay time.Duration
+	// QueueCap bounds the MPSC admission queue; <= 0 defaults to 256.
+	// A full queue rejects with ErrQueueFull rather than blocking.
+	QueueCap int
+	// Metrics and Tracer are nil-safe, same contract as fleet.Config.
+	Metrics *obs.Registry
+	Tracer  *trace.Tracer
+}
+
+const (
+	defaultWindow   = 16
+	defaultQueueCap = 256
+)
+
+type opKind uint8
+
+const (
+	opAdmit opKind = iota
+	opLeave
+)
+
+// pendingOp is one queued request. Ops are pooled: the submitter gets one
+// from the pool, the collector answers on its one-buffered done channel,
+// and the submitter returns it after reading — so the warm path allocates
+// nothing.
+type pendingOp struct {
+	kind    opKind
+	game    int
+	session int
+	enq     time.Time
+	done    chan opResult
+}
+
+type opResult struct {
+	placement fleet.Placement
+	err       error
+}
+
+// Pipeline is the coalescing admission pipeline. Safe for concurrent
+// submitters; exactly one collector goroutine talks to the Cluster.
+type Pipeline struct {
+	cfg    PipelineConfig
+	window int
+
+	queue chan *pendingOp
+	pool  sync.Pool
+	depth atomic.Int64 // queued ops, for the gauge and Retry-After
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	prod      sync.WaitGroup // in-flight submitters
+	done      chan struct{}  // collector exited; cluster quiescent
+
+	// statsCache is the collector's snapshot of the cluster counters,
+	// refreshed after every dispatch — Stats() never touches the Cluster
+	// while the collector owns it, so monitoring can't block or race the
+	// hot path (and can't deadlock the graceful drain).
+	statsCache atomic.Pointer[fleet.Stats]
+
+	met admissionMetrics
+
+	// Collector-owned scratch, reused across dispatch cycles.
+	batch   []*pendingOp
+	games   []int
+	results []fleet.BatchResult
+}
+
+// NewPipeline starts the collector goroutine. Close it to drain.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("serve: PipelineConfig needs a Cluster")
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = defaultWindow
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = defaultQueueCap
+	}
+	p := &Pipeline{
+		cfg:    cfg,
+		window: cfg.BatchWindow,
+		queue:  make(chan *pendingOp, cfg.QueueCap),
+		done:   make(chan struct{}),
+		met:    newAdmissionMetrics(cfg.Metrics),
+	}
+	p.pool.New = func() any { return &pendingOp{done: make(chan opResult, 1)} }
+	st := cfg.Cluster.Stats()
+	p.statsCache.Store(&st)
+	go p.run()
+	return p, nil
+}
+
+// Draining reports whether Close has begun.
+func (p *Pipeline) Draining() bool { return p.closed.Load() }
+
+// QueueDepth is the number of requests waiting in the admission queue.
+func (p *Pipeline) QueueDepth() int { return int(p.depth.Load()) }
+
+// Close drains gracefully: new submissions are refused with ErrDraining,
+// in-flight submitters finish enqueueing, the collector flushes every
+// queued batch, and only then does the Cluster go quiescent. Idempotent;
+// blocks until the drain completes. The Cluster itself is NOT closed —
+// the owner that built it closes it (and may read final stats first).
+func (p *Pipeline) Close() {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		p.prod.Wait()  // every in-flight submit has enqueued or bailed
+		close(p.queue) // collector drains the backlog, then exits
+	})
+	<-p.done
+}
+
+// enter registers a submitter; false means the pipeline is draining. The
+// Add-then-check order pairs with Close's Store-then-Wait so a submitter
+// that slips past the check has provably enqueued before the queue closes.
+func (p *Pipeline) enter() bool {
+	p.prod.Add(1)
+	if p.closed.Load() {
+		p.prod.Done()
+		return false
+	}
+	return true
+}
+
+func (p *Pipeline) getOp(kind opKind) *pendingOp {
+	op := p.pool.Get().(*pendingOp)
+	op.kind = kind
+	op.enq = time.Now()
+	return op
+}
+
+// submit enqueues op without blocking; a full queue is backpressure, not
+// a wait. Waiting for the result DOES block — admission latency is the
+// queue wait plus the batch dispatch.
+func (p *Pipeline) submit(op *pendingOp) (opResult, error) {
+	select {
+	case p.queue <- op:
+		p.depth.Add(1)
+	default:
+		p.prod.Done()
+		p.pool.Put(op)
+		p.met.rejectedQueue.Inc()
+		return opResult{}, ErrQueueFull
+	}
+	p.prod.Done()
+	res := <-op.done
+	p.pool.Put(op)
+	return res, nil
+}
+
+// Admit requests placement for one session of game. Blocks until the
+// coalesced batch containing it is dispatched; returns ErrQueueFull,
+// ErrDraining, or ErrNoCapacity on failure.
+func (p *Pipeline) Admit(game int) (fleet.Placement, error) {
+	p.met.requests.Inc()
+	if !p.enter() {
+		p.met.rejectedDraining.Inc()
+		return fleet.Placement{}, ErrDraining
+	}
+	op := p.getOp(opAdmit)
+	op.game = game
+	res, err := p.submit(op)
+	if err != nil {
+		return fleet.Placement{}, err
+	}
+	return res.placement, res.err
+}
+
+// Leave removes a session. Leaves ride the same queue as admits so the
+// collector stays the cluster's only caller and ordering is preserved.
+func (p *Pipeline) Leave(session int) error {
+	p.met.requests.Inc()
+	if !p.enter() {
+		p.met.rejectedDraining.Inc()
+		return ErrDraining
+	}
+	op := p.getOp(opLeave)
+	op.session = session
+	res, err := p.submit(op)
+	if err != nil {
+		return err
+	}
+	return res.err
+}
+
+// Stats reads the cluster's counters: the collector's post-dispatch
+// snapshot while it runs (at most one batch stale), the exact final
+// values once the drain has completed.
+func (p *Pipeline) Stats() fleet.Stats {
+	select {
+	case <-p.done:
+		return p.cfg.Cluster.Stats()
+	default:
+		return *p.statsCache.Load()
+	}
+}
+
+// run is the collector: block for the first op, coalesce up to the window
+// (bounded by the deadline when configured), dispatch, repeat. Exits when
+// the queue is closed AND drained — the graceful-drain guarantee.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	var timer *time.Timer
+	if p.cfg.BatchDelay > 0 {
+		timer = time.NewTimer(p.cfg.BatchDelay)
+		if !timer.Stop() {
+			<-timer.C
+		}
+	}
+	for {
+		op, ok := <-p.queue
+		if !ok {
+			return
+		}
+		p.depth.Add(-1)
+		p.batch = append(p.batch[:0], op)
+		p.coalesce(timer)
+		p.dispatch()
+	}
+}
+
+// coalesce fills p.batch up to the window. With no deadline it drains
+// only what is already queued (never waits); with one it waits up to
+// BatchDelay for stragglers, so light load still forms partial batches
+// and heavy load fills the window before the timer fires.
+func (p *Pipeline) coalesce(timer *time.Timer) {
+	if timer == nil {
+		for len(p.batch) < p.window {
+			select {
+			case op, ok := <-p.queue:
+				if !ok {
+					return
+				}
+				p.depth.Add(-1)
+				p.batch = append(p.batch, op)
+			default:
+				return
+			}
+		}
+		return
+	}
+	timer.Reset(p.cfg.BatchDelay)
+	defer func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}()
+	for len(p.batch) < p.window {
+		select {
+		case op, ok := <-p.queue:
+			if !ok {
+				return
+			}
+			p.depth.Add(-1)
+			p.batch = append(p.batch, op)
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+// dispatch runs one coalesced batch against the cluster. Consecutive
+// admits form one PlaceBatch call (the full-occupancy path); leaves and
+// stats execute singly in arrival order, so batched submission observes
+// exactly the sequence a singleton pipeline would.
+func (p *Pipeline) dispatch() {
+	sp := p.met.dispatch.Start()
+	p.met.queueDepth.Set(float64(p.depth.Load()))
+	now := time.Now()
+	tctx := trace.Ctx{}
+	if p.cfg.Tracer != nil {
+		tctx = p.cfg.Tracer.StartTrace("admission-batch", trace.Int("ops", len(p.batch)))
+	}
+	for _, op := range p.batch {
+		p.met.queueWait.Observe(now.Sub(op.enq).Seconds())
+	}
+	for i := 0; i < len(p.batch); {
+		if p.batch[i].kind != opAdmit {
+			p.runSingle(p.batch[i], tctx)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(p.batch) && p.batch[j].kind == opAdmit {
+			j++
+		}
+		p.runAdmits(p.batch[i:j], tctx)
+		i = j
+	}
+	tctx.End()
+	sp.Stop()
+	st := p.cfg.Cluster.Stats()
+	p.statsCache.Store(&st)
+	// Drop op pointers so pooled ops aren't pinned by the scratch slice.
+	clear(p.batch)
+	p.batch = p.batch[:0]
+}
+
+// runAdmits places one run of consecutive admits through PlaceBatch.
+func (p *Pipeline) runAdmits(ops []*pendingOp, tctx trace.Ctx) {
+	sctx := tctx.StartSpan("dispatch-admits", trace.Int("arrivals", len(ops)))
+	p.games = p.games[:0]
+	for _, op := range ops {
+		p.games = append(p.games, op.game)
+	}
+	p.results = p.cfg.Cluster.PlaceBatch(p.games, p.results[:0])
+	admitted := 0
+	for i, op := range ops {
+		r := p.results[i]
+		if r.OK {
+			admitted++
+			op.done <- opResult{placement: r.Placement}
+		} else {
+			p.met.rejectedCapacity.Inc()
+			op.done <- opResult{err: ErrNoCapacity}
+		}
+	}
+	p.met.admitted.Add(int64(admitted))
+	p.met.batches.Inc()
+	p.met.batchSize.Observe(float64(len(ops)))
+	sctx.End(trace.Int("admitted", admitted))
+}
+
+// runSingle executes one leave op.
+func (p *Pipeline) runSingle(op *pendingOp, tctx trace.Ctx) {
+	sctx := tctx.StartSpan("dispatch-leave", trace.Int("session", op.session))
+	if p.cfg.Cluster.Remove(op.session) {
+		p.met.leaves.Inc()
+		op.done <- opResult{}
+	} else {
+		op.done <- opResult{err: ErrUnknownSession}
+	}
+	sctx.End()
+}
