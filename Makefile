@@ -51,7 +51,8 @@ bench-json:
 	$(GO) test -bench 'BenchmarkProfileCatalog|BenchmarkCollectSamples|BenchmarkTrainPipeline|BenchmarkPredictBatch|BenchmarkOnlinePlacement|BenchmarkTraceOverhead|BenchmarkHotSwap' \
 		-benchtime 1x -run '^$$' . > bench_pipeline.txt
 	$(GO) test -bench 'BenchmarkFleetDispatch$$' -benchtime 5x -run '^$$' . >> bench_pipeline.txt
-	$(GO) test -bench 'BenchmarkAdmissionPipeline$$|BenchmarkAdmissionSingleton$$' -benchtime 10x -run '^$$' . >> bench_pipeline.txt
+	$(GO) test -bench 'BenchmarkAdmissionPipeline$$|BenchmarkAdmissionSingleton$$|BenchmarkAdmissionTraced$$' -benchtime 10x -run '^$$' . >> bench_pipeline.txt
+	$(GO) test -bench 'BenchmarkAdmissionTracedOverhead$$' -benchtime 30x -run '^$$' . >> bench_pipeline.txt
 	cat bench_pipeline.txt
 	awk 'BEGIN { print "{" } \
 		/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); \
@@ -71,17 +72,23 @@ bench-json:
 # amortizes 2048 placements per iteration so 5 are enough; TrainPipeline
 # is seconds long and stable at one; the admission pair amortizes 2048
 # arrivals per iteration so 10 are enough. Beyond the ns/op deltas, the
-# guard asserts the coalescing design's headline invariant within the
-# fresh run itself (so runner speed cancels out): the batched admission
-# pipeline must place at >= 2x the singleton arm's placements/sec. The
-# baseline file is read, never rewritten — run `make bench-json`
-# deliberately to move it.
+# guard asserts two headline invariants within the fresh run itself (so
+# runner speed cancels out): the batched admission pipeline must place at
+# >= 2x the singleton arm's placements/sec, and the observability plane's
+# cost must stay under 5%. The overhead figure comes from the interleaved
+# AdmissionTracedOverhead experiment (median of per-pair ratios), run 3
+# times with the MINIMUM taken: run medians still swing a few percent with
+# VM steal, and the minimum is the noise-floor estimate — a real
+# regression lifts all three runs, a steal burst only some. The baseline
+# file is read, never rewritten — run `make bench-json` deliberately to
+# move it.
 bench-check:
 	@test -f BENCH_pipeline.json || { echo "BENCH_pipeline.json baseline missing; run make bench-json and commit it"; exit 1; }
 	$(GO) test -bench 'BenchmarkPredictBatch$$|BenchmarkHotSwap$$' -benchtime 20x -run '^$$' . > bench_check.txt
 	$(GO) test -bench 'BenchmarkFleetDispatch$$' -benchtime 5x -run '^$$' . >> bench_check.txt
 	$(GO) test -bench 'BenchmarkTrainPipeline$$' -benchtime 1x -run '^$$' . >> bench_check.txt
-	$(GO) test -bench 'BenchmarkAdmissionPipeline$$|BenchmarkAdmissionSingleton$$' -benchtime 10x -run '^$$' . >> bench_check.txt
+	$(GO) test -bench 'BenchmarkAdmissionPipeline$$|BenchmarkAdmissionSingleton$$|BenchmarkAdmissionTraced$$' -benchtime 10x -run '^$$' . >> bench_check.txt
+	$(GO) test -bench 'BenchmarkAdmissionTracedOverhead$$' -benchtime 30x -count 3 -run '^$$' . >> bench_check.txt
 	@cat bench_check.txt
 	@awk -v tol=$(BENCH_TOLERANCE) ' \
 		FNR == 1 { f++ } \
@@ -93,7 +100,12 @@ bench-check:
 		f == 2 && /^Benchmark/ { \
 			key = $$1; sub(/-[0-9]+$$/, "", key); \
 			cur[key "_ns_op"] = $$3; \
-			for (i = 5; i < NF; i += 2) { u = $$(i+1); gsub(/\//, "_per_", u); cur[key "_" u] = $$i } \
+			for (i = 5; i < NF; i += 2) { \
+				u = $$(i+1); gsub(/\//, "_per_", u); cur[key "_" u] = $$i; \
+				if (key "_" u == "BenchmarkAdmissionTracedOverhead_overhead_pct") { \
+					v = $$i + 0; if (!ovseen++ || v < ovmin) ovmin = v; \
+				} \
+			} \
 		} \
 		END { \
 			n = split("BenchmarkPredictBatch_ns_op BenchmarkHotSwap_ns_op BenchmarkFleetDispatch_ns_op BenchmarkTrainPipeline_ns_op BenchmarkAdmissionPipeline_ns_op", guard, " "); \
@@ -113,6 +125,15 @@ bench-check:
 				printf "bench-check: admission coalescing = %.2fx singleton (%.0f vs %.0f placements/s)\n", ratio, ps, ss; \
 				if (ratio < 2.0) { print "bench-check: coalesced admission fell below the 2x-over-singleton bar"; fail = 1; } \
 			} \
+			ts = cur["BenchmarkAdmissionTraced_placements_per_s"] + 0; \
+			if (ts <= 0) { print "bench-check: traced admission placements/s missing from fresh run"; fail = 1; } \
+			else if (ps > 0) \
+				printf "bench-check: traced admission = %.2fx untraced (%.0f vs %.0f placements/s) [info only]\n", ts / ps, ts, ps; \
+			if (!ovseen) { print "bench-check: paired tracing-overhead figure missing from fresh run"; fail = 1; } \
+			else { \
+				printf "bench-check: tracing overhead (paired, min of %d run medians) = %+.2f%%\n", ovseen, ovmin; \
+				if (ovmin >= 5.0) { print "bench-check: tracing cost exceeded the 5% overhead budget"; fail = 1; } \
+			} \
 			exit fail; \
 		}' BENCH_pipeline.json bench_check.txt
 
@@ -128,13 +149,16 @@ lifecycle-e2e:
 # serve-smoke proves the admission front end end to end through the real
 # binary: build gaugur, boot `serve -demo` on a throwaway port, replay a
 # flash-crowd arrival trace over the wire with loadgen (which exits
-# non-zero if any request errors), then SIGTERM the server and require a
-# graceful drain. The subshell traps EXIT so the server never outlives a
-# failed run.
+# non-zero if any request errors and propagates deterministic trace ids),
+# pull /debug/flightrecorder and require a non-empty dump with zero
+# dropped events that the flightrec reader can render, then SIGTERM the
+# server and require a graceful drain. The subshell traps EXIT so the
+# server never outlives a failed run; the dump lands in
+# flightrecorder.json, which CI archives.
 serve-smoke:
 	$(GO) build -o bin/gaugur ./cmd/gaugur
 	@set -e; \
-	./bin/gaugur serve -demo -addr 127.0.0.1:18080 -queue-cap 1024 > serve_smoke.log 2>&1 & \
+	./bin/gaugur serve -demo -addr 127.0.0.1:18080 -queue-cap 1024 -flight-cap 8192 > serve_smoke.log 2>&1 & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	for i in $$(seq 1 50); do \
@@ -143,6 +167,15 @@ serve-smoke:
 		sleep 0.2; \
 	done; \
 	./bin/gaugur loadgen -target http://127.0.0.1:18080 -rps 300 -horizon 4 -time-scale 4 -crowd-at 1 -crowd-duration 1; \
+	curl -sf "http://127.0.0.1:18080/debug/flightrecorder?traces=8" -o flightrecorder.json \
+		|| { echo "serve-smoke: flight recorder fetch failed"; cat serve_smoke.log; exit 1; }; \
+	test -s flightrecorder.json || { echo "serve-smoke: flight recorder dump is empty"; exit 1; }; \
+	grep -q '"dropped": 0' flightrecorder.json \
+		|| { echo "serve-smoke: flight recorder dropped events under load"; head -5 flightrecorder.json; exit 1; }; \
+	grep -q '"kind": "admit"' flightrecorder.json \
+		|| { echo "serve-smoke: no admit events in the flight recorder"; exit 1; }; \
+	./bin/gaugur flightrec -in flightrecorder.json -expand 1 > /dev/null \
+		|| { echo "serve-smoke: flightrec reader choked on the dump"; exit 1; }; \
 	kill -TERM $$pid; \
 	wait $$pid || { echo "serve-smoke: server exited non-zero"; cat serve_smoke.log; exit 1; }; \
 	trap - EXIT; \

@@ -6,122 +6,299 @@ import (
 	"testing"
 	"time"
 
+	"gaugur/internal/obs/flight"
+	"gaugur/internal/obs/trace"
 	"gaugur/internal/sched/fleet"
 	"gaugur/internal/serve"
+	"gaugur/internal/sim"
+	"gaugur/internal/stats"
 )
 
-// benchAdmission drives the coalescing admission pipeline in-process (no
-// sockets): 32 concurrent producers admit sessions against the trained
-// predictor and then leave them, so one iteration is a full
-// place-and-drain cycle and the fleet returns to empty. window=16 is the
-// coalescing path (cross-request batches fill the 16-wide compiled
-// kernel and share probe results); window=1 is the singleton baseline
-// (same pipeline, queue, and threads — only the coalescing differs).
-//
-// CacheCap is deliberately small and identical in both arms: a fleet
-// under churn, diverse colocations, or periodic model hot swaps cannot
-// absorb scoring into the memo, and that scoring regime — not the
-// cache-warm fast path — is what the batch kernel exists for.
-func benchAdmission(b *testing.B, window int) {
-	env := benchEnv(b)
-	p, err := env.GAugur(env.Cfg.QoSHigh)
-	if err != nil {
-		b.Fatal(err)
+const (
+	admServers     = 10240
+	admShards      = 16
+	admK           = 8
+	admProducers   = 128
+	admPerProducer = 16
+)
+
+// admissionStack is one complete admission plane: fleet + coalescing
+// pipeline, optionally with the full observability plane (tracer with 1%
+// tail sampling) attached. The flight recorder runs in BOTH arms — it is
+// always on in production — so a traced-vs-untraced delta isolates span
+// collection + tail sampling.
+type admissionStack struct {
+	cluster *fleet.Cluster
+	pipe    *serve.Pipeline
+	tracer  *trace.Tracer
+}
+
+func newAdmissionStack(b *testing.B, scorer fleet.BatchScorer, window int, traced bool) *admissionStack {
+	b.Helper()
+	rec := flight.New(flight.DefaultCapacity, nil)
+	var tracer *trace.Tracer
+	if traced {
+		tracer = trace.New(trace.Config{
+			Seed: sim.DeriveSeed(1, "trace", 0),
+			Tail: &trace.TailPolicy{Rate: 0.01},
+		})
 	}
-	const (
-		servers     = 10240
-		shards      = 16
-		k           = 8
-		producers   = 128
-		perProducer = 16
-	)
 	c, err := fleet.New(fleet.Config{
-		NumServers:   servers,
-		ShardCount:   shards,
+		NumServers:   admServers,
+		ShardCount:   admShards,
 		MaxPerServer: 4,
-		K:            k,
+		K:            admK,
 		Seed:         1,
-		Scorer:       fleet.NewPredictorScorer(p),
+		Scorer:       scorer,
 		CacheCap:     256,
+		Tracer:       tracer,
+		Flight:       rec,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer c.Close()
 	pipe, err := serve.NewPipeline(serve.PipelineConfig{
 		Cluster:     c,
 		BatchWindow: window,
 		QueueCap:    1024,
+		Tracer:      tracer,
+		Flight:      rec,
 	})
 	if err != nil {
+		c.Close()
 		b.Fatal(err)
 	}
-	defer pipe.Close()
-	ids := env.TenGames()
+	s := &admissionStack{cluster: c, pipe: pipe, tracer: tracer}
+	b.Cleanup(func() { pipe.Close(); c.Close() })
+	return s
+}
 
+// admitCycle drives one full admission wave — admProducers concurrent
+// goroutines each admitting admPerProducer sessions — and returns the
+// placed session ids. tids supplies client-minted trace identifiers
+// (nil/zero for untraced); lats, when non-nil, collects per-admission
+// latencies. The caller times the call and drains the sessions afterwards.
+func admitCycle(b *testing.B, pipe *serve.Pipeline, game int, tids []uint64, lats *[]time.Duration) [][]int {
+	sidCh := make(chan []int, admProducers)
 	var mu sync.Mutex
-	var lats []time.Duration
-
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		game := ids[i%len(ids)]
-		sidCh := make(chan []int, producers)
-		var wg sync.WaitGroup
-		for w := 0; w < producers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				sids := make([]int, 0, perProducer)
-				local := make([]time.Duration, 0, perProducer)
-				for j := 0; j < perProducer; j++ {
+	var wg sync.WaitGroup
+	for w := 0; w < admProducers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sids := make([]int, 0, admPerProducer)
+			var local []time.Duration
+			if lats != nil {
+				local = make([]time.Duration, 0, admPerProducer)
+			}
+			for j := 0; j < admPerProducer; j++ {
+				var tid uint64
+				if tids != nil {
+					tid = tids[w*admPerProducer+j]
+				}
+				if lats != nil {
 					t0 := time.Now()
-					pl, err := pipe.Admit(game)
+					pl, err := pipe.AdmitTraced(game, tid)
 					local = append(local, time.Since(t0))
 					if err != nil {
 						b.Errorf("admit: %v", err)
 						return
 					}
 					sids = append(sids, pl.Session)
+					continue
 				}
-				sidCh <- sids
+				pl, err := pipe.AdmitTraced(game, tid)
+				if err != nil {
+					b.Errorf("admit: %v", err)
+					return
+				}
+				sids = append(sids, pl.Session)
+			}
+			sidCh <- sids
+			if lats != nil {
 				mu.Lock()
-				lats = append(lats, local...)
+				*lats = append(*lats, local...)
 				mu.Unlock()
-			}(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(sidCh)
+	all := make([][]int, 0, admProducers)
+	for sids := range sidCh {
+		all = append(all, sids)
+	}
+	return all
+}
+
+// drainCycle removes every session admitted by a cycle — fixture reset
+// between iterations, never inside a timed section.
+func drainCycle(b *testing.B, c *fleet.Cluster, waves [][]int) {
+	for _, sids := range waves {
+		for _, sid := range sids {
+			if !c.Remove(sid) {
+				b.Fatalf("remove: unknown session %d", sid)
+			}
 		}
-		wg.Wait()
+	}
+}
+
+// benchTraceIDs derives the deterministic client-minted trace identifiers
+// one cycle uses — outside any timed section: deriving them is the load
+// generator's cost, not the admission plane's.
+func benchTraceIDs(seed int64) []uint64 {
+	tids := make([]uint64, admProducers*admPerProducer)
+	for n := range tids {
+		tids[n] = uint64(sim.DeriveSeed(seed, "bench-trace", int64(n)))
+	}
+	return tids
+}
+
+// benchAdmission drives the coalescing admission pipeline in-process (no
+// sockets): one iteration is a full place-and-drain cycle and the fleet
+// returns to empty. window=16 is the coalescing path (cross-request
+// batches fill the 16-wide compiled kernel and share probe results);
+// window=1 is the singleton baseline (same pipeline, queue, and threads —
+// only the coalescing differs).
+//
+// CacheCap is deliberately small and identical in both arms: a fleet
+// under churn, diverse colocations, or periodic model hot swaps cannot
+// absorb scoring into the memo, and that scoring regime — not the
+// cache-warm fast path — is what the batch kernel exists for.
+//
+// traced turns on the full observability plane: a tracer with 1% tail
+// sampling and client-minted deterministic trace identifiers propagated
+// through every admit, the production `gaugur serve` configuration.
+func benchAdmission(b *testing.B, window int, traced bool) {
+	env := benchEnv(b)
+	p, err := env.GAugur(env.Cfg.QoSHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := newAdmissionStack(b, fleet.NewPredictorScorer(p), window, traced)
+	ids := env.TenGames()
+
+	var tids []uint64
+	if traced {
+		tids = benchTraceIDs(1)
+	}
+	var lats []time.Duration
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		waves := admitCycle(b, s.pipe, ids[i%len(ids)], tids, &lats)
 		// Drain the fleet outside the timer: the departures are fixture
 		// reset between iterations, not the admission path under test.
 		b.StopTimer()
-		close(sidCh)
-		for sids := range sidCh {
-			for _, sid := range sids {
-				if !c.Remove(sid) {
-					b.Fatalf("remove: unknown session %d", sid)
-				}
-			}
-		}
+		drainCycle(b, s.cluster, waves)
 		b.StartTimer()
 	}
 	b.StopTimer()
 
-	arrivals := float64(b.N) * producers * perProducer
+	arrivals := float64(b.N) * admProducers * admPerProducer
 	b.ReportMetric(arrivals/b.Elapsed().Seconds(), "placements/s")
-	st := c.Stats()
+	st := s.cluster.Stats()
 	b.ReportMetric(float64(st.ScoreProbes)/arrivals, "probes/arrival")
 	b.ReportMetric(float64(st.Scanned)/arrivals, "scanned/arrival")
 	b.ReportMetric(float64(st.CacheMisses)/arrivals, "misses/arrival")
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	if len(lats) > 0 {
-		b.ReportMetric(float64(lats[len(lats)/2].Nanoseconds()), "p50_ns")
-		b.ReportMetric(float64(lats[len(lats)*99/100].Nanoseconds()), "p99_ns")
+	if p50, p99 := stats.LatencyPercentiles(lats); len(lats) > 0 {
+		b.ReportMetric(float64(p50.Nanoseconds()), "p50_ns")
+		b.ReportMetric(float64(p99.Nanoseconds()), "p99_ns")
+	}
+	if traced {
+		b.ReportMetric(float64(s.tracer.Store().Total()), "traces_kept")
 	}
 }
 
 // BenchmarkAdmissionPipeline: coalesced batches at full kernel occupancy.
-func BenchmarkAdmissionPipeline(b *testing.B) { benchAdmission(b, 16) }
+func BenchmarkAdmissionPipeline(b *testing.B) { benchAdmission(b, 16, false) }
 
 // BenchmarkAdmissionSingleton: the same pipeline with coalescing off —
 // every arrival is its own dispatch and its own under-filled kernel call.
 // The acceptance bar for the coalescing design is Pipeline >= 2x this.
-func BenchmarkAdmissionSingleton(b *testing.B) { benchAdmission(b, 1) }
+func BenchmarkAdmissionSingleton(b *testing.B) { benchAdmission(b, 1, false) }
+
+// BenchmarkAdmissionTraced: the coalescing path with full request
+// observability on — propagated trace ids, span collection, 1% tail
+// sampling, exemplars — for the absolute-throughput trend line in
+// BENCH_pipeline.json.
+func BenchmarkAdmissionTraced(b *testing.B) { benchAdmission(b, 16, true) }
+
+// BenchmarkAdmissionTracedOverhead measures the cost of the observability
+// plane as a PAIRED experiment: two identical admission stacks — one
+// traced (1% tail sampling, propagated ids), one not — run alternating
+// cycles within the same process, and the reported overhead_pct is the
+// ratio of their accumulated wall times. Interleaving means scheduler
+// noise, VM steal bursts, and thermal drift hit both arms almost equally,
+// so the ratio resolves differences an order of magnitude below what two
+// independent benchmark runs can on a shared machine. The acceptance bar
+// (enforced by `make bench-check`) is overhead_pct < 5, taken as the
+// minimum over -count 3 runs — the noise-floor estimate.
+func BenchmarkAdmissionTracedOverhead(b *testing.B) {
+	env := benchEnv(b)
+	p, err := env.GAugur(env.Cfg.QoSHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scorer := fleet.NewPredictorScorer(p)
+	plain := newAdmissionStack(b, scorer, 16, false)
+	traced := newAdmissionStack(b, scorer, 16, true)
+	ids := env.TenGames()
+	tids := benchTraceIDs(1)
+
+	var plainNS, tracedNS int64
+	ratios := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		game := ids[i%len(ids)]
+		// Alternate which arm goes first so slow drift never systematically
+		// favors one side.
+		order := [2]*admissionStack{plain, traced}
+		if i%2 == 1 {
+			order[0], order[1] = traced, plain
+		}
+		var pairPlain, pairTraced int64
+		for _, s := range order {
+			var cycleTids []uint64
+			if s == traced {
+				cycleTids = tids
+			}
+			t0 := time.Now()
+			waves := admitCycle(b, s.pipe, game, cycleTids, nil)
+			dt := int64(time.Since(t0))
+			if s == traced {
+				pairTraced = dt
+			} else {
+				pairPlain = dt
+			}
+			b.StopTimer()
+			drainCycle(b, s.cluster, waves)
+			b.StartTimer()
+		}
+		plainNS += pairPlain
+		tracedNS += pairTraced
+		if pairPlain > 0 {
+			ratios = append(ratios, float64(pairTraced)/float64(pairPlain))
+		}
+	}
+	b.StopTimer()
+
+	// The headline figure is the MEDIAN of per-pair ratios, not the ratio
+	// of sums: a single cycle hit by a steal burst or a GC mark phase would
+	// otherwise drag the whole run, and the median ignores it.
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		med := ratios[len(ratios)/2]
+		if len(ratios)%2 == 0 {
+			med = (med + ratios[len(ratios)/2-1]) / 2
+		}
+		b.ReportMetric((med-1)*100, "overhead_pct")
+	}
+	arrivals := float64(b.N) * admProducers * admPerProducer
+	if tracedNS > 0 {
+		b.ReportMetric(arrivals/(float64(tracedNS)/1e9), "traced_placements_per_s")
+	}
+	if plainNS > 0 {
+		b.ReportMetric(arrivals/(float64(plainNS)/1e9), "untraced_placements_per_s")
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gaugur/internal/obs/flight"
+	"gaugur/internal/obs/trace"
+)
+
+// cmdFlightRec reads a flight-recorder dump — from a file written by
+// SIGQUIT (or `-flightrec-out`), or live from a running server's
+// /debug/flightrecorder endpoint — and renders the event timeline, the
+// tail-sampler ledger, and the retained trace trees.
+func cmdFlightRec(args []string) error {
+	fs := newFlagSet("flightrec")
+	in := fs.String("in", "", "read a dump file (as written by SIGQUIT or the HTTP endpoint)")
+	target := fs.String("target", "", "fetch the dump live from this server base URL")
+	traces := fs.Int("traces", 16, "kept traces to request with -target")
+	expand := fs.Int("expand", 4, "retained traces to render as full span trees (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*in == "") == (*target == "") {
+		return fmt.Errorf("flightrec: exactly one of -in or -target is required")
+	}
+
+	var d flight.Dump
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		d, err = flight.ReadDump(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("flightrec: %s: %w", *in, err)
+		}
+	} else {
+		url := fmt.Sprintf("%s/debug/flightrecorder?traces=%d",
+			strings.TrimRight(*target, "/"), *traces)
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("flightrec: %s answered %s", url, resp.Status)
+		}
+		d, err = flight.ReadDump(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("flightrec: %s: %w", url, err)
+		}
+	}
+
+	printDump(d, *expand)
+	return nil
+}
+
+// printDump renders a dump: header, sampler ledger, event timeline,
+// retained traces.
+func printDump(d flight.Dump, expand int) {
+	fmt.Printf("flight recorder dump at t=%s: %d events recorded, %d retained (ring %d), %d dropped\n",
+		time.Duration(d.TakenNS), d.Total, len(d.Events), d.Capacity, d.Dropped)
+	if d.Tail != nil {
+		fmt.Printf("tail sampler: rate %.2f  kept %d forced + %d slow + %d sampled, dropped %d\n",
+			d.Tail.Rate, d.Tail.KeptForced, d.Tail.KeptSlow, d.Tail.KeptRate, d.Tail.Dropped)
+	}
+
+	if len(d.Events) > 0 {
+		byKind := map[string]int{}
+		for _, ev := range d.Events {
+			byKind[ev.Kind]++
+		}
+		kinds := make([]string, 0, len(byKind))
+		for k := range byKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Print("event mix:")
+		for _, k := range kinds {
+			fmt.Printf(" %s=%d", k, byKind[k])
+		}
+		fmt.Println()
+
+		fmt.Printf("\n%-14s  %-16s  %s\n", "t", "kind", "detail")
+		for _, ev := range d.Events {
+			fmt.Printf("%-14s  %-16s  %s\n",
+				time.Duration(ev.NS), ev.Kind, eventDetail(ev))
+		}
+	}
+
+	if len(d.Traces) > 0 {
+		fmt.Printf("\nretained traces (%d, newest first):\n", len(d.Traces))
+		fmt.Printf("%-16s  %-12s %6s  %s\n", "id", "name", "spans", "duration")
+		for _, et := range d.Traces {
+			fmt.Printf("%-16s  %-12s %6d  %s\n",
+				et.ID, et.Name, len(et.Spans), time.Duration(et.DurationNS))
+		}
+		for i := 0; i < expand && i < len(d.Traces); i++ {
+			fmt.Printf("\ntrace %s (%s):\n", d.Traces[i].ID, d.Traces[i].Name)
+			printExportSpanTree(d.Traces[i])
+		}
+	}
+}
+
+// eventDetail renders an event's non-zero fields on one line.
+func eventDetail(ev flight.Event) string {
+	var b strings.Builder
+	add := func(k string, v int) {
+		if v != 0 || k == "game" && ev.Kind == "admit" {
+			fmt.Fprintf(&b, " %s=%d", k, v)
+		}
+	}
+	add("game", ev.Game)
+	add("session", ev.Session)
+	add("server", ev.Server)
+	add("shard", ev.Shard)
+	if ev.Trace != 0 {
+		fmt.Fprintf(&b, " trace=%016x", uint64(ev.Trace))
+	}
+	if ev.Detail != "" {
+		fmt.Fprintf(&b, " %s", ev.Detail)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// printExportSpanTree is printSpanTree for the dump's portable trace
+// form, where identifiers are hex strings and the root's parent is "".
+func printExportSpanTree(et trace.ExportTrace) {
+	children := make(map[string][]trace.ExportSpan, len(et.Spans))
+	for _, sp := range et.Spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	var walk func(id string, depth int)
+	walk = func(id string, depth int) {
+		for _, sp := range children[id] {
+			fmt.Printf("  %*s%s (%s)", 2*depth, "", sp.Name, time.Duration(sp.DurationNS))
+			for _, a := range sp.Attrs {
+				fmt.Printf(" %s=%s", a.Key, a.Value())
+			}
+			fmt.Println()
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk("", 0)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/flight"
 	"gaugur/internal/obs/trace"
 	"gaugur/internal/sched/fleet"
 	"gaugur/internal/serve"
@@ -42,12 +43,31 @@ func cmdServe(args []string) error {
 	duration := fs.Duration("duration", 0, "serve this long then drain (0 = until SIGINT/SIGTERM)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at drain to this file")
+	traceSample := fs.Float64("trace-sample", 0.01, "tail-sampling baseline keep rate; errors and slow traces are always kept (>= 1 keeps everything)")
+	traceSlowQ := fs.Float64("trace-slow-quantile", 0.99, "duration quantile above which traces are always kept")
+	traceCap := fs.Int("trace-cap", trace.DefaultCapacity, "retained-trace ring size")
+	flightCap := fs.Int("flight-cap", flight.DefaultCapacity, "flight-recorder event ring size")
+	flightOut := fs.String("flightrec-out", "flightrecorder.json", "file SIGQUIT dumps the flight recorder to (the server keeps serving)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	reg := obs.New()
-	tracer := trace.New(trace.Config{Seed: sim.DeriveSeed(*seed, "trace", 0)})
+	// One clock for the tracer and the flight recorder, so span and event
+	// timestamps line up inside a dump.
+	clockBase := time.Now()
+	clock := func() int64 { return int64(time.Since(clockBase)) }
+	var tail *trace.TailPolicy
+	if *traceSample < 1 {
+		tail = &trace.TailPolicy{Rate: *traceSample, SlowQuantile: *traceSlowQ}
+	}
+	tracer := trace.New(trace.Config{
+		Seed:     sim.DeriveSeed(*seed, "trace", 0),
+		Clock:    clock,
+		Capacity: *traceCap,
+		Tail:     tail,
+	})
+	rec := flight.New(*flightCap, clock)
 
 	var scorer fleet.BatchScorer
 	if *demo {
@@ -85,6 +105,7 @@ func cmdServe(args []string) error {
 		StealThreshold: *steal,
 		Metrics:        reg,
 		Tracer:         tracer,
+		Flight:         rec,
 	})
 	if err != nil {
 		return err
@@ -98,17 +119,19 @@ func cmdServe(args []string) error {
 		QueueCap:    *queueCap,
 		Metrics:     reg,
 		Tracer:      tracer,
+		Flight:      rec,
 	})
 	if err != nil {
 		return err
 	}
-	th := trace.Handler(tracer.Store())
+	th := trace.TracerHandler(tracer)
 	srv, err := serve.NewServer(serve.ServerConfig{
 		Pipeline: pipe,
 		Registry: reg,
 		Extra: []obs.Mount{
 			{Pattern: "/debug/traces", Handler: th},
 			{Pattern: "/debug/traces/", Handler: th},
+			{Pattern: "/debug/flightrecorder", Handler: flight.Handler(rec, tracer, 16)},
 		},
 	})
 	if err != nil {
@@ -126,6 +149,20 @@ func cmdServe(args []string) error {
 		fmt.Printf("binary admission protocol on %s\n", srv.BinaryAddr())
 	}
 
+	// SIGQUIT dumps the flight recorder to disk and keeps serving — the
+	// "what just happened" escape hatch for a live incident.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if err := dumpFlight(*flightOut, rec, tracer); err != nil {
+				fmt.Printf("flight-recorder dump failed: %v\n", err)
+				continue
+			}
+			fmt.Printf("flight recorder dumped to %s (still serving)\n", *flightOut)
+		}
+	}()
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if *duration > 0 {
@@ -141,6 +178,7 @@ func cmdServe(args []string) error {
 		fmt.Printf("%s, draining\n", s)
 	}
 	signal.Stop(sig)
+	signal.Stop(quit)
 
 	if err := srv.Shutdown(); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
@@ -151,7 +189,23 @@ func cmdServe(args []string) error {
 		st.Placed, st.Rejected, st.Removed, st.Active)
 	fmt.Printf("escapes %d  stolen %d  score probes %d  cache misses %d\n",
 		st.Escapes, st.StolenSessions, st.ScoreProbes, st.CacheMisses)
+	fmt.Printf("flight recorder: %d events (%d dropped)  traces kept %d of %d\n",
+		rec.Total(), rec.Dropped(), tracer.Store().Len(), tracer.Store().Total())
 	return nil
+}
+
+// dumpFlight writes a flight-recorder snapshot (event ring + last kept
+// traces + sampler ledger) as indented JSON.
+func dumpFlight(path string, rec *flight.Recorder, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := flight.WriteDump(f, flight.Snapshot(rec, tracer, 16)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // cmdLoadgen replays a sim.FlashCrowd arrival trace against a running
@@ -171,6 +225,7 @@ func cmdLoadgen(args []string) error {
 	gameIDs := fs.String("game-ids", "0,1,2,3,4,5,6,7,8,9", "comma-separated game ids to draw arrivals from")
 	workers := fs.Int("workers", 32, "concurrent in-flight requests")
 	seed := fs.Int64("seed", 23, "arrival trace seed")
+	traced := fs.Bool("trace", true, "propagate a deterministic per-arrival trace id (the n-th arrival always carries the same id for a given seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -199,6 +254,7 @@ func cmdLoadgen(args []string) error {
 		Games:     games,
 		Seed:      *seed,
 		Workers:   *workers,
+		Trace:     *traced,
 	})
 	if err != nil {
 		return err

@@ -57,6 +57,8 @@ func main() {
 		err = cmdServeMetrics(args)
 	case "trace":
 		err = cmdTrace(args)
+	case "flightrec":
+		err = cmdFlightRec(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -94,6 +96,9 @@ commands:
                  /metrics.json, expvar, pprof, and /debug/traces over HTTP
   trace          drive a traced + audited demo workload and dump recent
                  decision traces plus the model-quality summary
+  flightrec      read a flight-recorder dump (from a file or a live
+                 /debug/flightrecorder endpoint) and render the event
+                 timeline and retained trace trees
 
 profile, train, pack, dispatch, churn, fleet, faults, and lifecycle accept
 -metrics-addr to expose the same endpoint (metrics + traces) live during a

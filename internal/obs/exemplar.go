@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Exemplar links one histogram bucket to the trace that last observed into
+// it: the bridge from a fat p99 bucket in exposition to a kept trace in
+// /debug/traces. TraceID is rendered in the tracer's 16-hex-digit form.
+type Exemplar struct {
+	// Bucket indexes the histogram's Counts slice (len(Bounds) = +Inf).
+	Bucket int `json:"bucket"`
+	// Value is the observation that set the exemplar.
+	Value float64 `json:"value"`
+	// TraceID identifies the trace that made the observation.
+	TraceID string `json:"trace_id"`
+}
+
+// exemplarSlot holds one bucket's last-observation exemplar behind a
+// seqlock: writers take the slot by CAS-ing the sequence odd (losers skip —
+// "last observation" is approximate under contention, which is fine for an
+// exemplar), readers retry while a write is in flight. Everything is
+// atomic, so the race detector sees a clean protocol.
+type exemplarSlot struct {
+	seq   atomic.Uint64
+	bits  atomic.Uint64 // value as float64 bits
+	trace atomic.Uint64 // 0 = never set
+}
+
+// WithExemplars enables per-bucket exemplar capture on the histogram and
+// returns it. Call once at registration time, before the histogram is
+// observed concurrently; enabling is idempotent. Nil-safe.
+func (h *Histogram) WithExemplars() *Histogram {
+	if h != nil && h.exemplars == nil {
+		h.exemplars = make([]exemplarSlot, len(h.counts))
+	}
+	return h
+}
+
+// ObserveTrace records one value like Observe and, when exemplars are
+// enabled and traceID is non-zero, stamps the landing bucket's exemplar
+// with the observing trace. Callers should pass the trace ID only for
+// traces that were actually retained (Ctx.End reports this), so exposition
+// never points at a sampled-out trace.
+func (h *Histogram) ObserveTrace(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	idx := h.observe(v)
+	if h.exemplars == nil || traceID == 0 {
+		return
+	}
+	e := &h.exemplars[idx]
+	if s := e.seq.Load(); s&1 == 0 && e.seq.CompareAndSwap(s, s+1) {
+		e.bits.Store(math.Float64bits(v))
+		e.trace.Store(traceID)
+		e.seq.Store(s + 2)
+	}
+}
+
+// exemplarAt reads bucket i's exemplar consistently; ok is false when the
+// bucket never captured one (or a writer kept the slot busy).
+func (h *Histogram) exemplarAt(i int) (Exemplar, bool) {
+	e := &h.exemplars[i]
+	for try := 0; try < 4; try++ {
+		s := e.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		bits, tr := e.bits.Load(), e.trace.Load()
+		if e.seq.Load() != s {
+			continue
+		}
+		if tr == 0 {
+			return Exemplar{}, false
+		}
+		return Exemplar{
+			Bucket:  i,
+			Value:   math.Float64frombits(bits),
+			TraceID: fmt.Sprintf("%016x", tr),
+		}, true
+	}
+	return Exemplar{}, false
+}
+
+// exemplarSnapshot collects the set buckets' exemplars in bucket order
+// (nil when exemplars are disabled or none were captured).
+func (h *Histogram) exemplarSnapshot() []Exemplar {
+	if h.exemplars == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if ex, ok := h.exemplarAt(i); ok {
+			out = append(out, ex)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExemplarCaptureAndSnapshot(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", []float64{0.001, 0.01, 0.1}).WithExemplars()
+	h.Observe(0.0005) // no trace: bucket counted, no exemplar
+	h.ObserveTrace(0.05, 0xabc)
+	h.ObserveTrace(0.5, 0xdef) // overflow bucket
+	h.ObserveTrace(0.06, 0)    // zero trace ID never sets an exemplar
+
+	snap := r.Snapshot().Histograms["lat_seconds"]
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want 4", snap.Count)
+	}
+	if len(snap.Exemplars) != 2 {
+		t.Fatalf("exemplars = %+v, want exactly 2", snap.Exemplars)
+	}
+	ex := snap.Exemplars[0]
+	if ex.Bucket != 2 || ex.Value != 0.05 || ex.TraceID != "0000000000000abc" {
+		t.Errorf("bucket-2 exemplar = %+v", ex)
+	}
+	if snap.Exemplars[1].Bucket != 3 || snap.Exemplars[1].TraceID != "0000000000000def" {
+		t.Errorf("overflow exemplar = %+v", snap.Exemplars[1])
+	}
+}
+
+func TestExemplarPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Histogram("plain_seconds", []float64{1}).Observe(0.5)
+	r.Histogram("linked_seconds", []float64{1}).WithExemplars().ObserveTrace(0.5, 0x1234)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `linked_seconds_bucket{le="1"} 1 # {trace_id="0000000000001234"} 0.5`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "plain_seconds") && strings.Contains(line, "#") {
+			t.Errorf("plain histogram line grew an exemplar: %q", line)
+		}
+	}
+}
+
+func TestExemplarConcurrentObserve(t *testing.T) {
+	h := New().Histogram("c_seconds", []float64{1, 2, 3}).WithExemplars()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.ObserveTrace(float64(i%4), uint64(w*10000+i+1))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			h.exemplarSnapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != 16000 {
+		t.Fatalf("count = %d, want 16000", h.Count())
+	}
+	for _, ex := range h.exemplarSnapshot() {
+		if ex.TraceID == "0000000000000000" {
+			t.Errorf("captured exemplar with zero trace ID: %+v", ex)
+		}
+	}
+}

@@ -18,6 +18,10 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
+	// Exemplars carries the per-bucket last-observation trace links for
+	// histograms that enabled them (WithExemplars); absent otherwise, so
+	// snapshots of plain histograms are unchanged.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every instrument, keyed by full
@@ -169,16 +173,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(bw, name, row.labels, formatFloat(snap.Gauges[row.full]))
 			case "histogram":
 				hs := snap.Histograms[row.full]
+				// Bucket -> exemplar suffix, OpenMetrics style; empty for
+				// histograms without exemplars so their lines are unchanged.
+				exem := map[int]string{}
+				for _, ex := range hs.Exemplars {
+					exem[ex.Bucket] = " # {trace_id=\"" + ex.TraceID + "\"} " + formatFloat(ex.Value)
+				}
 				cum := int64(0)
 				for i, b := range hs.Bounds {
 					cum += hs.Counts[i]
 					writeSample(bw, name+"_bucket",
 						withLabel(row.labels, `le="`+formatFloat(b)+`"`),
-						strconv.FormatInt(cum, 10))
+						strconv.FormatInt(cum, 10)+exem[i])
 				}
 				cum += hs.Counts[len(hs.Bounds)]
 				writeSample(bw, name+"_bucket", withLabel(row.labels, `le="+Inf"`),
-					strconv.FormatInt(cum, 10))
+					strconv.FormatInt(cum, 10)+exem[len(hs.Bounds)])
 				writeSample(bw, name+"_sum", row.labels, formatFloat(hs.Sum))
 				writeSample(bw, name+"_count", row.labels, strconv.FormatInt(hs.Count, 10))
 			}

@@ -1,0 +1,116 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"gaugur/internal/obs/trace"
+)
+
+// TraceID renders a 64-bit trace identifier as the tracer's 16-hex-digit
+// string in JSON (JSON numbers cannot hold a full uint64) and parses it
+// back, so dumps round-trip through the `gaugur flightrec` reader.
+type TraceID uint64
+
+// MarshalJSON renders the ID as a quoted 16-hex-digit string.
+func (id TraceID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + fmt.Sprintf("%016x", uint64(id)) + `"`), nil
+}
+
+// UnmarshalJSON parses the quoted hex form (and tolerates a bare number).
+func (id *TraceID) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) >= 2 && s[0] == '"' {
+		v, err := strconv.ParseUint(s[1:len(s)-1], 16, 64)
+		if err != nil {
+			return err
+		}
+		*id = TraceID(v)
+		return nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return err
+	}
+	*id = TraceID(v)
+	return nil
+}
+
+// Dump is the flight recorder's export envelope: the event ring plus the
+// last-N tail-kept traces and the sampler's ledger at dump time.
+type Dump struct {
+	// TakenNS is the recorder-clock instant the dump was taken.
+	TakenNS int64 `json:"taken_ns"`
+	// Total counts events ever recorded; Dropped counts TryRecord events
+	// shed under lock contention (zero in a healthy system).
+	Total    int64 `json:"total"`
+	Dropped  int64 `json:"dropped"`
+	Capacity int   `json:"capacity"`
+	// Events holds the retained ring, oldest first.
+	Events []Event `json:"events"`
+	// Traces holds the newest tail-kept traces, newest first, in the
+	// tracer's portable export form.
+	Traces []trace.ExportTrace `json:"traces,omitempty"`
+	// Tail is the tail-sampler's ledger when sampling is enabled.
+	Tail *trace.TailStats `json:"tail,omitempty"`
+}
+
+// Snapshot assembles a dump from the recorder plus (optionally) the span
+// tracer: t's newest lastN kept traces ride along (lastN <= 0 means 16).
+// Both r and t may be nil — a dump of a nil recorder is just empty.
+func Snapshot(r *Recorder, t *trace.Tracer, lastN int) Dump {
+	if lastN <= 0 {
+		lastN = 16
+	}
+	d := Dump{
+		TakenNS:  r.Now(),
+		Total:    r.Total(),
+		Dropped:  r.Dropped(),
+		Capacity: r.Capacity(),
+		Events:   r.Events(),
+	}
+	if d.Events == nil {
+		d.Events = []Event{}
+	}
+	if t != nil {
+		d.Traces = trace.ToExport(t.Store().Recent(lastN)).Traces
+		if t.TailEnabled() {
+			ts := t.TailStats()
+			d.Tail = &ts
+		}
+	}
+	return d
+}
+
+// WriteDump writes a dump as indented JSON.
+func WriteDump(w io.Writer, d Dump) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDump parses a dump written by WriteDump.
+func ReadDump(r io.Reader) (Dump, error) {
+	var d Dump
+	err := json.NewDecoder(r).Decode(&d)
+	return d, err
+}
+
+// Handler serves the dump over HTTP (the /debug/flightrecorder endpoint):
+// GET returns the current Snapshot as JSON; ?traces=K overrides how many
+// kept traces ride along.
+func Handler(r *Recorder, t *trace.Tracer, lastN int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := lastN
+		if v := req.URL.Query().Get("traces"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteDump(w, Snapshot(r, t, n))
+	})
+}

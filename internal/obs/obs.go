@@ -276,6 +276,9 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf overflow
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
+	// exemplars, when enabled via WithExemplars, holds one last-observation
+	// trace exemplar per bucket (see exemplar.go).
+	exemplars []exemplarSlot
 }
 
 // Observe records one value.
@@ -283,12 +286,18 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.observe(v)
+}
+
+// observe records v and returns the bucket index it landed in.
+func (h *Histogram) observe(v float64) int {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
 		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
+			return idx
 		}
 	}
 }
@@ -322,6 +331,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.Exemplars = h.exemplarSnapshot()
 	return s
 }
 

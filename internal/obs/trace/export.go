@@ -39,6 +39,10 @@ func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
 // ParseID parses a FormatID-rendered identifier.
 func ParseID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
 
+// ToExport converts traces to the portable hex-identifier form — the
+// shape WriteJSON emits and the flight recorder embeds in its dumps.
+func ToExport(traces []Trace) Export { return toExport(traces) }
+
 // toExport converts traces to the portable form.
 func toExport(traces []Trace) Export {
 	out := Export{Traces: make([]ExportTrace, 0, len(traces))}

@@ -19,10 +19,13 @@ type Summary struct {
 
 // listResponse is the /debug/traces body.
 type listResponse struct {
-	Retained int       `json:"retained"`
-	Total    int64     `json:"total"`
-	Evicted  int64     `json:"evicted"`
-	Traces   []Summary `json:"traces"`
+	Retained int   `json:"retained"`
+	Total    int64 `json:"total"`
+	Evicted  int64 `json:"evicted"`
+	// Tail carries the tail-sampler's ledger when the handler was built
+	// from a sampling tracer (TracerHandler); absent otherwise.
+	Tail   *TailStats `json:"tail,omitempty"`
+	Traces []Summary  `json:"traces"`
 }
 
 // Handler serves the store over HTTP. Mount it at both "/debug/traces" and
@@ -34,14 +37,21 @@ type listResponse struct {
 //	GET <root>/{id}?format=chrome  one trace as Chrome trace events
 //
 // A nil store serves empty listings and 404 details.
-func Handler(s *Store) http.Handler {
+func Handler(s *Store) http.Handler { return handler(s, nil) }
+
+// TracerHandler serves the tracer's store like Handler and additionally
+// reports the tail-sampling ledger in listings, so /debug/traces shows
+// how many traces were kept (and why) versus sampled out.
+func TracerHandler(t *Tracer) http.Handler { return handler(t.Store(), t) }
+
+func handler(s *Store, t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		// The last path segment distinguishes list from detail regardless
 		// of where the handler is mounted.
 		seg := req.URL.Path[strings.LastIndexByte(req.URL.Path, '/')+1:]
 		chrome := req.URL.Query().Get("format") == "chrome"
 		if seg == "" || seg == "traces" {
-			serveList(w, req, s, chrome)
+			serveList(w, req, s, t, chrome)
 			return
 		}
 		id, err := ParseID(seg)
@@ -64,7 +74,7 @@ func Handler(s *Store) http.Handler {
 	})
 }
 
-func serveList(w http.ResponseWriter, req *http.Request, s *Store, chrome bool) {
+func serveList(w http.ResponseWriter, req *http.Request, s *Store, t *Tracer, chrome bool) {
 	n := 0
 	if v := req.URL.Query().Get("n"); v != "" {
 		if parsed, err := strconv.Atoi(v); err == nil {
@@ -82,6 +92,10 @@ func serveList(w http.ResponseWriter, req *http.Request, s *Store, chrome bool) 
 		Total:    s.Total(),
 		Evicted:  s.Evicted(),
 		Traces:   make([]Summary, 0, len(recent)),
+	}
+	if t.TailEnabled() {
+		ts := t.TailStats()
+		resp.Tail = &ts
 	}
 	for _, tr := range recent {
 		resp.Traces = append(resp.Traces, Summary{

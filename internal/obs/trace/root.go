@@ -1,0 +1,146 @@
+package trace
+
+// Root is a lightweight root-span handle for request hot paths that run
+// under tail sampling. StartRoot costs one ID draw and one clock read —
+// no trace header, no pool traffic, no locking — because at production
+// sampling rates the overwhelming majority of request traces is dropped
+// at completion, and the full Ctx machinery (a pooled liveTrace with its
+// own mutex, arena, and span buffer) would be pure wasted work for them.
+//
+// The intended protocol, mirroring the serve pipeline:
+//
+//	r := tracer.StartRoot(propagatedID, "admission")
+//	... do the work, stamping raw Tracer.Now breadcrumbs ...
+//	if tracer.WouldKeep(r.TraceID(), dur, forced) {
+//		c := r.Attach()              // materialize the full context
+//		c.Event(...)                 // children from the breadcrumbs
+//		kept := r.EndAt(end, attrs)  // full commit path
+//	} else {
+//		kept := r.EndAt(end)         // tail-sampling decision only
+//	}
+//
+// End always runs the real tail-sampling decision, attached or not, so
+// the sampler's histogram and counters see every root. If an unattached
+// root is kept after all (the slow threshold moved between peek and
+// decision), a minimal one-span trace is committed so the store never
+// misses a keep — it just has no children.
+//
+// A Root is single-goroutine state (its methods take pointer receivers
+// and mutate local fields); hand it to another goroutine only through a
+// happens-before edge, and do not copy it after Attach.
+type Root struct {
+	t       *Tracer
+	ctx     Ctx // materialized by Attach
+	traceID uint64
+	spanID  uint64
+	name    string
+	start   int64
+	keep    bool
+}
+
+// StartRoot opens a deferred root span. An id of 0 draws the next
+// identifier from the tracer's deterministic sequence, exactly like
+// StartTraceWithID; a non-zero id adopts a propagated identity. Nil-safe:
+// a nil tracer yields an inert Root.
+func (t *Tracer) StartRoot(id uint64, name string) Root {
+	if t == nil {
+		return Root{}
+	}
+	if id == 0 {
+		id = t.nextID()
+	}
+	return Root{t: t, traceID: id, spanID: t.nextID(), name: name, start: t.clock()}
+}
+
+// Active reports whether the root belongs to a live tracer.
+func (r *Root) Active() bool { return r.t != nil }
+
+// TraceID returns the trace identifier (0 when inert).
+func (r *Root) TraceID() uint64 { return r.traceID }
+
+// StartNS returns the root's start timestamp on the tracer's clock.
+func (r *Root) StartNS() int64 { return r.start }
+
+// Keep marks the trace force-kept (errors, shed admissions, 429s) — a
+// plain field write before Attach, the real Ctx.Keep after.
+func (r *Root) Keep() {
+	if r.t == nil {
+		return
+	}
+	if r.ctx.t != nil {
+		r.ctx.Keep()
+		return
+	}
+	r.keep = true
+}
+
+// Attach materializes the full trace context so children can be recorded
+// under the root: it draws a trace header from the pool and installs the
+// root's identity, start, and any pending Keep. Idempotent; returns the
+// inert Ctx on a nil tracer.
+func (r *Root) Attach() Ctx {
+	if r.t == nil {
+		return Ctx{}
+	}
+	if r.ctx.t != nil {
+		return r.ctx
+	}
+	t := r.t
+	lt, _ := t.free.Get().(*liveTrace)
+	if lt == nil {
+		lt = &liveTrace{tr: Trace{Spans: make([]Span, 0, 8)}}
+	}
+	lt.tr.ID, lt.tr.Name, lt.tr.Root, lt.tr.StartNS, lt.tr.EndNS = r.traceID, r.name, r.spanID, r.start, 0
+	lt.keep = r.keep
+	r.ctx = Ctx{
+		t:       t,
+		lt:      lt,
+		gen:     lt.gen,
+		traceID: r.traceID,
+		spanID:  r.spanID,
+		name:    r.name,
+		start:   r.start,
+		root:    true,
+	}
+	return r.ctx
+}
+
+// EndAt finishes the root at a caller-supplied timestamp and reports
+// whether the trace was retained. Attached roots run the full commit
+// path; unattached roots run only the tail-sampling decision, plus a
+// minimal one-span commit in the rare case the sampler keeps them anyway.
+func (r *Root) EndAt(endNS int64, attrs ...Attr) bool {
+	if r.t == nil {
+		return false
+	}
+	if r.ctx.t != nil {
+		return r.ctx.EndAt(endNS, attrs...)
+	}
+	t := r.t
+	kept := t.tailKeep(r.traceID, endNS-r.start, r.keep)
+	if kept {
+		t.store.add(Trace{
+			ID:      r.traceID,
+			Name:    r.name,
+			Root:    r.spanID,
+			StartNS: r.start,
+			EndNS:   endNS,
+			Spans: []Span{{
+				SpanID:  r.spanID,
+				Name:    r.name,
+				StartNS: r.start,
+				EndNS:   endNS,
+				Attrs:   attrs,
+			}},
+		})
+	}
+	return kept
+}
+
+// End finishes the root at the tracer's current clock reading.
+func (r *Root) End(attrs ...Attr) bool {
+	if r.t == nil {
+		return false
+	}
+	return r.EndAt(r.t.clock(), attrs...)
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"testing"
+)
+
+// TestRootDroppedRecordsNothing: the deferred-root fast path — an
+// unattached root whose tail decision is "drop" must leave no trace in
+// the store and still feed the sampler's ledger.
+func TestRootDroppedRecordsNothing(t *testing.T) {
+	tr := New(Config{
+		Seed:  7,
+		Clock: manualClock(0, 10),
+		Tail:  &TailPolicy{Rate: 0}, // drop everything not forced
+	})
+	r := tr.StartRoot(0, "admission")
+	if !r.Active() {
+		t.Fatal("root inactive on a live tracer")
+	}
+	if r.TraceID() == 0 {
+		t.Fatal("StartRoot(0) minted a zero trace ID")
+	}
+	if r.End() {
+		t.Fatal("End kept a trace under Rate: 0 with no force")
+	}
+	if got := tr.Store().Total(); got != 0 {
+		t.Fatalf("store holds %d traces after a dropped root, want 0", got)
+	}
+	st := tr.TailStats()
+	if st.Dropped != 1 {
+		t.Fatalf("ledger dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// TestRootForceKeptUnattached: a root that is force-kept (error path)
+// but never attached still commits a minimal one-span trace so the
+// store never misses a keep.
+func TestRootForceKeptUnattached(t *testing.T) {
+	tr := New(Config{
+		Seed:  7,
+		Clock: manualClock(100, 0),
+		Tail:  &TailPolicy{Rate: 0},
+	})
+	const minted = uint64(0xabcdef0012345678)
+	r := tr.StartRoot(minted, "admission")
+	r.Keep()
+	if !r.EndAt(250, String("outcome", "queue-full")) {
+		t.Fatal("force-kept root reported dropped")
+	}
+	got, ok := tr.Store().Get(minted)
+	if !ok {
+		t.Fatalf("trace %x not retrievable after forced keep", minted)
+	}
+	if len(got.Spans) != 1 {
+		t.Fatalf("minimal commit has %d spans, want 1", len(got.Spans))
+	}
+	sp := got.Spans[0]
+	if sp.SpanID != got.Root || sp.StartNS != 100 || sp.EndNS != 250 {
+		t.Fatalf("root span = id %x [%d,%d], want root %x [100,250]",
+			sp.SpanID, sp.StartNS, sp.EndNS, got.Root)
+	}
+	if len(sp.Attrs) != 1 || sp.Attrs[0].Key != "outcome" || sp.Attrs[0].Value() != "queue-full" {
+		t.Fatalf("root attrs = %v", sp.Attrs)
+	}
+}
+
+// TestRootAttachEquivalentToStartTrace: the attached path must produce
+// the same span tree a direct StartTraceWithID would — children parented
+// under the root, identity and timestamps adopted from the deferred
+// handle, Keep forwarded.
+func TestRootAttachEquivalentToStartTrace(t *testing.T) {
+	tr := New(Config{Seed: 7, Clock: manualClock(1000, 0)})
+	const minted = uint64(0x1122334455667788)
+	r := tr.StartRoot(minted, "admission")
+	c := r.Attach()
+	if c2 := r.Attach(); c2.traceID != c.traceID || c2.spanID != c.spanID || c2.lt != c.lt {
+		t.Fatal("Attach is not idempotent")
+	}
+	c.Event("queue-wait", 1000, 1200, Int("depth", 3))
+	r.Keep() // after Attach: must forward to the live context
+	if !r.EndAt(1500, Int("game", 9)) {
+		t.Fatal("attached root reported dropped despite Keep")
+	}
+	got, ok := tr.Store().Get(minted)
+	if !ok {
+		t.Fatal("attached trace not committed")
+	}
+	if got.StartNS != 1000 || got.EndNS != 1500 {
+		t.Fatalf("trace window = [%d,%d], want [1000,1500]", got.StartNS, got.EndNS)
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("got %d spans, want root + queue-wait", len(got.Spans))
+	}
+	var rootSpan, child Span
+	for _, sp := range got.Spans {
+		if sp.SpanID == got.Root {
+			rootSpan = sp
+		} else {
+			child = sp
+		}
+	}
+	if child.Name != "queue-wait" || child.Parent != got.Root {
+		t.Fatalf("child = %q parent %x, want queue-wait under %x", child.Name, child.Parent, got.Root)
+	}
+	if len(rootSpan.Attrs) != 1 || rootSpan.Attrs[0].Key != "game" {
+		t.Fatalf("root attrs = %v", rootSpan.Attrs)
+	}
+}
+
+// TestRootNilTracer: every Root method is inert on a nil tracer.
+func TestRootNilTracer(t *testing.T) {
+	var tr *Tracer
+	r := tr.StartRoot(42, "admission")
+	if r.Active() || r.TraceID() != 0 || r.StartNS() != 0 {
+		t.Fatal("nil-tracer root is not inert")
+	}
+	r.Keep()
+	if c := r.Attach(); c.Active() {
+		t.Fatal("Attach on a nil-tracer root yielded a live Ctx")
+	}
+	if r.End() || r.EndAt(10) {
+		t.Fatal("nil-tracer root reported kept")
+	}
+}

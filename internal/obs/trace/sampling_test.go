@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStartTraceWithIDAdoptsClientID(t *testing.T) {
+	tr := New(Config{Seed: 7, Clock: manualClock(0, 10)})
+	const minted = uint64(0xdeadbeefcafe0001)
+	root := tr.StartTraceWithID(minted, "admission", Int("game", 3))
+	if got := root.TraceID(); got != minted {
+		t.Fatalf("TraceID = %x, want the client-minted %x", got, minted)
+	}
+	if !root.End() {
+		t.Fatal("End reported the trace dropped with no sampling configured")
+	}
+	if _, ok := tr.Store().Get(minted); !ok {
+		t.Fatalf("trace %x not retrievable by its client-minted ID", minted)
+	}
+	// ID 0 falls back to the tracer's own deterministic sequence.
+	auto := tr.StartTraceWithID(0, "admission")
+	if auto.TraceID() == 0 {
+		t.Fatal("StartTraceWithID(0) minted a zero trace ID")
+	}
+	auto.End()
+}
+
+func TestPreTimedSpans(t *testing.T) {
+	tr := New(Config{Seed: 7, Clock: manualClock(1000, 0)})
+	root := tr.StartTrace("admission")
+	root.Event("queue-wait", 100, 250, Int("depth", 4))
+	child := root.StartSpanAt("place-batch", 250, Int("arrivals", 16))
+	child.Event("commit", 300, 320, Int("shard", 2))
+	child.EndAt(400)
+	root.End()
+
+	got, ok := tr.Store().Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not committed")
+	}
+	byName := map[string]Span{}
+	for _, sp := range got.Spans {
+		byName[sp.Name] = sp
+	}
+	qw := byName["queue-wait"]
+	if qw.StartNS != 100 || qw.EndNS != 250 {
+		t.Errorf("queue-wait = [%d,%d], want [100,250]", qw.StartNS, qw.EndNS)
+	}
+	if qw.Parent != got.Root {
+		t.Errorf("queue-wait parent = %x, want root %x", qw.Parent, got.Root)
+	}
+	pb := byName["place-batch"]
+	if pb.StartNS != 250 || pb.EndNS != 400 {
+		t.Errorf("place-batch = [%d,%d], want [250,400]", pb.StartNS, pb.EndNS)
+	}
+	cm := byName["commit"]
+	if cm.Parent != pb.SpanID {
+		t.Errorf("commit parent = %x, want place-batch %x", cm.Parent, pb.SpanID)
+	}
+	if len(qw.Attrs) != 1 || qw.Attrs[0].Key != "depth" || qw.Attrs[0].Value() != "4" {
+		t.Errorf("queue-wait attrs = %v", qw.Attrs)
+	}
+}
+
+// TestAttrsSurviveHeaderRecycling guards the arena design: attributes of a
+// committed trace must stay intact after the tracer reuses the header (and
+// its arena) for later traces that overwrite the same backing memory.
+func TestAttrsSurviveHeaderRecycling(t *testing.T) {
+	tr := New(Config{Seed: 7, Clock: manualClock(0, 1), Capacity: 64})
+	first := tr.StartTrace("decision", String("who", "first"))
+	first.Event("step", 1, 2, String("tag", "alpha"), Int("n", 11))
+	first.End()
+	got, _ := tr.Store().Get(first.TraceID())
+	// Churn through recycled headers, rewriting the arena repeatedly.
+	for i := 0; i < 50; i++ {
+		c := tr.StartTrace("decision", String("who", "later"))
+		c.Event("step", 1, 2, String("tag", "beta"), Int("n", 99))
+		c.End()
+	}
+	for _, sp := range got.Spans {
+		for _, a := range sp.Attrs {
+			if v := a.Value(); v == "beta" || v == "99" || v == "later" {
+				t.Fatalf("detached trace attr %q=%q was overwritten by a recycled arena", a.Key, v)
+			}
+		}
+	}
+}
+
+func TestTailRateIsDeterministicPerTraceID(t *testing.T) {
+	run := func() map[uint64]bool {
+		tr := New(Config{Seed: 9, Clock: manualClock(0, 1), Capacity: 4096,
+			Tail: &TailPolicy{Rate: 0.25, Warmup: 1 << 30}})
+		kept := map[uint64]bool{}
+		for i := uint64(1); i <= 2000; i++ {
+			c := tr.StartTraceWithID(i, "admission")
+			kept[i] = c.End()
+		}
+		return kept
+	}
+	a, b := run(), run()
+	nKept := 0
+	for id, k := range a {
+		if b[id] != k {
+			t.Fatalf("trace %x keep decision differs across identical runs", id)
+		}
+		if k {
+			nKept++
+		}
+	}
+	// 25% of 2000 with a good hash: allow a generous band.
+	if nKept < 300 || nKept > 700 {
+		t.Errorf("kept %d of 2000 at rate 0.25 — hash badly skewed", nKept)
+	}
+}
+
+func TestTailForcedKeepAndLedger(t *testing.T) {
+	tr := New(Config{Seed: 3, Clock: manualClock(0, 1), Capacity: 1024,
+		Tail: &TailPolicy{Rate: 0, Warmup: 1 << 30}})
+	var keptIDs []uint64
+	for i := 0; i < 200; i++ {
+		c := tr.StartTrace("admission")
+		if i%10 == 0 {
+			c.Keep() // the 429/error path
+			if !c.End(String("outcome", "rejected")) {
+				t.Fatal("force-kept trace was dropped")
+			}
+			keptIDs = append(keptIDs, c.TraceID())
+			continue
+		}
+		if c.End() {
+			t.Fatal("rate-0 unforced trace was kept")
+		}
+	}
+	for _, id := range keptIDs {
+		if _, ok := tr.Store().Get(id); !ok {
+			t.Fatalf("force-kept trace %x missing from store", id)
+		}
+	}
+	st := tr.TailStats()
+	if st.KeptForced != 20 || st.KeptRate != 0 || st.Dropped != 180 {
+		t.Errorf("ledger = %+v, want 20 forced / 180 dropped", st)
+	}
+	if got := tr.Store().Total(); got != 20 {
+		t.Errorf("store committed %d traces, want only the 20 kept", got)
+	}
+	if tr.Store().Len() != 20 {
+		t.Errorf("store retains %d, want 20", tr.Store().Len())
+	}
+}
+
+func TestTailSlowQuantileKeepsSlowTraces(t *testing.T) {
+	clock := manualClock(0, 0)
+	tr := New(Config{Seed: 5, Clock: clock, Capacity: 4096,
+		Tail: &TailPolicy{Rate: 0, SlowQuantile: 0.9, Warmup: 64}})
+	// Manual clock with step 0: span duration is whatever we stamp.
+	mk := func(id uint64, durNS int64) bool {
+		c := tr.StartTraceWithID(id, "admission")
+		return c.EndAt(durNS)
+	}
+	// Warm up the distribution: lots of ~1µs traces, a few ~1ms ones.
+	for i := uint64(1); i <= 1000; i++ {
+		dur := int64(1000)
+		if i%50 == 0 {
+			dur = 1_000_000
+		}
+		mk(i, dur)
+	}
+	st := tr.TailStats()
+	if st.SlowThresholdNS <= 0 {
+		t.Fatalf("slow threshold never armed: %+v", st)
+	}
+	if st.SlowThresholdNS > 1_000_000 {
+		t.Fatalf("slow threshold %dns above the slow population", st.SlowThresholdNS)
+	}
+	// Every p99-slow-decile trace from here on must be retained.
+	for i := uint64(2000); i < 2100; i++ {
+		if !mk(i, 2_000_000) {
+			t.Fatalf("slow trace %x dropped despite armed threshold", i)
+		}
+		if _, ok := tr.Store().Get(i); !ok {
+			t.Fatalf("slow trace %x missing from store", i)
+		}
+	}
+	// Fast traces still drop at rate 0.
+	if mk(5000, 100) {
+		t.Error("fast trace kept at rate 0")
+	}
+}
+
+func TestTracerHandlerReportsTailLedger(t *testing.T) {
+	tr := New(Config{Seed: 11, Clock: manualClock(0, 1),
+		Tail: &TailPolicy{Rate: 0, Warmup: 1 << 30}})
+	for i := 0; i < 10; i++ {
+		c := tr.StartTrace("admission")
+		if i == 0 {
+			c.Keep()
+		}
+		c.End()
+	}
+	rec := httptest.NewRecorder()
+	TracerHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var resp struct {
+		Retained int        `json:"retained"`
+		Tail     *TailStats `json:"tail"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad listing JSON: %v\n%s", err, rec.Body.String())
+	}
+	if resp.Tail == nil {
+		t.Fatalf("listing missing tail ledger: %s", rec.Body.String())
+	}
+	if resp.Tail.KeptForced != 1 || resp.Tail.Dropped != 9 {
+		t.Errorf("tail ledger = %+v, want 1 forced / 9 dropped", resp.Tail)
+	}
+	if resp.Retained != 1 {
+		t.Errorf("retained = %d, want 1", resp.Retained)
+	}
+	// Handler without a tracer keeps the historic shape: no tail field.
+	rec2 := httptest.NewRecorder()
+	Handler(tr.Store()).ServeHTTP(rec2, httptest.NewRequest("GET", "/debug/traces", nil))
+	if strings.Contains(rec2.Body.String(), `"tail"`) {
+		t.Error("store-only Handler grew a tail field")
+	}
+}
+
+func TestEndReturnsKeptForChildSpans(t *testing.T) {
+	tr := New(Config{Seed: 1, Clock: manualClock(0, 1)})
+	root := tr.StartTrace("r")
+	child := root.StartSpan("c")
+	if !child.End() {
+		t.Error("live child End returned false")
+	}
+	root.End()
+	// A child ending after the root committed is dropped and says so.
+	late := Ctx{}
+	if late.End() {
+		t.Error("inert Ctx End returned true")
+	}
+}

@@ -24,12 +24,6 @@ type Trace struct {
 	StartNS int64  `json:"start_ns"`
 	EndNS   int64  `json:"end_ns"`
 	Spans   []Span `json:"spans"`
-
-	// gen counts reuses of this header through the tracer's free list. A
-	// Ctx whose generation no longer matches ended after its trace was
-	// committed and recycled; it is counted as dropped (under the tracer's
-	// mutex) instead of corrupting the header's next occupant.
-	gen uint64
 }
 
 // DurationNS returns the whole trace's length in nanoseconds.
@@ -42,25 +36,52 @@ type Store struct {
 	mu       sync.RWMutex
 	capacity int
 	buf      []Trace // ring; valid entries are the oldest `size` before head
-	head     int     // next write position
-	size     int
-	total    int64 // traces ever committed
+	// arenas back the attribute slices of each ring slot's spans, reused
+	// across ring wraps just like the span buffers.
+	arenas [][]Attr
+	head   int // next write position
+	size   int
+	total  int64 // traces ever committed
 }
 
 func newStore(capacity int) *Store {
-	return &Store{capacity: capacity, buf: make([]Trace, capacity)}
+	return &Store{
+		capacity: capacity,
+		buf:      make([]Trace, capacity),
+		arenas:   make([][]Attr, capacity),
+	}
 }
 
-// add commits one trace, evicting the oldest when full. The spans are
-// deep-copied into the slot's own buffer (reused across ring wraps) because
-// the tracer recycles the committed trace's span buffer; readers therefore
-// detach spans from the slot before returning them (see Recent and Get).
+// add commits one trace, evicting the oldest when full. Spans and their
+// attribute slices are deep-copied into the slot's own buffers (reused
+// across ring wraps) because the tracer recycles both the span buffer and
+// the attr arena of a committed trace; readers in turn detach from the
+// slot before returning (see Recent and Get).
 func (s *Store) add(tr Trace) {
 	s.mu.Lock()
 	slot := &s.buf[s.head]
 	spans := slot.Spans[:0]
+	arena := s.arenas[s.head][:0]
 	*slot = tr
 	slot.Spans = append(spans, tr.Spans...)
+	total := 0
+	for i := range slot.Spans {
+		total += len(slot.Spans[i].Attrs)
+	}
+	if cap(arena) < total {
+		arena = make([]Attr, 0, total)
+	}
+	// arena has capacity for every attr, so the subslices below stay
+	// valid — append never reallocates mid-loop.
+	for i := range slot.Spans {
+		if len(slot.Spans[i].Attrs) == 0 {
+			continue
+		}
+		n0 := len(arena)
+		arena = append(arena, slot.Spans[i].Attrs...)
+		slot.Spans[i].Attrs = arena[n0:len(arena):len(arena)]
+	}
+	s.arenas[s.head] = arena
 	s.head = (s.head + 1) % s.capacity
 	if s.size < s.capacity {
 		s.size++
@@ -80,6 +101,8 @@ func (s *Store) Len() int {
 }
 
 // Total returns the number of traces ever committed, evicted included.
+// Traces dropped by tail sampling never commit and are not counted here;
+// see Tracer.TailStats for the sampler's ledger.
 func (s *Store) Total() int64 {
 	if s == nil {
 		return 0
@@ -127,11 +150,27 @@ func (s *Store) Recent(n int) []Trace {
 	return out
 }
 
-// detach copies a ring slot's spans into a fresh slice so the returned
-// trace stays valid after the slot is overwritten on a ring wrap. Attr
-// slices are never reused, so a span-level copy suffices.
+// detach copies a ring slot's spans and attrs into fresh slices so the
+// returned trace stays valid after the slot (and its arena) is
+// overwritten on a ring wrap.
 func detach(tr Trace) Trace {
-	tr.Spans = append([]Span(nil), tr.Spans...)
+	spans := append([]Span(nil), tr.Spans...)
+	total := 0
+	for i := range spans {
+		total += len(spans[i].Attrs)
+	}
+	if total > 0 {
+		buf := make([]Attr, 0, total)
+		for i := range spans {
+			if len(spans[i].Attrs) == 0 {
+				continue
+			}
+			n0 := len(buf)
+			buf = append(buf, spans[i].Attrs...)
+			spans[i].Attrs = buf[n0:len(buf):len(buf)]
+		}
+	}
+	tr.Spans = spans
 	return tr
 }
 

@@ -19,6 +19,11 @@
 //  4. Tracing never feeds back into traced state: spans observe, they do
 //     not participate. The golden and parallel-determinism tests run with
 //     tracing enabled to prove simulation outputs stay byte-identical.
+//
+// Traces can be rooted at identifiers minted elsewhere (StartTraceWithID) —
+// the wire-propagation entry point the admission plane uses — and a
+// completed trace passes through an optional tail-sampling decision (see
+// TailPolicy in sampling.go) before it is retained.
 package trace
 
 import (
@@ -144,10 +149,31 @@ type Config struct {
 	// Capacity bounds the ring buffer of completed traces; <= 0 defaults
 	// to DefaultCapacity.
 	Capacity int
+	// Tail enables tail-based sampling: the keep/drop decision runs when
+	// a trace completes, so error and slow traces can always be retained
+	// while the bulk is sampled down. Nil keeps every trace (the historic
+	// behavior).
+	Tail *TailPolicy
 }
 
 // DefaultCapacity is the default ring-buffer size in completed traces.
 const DefaultCapacity = 256
+
+// liveTrace is one in-flight trace: the header plus everything the tracer
+// needs to guard it. Each live trace carries its own mutex so concurrent
+// producers touching different traces never contend (the tracer's own
+// mutex only guards the free list). The Trace value itself stays a plain
+// struct because the store copies it by value on commit.
+type liveTrace struct {
+	mu   sync.Mutex
+	tr   Trace
+	gen  uint64 // bumped on commit; stale Ctx generations are dropped
+	keep bool   // tail-sampling force-keep, set via Ctx.Keep
+	// arena backs every committed span's attribute slice for this
+	// occupancy. Spans reference subranges; the store deep-copies them on
+	// commit, so the arena is reset and reused with the header.
+	arena []Attr
+}
 
 // Tracer records spans into a bounded store. All methods are safe for
 // concurrent use and nil-safe: a nil Tracer is a valid no-op tracer.
@@ -156,13 +182,15 @@ type Tracer struct {
 	seed  uint64
 	idseq atomic.Uint64
 
-	// mu guards every in-flight *Trace (span appends and commits) and the
-	// free list; Ctx carries a direct pointer to its trace, so there is no
-	// lookup on the span hot path.
-	mu   sync.Mutex
-	free []*Trace // recycled trace headers, bounded by freeListCap
+	// free recycles committed trace headers (each in-flight trace carries
+	// its own lock, see liveTrace). A sync.Pool rather than a mutexed
+	// slice: starting and finishing a trace are per-request hot-path
+	// operations across every producer goroutine, and the pool's per-P
+	// caches keep them off a shared lock.
+	free sync.Pool
 
 	store *Store
+	tail  *tailState // nil = keep every completed trace
 
 	// curMu guards the ambient trace context for single-consumer serving
 	// loops (see SetCurrent); concurrent pipelines pass Ctx explicitly.
@@ -172,10 +200,6 @@ type Tracer struct {
 	droppedSpans atomic.Int64
 }
 
-// freeListCap bounds the recycled-trace pool; serial decision loops only
-// ever keep one or two headers in flight, so a small cap is plenty.
-const freeListCap = 64
-
 // New builds a tracer from cfg.
 func New(cfg Config) *Tracer {
 	if cfg.Clock == nil {
@@ -184,11 +208,15 @@ func New(cfg Config) *Tracer {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = DefaultCapacity
 	}
-	return &Tracer{
+	t := &Tracer{
 		clock: cfg.Clock,
 		seed:  splitmix64(uint64(cfg.Seed)),
 		store: newStore(cfg.Capacity),
 	}
+	if cfg.Tail != nil {
+		t.tail = newTailState(*cfg.Tail)
+	}
+	return t
 }
 
 // Store exposes the completed-trace ring buffer (nil on a nil tracer).
@@ -197,6 +225,16 @@ func (t *Tracer) Store() *Store {
 		return nil
 	}
 	return t.store
+}
+
+// Now reads the tracer's clock: the timestamp source for pre-timed spans
+// recorded later via StartSpanAt/EndAt/Event. Returns 0 on a nil tracer,
+// so stamping code needs no nil checks of its own.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
 }
 
 // DroppedSpans counts spans that ended after their trace was already
@@ -218,18 +256,13 @@ func (t *Tracer) nextID() uint64 {
 	return id
 }
 
-// endAttrCap is the spare attribute capacity reserved at span start so the
-// common pattern Start(attrs...) ... End(attrs...) renders without a second
-// slice allocation.
-const endAttrCap = 4
-
 // Ctx is one in-flight span: the handle instrumented code threads through
 // the work it measures. The zero Ctx (and any Ctx from a nil tracer) is
 // inert — every method is a no-op.
 type Ctx struct {
 	t       *Tracer
-	tr      *Trace // the in-flight trace this span belongs to
-	gen     uint64 // tr's generation when this span started
+	lt      *liveTrace // the in-flight trace this span belongs to
+	gen     uint64     // lt's generation when this span started
 	traceID uint64
 	spanID  uint64
 	parent  uint64
@@ -237,17 +270,26 @@ type Ctx struct {
 	start   int64
 	root    bool
 
-	// attrs accumulate until End; the slice is owned by this Ctx.
+	// attrs accumulate until End (which copies them into the trace's
+	// arena). Start copies its variadic attrs rather than retaining the
+	// caller's slice: retaining would make the parameter escape at every
+	// call site, heap-allocating the spread even on inert (nil-tracer)
+	// contexts — and untraced hot paths like the greedy policy's
+	// cached-hit placement are guarded zero-alloc. The copy itself only
+	// runs on live contexts, where a span allocation is already due.
 	attrs []Attr
 }
 
-// startAttrs copies the caller's attributes into a Ctx-owned slice with
-// room for End's final annotations.
-func startAttrs(attrs []Attr) []Attr {
+// copyAttrs detaches a Start call's variadic attrs so the parameter never
+// escapes; the spare capacity absorbs typical End-time attrs without a
+// second growth.
+func copyAttrs(attrs []Attr) []Attr {
 	if len(attrs) == 0 {
 		return nil
 	}
-	return append(make([]Attr, 0, len(attrs)+endAttrCap), attrs...)
+	out := make([]Attr, len(attrs), len(attrs)+2)
+	copy(out, attrs)
+	return out
 }
 
 // StartTrace opens a new trace rooted at a span called name. End the
@@ -259,30 +301,40 @@ func (t *Tracer) StartTrace(name string, attrs ...Attr) Ctx {
 	if t == nil {
 		return Ctx{}
 	}
-	traceID := t.nextID()
+	return t.StartTraceWithID(0, name, attrs...)
+}
+
+// StartTraceWithID opens a trace whose identifier was minted elsewhere —
+// the wire-propagation entry point: a load generator derives the ID from
+// its simulation seed, carries it over HTTP or the binary protocol, and
+// the server adopts it here so the whole admission reads as one trace
+// rooted at the client-minted identity. An id of 0 draws the next
+// identifier from the tracer's own deterministic sequence, which is what
+// StartTrace does.
+func (t *Tracer) StartTraceWithID(id uint64, name string, attrs ...Attr) Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	if id == 0 {
+		id = t.nextID()
+	}
 	spanID := t.nextID()
 	start := t.clock()
-	t.mu.Lock()
-	var tr *Trace
-	if n := len(t.free); n > 0 {
-		tr = t.free[n-1]
-		t.free = t.free[:n-1]
+	lt, _ := t.free.Get().(*liveTrace)
+	if lt == nil {
+		lt = &liveTrace{tr: Trace{Spans: make([]Span, 0, 8)}}
 	}
-	t.mu.Unlock()
-	if tr == nil {
-		tr = &Trace{Spans: make([]Span, 0, 4)}
-	}
-	tr.ID, tr.Name, tr.Root, tr.StartNS, tr.EndNS = traceID, name, spanID, start, 0
+	lt.tr.ID, lt.tr.Name, lt.tr.Root, lt.tr.StartNS, lt.tr.EndNS = id, name, spanID, start, 0
 	return Ctx{
 		t:       t,
-		tr:      tr,
-		gen:     tr.gen,
-		traceID: traceID,
+		lt:      lt,
+		gen:     lt.gen,
+		traceID: id,
 		spanID:  spanID,
 		name:    name,
 		start:   start,
 		root:    true,
-		attrs:   startAttrs(attrs),
+		attrs:   copyAttrs(attrs),
 	}
 }
 
@@ -292,16 +344,27 @@ func (c Ctx) StartSpan(name string, attrs ...Attr) Ctx {
 	if c.t == nil {
 		return Ctx{}
 	}
+	return c.StartSpanAt(name, c.t.clock(), attrs...)
+}
+
+// StartSpanAt opens a child span with a caller-supplied start timestamp
+// (from Tracer.Now, possibly stamped on another goroutine): the entry
+// point for materializing spans after the fact from breadcrumbs recorded
+// on a hot path.
+func (c Ctx) StartSpanAt(name string, startNS int64, attrs ...Attr) Ctx {
+	if c.t == nil {
+		return Ctx{}
+	}
 	return Ctx{
 		t:       c.t,
-		tr:      c.tr,
+		lt:      c.lt,
 		gen:     c.gen,
 		traceID: c.traceID,
 		spanID:  c.t.nextID(),
 		parent:  c.spanID,
 		name:    name,
-		start:   c.t.clock(),
-		attrs:   startAttrs(attrs),
+		start:   startNS,
+		attrs:   copyAttrs(attrs),
 	}
 }
 
@@ -322,47 +385,136 @@ func (c Ctx) Active() bool { return c.t != nil }
 // TraceID returns the span's trace identifier (0 when inert).
 func (c Ctx) TraceID() uint64 { return c.traceID }
 
-// End finishes the span with optional final attributes. Ending a root span
-// commits its trace (the store copies it) and recycles the header —
-// children still open at that point observe the bumped generation, are
-// dropped, and counted in DroppedSpans.
-func (c Ctx) End(attrs ...Attr) {
+// StartNS returns the span's start timestamp on the tracer's clock (0 when
+// inert). Instrumentation that needs the enqueue instant for later
+// breadcrumbs reads it from here instead of paying a second clock read.
+func (c Ctx) StartNS() int64 { return c.start }
+
+// Keep marks the whole trace as force-kept: tail sampling will retain it
+// regardless of rate or duration. Instrumented error paths (shed
+// admissions, 429s, fallbacks) call this so every anomalous trace
+// survives the sampler.
+func (c Ctx) Keep() {
 	if c.t == nil {
 		return
 	}
-	end := c.t.clock()
-	a := c.attrs
-	if len(attrs) > 0 {
-		a = append(a, attrs...)
+	lt := c.lt
+	lt.mu.Lock()
+	if lt.gen == c.gen {
+		lt.keep = true
 	}
-	sp := Span{
-		SpanID:  c.spanID,
-		Parent:  c.parent,
-		Name:    c.name,
-		StartNS: c.start,
-		EndNS:   end,
-		Attrs:   a,
-	}
-	t := c.t
-	t.mu.Lock()
-	if c.tr.gen != c.gen {
-		t.mu.Unlock()
-		t.droppedSpans.Add(1)
+	lt.mu.Unlock()
+}
+
+// Event records an already-completed child span [startNS, endNS] under ctx
+// in a single call — the zero-allocation form hot paths use when the
+// timestamps were stamped elsewhere (Tracer.Now breadcrumbs). The attrs
+// are copied into the trace's arena under its lock, so the variadic slice
+// never escapes to the heap.
+func (c Ctx) Event(name string, startNS, endNS int64, attrs ...Attr) {
+	if c.t == nil {
 		return
 	}
-	c.tr.Spans = append(c.tr.Spans, sp)
-	if c.root {
-		c.tr.EndNS = end
-		t.store.add(*c.tr)
-		// Invalidate outstanding children and recycle the header; the
-		// store deep-copied the spans, so the buffer is reusable.
-		c.tr.gen++
-		c.tr.Spans = c.tr.Spans[:0]
-		if len(t.free) < freeListCap {
-			t.free = append(t.free, c.tr)
-		}
+	id := c.t.nextID()
+	lt := c.lt
+	lt.mu.Lock()
+	if lt.gen != c.gen {
+		lt.mu.Unlock()
+		c.t.droppedSpans.Add(1)
+		return
 	}
-	t.mu.Unlock()
+	a := lt.arenaAppend(nil, attrs)
+	lt.tr.Spans = append(lt.tr.Spans, Span{
+		SpanID:  id,
+		Parent:  c.spanID,
+		Name:    name,
+		StartNS: startNS,
+		EndNS:   endNS,
+		Attrs:   a,
+	})
+	lt.mu.Unlock()
+}
+
+// arenaAppend copies head then tail into the trace's arena and returns the
+// combined attribute slice (nil when both are empty). Caller holds lt.mu.
+func (lt *liveTrace) arenaAppend(head, tail []Attr) []Attr {
+	if len(head) == 0 && len(tail) == 0 {
+		return nil
+	}
+	n0 := len(lt.arena)
+	lt.arena = append(lt.arena, head...)
+	lt.arena = append(lt.arena, tail...)
+	return lt.arena[n0:len(lt.arena):len(lt.arena)]
+}
+
+// End finishes the span with optional final attributes. Ending a root span
+// runs the tail-sampling decision and, when the trace is kept, commits it
+// to the store (which copies it) before recycling the header — children
+// still open at that point observe the bumped generation, are dropped,
+// and counted in DroppedSpans. The return value reports whether the
+// trace was (or will be, for non-root spans) retained: callers use it to
+// avoid publishing exemplar trace IDs that point at sampled-out traces.
+func (c Ctx) End(attrs ...Attr) bool {
+	if c.t == nil {
+		return false
+	}
+	return c.finish(c.t.clock(), attrs)
+}
+
+// EndAt finishes the span at a caller-supplied timestamp (from
+// Tracer.Now), the counterpart of StartSpanAt.
+func (c Ctx) EndAt(endNS int64, attrs ...Attr) bool {
+	if c.t == nil {
+		return false
+	}
+	return c.finish(endNS, attrs)
+}
+
+func (c Ctx) finish(end int64, attrs []Attr) bool {
+	t, lt := c.t, c.lt
+	lt.mu.Lock()
+	if lt.gen != c.gen {
+		lt.mu.Unlock()
+		t.droppedSpans.Add(1)
+		return false
+	}
+	if !c.root {
+		lt.tr.Spans = append(lt.tr.Spans, Span{
+			SpanID:  c.spanID,
+			Parent:  c.parent,
+			Name:    c.name,
+			StartNS: c.start,
+			EndNS:   end,
+			Attrs:   lt.arenaAppend(c.attrs, attrs),
+		})
+		lt.mu.Unlock()
+		return true
+	}
+	// Root: run the tail-sampling decision BEFORE materializing the root
+	// span — a dropped trace (the bulk, at production rates) then skips the
+	// arena copy and span append entirely; nothing ever reads them.
+	lt.tr.EndNS = end
+	kept := t.tailKeep(lt.tr.ID, end-lt.tr.StartNS, lt.keep)
+	if kept {
+		lt.tr.Spans = append(lt.tr.Spans, Span{
+			SpanID:  c.spanID,
+			Parent:  c.parent,
+			Name:    c.name,
+			StartNS: c.start,
+			EndNS:   end,
+			Attrs:   lt.arenaAppend(c.attrs, attrs),
+		})
+		t.store.add(lt.tr)
+	}
+	// Invalidate outstanding children and recycle the header; the store
+	// deep-copied the spans and attrs, so both buffers are reusable.
+	lt.gen++
+	lt.tr.Spans = lt.tr.Spans[:0]
+	lt.arena = lt.arena[:0]
+	lt.keep = false
+	lt.mu.Unlock()
+	t.free.Put(lt)
+	return kept
 }
 
 // SetCurrent installs ctx as the tracer's ambient trace context — the

@@ -3,10 +3,10 @@ package fleet
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"gaugur/internal/sim"
+	"gaugur/internal/stats"
 )
 
 // DriveConfig parameterizes one churn run against a Cluster: sessions
@@ -160,10 +160,6 @@ func Drive(cfg DriveConfig) (DriveResult, error) {
 	if res.Placed > 0 {
 		res.MeanDelta = sumDelta / float64(res.Placed)
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		res.P50 = lats[len(lats)/2]
-		res.P99 = lats[len(lats)*99/100]
-	}
+	res.P50, res.P99 = stats.LatencyPercentiles(lats)
 	return res, nil
 }

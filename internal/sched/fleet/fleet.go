@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/flight"
 	"gaugur/internal/obs/trace"
 	"gaugur/internal/sim"
 )
@@ -113,6 +114,11 @@ type Config struct {
 	// and never feeding back into placement decisions.
 	Metrics *obs.Registry
 	Tracer  *trace.Tracer
+	// Flight, when non-nil, receives the dispatch plane's flight-recorder
+	// events (escapes, steal plans/moves/aborts, generation swaps). The
+	// balancer records via TryRecord only — under ring-lock contention an
+	// event is counted dropped rather than stalling every queued arrival.
+	Flight *flight.Recorder
 }
 
 // Placement describes one admitted session.
@@ -127,6 +133,25 @@ type Placement struct {
 type BatchResult struct {
 	Placement
 	OK bool // false: no shard in the whole fleet had capacity
+}
+
+// BatchTiming is one arrival's placement-decision breadcrumbs, stamped on
+// the balancer goroutine for callers that materialize trace spans after the
+// fact (the admission pipeline's deferred tracing: three clock reads here
+// instead of span bookkeeping on the single-threaded hot loop). Timestamps
+// come from the tracer clock (Tracer.Now; all zero with no tracer) and
+// exclude steal-plan drainage, which PlaceBatch amortizes across decisions.
+type BatchTiming struct {
+	// StartNS/EndNS bracket the decision; CommitNS is the instant the
+	// winning placement was chosen (probe reduced, commit about to book).
+	// CommitNS stays zero when the arrival was rejected.
+	StartNS, CommitNS, EndNS int64
+	// Cands is the number of shards probed (the whole fleet after an
+	// escape); Probes counts the fresh score probes the decision consumed —
+	// batched arrivals answered entirely from precomputed scores report 0.
+	Cands, Probes int
+	// Escape reports that the full-fleet fallback fired.
+	Escape bool
 }
 
 // Stats are the cluster's lifetime counters (single-threaded, exact).
@@ -193,9 +218,15 @@ type Cluster struct {
 	stealGap   float64
 	stealBatch int
 
-	met   fleetMetrics
-	tr    *trace.Tracer
-	stats Stats
+	met    fleetMetrics
+	tr     *trace.Tracer
+	flight *flight.Recorder
+	stats  Stats
+
+	// lastGenTag/genSeen detect model hot swaps for the flight recorder:
+	// the first decision after Gen() changes records a "gen-swap" event.
+	lastGenTag uint64
+	genSeen    bool
 
 	wg     sync.WaitGroup
 	closed bool
@@ -252,6 +283,7 @@ func New(cfg Config) (*Cluster, error) {
 		stealBatch: batch,
 		met:        newFleetMetrics(cfg.Metrics, shardCount),
 		tr:         cfg.Tracer,
+		flight:     cfg.Flight,
 	}
 	c.all = make([]int, shardCount)
 	c.shards = make([]*shard, shardCount)
@@ -302,15 +334,22 @@ func (c *Cluster) Locate(sid int) (server int, ok bool) {
 }
 
 // genTag folds the model generation into score-cache keys, read once per
-// decision (same contract as sched.GreedyPolicyVersioned).
+// decision (same contract as sched.GreedyPolicyVersioned). A tag change —
+// the serving model was hot-swapped since the last decision — lands a
+// "gen-swap" event in the flight recorder, so a dump shows placement events
+// on either side of the swap boundary.
 func (c *Cluster) genTag() uint64 {
-	if c.cfg.Gen == nil {
-		return 0
+	var tag uint64
+	if c.cfg.Gen != nil {
+		if g := c.cfg.Gen(); g != 0 {
+			tag = sim.Mix64(g)
+		}
 	}
-	if g := c.cfg.Gen(); g != 0 {
-		return sim.Mix64(g)
+	if c.genSeen && tag != c.lastGenTag {
+		c.flight.TryRecord(flight.Event{Kind: "gen-swap"})
 	}
-	return 0
+	c.genSeen, c.lastGenTag = true, tag
+	return tag
 }
 
 // sampleShards picks the candidate shards for one arrival. With k covering
@@ -374,30 +413,66 @@ func (c *Cluster) probe(candidates []int, game int, genTag uint64, tctx trace.Ct
 // Place admits one arriving session, returning its placement. ok=false
 // means no shard in the whole fleet had capacity.
 func (c *Cluster) Place(game int) (Placement, bool) {
+	return c.placeTimed(game, nil)
+}
+
+// placeTimed is Place with optional timing breadcrumbs. With tm non-nil the
+// per-arrival "fleet-placement" trace is suppressed — the caller owns the
+// trace (an admission span minted upstream) and materializes the span tree
+// itself from the stamps — and the decision writes its clock reads and
+// probe counts into tm instead. The placement decision is identical either
+// way; only the observability plumbing differs.
+func (c *Cluster) placeTimed(game int, tm *BatchTiming) (Placement, bool) {
 	c.applySteal()
 	span := c.met.decision.Start()
 	defer span.Stop()
 	genTag := c.genTag()
-	tctx := c.tr.StartTrace("fleet-placement", trace.Int("game", game))
+	var tctx trace.Ctx
+	if tm == nil {
+		tctx = c.tr.StartTrace("fleet-placement", trace.Int("game", game))
+	} else {
+		*tm = BatchTiming{StartNS: c.tr.Now()}
+	}
+	probes0 := c.stats.ScoreProbes
 
 	candidates := c.sampleShards()
 	best, bestShard, found := c.probe(candidates, game, genTag, tctx)
+	nCands := len(candidates)
 	if !found && len(candidates) < c.nShards {
 		// Escape hatch: every sampled shard rejected (saturated); scan the
 		// whole fleet rather than shedding a placeable session.
 		c.stats.Escapes++
 		c.met.escapes.Inc()
-		tctx = tctx.SetAttr(trace.Bool("escape", true))
+		c.flight.TryRecord(flight.Event{Kind: "escape", Game: game})
+		if tm == nil {
+			tctx = tctx.SetAttr(trace.Bool("escape", true))
+		} else {
+			tm.Escape = true
+		}
 		best, bestShard, found = c.probe(c.all, game, genTag, tctx)
+		nCands = c.nShards
+	}
+	if tm != nil {
+		tm.Cands = nCands
+		tm.Probes = c.stats.ScoreProbes - probes0
 	}
 	if !found {
 		c.stats.Rejected++
 		c.met.rejected.Inc()
 		tctx.End(trace.String("outcome", "rejected"))
+		if tm != nil {
+			tm.EndNS = c.tr.Now()
+		}
 		return Placement{}, false
 	}
 
+	if tm != nil {
+		tm.CommitNS = c.tr.Now()
+	}
 	pl := c.commitPlacement(game, bestShard, best, tctx, 0, nil)
+	if tm != nil {
+		tm.EndNS = c.tr.Now()
+	}
 	c.maybePlanSteal(bestShard)
 	return pl, true
 }
@@ -570,6 +645,18 @@ func (c *Cluster) commitPlacement(game, bestShard int, best shardResp, tctx trac
 // generation is pinned once per batch, so a lifecycle hot swap takes
 // effect at the next batch boundary.
 func (c *Cluster) PlaceBatch(games []int, dst []BatchResult) []BatchResult {
+	return c.PlaceBatchTimed(games, dst, nil)
+}
+
+// PlaceBatchTimed is PlaceBatch with per-arrival timing breadcrumbs: when
+// times covers the batch (len(times) >= len(games)), times[i] receives the
+// clock stamps and probe counts of games[i]'s decision and the fleet's own
+// per-arrival traces are suppressed — the caller owns the traces and
+// materializes spans from the breadcrumbs off the balancer's critical path
+// (see placeTimed). A nil or short times behaves exactly like PlaceBatch.
+// Placements are byte-identical between the two forms: timing observes the
+// decision, it never participates in it.
+func (c *Cluster) PlaceBatchTimed(games []int, dst []BatchResult, times []BatchTiming) []BatchResult {
 	if cap(dst) < len(games) {
 		dst = make([]BatchResult, len(games))
 	}
@@ -577,8 +664,13 @@ func (c *Cluster) PlaceBatch(games []int, dst []BatchResult) []BatchResult {
 	if len(games) == 0 {
 		return dst
 	}
+	timed := len(times) >= len(games)
 	if len(games) == 1 {
-		pl, ok := c.Place(games[0])
+		var tm *BatchTiming
+		if timed {
+			tm = &times[0]
+		}
+		pl, ok := c.placeTimed(games[0], tm)
 		dst[0] = BatchResult{Placement: pl, OK: ok}
 		return dst
 	}
@@ -629,7 +721,10 @@ func (c *Cluster) PlaceBatch(games []int, dst []BatchResult) []BatchResult {
 	// drain below, and collectRefresh installs a shard's answers the
 	// first time an arrival actually needs them. The drain starts
 	// immediately instead of barriering on the slowest shard.
-	tctx := c.tr.StartTrace("fleet-batch-probe", trace.Int("arrivals", len(games)))
+	var tctx trace.Ctx
+	if !timed {
+		tctx = c.tr.StartTrace("fleet-batch-probe", trace.Int("arrivals", len(games)))
+	}
 	span := c.met.batchProbe.Start()
 	for s := 0; s < c.nShards; s++ {
 		if len(c.batchGames[s]) == 0 {
@@ -644,25 +739,58 @@ func (c *Cluster) PlaceBatch(games []int, dst []BatchResult) []BatchResult {
 	// Phase 3: drain arrivals in order. Each iteration mirrors Place
 	// exactly — steal drain, probe, escape hatch, commit, steal planning —
 	// with precomputed answers standing in for clean-shard probes.
+	//
+	// In timed mode each arrival's StartNS chains from its predecessor's
+	// EndNS (one clock read for the whole batch instead of one per
+	// arrival): the drain is sequential, so the previous decision's end IS
+	// this decision's start, give or take the few-hundred-ns inter-arrival
+	// bookkeeping the score span absorbs.
+	var lastNS int64
+	if timed {
+		lastNS = c.tr.Now()
+	}
 	for i, g := range games {
 		c.applySteal()
 		dspan := c.met.decision.Start()
-		atctx := c.tr.StartTrace("fleet-placement", trace.Int("game", g), trace.Bool("batched", true))
+		var atctx trace.Ctx
+		var tm *BatchTiming
+		if timed {
+			tm = &times[i]
+			*tm = BatchTiming{StartNS: lastNS}
+		} else {
+			atctx = c.tr.StartTrace("fleet-placement", trace.Int("game", g), trace.Bool("batched", true))
+		}
+		probes0 := c.stats.ScoreProbes
 		candidates := cand[i*kk : (i+1)*kk]
 		best, bestShard, found := c.probeBatched(candidates, g, genTag, atctx)
+		nCands := len(candidates)
 		if !found && len(candidates) < c.nShards {
 			c.stats.Escapes++
 			c.met.escapes.Inc()
-			atctx = atctx.SetAttr(trace.Bool("escape", true))
+			c.flight.TryRecord(flight.Event{Kind: "escape", Game: g})
+			if timed {
+				tm.Escape = true
+			} else {
+				atctx = atctx.SetAttr(trace.Bool("escape", true))
+			}
 			// The full fan-out reads every reply channel, so any
 			// buffered refresh must be installed first.
 			c.collectAllRefreshes()
 			best, bestShard, found = c.probe(c.all, g, genTag, atctx)
+			nCands = c.nShards
+		}
+		if timed {
+			tm.Cands = nCands
+			tm.Probes = c.stats.ScoreProbes - probes0
 		}
 		if !found {
 			c.stats.Rejected++
 			c.met.rejected.Inc()
 			atctx.End(trace.String("outcome", "rejected"))
+			if timed {
+				tm.EndNS = c.tr.Now()
+				lastNS = tm.EndNS
+			}
 			dst[i] = BatchResult{}
 			dspan.Stop()
 			continue
@@ -678,7 +806,14 @@ func (c *Cluster) PlaceBatch(games []int, dst []BatchResult) []BatchResult {
 			}
 		}
 		c.batchPendGame[bestShard] = refresh
+		if timed {
+			tm.CommitNS = c.tr.Now()
+		}
 		dst[i] = BatchResult{Placement: c.commitPlacement(g, bestShard, best, atctx, genTag, refresh), OK: true}
+		if timed {
+			tm.EndNS = c.tr.Now()
+			lastNS = tm.EndNS
+		}
 		dspan.Stop()
 		c.maybePlanSteal(bestShard)
 	}
@@ -755,6 +890,8 @@ func (c *Cluster) maybePlanSteal(donor int) {
 	c.plan = &stealPlan{from: donor, to: target, moves: r.victims}
 	c.stats.StealPlans++
 	c.met.stealPlans.Inc()
+	c.flight.TryRecord(flight.Event{Kind: "steal-plan", Shard: donor,
+		Detail: fmt.Sprintf("target=%d moves=%d", target, len(r.victims))})
 }
 
 // applySteal drains at most one move of the pending steal plan. Each move
@@ -782,6 +919,7 @@ func (c *Cluster) applySteal() {
 			c.plan = nil
 			c.stats.StealAborts++
 			c.met.stealAborts.Inc()
+			c.flight.TryRecord(flight.Event{Kind: "steal-abort", Shard: p.from, Detail: "balance-reached"})
 			return
 		}
 		genTag := c.genTag()
@@ -803,6 +941,7 @@ func (c *Cluster) applySteal() {
 			c.plan = nil
 			c.stats.StealAborts++
 			c.met.stealAborts.Inc()
+			c.flight.TryRecord(flight.Event{Kind: "steal-abort", Shard: p.to, Detail: "target-full"})
 			tctx.End(trace.String("outcome", "aborted"))
 			return
 		}
@@ -823,6 +962,8 @@ func (c *Cluster) applySteal() {
 		c.met.stolen.Inc()
 		c.met.shardSessions[p.from].Set(float64(c.loads[p.from]))
 		c.met.shardSessions[p.to].Set(float64(c.loads[p.to]))
+		c.flight.TryRecord(flight.Event{Kind: "steal-move",
+			Session: m.sid, Server: r.server, Shard: p.to, Game: m.game})
 		tctx.End(trace.String("outcome", "moved"), trace.Int("server", r.server))
 		if len(p.moves) == 0 {
 			c.plan = nil

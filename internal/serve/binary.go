@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+
+	"gaugur/internal/sched/fleet"
 )
 
 // The optional binary admission protocol: length-prefixed frames over a
@@ -14,16 +16,20 @@ import (
 // path. Every frame is a little-endian uint32 payload length followed by
 // the payload.
 //
-//	request:  op byte (1 = admit, 2 = leave) + int64 LE argument
-//	          (game id for admit, session id for leave)
+//	request:  op byte (1 = admit, 2 = leave, 3 = traced admit) + int64 LE
+//	          argument (game id for admit, session id for leave); a traced
+//	          admit appends a uint64 LE trace identifier the server roots
+//	          the admission's span tree at (the binary counterpart of the
+//	          X-Gaugur-Trace-Id header)
 //	response: status byte + for an admitted session, session int64 LE
 //	          + server int64 LE
 //
 // Requests on one connection are answered in order; clients that want
 // pipelining open more connections.
 const (
-	binOpAdmit = 1
-	binOpLeave = 2
+	binOpAdmit       = 1
+	binOpLeave       = 2
+	binOpAdmitTraced = 3
 
 	// BinOK through BinBadRequest are the response status codes, aligned
 	// with the HTTP mapping (429/503/409/404/400).
@@ -38,6 +44,17 @@ const (
 	// the server allocate gigabytes.
 	binMaxFrame = 64
 )
+
+// appendAdmitResp renders an admit outcome: status byte plus, on success,
+// the session and server ids.
+func appendAdmitResp(resp []byte, pl fleet.Placement, err error) []byte {
+	resp = append(resp, binStatus(err))
+	if err == nil {
+		resp = binary.LittleEndian.AppendUint64(resp, uint64(pl.Session))
+		resp = binary.LittleEndian.AppendUint64(resp, uint64(pl.Server))
+	}
+	return resp
+}
 
 func binStatus(err error) byte {
 	switch {
@@ -151,19 +168,19 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 			return
 		}
 		resp = resp[:0]
-		if len(frame) != 9 {
+		if len(frame) < 9 {
 			resp = append(resp, BinBadRequest)
 		} else {
 			arg := int64(binary.LittleEndian.Uint64(frame[1:]))
-			switch frame[0] {
-			case binOpAdmit:
+			switch {
+			case frame[0] == binOpAdmit && len(frame) == 9:
 				pl, err := s.cfg.Pipeline.Admit(int(arg))
-				resp = append(resp, binStatus(err))
-				if err == nil {
-					resp = binary.LittleEndian.AppendUint64(resp, uint64(pl.Session))
-					resp = binary.LittleEndian.AppendUint64(resp, uint64(pl.Server))
-				}
-			case binOpLeave:
+				resp = appendAdmitResp(resp, pl, err)
+			case frame[0] == binOpAdmitTraced && len(frame) == 17:
+				traceID := binary.LittleEndian.Uint64(frame[9:])
+				pl, err := s.cfg.Pipeline.AdmitTraced(int(arg), traceID)
+				resp = appendAdmitResp(resp, pl, err)
+			case frame[0] == binOpLeave && len(frame) == 9:
 				resp = append(resp, binStatus(s.cfg.Pipeline.Leave(int(arg))))
 			default:
 				resp = append(resp, BinBadRequest)
@@ -208,9 +225,12 @@ func DialBinary(addr string) (*BinaryClient, error) {
 
 func (c *BinaryClient) Close() error { return c.conn.Close() }
 
-func (c *BinaryClient) roundTrip(op byte, arg int64) ([]byte, error) {
+func (c *BinaryClient) roundTrip(op byte, arg int64, trace ...uint64) ([]byte, error) {
 	c.req = append(c.req[:0], op)
 	c.req = binary.LittleEndian.AppendUint64(c.req, uint64(arg))
+	for _, id := range trace {
+		c.req = binary.LittleEndian.AppendUint64(c.req, id)
+	}
 	if err := writeFrame(c.conn, c.req); err != nil {
 		return nil, err
 	}
@@ -243,7 +263,16 @@ func binErr(status byte) error {
 
 // Admit requests a placement; on success returns (session, server).
 func (c *BinaryClient) Admit(game int) (session, server int, err error) {
-	frame, err := c.roundTrip(binOpAdmit, int64(game))
+	return c.admitFrame(c.roundTrip(binOpAdmit, int64(game)))
+}
+
+// AdmitTraced is Admit carrying a client-minted trace identifier the
+// server roots the admission trace at (0 lets the server mint one).
+func (c *BinaryClient) AdmitTraced(game int, traceID uint64) (session, server int, err error) {
+	return c.admitFrame(c.roundTrip(binOpAdmitTraced, int64(game), traceID))
+}
+
+func (c *BinaryClient) admitFrame(frame []byte, err error) (session, server int, _ error) {
 	if err != nil {
 		return 0, 0, err
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -120,6 +121,26 @@ func (s *Server) Shutdown() error {
 	return err
 }
 
+// TraceHeader is the HTTP trace-propagation header: a 16-hex-digit trace
+// identifier minted by the client (the load generator derives it from its
+// simulation seed). The server roots the whole admission's span tree at
+// that identity, so client and server logs meet on one trace ID. A
+// malformed or absent header just mints a server-side ID.
+const TraceHeader = "X-Gaugur-Trace-Id"
+
+// headerTraceID parses the propagation header (0 when absent/malformed).
+func headerTraceID(r *http.Request) uint64 {
+	v := r.Header.Get(TraceHeader)
+	if v == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(v, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
 // admitReq / leaveReq / errResp are the JSON wire shapes.
 type admitReq struct {
 	Game int `json:"game"`
@@ -172,7 +193,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "bad request: " + err.Error()})
 		return
 	}
-	pl, err := s.cfg.Pipeline.Admit(req.Game)
+	pl, err := s.cfg.Pipeline.AdmitTraced(req.Game, headerTraceID(r))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -188,7 +209,7 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errResp{Error: "bad request: " + err.Error()})
 		return
 	}
-	if err := s.cfg.Pipeline.Leave(req.Session); err != nil {
+	if err := s.cfg.Pipeline.LeaveTraced(req.Session, headerTraceID(r)); err != nil {
 		writeErr(w, err)
 		return
 	}

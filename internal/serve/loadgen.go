@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gaugur/internal/sim"
+	"gaugur/internal/stats"
 )
 
 // LoadGenConfig replays a sim.FlashCrowd arrival trace against a running
@@ -39,6 +40,12 @@ type LoadGenConfig struct {
 	Seed int64
 	// Workers bounds concurrent in-flight requests; <= 0 defaults to 32.
 	Workers int
+	// Trace mints a deterministic trace identifier per arrival — the n-th
+	// arrival always carries DeriveSeed(Seed, "loadgen-trace", n) — and
+	// propagates it over the wire (the X-Gaugur-Trace-Id header, or the
+	// binary traced-admit op), so server-side traces of a replayed run are
+	// rooted at byte-stable identities.
+	Trace bool
 }
 
 // LoadGenResult is one replay's summary.
@@ -66,8 +73,9 @@ func (r LoadGenResult) String() string {
 }
 
 // lgClient abstracts the two wire protocols for the generator workers.
+// A traceID of 0 means "don't propagate" (the server mints its own).
 type lgClient interface {
-	admit(game int) (session int, err error)
+	admit(game int, traceID uint64) (session int, err error)
 	leave(session int) error
 	close()
 }
@@ -128,6 +136,7 @@ type lgJob struct {
 	game    int
 	session int
 	hold    float64 // sim-seconds; 0 = never leaves
+	traceID uint64  // client-minted propagated trace ID; 0 = none
 }
 
 // RunLoadGen replays the trace. The arrival schedule is deterministic in
@@ -186,7 +195,7 @@ func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
 					continue
 				}
 				t0 := time.Now()
-				sid, err := cl.admit(job.game)
+				sid, err := cl.admit(job.game, job.traceID)
 				lat := time.Since(t0)
 				mu.Lock()
 				pendingAdmits--
@@ -218,6 +227,7 @@ func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
 	rng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, "loadgen", 0)))
 	start := time.Now()
 	now := 0.0
+	arrival := int64(0)
 	for {
 		next := cfg.Crowd.Next(now, rng)
 		game := cfg.Games[rng.Intn(len(cfg.Games))]
@@ -252,10 +262,17 @@ func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
 		if hold > 0 {
 			holdAt = now + hold
 		}
+		var traceID uint64
+		if cfg.Trace {
+			// The n-th arrival's identity is a pure function of the seed,
+			// so a replayed run roots the same traces at the same IDs.
+			traceID = uint64(sim.DeriveSeed(cfg.Seed, "loadgen-trace", arrival))
+		}
+		arrival++
 		mu.Lock()
 		pendingAdmits++
 		mu.Unlock()
-		jobs <- lgJob{admit: true, game: game, hold: holdAt}
+		jobs <- lgJob{admit: true, game: game, hold: holdAt, traceID: traceID}
 	}
 
 	// End drain: wait until every admit has been recorded, claim all
@@ -291,11 +308,7 @@ func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
 	wg.Wait()
 
 	res.Elapsed = time.Since(start)
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		res.P50 = lats[len(lats)/2]
-		res.P99 = lats[len(lats)*99/100]
-	}
+	res.P50, res.P99 = stats.LatencyPercentiles(lats)
 	if res.Elapsed > 0 {
 		res.PlacementsPerSec = float64(res.Admitted) / res.Elapsed.Seconds()
 	}
@@ -315,7 +328,11 @@ func newLGClient(cfg LoadGenConfig) (lgClient, error) {
 
 type binLGClient struct{ c *BinaryClient }
 
-func (b *binLGClient) admit(game int) (int, error) {
+func (b *binLGClient) admit(game int, traceID uint64) (int, error) {
+	if traceID != 0 {
+		sid, _, err := b.c.AdmitTraced(game, traceID)
+		return sid, err
+	}
 	sid, _, err := b.c.Admit(game)
 	return sid, err
 }
@@ -327,12 +344,20 @@ type httpLGClient struct {
 	c    *http.Client
 }
 
-func (h *httpLGClient) post(path string, req, resp any) (int, error) {
+func (h *httpLGClient) post(path string, req, resp any, traceID uint64) (int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
-	r, err := h.c.Post(h.base+path, "application/json", bytes.NewReader(body))
+	hr, err := http.NewRequest(http.MethodPost, h.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if traceID != 0 {
+		hr.Header.Set(TraceHeader, fmt.Sprintf("%016x", traceID))
+	}
+	r, err := h.c.Do(hr)
 	if err != nil {
 		return 0, err
 	}
@@ -364,9 +389,9 @@ func httpErr(code int) error {
 	}
 }
 
-func (h *httpLGClient) admit(game int) (int, error) {
+func (h *httpLGClient) admit(game int, traceID uint64) (int, error) {
 	var resp admitResp
-	code, err := h.post("/v1/admit", admitReq{Game: game}, &resp)
+	code, err := h.post("/v1/admit", admitReq{Game: game}, &resp, traceID)
 	if err != nil {
 		return 0, err
 	}
@@ -377,7 +402,7 @@ func (h *httpLGClient) admit(game int) (int, error) {
 }
 
 func (h *httpLGClient) leave(session int) error {
-	code, err := h.post("/v1/leave", leaveReq{Session: session}, nil)
+	code, err := h.post("/v1/leave", leaveReq{Session: session}, nil, 0)
 	if err != nil {
 		return err
 	}

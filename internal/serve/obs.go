@@ -21,6 +21,11 @@ type admissionMetrics struct {
 	// cost an arrival pays); dispatch is the batch's cluster time.
 	queueWait *obs.Histogram
 	dispatch  *obs.StageTimer
+	// latency is end-to-end admission latency measured at the producer,
+	// with exemplars: each bucket remembers the trace ID of its last
+	// tail-kept observation, so a latency spike in /metrics links straight
+	// to a retained trace in /debug/traces.
+	latency *obs.Histogram
 }
 
 func newAdmissionMetrics(r *obs.Registry) admissionMetrics {
@@ -51,5 +56,8 @@ func newAdmissionMetrics(r *obs.Registry) admissionMetrics {
 			"time a request spent queued before its batch dispatched"),
 		dispatch: r.Timer("gaugur_admission_dispatch_seconds",
 			"wall-clock latency of one coalesced batch dispatch"),
+		latency: r.Histogram("gaugur_admission_latency_seconds", nil,
+			"end-to-end admission latency (queue wait + dispatch), with trace exemplars").
+			WithExemplars(),
 	}
 }

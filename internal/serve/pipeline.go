@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gaugur/internal/obs"
+	"gaugur/internal/obs/flight"
 	"gaugur/internal/obs/trace"
 	"gaugur/internal/sched/fleet"
 )
@@ -61,6 +62,11 @@ type PipelineConfig struct {
 	// Metrics and Tracer are nil-safe, same contract as fleet.Config.
 	Metrics *obs.Registry
 	Tracer  *trace.Tracer
+	// Flight, when non-nil, receives one event per admission outcome
+	// (admit, reject-queue, reject-capacity, reject-draining, leave) plus
+	// drain-begin/drain-end — recorded on producer goroutines, never on
+	// the collector's hot loop.
+	Flight *flight.Recorder
 }
 
 const (
@@ -85,6 +91,21 @@ type pendingOp struct {
 	session int
 	enq     time.Time
 	done    chan opResult
+
+	// Deferred-tracing state. The producer mints the deferred root span (root) and
+	// stamps enqNS before enqueueing; the collector only writes raw clock
+	// reads (drainNS/dispatchNS/batchSize and the fleet's BatchTiming) —
+	// every span is materialized from the stamps on the producer goroutine
+	// after the result arrives, so span bookkeeping never slows the
+	// single-threaded collector. All trace fields are zero when the
+	// pipeline has no tracer.
+	traceID    uint64
+	root       trace.Root
+	enqNS      int64
+	drainNS    int64
+	dispatchNS int64
+	batchSize  int
+	tm         fleet.BatchTiming
 }
 
 type opResult struct {
@@ -119,6 +140,7 @@ type Pipeline struct {
 	batch   []*pendingOp
 	games   []int
 	results []fleet.BatchResult
+	times   []fleet.BatchTiming
 }
 
 // NewPipeline starts the collector goroutine. Close it to drain.
@@ -159,9 +181,12 @@ func (p *Pipeline) QueueDepth() int { return int(p.depth.Load()) }
 // the owner that built it closes it (and may read final stats first).
 func (p *Pipeline) Close() {
 	p.closeOnce.Do(func() {
+		p.cfg.Flight.Record(flight.Event{Kind: "drain-begin"})
 		p.closed.Store(true)
 		p.prod.Wait()  // every in-flight submit has enqueued or bailed
 		close(p.queue) // collector drains the backlog, then exits
+		<-p.done
+		p.cfg.Flight.Record(flight.Event{Kind: "drain-end"})
 	})
 	<-p.done
 }
@@ -181,62 +206,264 @@ func (p *Pipeline) enter() bool {
 func (p *Pipeline) getOp(kind opKind) *pendingOp {
 	op := p.pool.Get().(*pendingOp)
 	op.kind = kind
-	op.enq = time.Now()
+	if p.cfg.Tracer == nil {
+		// Traced ops time everything on the tracer's clock (enqNS, stamped
+		// in startOpTrace); op.enq backs the untraced latency/queue-wait
+		// metrics, so skip the redundant clock read when tracing.
+		op.enq = time.Now()
+	}
+	op.traceID, op.root = 0, trace.Root{}
+	op.enqNS, op.drainNS, op.dispatchNS, op.batchSize = 0, 0, 0, 0
+	op.tm = fleet.BatchTiming{}
 	return op
+}
+
+// startOpTrace mints (or adopts) the op's root admission span on the
+// producer goroutine; the span's own start timestamp doubles as the
+// enqueue instant, so starting a traced op costs one clock read total.
+// The root carries no start attributes — finishAdmit/finishLeave attach
+// game/session alongside the outcome, and only for traces the sampler is
+// keeping, so the per-op attribute slice is never allocated for the
+// dropped bulk.
+func (p *Pipeline) startOpTrace(op *pendingOp, traceID uint64, name string) {
+	tr := p.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	op.root = tr.StartRoot(traceID, name)
+	op.traceID = op.root.TraceID()
+	op.enqNS = op.root.StartNS()
 }
 
 // submit enqueues op without blocking; a full queue is backpressure, not
 // a wait. Waiting for the result DOES block — admission latency is the
-// queue wait plus the batch dispatch.
+// queue wait plus the batch dispatch. The caller still owns op afterwards
+// (it materializes spans from the collector's stamps) and must pool it.
 func (p *Pipeline) submit(op *pendingOp) (opResult, error) {
 	select {
 	case p.queue <- op:
 		p.depth.Add(1)
 	default:
 		p.prod.Done()
-		p.pool.Put(op)
 		p.met.rejectedQueue.Inc()
 		return opResult{}, ErrQueueFull
 	}
 	p.prod.Done()
-	res := <-op.done
-	p.pool.Put(op)
-	return res, nil
+	return <-op.done, nil
 }
 
 // Admit requests placement for one session of game. Blocks until the
 // coalesced batch containing it is dispatched; returns ErrQueueFull,
 // ErrDraining, or ErrNoCapacity on failure.
 func (p *Pipeline) Admit(game int) (fleet.Placement, error) {
+	return p.AdmitTraced(game, 0)
+}
+
+// AdmitTraced is Admit with a caller-minted trace identifier — the wire
+// propagation entry point: the load generator derives the ID from its
+// simulation seed, carries it in the X-Gaugur-Trace-Id header or the
+// binary protocol's traced-admit op, and the whole server-side admission
+// (queue wait, coalescing, fleet placement) is recorded as one trace
+// rooted at that identity. A traceID of 0 mints one locally, which is
+// what Admit does.
+func (p *Pipeline) AdmitTraced(game int, traceID uint64) (fleet.Placement, error) {
 	p.met.requests.Inc()
 	if !p.enter() {
 		p.met.rejectedDraining.Inc()
+		op := p.getOp(opAdmit)
+		op.game = game
+		p.startOpTrace(op, traceID, "admission")
+		p.finishAdmit(op, fleet.Placement{}, ErrDraining)
+		p.pool.Put(op)
 		return fleet.Placement{}, ErrDraining
 	}
 	op := p.getOp(opAdmit)
 	op.game = game
+	p.startOpTrace(op, traceID, "admission")
 	res, err := p.submit(op)
+	if err == nil {
+		err = res.err
+	}
+	p.finishAdmit(op, res.placement, err)
+	p.pool.Put(op)
 	if err != nil {
 		return fleet.Placement{}, err
 	}
-	return res.placement, res.err
+	return res.placement, nil
 }
 
 // Leave removes a session. Leaves ride the same queue as admits so the
 // collector stays the cluster's only caller and ordering is preserved.
 func (p *Pipeline) Leave(session int) error {
+	return p.LeaveTraced(session, 0)
+}
+
+// LeaveTraced is Leave with a caller-minted trace identifier (0 mints
+// one locally), mirroring AdmitTraced.
+func (p *Pipeline) LeaveTraced(session int, traceID uint64) error {
 	p.met.requests.Inc()
 	if !p.enter() {
 		p.met.rejectedDraining.Inc()
+		op := p.getOp(opLeave)
+		op.session = session
+		p.startOpTrace(op, traceID, "leave")
+		p.finishLeave(op, ErrDraining)
+		p.pool.Put(op)
 		return ErrDraining
 	}
 	op := p.getOp(opLeave)
 	op.session = session
+	p.startOpTrace(op, traceID, "leave")
 	res, err := p.submit(op)
-	if err != nil {
-		return err
+	if err == nil {
+		err = res.err
 	}
-	return res.err
+	p.finishLeave(op, err)
+	p.pool.Put(op)
+	return err
+}
+
+// errOutcome renders an admission error as the trace outcome attribute.
+func errOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "placed"
+	case errors.Is(err, ErrQueueFull):
+		return "queue-full"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrNoCapacity):
+		return "no-capacity"
+	case errors.Is(err, ErrUnknownSession):
+		return "unknown-session"
+	default:
+		return "error"
+	}
+}
+
+// finishAdmit runs on the producer goroutine once the result is known: it
+// records the flight-recorder event, materializes the admission's span
+// tree from the collector's stamps (queue-wait, coalesce, place-batch with
+// score/commit children), force-keeps every non-placed trace through tail
+// sampling, ends the root with the outcome, and feeds the latency
+// histogram — publishing the trace ID as an exemplar only when the trace
+// was actually kept, so exemplars never point at sampled-out traces.
+func (p *Pipeline) finishAdmit(op *pendingOp, pl fleet.Placement, err error) {
+	ev := flight.Event{Game: op.game, Trace: flight.TraceID(op.traceID)}
+	switch {
+	case err == nil:
+		ev.Kind, ev.Session, ev.Server, ev.Shard = "admit", pl.Session, pl.Server, pl.Shard
+	case errors.Is(err, ErrQueueFull):
+		ev.Kind = "reject-queue"
+	case errors.Is(err, ErrNoCapacity):
+		ev.Kind = "reject-capacity"
+	default:
+		ev.Kind = "reject-draining"
+	}
+	p.cfg.Flight.Record(ev)
+
+	if !op.root.Active() {
+		p.met.latency.Observe(time.Since(op.enq).Seconds())
+		return
+	}
+	end := p.cfg.Tracer.Now()
+	lat := float64(end-op.enqNS) / 1e9
+	// Peek the tail-sampling decision before materializing the child
+	// spans: at production rates the bulk of traces is about to be
+	// dropped, and their span trees — and even the root's outcome
+	// attribute — would be pure wasted work on the producer. The real
+	// decision still runs inside End; in the rare race where the slow
+	// threshold moves between peek and decision, a kept trace arrives
+	// with fewer annotations, which is harmless.
+	wk := p.cfg.Tracer.WouldKeep(op.traceID, end-op.enqNS, err != nil)
+	if wk {
+		// Only a kept trace pays for a trace header: Attach materializes
+		// the pooled context the deferred root has so far avoided.
+		c := op.root.Attach()
+		if op.drainNS != 0 {
+			// An op enqueued mid-sweep shares the sweep's drain stamp,
+			// which can precede its own enqueue by microseconds; clamp so
+			// the queue-wait span never runs backwards.
+			dr := max(op.drainNS, op.enqNS)
+			c.Event("queue-wait", op.enqNS, dr)
+			c.Event("coalesce", dr, op.dispatchNS, trace.Int("batch", op.batchSize))
+		}
+		if op.tm.EndNS != 0 {
+			pb := c.StartSpanAt("place-batch", op.tm.StartNS, trace.Int("arrivals", op.batchSize))
+			scoreEnd := op.tm.CommitNS
+			if scoreEnd == 0 { // rejected: the probe ran to the decision's end
+				scoreEnd = op.tm.EndNS
+			}
+			pb.Event("score", op.tm.StartNS, scoreEnd,
+				trace.Int("shards", op.tm.Cands), trace.Int("probes", op.tm.Probes),
+				trace.Bool("escape", op.tm.Escape))
+			if err == nil {
+				pb.Event("commit", op.tm.CommitNS, op.tm.EndNS,
+					trace.Int("shard", pl.Shard), trace.Int("server", pl.Server),
+					trace.Int("session", pl.Session))
+			}
+			pb.EndAt(op.tm.EndNS)
+		}
+	}
+	if err != nil {
+		op.root.Keep() // errors and backpressure always survive tail sampling
+	}
+	var kept bool
+	if wk {
+		kept = op.root.EndAt(end, trace.Int("game", op.game), trace.String("outcome", errOutcome(err)))
+	} else {
+		kept = op.root.EndAt(end)
+	}
+	if kept {
+		p.met.latency.ObserveTrace(lat, op.traceID)
+	} else {
+		p.met.latency.Observe(lat)
+	}
+}
+
+// finishLeave is finishAdmit's departure counterpart.
+func (p *Pipeline) finishLeave(op *pendingOp, err error) {
+	ev := flight.Event{Session: op.session, Trace: flight.TraceID(op.traceID)}
+	switch {
+	case err == nil:
+		ev.Kind = "leave"
+	case errors.Is(err, ErrUnknownSession):
+		ev.Kind = "leave-unknown"
+	case errors.Is(err, ErrQueueFull):
+		ev.Kind = "reject-queue"
+	default:
+		ev.Kind = "reject-draining"
+	}
+	p.cfg.Flight.Record(ev)
+
+	if !op.root.Active() {
+		return
+	}
+	end := p.cfg.Tracer.Now()
+	wk := p.cfg.Tracer.WouldKeep(op.traceID, end-op.enqNS, err != nil)
+	if wk {
+		c := op.root.Attach()
+		if op.drainNS != 0 {
+			dr := max(op.drainNS, op.enqNS) // see finishAdmit
+			c.Event("queue-wait", op.enqNS, dr)
+			c.Event("coalesce", dr, op.dispatchNS, trace.Int("batch", op.batchSize))
+		}
+		if op.tm.EndNS != 0 {
+			c.Event("remove", op.tm.StartNS, op.tm.EndNS)
+		}
+	}
+	if err != nil {
+		op.root.Keep()
+	}
+	if !wk {
+		op.root.EndAt(end)
+		return
+	}
+	outcome := "removed"
+	if err != nil {
+		outcome = errOutcome(err)
+	}
+	op.root.EndAt(end, trace.Int("session", op.session), trace.String("outcome", outcome))
 }
 
 // Stats reads the cluster's counters: the collector's post-dispatch
@@ -269,18 +496,33 @@ func (p *Pipeline) run() {
 			return
 		}
 		p.depth.Add(-1)
+		p.stampDrain(op)
 		p.batch = append(p.batch[:0], op)
-		p.coalesce(timer)
+		p.coalesce(timer, op.drainNS)
 		p.dispatch()
+	}
+}
+
+// stampDrain marks the instant an op left the queue — one raw clock read,
+// the collector's entire share of the queue-wait span (the producer builds
+// the span itself later). No-op without a tracer.
+func (p *Pipeline) stampDrain(op *pendingOp) {
+	if p.cfg.Tracer != nil {
+		op.drainNS = p.cfg.Tracer.Now()
 	}
 }
 
 // coalesce fills p.batch up to the window. With no deadline it drains
 // only what is already queued (never waits); with one it waits up to
 // BatchDelay for stragglers, so light load still forms partial batches
-// and heavy load fills the window before the timer fires.
-func (p *Pipeline) coalesce(timer *time.Timer) {
+// and heavy load fills the window before the timer fires. sweepNS is the
+// first op's drain stamp: the non-blocking sweep empties the queue within
+// microseconds, so every op it drains shares that stamp instead of paying
+// a clock read each (the deadline path re-stamps per op — its waits are
+// real).
+func (p *Pipeline) coalesce(timer *time.Timer, sweepNS int64) {
 	if timer == nil {
+		traced := p.cfg.Tracer != nil
 		for len(p.batch) < p.window {
 			select {
 			case op, ok := <-p.queue:
@@ -288,6 +530,9 @@ func (p *Pipeline) coalesce(timer *time.Timer) {
 					return
 				}
 				p.depth.Add(-1)
+				if traced {
+					op.drainNS = sweepNS
+				}
 				p.batch = append(p.batch, op)
 			default:
 				return
@@ -311,6 +556,7 @@ func (p *Pipeline) coalesce(timer *time.Timer) {
 				return
 			}
 			p.depth.Add(-1)
+			p.stampDrain(op)
 			p.batch = append(p.batch, op)
 		case <-timer.C:
 			return
@@ -321,21 +567,34 @@ func (p *Pipeline) coalesce(timer *time.Timer) {
 // dispatch runs one coalesced batch against the cluster. Consecutive
 // admits form one PlaceBatch call (the full-occupancy path); leaves and
 // stats execute singly in arrival order, so batched submission observes
-// exactly the sequence a singleton pipeline would.
+// exactly the sequence a singleton pipeline would. With a tracer the
+// collector's only tracing work is stamping timestamps into the ops — each
+// producer goroutine materializes its own admission's span tree, so the
+// per-request traces cost the hot loop a handful of clock reads instead of
+// span bookkeeping.
 func (p *Pipeline) dispatch() {
 	sp := p.met.dispatch.Start()
 	p.met.queueDepth.Set(float64(p.depth.Load()))
-	now := time.Now()
-	tctx := trace.Ctx{}
 	if p.cfg.Tracer != nil {
-		tctx = p.cfg.Tracer.StartTrace("admission-batch", trace.Int("ops", len(p.batch)))
-	}
-	for _, op := range p.batch {
-		p.met.queueWait.Observe(now.Sub(op.enq).Seconds())
+		// Traced ops observe queue wait on the tracer's clock — the same
+		// dispatch stamp the coalesce span uses, so the batch costs one
+		// clock read here instead of one per op.
+		dispatchNS := p.cfg.Tracer.Now()
+		bs := len(p.batch)
+		for _, op := range p.batch {
+			op.dispatchNS = dispatchNS
+			op.batchSize = bs
+			p.met.queueWait.Observe(float64(dispatchNS-op.enqNS) / 1e9)
+		}
+	} else {
+		now := time.Now()
+		for _, op := range p.batch {
+			p.met.queueWait.Observe(now.Sub(op.enq).Seconds())
+		}
 	}
 	for i := 0; i < len(p.batch); {
 		if p.batch[i].kind != opAdmit {
-			p.runSingle(p.batch[i], tctx)
+			p.runSingle(p.batch[i])
 			i++
 			continue
 		}
@@ -343,10 +602,9 @@ func (p *Pipeline) dispatch() {
 		for j < len(p.batch) && p.batch[j].kind == opAdmit {
 			j++
 		}
-		p.runAdmits(p.batch[i:j], tctx)
+		p.runAdmits(p.batch[i:j])
 		i = j
 	}
-	tctx.End()
 	sp.Stop()
 	st := p.cfg.Cluster.Stats()
 	p.statsCache.Store(&st)
@@ -355,14 +613,27 @@ func (p *Pipeline) dispatch() {
 	p.batch = p.batch[:0]
 }
 
-// runAdmits places one run of consecutive admits through PlaceBatch.
-func (p *Pipeline) runAdmits(ops []*pendingOp, tctx trace.Ctx) {
-	sctx := tctx.StartSpan("dispatch-admits", trace.Int("arrivals", len(ops)))
+// runAdmits places one run of consecutive admits through PlaceBatch —
+// the timed form when tracing, so each op carries its fleet breadcrumbs
+// home. Each op's result is copied into the op BEFORE its done send: the
+// producer frees the op back to the pool right after materializing.
+func (p *Pipeline) runAdmits(ops []*pendingOp) {
 	p.games = p.games[:0]
 	for _, op := range ops {
 		p.games = append(p.games, op.game)
 	}
-	p.results = p.cfg.Cluster.PlaceBatch(p.games, p.results[:0])
+	if p.cfg.Tracer != nil {
+		if cap(p.times) < len(ops) {
+			p.times = make([]fleet.BatchTiming, len(ops))
+		}
+		p.times = p.times[:len(ops)]
+		p.results = p.cfg.Cluster.PlaceBatchTimed(p.games, p.results[:0], p.times)
+		for i, op := range ops {
+			op.tm = p.times[i]
+		}
+	} else {
+		p.results = p.cfg.Cluster.PlaceBatch(p.games, p.results[:0])
+	}
 	admitted := 0
 	for i, op := range ops {
 		r := p.results[i]
@@ -377,17 +648,22 @@ func (p *Pipeline) runAdmits(ops []*pendingOp, tctx trace.Ctx) {
 	p.met.admitted.Add(int64(admitted))
 	p.met.batches.Inc()
 	p.met.batchSize.Observe(float64(len(ops)))
-	sctx.End(trace.Int("admitted", admitted))
 }
 
-// runSingle executes one leave op.
-func (p *Pipeline) runSingle(op *pendingOp, tctx trace.Ctx) {
-	sctx := tctx.StartSpan("dispatch-leave", trace.Int("session", op.session))
-	if p.cfg.Cluster.Remove(op.session) {
+// runSingle executes one leave op, stamping its removal window for the
+// producer's trace.
+func (p *Pipeline) runSingle(op *pendingOp) {
+	if p.cfg.Tracer != nil {
+		op.tm.StartNS = p.cfg.Tracer.Now()
+	}
+	removed := p.cfg.Cluster.Remove(op.session)
+	if p.cfg.Tracer != nil {
+		op.tm.EndNS = p.cfg.Tracer.Now()
+	}
+	if removed {
 		p.met.leaves.Inc()
 		op.done <- opResult{}
 	} else {
 		op.done <- opResult{err: ErrUnknownSession}
 	}
-	sctx.End()
 }

@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyPercentilesBoundaries(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       []time.Duration
+		p50, p99 time.Duration
+	}{
+		{"empty", nil, 0, 0},
+		{"one", []time.Duration{7}, 7, 7},
+		{"two", []time.Duration{9, 3}, 9, 9}, // len/2 == 1, len*99/100 == 1
+		{"tied", []time.Duration{5, 5, 5, 5}, 5, 5},
+		{"hundred", nil, 50, 99},
+	}
+	cases[4].in = make([]time.Duration, 100)
+	for i := range cases[4].in {
+		cases[4].in[i] = time.Duration(99 - i) // reversed: helper must sort
+	}
+	for _, tc := range cases {
+		p50, p99 := LatencyPercentiles(tc.in)
+		if p50 != tc.p50 || p99 != tc.p99 {
+			t.Errorf("%s: got p50=%v p99=%v, want %v/%v", tc.name, p50, p99, tc.p50, tc.p99)
+		}
+	}
+}
+
+func TestLatencyPercentilesSortsInPlace(t *testing.T) {
+	in := []time.Duration{3, 1, 2}
+	LatencyPercentiles(in)
+	if in[0] != 1 || in[1] != 2 || in[2] != 3 {
+		t.Errorf("input not sorted in place: %v", in)
+	}
+}
