@@ -52,6 +52,7 @@ bench-json:
 		-benchtime 1x -run '^$$' . > bench_pipeline.txt
 	$(GO) test -bench 'BenchmarkFleetDispatch$$' -benchtime 5x -run '^$$' . >> bench_pipeline.txt
 	$(GO) test -bench 'BenchmarkAdmissionPipeline$$|BenchmarkAdmissionSingleton$$|BenchmarkAdmissionTraced$$' -benchtime 10x -run '^$$' . >> bench_pipeline.txt
+	$(GO) test -bench 'BenchmarkAdmissionParallel$$|BenchmarkAdmissionParallelBaseline$$' -benchtime 10x -run '^$$' . >> bench_pipeline.txt
 	$(GO) test -bench 'BenchmarkAdmissionTracedOverhead$$' -benchtime 30x -run '^$$' . >> bench_pipeline.txt
 	cat bench_pipeline.txt
 	awk 'BEGIN { print "{" } \
@@ -79,7 +80,12 @@ bench-json:
 # AdmissionTracedOverhead experiment (median of per-pair ratios), run 3
 # times with the MINIMUM taken: run medians still swing a few percent with
 # VM steal, and the minimum is the noise-floor estimate — a real
-# regression lifts all three runs, a steal burst only some. The baseline
+# regression lifts all three runs, a steal burst only some. The multi-lane
+# admission plane has its own within-run invariant: BenchmarkAdmissionParallel
+# must place at >= 1.5x BenchmarkAdmissionParallelBaseline (the identical
+# mixed-game workload at lanes=1) — asserted only when the run's reported
+# GOMAXPROCS is >= 4, since lanes sharing one core cannot speed anything
+# up; on smaller boxes the ratio prints as info. The baseline
 # file is read, never rewritten — run `make bench-json` deliberately to
 # move it.
 bench-check:
@@ -88,6 +94,7 @@ bench-check:
 	$(GO) test -bench 'BenchmarkFleetDispatch$$' -benchtime 5x -run '^$$' . >> bench_check.txt
 	$(GO) test -bench 'BenchmarkTrainPipeline$$' -benchtime 1x -run '^$$' . >> bench_check.txt
 	$(GO) test -bench 'BenchmarkAdmissionPipeline$$|BenchmarkAdmissionSingleton$$|BenchmarkAdmissionTraced$$' -benchtime 10x -run '^$$' . >> bench_check.txt
+	$(GO) test -bench 'BenchmarkAdmissionParallel$$|BenchmarkAdmissionParallelBaseline$$' -benchtime 10x -run '^$$' . >> bench_check.txt
 	$(GO) test -bench 'BenchmarkAdmissionTracedOverhead$$' -benchtime 30x -count 3 -run '^$$' . >> bench_check.txt
 	@cat bench_check.txt
 	@awk -v tol=$(BENCH_TOLERANCE) ' \
@@ -108,7 +115,7 @@ bench-check:
 			} \
 		} \
 		END { \
-			n = split("BenchmarkPredictBatch_ns_op BenchmarkHotSwap_ns_op BenchmarkFleetDispatch_ns_op BenchmarkTrainPipeline_ns_op BenchmarkAdmissionPipeline_ns_op", guard, " "); \
+			n = split("BenchmarkPredictBatch_ns_op BenchmarkHotSwap_ns_op BenchmarkFleetDispatch_ns_op BenchmarkTrainPipeline_ns_op BenchmarkAdmissionPipeline_ns_op BenchmarkAdmissionParallel_ns_op", guard, " "); \
 			fail = 0; \
 			for (i = 1; i <= n; i++) { \
 				k = guard[i]; \
@@ -125,6 +132,16 @@ bench-check:
 				printf "bench-check: admission coalescing = %.2fx singleton (%.0f vs %.0f placements/s)\n", ratio, ps, ss; \
 				if (ratio < 2.0) { print "bench-check: coalesced admission fell below the 2x-over-singleton bar"; fail = 1; } \
 			} \
+			pp = cur["BenchmarkAdmissionParallel_placements_per_s"] + 0; \
+			pb = cur["BenchmarkAdmissionParallelBaseline_placements_per_s"] + 0; \
+			mp = cur["BenchmarkAdmissionParallel_maxprocs"] + 0; \
+			if (pp <= 0 || pb <= 0) { print "bench-check: parallel admission placements/s missing from fresh run"; fail = 1; } \
+			else if (mp >= 4) { \
+				pratio = pp / pb; \
+				printf "bench-check: multi-lane admission = %.2fx single-collector (%.0f vs %.0f placements/s, %.0f lanes)\n", pratio, pp, pb, cur["BenchmarkAdmissionParallel_lanes"] + 0; \
+				if (pratio < 1.5) { print "bench-check: multi-lane admission fell below the 1.5x-over-single-collector bar"; fail = 1; } \
+			} \
+			else printf "bench-check: multi-lane speedup = %.2fx [info only: GOMAXPROCS=%.0f < 4, lanes contend for one core]\n", pp / pb, mp; \
 			ts = cur["BenchmarkAdmissionTraced_placements_per_s"] + 0; \
 			if (ts <= 0) { print "bench-check: traced admission placements/s missing from fresh run"; fail = 1; } \
 			else if (ps > 0) \
@@ -158,7 +175,7 @@ lifecycle-e2e:
 serve-smoke:
 	$(GO) build -o bin/gaugur ./cmd/gaugur
 	@set -e; \
-	./bin/gaugur serve -demo -addr 127.0.0.1:18080 -queue-cap 1024 -flight-cap 8192 > serve_smoke.log 2>&1 & \
+	./bin/gaugur serve -demo -addr 127.0.0.1:18080 -lanes 2 -queue-cap 1024 -flight-cap 8192 > serve_smoke.log 2>&1 & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	for i in $$(seq 1 50); do \

@@ -1,6 +1,7 @@
 package gaugur_test
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -34,6 +35,10 @@ type admissionStack struct {
 }
 
 func newAdmissionStack(b *testing.B, scorer fleet.BatchScorer, window int, traced bool) *admissionStack {
+	return newAdmissionStackLanes(b, scorer, window, traced, 1)
+}
+
+func newAdmissionStackLanes(b *testing.B, scorer fleet.BatchScorer, window int, traced bool, lanes int) *admissionStack {
 	b.Helper()
 	rec := flight.New(flight.DefaultCapacity, nil)
 	var tracer *trace.Tracer
@@ -59,8 +64,9 @@ func newAdmissionStack(b *testing.B, scorer fleet.BatchScorer, window int, trace
 	}
 	pipe, err := serve.NewPipeline(serve.PipelineConfig{
 		Cluster:     c,
+		Lanes:       lanes,
 		BatchWindow: window,
-		QueueCap:    1024,
+		QueueCap:    1024 * lanes,
 		Tracer:      tracer,
 		Flight:      rec,
 	})
@@ -223,6 +229,98 @@ func BenchmarkAdmissionSingleton(b *testing.B) { benchAdmission(b, 1, false) }
 // sampling, exemplars — for the absolute-throughput trend line in
 // BENCH_pipeline.json.
 func BenchmarkAdmissionTraced(b *testing.B) { benchAdmission(b, 16, true) }
+
+// admitCycleSpread is admitCycle with the arrival mix spread across game
+// ids: producer w admits games[w%len(games)] throughout. Same-game
+// producers still coalesce (game-hash lane affinity routes them to one
+// lane), while distinct games fan out across every lane — the workload
+// the multi-lane admission plane exists for. Single-game admitCycle
+// would hash every arrival onto ONE lane and measure nothing.
+func admitCycleSpread(b *testing.B, pipe *serve.Pipeline, games []int) [][]int {
+	sidCh := make(chan []int, admProducers)
+	var wg sync.WaitGroup
+	for w := 0; w < admProducers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			game := games[w%len(games)]
+			sids := make([]int, 0, admPerProducer)
+			for j := 0; j < admPerProducer; j++ {
+				pl, err := pipe.Admit(game)
+				if err != nil {
+					b.Errorf("admit: %v", err)
+					return
+				}
+				sids = append(sids, pl.Session)
+			}
+			sidCh <- sids
+		}(w)
+	}
+	wg.Wait()
+	close(sidCh)
+	all := make([][]int, 0, admProducers)
+	for sids := range sidCh {
+		all = append(all, sids)
+	}
+	return all
+}
+
+// parallelLanes is the lane count the parallel benchmark runs at:
+// half the available cores (at least 2), leaving the other half for the
+// 128 producer goroutines and the scorer itself.
+func parallelLanes() int {
+	lanes := runtime.GOMAXPROCS(0) / 2
+	if lanes < 2 {
+		lanes = 2
+	}
+	return lanes
+}
+
+// benchAdmissionParallel drives the SAME mixed-game 128-producer workload
+// through a lanes-wide admission plane. Both arms (lanes=1 baseline and
+// the multi-lane headline) run this identical workload so their
+// placements/s ratio isolates the lane fan-out alone. The reported
+// maxprocs metric lets the bench-check guard skip the speedup assertion
+// on boxes without enough cores to exhibit one.
+func benchAdmissionParallel(b *testing.B, lanes int) {
+	env := benchEnv(b)
+	p, err := env.GAugur(env.Cfg.QoSHigh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := newAdmissionStackLanes(b, fleet.NewPredictorScorer(p), 16, false, lanes)
+	ids := env.TenGames()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		waves := admitCycleSpread(b, s.pipe, ids)
+		b.StopTimer()
+		drainCycle(b, s.cluster, waves)
+		b.StartTimer()
+	}
+	b.StopTimer()
+
+	arrivals := float64(b.N) * admProducers * admPerProducer
+	b.ReportMetric(arrivals/b.Elapsed().Seconds(), "placements/s")
+	b.ReportMetric(float64(lanes), "lanes")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "maxprocs")
+	st := s.cluster.Stats()
+	b.ReportMetric(float64(st.ScoreProbes)/arrivals, "probes/arrival")
+}
+
+// BenchmarkAdmissionParallel: the multi-lane admission plane — 128
+// producers over a 10-game mix, lanes = GOMAXPROCS/2 (min 2), each lane
+// its own collector and fleet.Caller. The acceptance bar on a >= 4-core
+// box is >= 1.8x BenchmarkAdmissionPipeline placements/s; `make
+// bench-check` enforces >= 1.5x over BenchmarkAdmissionParallelBaseline
+// within the same run (skipped when maxprocs < 4).
+func BenchmarkAdmissionParallel(b *testing.B) { benchAdmissionParallel(b, parallelLanes()) }
+
+// BenchmarkAdmissionParallelBaseline: the identical mixed-game workload
+// through the single-collector pipeline (lanes=1) — the within-run
+// denominator for the parallel speedup, immune to fixture differences
+// between this workload and the single-game BenchmarkAdmissionPipeline.
+func BenchmarkAdmissionParallelBaseline(b *testing.B) { benchAdmissionParallel(b, 1) }
 
 // BenchmarkAdmissionTracedOverhead measures the cost of the observability
 // plane as a PAIRED experiment: two identical admission stacks — one

@@ -40,6 +40,7 @@ func cmdServe(args []string) error {
 	window := fs.Int("batch-window", 16, "max arrivals coalesced per dispatch (1 = singleton submission)")
 	delay := fs.Duration("batch-delay", 200*time.Microsecond, "how long to wait filling a batch (0 = drain-only)")
 	queueCap := fs.Int("queue-cap", 256, "admission queue bound (full queue answers 429)")
+	lanes := fs.Int("lanes", 1, "parallel admission lanes (1 = the deterministic single-collector pipeline)")
 	duration := fs.Duration("duration", 0, "serve this long then drain (0 = until SIGINT/SIGTERM)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at drain to this file")
@@ -114,6 +115,7 @@ func cmdServe(args []string) error {
 
 	pipe, err := serve.NewPipeline(serve.PipelineConfig{
 		Cluster:     c,
+		Lanes:       *lanes,
 		BatchWindow: *window,
 		BatchDelay:  *delay,
 		QueueCap:    *queueCap,
@@ -140,8 +142,8 @@ func cmdServe(args []string) error {
 	if err := srv.Start(*addr); err != nil {
 		return err
 	}
-	fmt.Printf("admission API + obs surface on http://%s (batch window %d, delay %s, queue %d)\n",
-		srv.Addr(), *window, *delay, *queueCap)
+	fmt.Printf("admission API + obs surface on http://%s (lanes %d, batch window %d, delay %s, queue %d)\n",
+		srv.Addr(), pipe.Lanes(), *window, *delay, *queueCap)
 	if *binAddr != "" {
 		if err := srv.StartBinary(*binAddr); err != nil {
 			return err
@@ -224,6 +226,7 @@ func cmdLoadgen(args []string) error {
 	hold := fs.Float64("hold", 4, "mean session lifetime (simulated seconds, 0 = stay until the end)")
 	gameIDs := fs.String("game-ids", "0,1,2,3,4,5,6,7,8,9", "comma-separated game ids to draw arrivals from")
 	workers := fs.Int("workers", 32, "concurrent in-flight requests")
+	conns := fs.Int("conns", 0, "binary-protocol connection pool size (0 = one per worker)")
 	seed := fs.Int64("seed", 23, "arrival trace seed")
 	traced := fs.Bool("trace", true, "propagate a deterministic per-arrival trace id (the n-th arrival always carries the same id for a given seed)")
 	if err := fs.Parse(args); err != nil {
@@ -254,6 +257,7 @@ func cmdLoadgen(args []string) error {
 		Games:     games,
 		Seed:      *seed,
 		Workers:   *workers,
+		Conns:     *conns,
 		Trace:     *traced,
 	})
 	if err != nil {

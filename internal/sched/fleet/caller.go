@@ -1,0 +1,474 @@
+package fleet
+
+import (
+	"math/rand"
+
+	"gaugur/internal/obs/flight"
+	"gaugur/internal/sim"
+)
+
+// Caller is a handle for one of several concurrent balancer-side callers —
+// an admission lane. The single-caller Cluster methods (Place, PlaceBatch,
+// Remove) are deterministic but demand exactly one driving goroutine; a
+// Caller relaxes determinism to linearizability so N lanes can drive the
+// same fleet from N cores:
+//
+//   - Scoring runs lock-free and in parallel: each Caller owns private
+//     per-shard reply channels, so its probes interleave with other lanes'
+//     on the shard request queues without mixing up answers, and each lane
+//     still batches its arrivals' probes into one kernel pass per shard.
+//   - Commits are sequenced: every balancer-side mutation (session booking,
+//     per-server occupancy, removal, steal moves, stats) holds the cluster
+//     commit lock and draws a monotone ticket (Placement.Seq), so two lanes
+//     admitting onto the same server resolve in a defined total order and
+//     an Admit observed by a client strictly precedes any Leave for the
+//     session it returned.
+//   - Capacity is revalidated at commit time against the balancer-side
+//     occupancy ledger: a probe answer that went stale while another lane
+//     filled the chosen server fails the commit, the lane re-probes fresh,
+//     and after bounded optimistic retries it falls back to probing under
+//     the lock — where shard state is provably consistent (all mutating
+//     sends hold the lock and shard queues are FIFO), so the decision,
+//     including a full-fleet reject, is exact at its linearization point.
+//
+// What concurrency costs: placements are no longer a replayable function
+// of the arrival order (two runs may interleave lanes differently), and a
+// lane may commit against a score another lane has since perturbed — the
+// same approximation power-of-k sampling already accepts. What it keeps:
+// no double-placement, no orphaned session, conserved occupancy, and
+// admit/reject decided exactly (an arrival is rejected only if the whole
+// fleet was full at its linearization point — a property independent of
+// lane interleaving, which is why admitted/rejected counts are invariant
+// across lane counts for a quiesced replay).
+//
+// A Caller is NOT safe for concurrent use itself — one goroutine per
+// Caller, many Callers per Cluster. Do not mix Caller use with the
+// single-caller Cluster methods while either is in flight.
+type Caller struct {
+	c  *Cluster
+	id int
+
+	// resp holds this caller's private per-shard reply channels. The
+	// protocol invariant that keeps the whole plane deadlock-free: at most
+	// one outstanding reply per (caller, shard) at any time, so a buffered
+	// channel of capacity 1 means a shard never blocks handing a reply
+	// back.
+	resp []chan shardResp
+
+	rng     *rand.Rand
+	sampled []int
+	candBuf []int
+
+	// Per-batch probe scratch, mirroring the Cluster's single-caller batch
+	// state but private to this lane. dirty tracks only THIS caller's
+	// commits — other lanes' commits leave our cached answers stale, which
+	// the commit-time occupancy check makes safe.
+	games   [][]int
+	resps   [][]shardResp
+	dirty   []bool
+	pending []bool
+
+	// Probe-side counters accumulated off-lock and folded into the shared
+	// Stats under the commit lock once per batch.
+	probes, scanned, misses int
+}
+
+// callerRetries bounds the optimistic probe→commit attempts before a
+// placement falls back to the locked slow path. Two is enough: a second
+// conflict on the same arrival means real contention, and the slow path
+// resolves it exactly instead of spinning.
+const callerRetries = 2
+
+// NewCaller registers a new concurrent caller handle. Callers are never
+// unregistered; build them once per lane at startup.
+func (c *Cluster) NewCaller() *Caller {
+	c.mu.Lock()
+	id := c.nCallers
+	c.nCallers++
+	c.mu.Unlock()
+	cl := &Caller{
+		c:       c,
+		id:      id,
+		resp:    make([]chan shardResp, c.nShards),
+		rng:     rand.New(rand.NewSource(sim.DeriveSeed(c.cfg.Seed, "fleet-caller", int64(id)))),
+		games:   make([][]int, c.nShards),
+		resps:   make([][]shardResp, c.nShards),
+		dirty:   make([]bool, c.nShards),
+		pending: make([]bool, c.nShards),
+	}
+	for i := range cl.resp {
+		cl.resp[i] = make(chan shardResp, 1)
+	}
+	return cl
+}
+
+// sampleShards mirrors Cluster.sampleShards on the caller's private rng:
+// k distinct shards, or the fixed full list (no randomness consumed) when
+// k covers every shard.
+func (cl *Caller) sampleShards() []int {
+	c := cl.c
+	if c.k >= c.nShards {
+		return c.all
+	}
+	s := cl.sampled[:0]
+	for len(s) < c.k {
+		d := cl.rng.Intn(c.nShards)
+		dup := false
+		for _, have := range s {
+			if have == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s = append(s, d)
+		}
+	}
+	cl.sampled = s
+	return s
+}
+
+// collect installs the batched probe answers an opScoreBatch left on shard
+// s's private reply channel. No-op when nothing is pending.
+func (cl *Caller) collect(s int) {
+	if !cl.pending[s] {
+		return
+	}
+	r := <-cl.resp[s]
+	cl.pending[s] = false
+	cl.resps[s] = r.batch
+	for _, e := range r.batch {
+		cl.probes++
+		cl.scanned += e.scanned
+		cl.misses += e.misses
+	}
+}
+
+// collectAll drains every outstanding batched-probe reply — required
+// before any full fan-out and before PlaceBatch returns, so no private
+// channel ever holds a reply across calls.
+func (cl *Caller) collectAll() {
+	for s := range cl.pending {
+		cl.collect(s)
+	}
+}
+
+// flushStats folds the caller's probe counters into the shared ledger.
+func (cl *Caller) flushStats() {
+	if cl.probes == 0 && cl.scanned == 0 && cl.misses == 0 {
+		return
+	}
+	c := cl.c
+	c.mu.Lock()
+	c.stats.ScoreProbes += cl.probes
+	c.stats.Scanned += cl.scanned
+	c.stats.CacheMisses += cl.misses
+	c.mu.Unlock()
+	cl.probes, cl.scanned, cl.misses = 0, 0, 0
+}
+
+// Place admits one session through this lane.
+func (cl *Caller) Place(game int) (Placement, bool) {
+	var dst [1]BatchResult
+	cl.PlaceBatch([]int{game}, dst[:0])
+	return dst[0].Placement, dst[0].OK
+}
+
+// PlaceBatch is the lane's coalesced admission path; see
+// Cluster.PlaceBatch for the batching shape. Placements are linearizable,
+// not replay-deterministic — the Caller type comment spells out the
+// contract.
+func (cl *Caller) PlaceBatch(games []int, dst []BatchResult) []BatchResult {
+	return cl.PlaceBatchTimed(games, dst, nil)
+}
+
+// PlaceBatchTimed is PlaceBatch with per-arrival timing breadcrumbs,
+// mirroring Cluster.PlaceBatchTimed (timestamps from the tracer clock, all
+// zero with no tracer).
+func (cl *Caller) PlaceBatchTimed(games []int, dst []BatchResult, times []BatchTiming) []BatchResult {
+	if cap(dst) < len(games) {
+		dst = make([]BatchResult, len(games))
+	}
+	dst = dst[:len(games)]
+	if len(games) == 0 {
+		return dst
+	}
+	timed := len(times) >= len(games)
+	c := cl.c
+
+	// Batch prologue under the lock: pin the model generation and drain at
+	// most one pending steal move (the steal plan is shared sequenced
+	// state; its round trips ride the shard default channels, which only
+	// ever carry traffic under this lock in caller mode).
+	c.mu.Lock()
+	c.applySteal()
+	genTag := c.genTag()
+	c.mu.Unlock()
+	c.met.batches.Inc()
+	c.met.batchArrivals.Observe(float64(len(games)))
+
+	// Phase 1: presample every arrival's candidate shards on the lane rng.
+	kk := c.k
+	need := len(games) * kk
+	if cap(cl.candBuf) < need {
+		cl.candBuf = make([]int, need)
+	}
+	cand := cl.candBuf[:need]
+	for i := range games {
+		copy(cand[i*kk:(i+1)*kk], cl.sampleShards())
+	}
+
+	// Phase 2: group the batch by shard and fan one batched probe out per
+	// involved shard on the private reply channels. Answers are collected
+	// lazily by the drain, so shard-side scoring overlaps it.
+	for s := range cl.games {
+		cl.games[s] = cl.games[s][:0]
+		cl.resps[s] = nil
+		cl.dirty[s] = false
+	}
+	for i, g := range games {
+		for _, s := range cand[i*kk : (i+1)*kk] {
+			if lookupIdx(cl.games[s], g) < 0 {
+				cl.games[s] = append(cl.games[s], g)
+			}
+		}
+	}
+	span := c.met.batchProbe.Start()
+	for s := 0; s < c.nShards; s++ {
+		if len(cl.games[s]) == 0 {
+			continue
+		}
+		c.shards[s].reqs <- shardReq{op: opScoreBatch, games: cl.games[s], genTag: genTag, resp: cl.resp[s]}
+		cl.pending[s] = true
+	}
+	span.Stop()
+
+	// Phase 3: drain arrivals in order through optimistic probe→commit
+	// with the locked slow path as backstop.
+	var lastNS int64
+	if timed {
+		lastNS = c.tr.Now()
+	}
+	for i, g := range games {
+		dspan := c.met.decision.Start()
+		var tm *BatchTiming
+		if timed {
+			tm = &times[i]
+			*tm = BatchTiming{StartNS: lastNS}
+		}
+		probes0 := cl.probes
+		pl, ok := cl.placeOne(g, cand[i*kk:(i+1)*kk], genTag, tm)
+		if tm != nil {
+			tm.Probes = cl.probes - probes0
+			tm.EndNS = c.tr.Now()
+			lastNS = tm.EndNS
+		}
+		dst[i] = BatchResult{Placement: pl, OK: ok}
+		dspan.Stop()
+	}
+	cl.collectAll()
+	cl.flushStats()
+	return dst
+}
+
+// placeOne runs one arrival's decision: probe the sampled candidates
+// (batched answers where clean, fresh probes where dirty), commit under
+// the sequencer with capacity revalidation, and retry on a lost race. A
+// saturated candidate set or exhausted retries fall through to the locked
+// slow path, which settles the decision — including a full-fleet reject —
+// exactly.
+func (cl *Caller) placeOne(game int, candidates []int, genTag uint64, tm *BatchTiming) (Placement, bool) {
+	c := cl.c
+	sawCandidate := false
+	for attempt := 0; attempt < callerRetries; attempt++ {
+		best, bestShard, found := cl.probeBatched(candidates, game, genTag)
+		if !found {
+			break
+		}
+		sawCandidate = true
+		if pl, ok := cl.tryCommit(game, bestShard, best, tm); ok {
+			if tm != nil {
+				tm.Cands = len(candidates)
+			}
+			// Our own commit stales our cached answers for that shard;
+			// the next arrival touching it re-probes fresh.
+			cl.dirty[bestShard] = true
+			return pl, true
+		}
+		// Lost the capacity race to another lane: the chosen server filled
+		// between probe and commit. Re-probe that shard fresh.
+		cl.dirty[bestShard] = true
+	}
+	escape := !sawCandidate && len(candidates) < c.nShards
+	return cl.placeLocked(game, escape, genTag, tm)
+}
+
+// probeBatched answers one arrival's probe from the lane's batched
+// answers, re-probing shards this lane has dirtied. Mirrors
+// Cluster.probeBatched minus span bookkeeping (the admission pipeline owns
+// the traces in lane mode and materializes them from BatchTiming).
+func (cl *Caller) probeBatched(candidates []int, game int, genTag uint64) (shardResp, int, bool) {
+	c := cl.c
+	for _, id := range candidates {
+		cl.collect(id)
+	}
+	for _, id := range candidates {
+		if cl.dirty[id] || lookupIdx(cl.games[id], game) < 0 {
+			c.shards[id].reqs <- shardReq{op: opScore, game: game, genTag: genTag, resp: cl.resp[id]}
+		}
+	}
+	var best shardResp
+	bestShard, found := -1, false
+	for _, id := range candidates {
+		var r shardResp
+		if j := lookupIdx(cl.games[id], game); !cl.dirty[id] && j >= 0 {
+			r = cl.resps[id][j]
+		} else {
+			r = <-cl.resp[id]
+			cl.probes++
+			cl.scanned += r.scanned
+			cl.misses += r.misses
+			c.met.reprobes.Inc()
+		}
+		if !r.ok {
+			continue
+		}
+		if !found || r.delta > best.delta || (r.delta == best.delta && r.server < best.server) {
+			best, bestShard, found = r, id, true
+		}
+	}
+	return best, bestShard, found
+}
+
+// tryCommit books the chosen placement under the commit lock, failing if
+// another lane filled the server since the probe.
+func (cl *Caller) tryCommit(game, shard int, best shardResp, tm *BatchTiming) (Placement, bool) {
+	c := cl.c
+	c.mu.Lock()
+	if c.occ[best.server] >= c.max {
+		c.mu.Unlock()
+		return Placement{}, false
+	}
+	if tm != nil {
+		tm.CommitNS = c.tr.Now()
+	}
+	pl := c.bookLocked(game, shard, best)
+	c.maybePlanSteal(shard)
+	c.mu.Unlock()
+	return pl, true
+}
+
+// placeLocked is the exact slow path: a full-fleet probe under the commit
+// lock. While the lock is held no commit or removal can land anywhere
+// (every mutating shard send holds it, and shard queues are FIFO), so the
+// probe answers are consistent with the occupancy ledger by construction —
+// the commit cannot fail, and a not-found here is a true full-fleet
+// reject at this decision's linearization point.
+func (cl *Caller) placeLocked(game int, escape bool, genTag uint64, tm *BatchTiming) (Placement, bool) {
+	c := cl.c
+	// Private channels must be empty before a full fan-out.
+	cl.collectAll()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if escape {
+		c.stats.Escapes++
+		c.met.escapes.Inc()
+		c.flight.TryRecord(flight.Event{Kind: "escape", Game: game})
+		if tm != nil {
+			tm.Escape = true
+		}
+	}
+	best, bestShard, found := cl.probeFresh(c.all, game, genTag)
+	if tm != nil {
+		tm.Cands = c.nShards
+	}
+	if !found {
+		c.stats.Rejected++
+		c.met.rejected.Inc()
+		return Placement{}, false
+	}
+	if tm != nil {
+		tm.CommitNS = c.tr.Now()
+	}
+	pl := c.bookLocked(game, bestShard, best)
+	cl.dirty[bestShard] = true
+	c.maybePlanSteal(bestShard)
+	return pl, true
+}
+
+// probeFresh fans uncached probes to every candidate shard on the private
+// channels and reduces to the best (delta, lowest server id) placement.
+func (cl *Caller) probeFresh(candidates []int, game int, genTag uint64) (shardResp, int, bool) {
+	c := cl.c
+	for _, id := range candidates {
+		c.shards[id].reqs <- shardReq{op: opScore, game: game, genTag: genTag, resp: cl.resp[id]}
+	}
+	var best shardResp
+	bestShard, found := -1, false
+	for _, id := range candidates {
+		r := <-cl.resp[id]
+		cl.probes++
+		cl.scanned += r.scanned
+		cl.misses += r.misses
+		if !r.ok {
+			continue
+		}
+		if !found || r.delta > best.delta || (r.delta == best.delta && r.server < best.server) {
+			best, bestShard, found = r, id, true
+		}
+	}
+	return best, bestShard, found
+}
+
+// Remove departs a session through this lane; false when the id is
+// unknown. Sequenced under the commit lock, so a Leave that raced an Admit
+// whose reply the client already observed always finds the session — the
+// booking preceded the reply, and both hold the lock.
+func (cl *Caller) Remove(sid int) bool {
+	c := cl.c
+	c.mu.Lock()
+	c.applySteal()
+	loc, ok := c.sessions[sid]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	// No ack needed: the sessions map is authoritative under the lock, so
+	// the shard-side removal cannot fail; channel FIFO orders every later
+	// sequenced op behind it.
+	c.shards[loc.shard].reqs <- shardReq{op: opRemove, sid: sid, server: loc.server, noAck: true}
+	delete(c.sessions, sid)
+	c.loads[loc.shard]--
+	c.occ[loc.server]--
+	c.stats.Removed++
+	c.stats.Active--
+	c.met.active.Set(float64(c.stats.Active))
+	c.met.shardSessions[loc.shard].Set(float64(c.loads[loc.shard]))
+	c.mu.Unlock()
+	return true
+}
+
+// bookLocked books a sequenced commit: the shared tail of every
+// Caller-side placement. The caller holds c.mu. The shard send happens
+// under the lock so per-shard delivery order matches ticket order — that
+// ordering is what makes a later sequenced Remove unable to overtake the
+// commit it depends on.
+func (c *Cluster) bookLocked(game, bestShard int, best shardResp) Placement {
+	sid := c.nextSID
+	c.nextSID++
+	seq := c.commitSeq
+	c.commitSeq++
+	c.shards[bestShard].reqs <- shardReq{op: opCommit, game: game, sid: sid, server: best.server}
+	c.sessions[sid] = sessionLoc{shard: bestShard, server: best.server, game: game}
+	c.loads[bestShard]++
+	c.occ[best.server]++
+	c.stats.Placed++
+	c.stats.Active++
+	if c.stats.Active > c.stats.PeakActive {
+		c.stats.PeakActive = c.stats.Active
+	}
+	c.met.placements.Inc()
+	c.met.active.Set(float64(c.stats.Active))
+	c.met.shardSessions[bestShard].Set(float64(c.loads[bestShard]))
+	return Placement{Session: sid, Server: best.server, Shard: bestShard, Delta: best.delta, Seq: seq}
+}

@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestCallerMatchesSingleCallerPath: with K covering every shard (so no
+// sampling randomness is consumed on either side) a single Caller must
+// place an arrival/departure sequence identically to the deterministic
+// Cluster methods — the anchor that pins the concurrent commit path's
+// scoring and reduce order to the validated single-caller plane.
+func TestCallerMatchesSingleCallerPath(t *testing.T) {
+	build := func() *Cluster {
+		c, err := New(Config{
+			NumServers:   48,
+			ShardCount:   6,
+			MaxPerServer: 3,
+			K:            6,
+			Scorer:       ScorerFunc(synthScore),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ref := build()
+	defer ref.Close()
+	con := build()
+	defer con.Close()
+	cl := con.NewCaller()
+
+	rng := rand.New(rand.NewSource(41))
+	var refSIDs, conSIDs []int
+	for step := 0; step < 400; step++ {
+		if len(refSIDs) > 0 && rng.Intn(4) == 0 {
+			i := rng.Intn(len(refSIDs))
+			rs, cs := refSIDs[i], conSIDs[i]
+			refSIDs = append(refSIDs[:i], refSIDs[i+1:]...)
+			conSIDs = append(conSIDs[:i], conSIDs[i+1:]...)
+			if !ref.Remove(rs) || !cl.Remove(cs) {
+				t.Fatalf("step %d: removal failed", step)
+			}
+			continue
+		}
+		game := rng.Intn(9)
+		rp, rok := ref.Place(game)
+		cp, cok := cl.Place(game)
+		if rok != cok {
+			t.Fatalf("step %d game %d: admit mismatch ref=%v caller=%v", step, game, rok, cok)
+		}
+		if !rok {
+			continue
+		}
+		if rp.Server != cp.Server || rp.Shard != cp.Shard || rp.Delta != cp.Delta {
+			t.Fatalf("step %d game %d: ref placed server %d shard %d delta %g, caller server %d shard %d delta %g",
+				step, game, rp.Server, rp.Shard, rp.Delta, cp.Server, cp.Shard, cp.Delta)
+		}
+		refSIDs = append(refSIDs, rp.Session)
+		conSIDs = append(conSIDs, cp.Session)
+	}
+	verifyInvariants(t, ref)
+	verifyInvariants(t, con)
+}
+
+// TestCallerBatchMatchesClusterBatch: same anchor for the coalesced path —
+// a Caller's PlaceBatch must match Cluster.PlaceBatch arrival for arrival.
+func TestCallerBatchMatchesClusterBatch(t *testing.T) {
+	build := func() *Cluster {
+		c, err := New(Config{
+			NumServers:   32,
+			ShardCount:   4,
+			MaxPerServer: 2,
+			K:            4,
+			Scorer:       ScorerFunc(synthScore),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ref := build()
+	defer ref.Close()
+	con := build()
+	defer con.Close()
+	cl := con.NewCaller()
+
+	rng := rand.New(rand.NewSource(59))
+	for batch := 0; batch < 12; batch++ {
+		games := make([]int, 8)
+		for i := range games {
+			games[i] = rng.Intn(7)
+		}
+		rres := ref.PlaceBatch(games, nil)
+		cres := cl.PlaceBatch(games, nil)
+		for i := range games {
+			if rres[i].OK != cres[i].OK {
+				t.Fatalf("batch %d arrival %d: admit mismatch ref=%v caller=%v", batch, i, rres[i].OK, cres[i].OK)
+			}
+			if rres[i].OK && rres[i].Placement.Server != cres[i].Placement.Server {
+				t.Fatalf("batch %d arrival %d: ref server %d, caller server %d",
+					batch, i, rres[i].Placement.Server, cres[i].Placement.Server)
+			}
+		}
+	}
+	verifyInvariants(t, ref)
+	verifyInvariants(t, con)
+}
+
+// TestConcurrentCallersChurn: several lanes admit and depart concurrently
+// — departures deliberately cross lanes (a session admitted on one lane is
+// removed on another) — then the fleet is quiesced and checked against the
+// shard ground truth: no double-placement, no orphan, conserved occupancy,
+// the balancer-side per-server ledger exact, and commit tickets unique and
+// dense. Run under -race this is also the memory-safety stress for the
+// concurrent-caller contract.
+func TestConcurrentCallersChurn(t *testing.T) {
+	const nCallers, steps = 4, 300
+	c, err := New(Config{
+		NumServers:     64,
+		ShardCount:     8,
+		MaxPerServer:   4,
+		K:              2,
+		Seed:           17,
+		Scorer:         ScorerFunc(synthScore),
+		StealThreshold: 0.7,
+		StealBatch:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	callers := make([]*Caller, nCallers)
+	for i := range callers {
+		callers[i] = c.NewCaller()
+	}
+
+	var mu sync.Mutex
+	pool := []int{} // admitted sessions available for any lane to remove
+	var wg sync.WaitGroup
+	for w := 0; w < nCallers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := callers[w]
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < steps; i++ {
+				switch rng.Intn(4) {
+				case 0: // cross-lane departure
+					mu.Lock()
+					sid := -1
+					if len(pool) > 0 {
+						sid = pool[len(pool)-1]
+						pool = pool[:len(pool)-1]
+					}
+					mu.Unlock()
+					if sid >= 0 && !cl.Remove(sid) {
+						t.Errorf("lane %d: session %d vanished", w, sid)
+						return
+					}
+				case 1: // coalesced batch admit
+					games := []int{rng.Intn(11), rng.Intn(11), rng.Intn(11)}
+					for _, r := range cl.PlaceBatch(games, nil) {
+						if r.OK {
+							mu.Lock()
+							pool = append(pool, r.Placement.Session)
+							mu.Unlock()
+						}
+					}
+				default: // singleton admit
+					if pl, ok := cl.Place(rng.Intn(11)); ok {
+						mu.Lock()
+						pool = append(pool, pl.Session)
+						mu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	verifyInvariants(t, c)
+	snap := c.Snapshot()
+	for s, contents := range snap {
+		if len(contents) > 4 {
+			t.Fatalf("server %d over capacity: %d sessions", s, len(contents))
+		}
+		if c.occ[s] != len(contents) {
+			t.Fatalf("server %d: occupancy ledger %d, actual %d", s, c.occ[s], len(contents))
+		}
+	}
+	st := c.Stats()
+	if st.Active != st.Placed-st.Removed {
+		t.Fatalf("stats drift: active %d, placed %d, removed %d", st.Active, st.Placed, st.Removed)
+	}
+	if int(c.commitSeq) != st.Placed {
+		t.Fatalf("commit tickets not dense: next seq %d, placed %d", c.commitSeq, st.Placed)
+	}
+}
+
+// TestConcurrentCallersSaturation: admit/reject is exact regardless of
+// lane interleaving — any server with a free slot can host any game, so
+// with more arrivals than slots exactly capacity-many admits succeed and
+// the rest reject, at every concurrency level.
+func TestConcurrentCallersSaturation(t *testing.T) {
+	const nServers, max, nCallers, perCaller = 4, 2, 4, 6
+	c, err := New(Config{
+		NumServers:   nServers,
+		ShardCount:   2,
+		MaxPerServer: max,
+		K:            1,
+		Seed:         5,
+		Scorer:       ScorerFunc(synthScore),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var admitted, rejected, seqSum int64
+	var mu sync.Mutex
+	seqs := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < nCallers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := c.NewCaller()
+			for i := 0; i < perCaller; i++ {
+				if pl, ok := cl.Place(w*perCaller + i); ok {
+					mu.Lock()
+					admitted++
+					seqSum += int64(pl.Seq)
+					if seqs[pl.Seq] {
+						t.Errorf("duplicate commit ticket %d", pl.Seq)
+					}
+					seqs[pl.Seq] = true
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const slots = nServers * max
+	if admitted != slots || rejected != nCallers*perCaller-slots {
+		t.Fatalf("admitted %d rejected %d, want %d/%d", admitted, rejected, slots, nCallers*perCaller-slots)
+	}
+	// Tickets 0..slots-1, each exactly once.
+	if want := int64(slots * (slots - 1) / 2); seqSum != want {
+		t.Fatalf("ticket sum %d, want dense 0..%d sum %d", seqSum, slots-1, want)
+	}
+	verifyInvariants(t, c)
+	for s, contents := range c.Snapshot() {
+		if len(contents) != max {
+			t.Fatalf("server %d not full: %d/%d", s, len(contents), max)
+		}
+	}
+}

@@ -127,6 +127,12 @@ type Placement struct {
 	Server  int // global server id
 	Shard   int
 	Delta   float64 // predicted total-FPS delta of the chosen placement
+	// Seq is the cluster's monotone commit ticket: every admitted session
+	// gets the next value in a single total order, whether it was booked by
+	// the deterministic single-caller path or by one of many concurrent
+	// Callers (where the commit lock IS the sequencer — two lanes admitting
+	// onto the same server resolve in ticket order).
+	Seq uint64
 }
 
 // BatchResult is one arrival's outcome in a coalesced placement batch.
@@ -218,6 +224,21 @@ type Cluster struct {
 	stealGap   float64
 	stealBatch int
 
+	// Commit sequencing for concurrent Callers. mu guards every balancer-
+	// side mutation (sessions, loads, occ, stats, steal plan, generation
+	// bookkeeping) when Caller handles drive the cluster; the deterministic
+	// single-caller methods below do NOT take it (they are documented as
+	// one-goroutine-only and must stay byte-identical), so the two driving
+	// styles must not be mixed concurrently. occ mirrors per-server
+	// occupancy balancer-side so a sequenced commit can revalidate capacity
+	// without a shard round trip; commitSeq is the monotone ticket every
+	// commit draws (both paths, so a drained pipeline's history is totally
+	// ordered either way).
+	mu        sync.Mutex
+	occ       []int
+	commitSeq uint64
+	nCallers  int
+
 	met    fleetMetrics
 	tr     *trace.Tracer
 	flight *flight.Recorder
@@ -278,6 +299,7 @@ func New(cfg Config) (*Cluster, error) {
 		sessions:   map[int]sessionLoc{},
 		loads:      make([]int, shardCount),
 		caps:       make([]int, shardCount),
+		occ:        make([]int, cfg.NumServers),
 		sampleRng:  rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, "fleet-sample", 0))),
 		stealGap:   gap,
 		stealBatch: batch,
@@ -312,8 +334,15 @@ func (c *Cluster) Close() {
 	c.wg.Wait()
 }
 
-// Stats returns the lifetime counters.
-func (c *Cluster) Stats() Stats { return c.stats }
+// Stats returns the lifetime counters. Safe to call while concurrent
+// Callers drive the cluster (their mutations all hold the commit lock);
+// with the single-caller methods it remains exact only from the driving
+// goroutine or after a quiesce, as before.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // Active reports the number of placed sessions.
 func (c *Cluster) Active() int { return c.stats.Active }
@@ -599,6 +628,8 @@ func lookupIdx(xs []int, v int) int {
 func (c *Cluster) commitPlacement(game, bestShard int, best shardResp, tctx trace.Ctx, genTag uint64, refresh []int) Placement {
 	sid := c.nextSID
 	c.nextSID++
+	seq := c.commitSeq
+	c.commitSeq++
 	sh := c.shards[bestShard]
 	if len(refresh) > 0 {
 		sh.reqs <- shardReq{op: opCommitRefresh, game: game, sid: sid, server: best.server, games: refresh, genTag: genTag}
@@ -610,6 +641,7 @@ func (c *Cluster) commitPlacement(game, bestShard int, best shardResp, tctx trac
 	}
 	c.sessions[sid] = sessionLoc{shard: bestShard, server: best.server, game: game}
 	c.loads[bestShard]++
+	c.occ[best.server]++
 	c.stats.Placed++
 	c.stats.Active++
 	if c.stats.Active > c.stats.PeakActive {
@@ -624,7 +656,7 @@ func (c *Cluster) commitPlacement(game, bestShard int, best shardResp, tctx trac
 		trace.Int("server", best.server),
 		trace.Int("session", sid),
 	)
-	return Placement{Session: sid, Server: best.server, Shard: bestShard, Delta: best.delta}
+	return Placement{Session: sid, Server: best.server, Shard: bestShard, Delta: best.delta, Seq: seq}
 }
 
 // PlaceBatch admits a coalesced batch of arrivals: dst[i] receives the
@@ -836,6 +868,7 @@ func (c *Cluster) Remove(sid int) bool {
 	delete(c.sessions, sid)
 	c.markDirty(loc.shard)
 	c.loads[loc.shard]--
+	c.occ[loc.server]--
 	c.stats.Removed++
 	c.stats.Active--
 	c.met.active.Set(float64(c.stats.Active))
@@ -958,6 +991,8 @@ func (c *Cluster) applySteal() {
 		c.markDirty(p.to)
 		c.loads[p.from]--
 		c.loads[p.to]++
+		c.occ[m.server]--
+		c.occ[r.server]++
 		c.stats.StolenSessions++
 		c.met.stolen.Inc()
 		c.met.shardSessions[p.from].Set(float64(c.loads[p.from]))

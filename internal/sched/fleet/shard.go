@@ -52,6 +52,15 @@ type shardReq struct {
 	server int // global server id (commit/remove)
 	n      int // victims: batch size
 	seed   int64
+	// resp, when non-nil, receives this request's reply instead of the
+	// shard's default channel — how concurrent Callers interleave requests
+	// to one shard without mixing up each other's answers. Nil keeps the
+	// original single-caller protocol byte-for-byte.
+	resp chan shardResp
+	// noAck suppresses the reply entirely (remove under the commit
+	// sequencer: the sessions map is authoritative, so the shard-side
+	// remove cannot fail and an ack would only stall the sequenced path).
+	noAck bool
 }
 
 // victim is one session nominated for a steal move.
@@ -210,14 +219,19 @@ func (sh *shard) siftDown(g *group, i int) int {
 }
 
 // run is the shard dispatcher goroutine: one request at a time, state
-// confined, reply per request on the dedicated channel.
+// confined, reply per request on the requester's channel (req.resp when a
+// concurrent Caller asked, the shard's dedicated channel otherwise).
 func (sh *shard) run() {
 	for req := range sh.reqs {
+		out := sh.resp
+		if req.resp != nil {
+			out = req.resp
+		}
 		switch req.op {
 		case opScore:
-			sh.resp <- sh.scoreBest(req.game, req.genTag)
+			out <- sh.scoreBest(req.game, req.genTag)
 		case opScoreBatch:
-			sh.resp <- shardResp{ok: true, batch: sh.scoreBatch(req.games, req.genTag)}
+			out <- shardResp{ok: true, batch: sh.scoreBatch(req.games, req.genTag)}
 		case opCommit:
 			// Fire-and-forget: the balancer never needs an ack — channel
 			// FIFO already orders any later probe or remove behind the
@@ -231,11 +245,14 @@ func (sh *shard) run() {
 			// balancer draining other arrivals instead of serializing a
 			// re-probe round trip into every drain step.
 			sh.commit(req.game, req.sid, req.server-sh.lo)
-			sh.resp <- shardResp{ok: true, batch: sh.scoreBatch(req.games, req.genTag)}
+			out <- shardResp{ok: true, batch: sh.scoreBatch(req.games, req.genTag)}
 		case opRemove:
-			sh.resp <- shardResp{ok: sh.remove(req.sid, req.server-sh.lo)}
+			ok := sh.remove(req.sid, req.server-sh.lo)
+			if !req.noAck {
+				out <- shardResp{ok: ok}
+			}
 		case opVictims:
-			sh.resp <- shardResp{ok: true, victims: sh.pickVictims(req.n, req.seed)}
+			out <- shardResp{ok: true, victims: sh.pickVictims(req.n, req.seed)}
 		case opSnapshot:
 			snap := make([][]int, len(sh.contents))
 			for i, c := range sh.contents {
@@ -243,11 +260,11 @@ func (sh *shard) run() {
 					snap[i] = append([]int(nil), c...)
 				}
 			}
-			sh.resp <- shardResp{ok: true, snap: snap}
+			out <- shardResp{ok: true, snap: snap}
 		case opBarrier:
 			// Pure synchronization: the reply proves every earlier
 			// (possibly fire-and-forget) request has been applied.
-			sh.resp <- shardResp{ok: true}
+			out <- shardResp{ok: true}
 		}
 	}
 }

@@ -227,6 +227,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"escapes":    st.Escapes,
 		"stolen":     st.StolenSessions,
 		"queueDepth": s.cfg.Pipeline.QueueDepth(),
+		"lanes":      s.cfg.Pipeline.Lanes(),
 		"draining":   s.cfg.Pipeline.Draining(),
 	})
 }

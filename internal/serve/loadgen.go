@@ -40,6 +40,11 @@ type LoadGenConfig struct {
 	Seed int64
 	// Workers bounds concurrent in-flight requests; <= 0 defaults to 32.
 	Workers int
+	// Conns sizes the binary protocol's persistent connection pool
+	// (workers share it, checking a connection out per request, with
+	// reconnect-on-error); <= 0 defaults to Workers. Ignored for HTTP,
+	// where the standard transport pools connections itself.
+	Conns int
 	// Trace mints a deterministic trace identifier per arrival — the n-th
 	// arrival always carries DeriveSeed(Seed, "loadgen-trace", n) — and
 	// propagates it over the wire (the X-Gaugur-Trace-Id header, or the
@@ -58,27 +63,42 @@ type LoadGenResult struct {
 	Left             int
 	Errors           int
 	// P50 and P99 are end-to-end admission latencies (queue wait + batch
-	// dispatch + network), measured at the client.
+	// dispatch + network), measured at the client around the wire round
+	// trip alone — pool checkout wait is excluded, so percentiles stay
+	// honest under connection contention.
 	P50, P99 time.Duration
-	Elapsed  time.Duration
+	// Reconnects counts binary-pool connections redialed after a
+	// transport error mid-run (always 0 for HTTP).
+	Reconnects int64
+	Elapsed    time.Duration
 	// PlacementsPerSec is admitted sessions per wall-clock second.
 	PlacementsPerSec float64
 }
 
 func (r LoadGenResult) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"sent %d admitted %d (capacity-rejected %d, queue-rejected %d, draining %d, errors %d) left %d | p50 %v p99 %v | %.0f placements/s in %v",
 		r.Sent, r.Admitted, r.RejectedCapacity, r.RejectedQueue, r.RejectedDraining,
 		r.Errors, r.Left, r.P50, r.P99, r.PlacementsPerSec, r.Elapsed.Round(time.Millisecond))
+	if r.Reconnects > 0 {
+		s += fmt.Sprintf(" | %d reconnects", r.Reconnects)
+	}
+	return s
 }
 
 // lgClient abstracts the two wire protocols for the generator workers.
-// A traceID of 0 means "don't propagate" (the server mints its own).
+// One client is shared by every worker (both implementations are safe for
+// concurrent use). A traceID of 0 means "don't propagate" (the server
+// mints its own). admit reports the request's wire latency itself so the
+// binary pool can exclude checkout wait from the percentiles.
 type lgClient interface {
-	admit(game int, traceID uint64) (session int, err error)
+	admit(game int, traceID uint64) (session int, lat time.Duration, err error)
 	leave(session int) error
 	close()
 }
+
+// reconnecter is the optional lgClient facet exposing pool redials.
+type reconnecter interface{ reconnects() int64 }
 
 // holdItem is one scheduled mid-run leave; holdHeap is a plain binary
 // min-heap on expiry time (ties by session id, for a stable order).
@@ -171,16 +191,16 @@ func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
 		pendingLeaves int
 	)
 	jobs := make(chan lgJob, workers)
+	cl, err := newLGClient(cfg, workers)
+	if err != nil {
+		return LoadGenResult{}, err
+	}
+	defer cl.close()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		cl, err := newLGClient(cfg)
-		if err != nil {
-			return LoadGenResult{}, err
-		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer cl.close()
 			for job := range jobs {
 				if !job.admit {
 					err := cl.leave(job.session)
@@ -194,9 +214,7 @@ func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
 					mu.Unlock()
 					continue
 				}
-				t0 := time.Now()
-				sid, err := cl.admit(job.game, job.traceID)
-				lat := time.Since(t0)
+				sid, lat, err := cl.admit(job.game, job.traceID)
 				mu.Lock()
 				pendingAdmits--
 				res.Sent++
@@ -307,6 +325,9 @@ func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
 	close(jobs)
 	wg.Wait()
 
+	if rc, ok := cl.(reconnecter); ok {
+		res.Reconnects = rc.reconnects()
+	}
 	res.Elapsed = time.Since(start)
 	res.P50, res.P99 = stats.LatencyPercentiles(lats)
 	if res.Elapsed > 0 {
@@ -315,29 +336,35 @@ func RunLoadGen(cfg LoadGenConfig) (LoadGenResult, error) {
 	return res, nil
 }
 
-func newLGClient(cfg LoadGenConfig) (lgClient, error) {
+// newLGClient builds the run's shared client: a fixed-size persistent
+// connection pool for the binary protocol (sized by Conns, defaulting to
+// one connection per worker), or one pooled-transport HTTP client.
+func newLGClient(cfg LoadGenConfig, workers int) (lgClient, error) {
 	if cfg.Binary {
-		c, err := DialBinary(cfg.Target)
+		conns := cfg.Conns
+		if conns <= 0 {
+			conns = workers
+		}
+		pool, err := NewBinaryPool(cfg.Target, conns)
 		if err != nil {
 			return nil, err
 		}
-		return &binLGClient{c: c}, nil
+		return &binLGClient{pool: pool}, nil
 	}
 	return &httpLGClient{base: cfg.Target, c: &http.Client{Timeout: 30 * time.Second}}, nil
 }
 
-type binLGClient struct{ c *BinaryClient }
+type binLGClient struct{ pool *BinaryPool }
 
-func (b *binLGClient) admit(game int, traceID uint64) (int, error) {
-	if traceID != 0 {
-		sid, _, err := b.c.AdmitTraced(game, traceID)
-		return sid, err
-	}
-	sid, _, err := b.c.Admit(game)
-	return sid, err
+func (b *binLGClient) admit(game int, traceID uint64) (int, time.Duration, error) {
+	return b.pool.Admit(game, traceID)
 }
-func (b *binLGClient) leave(session int) error { return b.c.Leave(session) }
-func (b *binLGClient) close()                  { b.c.Close() }
+func (b *binLGClient) leave(session int) error {
+	_, err := b.pool.Leave(session)
+	return err
+}
+func (b *binLGClient) close()            { b.pool.Close() }
+func (b *binLGClient) reconnects() int64 { return b.pool.Reconnects() }
 
 type httpLGClient struct {
 	base string
@@ -389,16 +416,18 @@ func httpErr(code int) error {
 	}
 }
 
-func (h *httpLGClient) admit(game int, traceID uint64) (int, error) {
+func (h *httpLGClient) admit(game int, traceID uint64) (int, time.Duration, error) {
 	var resp admitResp
+	t0 := time.Now()
 	code, err := h.post("/v1/admit", admitReq{Game: game}, &resp, traceID)
+	lat := time.Since(t0)
 	if err != nil {
-		return 0, err
+		return 0, lat, err
 	}
 	if err := httpErr(code); err != nil {
-		return 0, err
+		return 0, lat, err
 	}
-	return resp.Session, nil
+	return resp.Session, lat, nil
 }
 
 func (h *httpLGClient) leave(session int) error {

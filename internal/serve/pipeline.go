@@ -1,16 +1,24 @@
 // Package serve is the network-facing admission front end for the sharded
 // fleet dispatcher. Its core is a coalescing pipeline: concurrent arrival
-// requests land in a bounded MPSC queue, a single collector goroutine
-// drains up to a batch window (or a small latency deadline, whichever
-// fires first) and submits the whole batch through fleet.PlaceBatch, so
-// the power-of-k shard probes and the compiled forest kernel run at full
-// 16-wide occupancy instead of one under-filled forest pass per arrival.
+// requests land in a bounded MPSC queue, a collector goroutine drains up
+// to a batch window (or a small latency deadline, whichever fires first)
+// and submits the whole batch through fleet.PlaceBatch, so the power-of-k
+// shard probes and the compiled forest kernel run at full 16-wide
+// occupancy instead of one under-filled forest pass per arrival.
 //
 // The pipeline trades a bounded amount of queueing latency (the batch
 // window) for throughput; under light load the window never fills and the
 // deadline keeps p99 admission latency flat, while under heavy load the
 // queue applies explicit backpressure (ErrQueueFull → HTTP 429) instead
 // of collapsing.
+//
+// The front end scales out across cores as N lanes: arrivals partition
+// across per-lane queues by game hash (so same-game arrivals still
+// coalesce into shared-probe batches), each lane runs its own collector
+// driving a fleet.Caller, and the cluster's commit sequencer linearizes
+// the lanes' placements. Lanes=1 — the default — is byte-identical to the
+// original single-collector pipeline: one queue, one collector, the
+// deterministic single-caller Cluster path.
 package serve
 
 import (
@@ -24,6 +32,7 @@ import (
 	"gaugur/internal/obs/flight"
 	"gaugur/internal/obs/trace"
 	"gaugur/internal/sched/fleet"
+	"gaugur/internal/sim"
 )
 
 // Sentinel errors returned by Admit/Leave. The HTTP layer maps them to
@@ -43,9 +52,18 @@ var (
 
 // PipelineConfig parameterizes the coalescing admission pipeline.
 type PipelineConfig struct {
-	// Cluster is the fleet dispatch plane; required. The pipeline becomes
-	// its sole caller (the Cluster itself is not safe for concurrent use).
+	// Cluster is the fleet dispatch plane; required. With Lanes <= 1 the
+	// pipeline becomes its sole caller (the deterministic single-caller
+	// contract); with Lanes > 1 each lane drives its own fleet.Caller and
+	// the cluster's commit sequencer linearizes them.
 	Cluster *fleet.Cluster
+	// Lanes is how many parallel collector lanes drain the admission
+	// queue; <= 1 (the default) keeps the original single-collector
+	// pipeline byte-identical. Arrivals are partitioned by game hash so
+	// same-game arrivals coalesce on one lane; leaves route by session
+	// hash; an arrival whose home lane's queue is full spills to the
+	// least-loaded lane before rejecting with ErrQueueFull.
+	Lanes int
 	// BatchWindow is the most arrivals coalesced into one dispatch;
 	// <= 0 defaults to 16 — one full compiled-kernel chunk. 1 disables
 	// coalescing (singleton submission, the comparison baseline).
@@ -114,27 +132,41 @@ type opResult struct {
 }
 
 // Pipeline is the coalescing admission pipeline. Safe for concurrent
-// submitters; exactly one collector goroutine talks to the Cluster.
+// submitters; each lane's collector goroutine is the only one talking to
+// its fleet caller (and with one lane, to the Cluster itself).
 type Pipeline struct {
 	cfg    PipelineConfig
 	window int
+	nLanes int
 
-	queue chan *pendingOp
+	lanes []*lane
 	pool  sync.Pool
-	depth atomic.Int64 // queued ops, for the gauge and Retry-After
 
 	closed    atomic.Bool
 	closeOnce sync.Once
 	prod      sync.WaitGroup // in-flight submitters
-	done      chan struct{}  // collector exited; cluster quiescent
+	done      chan struct{}  // every lane collector exited; cluster quiescent
 
-	// statsCache is the collector's snapshot of the cluster counters,
+	// statsCache is the collectors' snapshot of the cluster counters,
 	// refreshed after every dispatch — Stats() never touches the Cluster
-	// while the collector owns it, so monitoring can't block or race the
+	// while a collector owns it, so monitoring can't block or race the
 	// hot path (and can't deadlock the graceful drain).
 	statsCache atomic.Pointer[fleet.Stats]
 
 	met admissionMetrics
+}
+
+// lane is one admission lane: a bounded MPSC queue drained by its own
+// collector goroutine. In single-lane mode (caller == nil) the collector
+// drives the Cluster's deterministic path directly; in multi-lane mode it
+// drives its own fleet.Caller, whose commits the cluster sequencer
+// linearizes against the other lanes'.
+type lane struct {
+	p      *Pipeline
+	queue  chan *pendingOp
+	depth  atomic.Int64 // queued ops, for the gauge, spill, and Retry-After
+	done   chan struct{}
+	caller *fleet.Caller
 
 	// Collector-owned scratch, reused across dispatch cycles.
 	batch   []*pendingOp
@@ -143,7 +175,7 @@ type Pipeline struct {
 	times   []fleet.BatchTiming
 }
 
-// NewPipeline starts the collector goroutine. Close it to drain.
+// NewPipeline starts the collector goroutines. Close it to drain.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.Cluster == nil {
 		return nil, fmt.Errorf("serve: PipelineConfig needs a Cluster")
@@ -154,38 +186,86 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = defaultQueueCap
 	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 1
+	}
 	p := &Pipeline{
 		cfg:    cfg,
 		window: cfg.BatchWindow,
-		queue:  make(chan *pendingOp, cfg.QueueCap),
+		nLanes: cfg.Lanes,
 		done:   make(chan struct{}),
 		met:    newAdmissionMetrics(cfg.Metrics),
+	}
+	// QueueCap bounds the whole pipeline; each lane gets an equal slice so
+	// total capacity (and the backpressure point) doesn't scale with Lanes.
+	perLane := cfg.QueueCap / cfg.Lanes
+	if perLane < 1 {
+		perLane = 1
+	}
+	for i := 0; i < cfg.Lanes; i++ {
+		l := &lane{
+			p:     p,
+			queue: make(chan *pendingOp, perLane),
+			done:  make(chan struct{}),
+		}
+		if cfg.Lanes > 1 {
+			l.caller = cfg.Cluster.NewCaller()
+		}
+		p.lanes = append(p.lanes, l)
 	}
 	p.pool.New = func() any { return &pendingOp{done: make(chan opResult, 1)} }
 	st := cfg.Cluster.Stats()
 	p.statsCache.Store(&st)
-	go p.run()
+	for _, l := range p.lanes {
+		go l.run()
+	}
 	return p, nil
 }
 
 // Draining reports whether Close has begun.
 func (p *Pipeline) Draining() bool { return p.closed.Load() }
 
-// QueueDepth is the number of requests waiting in the admission queue.
-func (p *Pipeline) QueueDepth() int { return int(p.depth.Load()) }
+// QueueDepth is the number of requests waiting across all admission
+// queues.
+func (p *Pipeline) QueueDepth() int {
+	total := 0
+	for _, l := range p.lanes {
+		total += int(l.depth.Load())
+	}
+	return total
+}
+
+// Lanes reports the number of collector lanes.
+func (p *Pipeline) Lanes() int { return p.nLanes }
+
+// laneFor routes a request to its home lane. Admits hash on game id so
+// same-game arrivals land on one lane and keep coalescing into
+// shared-probe batches; leaves hash on session id.
+func (p *Pipeline) laneFor(key uint64) *lane {
+	if p.nLanes == 1 {
+		return p.lanes[0]
+	}
+	return p.lanes[sim.Mix64(key)%uint64(p.nLanes)]
+}
 
 // Close drains gracefully: new submissions are refused with ErrDraining,
-// in-flight submitters finish enqueueing, the collector flushes every
-// queued batch, and only then does the Cluster go quiescent. Idempotent;
-// blocks until the drain completes. The Cluster itself is NOT closed —
-// the owner that built it closes it (and may read final stats first).
+// in-flight submitters finish enqueueing, every lane's collector flushes
+// its queued batches, and only then does the Cluster go quiescent.
+// Idempotent; blocks until the drain completes. The Cluster itself is NOT
+// closed — the owner that built it closes it (and may read final stats
+// first).
 func (p *Pipeline) Close() {
 	p.closeOnce.Do(func() {
 		p.cfg.Flight.Record(flight.Event{Kind: "drain-begin"})
 		p.closed.Store(true)
-		p.prod.Wait()  // every in-flight submit has enqueued or bailed
-		close(p.queue) // collector drains the backlog, then exits
-		<-p.done
+		p.prod.Wait() // every in-flight submit has enqueued or bailed
+		for _, l := range p.lanes {
+			close(l.queue) // each collector drains its backlog, then exits
+		}
+		for _, l := range p.lanes {
+			<-l.done
+		}
+		close(p.done)
 		p.cfg.Flight.Record(flight.Event{Kind: "drain-end"})
 	})
 	<-p.done
@@ -235,21 +315,42 @@ func (p *Pipeline) startOpTrace(op *pendingOp, traceID uint64, name string) {
 	op.enqNS = op.root.StartNS()
 }
 
-// submit enqueues op without blocking; a full queue is backpressure, not
-// a wait. Waiting for the result DOES block — admission latency is the
-// queue wait plus the batch dispatch. The caller still owns op afterwards
-// (it materializes spans from the collector's stamps) and must pool it.
-func (p *Pipeline) submit(op *pendingOp) (opResult, error) {
-	select {
-	case p.queue <- op:
-		p.depth.Add(1)
-	default:
-		p.prod.Done()
-		p.met.rejectedQueue.Inc()
-		return opResult{}, ErrQueueFull
+// submit enqueues op on its home lane without blocking; a full home
+// queue spills to the least-loaded lane, and only when that is also full
+// is the op rejected — backpressure, not a wait. Waiting for the result
+// DOES block — admission latency is the queue wait plus the batch
+// dispatch. The caller still owns op afterwards (it materializes spans
+// from the collector's stamps) and must pool it.
+func (p *Pipeline) submit(l *lane, op *pendingOp) (opResult, error) {
+	if !l.enqueue(op) {
+		// Spill: losing game affinity for one arrival beats rejecting it.
+		sp := l
+		if p.nLanes > 1 {
+			for _, cand := range p.lanes {
+				if cand.depth.Load() < sp.depth.Load() {
+					sp = cand
+				}
+			}
+		}
+		if sp == l || !sp.enqueue(op) {
+			p.prod.Done()
+			p.met.rejectedQueue.Inc()
+			return opResult{}, ErrQueueFull
+		}
 	}
 	p.prod.Done()
 	return <-op.done, nil
+}
+
+// enqueue offers op to this lane's bounded queue; false means full.
+func (l *lane) enqueue(op *pendingOp) bool {
+	select {
+	case l.queue <- op:
+		l.depth.Add(1)
+		return true
+	default:
+		return false
+	}
 }
 
 // Admit requests placement for one session of game. Blocks until the
@@ -280,7 +381,7 @@ func (p *Pipeline) AdmitTraced(game int, traceID uint64) (fleet.Placement, error
 	op := p.getOp(opAdmit)
 	op.game = game
 	p.startOpTrace(op, traceID, "admission")
-	res, err := p.submit(op)
+	res, err := p.submit(p.laneFor(uint64(game)), op)
 	if err == nil {
 		err = res.err
 	}
@@ -314,7 +415,7 @@ func (p *Pipeline) LeaveTraced(session int, traceID uint64) error {
 	op := p.getOp(opLeave)
 	op.session = session
 	p.startOpTrace(op, traceID, "leave")
-	res, err := p.submit(op)
+	res, err := p.submit(p.laneFor(uint64(session)), op)
 	if err == nil {
 		err = res.err
 	}
@@ -478,37 +579,38 @@ func (p *Pipeline) Stats() fleet.Stats {
 	}
 }
 
-// run is the collector: block for the first op, coalesce up to the window
-// (bounded by the deadline when configured), dispatch, repeat. Exits when
-// the queue is closed AND drained — the graceful-drain guarantee.
-func (p *Pipeline) run() {
-	defer close(p.done)
+// run is a lane's collector: block for the first op, coalesce up to the
+// window (bounded by the deadline when configured), dispatch, repeat.
+// Exits when the lane's queue is closed AND drained — the graceful-drain
+// guarantee, per lane.
+func (l *lane) run() {
+	defer close(l.done)
 	var timer *time.Timer
-	if p.cfg.BatchDelay > 0 {
-		timer = time.NewTimer(p.cfg.BatchDelay)
+	if l.p.cfg.BatchDelay > 0 {
+		timer = time.NewTimer(l.p.cfg.BatchDelay)
 		if !timer.Stop() {
 			<-timer.C
 		}
 	}
 	for {
-		op, ok := <-p.queue
+		op, ok := <-l.queue
 		if !ok {
 			return
 		}
-		p.depth.Add(-1)
-		p.stampDrain(op)
-		p.batch = append(p.batch[:0], op)
-		p.coalesce(timer, op.drainNS)
-		p.dispatch()
+		l.depth.Add(-1)
+		l.stampDrain(op)
+		l.batch = append(l.batch[:0], op)
+		l.coalesce(timer, op.drainNS)
+		l.dispatch()
 	}
 }
 
 // stampDrain marks the instant an op left the queue — one raw clock read,
 // the collector's entire share of the queue-wait span (the producer builds
 // the span itself later). No-op without a tracer.
-func (p *Pipeline) stampDrain(op *pendingOp) {
-	if p.cfg.Tracer != nil {
-		op.drainNS = p.cfg.Tracer.Now()
+func (l *lane) stampDrain(op *pendingOp) {
+	if l.p.cfg.Tracer != nil {
+		op.drainNS = l.p.cfg.Tracer.Now()
 	}
 }
 
@@ -520,20 +622,21 @@ func (p *Pipeline) stampDrain(op *pendingOp) {
 // microseconds, so every op it drains shares that stamp instead of paying
 // a clock read each (the deadline path re-stamps per op — its waits are
 // real).
-func (p *Pipeline) coalesce(timer *time.Timer, sweepNS int64) {
+func (l *lane) coalesce(timer *time.Timer, sweepNS int64) {
+	p := l.p
 	if timer == nil {
 		traced := p.cfg.Tracer != nil
-		for len(p.batch) < p.window {
+		for len(l.batch) < p.window {
 			select {
-			case op, ok := <-p.queue:
+			case op, ok := <-l.queue:
 				if !ok {
 					return
 				}
-				p.depth.Add(-1)
+				l.depth.Add(-1)
 				if traced {
 					op.drainNS = sweepNS
 				}
-				p.batch = append(p.batch, op)
+				l.batch = append(l.batch, op)
 			default:
 				return
 			}
@@ -549,15 +652,15 @@ func (p *Pipeline) coalesce(timer *time.Timer, sweepNS int64) {
 			}
 		}
 	}()
-	for len(p.batch) < p.window {
+	for len(l.batch) < p.window {
 		select {
-		case op, ok := <-p.queue:
+		case op, ok := <-l.queue:
 			if !ok {
 				return
 			}
-			p.depth.Add(-1)
-			p.stampDrain(op)
-			p.batch = append(p.batch, op)
+			l.depth.Add(-1)
+			l.stampDrain(op)
+			l.batch = append(l.batch, op)
 		case <-timer.C:
 			return
 		}
@@ -572,71 +675,79 @@ func (p *Pipeline) coalesce(timer *time.Timer, sweepNS int64) {
 // producer goroutine materializes its own admission's span tree, so the
 // per-request traces cost the hot loop a handful of clock reads instead of
 // span bookkeeping.
-func (p *Pipeline) dispatch() {
+func (l *lane) dispatch() {
+	p := l.p
 	sp := p.met.dispatch.Start()
-	p.met.queueDepth.Set(float64(p.depth.Load()))
+	p.met.queueDepth.Set(float64(p.QueueDepth()))
 	if p.cfg.Tracer != nil {
 		// Traced ops observe queue wait on the tracer's clock — the same
 		// dispatch stamp the coalesce span uses, so the batch costs one
 		// clock read here instead of one per op.
 		dispatchNS := p.cfg.Tracer.Now()
-		bs := len(p.batch)
-		for _, op := range p.batch {
+		bs := len(l.batch)
+		for _, op := range l.batch {
 			op.dispatchNS = dispatchNS
 			op.batchSize = bs
 			p.met.queueWait.Observe(float64(dispatchNS-op.enqNS) / 1e9)
 		}
 	} else {
 		now := time.Now()
-		for _, op := range p.batch {
+		for _, op := range l.batch {
 			p.met.queueWait.Observe(now.Sub(op.enq).Seconds())
 		}
 	}
-	for i := 0; i < len(p.batch); {
-		if p.batch[i].kind != opAdmit {
-			p.runSingle(p.batch[i])
+	for i := 0; i < len(l.batch); {
+		if l.batch[i].kind != opAdmit {
+			l.runSingle(l.batch[i])
 			i++
 			continue
 		}
 		j := i + 1
-		for j < len(p.batch) && p.batch[j].kind == opAdmit {
+		for j < len(l.batch) && l.batch[j].kind == opAdmit {
 			j++
 		}
-		p.runAdmits(p.batch[i:j])
+		l.runAdmits(l.batch[i:j])
 		i = j
 	}
 	sp.Stop()
 	st := p.cfg.Cluster.Stats()
 	p.statsCache.Store(&st)
 	// Drop op pointers so pooled ops aren't pinned by the scratch slice.
-	clear(p.batch)
-	p.batch = p.batch[:0]
+	clear(l.batch)
+	l.batch = l.batch[:0]
 }
 
 // runAdmits places one run of consecutive admits through PlaceBatch —
 // the timed form when tracing, so each op carries its fleet breadcrumbs
 // home. Each op's result is copied into the op BEFORE its done send: the
 // producer frees the op back to the pool right after materializing.
-func (p *Pipeline) runAdmits(ops []*pendingOp) {
-	p.games = p.games[:0]
+func (l *lane) runAdmits(ops []*pendingOp) {
+	p := l.p
+	l.games = l.games[:0]
 	for _, op := range ops {
-		p.games = append(p.games, op.game)
+		l.games = append(l.games, op.game)
 	}
 	if p.cfg.Tracer != nil {
-		if cap(p.times) < len(ops) {
-			p.times = make([]fleet.BatchTiming, len(ops))
+		if cap(l.times) < len(ops) {
+			l.times = make([]fleet.BatchTiming, len(ops))
 		}
-		p.times = p.times[:len(ops)]
-		p.results = p.cfg.Cluster.PlaceBatchTimed(p.games, p.results[:0], p.times)
+		l.times = l.times[:len(ops)]
+		if l.caller != nil {
+			l.results = l.caller.PlaceBatchTimed(l.games, l.results[:0], l.times)
+		} else {
+			l.results = p.cfg.Cluster.PlaceBatchTimed(l.games, l.results[:0], l.times)
+		}
 		for i, op := range ops {
-			op.tm = p.times[i]
+			op.tm = l.times[i]
 		}
+	} else if l.caller != nil {
+		l.results = l.caller.PlaceBatch(l.games, l.results[:0])
 	} else {
-		p.results = p.cfg.Cluster.PlaceBatch(p.games, p.results[:0])
+		l.results = p.cfg.Cluster.PlaceBatch(l.games, l.results[:0])
 	}
 	admitted := 0
 	for i, op := range ops {
-		r := p.results[i]
+		r := l.results[i]
 		if r.OK {
 			admitted++
 			op.done <- opResult{placement: r.Placement}
@@ -652,11 +763,17 @@ func (p *Pipeline) runAdmits(ops []*pendingOp) {
 
 // runSingle executes one leave op, stamping its removal window for the
 // producer's trace.
-func (p *Pipeline) runSingle(op *pendingOp) {
+func (l *lane) runSingle(op *pendingOp) {
+	p := l.p
 	if p.cfg.Tracer != nil {
 		op.tm.StartNS = p.cfg.Tracer.Now()
 	}
-	removed := p.cfg.Cluster.Remove(op.session)
+	var removed bool
+	if l.caller != nil {
+		removed = l.caller.Remove(op.session)
+	} else {
+		removed = p.cfg.Cluster.Remove(op.session)
+	}
 	if p.cfg.Tracer != nil {
 		op.tm.EndNS = p.cfg.Tracer.Now()
 	}

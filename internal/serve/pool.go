@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// BinaryPool is a fixed-size pool of persistent length-prefixed
+// connections shared by concurrent callers (the load generator's
+// workers). Every connection is dialed eagerly up front, reused across
+// arrivals, and redialed transparently when a request hits a transport
+// error — the failed request is retried once on the fresh connection.
+// Wire latency is measured per request around the round trip alone, so
+// checkout wait (contention for a pooled connection) never pollutes the
+// reported percentiles, and each connection keeps its own request/error/
+// latency tallies.
+type BinaryPool struct {
+	target     string
+	free       chan *pooledConn
+	conns      []*pooledConn
+	reconnects atomic.Int64
+}
+
+// pooledConn is one pool slot. Its BinaryClient is owned exclusively by
+// whoever checked the slot out; nil means the last user broke the
+// connection and the next user redials lazily.
+type pooledConn struct {
+	id       int
+	c        *BinaryClient
+	requests atomic.Int64
+	errors   atomic.Int64
+	wireNS   atomic.Int64 // cumulative round-trip time
+}
+
+// PoolConnStats is one connection's accounting snapshot.
+type PoolConnStats struct {
+	ID       int
+	Requests int64
+	Errors   int64
+	// AvgWire is the mean round-trip latency over this connection —
+	// transport only, never checkout wait.
+	AvgWire time.Duration
+}
+
+// NewBinaryPool dials size persistent connections to target. Size <= 0
+// defaults to 1.
+func NewBinaryPool(target string, size int) (*BinaryPool, error) {
+	if size <= 0 {
+		size = 1
+	}
+	p := &BinaryPool{
+		target: target,
+		free:   make(chan *pooledConn, size),
+	}
+	for i := 0; i < size; i++ {
+		c, err := DialBinary(target)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("serve: binary pool dial %d/%d: %w", i+1, size, err)
+		}
+		pc := &pooledConn{id: i, c: c}
+		p.conns = append(p.conns, pc)
+		p.free <- pc
+	}
+	return p, nil
+}
+
+// Size reports the fixed number of pooled connections.
+func (p *BinaryPool) Size() int { return len(p.conns) }
+
+// Reconnects reports how many times a broken connection was redialed.
+func (p *BinaryPool) Reconnects() int64 { return p.reconnects.Load() }
+
+// ConnStats snapshots per-connection accounting. Exact once callers have
+// quiesced; monotone-approximate while requests are in flight.
+func (p *BinaryPool) ConnStats() []PoolConnStats {
+	out := make([]PoolConnStats, len(p.conns))
+	for i, pc := range p.conns {
+		s := PoolConnStats{ID: pc.id, Requests: pc.requests.Load(), Errors: pc.errors.Load()}
+		if s.Requests > 0 {
+			s.AvgWire = time.Duration(pc.wireNS.Load() / s.Requests)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Close tears down every pooled connection. Callers must have quiesced:
+// Close takes each slot out of the free list and never returns it.
+func (p *BinaryPool) Close() {
+	for range p.conns {
+		pc := <-p.free
+		if pc.c != nil {
+			pc.c.Close()
+			pc.c = nil
+		}
+	}
+}
+
+// isProtoReject reports whether err is an application-level outcome the
+// server delivered over a healthy connection. Anything else — transport
+// errors, short reads, malformed frames — leaves the byte stream in an
+// unknown state, so the pool retires the connection.
+func isProtoReject(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrNoCapacity) || errors.Is(err, ErrUnknownSession)
+}
+
+// do checks a connection out, runs one round trip on it (redialing first
+// if a previous user broke it), and retries exactly once on a fresh
+// connection when the transport fails mid-request.
+func (p *BinaryPool) do(fn func(c *BinaryClient) error) (time.Duration, error) {
+	pc := <-p.free
+	defer func() { p.free <- pc }()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if pc.c == nil {
+			c, err := DialBinary(p.target)
+			if err != nil {
+				pc.errors.Add(1)
+				return 0, err
+			}
+			pc.c = c
+			p.reconnects.Add(1)
+		}
+		t0 := time.Now()
+		lastErr = fn(pc.c)
+		lat := time.Since(t0)
+		pc.requests.Add(1)
+		pc.wireNS.Add(int64(lat))
+		if lastErr == nil || isProtoReject(lastErr) {
+			return lat, lastErr
+		}
+		pc.errors.Add(1)
+		pc.c.Close()
+		pc.c = nil
+	}
+	return 0, lastErr
+}
+
+// Admit places one session through a pooled connection; lat is the wire
+// round trip alone (no checkout wait). A traceID of 0 skips propagation.
+func (p *BinaryPool) Admit(game int, traceID uint64) (session int, lat time.Duration, err error) {
+	lat, err = p.do(func(c *BinaryClient) error {
+		var e error
+		if traceID != 0 {
+			session, _, e = c.AdmitTraced(game, traceID)
+		} else {
+			session, _, e = c.Admit(game)
+		}
+		return e
+	})
+	return session, lat, err
+}
+
+// Leave removes a session through a pooled connection.
+func (p *BinaryPool) Leave(session int) (time.Duration, error) {
+	return p.do(func(c *BinaryClient) error { return c.Leave(session) })
+}

@@ -299,11 +299,16 @@ func TestStatsAndTracesUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(p.Close)
-	// Mount the trace export the way gaugur serve does.
+	// Mount the trace export the way gaugur serve does: the list endpoint
+	// and the per-trace detail endpoint share one handler.
+	th := trace.TracerHandler(tr)
 	s, err := NewServer(ServerConfig{
 		Pipeline: p,
 		Registry: obs.New(),
-		Extra:    []obs.Mount{{Pattern: "GET /debug/traces", Handler: trace.TracerHandler(tr)}},
+		Extra: []obs.Mount{
+			{Pattern: "GET /debug/traces", Handler: th},
+			{Pattern: "GET /debug/traces/", Handler: th},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -349,21 +354,44 @@ func TestStatsAndTracesUnderLoad(t *testing.T) {
 				t.Fatalf("stats response lacks %q: %v", key, stats)
 			}
 		}
-		var export trace.Export
-		if err := json.Unmarshal(readBody("/debug/traces"), &export); err != nil {
-			t.Fatalf("trace export decode: %v", err)
+		// The list serves summaries (span COUNTS); full span trees come
+		// from the per-trace detail endpoint. Check a handful of the
+		// newest traces each sweep.
+		var list struct {
+			Retained int `json:"retained"`
+			Traces   []struct {
+				ID    string `json:"id"`
+				Spans int    `json:"spans"`
+			} `json:"traces"`
 		}
-		for _, et := range export.Traces {
-			ids := map[string]bool{"": true}
-			for _, sp := range et.Spans {
-				ids[sp.ID] = true
+		if err := json.Unmarshal(readBody("/debug/traces?n=4"), &list); err != nil {
+			t.Fatalf("trace list decode: %v", err)
+		}
+		for _, sum := range list.Traces {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces/"+sum.ID, nil))
+			if rec.Code == http.StatusNotFound {
+				continue // evicted between list and detail; legal under load
 			}
-			for _, sp := range et.Spans {
-				if sp.DurationNS < 0 {
-					t.Fatalf("torn span %s in trace %s: negative duration %d", sp.Name, et.ID, sp.DurationNS)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("trace detail %s: status %d", sum.ID, rec.Code)
+			}
+			var export trace.Export
+			if err := json.Unmarshal(rec.Body.Bytes(), &export); err != nil {
+				t.Fatalf("trace export decode: %v", err)
+			}
+			for _, et := range export.Traces {
+				ids := map[string]bool{"": true}
+				for _, sp := range et.Spans {
+					ids[sp.ID] = true
 				}
-				if !ids[sp.Parent] {
-					t.Fatalf("span %s in trace %s has dangling parent %s", sp.Name, et.ID, sp.Parent)
+				for _, sp := range et.Spans {
+					if sp.DurationNS < 0 {
+						t.Fatalf("torn span %s in trace %s: negative duration %d", sp.Name, et.ID, sp.DurationNS)
+					}
+					if !ids[sp.Parent] {
+						t.Fatalf("span %s in trace %s has dangling parent %s", sp.Name, et.ID, sp.Parent)
+					}
 				}
 			}
 		}
